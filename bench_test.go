@@ -1,0 +1,169 @@
+package repro_test
+
+// One testing.B benchmark per table and figure of the paper, each running
+// the corresponding experiment on a reduced configuration (quick sweep
+// points, three-benchmark sets) so `go test -bench=.` regenerates the
+// whole evaluation in miniature. Component microbenchmarks at the end
+// measure the simulator itself.
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/emit"
+	"repro/internal/experiments"
+	"repro/internal/gc"
+	"repro/internal/interp"
+	"repro/internal/isa"
+	"repro/internal/jit"
+	"repro/internal/pybench"
+	"repro/internal/runtime"
+	"repro/internal/uarch"
+)
+
+// benchExperiment runs one experiment per iteration with quick settings.
+func benchExperiment(b *testing.B, id string, benchNames []string) {
+	b.Helper()
+	opts := &experiments.Options{
+		W:          io.Discard,
+		Quick:      true,
+		Benchmarks: benchNames,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(id, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// small benchmark sets keep the per-iteration cost sane.
+var smallSet = []string{"nqueens", "telco", "unpack_seq"}
+var allocSet = []string{"telco", "unpack_seq", "logging_format"}
+var jsSet = []string{"crypto_pyaes", "deltablue", "regex_v8"}
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1", nil) }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2", nil) }
+
+func BenchmarkFig4a(b *testing.B)       { benchExperiment(b, "fig4a", smallSet) }
+func BenchmarkFig4b(b *testing.B)       { benchExperiment(b, "fig4b", smallSet) }
+func BenchmarkFig4Summary(b *testing.B) { benchExperiment(b, "fig4summary", smallSet) }
+func BenchmarkFig5(b *testing.B)        { benchExperiment(b, "fig5", smallSet) }
+func BenchmarkFig6(b *testing.B)        { benchExperiment(b, "fig6", jsSet) }
+
+func BenchmarkFig7(b *testing.B)  { benchExperiment(b, "fig7", smallSet[:2]) }
+func BenchmarkFig8(b *testing.B)  { benchExperiment(b, "fig8", smallSet[:2]) }
+func BenchmarkFig9(b *testing.B)  { benchExperiment(b, "fig9", jsSet[:2]) }
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10", allocSet) }
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11", allocSet) }
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12", allocSet[:2]) }
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13", allocSet) }
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14", allocSet) }
+func BenchmarkFig15(b *testing.B) { benchExperiment(b, "fig15", allocSet) }
+func BenchmarkFig16(b *testing.B) { benchExperiment(b, "fig16", jsSet[:2]) }
+func BenchmarkFig17(b *testing.B) { benchExperiment(b, "fig17", allocSet) }
+
+// ---- Component microbenchmarks ----
+
+const hotLoop = `
+acc = 0
+for i in xrange(20000):
+    acc += i * 3 & 1023
+print(acc)
+`
+
+// BenchmarkInterpreterThroughput measures interpreted bytecodes/sec with
+// events discarded.
+func BenchmarkInterpreterThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var out strings.Builder
+		vm := interp.New(emit.NewEngine(isa.NullSink{}), gc.DefaultRefCountConfig(), &out)
+		if err := vm.RunSource("bench", hotLoop); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimpleCoreSimulation measures the attribution pipeline
+// end to end (interpreter + simple core + caches).
+func BenchmarkSimpleCoreSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var out strings.Builder
+		eng := emit.NewEngine(uarch.NewSimpleCore(uarch.DefaultConfig()))
+		vm := interp.New(eng, gc.DefaultRefCountConfig(), &out)
+		if err := vm.RunSource("bench", hotLoop); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOOOCoreSimulation measures the out-of-order model end to end.
+func BenchmarkOOOCoreSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var out strings.Builder
+		eng := emit.NewEngine(uarch.NewOOOCore(uarch.DefaultConfig()))
+		vm := interp.New(eng, gc.DefaultRefCountConfig(), &out)
+		if err := vm.RunSource("bench", hotLoop); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJITCompiledLoop measures compiled-trace execution.
+func BenchmarkJITCompiledLoop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var out strings.Builder
+		vm := interp.New(emit.NewEngine(isa.NullSink{}), gc.DefaultGenConfig(4<<20), &out)
+		cfg := jit.DefaultConfig()
+		cfg.HotThreshold = 50
+		jit.New(vm, cfg)
+		if err := vm.RunSource("bench", hotLoop); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMinorGC measures generational collection under heavy churn.
+func BenchmarkMinorGC(b *testing.B) {
+	src := `
+keep = []
+for i in xrange(8000):
+    t = [i, i + 1, i + 2]
+    if i % 500 == 0:
+        keep.append(t)
+print(len(keep))
+`
+	for i := 0; i < b.N; i++ {
+		var out strings.Builder
+		vm := interp.New(emit.NewEngine(isa.NullSink{}), gc.DefaultGenConfig(32<<10), &out)
+		if err := vm.RunSource("bench", src); err != nil {
+			b.Fatal(err)
+		}
+		if vm.Heap.Stats.MinorGCs == 0 {
+			b.Fatal("expected collections")
+		}
+	}
+}
+
+// BenchmarkSuiteCPythonBreakdown measures a full suite-benchmark run with
+// attribution (the unit of work behind Fig 4).
+func BenchmarkSuiteCPythonBreakdown(b *testing.B) {
+	bm, err := pybench.ByName("richards")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := runtime.DefaultConfig(runtime.CPython)
+	cfg.Core = runtime.SimpleCore
+	cfg.Warmups, cfg.Measures = 0, 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := runtime.NewRunner(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.RunCode(bm.Compiled()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Command pyexp reproduces the paper's tables and figures.
+//
+// Usage:
+//
+//	pyexp -exp fig4a [-scale 0.125] [-quick] [-paper] [-csv] [-bench a,b,c]
+//	pyexp -list
+//	pyexp -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (see -list) or 'all'")
+	list := flag.Bool("list", false, "list experiment ids")
+	scale := flag.Float64("scale", 0.125, "capacity scale factor for caches and nurseries")
+	quick := flag.Bool("quick", false, "smaller benchmark sets and fewer sweep points")
+	paper := flag.Bool("paper", false, "use the paper's 2-warmup/3-measurement protocol")
+	csv := flag.Bool("csv", false, "CSV output")
+	benches := flag.String("bench", "", "comma-separated benchmark override")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			e, _ := experiments.Get(id)
+			fmt.Printf("%-12s %s\n", id, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "usage: pyexp -exp <id>|all  (use -list to enumerate)")
+		os.Exit(2)
+	}
+	opts := &experiments.Options{
+		W:     os.Stdout,
+		Scale: *scale,
+		Quick: *quick,
+		Paper: *paper,
+		CSV:   *csv,
+	}
+	if *benches != "" {
+		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+	if err := experiments.Run(*exp, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "pyexp:", err)
+		os.Exit(1)
+	}
+}

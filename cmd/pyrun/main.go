@@ -1,0 +1,108 @@
+// Command pyrun executes a MiniPy program or a named suite benchmark on a
+// chosen run-time configuration, printing the program's output and
+// optionally run statistics.
+//
+// Usage:
+//
+//	pyrun [-mode cpython|pypy-nojit|pypy-jit|v8like] [-stats] [-core simple|ooo|none]
+//	      [-nursery bytes] (-bench name | file.py)
+//	pyrun -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/pybench"
+	"repro/internal/runtime"
+)
+
+func main() {
+	mode := flag.String("mode", "cpython", "runtime mode: cpython, pypy-nojit, pypy-jit, v8like")
+	bench := flag.String("bench", "", "run a named suite benchmark instead of a file")
+	list := flag.Bool("list", false, "list suite benchmarks and exit")
+	stats := flag.Bool("stats", false, "print run statistics")
+	coreKind := flag.String("core", "none", "core model: simple, ooo, none")
+	nursery := flag.Uint64("nursery", runtime.DefaultNursery, "nursery size in bytes (generational modes)")
+	maxBytecodes := flag.Uint64("max-bytecodes", 0, "abort after this many bytecodes (0 = unlimited)")
+	flag.Parse()
+
+	if *list {
+		for _, b := range pybench.All() {
+			fmt.Println(b.Name)
+		}
+		return
+	}
+
+	m, err := runtime.ParseMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+
+	var name, src string
+	switch {
+	case *bench != "":
+		b, err := pybench.ByName(*bench)
+		if err != nil {
+			fatal(err)
+		}
+		name, src = b.Name, b.Source
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		name, src = flag.Arg(0), string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: pyrun [flags] (-bench name | file.py); see -h")
+		os.Exit(2)
+	}
+
+	cfg := runtime.DefaultConfig(m)
+	cfg.NurseryBytes = *nursery
+	cfg.Stdout = os.Stdout
+	cfg.MaxBytecodes = *maxBytecodes
+	switch *coreKind {
+	case "simple":
+		cfg.Core = runtime.SimpleCore
+	case "ooo":
+		cfg.Core = runtime.OOOCore
+	case "none":
+		cfg.Core = runtime.CountOnly
+		cfg.Warmups = 0
+		cfg.Measures = 1
+	default:
+		fatal(fmt.Errorf("unknown core %q", *coreKind))
+	}
+
+	r, err := runtime.NewRunner(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := r.Run(name, src)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *stats {
+		fmt.Fprintf(os.Stderr, "\n== %s on %s ==\n", name, m)
+		if cfg.Core != runtime.CountOnly {
+			fmt.Fprintf(os.Stderr, "cycles=%d instrs=%d CPI=%.3f LLC-miss=%.2f%% L1D-miss=%.2f%%\n",
+				res.Cycles, res.Instrs, res.CPI, res.LLCMissRate*100, res.L1DMissRate*100)
+		}
+		if cfg.Core == runtime.SimpleCore {
+			fmt.Fprintln(os.Stderr, res.Breakdown.String())
+		}
+		fmt.Fprintf(os.Stderr, "gc: allocs=%d bytes=%d minor=%d major=%d copied=%d\n",
+			res.GC.Allocations, res.GC.BytesAlloc, res.GC.MinorGCs, res.GC.MajorGCs, res.GC.BytesCopied)
+		if res.JIT != nil {
+			fmt.Fprintf(os.Stderr, "jit: %+v\n", *res.JIT)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pyrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "Quantitative
+// Overhead Analysis for Python" (Ismail & Suh, IISWC 2018): an annotated
+// CPython-like interpreter, a PyPy-like tracing JIT with generational
+// garbage collection, a Zsim-like microarchitecture simulator, the paper's
+// benchmark suite ported to the MiniPy subset, and a harness that
+// regenerates every table and figure of the evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,63 @@
+// Nursery tuning: reproduce the paper's central hardware-interaction
+// finding on a single allocation-heavy program — sweeping the PyPy-style
+// nursery trades cache locality against collection frequency, and the
+// best size is application-specific (Figs 10-12).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+	"repro/internal/uarch"
+)
+
+const program = `
+def churn(n):
+    keep = []
+    for i in xrange(n):
+        row = [i, i * 2, "tag-%d" % (i % 50)]
+        if i % 100 == 0:
+            keep.append(row)
+    total = 0
+    for row in keep:
+        total += row[1]
+    return total
+
+print(churn(30000))
+`
+
+func main() {
+	// A 256 kB last-level cache makes the trade-off visible quickly.
+	machine := uarch.DefaultConfig().ScaleCaches(0.125)
+	fmt.Printf("LLC: %d kB\n\n", machine.L3.SizeBytes>>10)
+	fmt.Printf("%-10s %12s %10s %8s %8s %10s\n",
+		"nursery", "cycles", "LLC-miss%", "GC%", "minorGCs", "vs-first")
+
+	var first float64
+	for _, nursery := range []uint64{16 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10, 2 << 20, 8 << 20} {
+		cfg := runtime.DefaultConfig(runtime.PyPyJIT)
+		cfg.Core = runtime.SimpleCore
+		cfg.Uarch = machine
+		cfg.NurseryBytes = nursery
+		runner, err := runtime.NewRunner(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := runner.Run("nursery-tuning", program)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if first == 0 {
+			first = float64(res.Cycles)
+		}
+		fmt.Printf("%-10d %12d %9.1f%% %7.1f%% %8d %9.3fx\n",
+			nursery, res.Cycles, res.LLCMissRate*100,
+			res.Breakdown.PhasePercent(core.PhaseGC),
+			res.GC.MinorGCs, float64(res.Cycles)/first)
+	}
+	fmt.Println("\nSmall nurseries stay cache-resident but collect constantly;")
+	fmt.Println("large ones amortize GC but stream through the cache. The minimum")
+	fmt.Println("moves with the application and the cache size - size per app.")
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Phase identifies the execution phase a cycle belongs to, used by the
+// hardware-interaction study (Fig. 7) to split a JIT run-time's time into
+// bytecode interpretation, garbage collection, and JIT-compiled code.
+type Phase uint8
+
+// Execution phases.
+const (
+	PhaseInterpreter Phase = iota
+	PhaseGC
+	PhaseJITCode
+	PhaseJITCompile // time spent inside the trace compiler itself
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	PhaseInterpreter: "bytecode interpreter",
+	PhaseGC:          "garbage collection",
+	PhaseJITCode:     "jit compiled code",
+	PhaseJITCompile:  "jit compilation",
+}
+
+// String returns the phase's human-readable name.
+func (p Phase) String() string {
+	if p < NumPhases {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("Phase(%d)", uint8(p))
+}
+
+// Breakdown accumulates instruction and cycle counts per overhead category,
+// per phase, and for modeled C-library code. It is the unit of output of
+// the attribution pipeline: one Breakdown per measured program run.
+//
+// The zero value is an empty breakdown ready to use.
+type Breakdown struct {
+	// Instrs[c] is the number of dynamic instructions attributed to
+	// category c.
+	Instrs [NumCategories]uint64
+	// Cycles[c] is the number of simulated cycles attributed to
+	// category c.
+	Cycles [NumCategories]uint64
+	// PhaseCycles[p] is the number of simulated cycles attributed to
+	// phase p.
+	PhaseCycles [NumPhases]uint64
+	// PhaseInstrs[p] is the number of dynamic instructions attributed
+	// to phase p.
+	PhaseInstrs [NumPhases]uint64
+	// CLibCycles is the number of cycles spent executing modeled C
+	// library code (e.g. pickle, json, regex engines). C-library cycles
+	// are also attributed to a category, so this is a parallel
+	// dimension, not an additional one.
+	CLibCycles uint64
+	// CLibInstrs is the instruction counterpart of CLibCycles.
+	CLibInstrs uint64
+	// CCallIndirectCycles is the subset of CFunctionCall cycles caused
+	// by indirect call instructions themselves (the paper: 11.9% of the
+	// C-call overhead on average).
+	CCallIndirectCycles uint64
+}
+
+// Add charges n cycles and one instruction to category c and phase p.
+func (b *Breakdown) Add(c Category, p Phase, cycles uint64, clib bool) {
+	b.Instrs[c]++
+	b.Cycles[c] += cycles
+	b.PhaseCycles[p] += cycles
+	b.PhaseInstrs[p]++
+	if clib {
+		b.CLibCycles += cycles
+		b.CLibInstrs++
+	}
+}
+
+// Merge adds o into b.
+func (b *Breakdown) Merge(o *Breakdown) {
+	for i := range b.Instrs {
+		b.Instrs[i] += o.Instrs[i]
+		b.Cycles[i] += o.Cycles[i]
+	}
+	for i := range b.PhaseCycles {
+		b.PhaseCycles[i] += o.PhaseCycles[i]
+		b.PhaseInstrs[i] += o.PhaseInstrs[i]
+	}
+	b.CLibCycles += o.CLibCycles
+	b.CLibInstrs += o.CLibInstrs
+	b.CCallIndirectCycles += o.CCallIndirectCycles
+}
+
+// Scale divides every counter by n (for averaging repeated runs). n must be
+// positive.
+func (b *Breakdown) Scale(n uint64) {
+	if n == 0 {
+		panic("core: Scale by zero")
+	}
+	for i := range b.Instrs {
+		b.Instrs[i] /= n
+		b.Cycles[i] /= n
+	}
+	for i := range b.PhaseCycles {
+		b.PhaseCycles[i] /= n
+		b.PhaseInstrs[i] /= n
+	}
+	b.CLibCycles /= n
+	b.CLibInstrs /= n
+	b.CCallIndirectCycles /= n
+}
+
+// TotalCycles returns the total simulated cycles across all categories.
+func (b *Breakdown) TotalCycles() uint64 {
+	var t uint64
+	for _, c := range b.Cycles {
+		t += c
+	}
+	return t
+}
+
+// TotalInstrs returns the total dynamic instruction count.
+func (b *Breakdown) TotalInstrs() uint64 {
+	var t uint64
+	for _, c := range b.Instrs {
+		t += c
+	}
+	return t
+}
+
+// Percent returns category c's share of total cycles, in percent.
+// It returns 0 for an empty breakdown.
+func (b *Breakdown) Percent(c Category) float64 {
+	t := b.TotalCycles()
+	if t == 0 {
+		return 0
+	}
+	return 100 * float64(b.Cycles[c]) / float64(t)
+}
+
+// GroupPercent returns group g's share of total cycles, in percent.
+func (b *Breakdown) GroupPercent(g Group) float64 {
+	t := b.TotalCycles()
+	if t == 0 {
+		return 0
+	}
+	var gc uint64
+	for c := Category(0); c < NumCategories; c++ {
+		if c.Group() == g {
+			gc += b.Cycles[c]
+		}
+	}
+	return 100 * float64(gc) / float64(t)
+}
+
+// OverheadPercent returns the share of total cycles attributed to any
+// overhead category (everything except Execute), in percent.
+func (b *Breakdown) OverheadPercent(cats ...Category) float64 {
+	if len(cats) == 0 {
+		cats = OverheadCategories()
+	}
+	t := b.TotalCycles()
+	if t == 0 {
+		return 0
+	}
+	var oc uint64
+	for _, c := range cats {
+		oc += b.Cycles[c]
+	}
+	return 100 * float64(oc) / float64(t)
+}
+
+// CLibPercent returns the share of total cycles spent in modeled C-library
+// code, in percent.
+func (b *Breakdown) CLibPercent() float64 {
+	t := b.TotalCycles()
+	if t == 0 {
+		return 0
+	}
+	return 100 * float64(b.CLibCycles) / float64(t)
+}
+
+// PhasePercent returns phase p's share of total cycles, in percent.
+func (b *Breakdown) PhasePercent(p Phase) float64 {
+	t := b.TotalCycles()
+	if t == 0 {
+		return 0
+	}
+	return 100 * float64(b.PhaseCycles[p]) / float64(t)
+}
+
+// SlowdownVsC returns the implied minimum slowdown versus a C-like program,
+// computed as total/execute cycles — the paper's "at least 2.8x" metric.
+// It returns +Inf if no Execute cycles were recorded and 1 if empty.
+func (b *Breakdown) SlowdownVsC() float64 {
+	t := b.TotalCycles()
+	if t == 0 {
+		return 1
+	}
+	ex := b.Cycles[Execute]
+	if ex == 0 {
+		return float64(t) // effectively unbounded; avoid Inf in reports
+	}
+	return float64(t) / float64(ex)
+}
+
+// CPI returns cycles per instruction for the whole run.
+func (b *Breakdown) CPI() float64 {
+	i := b.TotalInstrs()
+	if i == 0 {
+		return 0
+	}
+	return float64(b.TotalCycles()) / float64(i)
+}
+
+// Row pairs a category with a percentage, for sorted reporting.
+type Row struct {
+	Category Category
+	Percent  float64
+	Cycles   uint64
+}
+
+// Rows returns per-category rows sorted by descending cycle share.
+func (b *Breakdown) Rows() []Row {
+	rows := make([]Row, 0, NumCategories)
+	for c := Category(0); c < NumCategories; c++ {
+		rows = append(rows, Row{c, b.Percent(c), b.Cycles[c]})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Cycles > rows[j].Cycles })
+	return rows
+}
+
+// String renders the breakdown as an aligned text table.
+func (b *Breakdown) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-24s %14s %14s %7s\n", "category", "instructions", "cycles", "%time")
+	for _, r := range b.Rows() {
+		fmt.Fprintf(&sb, "%-24s %14d %14d %6.2f%%\n",
+			r.Category.String(), b.Instrs[r.Category], r.Cycles, r.Percent)
+	}
+	fmt.Fprintf(&sb, "%-24s %14d %14d %6.2f%%\n", "TOTAL",
+		b.TotalInstrs(), b.TotalCycles(), 100.0)
+	fmt.Fprintf(&sb, "overhead: %.1f%%  c-library: %.1f%%  implied slowdown vs C: %.1fx  CPI: %.2f\n",
+		b.OverheadPercent(), b.CLibPercent(), b.SlowdownVsC(), b.CPI())
+	return sb.String()
+}

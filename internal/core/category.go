@@ -1,0 +1,245 @@
+// Package core implements the paper's primary contribution: a quantitative
+// overhead taxonomy for dynamic-language runtimes (Table II of the paper)
+// and the attribution machinery that charges every simulated cycle and
+// instruction of a run to exactly one category.
+//
+// The taxonomy has three overhead groups plus the non-overhead Execute
+// category:
+//
+//   - Additional language features: run-time work for features that do not
+//     exist in a static language such as C (error checks, garbage
+//     collection, rich control flow).
+//   - Dynamic language features: work for features that C resolves at
+//     compile time but Python must resolve at run time (type checks,
+//     boxing, name and function resolution, function setup/cleanup).
+//   - Interpreter operations: the cost of emulating a virtual machine on a
+//     physical machine (dispatch, VM stack, constant loads, object
+//     allocation churn, VM register transfer, and C function calls inside
+//     the interpreter).
+//
+// Execute is the residual: the instructions a C program computing the same
+// result would also have executed.
+package core
+
+import "fmt"
+
+// Category labels one source of execution time. Every micro-event emitted
+// by the virtual machine carries exactly one Category.
+type Category uint8
+
+// The categories of Table II, plus Execute.
+const (
+	// Execute is program work that is not overhead: the computation an
+	// equivalent C program would also perform.
+	Execute Category = iota
+
+	// ErrorCheck covers run-time checks for overflow, out-of-bounds
+	// accesses, and other errors. (Additional language feature; NEW in
+	// the paper.)
+	ErrorCheck
+
+	// GarbageCollection covers automatic memory management: reference
+	// counter maintenance in CPython mode, and tracing/copying/sweeping
+	// plus write barriers in generational-GC mode.
+	GarbageCollection
+
+	// RichControlFlow covers support for richer condition evaluation and
+	// additional control structures, including block-stack management.
+	RichControlFlow
+
+	// TypeCheck covers checking a variable's type to determine the
+	// operation to perform.
+	TypeCheck
+
+	// Boxing covers wrapping and unwrapping integer and float primitive
+	// values in heap objects.
+	Boxing
+
+	// NameResolution covers looking up a variable pointer in a map keyed
+	// by the variable's name.
+	NameResolution
+
+	// FunctionResolution covers dereferencing function pointers (type
+	// slots) to locate the operation to perform.
+	FunctionResolution
+
+	// FunctionSetup covers setting up a call to a Python or C function
+	// and cleaning up on return (frame allocation, argument passing,
+	// return-value plumbing).
+	FunctionSetup
+
+	// Dispatch covers reading and decoding a bytecode instruction,
+	// including the dispatch loop and decode switch.
+	Dispatch
+
+	// Stack covers reading, writing, and managing the VM value stack.
+	Stack
+
+	// ConstLoad covers loading constants from the co_consts array onto
+	// the VM stack.
+	ConstLoad
+
+	// ObjectAllocation covers inefficient deallocation immediately
+	// followed by reallocation of objects (frames, intermediate values).
+	// (NEW in the paper.)
+	ObjectAllocation
+
+	// RegTransfer covers computing the address of VM storage (stack
+	// slots, fast locals) before the actual data access. (NEW in the
+	// paper.)
+	RegTransfer
+
+	// CFunctionCall covers following the C calling convention inside the
+	// interpreter: creating and destroying C stack frames, saving and
+	// restoring registers, and performing direct and indirect calls.
+	// (NEW in the paper; the paper's headline finding.)
+	CFunctionCall
+
+	// NumCategories is the number of categories, for array sizing.
+	NumCategories
+)
+
+// Group classifies a category into the paper's three overhead groups, or
+// GroupExecute for non-overhead work.
+type Group uint8
+
+// Overhead groups from Table II.
+const (
+	GroupExecute Group = iota
+	GroupAdditionalLanguage
+	GroupDynamicLanguage
+	GroupInterpreterOps
+	NumGroups
+)
+
+var categoryNames = [NumCategories]string{
+	Execute:            "execute",
+	ErrorCheck:         "error check",
+	GarbageCollection:  "garbage collection",
+	RichControlFlow:    "rich control flow",
+	TypeCheck:          "type check",
+	Boxing:             "boxing/unboxing",
+	NameResolution:     "name resolution",
+	FunctionResolution: "function resolution",
+	FunctionSetup:      "function setup/cleanup",
+	Dispatch:           "dispatch",
+	Stack:              "stack",
+	ConstLoad:          "const load",
+	ObjectAllocation:   "object allocation",
+	RegTransfer:        "reg transfer",
+	CFunctionCall:      "c function call",
+}
+
+var categoryGroups = [NumCategories]Group{
+	Execute:            GroupExecute,
+	ErrorCheck:         GroupAdditionalLanguage,
+	GarbageCollection:  GroupAdditionalLanguage,
+	RichControlFlow:    GroupAdditionalLanguage,
+	TypeCheck:          GroupDynamicLanguage,
+	Boxing:             GroupDynamicLanguage,
+	NameResolution:     GroupDynamicLanguage,
+	FunctionResolution: GroupDynamicLanguage,
+	FunctionSetup:      GroupDynamicLanguage,
+	Dispatch:           GroupInterpreterOps,
+	Stack:              GroupInterpreterOps,
+	ConstLoad:          GroupInterpreterOps,
+	ObjectAllocation:   GroupInterpreterOps,
+	RegTransfer:        GroupInterpreterOps,
+	CFunctionCall:      GroupInterpreterOps,
+}
+
+var groupNames = [NumGroups]string{
+	GroupExecute:            "execute",
+	GroupAdditionalLanguage: "additional language features",
+	GroupDynamicLanguage:    "dynamic language features",
+	GroupInterpreterOps:     "interpreter operations",
+}
+
+// String returns the category's human-readable name as used in the paper.
+func (c Category) String() string {
+	if c < NumCategories {
+		return categoryNames[c]
+	}
+	return fmt.Sprintf("Category(%d)", uint8(c))
+}
+
+// Group returns the overhead group the category belongs to.
+func (c Category) Group() Group {
+	if c < NumCategories {
+		return categoryGroups[c]
+	}
+	return GroupExecute
+}
+
+// IsOverhead reports whether the category is an overhead source (anything
+// other than Execute).
+func (c Category) IsOverhead() bool { return c != Execute }
+
+// String returns the group's human-readable name.
+func (g Group) String() string {
+	if g < NumGroups {
+		return groupNames[g]
+	}
+	return fmt.Sprintf("Group(%d)", uint8(g))
+}
+
+// Categories returns all categories in taxonomy order, Execute first.
+func Categories() []Category {
+	cats := make([]Category, NumCategories)
+	for i := range cats {
+		cats[i] = Category(i)
+	}
+	return cats
+}
+
+// OverheadCategories returns all categories except Execute, in taxonomy
+// order.
+func OverheadCategories() []Category {
+	cats := make([]Category, 0, NumCategories-1)
+	for c := Category(0); c < NumCategories; c++ {
+		if c.IsOverhead() {
+			cats = append(cats, c)
+		}
+	}
+	return cats
+}
+
+// GroupCategories returns the categories belonging to g, in taxonomy order.
+func GroupCategories(g Group) []Category {
+	var cats []Category
+	for c := Category(0); c < NumCategories; c++ {
+		if c.Group() == g {
+			cats = append(cats, c)
+		}
+	}
+	return cats
+}
+
+// TaxonomyRow is one row of Table II.
+type TaxonomyRow struct {
+	Group       Group
+	Category    Category
+	Description string
+	New         bool // identified as new by the paper
+}
+
+// Taxonomy returns Table II of the paper: every overhead category with its
+// group, description, and whether the paper identified it as new.
+func Taxonomy() []TaxonomyRow {
+	return []TaxonomyRow{
+		{GroupAdditionalLanguage, ErrorCheck, "Check for overflow, out-of-bounds, and other errors", true},
+		{GroupAdditionalLanguage, GarbageCollection, "Automatically freeing unused memory", false},
+		{GroupAdditionalLanguage, RichControlFlow, "Support for more condition cases and control structures", false},
+		{GroupDynamicLanguage, TypeCheck, "Checking variable type to determine operation", false},
+		{GroupDynamicLanguage, Boxing, "Wrapping or unwrapping integer or float types", false},
+		{GroupDynamicLanguage, NameResolution, "Looking up variable in a map", false},
+		{GroupDynamicLanguage, FunctionResolution, "Dereferencing function pointers to perform an operation", false},
+		{GroupDynamicLanguage, FunctionSetup, "Setting up for a function call and cleaning up when finished", false},
+		{GroupInterpreterOps, Dispatch, "Reading and decoding bytecode instruction", false},
+		{GroupInterpreterOps, Stack, "Reading, writing, and managing VM stack", false},
+		{GroupInterpreterOps, ConstLoad, "Reading constants", false},
+		{GroupInterpreterOps, ObjectAllocation, "Inefficient deallocation followed by allocation of objects", false},
+		{GroupInterpreterOps, RegTransfer, "Calculating address of VM storage", true},
+		{GroupInterpreterOps, CFunctionCall, "Following the C calling convention in the interpreter", true},
+	}
+}

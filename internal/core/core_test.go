@@ -1,0 +1,160 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCategoryNamesAndGroups(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Categories() {
+		name := c.String()
+		if name == "" || strings.HasPrefix(name, "Category(") {
+			t.Errorf("category %d has no name", c)
+		}
+		if seen[name] {
+			t.Errorf("duplicate category name %q", name)
+		}
+		seen[name] = true
+		if g := c.Group(); g >= NumGroups {
+			t.Errorf("category %s has invalid group", name)
+		}
+	}
+	if Execute.IsOverhead() {
+		t.Error("execute must not be overhead")
+	}
+	if !CFunctionCall.IsOverhead() {
+		t.Error("c function call must be overhead")
+	}
+	if Execute.Group() != GroupExecute {
+		t.Error("execute group mismatch")
+	}
+}
+
+func TestTaxonomyCoversAllOverheads(t *testing.T) {
+	rows := Taxonomy()
+	if len(rows) != int(NumCategories)-1 {
+		t.Fatalf("taxonomy has %d rows, want %d", len(rows), NumCategories-1)
+	}
+	seen := map[Category]bool{}
+	newCount := 0
+	for _, r := range rows {
+		if r.Category == Execute {
+			t.Error("taxonomy must not include execute")
+		}
+		if seen[r.Category] {
+			t.Errorf("duplicate taxonomy row %s", r.Category)
+		}
+		seen[r.Category] = true
+		if r.Group != r.Category.Group() {
+			t.Errorf("%s: row group %s != category group %s", r.Category, r.Group, r.Category.Group())
+		}
+		if r.New {
+			newCount++
+		}
+	}
+	// The paper identifies exactly three new categories.
+	if newCount != 3 {
+		t.Errorf("expected 3 NEW categories, got %d", newCount)
+	}
+}
+
+func TestGroupCategoriesPartition(t *testing.T) {
+	total := 0
+	for g := Group(0); g < NumGroups; g++ {
+		total += len(GroupCategories(g))
+	}
+	if total != int(NumCategories) {
+		t.Errorf("groups partition %d categories, want %d", total, NumCategories)
+	}
+}
+
+func TestBreakdownAccounting(t *testing.T) {
+	var b Breakdown
+	b.Add(Dispatch, PhaseInterpreter, 10, false)
+	b.Add(Execute, PhaseInterpreter, 30, false)
+	b.Add(GarbageCollection, PhaseGC, 20, false)
+	b.Add(Execute, PhaseJITCode, 40, true)
+
+	if got := b.TotalCycles(); got != 100 {
+		t.Errorf("total cycles %d", got)
+	}
+	if got := b.TotalInstrs(); got != 4 {
+		t.Errorf("total instrs %d", got)
+	}
+	if got := b.Percent(Execute); got != 70 {
+		t.Errorf("execute%% = %v", got)
+	}
+	if got := b.OverheadPercent(); got != 30 {
+		t.Errorf("overhead%% = %v", got)
+	}
+	if got := b.CLibPercent(); got != 40 {
+		t.Errorf("clib%% = %v", got)
+	}
+	if got := b.PhasePercent(PhaseGC); got != 20 {
+		t.Errorf("gc phase%% = %v", got)
+	}
+	if got := b.SlowdownVsC(); got < 1.42 || got > 1.44 {
+		t.Errorf("slowdown = %v, want ~1.43", got)
+	}
+
+	var c Breakdown
+	c.Merge(&b)
+	c.Merge(&b)
+	if c.TotalCycles() != 200 {
+		t.Errorf("merged cycles %d", c.TotalCycles())
+	}
+	c.Scale(2)
+	if c.TotalCycles() != b.TotalCycles() {
+		t.Errorf("scale mismatch: %d vs %d", c.TotalCycles(), b.TotalCycles())
+	}
+}
+
+// Property: category percentages always sum to ~100 for non-empty
+// breakdowns, regardless of the distribution.
+func TestBreakdownPercentSumProperty(t *testing.T) {
+	f := func(cycles [NumCategories]uint16) bool {
+		var b Breakdown
+		any := false
+		for i, c := range cycles {
+			if c > 0 {
+				b.Add(Category(i), PhaseInterpreter, uint64(c), false)
+				any = true
+			}
+		}
+		if !any {
+			return true
+		}
+		sum := 0.0
+		for _, c := range Categories() {
+			sum += b.Percent(c)
+		}
+		return sum > 99.999 && sum < 100.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBreakdownStringIsRendered(t *testing.T) {
+	var b Breakdown
+	b.Add(Dispatch, PhaseInterpreter, 5, false)
+	s := b.String()
+	for _, want := range []string{"dispatch", "TOTAL", "CPI"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("breakdown string missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRowsSortedByCycles(t *testing.T) {
+	var b Breakdown
+	b.Add(Stack, PhaseInterpreter, 5, false)
+	b.Add(Dispatch, PhaseInterpreter, 50, false)
+	b.Add(Execute, PhaseInterpreter, 20, false)
+	rows := b.Rows()
+	if rows[0].Category != Dispatch || rows[1].Category != Execute {
+		t.Errorf("rows not sorted: %v", rows[:3])
+	}
+}

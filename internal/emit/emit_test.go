@@ -1,0 +1,137 @@
+package emit
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// recordSink keeps all events for inspection.
+type recordSink struct{ evs []isa.Event }
+
+func (r *recordSink) Exec(ev *isa.Event) { r.evs = append(r.evs, *ev) }
+
+func TestPCProgression(t *testing.T) {
+	var s recordSink
+	e := NewEngine(&s)
+	e.At(0x1000)
+	e.ALU(core.Execute, false)
+	e.ALU(core.Execute, false)
+	e.Load(core.Stack, 0x9000, true)
+	if s.evs[0].PC != 0x1000 || s.evs[1].PC != 0x1004 || s.evs[2].PC != 0x1008 {
+		t.Errorf("PCs: %#x %#x %#x", s.evs[0].PC, s.evs[1].PC, s.evs[2].PC)
+	}
+	if !s.evs[2].DepPrev || s.evs[2].Addr != 0x9000 {
+		t.Error("load event fields wrong")
+	}
+}
+
+func TestCallReturnRestoresPC(t *testing.T) {
+	var s recordSink
+	e := NewEngine(&s)
+	e.At(0x1000)
+	e.ALU(core.Execute, false)
+	e.Call(core.CFunctionCall, 0x2000)
+	e.ALU(core.Execute, false) // executes at 0x2000
+	e.Ret(core.CFunctionCall)
+	e.ALU(core.Execute, false) // resumes after the call site
+	if s.evs[2].PC != 0x2000 {
+		t.Errorf("callee PC %#x", s.evs[2].PC)
+	}
+	last := s.evs[len(s.evs)-1].PC
+	if last <= 0x1004 || last >= 0x2000 {
+		t.Errorf("post-return PC %#x not in caller", last)
+	}
+	if e.Depth() != 0 {
+		t.Errorf("unbalanced call depth %d", e.Depth())
+	}
+}
+
+func TestCCallBalancesStack(t *testing.T) {
+	var s recordSink
+	e := NewEngine(&s)
+	e.At(0x1000)
+	sp0 := e.CStack().SP()
+	cost := CCallCost{SavedRegs: 3, FrameBytes: 48}
+	e.CCall(core.CFunctionCall, 0x3000, cost)
+	if e.CStack().SP() >= sp0 {
+		t.Error("ccall did not grow the stack")
+	}
+	e.CReturn(core.CFunctionCall, cost)
+	if e.CStack().SP() != sp0 {
+		t.Errorf("ccall/creturn unbalanced: %#x vs %#x", e.CStack().SP(), sp0)
+	}
+	// Prologue/epilogue must include the saved-register traffic.
+	stores, loads := 0, 0
+	for _, ev := range s.evs {
+		switch ev.Kind {
+		case isa.Store:
+			stores++
+		case isa.Load:
+			loads++
+		}
+	}
+	if stores < cost.SavedRegs+1 || loads < cost.SavedRegs+1 {
+		t.Errorf("calling convention traffic missing: %d stores %d loads", stores, loads)
+	}
+}
+
+func TestPhaseAndCLibStamps(t *testing.T) {
+	var s recordSink
+	e := NewEngine(&s)
+	e.SetPhase(core.PhaseGC)
+	prev := e.SetCLib(true)
+	if prev {
+		t.Error("clib default should be false")
+	}
+	e.ALU(core.GarbageCollection, false)
+	e.SetCLib(false)
+	e.SetPhase(core.PhaseInterpreter)
+	e.ALU(core.Execute, false)
+	if !s.evs[0].CLib || s.evs[0].Phase != core.PhaseGC {
+		t.Errorf("stamps missing: %+v", s.evs[0])
+	}
+	if s.evs[1].CLib || s.evs[1].Phase != core.PhaseInterpreter {
+		t.Errorf("stamps leaked: %+v", s.evs[1])
+	}
+}
+
+func TestIndJumpMovesEngine(t *testing.T) {
+	var s recordSink
+	e := NewEngine(&s)
+	e.At(0x1000)
+	e.IndJump(core.Dispatch, 0x5000)
+	e.ALU(core.Execute, false)
+	if s.evs[1].PC != 0x5000 {
+		t.Errorf("post-indjump PC %#x", s.evs[1].PC)
+	}
+	if s.evs[0].Target != 0x5000 || s.evs[0].Kind != isa.IndJump {
+		t.Errorf("indjump event wrong: %+v", s.evs[0])
+	}
+}
+
+func TestCodeSpaceBlocks(t *testing.T) {
+	cs := NewCodeSpace(mem.NewRegion("code", 0x1000, 1<<16))
+	a := cs.Block(16)
+	b := cs.Block(16)
+	if b <= a {
+		t.Errorf("blocks overlap: %#x %#x", a, b)
+	}
+	if b-a < 16*4 {
+		t.Errorf("block too small: %d", b-a)
+	}
+}
+
+func TestEngineReset(t *testing.T) {
+	e := NewEngine(isa.NullSink{})
+	e.At(0x1000)
+	e.Call(core.CFunctionCall, 0x2000)
+	e.SetPhase(core.PhaseJITCode)
+	e.SetCLib(true)
+	e.Reset()
+	if e.Depth() != 0 || e.Phase() != core.PhaseInterpreter || e.Instrs != 0 {
+		t.Error("reset incomplete")
+	}
+}

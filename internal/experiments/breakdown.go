@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pybench"
+	"repro/internal/runtime"
+)
+
+func init() {
+	register("fig4a", "CPython overhead breakdown: language features (Fig 4a)", runFig4a)
+	register("fig4b", "CPython overhead breakdown: interpreter operations (Fig 4b)", runFig4b)
+	register("fig4summary", "Breakdown summary: total overhead, slowdown, C-library time (Sec IV-C)", runFig4Summary)
+	register("fig5", "C function call overhead for PyPy (Fig 5)", runFig5)
+	register("fig6", "C function call overhead for V8-like runtime (Fig 6)", runFig6)
+}
+
+// langFeatureCats are Fig 4a's categories (additional + dynamic language
+// features).
+var langFeatureCats = []core.Category{
+	core.NameResolution, core.GarbageCollection, core.FunctionResolution,
+	core.FunctionSetup, core.Boxing, core.TypeCheck,
+	core.ErrorCheck, core.RichControlFlow,
+}
+
+// interpOpCats are Fig 4b's categories.
+var interpOpCats = []core.Category{
+	core.CFunctionCall, core.ObjectAllocation, core.RegTransfer,
+	core.Dispatch, core.Stack, core.ConstLoad,
+}
+
+// breakdownSuite runs the full suite on one mode with the simple core,
+// returning per-benchmark breakdowns.
+func (o *Options) breakdownSuite(mode runtime.Mode, set []*pybench.Benchmark) (map[string]*runtime.Result, error) {
+	out := make(map[string]*runtime.Result, len(set))
+	cfgU := o.scaledUarch()
+	for _, b := range set {
+		res, err := o.runOne(b, mode, runtime.SimpleCore, cfgU, o.defaultNursery())
+		if err != nil {
+			return nil, err
+		}
+		out[b.Name] = res
+	}
+	return out, nil
+}
+
+func runBreakdownFigure(o *Options, cats []core.Category) error {
+	set, err := o.benchSet(pybench.All(), 6)
+	if err != nil {
+		return err
+	}
+	results, err := o.breakdownSuite(runtime.CPython, set)
+	if err != nil {
+		return err
+	}
+
+	cols := []string{"benchmark"}
+	for _, c := range cats {
+		cols = append(cols, c.String())
+	}
+	cols = append(cols, "sum")
+	t := &Table{Cols: cols}
+
+	avg := make([]float64, len(cats))
+	for _, b := range set {
+		res := results[b.Name]
+		row := []string{b.Name}
+		sum := 0.0
+		for i, c := range cats {
+			p := res.Breakdown.Percent(c)
+			avg[i] += p
+			sum += p
+			row = append(row, pct(p))
+		}
+		row = append(row, pct(sum))
+		t.Add(row...)
+	}
+	row := []string{"AVG"}
+	sum := 0.0
+	for i := range cats {
+		a := avg[i] / float64(len(set))
+		sum += a
+		row = append(row, pct(a))
+	}
+	row = append(row, pct(sum))
+	t.Add(row...)
+	t.Notes = append(t.Notes, "percent of total execution time, CPython, simple core model")
+	t.Write(o.writer(), o.CSV)
+	return nil
+}
+
+func runFig4a(o *Options) error { return runBreakdownFigure(o, langFeatureCats) }
+func runFig4b(o *Options) error { return runBreakdownFigure(o, interpOpCats) }
+
+func runFig4Summary(o *Options) error {
+	set, err := o.benchSet(pybench.All(), 6)
+	if err != nil {
+		return err
+	}
+	results, err := o.breakdownSuite(runtime.CPython, set)
+	if err != nil {
+		return err
+	}
+	t := &Table{Cols: []string{"benchmark", "overhead%", "execute%", "slowdown-vs-C", "clib%", "ccall%", "ccall-indirect%"}}
+	var ovh, exe, slow, clib, ccall, ind []float64
+	for _, b := range set {
+		res := results[b.Name]
+		bd := &res.Breakdown
+		indirectPct := 0.0
+		if tot := bd.TotalCycles(); tot > 0 {
+			indirectPct = 100 * float64(bd.CCallIndirectCycles) / float64(tot)
+		}
+		t.Add(b.Name,
+			pct(bd.OverheadPercent()),
+			pct(bd.Percent(core.Execute)),
+			fmt.Sprintf("%.2fx", bd.SlowdownVsC()),
+			pct(bd.CLibPercent()),
+			pct(bd.Percent(core.CFunctionCall)),
+			pct(indirectPct))
+		ovh = append(ovh, bd.OverheadPercent())
+		exe = append(exe, bd.Percent(core.Execute))
+		slow = append(slow, bd.SlowdownVsC())
+		clib = append(clib, bd.CLibPercent())
+		ccall = append(ccall, bd.Percent(core.CFunctionCall))
+		ind = append(ind, indirectPct)
+	}
+	_ = slow
+	aggSlow := 0.0
+	if m := mean(exe); m > 0 {
+		// The paper derives its ">=2.8x" from the average breakdown:
+		// 1 / (execute share).
+		aggSlow = 100 / m
+	}
+	t.Add("AVG", pct(mean(ovh)), pct(mean(exe)), fmt.Sprintf("%.2fx", aggSlow),
+		pct(mean(clib)), pct(mean(ccall)), pct(mean(ind)))
+	t.Notes = append(t.Notes,
+		"paper: overheads 64.9% avg => >=2.8x slowdown; C library 7.0% avg (>64% for pickle/regex family)",
+		"paper: indirect calls are 11.9% of the C-call overhead (1.9% of execution)")
+	t.Write(o.writer(), o.CSV)
+	return nil
+}
+
+// ccallFigure reports the C-function-call share per benchmark for a JIT
+// runtime (Figs 5 and 6).
+func ccallFigure(o *Options, mode runtime.Mode, set []*pybench.Benchmark, nameOf func(*pybench.Benchmark) string) error {
+	results, err := o.breakdownSuite(mode, set)
+	if err != nil {
+		return err
+	}
+	t := &Table{Cols: []string{"benchmark", "c-function-call %"}}
+	var vals []float64
+	for _, b := range set {
+		p := results[b.Name].Breakdown.Percent(core.CFunctionCall)
+		vals = append(vals, p)
+		t.Add(nameOf(b), pct(p))
+	}
+	t.Add("GEOMEAN", pct(geomean(vals)))
+	t.Write(o.writer(), o.CSV)
+	return nil
+}
+
+func runFig5(o *Options) error {
+	set, err := o.benchSet(pybench.All(), 6)
+	if err != nil {
+		return err
+	}
+	err = ccallFigure(o, runtime.PyPyJIT, set, func(b *pybench.Benchmark) string { return b.Name })
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(o.writer(), "note: paper reports 7.5% average C-call overhead for PyPy")
+	return nil
+}
+
+func runFig6(o *Options) error {
+	set, err := o.benchSet(pybench.JetStreamSet(), 5)
+	if err != nil {
+		return err
+	}
+	err = ccallFigure(o, runtime.V8Like, set, func(b *pybench.Benchmark) string {
+		if b.JSName != "" {
+			return b.JSName
+		}
+		return b.Name
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(o.writer(), "note: paper reports 5.6% average C-call overhead for V8 on JetStream")
+	return nil
+}

@@ -1,0 +1,300 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment is a named function that runs the required
+// benchmark/run-time/machine combinations and prints the same rows or
+// series the paper reports.
+//
+// Capacities (caches, nursery sizes) are scaled by Options.Scale — default
+// 1/8 — which preserves every ratio and crossover while keeping full
+// reproduction runs to minutes; EXPERIMENTS.md records the scale used.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/pybench"
+	"repro/internal/runtime"
+	"repro/internal/uarch"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// W receives the report (defaults to io.Discard when nil).
+	W io.Writer
+	// Scale multiplies every capacity (cache sizes, nursery sizes).
+	// 0 means the default 1/8.
+	Scale float64
+	// Quick shrinks benchmark sets and sweep points for smoke tests.
+	Quick bool
+	// Paper uses the paper's full protocol (2 warmups, 3 measured
+	// runs); otherwise 1 warmup, 1 measured run.
+	Paper bool
+	// CSV selects comma-separated output instead of aligned tables.
+	CSV bool
+	// Benchmarks optionally overrides the benchmark set by name.
+	Benchmarks []string
+}
+
+func (o *Options) scale() float64 {
+	if o.Scale == 0 {
+		return 0.125
+	}
+	return o.Scale
+}
+
+func (o *Options) writer() io.Writer {
+	if o.W == nil {
+		return io.Discard
+	}
+	return o.W
+}
+
+func (o *Options) warmMeasure() (int, int) {
+	if o.Paper {
+		return 2, 3
+	}
+	return 1, 1
+}
+
+// Experiment is a registered reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(o *Options) error
+}
+
+var registry = map[string]*Experiment{}
+
+// canonicalOrder lists experiments in the paper's order.
+var canonicalOrder = []string{
+	"table1", "table2",
+	"fig4a", "fig4b", "fig4summary", "fig5", "fig6",
+	"fig7", "fig8", "fig9",
+	"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+}
+
+func register(id, title string, run func(o *Options) error) {
+	registry[id] = &Experiment{ID: id, Title: title, Run: run}
+}
+
+// IDs returns all experiment ids in the paper's order.
+func IDs() []string {
+	var out []string
+	for _, id := range canonicalOrder {
+		if _, ok := registry[id]; ok {
+			out = append(out, id)
+		}
+	}
+	for id := range registry {
+		found := false
+		for _, c := range canonicalOrder {
+			if c == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (*Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// Run executes one experiment (or "all").
+func Run(id string, o *Options) error {
+	if id == "all" {
+		for _, eid := range IDs() {
+			if err := Run(eid, o); err != nil {
+				return fmt.Errorf("%s: %w", eid, err)
+			}
+		}
+		return nil
+	}
+	e, ok := registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %s)",
+			id, strings.Join(IDs(), ", "))
+	}
+	fmt.Fprintf(o.writer(), "\n===== %s: %s =====\n", e.ID, e.Title)
+	return e.Run(o)
+}
+
+// ---- Shared helpers ----
+
+// benchSet resolves the benchmark list for an experiment, honouring the
+// override and Quick.
+func (o *Options) benchSet(def []*pybench.Benchmark, quickN int) ([]*pybench.Benchmark, error) {
+	if len(o.Benchmarks) > 0 {
+		var out []*pybench.Benchmark
+		for _, name := range o.Benchmarks {
+			b, err := pybench.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, b)
+		}
+		return out, nil
+	}
+	if o.Quick && len(def) > quickN {
+		return def[:quickN], nil
+	}
+	return def, nil
+}
+
+// scaledUarch returns the Table I machine with capacities scaled.
+func (o *Options) scaledUarch() uarch.Config {
+	return uarch.DefaultConfig().ScaleCaches(o.scale())
+}
+
+// runOne executes a benchmark under a full configuration.
+func (o *Options) runOne(b *pybench.Benchmark, mode runtime.Mode, core runtime.CoreKind,
+	cfgU uarch.Config, nursery uint64) (*runtime.Result, error) {
+	w, m := o.warmMeasure()
+	cfg := runtime.Config{
+		Mode:         mode,
+		Core:         core,
+		Uarch:        cfgU,
+		NurseryBytes: nursery,
+		Warmups:      w,
+		Measures:     m,
+		MaxBytecodes: 2_000_000_000,
+	}
+	r, err := runtime.NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := r.RunCode(b.Compiled())
+	if err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", b.Name, mode, err)
+	}
+	return res, nil
+}
+
+// defaultNursery returns PyPy's default nursery, scaled.
+func (o *Options) defaultNursery() uint64 {
+	return uint64(float64(runtime.DefaultNursery) * o.scale())
+}
+
+// ---- Table rendering ----
+
+// Table is a simple column-aligned report.
+type Table struct {
+	Cols  []string
+	Rows  [][]string
+	Notes []string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Write renders the table (aligned or CSV).
+func (t *Table) Write(w io.Writer, csv bool) {
+	if csv {
+		fmt.Fprintln(w, strings.Join(t.Cols, ","))
+		for _, r := range t.Rows {
+			fmt.Fprintln(w, strings.Join(r, ","))
+		}
+	} else {
+		widths := make([]int, len(t.Cols))
+		for i, c := range t.Cols {
+			widths[i] = len(c)
+		}
+		for _, r := range t.Rows {
+			for i, c := range r {
+				if i < len(widths) && len(c) > widths[i] {
+					widths[i] = len(c)
+				}
+			}
+		}
+		line := func(cells []string) {
+			parts := make([]string, len(cells))
+			for i, c := range cells {
+				if i < len(widths) {
+					parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+				} else {
+					parts[i] = c
+				}
+			}
+			fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		}
+		line(t.Cols)
+		sep := make([]string, len(t.Cols))
+		for i := range sep {
+			sep[i] = strings.Repeat("-", widths[i])
+		}
+		line(sep)
+		for _, r := range t.Rows {
+			line(r)
+		}
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintln(w, "note:", n)
+	}
+}
+
+// pct formats a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// f3 formats a 3-decimal float.
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// geomean returns the geometric mean of positive values.
+func geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	prod := 1.0
+	n := 0
+	for _, v := range vals {
+		if v > 0 {
+			prod *= v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Pow(prod, 1.0/float64(n))
+}
+
+// mean returns the arithmetic mean.
+func mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// sortedKeys returns map keys sorted.
+func sortedKeys[K ~string, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// humanBytes formats a byte count like the paper's axis labels.
+func humanBytes(n uint64) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dk", n>>10)
+	}
+	return fmt.Sprintf("%d", n)
+}

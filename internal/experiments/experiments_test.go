@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIDsCanonicalOrder(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 18 {
+		t.Fatalf("expected 18 experiments (2 tables + 14 figures + summary + fig4 pair), got %d: %v", len(ids), ids)
+	}
+	if ids[0] != "table1" || ids[1] != "table2" {
+		t.Errorf("tables must lead: %v", ids[:2])
+	}
+	// Every id resolves.
+	for _, id := range ids {
+		if _, ok := Get(id); !ok {
+			t.Errorf("id %s unresolved", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := Run("nope", &Options{}); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Cols: []string{"a", "long-header"}}
+	tab.Add("x", "1")
+	tab.Add("longer-cell", "2")
+	tab.Notes = append(tab.Notes, "hello")
+
+	var sb strings.Builder
+	tab.Write(&sb, false)
+	out := sb.String()
+	if !strings.Contains(out, "longer-cell") || !strings.Contains(out, "note: hello") {
+		t.Errorf("aligned output wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("missing separator: %q", lines[1])
+	}
+
+	var csv strings.Builder
+	tab.Write(&csv, true)
+	if !strings.HasPrefix(csv.String(), "a,long-header\n") {
+		t.Errorf("csv output wrong: %q", csv.String())
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if humanBytes(2<<20) != "2M" || humanBytes(512<<10) != "512k" || humanBytes(100) != "100" {
+		t.Error("humanBytes formats wrong")
+	}
+	if g := geomean([]float64{1, 4}); g < 1.99 || g > 2.01 {
+		t.Errorf("geomean = %v", g)
+	}
+	if m := mean([]float64{1, 3}); m != 2 {
+		t.Errorf("mean = %v", m)
+	}
+	if pow2SetSize(3000, 1024) != 2048 {
+		t.Errorf("pow2SetSize = %d", pow2SetSize(3000, 1024))
+	}
+}
+
+// TestTablesSmoke renders both tables.
+func TestTablesSmoke(t *testing.T) {
+	var sb strings.Builder
+	o := &Options{W: &sb}
+	if err := Run("table1", o); err != nil {
+		t.Fatal(err)
+	}
+	if err := Run("table2", o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"DDR4-2400", "c function call", "NEW", "2-level 2-bit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tables missing %q", want)
+		}
+	}
+}
+
+// TestBreakdownFigureSmoke runs Fig 4a/4b/summary on one small benchmark.
+func TestBreakdownFigureSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	var sb strings.Builder
+	o := &Options{W: &sb, Benchmarks: []string{"nqueens"}}
+	for _, id := range []string{"fig4a", "fig4b", "fig4summary"} {
+		if err := Run(id, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := sb.String()
+	for _, want := range []string{"nqueens", "AVG", "dispatch", "slowdown"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q", want)
+		}
+	}
+}
+
+// TestNurseryFigureSmoke runs Fig 10 on one benchmark with quick points.
+func TestNurseryFigureSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	var sb strings.Builder
+	o := &Options{W: &sb, Quick: true, Benchmarks: []string{"unpack_seq"}}
+	if err := Run("fig10", o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "512k") {
+		t.Errorf("nursery labels missing:\n%s", sb.String())
+	}
+}
+
+// TestSweepFigureSmoke runs one Fig 7 sweep point set on a tiny workload.
+func TestSweepFigureSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs many simulations")
+	}
+	var sb strings.Builder
+	o := &Options{W: &sb, Quick: true, Benchmarks: []string{"nqueens"}}
+	if err := Run("fig7", o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"issue width", "memory bandwidth", "pypy-jit", "jit:gc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q", want)
+		}
+	}
+}

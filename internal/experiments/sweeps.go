@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pybench"
+	"repro/internal/runtime"
+	"repro/internal/uarch"
+)
+
+func init() {
+	register("fig7", "CPI vs microarchitecture sweeps, averaged, 3 runtimes + PyPy phases (Fig 7)", runFig7)
+	register("fig8", "CPI sweeps per benchmark, PyPy with JIT (Fig 8)", runFig8)
+	register("fig9", "CPI sweeps for V8-like runtime (Fig 9)", runFig9)
+}
+
+// sweepPoint is one machine variation.
+type sweepPoint struct {
+	label string
+	cfg   uarch.Config
+}
+
+// sweepDef is one parameter sweep (one subfigure).
+type sweepDef struct {
+	name   string
+	points []sweepPoint
+}
+
+// buildSweeps constructs the paper's six sweeps from the scaled baseline.
+func (o *Options) buildSweeps() []sweepDef {
+	base := o.scaledUarch()
+	var sweeps []sweepDef
+
+	// (a) Issue width.
+	var iw []sweepPoint
+	widths := []int{2, 4, 8, 16, 32}
+	if o.Quick {
+		widths = []int{2, 8, 32}
+	}
+	for _, w := range widths {
+		c := base
+		c.IssueWidth = w
+		c.FetchBytes = 64 // keep fetch from bottlenecking, as the paper does
+		iw = append(iw, sweepPoint{fmt.Sprintf("%d", w), c})
+	}
+	sweeps = append(sweeps, sweepDef{"issue width", iw})
+
+	// (b) Branch table size, relative to baseline.
+	var bp []sweepPoint
+	factors := []float64{0.5, 1, 2, 4, 8}
+	if o.Quick {
+		factors = []float64{0.5, 1, 8}
+	}
+	for _, f := range factors {
+		c := base.WithBranchTables(f)
+		bp = append(bp, sweepPoint{fmt.Sprintf("%gx", f), c})
+	}
+	sweeps = append(sweeps, sweepDef{"branch table size", bp})
+
+	// (c) Last-level cache size.
+	var cs []sweepPoint
+	sizes := []int{256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20}
+	if o.Quick {
+		sizes = []int{256 << 10, 2 << 20, 16 << 20}
+	}
+	for _, s := range sizes {
+		scaled := int(float64(s) * o.scale())
+		min := base.L3.Ways * base.L3.LineBytes
+		if scaled < min {
+			scaled = min
+		}
+		c := base.WithL3Size(pow2SetSize(scaled, min))
+		cs = append(cs, sweepPoint{humanBytes(uint64(s)), c})
+	}
+	sweeps = append(sweeps, sweepDef{"cache size", cs})
+
+	// (d) Cache line size.
+	var ls []sweepPoint
+	lines := []int{64, 128, 256, 512, 1024}
+	if o.Quick {
+		lines = []int{64, 256, 1024}
+	}
+	for _, l := range lines {
+		c := base.WithLineSize(l)
+		// Keep associativity*line <= size: shrink ways if needed.
+		for _, cc := range []*uarch.CacheConfig{&c.L1I, &c.L1D, &c.L2, &c.L3} {
+			for cc.Ways > 1 && cc.SizeBytes/(cc.Ways*cc.LineBytes) < 1 {
+				cc.Ways /= 2
+			}
+		}
+		ls = append(ls, sweepPoint{fmt.Sprintf("%d", l), c})
+	}
+	sweeps = append(sweeps, sweepDef{"cache line size (B)", ls})
+
+	// (e) Memory latency.
+	var ml []sweepPoint
+	lats := []int{50, 100, 200, 400}
+	if o.Quick {
+		lats = []int{50, 400}
+	}
+	for _, l := range lats {
+		c := base
+		c.MemLatencyCycles = l
+		ml = append(ml, sweepPoint{fmt.Sprintf("%d", l), c})
+	}
+	sweeps = append(sweeps, sweepDef{"memory latency (cycles)", ml})
+
+	// (f) Memory bandwidth.
+	var mb []sweepPoint
+	bws := []int{200, 400, 800, 1600, 3200, 6400, 12800, 25600}
+	if o.Quick {
+		bws = []int{200, 1600, 25600}
+	}
+	for _, bw := range bws {
+		c := base
+		c.MemBandwidthMBps = bw
+		mb = append(mb, sweepPoint{fmt.Sprintf("%d", bw), c})
+	}
+	sweeps = append(sweeps, sweepDef{"memory bandwidth (MBps)", mb})
+
+	return sweeps
+}
+
+// pow2SetSize rounds size down to a power-of-two number of sets times min.
+func pow2SetSize(size, min int) int {
+	sets := size / min
+	p := 1
+	for p*2 <= sets {
+		p *= 2
+	}
+	return p * min
+}
+
+func runFig7(o *Options) error {
+	set, err := o.benchSet(pybench.Fig8Set(), 3)
+	if err != nil {
+		return err
+	}
+	w := o.writer()
+	modes := []runtime.Mode{runtime.CPython, runtime.PyPyNoJIT, runtime.PyPyJIT}
+
+	for _, sw := range o.buildSweeps() {
+		t := &Table{Cols: []string{sw.name, "cpython", "pypy-nojit", "pypy-jit",
+			"jit:interp", "jit:gc", "jit:compiled"}}
+		for _, pt := range sw.points {
+			row := []string{pt.label}
+			var jitRes *runtime.Result
+			for _, mode := range modes {
+				var cpis []float64
+				for _, b := range set {
+					res, err := o.runOne(b, mode, runtime.OOOCore, pt.cfg, o.defaultNursery())
+					if err != nil {
+						return err
+					}
+					cpis = append(cpis, res.CPI)
+					if mode == runtime.PyPyJIT {
+						jitRes = accumulatePhases(jitRes, res)
+					}
+				}
+				row = append(row, f3(mean(cpis)))
+			}
+			// PyPy-with-JIT phase CPIs, aggregated over the set.
+			row = append(row,
+				f3(phaseCPI(jitRes, core.PhaseInterpreter)),
+				f3(phaseCPI(jitRes, core.PhaseGC)),
+				f3(phaseCPI(jitRes, core.PhaseJITCode)))
+			t.Add(row...)
+		}
+		fmt.Fprintf(w, "\n-- %s --\n", sw.name)
+		t.Write(w, o.CSV)
+	}
+	fmt.Fprintln(w, "note: paper finds low sensitivity to issue width, JIT least sensitive to branch tables,")
+	fmt.Fprintln(w, "note: and PyPy-with-JIT most sensitive to cache size, line size, memory latency and bandwidth")
+	return nil
+}
+
+// accumulatePhases merges phase cycle/instruction counts across benchmarks.
+func accumulatePhases(acc, res *runtime.Result) *runtime.Result {
+	if acc == nil {
+		c := *res
+		return &c
+	}
+	for p := 0; p < len(acc.PhaseCycles); p++ {
+		acc.PhaseCycles[p] += res.PhaseCycles[p]
+		acc.PhaseInstrs[p] += res.PhaseInstrs[p]
+	}
+	return acc
+}
+
+func phaseCPI(res *runtime.Result, p core.Phase) float64 {
+	if res == nil || res.PhaseInstrs[p] == 0 {
+		return 0
+	}
+	return res.PhaseCycles[p] / float64(res.PhaseInstrs[p])
+}
+
+func runFig8(o *Options) error {
+	set, err := o.benchSet(pybench.Fig8Set(), 3)
+	if err != nil {
+		return err
+	}
+	w := o.writer()
+	for _, sw := range o.buildSweeps() {
+		cols := []string{"benchmark"}
+		for _, pt := range sw.points {
+			cols = append(cols, pt.label)
+		}
+		t := &Table{Cols: cols}
+		for _, b := range set {
+			row := []string{b.Name}
+			for _, pt := range sw.points {
+				res, err := o.runOne(b, runtime.PyPyJIT, runtime.OOOCore, pt.cfg, o.defaultNursery())
+				if err != nil {
+					return err
+				}
+				row = append(row, f3(res.CPI))
+			}
+			t.Add(row...)
+		}
+		fmt.Fprintf(w, "\n-- %s (overall CPI, PyPy with JIT) --\n", sw.name)
+		t.Write(w, o.CSV)
+	}
+	return nil
+}
+
+func runFig9(o *Options) error {
+	set, err := o.benchSet(pybench.JetStreamSet(), 3)
+	if err != nil {
+		return err
+	}
+	w := o.writer()
+	for _, sw := range o.buildSweeps() {
+		t := &Table{Cols: []string{sw.name, "v8like CPI"}}
+		for _, pt := range sw.points {
+			var cpis []float64
+			for _, b := range set {
+				res, err := o.runOne(b, runtime.V8Like, runtime.OOOCore, pt.cfg, o.defaultNursery())
+				if err != nil {
+					return err
+				}
+				cpis = append(cpis, res.CPI)
+			}
+			t.Add(pt.label, f3(mean(cpis)))
+		}
+		fmt.Fprintf(w, "\n-- %s --\n", sw.name)
+		t.Write(w, o.CSV)
+	}
+	fmt.Fprintln(w, "note: paper finds V8 trends similar to PyPy with JIT (memory-system sensitive)")
+	return nil
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/uarch"
+)
+
+func init() {
+	register("table1", "Zsim configuration (Table I)", runTable1)
+	register("table2", "Sources of performance overhead (Table II)", runTable2)
+}
+
+func runTable1(o *Options) error {
+	w := o.writer()
+	cfg := uarch.DefaultConfig()
+	scaled := o.scaledUarch()
+	t := &Table{Cols: []string{"component", "paper configuration", "scaled (this run)"}}
+	cacheRow := func(name string, c, s uarch.CacheConfig) {
+		t.Add(name,
+			fmt.Sprintf("%s, %d-way, %d-cycle latency", humanBytes(uint64(c.SizeBytes)), c.Ways, c.LatencyCycles),
+			fmt.Sprintf("%s, %d-way, %d-cycle latency", humanBytes(uint64(s.SizeBytes)), s.Ways, s.LatencyCycles))
+	}
+	t.Add("Core",
+		fmt.Sprintf("%d-way OOO, %dB fetch, %.2fGHz", cfg.IssueWidth, cfg.FetchBytes, cfg.FreqGHz),
+		"same")
+	t.Add("Branch predictor",
+		fmt.Sprintf("2-level 2-bit, %dx%db L1, %dx2b L2", cfg.BPHistoryEntries, cfg.BPHistoryBits, cfg.BPPatternEntries),
+		"same")
+	t.Add("Windows",
+		fmt.Sprintf("%d ROB, %d load-Q, %d store-Q", cfg.ROB, cfg.LoadQ, cfg.StoreQ),
+		"same")
+	cacheRow("L1I", cfg.L1I, scaled.L1I)
+	cacheRow("L1D", cfg.L1D, scaled.L1D)
+	cacheRow("L2", cfg.L2, scaled.L2)
+	cacheRow("L3 (per-core slice)", cfg.L3, scaled.L3)
+	t.Add("Memory",
+		fmt.Sprintf("DDR4-2400, %d-cycle latency, %d MB/s", cfg.MemLatencyCycles, cfg.MemBandwidthMBps),
+		"same")
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("capacity scale for this run: %.4g", o.scale()))
+	t.Write(w, o.CSV)
+	return nil
+}
+
+func runTable2(o *Options) error {
+	w := o.writer()
+	t := &Table{Cols: []string{"group", "overhead category", "description", "new"}}
+	for _, row := range core.Taxonomy() {
+		newMark := ""
+		if row.New {
+			newMark = "NEW"
+		}
+		t.Add(row.Group.String(), row.Category.String(), row.Description, newMark)
+	}
+	t.Write(w, o.CSV)
+	return nil
+}

@@ -1,0 +1,286 @@
+// Package gc implements the simulated Python heap and its two collectors:
+//
+//   - CPython mode: reference counting with immediate free and pymalloc-
+//     style free lists. Refcount maintenance is charged to the garbage-
+//     collection category; freed-then-reallocated blocks produce the
+//     object-allocation overhead and keep the reference stream cache-hot.
+//   - PyPy mode: generational collection with a bump-pointer copying
+//     nursery and a mark-sweep old space, plus a remembered-set write
+//     barrier. The nursery size is the central knob of the paper's
+//     hardware-interaction study (Figs 10-17).
+//
+// All heap traffic is emitted as micro-events at simulated addresses, so
+// the cache hierarchy observes allocation, refcounting, tracing, and
+// copying exactly as Zsim observed CPython's and PyPy's.
+package gc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/emit"
+	"repro/internal/mem"
+	"repro/internal/pyobj"
+)
+
+// Kind selects the memory manager.
+type Kind uint8
+
+// Memory-manager kinds.
+const (
+	// RefCount is CPython-style reference counting.
+	RefCount Kind = iota
+	// Generational is PyPy-style nursery + mark-sweep old space.
+	Generational
+)
+
+// Config parameterizes the heap.
+type Config struct {
+	// Kind selects the collector.
+	Kind Kind
+	// NurseryBytes is the nursery capacity (Generational only).
+	NurseryBytes uint64
+	// MajorGrowthFactor triggers a major collection when old-space live
+	// bytes grow past factor * bytes live after the previous major
+	// collection (PyPy default ~1.82).
+	MajorGrowthFactor float64
+	// BigObjectBytes routes allocations of at least this size directly
+	// to the old space (0 = nursery/4).
+	BigObjectBytes uint64
+}
+
+// DefaultGenConfig returns a PyPy-like generational configuration with the
+// given nursery size.
+func DefaultGenConfig(nursery uint64) Config {
+	return Config{Kind: Generational, NurseryBytes: nursery, MajorGrowthFactor: 1.82}
+}
+
+// DefaultRefCountConfig returns the CPython-like configuration.
+func DefaultRefCountConfig() Config { return Config{Kind: RefCount} }
+
+// RootProvider enumerates the GC roots (live frames, module globals,
+// internal registries).
+type RootProvider interface {
+	Roots(visit func(pyobj.Object))
+}
+
+// RootFunc adapts a function to RootProvider.
+type RootFunc func(visit func(pyobj.Object))
+
+// Roots implements RootProvider.
+func (f RootFunc) Roots(visit func(pyobj.Object)) { f(visit) }
+
+// Stats counts collector activity.
+type Stats struct {
+	Allocations   uint64
+	BytesAlloc    uint64
+	MinorGCs      uint64
+	MajorGCs      uint64
+	BytesCopied   uint64
+	Survivors     uint64
+	Frees         uint64
+	BarrierHits   uint64
+	BigAllocs     uint64
+	FreelistReuse uint64
+}
+
+// Heap is the simulated Python heap.
+type Heap struct {
+	cfg  Config
+	eng  *emit.Engine
+	root RootProvider
+
+	// RefCount mode.
+	rcArena *mem.Region
+	rcFree  *mem.FreeList
+
+	// Generational mode.
+	nursery   *mem.Region
+	old       *mem.Region
+	oldFree   *mem.FreeList
+	young     []pyobj.Object // objects currently allocated in the nursery
+	oldObjs   []pyobj.Object // objects in the old space
+	remember  []pyobj.Object // old objects that may reference young ones
+	liveAfter uint64         // old-space live bytes after last major GC
+	oldAlloc  uint64         // old-space bytes allocated since last major GC
+
+	// Code addresses of the allocator / collector routines.
+	pcAlloc, pcMinor, pcMajor, pcDealloc, pcBarrier uint64
+
+	Stats Stats
+}
+
+// New builds a heap over the engine. Code addresses for the allocator
+// routines are taken from cspace (interpreter text segment).
+func New(cfg Config, eng *emit.Engine, cspace *emit.CodeSpace) *Heap {
+	if cfg.MajorGrowthFactor == 0 {
+		cfg.MajorGrowthFactor = 1.82
+	}
+	h := &Heap{
+		cfg:       cfg,
+		eng:       eng,
+		pcAlloc:   cspace.Block(64),
+		pcMinor:   cspace.Block(512),
+		pcMajor:   cspace.Block(512),
+		pcDealloc: cspace.Block(128),
+		pcBarrier: cspace.Block(32),
+	}
+	switch cfg.Kind {
+	case RefCount:
+		h.rcArena = mem.NewRegion("rc-heap", mem.HeapBase, mem.HeapSpan)
+		h.rcFree = mem.NewFreeList(h.rcArena)
+	case Generational:
+		if cfg.NurseryBytes == 0 {
+			panic("gc: generational heap needs a nursery size")
+		}
+		h.nursery = mem.NewRegion("nursery", mem.HeapBase, cfg.NurseryBytes)
+		oldBase := mem.HeapBase + ((cfg.NurseryBytes + 0xfff) &^ 0xfff) + 0x1000_0000
+		h.old = mem.NewRegion("oldspace", oldBase, mem.HeapSpan-(oldBase-mem.HeapBase))
+		h.oldFree = mem.NewFreeList(h.old)
+	default:
+		panic(fmt.Sprintf("gc: unknown kind %d", cfg.Kind))
+	}
+	return h
+}
+
+// SetRoots installs the root provider. It must be set before the first
+// allocation in Generational mode.
+func (h *Heap) SetRoots(r RootProvider) { h.root = r }
+
+// Config returns the heap configuration.
+func (h *Heap) Config() Config { return h.cfg }
+
+// Kind returns the collector kind.
+func (h *Heap) Kind() Kind { return h.cfg.Kind }
+
+// NurseryBase returns the nursery region base (Generational only).
+func (h *Heap) NurseryBase() uint64 { return h.nursery.Base() }
+
+// bigThreshold returns the size above which allocations bypass the
+// nursery.
+func (h *Heap) bigThreshold() uint64 {
+	if h.cfg.BigObjectBytes > 0 {
+		return h.cfg.BigObjectBytes
+	}
+	return h.cfg.NurseryBytes / 4
+}
+
+// Allocate assigns a simulated address to o and emits the allocation
+// events (charged to cat) including the header-initialization stores. In
+// Generational mode it may trigger a minor (and transitively major)
+// collection.
+func (h *Heap) Allocate(o pyobj.Object, cat core.Category) {
+	size := pyobj.FixedSize(o)
+	hd := o.Hdr()
+	hd.Size = uint32(size)
+	h.Stats.Allocations++
+	h.Stats.BytesAlloc += size
+
+	switch h.cfg.Kind {
+	case RefCount:
+		addr, reused := h.rcFree.Alloc(size)
+		if reused {
+			h.Stats.FreelistReuse++
+		}
+		hd.Addr = addr
+		hd.RC = 1
+		// Free-list pop / bump: pointer load, link update.
+		h.eng.Load(cat, addr, false)
+		h.eng.ALU(cat, true)
+	case Generational:
+		hd.Addr = h.genAlloc(size, cat)
+		hd.Old = hd.Addr >= h.old.Base()
+		if hd.Old {
+			h.oldObjs = append(h.oldObjs, o)
+			h.oldAlloc += size
+		} else {
+			h.young = append(h.young, o)
+		}
+	}
+	// Header initialization: type pointer and refcount/GC word.
+	h.eng.Store(cat, hd.Addr)
+	h.eng.Store(cat, hd.Addr+8)
+}
+
+// AllocPayload allocates a variable-size payload block (list item arrays,
+// dict tables, string data) and returns its address.
+func (h *Heap) AllocPayload(n uint64, cat core.Category) uint64 {
+	if n == 0 {
+		return 0
+	}
+	h.Stats.BytesAlloc += n
+	switch h.cfg.Kind {
+	case RefCount:
+		addr, reused := h.rcFree.Alloc(n)
+		if reused {
+			h.Stats.FreelistReuse++
+		}
+		h.eng.Load(cat, addr, false)
+		h.eng.ALU(cat, true)
+		return addr
+	default:
+		return h.genAlloc(n, cat)
+	}
+}
+
+// FreePayload returns a payload block to the allocator (RefCount mode; a
+// no-op under generational collection).
+func (h *Heap) FreePayload(addr, n uint64) {
+	if h.cfg.Kind != RefCount || addr == 0 {
+		return
+	}
+	h.Stats.Frees++
+	h.rcFree.Free(addr, n)
+	// Free-list push: link store.
+	h.eng.Store(core.GarbageCollection, addr)
+}
+
+// genAlloc bump-allocates in the nursery, collecting when full; large
+// blocks go straight to the old space.
+func (h *Heap) genAlloc(n uint64, cat core.Category) uint64 {
+	if n >= h.bigThreshold() {
+		h.Stats.BigAllocs++
+		addr, _ := h.oldFree.Alloc(n)
+		h.oldAlloc += n
+		h.eng.ALU(cat, false)
+		h.maybeMajor()
+		return addr
+	}
+	// Bump: add + limit check.
+	h.eng.ALU(cat, false)
+	h.eng.Branch(cat, false)
+	addr, ok := h.nursery.Alloc(n, 16)
+	if !ok {
+		h.CollectMinor()
+		addr, ok = h.nursery.Alloc(n, 16)
+		if !ok {
+			// Object larger than the nursery: old space.
+			addr, _ = h.oldFree.Alloc(n)
+			h.oldAlloc += n
+		}
+	}
+	return addr
+}
+
+// FreeObject explicitly releases an object whose lifetime the VM manages
+// directly (frames). Under reference counting the block and payload return
+// to the free lists with the corresponding free-list stores; under
+// generational collection dead nursery objects are simply abandoned.
+func (h *Heap) FreeObject(o pyobj.Object, cat core.Category) {
+	if h.cfg.Kind != RefCount {
+		return
+	}
+	hd := o.Hdr()
+	if hd.Immortal {
+		return
+	}
+	if p := pyobj.PayloadSize(o); p > 0 {
+		if a := payloadAddr(o); a != 0 {
+			h.rcFree.Free(a, p)
+			h.eng.Store(cat, a)
+		}
+	}
+	h.rcFree.Free(hd.Addr, uint64(hd.Size))
+	h.eng.Store(cat, hd.Addr)
+	h.Stats.Frees++
+}

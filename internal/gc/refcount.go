@@ -1,0 +1,107 @@
+package gc
+
+import (
+	"repro/internal/core"
+	"repro/internal/emit"
+	"repro/internal/pyobj"
+)
+
+// Incref increments o's reference count (CPython mode). The single
+// read-modify-write instruction is modeled as one store to the refcount
+// word; a no-op under generational collection.
+func (h *Heap) Incref(o pyobj.Object) {
+	if h.cfg.Kind != RefCount || o == nil {
+		return
+	}
+	hd := o.Hdr()
+	hd.RC++
+	h.eng.Store(core.GarbageCollection, hd.Addr+8)
+}
+
+// Decref decrements o's reference count and deallocates on zero,
+// cascading into the object's children as CPython's tp_dealloc does.
+func (h *Heap) Decref(o pyobj.Object) {
+	if h.cfg.Kind != RefCount || o == nil {
+		return
+	}
+	// dec + jz: load, store, conditional branch.
+	hd := o.Hdr()
+	hd.RC--
+	// Exactly-zero transition: extra decrefs on an already-dead object
+	// (reference cycles reach objects twice) must not re-trigger
+	// deallocation.
+	dies := hd.RC == 0 && !hd.Immortal && !hd.Mark
+	h.eng.Load(core.GarbageCollection, hd.Addr+8, false)
+	h.eng.Store(core.GarbageCollection, hd.Addr+8)
+	h.eng.Branch(core.GarbageCollection, dies)
+	if dies {
+		h.dealloc(o)
+	}
+}
+
+// dealloc frees o and decrefs its children iteratively (CPython uses the
+// trashcan mechanism to bound recursion; we use an explicit stack).
+func (h *Heap) dealloc(root pyobj.Object) {
+	stack := []pyobj.Object{root}
+	for len(stack) > 0 {
+		o := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		hd := o.Hdr()
+		if hd.Immortal || hd.Mark {
+			continue
+		}
+		// Mark deallocated: objects reachable through reference cycles
+		// must be processed at most once.
+		hd.Mark = true
+
+		// The dealloc goes through the type's tp_dealloc function
+		// pointer: function resolution + an indirect C call.
+		h.eng.Load(core.FunctionResolution, o.PyType().SlotAddr(pyobj.SlotDealloc), true)
+		h.eng.CCall(core.CFunctionCall, h.pcDealloc, ccallDealloc)
+
+		// Decref children; any that die join the work list.
+		pyobj.Children(o, func(c pyobj.Object) {
+			if c == nil {
+				return
+			}
+			ch := c.Hdr()
+			ch.RC--
+			cd := ch.RC == 0 && !ch.Immortal && !ch.Mark
+			h.eng.Load(core.GarbageCollection, ch.Addr+8, false)
+			h.eng.Store(core.GarbageCollection, ch.Addr+8)
+			h.eng.Branch(core.GarbageCollection, cd)
+			if cd {
+				stack = append(stack, c)
+			}
+		})
+
+		// Release payload and object block to the free lists. The
+		// freed-then-reallocated churn is the paper's object-allocation
+		// overhead; the free itself is charged there.
+		if p := pyobj.PayloadSize(o); p > 0 {
+			addr := payloadAddr(o)
+			h.rcFree.Free(addr, p)
+			h.eng.Store(core.ObjectAllocation, addr)
+		}
+		h.rcFree.Free(hd.Addr, uint64(hd.Size))
+		h.eng.Store(core.ObjectAllocation, hd.Addr)
+		h.Stats.Frees++
+
+		h.eng.CReturn(core.CFunctionCall, ccallDealloc)
+	}
+}
+
+var ccallDealloc = emit.CCallCost{SavedRegs: 2, FrameBytes: 32, Indirect: true}
+
+// payloadAddr returns the address of o's variable payload block.
+func payloadAddr(o pyobj.Object) uint64 {
+	switch v := o.(type) {
+	case *pyobj.List:
+		return v.ItemsAddr
+	case *pyobj.Dict:
+		return v.TableAddr
+	case *pyobj.Str:
+		return v.DataAddr
+	}
+	return 0
+}

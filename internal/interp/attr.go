@@ -1,0 +1,106 @@
+package interp
+
+import (
+	"repro/internal/core"
+	"repro/internal/pyobj"
+)
+
+// getAttr implements LOAD_ATTR: instance-dict then class lookup for
+// instances, method-table lookup producing bound builtin methods for
+// built-in types, and namespace lookup for modules and classes. Returns a
+// new reference.
+func (vm *VM) getAttr(obj pyobj.Object, name string) pyobj.Object {
+	e := vm.Eng
+	e.Load(core.TypeCheck, obj.Hdr().Addr, false)
+	e.Load(core.FunctionResolution, obj.PyType().SlotAddr(pyobj.SlotGetAttr), true)
+	e.CCall(core.CFunctionCall, vm.hp.getAttr, indirectCCall)
+	defer e.CReturn(core.CFunctionCall, indirectCCall)
+
+	switch o := obj.(type) {
+	case *pyobj.Instance:
+		// Instance dict first.
+		if v, ok := vm.DictGetStr(o.Dict, name, core.NameResolution); ok {
+			vm.Incref(v)
+			return v
+		}
+		// Then the class chain; functions become bound methods.
+		cls := o.Class
+		for c := cls; c != nil; c = c.Base {
+			v, ok := vm.DictGetStr(c.Dict, name, core.NameResolution)
+			if !ok {
+				continue
+			}
+			if fn, isFn := v.(*pyobj.Func); isFn {
+				// Bound-method allocation: classic CPython churn.
+				bm := &pyobj.BoundMethod{Self: o, Fn: fn}
+				vm.Heap.Allocate(bm, core.ObjectAllocation)
+				e.Store(core.FunctionSetup, bm.H.Addr+16)
+				e.Store(core.FunctionSetup, bm.H.Addr+24)
+				vm.Incref(o)
+				vm.Incref(fn)
+				vm.barrier(bm, o)
+				vm.barrier(bm, fn)
+				return bm
+			}
+			vm.Incref(v)
+			return v
+		}
+		vm.errCheck(true)
+		Raise("AttributeError", "%s instance has no attribute '%s'", o.Class.Name, name)
+	case *pyobj.Module:
+		v, ok := vm.DictGetStr(o.Dict, name, core.NameResolution)
+		vm.errCheck(!ok)
+		if !ok {
+			Raise("AttributeError", "module '%s' has no attribute '%s'", o.Name, name)
+		}
+		vm.Incref(v)
+		return v
+	case *pyobj.Class:
+		v, probes, ok := o.Lookup(name)
+		for i := 0; i < probes; i++ {
+			e.Load(core.NameResolution, o.H.Addr+16, i > 0)
+			e.ALU(core.NameResolution, true)
+		}
+		vm.errCheck(!ok)
+		if !ok {
+			Raise("AttributeError", "class %s has no attribute '%s'", o.Name, name)
+		}
+		vm.Incref(v)
+		return v
+	default:
+		// Built-in type method table: produce a bound builtin.
+		if id, ok := vm.lookupTypeMethod(obj.PyType().ID, name); ok {
+			// Method-table probe.
+			e.Load(core.NameResolution, obj.PyType().Addr+208, false)
+			e.ALUn(core.NameResolution, 2)
+			b := &pyobj.Builtin{Name: name, ID: id, CodeAddr: vm.builtinImpls[id].pc, Self: obj}
+			vm.Heap.Allocate(b, core.ObjectAllocation)
+			e.Store(core.FunctionSetup, b.H.Addr+16)
+			vm.Incref(obj)
+			vm.barrier(b, obj)
+			return b
+		}
+	}
+	vm.errCheck(true)
+	Raise("AttributeError", "'%s' object has no attribute '%s'", pyobj.TypeName(obj), name)
+	return nil
+}
+
+// setAttr implements STORE_ATTR (instances only, as in old-style classes).
+func (vm *VM) setAttr(obj pyobj.Object, name string, v pyobj.Object) {
+	e := vm.Eng
+	e.Load(core.TypeCheck, obj.Hdr().Addr, false)
+	e.Load(core.FunctionResolution, obj.PyType().SlotAddr(pyobj.SlotSetAttr), true)
+	e.CCall(core.CFunctionCall, vm.hp.setAttr, indirectCCall)
+	defer e.CReturn(core.CFunctionCall, indirectCCall)
+
+	switch o := obj.(type) {
+	case *pyobj.Instance:
+		vm.DictSetStr(o.Dict, name, v, core.NameResolution)
+		return
+	case *pyobj.Class:
+		vm.DictSetStr(o.Dict, name, v, core.NameResolution)
+		return
+	}
+	Raise("AttributeError", "'%s' object attributes are read-only", pyobj.TypeName(obj))
+}

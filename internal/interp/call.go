@@ -1,0 +1,187 @@
+package interp
+
+import (
+	"repro/internal/core"
+	"repro/internal/emit"
+	"repro/internal/pyobj"
+)
+
+// callFunction implements CALL_FUNCTION: argc arguments above the callable
+// on the stack. Pushes the result.
+func (vm *VM) callFunction(f *pyobj.Frame, argc int) {
+	vm.Stats.Calls++
+	e := vm.Eng
+
+	// Gather arguments (stack loads).
+	args := make([]pyobj.Object, argc)
+	for i := argc - 1; i >= 0; i-- {
+		args[i] = vm.pop(f)
+	}
+	callable := vm.pop(f)
+
+	// Determine the callable kind: type check + dispatch on tp_call.
+	e.Load(core.TypeCheck, callable.Hdr().Addr, false)
+	e.ALU(core.TypeCheck, true)
+	e.Branch(core.TypeCheck, true)
+
+	res := vm.CallObject(callable, args)
+
+	// Consume the references of callable and args.
+	for _, a := range args {
+		vm.Decref(a)
+	}
+	vm.Decref(callable)
+	vm.push(f, res)
+}
+
+// CallObject invokes any callable with the given arguments (borrowed
+// references) and returns a new reference to the result. Exposed for the
+// JIT's residual calls and for builtins that call back into Python
+// (sort keys, map).
+func (vm *VM) CallObject(callable pyobj.Object, args []pyobj.Object) pyobj.Object {
+	switch c := callable.(type) {
+	case *pyobj.Func:
+		return vm.callPy(c, args)
+	case *pyobj.BoundMethod:
+		// Prepend self: argument shuffle (function setup).
+		vm.Eng.ALUn(core.FunctionSetup, 2)
+		full := make([]pyobj.Object, 0, len(args)+1)
+		full = append(full, c.Self)
+		full = append(full, args...)
+		return vm.callPy(c.Fn, full)
+	case *pyobj.Builtin:
+		return vm.callBuiltin(c, args)
+	case *pyobj.Class:
+		return vm.instantiate(c, args)
+	}
+	Raise("TypeError", "'%s' object is not callable", pyobj.TypeName(callable))
+	return nil
+}
+
+// callPy invokes a Python function: arity handling, frame allocation,
+// argument-to-locals copying, recursive execution, frame teardown.
+func (vm *VM) callPy(fn *pyobj.Func, args []pyobj.Object) pyobj.Object {
+	e := vm.Eng
+	code := fn.Code
+
+	// Arity check.
+	nreq := code.NumParams - len(fn.Defaults)
+	vm.errCheck(len(args) > code.NumParams || len(args) < nreq)
+	if len(args) > code.NumParams || len(args) < nreq {
+		Raise("TypeError", "%s() takes %d arguments (%d given)",
+			fn.Name, code.NumParams, len(args))
+	}
+
+	// fast_function: frame setup.
+	e.CCall(core.CFunctionCall, vm.hp.callPy, emit.DefaultCCall)
+	cd := vm.materialize(code)
+	nf := vm.newFrame(fn, code, fn.Globals, nil, cd)
+
+	// Copy arguments into fast locals.
+	for i, a := range args {
+		e.Load(core.FunctionSetup, 0, false)
+		e.Store(core.FunctionSetup, nf.LocalAddr(i))
+		nf.Locals[i] = a
+		vm.Incref(a)
+		vm.barrier(nf, a)
+	}
+	// Fill defaults for missing trailing parameters.
+	for i := len(args); i < code.NumParams; i++ {
+		d := fn.Defaults[i-nreq]
+		e.Load(core.FunctionSetup, fn.H.Addr+24, false)
+		e.Store(core.FunctionSetup, nf.LocalAddr(i))
+		nf.Locals[i] = d
+		vm.Incref(d)
+		vm.barrier(nf, d)
+	}
+	e.CReturn(core.CFunctionCall, emit.DefaultCCall)
+
+	res := vm.runFrame(nf)
+
+	// Teardown: return-value plumbing + frame free.
+	e.ALU(core.FunctionSetup, false)
+	e.Store(core.FunctionSetup, nf.H.Addr+32)
+	vm.freeFrame(nf)
+	return res
+}
+
+// callBuiltin invokes a C function: args-tuple packing (METH_VARARGS), the
+// indirect call through the method table, and unpacking of the result.
+func (vm *VM) callBuiltin(b *pyobj.Builtin, args []pyobj.Object) pyobj.Object {
+	vm.Stats.CCalls++
+	e := vm.Eng
+	impl := vm.builtinImpls[b.ID]
+
+	// METH_VARARGS packing: allocate the argument tuple.
+	var self pyobj.Object = b.Self
+	var argTuple *pyobj.Tuple
+	if impl.packArgs {
+		argTuple = &pyobj.Tuple{Items: args}
+		vm.Heap.Allocate(argTuple, core.FunctionSetup)
+		for i := range args {
+			e.Store(core.FunctionSetup, argTuple.ItemAddr(i))
+		}
+	} else {
+		// METH_O / fastcall: register marshaling only.
+		for range args {
+			e.ALU(core.FunctionSetup, false)
+		}
+	}
+
+	// The call through the PyCFunction pointer.
+	e.Load(core.FunctionResolution, b.H.Addr+24, true)
+	cost := emit.CCallCost{SavedRegs: 3, FrameBytes: 64, Indirect: true}
+	e.CCall(core.CFunctionCall, impl.pc, cost)
+	prevCLib := e.SetCLib(impl.clib)
+	res := impl.fn(vm, self, args)
+	e.SetCLib(prevCLib)
+	e.CReturn(core.CFunctionCall, cost)
+
+	// Free the args tuple (allocation churn).
+	if argTuple != nil {
+		argTuple.Items = nil
+		vm.Heap.FreeObject(argTuple, core.ObjectAllocation)
+	}
+	if res == nil {
+		res = vm.None
+		vm.Incref(res)
+	}
+	return res
+}
+
+// instantiate creates an instance of cls and runs __init__ when present.
+func (vm *VM) instantiate(cls *pyobj.Class, args []pyobj.Object) pyobj.Object {
+	e := vm.Eng
+
+	inst := &pyobj.Instance{Class: cls}
+	vm.Heap.Allocate(inst, core.Execute)
+	e.Store(core.Execute, inst.H.Addr+16)
+	inst.Dict = vm.NewDict()
+	e.Store(core.Execute, inst.H.Addr+24)
+	vm.Incref(cls)
+	vm.barrier(inst, cls)
+	vm.barrier(inst, inst.Dict)
+
+	initV, probes, ok := cls.Lookup("__init__")
+	for i := 0; i < probes; i++ {
+		e.Load(core.NameResolution, cls.H.Addr+16, i > 0)
+		e.ALU(core.NameResolution, true)
+	}
+	if ok {
+		initFn, isFn := initV.(*pyobj.Func)
+		if !isFn {
+			Raise("TypeError", "__init__ must be a function")
+		}
+		full := make([]pyobj.Object, 0, len(args)+1)
+		full = append(full, inst)
+		full = append(full, args...)
+		r := vm.callPy(initFn, full)
+		vm.Decref(r)
+	} else {
+		vm.errCheck(len(args) != 0)
+		if len(args) != 0 {
+			Raise("TypeError", "this constructor takes no arguments")
+		}
+	}
+	return inst
+}

@@ -1,0 +1,34 @@
+package interp
+
+import (
+	"sync"
+
+	"repro/internal/pycode"
+	"repro/internal/pycompile"
+)
+
+var (
+	srcCacheMu sync.Mutex
+	srcCache   = map[string]*pycode.Code{}
+)
+
+// compileCached compiles a source file, memoizing by file name + source so
+// repeated runs of the same benchmark share one code object (and therefore
+// one set of materialized constants per VM).
+func compileCached(file, src string) (*pycode.Code, error) {
+	key := file + "\x00" + src
+	srcCacheMu.Lock()
+	if c, ok := srcCache[key]; ok {
+		srcCacheMu.Unlock()
+		return c, nil
+	}
+	srcCacheMu.Unlock()
+	code, err := pycompile.CompileSource(file, src)
+	if err != nil {
+		return nil, err
+	}
+	srcCacheMu.Lock()
+	srcCache[key] = code
+	srcCacheMu.Unlock()
+	return code, nil
+}

@@ -1,0 +1,180 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/emit"
+	"repro/internal/gc"
+	"repro/internal/isa"
+)
+
+func TestSlices(t *testing.T) {
+	expect(t, `
+l = [0, 1, 2, 3, 4, 5]
+print(l[1:4], l[:2], l[4:], l[:], l[-2:], l[:-2])
+print(l[::2], l[::-1], l[4:1:-1])
+s = "abcdef"
+print(s[1:4], s[-3:], s[::-1], s[::2])
+t = (0, 1, 2, 3)
+print(t[1:3])
+print(l[10:], l[2:100])
+`, "[1, 2, 3] [0, 1] [4, 5] [0, 1, 2, 3, 4, 5] [4, 5] [0, 1, 2, 3]\n"+
+		"[0, 2, 4] [5, 4, 3, 2, 1, 0] [4, 3, 2]\nbcd def fedcba ace\n(1, 2)\n[] [2, 3, 4, 5]\n")
+}
+
+func TestNegativeIndexing(t *testing.T) {
+	expect(t, `
+l = [10, 20, 30]
+print(l[-1], l[-3])
+l[-1] = 99
+print(l)
+s = "hello"
+print(s[-1], s[-5])
+t = (1, 2)
+print(t[-2])
+`, "30 10\n[10, 20, 99]\no h\n1\n")
+}
+
+func TestAugmentedTargets(t *testing.T) {
+	expect(t, `
+l = [1, 2, 3]
+l[1] += 10
+print(l)
+d = {"k": 5}
+d["k"] *= 3
+print(d["k"])
+class C:
+    def __init__(self):
+        self.v = 2
+c = C()
+c.v <<= 4
+print(c.v)
+x = 7
+x //= 2
+x **= 2
+print(x)
+`, "[1, 12, 3]\n15\n32\n9\n")
+}
+
+func TestWhileElseFree(t *testing.T) {
+	// deeply nested breaks/continues across mixed loop kinds
+	expect(t, `
+total = 0
+for a in xrange(4):
+    b = 0
+    while True:
+        b += 1
+        if b > a:
+            break
+        for c in xrange(3):
+            if c == 2:
+                continue
+            total += c
+print(total, b)
+`, "6 4\n")
+}
+
+func TestStringEdge(t *testing.T) {
+	expect(t, `
+print("" == "", "" < "a")
+print("-".join([]))
+print("abc".find(""), "".find("x"))
+print("aaa".replace("a", "aa"))
+print("%s" % ((1, 2),))
+print("%%d is %d" % 7)
+print("a" * 0 + "b" * 3)
+print("Ab3".isdigit(), "123".isdigit(), "abc".isalpha())
+print("  x\ty ".split())
+`, "True True\n\n0 -1\naaaaaa\n(1, 2)\n%d is 7\nbbb\nFalse True True\n['x', 'y']\n")
+}
+
+func TestDictIterationOrderInsertion(t *testing.T) {
+	expect(t, `
+d = {}
+d["b"] = 1
+d["a"] = 2
+d["c"] = 3
+print(d.keys())
+del d["a"]
+d["a"] = 9
+print(d.keys())
+print(d.values())
+print(d.items())
+for k in d.iterkeys():
+    print(k)
+`, "['b', 'a', 'c']\n['b', 'c', 'a']\n[1, 3, 9]\n[('b', 1), ('c', 3), ('a', 9)]\nb\nc\na\n")
+}
+
+func TestIntFloatBoundaries(t *testing.T) {
+	expect(t, `
+print(2 ** 62)
+print(-2 ** 62)
+print(1.0 / 3.0 > 0.333, 1.0 / 3.0 < 0.334)
+print(7 / -2, -7 / -2, 7 % -2)
+print(5.5 // 2.0, -5.5 // 2.0, 5.5 % 2.0)
+print(int(-3.9), int("  12  "))
+print(2 ** 0.5 > 1.41, 2 ** -1)
+`, "4611686018427387904\n-4611686018427387904\nTrue True\n-4 3 -1\n2.0 -3.0 1.5\n-3 12\nTrue 0.5\n")
+}
+
+func TestOverflowRaises(t *testing.T) {
+	var cases = []string{
+		"print(2 ** 63)",
+		"print(2 ** 62 * 4)",
+		"print(9223372036854775807 + 1)",
+	}
+	for _, src := range cases {
+		if got := runErrKind(t, src); got != "OverflowError" {
+			t.Errorf("%q raised %q, want OverflowError", src, got)
+		}
+	}
+}
+
+func runErrKind(t *testing.T, src string) string {
+	t.Helper()
+	var out strings.Builder
+	vm := New(emit.NewEngine(isa.NullSink{}), gc.DefaultRefCountConfig(), &out)
+	err := vm.RunSource("<edge>", src)
+	if err == nil {
+		return ""
+	}
+	if pe, ok := err.(*PyError); ok {
+		return pe.Kind
+	}
+	return err.Error()
+}
+
+func TestRecursionLimit(t *testing.T) {
+	if got := runErrKind(t, "def f(n):\n    return f(n + 1)\nf(0)\n"); got != "RuntimeError" {
+		t.Errorf("infinite recursion raised %q", got)
+	}
+}
+
+func TestBuiltinShadowing(t *testing.T) {
+	expect(t, `
+def len(x):
+    return 42
+
+print(len([1, 2]))
+`, "42\n")
+}
+
+func TestDefaultArgEvaluatedAtDef(t *testing.T) {
+	expect(t, `
+base = 10
+def f(x=base):
+    return x
+base = 99
+print(f(), f(1))
+`, "10 1\n")
+}
+
+func TestMethodChaining(t *testing.T) {
+	expect(t, `
+print("  A-b-C  ".strip().lower().split("-"))
+l = []
+l.append([1, 2])
+print(l[0].pop())
+`, "['a', 'b', 'c']\n2\n")
+}

@@ -1,0 +1,154 @@
+package interp
+
+import (
+	"repro/internal/core"
+	"repro/internal/pyobj"
+)
+
+// GetIter implements iter(o): resolve tp_iter, allocate the iterator
+// object (CPython allocates a fresh iterator per loop — allocation churn).
+func (vm *VM) GetIter(o pyobj.Object) pyobj.Object {
+	e := vm.Eng
+	e.Load(core.TypeCheck, o.Hdr().Addr, false)
+	e.Load(core.FunctionResolution, o.PyType().SlotAddr(pyobj.SlotIter), true)
+	e.CCall(core.CFunctionCall, vm.hp.getIter, indirectCCall)
+	defer e.CReturn(core.CFunctionCall, indirectCCall)
+
+	var it pyobj.Object
+	switch c := o.(type) {
+	case *pyobj.List:
+		iter := &pyobj.ListIter{L: c}
+		vm.Heap.Allocate(iter, core.ObjectAllocation)
+		vm.Incref(c)
+		it = iter
+	case *pyobj.Tuple:
+		iter := &pyobj.TupleIter{T: c}
+		vm.Heap.Allocate(iter, core.ObjectAllocation)
+		vm.Incref(c)
+		it = iter
+	case *pyobj.Str:
+		iter := &pyobj.StrIter{S: c}
+		vm.Heap.Allocate(iter, core.ObjectAllocation)
+		vm.Incref(c)
+		it = iter
+	case *pyobj.Range:
+		iter := &pyobj.RangeIter{Cur: c.Start, Stop: c.Stop, Step: c.Step}
+		vm.Heap.Allocate(iter, core.ObjectAllocation)
+		it = iter
+	case *pyobj.Dict:
+		iter := &pyobj.DictIter{D: c, Mode: pyobj.DictIterKeys}
+		vm.Heap.Allocate(iter, core.ObjectAllocation)
+		vm.Incref(c)
+		it = iter
+	case *pyobj.ListIter, *pyobj.TupleIter, *pyobj.StrIter, *pyobj.RangeIter, *pyobj.DictIter:
+		vm.Incref(c)
+		it = c
+	default:
+		Raise("TypeError", "'%s' object is not iterable", pyobj.TypeName(o))
+	}
+	// Iterator field initialization.
+	e.Store(core.ObjectAllocation, it.Hdr().Addr+16)
+	e.Store(core.ObjectAllocation, it.Hdr().Addr+24)
+	vm.barrier(it, o)
+	return it
+}
+
+// IterNext advances an iterator: the tp_iternext indirect C call plus the
+// per-type stepping work. ok=false on exhaustion.
+func (vm *VM) IterNext(it pyobj.Object) (pyobj.Object, bool) {
+	e := vm.Eng
+	e.Load(core.FunctionResolution, it.PyType().SlotAddr(pyobj.SlotIterNext), true)
+	e.CCall(core.CFunctionCall, vm.hp.iterNext, indirectCCall)
+	defer e.CReturn(core.CFunctionCall, indirectCCall)
+
+	switch c := it.(type) {
+	case *pyobj.RangeIter:
+		// cur/stop loads, termination test, boxed index, step.
+		e.Load(core.Execute, c.H.Addr+16, false)
+		e.Load(core.Execute, c.H.Addr+24, false)
+		e.ALU(core.Execute, true)
+		done := (c.Step > 0 && c.Cur >= c.Stop) || (c.Step < 0 && c.Cur <= c.Stop)
+		e.Branch(core.Execute, done)
+		if done {
+			return nil, false
+		}
+		v := vm.NewInt(c.Cur)
+		c.Cur += c.Step
+		e.Store(core.Execute, c.H.Addr+16)
+		return v, true
+	case *pyobj.ListIter:
+		e.Load(core.Execute, c.H.Addr+24, false)  // index
+		e.Load(core.Execute, c.L.H.Addr+16, true) // ob_size
+		vm.errCheck(false)
+		done := c.Idx >= len(c.L.Items)
+		e.Branch(core.Execute, done)
+		if done {
+			return nil, false
+		}
+		e.Load(core.Execute, c.L.ItemAddr(c.Idx), true)
+		v := c.L.Items[c.Idx]
+		c.Idx++
+		e.Store(core.Execute, c.H.Addr+24)
+		vm.Incref(v)
+		return v, true
+	case *pyobj.TupleIter:
+		e.Load(core.Execute, c.H.Addr+24, false)
+		done := c.Idx >= len(c.T.Items)
+		e.Branch(core.Execute, done)
+		if done {
+			return nil, false
+		}
+		e.Load(core.Execute, c.T.ItemAddr(c.Idx), true)
+		v := c.T.Items[c.Idx]
+		c.Idx++
+		e.Store(core.Execute, c.H.Addr+24)
+		vm.Incref(v)
+		return v, true
+	case *pyobj.StrIter:
+		e.Load(core.Execute, c.H.Addr+24, false)
+		done := c.Idx >= len(c.S.V)
+		e.Branch(core.Execute, done)
+		if done {
+			return nil, false
+		}
+		e.Load(core.Execute, c.S.DataAddr+uint64(c.Idx), true)
+		b := c.S.V[c.Idx]
+		c.Idx++
+		e.Store(core.Execute, c.H.Addr+24)
+		return vm.charStr(b), true
+	case *pyobj.DictIter:
+		for c.Idx < len(c.D.Entries) {
+			ent := &c.D.Entries[c.Idx]
+			c.Idx++
+			e.Load(core.Execute, c.D.TableAddr+uint64(c.Idx%maxInt(c.D.TableCap, 1))*24, false)
+			e.Branch(core.Execute, ent.Live())
+			if !ent.Live() {
+				continue
+			}
+			e.Store(core.Execute, c.H.Addr+24)
+			switch c.Mode {
+			case pyobj.DictIterKeys:
+				vm.Incref(ent.Key)
+				return ent.Key, true
+			case pyobj.DictIterValues:
+				vm.Incref(ent.Value)
+				return ent.Value, true
+			default:
+				pair := vm.NewTuple([]pyobj.Object{ent.Key, ent.Value})
+				vm.Incref(ent.Key)
+				vm.Incref(ent.Value)
+				return pair, true
+			}
+		}
+		return nil, false
+	}
+	Raise("TypeError", "'%s' object is not an iterator", pyobj.TypeName(it))
+	return nil, false
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

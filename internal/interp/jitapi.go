@@ -1,0 +1,54 @@
+package interp
+
+import (
+	"repro/internal/emit"
+	"repro/internal/pyobj"
+)
+
+// This file exposes the interpreter operations the JIT's residual trace
+// operations fall back to. The implementations are the same event-emitting
+// helpers the bytecode handlers use, so residual operations cost exactly
+// what the interpreter would pay.
+
+// GetAttr performs attribute lookup (LOAD_ATTR semantics), returning a new
+// reference.
+func (vm *VM) GetAttr(obj pyobj.Object, name string) pyobj.Object {
+	return vm.getAttr(obj, name)
+}
+
+// SetAttr performs attribute assignment (STORE_ATTR semantics).
+func (vm *VM) SetAttr(obj pyobj.Object, name string, v pyobj.Object) {
+	vm.setAttr(obj, name, v)
+}
+
+// CharStr returns the interned single-character string for b.
+func (vm *VM) CharStr(b byte) *pyobj.Str { return vm.charStr(b) }
+
+// LookupGlobalPure resolves a global or builtin name without emitting
+// events (the JIT's guard re-validation path).
+func (vm *VM) LookupGlobalPure(globals *pyobj.Dict, name string) (pyobj.Object, bool) {
+	if globals != nil {
+		if v, _, ok := globals.GetStr(name); ok {
+			return v, true
+		}
+	}
+	v, _, ok := vm.Builtins.GetStr(name)
+	return v, ok
+}
+
+// JITSpace returns a code allocator over the JIT arena for compiled
+// traces.
+func (vm *VM) JITSpace() *emit.CodeSpace { return vm.jitSpace }
+
+// BackEdgeCounterAddr returns a simulated address for a loop's profiling
+// counter (in the data segment).
+func (vm *VM) BackEdgeCounterAddr() uint64 { return vm.dataAlloc(8) }
+
+// CountJITIteration accounts compiled-trace work against the bytecode
+// budget (MaxBytecodes safety valve).
+func (vm *VM) CountJITIteration(nops int) {
+	vm.iterations += uint64(nops)
+	if vm.MaxBytecodes != 0 && vm.iterations > vm.MaxBytecodes {
+		Raise("RuntimeError", "bytecode budget exceeded in compiled code")
+	}
+}

@@ -1,0 +1,194 @@
+package interp
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/pyobj"
+)
+
+// registerMathModule builds the math module. Its functions are modeled
+// C-library code (libm): events carry the CLib flag.
+func (vm *VM) registerMathModule() {
+	entries := map[string]pyobj.Object{}
+	mf := func(name string, f func(float64) float64, events int) {
+		id := vm.reg("math."+name, 48, false, true,
+			func(vm *VM, _ pyobj.Object, args []pyobj.Object) pyobj.Object {
+				vm.argCheck("math."+name, args, 1, 1)
+				x := vm.wantFloat("math."+name, args[0])
+				for i := 0; i < events; i++ {
+					vm.Eng.FPU(core.Execute, true)
+				}
+				r := f(x)
+				vm.errCheck(math.IsNaN(r) && !math.IsNaN(x))
+				return vm.NewFloat(r)
+			})
+		entries[name] = vm.method(name, id)
+	}
+	mf("sqrt", math.Sqrt, 3)
+	mf("sin", math.Sin, 8)
+	mf("cos", math.Cos, 8)
+	mf("tan", math.Tan, 10)
+	mf("asin", math.Asin, 10)
+	mf("acos", math.Acos, 10)
+	mf("atan", math.Atan, 8)
+	mf("exp", math.Exp, 8)
+	mf("log", math.Log, 8)
+	mf("log10", math.Log10, 8)
+	mf("floor", math.Floor, 1)
+	mf("ceil", math.Ceil, 1)
+	mf("fabs", math.Abs, 1)
+	mf("sinh", math.Sinh, 10)
+	mf("cosh", math.Cosh, 10)
+
+	powID := vm.reg("math.pow", 48, false, true,
+		func(vm *VM, _ pyobj.Object, args []pyobj.Object) pyobj.Object {
+			vm.argCheck("math.pow", args, 2, 2)
+			x := vm.wantFloat("math.pow", args[0])
+			y := vm.wantFloat("math.pow", args[1])
+			vm.Eng.FDiv(core.Execute, true)
+			return vm.NewFloat(math.Pow(x, y))
+		})
+	entries["pow"] = vm.method("pow", powID)
+
+	atan2ID := vm.reg("math.atan2", 48, false, true,
+		func(vm *VM, _ pyobj.Object, args []pyobj.Object) pyobj.Object {
+			vm.argCheck("math.atan2", args, 2, 2)
+			y := vm.wantFloat("math.atan2", args[0])
+			x := vm.wantFloat("math.atan2", args[1])
+			for i := 0; i < 10; i++ {
+				vm.Eng.FPU(core.Execute, true)
+			}
+			return vm.NewFloat(math.Atan2(y, x))
+		})
+	entries["atan2"] = vm.method("atan2", atan2ID)
+
+	fmodID := vm.reg("math.fmod", 32, false, true,
+		func(vm *VM, _ pyobj.Object, args []pyobj.Object) pyobj.Object {
+			vm.argCheck("math.fmod", args, 2, 2)
+			x := vm.wantFloat("math.fmod", args[0])
+			y := vm.wantFloat("math.fmod", args[1])
+			vm.errCheck(y == 0)
+			if y == 0 {
+				Raise("ValueError", "math domain error")
+			}
+			vm.Eng.FDiv(core.Execute, true)
+			return vm.NewFloat(math.Mod(x, y))
+		})
+	entries["fmod"] = vm.method("fmod", fmodID)
+
+	entries["pi"] = &pyobj.Float{
+		H: pyobj.Header{Addr: vm.dataAlloc(24), Size: 24, Immortal: true}, V: math.Pi}
+	entries["e"] = &pyobj.Float{
+		H: pyobj.Header{Addr: vm.dataAlloc(24), Size: 24, Immortal: true}, V: math.E}
+
+	vm.bindModule("math", entries)
+}
+
+// registerRandomModule builds a deterministic random module (xorshift64,
+// reset between measurement runs so every run-time sees the same stream).
+func (vm *VM) registerRandomModule() {
+	entries := map[string]pyobj.Object{}
+
+	randomID := vm.reg("random.random", 48, true, true,
+		func(vm *VM, _ pyobj.Object, args []pyobj.Object) pyobj.Object {
+			vm.argCheck("random.random", args, 0, 0)
+			vm.Eng.ALUn(core.Execute, 4)
+			return vm.NewFloat(float64(vm.nextRand()>>11) / float64(1<<53))
+		})
+	entries["random"] = vm.method("random", randomID)
+
+	randintID := vm.reg("random.randint", 48, true, true,
+		func(vm *VM, _ pyobj.Object, args []pyobj.Object) pyobj.Object {
+			vm.argCheck("random.randint", args, 2, 2)
+			lo := vm.wantInt("random.randint", args[0])
+			hi := vm.wantInt("random.randint", args[1])
+			vm.errCheck(hi < lo)
+			if hi < lo {
+				Raise("ValueError", "empty range for randint()")
+			}
+			vm.Eng.ALUn(core.Execute, 4)
+			span := uint64(hi - lo + 1)
+			return vm.NewInt(lo + int64(vm.nextRand()%span))
+		})
+	entries["randint"] = vm.method("randint", randintID)
+
+	randrangeID := vm.reg("random.randrange", 48, true, true,
+		func(vm *VM, _ pyobj.Object, args []pyobj.Object) pyobj.Object {
+			vm.argCheck("random.randrange", args, 1, 2)
+			lo, hi := int64(0), int64(0)
+			if len(args) == 1 {
+				hi = vm.wantInt("random.randrange", args[0])
+			} else {
+				lo = vm.wantInt("random.randrange", args[0])
+				hi = vm.wantInt("random.randrange", args[1])
+			}
+			vm.errCheck(hi <= lo)
+			if hi <= lo {
+				Raise("ValueError", "empty range for randrange()")
+			}
+			vm.Eng.ALUn(core.Execute, 4)
+			return vm.NewInt(lo + int64(vm.nextRand()%uint64(hi-lo)))
+		})
+	entries["randrange"] = vm.method("randrange", randrangeID)
+
+	seedID := vm.reg("random.seed", 24, true, true,
+		func(vm *VM, _ pyobj.Object, args []pyobj.Object) pyobj.Object {
+			vm.argCheck("random.seed", args, 0, 1)
+			seed := uint64(0x9E3779B97F4A7C15)
+			if len(args) == 1 {
+				if n, ok := pyobj.AsInt(args[0]); ok {
+					seed = uint64(n)*0x9E3779B97F4A7C15 + 1
+				}
+			}
+			vm.rng = seed
+			return nil
+		})
+	entries["seed"] = vm.method("seed", seedID)
+
+	choiceID := vm.reg("random.choice", 32, true, true,
+		func(vm *VM, _ pyobj.Object, args []pyobj.Object) pyobj.Object {
+			vm.argCheck("random.choice", args, 1, 1)
+			l := vm.wantList("random.choice", args[0])
+			vm.errCheck(len(l.Items) == 0)
+			if len(l.Items) == 0 {
+				Raise("IndexError", "choice from empty sequence")
+			}
+			vm.Eng.ALUn(core.Execute, 2)
+			v := l.Items[vm.nextRand()%uint64(len(l.Items))]
+			vm.Incref(v)
+			return v
+		})
+	entries["choice"] = vm.method("choice", choiceID)
+
+	shuffleID := vm.reg("random.shuffle", 64, true, true,
+		func(vm *VM, _ pyobj.Object, args []pyobj.Object) pyobj.Object {
+			vm.argCheck("random.shuffle", args, 1, 1)
+			l := vm.wantList("random.shuffle", args[0])
+			for i := len(l.Items) - 1; i > 0; i-- {
+				j := int(vm.nextRand() % uint64(i+1))
+				vm.Eng.Load(core.Execute, l.ItemAddr(i), false)
+				vm.Eng.Load(core.Execute, l.ItemAddr(j), false)
+				vm.Eng.Store(core.Execute, l.ItemAddr(i))
+				vm.Eng.Store(core.Execute, l.ItemAddr(j))
+				l.Items[i], l.Items[j] = l.Items[j], l.Items[i]
+			}
+			return nil
+		})
+	entries["shuffle"] = vm.method("shuffle", shuffleID)
+
+	vm.bindModule("random", entries)
+}
+
+// registerTimeModule exposes a deterministic virtual clock derived from
+// the executed-bytecode count, so benchmark self-timing is reproducible.
+func (vm *VM) registerTimeModule() {
+	entries := map[string]pyobj.Object{}
+	clockID := vm.reg("time.clock", 24, true, true,
+		func(vm *VM, _ pyobj.Object, args []pyobj.Object) pyobj.Object {
+			return vm.NewFloat(float64(vm.iterations) * 1e-7)
+		})
+	entries["clock"] = vm.method("clock", clockID)
+	entries["time"] = vm.method("time", clockID)
+	vm.bindModule("time", entries)
+}

@@ -1,0 +1,195 @@
+package interp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/pyobj"
+)
+
+// strFormat implements Python 2 % formatting for the directive subset the
+// benchmark suite uses: %d %i %s %r %f %g %x %o %c %% with width,
+// precision, zero-pad, and left-align flags.
+func (vm *VM) strFormat(format *pyobj.Str, arg pyobj.Object) pyobj.Object {
+	var args []pyobj.Object
+	if t, ok := arg.(*pyobj.Tuple); ok {
+		args = t.Items
+	} else {
+		args = []pyobj.Object{arg}
+	}
+
+	vm.emitStrScan(format, len(format.V))
+	var sb strings.Builder
+	ai := 0
+	next := func(verb byte) pyobj.Object {
+		vm.errCheck(ai >= len(args))
+		if ai >= len(args) {
+			Raise("TypeError", "not enough arguments for format string (%%%c)", verb)
+		}
+		v := args[ai]
+		ai++
+		return v
+	}
+
+	s := format.V
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '%' {
+			sb.WriteByte(c)
+			continue
+		}
+		i++
+		vm.errCheck(i >= len(s))
+		if i >= len(s) {
+			Raise("ValueError", "incomplete format")
+		}
+		// Flags.
+		leftAlign, zeroPad, plus := false, false, false
+		for i < len(s) {
+			switch s[i] {
+			case '-':
+				leftAlign = true
+			case '0':
+				zeroPad = true
+			case '+':
+				plus = true
+			case ' ':
+			default:
+				goto flagsDone
+			}
+			i++
+		}
+	flagsDone:
+		// Width.
+		width := 0
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			width = width*10 + int(s[i]-'0')
+			i++
+		}
+		// Precision.
+		prec := -1
+		if i < len(s) && s[i] == '.' {
+			i++
+			prec = 0
+			for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+				prec = prec*10 + int(s[i]-'0')
+				i++
+			}
+		}
+		vm.errCheck(i >= len(s))
+		if i >= len(s) {
+			Raise("ValueError", "incomplete format")
+		}
+		verb := s[i]
+		vm.Eng.ALUn(core.Execute, 2)
+
+		var out string
+		switch verb {
+		case '%':
+			out = "%"
+		case 'd', 'i':
+			n, ok := pyobj.AsInt(next(verb))
+			if !ok {
+				f, fok := pyobj.AsFloat(args[ai-1])
+				if !fok {
+					Raise("TypeError", "%%d format: a number is required")
+				}
+				n = int64(f)
+			}
+			out = strconv.FormatInt(n, 10)
+			if plus && n >= 0 {
+				out = "+" + out
+			}
+		case 'x':
+			n, ok := pyobj.AsInt(next(verb))
+			if !ok {
+				Raise("TypeError", "%%x format: an integer is required")
+			}
+			out = strconv.FormatInt(n, 16)
+		case 'o':
+			n, ok := pyobj.AsInt(next(verb))
+			if !ok {
+				Raise("TypeError", "%%o format: an integer is required")
+			}
+			out = strconv.FormatInt(n, 8)
+		case 'f', 'F':
+			f, ok := pyobj.AsFloat(next(verb))
+			if !ok {
+				Raise("TypeError", "float argument required")
+			}
+			p := prec
+			if p < 0 {
+				p = 6
+			}
+			out = strconv.FormatFloat(f, 'f', p, 64)
+		case 'e', 'E':
+			f, ok := pyobj.AsFloat(next(verb))
+			if !ok {
+				Raise("TypeError", "float argument required")
+			}
+			p := prec
+			if p < 0 {
+				p = 6
+			}
+			out = strconv.FormatFloat(f, byte(verb), p, 64)
+		case 'g', 'G':
+			f, ok := pyobj.AsFloat(next(verb))
+			if !ok {
+				Raise("TypeError", "float argument required")
+			}
+			p := prec
+			if p < 0 {
+				p = 6
+			}
+			out = strconv.FormatFloat(f, 'g', p, 64)
+		case 's':
+			out = pyobj.StrOf(next(verb))
+			if prec >= 0 && prec < len(out) {
+				out = out[:prec]
+			}
+		case 'r':
+			out = pyobj.Repr(next(verb))
+			if prec >= 0 && prec < len(out) {
+				out = out[:prec]
+			}
+		case 'c':
+			v := next(verb)
+			if n, ok := pyobj.AsInt(v); ok {
+				out = string(byte(n))
+			} else if sv, ok := v.(*pyobj.Str); ok && len(sv.V) == 1 {
+				out = sv.V
+			} else {
+				Raise("TypeError", "%%c requires int or char")
+			}
+		default:
+			Raise("ValueError", "unsupported format character '%c'", verb)
+		}
+
+		if width > len(out) {
+			pad := width - len(out)
+			switch {
+			case leftAlign:
+				out += strings.Repeat(" ", pad)
+			case zeroPad && (verb == 'd' || verb == 'i' || verb == 'f' || verb == 'x' || verb == 'o'):
+				if strings.HasPrefix(out, "-") || strings.HasPrefix(out, "+") {
+					out = out[:1] + strings.Repeat("0", pad) + out[1:]
+				} else {
+					out = strings.Repeat("0", pad) + out
+				}
+			default:
+				out = strings.Repeat(" ", pad) + out
+			}
+		}
+		sb.WriteString(out)
+	}
+	vm.errCheck(ai < len(args))
+	if ai < len(args) {
+		Raise("TypeError", "not all arguments converted during string formatting")
+	}
+	return vm.NewStr(sb.String())
+}
+
+// ensure fmt is linked for error paths.
+var _ = fmt.Sprintf

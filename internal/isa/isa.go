@@ -1,0 +1,166 @@
+// Package isa defines the abstract micro-instruction stream produced by the
+// instrumented virtual machines and consumed by the microarchitecture
+// simulator.
+//
+// This is the Go analogue of the paper's Pin instrumentation layer: every
+// action the interpreter, JIT-compiled code, garbage collector, or modeled
+// C library performs is emitted as a stream of Events, each carrying a
+// simulated program counter, an optional data address, and the overhead
+// Category it belongs to. The simulator never inspects VM state; it sees
+// only this stream, exactly as Zsim saw only the Pin-instrumented x86
+// stream.
+package isa
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Kind is the class of a micro-instruction.
+type Kind uint8
+
+// Micro-instruction kinds.
+const (
+	// ALU is a single-cycle integer operation (add, sub, compare, shift,
+	// logic, address arithmetic).
+	ALU Kind = iota
+	// Mul is an integer multiply (3-cycle class).
+	Mul
+	// Div is an integer divide (long-latency class).
+	Div
+	// FPU is a floating-point operation (add/mul class).
+	FPU
+	// FDiv is a floating-point divide/sqrt (long-latency class).
+	FDiv
+	// Load reads Size bytes from Addr.
+	Load
+	// Store writes Size bytes to Addr.
+	Store
+	// CondBranch is a conditional direct branch; Taken records the
+	// outcome and Target the destination when taken.
+	CondBranch
+	// Jump is an unconditional direct branch to Target.
+	Jump
+	// IndJump is an indirect jump to Target (e.g. the dispatch switch).
+	IndJump
+	// Call is a direct call to Target.
+	Call
+	// IndCall is an indirect call through a pointer to Target (e.g. a
+	// type-slot function pointer).
+	IndCall
+	// Ret is a return; Target is the return address.
+	Ret
+	// Nop consumes an issue slot but does nothing.
+	Nop
+	// NumKinds is the number of kinds, for array sizing.
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{
+	ALU: "alu", Mul: "mul", Div: "div", FPU: "fpu", FDiv: "fdiv",
+	Load: "load", Store: "store",
+	CondBranch: "condbr", Jump: "jump", IndJump: "indjump",
+	Call: "call", IndCall: "indcall", Ret: "ret", Nop: "nop",
+}
+
+// String returns the kind's mnemonic.
+func (k Kind) String() string {
+	if k < NumKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// IsMem reports whether the kind accesses data memory.
+func (k Kind) IsMem() bool { return k == Load || k == Store }
+
+// IsBranch reports whether the kind redirects control flow.
+func (k Kind) IsBranch() bool {
+	switch k {
+	case CondBranch, Jump, IndJump, Call, IndCall, Ret:
+		return true
+	}
+	return false
+}
+
+// Event is one dynamic micro-instruction.
+type Event struct {
+	// PC is the simulated address of the instruction. Instruction-cache
+	// behaviour and branch prediction are keyed on it.
+	PC uint64
+	// Addr is the data address for Load/Store kinds.
+	Addr uint64
+	// Target is the destination for branch/call/return kinds.
+	Target uint64
+	// Size is the access size in bytes for Load/Store kinds.
+	Size uint8
+	// Kind is the micro-instruction class.
+	Kind Kind
+	// Cat is the overhead category charged for this instruction.
+	Cat core.Category
+	// Phase is the execution phase (interpreter, GC, JIT code, JIT
+	// compiler) the instruction belongs to.
+	Phase core.Phase
+	// Taken is the outcome of a CondBranch.
+	Taken bool
+	// DepPrev marks the instruction as data-dependent on the previous
+	// instruction in the stream. Emitters set it on serial chains
+	// (dispatch loads feeding the decode jump, pointer chasing, stack
+	// pops feeding an operation); the out-of-order core model uses it to
+	// bound instruction-level parallelism.
+	DepPrev bool
+	// CLib marks instructions executed inside modeled C-library code.
+	CLib bool
+}
+
+// Sink consumes the event stream. The microarchitecture core models
+// implement Sink; so do the statistics-only collectors used in tests.
+type Sink interface {
+	// Exec simulates one event. The pointed-to Event is only valid for
+	// the duration of the call; implementations must copy what they
+	// keep.
+	Exec(ev *Event)
+}
+
+// CountSink is a trivial Sink that counts events per kind and category,
+// useful in tests and for instruction-count-only experiments.
+type CountSink struct {
+	Total   uint64
+	ByKind  [NumKinds]uint64
+	ByCat   [core.NumCategories]uint64
+	ByPhase [core.NumPhases]uint64
+	Mem     uint64
+	Branch  uint64
+}
+
+// Exec implements Sink.
+func (s *CountSink) Exec(ev *Event) {
+	s.Total++
+	s.ByKind[ev.Kind]++
+	s.ByCat[ev.Cat]++
+	s.ByPhase[ev.Phase]++
+	if ev.Kind.IsMem() {
+		s.Mem++
+	}
+	if ev.Kind.IsBranch() {
+		s.Branch++
+	}
+}
+
+// NullSink discards all events.
+type NullSink struct{}
+
+// Exec implements Sink.
+func (NullSink) Exec(*Event) {}
+
+// TeeSink forwards each event to both A and B.
+type TeeSink struct {
+	A, B Sink
+}
+
+// Exec implements Sink.
+func (t TeeSink) Exec(ev *Event) {
+	t.A.Exec(ev)
+	t.B.Exec(ev)
+}

@@ -1,0 +1,58 @@
+package isa
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestKindPredicates(t *testing.T) {
+	memKinds := []Kind{Load, Store}
+	for _, k := range memKinds {
+		if !k.IsMem() {
+			t.Errorf("%s should be mem", k)
+		}
+		if k.IsBranch() {
+			t.Errorf("%s should not be branch", k)
+		}
+	}
+	branchKinds := []Kind{CondBranch, Jump, IndJump, Call, IndCall, Ret}
+	for _, k := range branchKinds {
+		if !k.IsBranch() {
+			t.Errorf("%s should be branch", k)
+		}
+		if k.IsMem() {
+			t.Errorf("%s should not be mem", k)
+		}
+	}
+	if ALU.IsMem() || ALU.IsBranch() {
+		t.Error("ALU is neither mem nor branch")
+	}
+	for k := Kind(0); k < NumKinds; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+}
+
+func TestCountSink(t *testing.T) {
+	var s CountSink
+	s.Exec(&Event{Kind: Load, Cat: core.Stack, Phase: core.PhaseInterpreter})
+	s.Exec(&Event{Kind: CondBranch, Cat: core.Execute, Phase: core.PhaseJITCode})
+	s.Exec(&Event{Kind: ALU, Cat: core.Execute, Phase: core.PhaseJITCode})
+	if s.Total != 3 || s.Mem != 1 || s.Branch != 1 {
+		t.Errorf("counts: %+v", s)
+	}
+	if s.ByCat[core.Execute] != 2 || s.ByPhase[core.PhaseJITCode] != 2 {
+		t.Errorf("cat/phase counts wrong: %+v", s)
+	}
+}
+
+func TestTeeSink(t *testing.T) {
+	var a, b CountSink
+	tee := TeeSink{A: &a, B: &b}
+	tee.Exec(&Event{Kind: Store})
+	if a.Total != 1 || b.Total != 1 {
+		t.Errorf("tee did not forward: %d %d", a.Total, b.Total)
+	}
+}

@@ -1,0 +1,371 @@
+package jit
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/emit"
+	"repro/internal/interp"
+	"repro/internal/pycode"
+	"repro/internal/pyobj"
+)
+
+// Config parameterizes the JIT.
+type Config struct {
+	// HotThreshold is the back-edge count that triggers tracing (PyPy's
+	// default trace_eagerness is 1039).
+	HotThreshold int
+	// TraceLimit aborts recording when a trace exceeds this many
+	// operations.
+	TraceLimit int
+	// GuardFailLimit invalidates a trace once any single guard has
+	// deoptimized this many times; the loop then re-heats and is
+	// re-recorded on the new common path (simplified bridging).
+	GuardFailLimit int
+	// InstrPerOp is the compiled-code footprint per trace operation in
+	// simulated instructions (a method JIT like V8 produces bulkier
+	// code than a trace JIT).
+	InstrPerOp int
+	// CompileCostPerOp is the number of compiler events charged per
+	// trace operation at compile time.
+	CompileCostPerOp int
+	// Paranoid forces a state reconstruction after every compiled
+	// iteration (debugging aid: isolates loop-carry bugs).
+	Paranoid bool
+	// AbortOn lists bytecode names the recorder refuses to trace
+	// (debugging aid for bisecting miscompilations).
+	AbortOn map[string]bool
+	// SkipCode lists function names whose loops are never compiled
+	// (debugging aid).
+	SkipCode map[string]bool
+	// LogTraces records every compiled trace's disassembly (debugging).
+	LogTraces bool
+}
+
+// DefaultConfig returns PyPy-like parameters.
+func DefaultConfig() Config {
+	return Config{
+		HotThreshold:     1039,
+		TraceLimit:       6000,
+		GuardFailLimit:   60,
+		InstrPerOp:       3,
+		CompileCostPerOp: 40,
+	}
+}
+
+// V8LikeConfig returns parameters for the v8-flavoured runtime: eager
+// compilation, bulkier code, cheaper compile passes.
+func V8LikeConfig() Config {
+	return Config{
+		HotThreshold:     100,
+		TraceLimit:       6000,
+		GuardFailLimit:   80,
+		InstrPerOp:       6,
+		CompileCostPerOp: 25,
+	}
+}
+
+// Stats counts JIT activity.
+type Stats struct {
+	LoopsSeen      uint64
+	TracesStarted  uint64
+	TracesCompiled uint64
+	TracesAborted  uint64
+	Deopts         uint64
+	Invalidations  uint64
+	CompiledIters  uint64
+	ResidualCalls  uint64
+}
+
+type loopKey struct {
+	code *pycode.Code
+	pc   int
+}
+
+type loopInfo struct {
+	count       int
+	trace       *Trace
+	counterAddr uint64
+	aborts      int
+}
+
+// JIT drives trace recording and execution for one VM.
+type JIT struct {
+	vm    *interp.VM
+	cfg   Config
+	loops map[loopKey]*loopInfo
+	rec   *recorder
+	space *emit.CodeSpace
+	exec  executor
+
+	Stats Stats
+	// TraceLog holds compiled-trace disassemblies when Config.LogTraces
+	// is set.
+	TraceLog []string
+}
+
+var _ interp.Tracer = (*JIT)(nil)
+
+// New attaches a JIT to vm.
+func New(vm *interp.VM, cfg Config) *JIT {
+	j := &JIT{
+		vm:    vm,
+		cfg:   cfg,
+		loops: make(map[loopKey]*loopInfo),
+		space: vm.JITSpace(),
+	}
+	j.exec.j = j
+	vm.SetTracer(j)
+	return j
+}
+
+// Recording implements interp.Tracer.
+func (j *JIT) Recording() bool { return j.rec != nil }
+
+// OnBackEdge implements interp.Tracer: profiling counters, trace closing,
+// and compiled-code dispatch.
+func (j *JIT) OnBackEdge(f *pyobj.Frame, target int) bool {
+	if j.rec != nil {
+		// Close the trace when the recorded loop's own back edge is
+		// reached; abort if a different hot loop interferes.
+		if f == j.rec.frame && target == j.rec.headPC && j.vm.FrameDepth() == j.rec.depth {
+			j.finishRecording()
+		}
+		return false
+	}
+
+	key := loopKey{f.Code, target}
+	li := j.loops[key]
+	if li == nil {
+		li = &loopInfo{counterAddr: j.vm.BackEdgeCounterAddr()}
+		j.loops[key] = li
+		j.Stats.LoopsSeen++
+	}
+
+	if li.trace != nil && !li.trace.Invalid {
+		return j.exec.run(f, li.trace)
+	}
+
+	// Profiling: counter load/increment/store + threshold test.
+	e := j.vm.Eng
+	e.Load(core.Dispatch, li.counterAddr, false)
+	e.ALU(core.Dispatch, true)
+	e.Store(core.Dispatch, li.counterAddr)
+	li.count++
+	e.Branch(core.Dispatch, li.count >= j.cfg.HotThreshold)
+	if j.cfg.SkipCode != nil && j.cfg.SkipCode[f.Code.Name] {
+		return false
+	}
+	if li.count >= j.cfg.HotThreshold && li.aborts < 3 {
+		li.count = 0
+		j.startRecording(f, target, li)
+	}
+	return false
+}
+
+// startRecording begins a trace at the loop whose header is headPC.
+func (j *JIT) startRecording(f *pyobj.Frame, headPC int, li *loopInfo) {
+	j.Stats.TracesStarted++
+	r := &recorder{
+		j:             j,
+		li:            li,
+		frame:         f,
+		depth:         j.vm.FrameDepth(),
+		code:          f.Code,
+		headPC:        headPC,
+		localRegs:     make(map[int]sym),
+		firstLocalReg: make(map[int]Reg),
+	}
+	// Entry state: the frame's current value stack becomes the entry
+	// registers (a for-loop holds its iterator here), and the block
+	// stack at the loop header is remembered for deopt restoration.
+	for i := 0; i < f.Sp; i++ {
+		s := r.fresh(kObj)
+		r.stack = append(r.stack, s)
+		r.entryStack = append(r.entryStack, s.reg)
+	}
+	r.entryBlocks = make([]pyobj.Block, len(f.Blocks))
+	copy(r.entryBlocks, f.Blocks)
+	j.rec = r
+}
+
+// abortRecording discards the current trace.
+func (j *JIT) abortRecording(reason string) {
+	if j.rec == nil {
+		return
+	}
+	j.rec.li.aborts++
+	j.Stats.TracesAborted++
+	j.rec = nil
+	_ = reason
+}
+
+// finishRecording compiles the recorded operations into a Trace.
+func (j *JIT) finishRecording() {
+	r := j.rec
+	j.rec = nil
+	if r.aborted {
+		r.li.aborts++
+		j.Stats.TracesAborted++
+		return
+	}
+	// A trace with no guard can never exit compiled code; leave such
+	// loops (e.g. `while True: pass`) to the interpreter.
+	hasExit := false
+	for i := range r.ops {
+		if r.ops[i].Snap != nil {
+			hasExit = true
+			break
+		}
+	}
+	if !hasExit {
+		r.li.aborts++
+		j.Stats.TracesAborted++
+		return
+	}
+	// Close the loop: route loop-carried values back into the registers
+	// the trace top expects. Staged through fresh temporaries so that
+	// swap patterns stay correct (a parallel move).
+	if len(r.stack) != len(r.entryStack) {
+		r.li.aborts++
+		j.Stats.TracesAborted++
+		return
+	}
+	type mv struct{ dst, src Reg }
+	var moves []mv
+	for i, s := range r.stack {
+		b := r.ensureBoxed(s)
+		if b.reg != r.entryStack[i] {
+			moves = append(moves, mv{r.entryStack[i], b.reg})
+		}
+	}
+	// Deterministic order over the locals map. Every shadowed local gets
+	// a loop-carry register holding its value as of the START of an
+	// iteration: the first-load register when the trace reads the local,
+	// or a dedicated register for only-stored locals (whose current-value
+	// register is recomputed mid-iteration and therefore wrong for
+	// snapshots taken before the store).
+	slots := make([]int, 0, len(r.localRegs))
+	for slot := range r.localRegs {
+		slots = append(slots, slot)
+	}
+	sort.Ints(slots)
+	carry := make(map[int]Reg, len(slots))
+	for _, slot := range slots {
+		cur := r.localRegs[slot]
+		if first, ok := r.firstLocalReg[slot]; ok {
+			carry[slot] = first
+			if first != cur.reg {
+				moves = append(moves, mv{first, cur.reg})
+			}
+			continue
+		}
+		f := r.fresh(kObj).reg
+		carry[slot] = f
+		moves = append(moves, mv{f, cur.reg})
+	}
+	if len(moves) > 0 {
+		tmps := make([]Reg, len(moves))
+		for i, m := range moves {
+			t := r.fresh(kObj)
+			tmps[i] = t.reg
+			r.ops = append(r.ops, Op{Kind: OpMove, Dst: t.reg, R1: m.src})
+		}
+		for i, m := range moves {
+			r.ops = append(r.ops, Op{Kind: OpMove, Dst: m.dst, R1: tmps[i]})
+		}
+	}
+
+	// Hoist the one-shot local loads into a prologue. Sound because no
+	// trace operation writes frame locals (stores are virtualized into
+	// registers), so loading at entry observes the same values as
+	// loading at first use. Their deopt snapshot becomes the entry
+	// state.
+	entrySnap := &Snapshot{ResumePC: r.headPC, Stack: r.entryStack,
+		Blocks: r.entryBlocks}
+	var prologue, body []Op
+	for i := range r.ops {
+		if r.ops[i].Once {
+			op := r.ops[i]
+			op.Snap = entrySnap
+			prologue = append(prologue, op)
+			continue
+		}
+		body = append(body, r.ops[i])
+	}
+	r.ops = append(prologue, body...)
+
+	// Every snapshot must cover every local the trace shadows in
+	// registers: loop-carried values reach the first-load register via
+	// the back-edge moves, and registers still empty at deopt time
+	// (first iteration, before the defining operation) are skipped by
+	// the deopt writeback, leaving the frame's pre-trace value intact.
+	for _, slot := range slots {
+		fallback := carry[slot]
+		for i := range r.ops {
+			snap := r.ops[i].Snap
+			if snap == nil || snap == entrySnap {
+				continue
+			}
+			if snap.Locals == nil {
+				snap.Locals = make(map[int]Reg)
+			}
+			if _, ok := snap.Locals[slot]; !ok {
+				snap.Locals[slot] = fallback
+			}
+		}
+	}
+
+	// The close snapshot reconstructs the interpreter state at the loop
+	// header after any completed iteration (paranoid mode, safety
+	// fallback).
+	closeSnap := &Snapshot{ResumePC: r.headPC, Stack: r.entryStack, Blocks: r.entryBlocks}
+	closeSnap.Locals = make(map[int]Reg)
+	for _, slot := range slots {
+		closeSnap.Locals[slot] = carry[slot]
+	}
+
+	t := &Trace{
+		Code:    r.code,
+		HeadPC:  r.headPC,
+		Ops:     r.ops,
+		NumRegs: int(r.nextReg),
+		Entry: Snapshot{
+			ResumePC: r.headPC,
+			Stack:    r.entryStack,
+			Blocks:   r.entryBlocks,
+		},
+		Close: closeSnap,
+	}
+	// Lay the trace out in the JIT code arena and charge compilation.
+	instrs := len(t.Ops)*j.cfg.InstrPerOp + 16
+	t.BaseAddr = j.space.Block(instrs)
+	t.CodeBytes = uint64(instrs * 4)
+	pc := t.BaseAddr
+	for i := range t.Ops {
+		t.Ops[i].PC = pc
+		pc += uint64(j.cfg.InstrPerOp * 4)
+	}
+
+	e := j.vm.Eng
+	prev := e.SetPhase(core.PhaseJITCompile)
+	for i := range t.Ops {
+		for k := 0; k < j.cfg.CompileCostPerOp-2; k++ {
+			e.ALU(core.Execute, k%3 != 0)
+		}
+		// The assembler writes the code bytes.
+		e.Store(core.Execute, t.Ops[i].PC)
+		e.Store(core.Execute, t.Ops[i].PC+8)
+	}
+	e.SetPhase(prev)
+
+	r.li.trace = t
+	j.Stats.TracesCompiled++
+	if j.cfg.LogTraces {
+		j.TraceLog = append(j.TraceLog,
+			r.code.Name+"@"+itoa(r.headPC)+"\n"+t.Disassemble())
+	}
+}
+
+// Loops returns the number of observed loops (diagnostics).
+func (j *JIT) Loops() int { return len(j.loops) }

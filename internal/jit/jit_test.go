@@ -1,0 +1,277 @@
+package jit
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/emit"
+	"repro/internal/gc"
+	"repro/internal/interp"
+	"repro/internal/isa"
+)
+
+// runJIT runs src under the generational heap with the JIT attached, using
+// a low hot threshold so tests compile quickly.
+func runJIT(t *testing.T, src string) (string, *JIT) {
+	t.Helper()
+	var out strings.Builder
+	vm := interp.New(emit.NewEngine(isa.NullSink{}), gc.DefaultGenConfig(256<<10), &out)
+	cfg := DefaultConfig()
+	cfg.HotThreshold = 20
+	j := New(vm, cfg)
+	vm.MaxBytecodes = 200_000_000
+	if err := vm.RunSource("<jit>", src); err != nil {
+		t.Fatalf("RunSource: %v\nsource:\n%s", err, src)
+	}
+	return out.String(), j
+}
+
+// runPlain runs src on the interpreter alone (same heap config).
+func runPlain(t *testing.T, src string) string {
+	t.Helper()
+	var out strings.Builder
+	vm := interp.New(emit.NewEngine(isa.NullSink{}), gc.DefaultGenConfig(256<<10), &out)
+	vm.MaxBytecodes = 200_000_000
+	if err := vm.RunSource("<plain>", src); err != nil {
+		t.Fatalf("RunSource: %v", err)
+	}
+	return out.String()
+}
+
+// same verifies output equality between JIT and interpreter and that the
+// JIT actually compiled and ran something.
+func same(t *testing.T, src string) *JIT {
+	t.Helper()
+	want := runPlain(t, src)
+	got, j := runJIT(t, src)
+	if got != want {
+		t.Errorf("JIT output diverged\n--- jit ---\n%s--- interp ---\n%s", got, want)
+	}
+	return j
+}
+
+func TestJITIntLoop(t *testing.T) {
+	j := same(t, `
+total = 0
+def work(n):
+    acc = 0
+    i = 0
+    while i < n:
+        acc = acc + i * 2 - 1
+        i = i + 1
+    return acc
+print(work(50000))
+`)
+	if j.Stats.TracesCompiled == 0 {
+		t.Fatalf("no traces compiled: %+v", j.Stats)
+	}
+	if j.Stats.CompiledIters < 10000 {
+		t.Errorf("expected most iterations in compiled code, got %d", j.Stats.CompiledIters)
+	}
+}
+
+func TestJITRangeLoop(t *testing.T) {
+	j := same(t, `
+def work(n):
+    acc = 0
+    for i in xrange(n):
+        acc += i & 1023
+    return acc
+print(work(60000))
+`)
+	if j.Stats.TracesCompiled == 0 {
+		t.Fatalf("no traces compiled: %+v", j.Stats)
+	}
+	if j.Stats.CompiledIters < 20000 {
+		t.Errorf("expected compiled iterations, got %d", j.Stats.CompiledIters)
+	}
+}
+
+func TestJITFloatLoop(t *testing.T) {
+	j := same(t, `
+def work(n):
+    x = 0.0
+    for i in xrange(n):
+        x = x * 0.999 + 1.25
+    return x
+print("%.6f" % work(30000))
+`)
+	if j.Stats.TracesCompiled == 0 {
+		t.Fatalf("no traces compiled: %+v", j.Stats)
+	}
+}
+
+func TestJITListLoop(t *testing.T) {
+	j := same(t, `
+def work(n):
+    l = range(n)
+    total = 0
+    for i in xrange(n):
+        l[i] = l[i] * 2
+    for v in l:
+        total += v
+    return total
+print(work(20000))
+`)
+	if j.Stats.TracesCompiled == 0 {
+		t.Fatalf("no traces compiled: %+v", j.Stats)
+	}
+}
+
+func TestJITGuardFailureAndSideExit(t *testing.T) {
+	// The loop's type changes midway: int arithmetic becomes float.
+	j := same(t, `
+def work(n):
+    x = 0
+    for i in xrange(n):
+        if i == n // 2:
+            x = x + 0.5
+        x = x + 1
+    return x
+print(work(30000))
+`)
+	if j.Stats.Deopts == 0 {
+		t.Errorf("expected deopts from the type change, got none: %+v", j.Stats)
+	}
+}
+
+func TestJITResidualCalls(t *testing.T) {
+	j := same(t, `
+def helper(a, b):
+    return a * b + 1
+
+def work(n):
+    acc = 0
+    for i in xrange(n):
+        acc += helper(i, 3)
+    return acc
+print(work(20000))
+`)
+	if j.Stats.TracesCompiled == 0 {
+		t.Fatalf("no traces compiled: %+v", j.Stats)
+	}
+	if j.Stats.ResidualCalls == 0 {
+		t.Errorf("expected residual calls, got none")
+	}
+}
+
+func TestJITMethodsAndAttrs(t *testing.T) {
+	same(t, `
+class Acc:
+    def __init__(self):
+        self.total = 0
+    def add(self, v):
+        self.total += v
+
+def work(n):
+    a = Acc()
+    for i in xrange(n):
+        a.add(i % 7)
+    return a.total
+print(work(25000))
+`)
+}
+
+func TestJITDictLoop(t *testing.T) {
+	same(t, `
+def work(n):
+    d = {}
+    for i in xrange(n):
+        d[i % 512] = i
+    total = 0
+    for k in d.keys():
+        total += d[k]
+    return total
+print(work(20000))
+`)
+}
+
+func TestJITStringLoop(t *testing.T) {
+	same(t, `
+def work(words):
+    parts = []
+    for w in words:
+        parts.append(w.upper())
+    return "-".join(parts)
+words = []
+for i in xrange(3000):
+    words.append("w" + str(i % 100))
+print(len(work(words)))
+`)
+}
+
+func TestJITNestedLoops(t *testing.T) {
+	j := same(t, `
+def work(n):
+    total = 0
+    for i in xrange(n):
+        for k in xrange(20):
+            total += i ^ k
+    return total
+print(work(3000))
+`)
+	if j.Stats.TracesCompiled == 0 {
+		t.Fatalf("no traces compiled for nested loops")
+	}
+}
+
+func TestJITGenGCInterop(t *testing.T) {
+	// Tiny nursery: minor collections fire while compiled code holds
+	// unboxed registers and object references.
+	var out strings.Builder
+	vm := interp.New(emit.NewEngine(isa.NullSink{}), gc.DefaultGenConfig(32<<10), &out)
+	cfg := DefaultConfig()
+	cfg.HotThreshold = 10
+	j := New(vm, cfg)
+	src := `
+def work(n):
+    keep = []
+    for i in xrange(n):
+        t = [i, i + 1]
+        if i % 997 == 0:
+            keep.append(t)
+    total = 0
+    for t in keep:
+        total += t[1]
+    return total
+print(work(40000))
+`
+	if err := vm.RunSource("<gcjit>", src); err != nil {
+		t.Fatalf("RunSource: %v", err)
+	}
+	if vm.Heap.Stats.MinorGCs == 0 {
+		t.Fatal("expected minor GCs")
+	}
+	if j.Stats.TracesCompiled == 0 {
+		t.Fatal("expected compiled traces")
+	}
+	want := runPlain(t, src)
+	if out.String() != want {
+		t.Errorf("output diverged under GC+JIT: got %q want %q", out.String(), want)
+	}
+}
+
+func TestJITEventPhases(t *testing.T) {
+	var sink isa.CountSink
+	var out strings.Builder
+	vm := interp.New(emit.NewEngine(&sink), gc.DefaultGenConfig(256<<10), &out)
+	cfg := DefaultConfig()
+	cfg.HotThreshold = 20
+	New(vm, cfg)
+	if err := vm.RunSource("<phase>", `
+def work(n):
+    acc = 0
+    for i in xrange(n):
+        acc += i
+    return acc
+print(work(50000))
+`); err != nil {
+		t.Fatal(err)
+	}
+	if sink.ByPhase[2] == 0 { // core.PhaseJITCode
+		t.Errorf("no events in JIT-code phase: %+v", sink.ByPhase)
+	}
+	if sink.ByPhase[3] == 0 { // core.PhaseJITCompile
+		t.Errorf("no events in JIT-compile phase")
+	}
+}

@@ -1,0 +1,732 @@
+package jit
+
+import (
+	"repro/internal/interp"
+	"repro/internal/pycode"
+	"repro/internal/pyobj"
+)
+
+// symKind is the statically known representation of a virtual register.
+type symKind uint8
+
+const (
+	kObj   symKind = iota // boxed object
+	kInt                  // unboxed int64
+	kFloat                // unboxed float64
+	kBool                 // unboxed 0/1
+)
+
+type sym struct {
+	reg  Reg
+	kind symKind
+}
+
+// recorder builds a Trace by observing one loop iteration through the
+// interpreter's tracing hooks.
+type recorder struct {
+	j         *JIT
+	li        *loopInfo
+	frame     *pyobj.Frame
+	depth     int
+	code      *pycode.Code
+	headPC    int
+	ops       []Op
+	nextReg   Reg
+	stack     []sym
+	localRegs map[int]sym
+	// firstLocalReg records the register created by the first load of
+	// each local; back-edge moves route loop-carried values into it.
+	firstLocalReg map[int]Reg
+	entryStack    []Reg
+	entryBlocks   []pyobj.Block
+	curPC         int
+	aborted       bool
+}
+
+func (r *recorder) fresh(k symKind) sym {
+	s := sym{reg: r.nextReg, kind: k}
+	r.nextReg++
+	return s
+}
+
+func (r *recorder) emit(op Op) {
+	op.SrcPC = r.curPC
+	r.ops = append(r.ops, op)
+	if len(r.ops) > r.j.cfg.TraceLimit {
+		r.abort()
+	}
+}
+
+func (r *recorder) abort() {
+	if !r.aborted {
+		r.aborted = true
+		r.j.abortRecording("unsupported")
+	}
+}
+
+// snap captures the deopt state: the current abstract stack and the local
+// shadow map, resuming at pc.
+func (r *recorder) snap(pc int) *Snapshot {
+	s := &Snapshot{ResumePC: pc}
+	s.Stack = make([]Reg, len(r.stack))
+	for i, v := range r.stack {
+		s.Stack[i] = v.reg
+	}
+	// The interpreter mutates the real block stack while we record, so
+	// the frame's current block stack is exactly the state this program
+	// point requires.
+	s.Blocks = make([]pyobj.Block, len(r.frame.Blocks))
+	copy(s.Blocks, r.frame.Blocks)
+	if len(r.localRegs) > 0 {
+		s.Locals = make(map[int]Reg, len(r.localRegs))
+		for slot, v := range r.localRegs {
+			s.Locals[slot] = v.reg
+		}
+	}
+	return s
+}
+
+func (r *recorder) push(s sym) { r.stack = append(r.stack, s) }
+func (r *recorder) pop() sym {
+	s := r.stack[len(r.stack)-1]
+	r.stack = r.stack[:len(r.stack)-1]
+	return s
+}
+func (r *recorder) peek(n int) sym { return r.stack[len(r.stack)-n] }
+
+// ensureInt coerces s to an unboxed int register, guarding as needed.
+func (r *recorder) ensureInt(s sym, pc int) sym {
+	switch s.kind {
+	case kInt, kBool:
+		return sym{reg: s.reg, kind: kInt}
+	}
+	r.emit(Op{Kind: OpGuardInt, R1: s.reg, Snap: r.snap(pc)})
+	d := r.fresh(kInt)
+	r.emit(Op{Kind: OpUnboxInt, Dst: d.reg, R1: s.reg})
+	return d
+}
+
+// ensureFloat coerces s to an unboxed float register.
+func (r *recorder) ensureFloat(s sym, pc int) sym {
+	switch s.kind {
+	case kFloat:
+		return s
+	case kInt, kBool:
+		d := r.fresh(kFloat)
+		r.emit(Op{Kind: OpIntToFloat, Dst: d.reg, R1: s.reg})
+		return d
+	}
+	r.emit(Op{Kind: OpGuardFloat, R1: s.reg, Snap: r.snap(pc)})
+	d := r.fresh(kFloat)
+	r.emit(Op{Kind: OpUnboxFloat, Dst: d.reg, R1: s.reg})
+	return d
+}
+
+// ensureBoxed coerces s to a boxed object register (for residual ops).
+func (r *recorder) ensureBoxed(s sym) sym {
+	var k OpKind
+	switch s.kind {
+	case kObj:
+		return s
+	case kInt:
+		k = OpBoxInt
+	case kFloat:
+		k = OpBoxFloat
+	default:
+		k = OpBoxBool
+	}
+	d := r.fresh(kObj)
+	r.emit(Op{Kind: k, Dst: d.reg, R1: s.reg})
+	return d
+}
+
+// actual returns the runtime value currently at stack depth n (1 = top),
+// which is exact during recording because the interpreter executes each
+// instruction right after it is recorded.
+func (r *recorder) actual(n int) pyobj.Object {
+	return r.frame.Stack[r.frame.Sp-n]
+}
+
+func isIntLike(o pyobj.Object) bool {
+	switch o.(type) {
+	case *pyobj.Int, *pyobj.Bool:
+		return true
+	}
+	return false
+}
+
+func isFloat(o pyobj.Object) bool {
+	_, ok := o.(*pyobj.Float)
+	return ok
+}
+
+// RecordInstr implements the per-bytecode recording hook.
+func (j *JIT) RecordInstr(f *pyobj.Frame, pc int, in pycode.Instr) {
+	r := j.rec
+	if r == nil || r.aborted {
+		return
+	}
+	if f != r.frame || j.vm.FrameDepth() != r.depth {
+		if j.vm.FrameDepth() < r.depth {
+			// The recorded frame returned underneath us.
+			r.abort()
+		}
+		return // callee bytecodes become residual-call work
+	}
+	if len(r.stack) != f.Sp {
+		// Symbolic and concrete stacks diverged: a modeling gap.
+		// Abort defensively rather than compile a wrong trace.
+		r.abort()
+		return
+	}
+	r.record(f, pc, in)
+}
+
+func (r *recorder) record(f *pyobj.Frame, pc int, in pycode.Instr) {
+	r.curPC = pc
+	if r.j.cfg.AbortOn != nil && r.j.cfg.AbortOn[in.Op.String()] {
+		r.abort()
+		return
+	}
+	switch in.Op {
+	case pycode.POP_TOP:
+		r.pop()
+	case pycode.DUP_TOP:
+		r.push(r.peek(1))
+	case pycode.DUP_TOP_TWO:
+		a, b := r.peek(2), r.peek(1)
+		r.push(a)
+		r.push(b)
+	case pycode.ROT_TWO:
+		a := r.pop()
+		b := r.pop()
+		r.stack = append(r.stack, a, b)
+	case pycode.ROT_THREE:
+		a := r.pop()
+		b := r.pop()
+		c := r.pop()
+		r.stack = append(r.stack, a, c, b)
+
+	case pycode.LOAD_CONST:
+		k := f.Consts[in.Arg]
+		d := r.fresh(kObj)
+		switch cv := k.(type) {
+		case *pyobj.Int:
+			d.kind = kInt
+			r.emit(Op{Kind: OpLoadConst, Dst: d.reg, Aux: in.Arg, Obj: cv})
+		case *pyobj.Float:
+			d.kind = kFloat
+			r.emit(Op{Kind: OpLoadConst, Dst: d.reg, Aux: in.Arg, Obj: cv})
+		default:
+			r.emit(Op{Kind: OpLoadConst, Dst: d.reg, Aux: in.Arg, Obj: k})
+		}
+		r.push(d)
+
+	case pycode.LOAD_FAST:
+		if s, ok := r.localRegs[int(in.Arg)]; ok {
+			r.push(s)
+			return
+		}
+		d := r.fresh(kObj)
+		r.emit(Op{Kind: OpLoadLocal, Dst: d.reg, Aux: in.Arg, Snap: r.snap(pc), Once: true})
+		r.localRegs[int(in.Arg)] = d
+		r.firstLocalReg[int(in.Arg)] = d.reg
+		r.push(d)
+
+	case pycode.STORE_FAST:
+		v := r.pop()
+		// Locals live in registers inside the trace (virtualized
+		// frame); snapshots materialize them on deopt.
+		r.localRegs[int(in.Arg)] = v
+
+	case pycode.LOAD_GLOBAL, pycode.LOAD_NAME:
+		name := f.Code.Names[in.Arg]
+		val, ok := r.j.vm.LookupGlobalPure(f.Globals, name)
+		if !ok {
+			r.abort()
+			return
+		}
+		d := r.fresh(kObj)
+		r.emit(Op{Kind: OpGuardGlobal, Dst: d.reg, Str: name, Obj: val, Snap: r.snap(pc)})
+		r.push(d)
+
+	case pycode.STORE_GLOBAL, pycode.STORE_NAME:
+		// Global mutation inside a hot loop defeats global promotion;
+		// keep it residual-free by aborting (such loops stay
+		// interpreted, as with PyPy's can't-promote paths).
+		r.abort()
+
+	case pycode.UNARY_NEGATIVE:
+		v := r.peek(1)
+		a := r.actual(1)
+		if isIntLike(a) {
+			snapBefore := r.snap(pc)
+			iv := r.ensureInt(v, pc)
+			r.pop()
+			d := r.fresh(kInt)
+			r.emit(Op{Kind: OpIntNeg, Dst: d.reg, R1: iv.reg, Snap: snapBefore})
+			r.push(d)
+			return
+		}
+		if isFloat(a) {
+			fv := r.ensureFloat(v, pc)
+			r.pop()
+			d := r.fresh(kFloat)
+			r.emit(Op{Kind: OpFloatNeg, Dst: d.reg, R1: fv.reg})
+			r.push(d)
+			return
+		}
+		b := r.ensureBoxed(v)
+		r.pop()
+		d := r.fresh(kObj)
+		r.emit(Op{Kind: OpResidualUnaryNeg, Dst: d.reg, R1: b.reg})
+		r.push(d)
+
+	case pycode.UNARY_NOT:
+		v := r.ensureBoxed(r.peek(1))
+		r.pop()
+		d := r.fresh(kBool)
+		r.emit(Op{Kind: OpResidualNot, Dst: d.reg, R1: v.reg})
+		r.push(d)
+
+	case pycode.BINARY_ADD, pycode.BINARY_SUBTRACT, pycode.BINARY_MULTIPLY,
+		pycode.BINARY_DIVIDE, pycode.BINARY_FLOOR_DIVIDE, pycode.BINARY_MODULO,
+		pycode.BINARY_POWER, pycode.BINARY_LSHIFT, pycode.BINARY_RSHIFT,
+		pycode.BINARY_AND, pycode.BINARY_OR, pycode.BINARY_XOR,
+		pycode.INPLACE_ADD, pycode.INPLACE_SUBTRACT, pycode.INPLACE_MULTIPLY,
+		pycode.INPLACE_DIVIDE, pycode.INPLACE_FLOOR_DIVIDE, pycode.INPLACE_MODULO,
+		pycode.INPLACE_AND, pycode.INPLACE_OR, pycode.INPLACE_XOR,
+		pycode.INPLACE_LSHIFT, pycode.INPLACE_RSHIFT:
+		r.recordBinOp(pc, in.Op)
+
+	case pycode.COMPARE_OP:
+		r.recordCompare(pc, pycode.CmpOp(in.Arg))
+
+	case pycode.BINARY_SUBSCR:
+		r.recordSubscr(pc)
+
+	case pycode.STORE_SUBSCR:
+		r.recordStoreSubscr(pc)
+
+	case pycode.LOAD_ATTR:
+		o := r.ensureBoxed(r.peek(1))
+		r.pop()
+		d := r.fresh(kObj)
+		r.emit(Op{Kind: OpResidualGetAttr, Dst: d.reg, R1: o.reg, Str: f.Code.Names[in.Arg]})
+		r.push(d)
+
+	case pycode.STORE_ATTR:
+		o := r.ensureBoxed(r.peek(1))
+		v := r.ensureBoxed(r.peek(2))
+		r.pop()
+		r.pop()
+		r.emit(Op{Kind: OpResidualSetAttr, R1: o.reg, R2: v.reg, Str: f.Code.Names[in.Arg]})
+
+	case pycode.POP_JUMP_IF_FALSE, pycode.POP_JUMP_IF_TRUE:
+		v := r.peek(1)
+		truthy := pyobj.Truthy(r.actual(1))
+		cond := v
+		if v.kind == kObj {
+			b := r.fresh(kBool)
+			r.emit(Op{Kind: OpResidualTruthy, Dst: b.reg, R1: v.reg})
+			cond = b
+		}
+		r.pop()
+		jumps := (in.Op == pycode.POP_JUMP_IF_FALSE && !truthy) ||
+			(in.Op == pycode.POP_JUMP_IF_TRUE && truthy)
+		// The trace follows the observed direction; the guard exits to
+		// the other successor.
+		var other int
+		if jumps {
+			other = pc + 1
+		} else {
+			other = int(in.Arg)
+		}
+		gk := OpGuardTrue
+		if !truthy {
+			gk = OpGuardFalse
+		}
+		r.emit(Op{Kind: gk, R1: cond.reg, Snap: r.snap(other)})
+
+	case pycode.JUMP_IF_FALSE_OR_POP, pycode.JUMP_IF_TRUE_OR_POP:
+		v := r.peek(1)
+		truthy := pyobj.Truthy(r.actual(1))
+		cond := v
+		if v.kind == kObj {
+			b := r.fresh(kBool)
+			r.emit(Op{Kind: OpResidualTruthy, Dst: b.reg, R1: v.reg})
+			cond = b
+		}
+		jumps := (in.Op == pycode.JUMP_IF_FALSE_OR_POP && !truthy) ||
+			(in.Op == pycode.JUMP_IF_TRUE_OR_POP && truthy)
+		if jumps {
+			// Value stays on the stack; deopt path pops it.
+			popped := *r.snap(pc + 1)
+			popped.Stack = popped.Stack[:len(popped.Stack)-1]
+			gk := OpGuardTrue
+			if !truthy {
+				gk = OpGuardFalse
+			}
+			r.emit(Op{Kind: gk, R1: cond.reg, Snap: &popped})
+		} else {
+			// Value is popped; deopt path keeps it and jumps.
+			gk := OpGuardTrue
+			if !truthy {
+				gk = OpGuardFalse
+			}
+			r.emit(Op{Kind: gk, R1: cond.reg, Snap: r.snap(int(in.Arg))})
+			r.pop()
+		}
+
+	case pycode.JUMP_FORWARD, pycode.JUMP_ABSOLUTE, pycode.CONTINUE_LOOP:
+		// Unconditional control flow disappears inside a trace; closing
+		// the loop is handled by OnBackEdge.
+
+	case pycode.SETUP_LOOP, pycode.POP_BLOCK:
+		// Block-stack maintenance has no effect inside a linear trace.
+		// Deopt snapshots resume at bytecodes whose block context the
+		// interpreter rebuilds naturally because the frame's block
+		// stack is untouched while the trace runs.
+
+	case pycode.BREAK_LOOP:
+		r.abort()
+
+	case pycode.GET_ITER:
+		v := r.ensureBoxed(r.peek(1))
+		r.pop()
+		d := r.fresh(kObj)
+		r.emit(Op{Kind: OpResidualGetIter, Dst: d.reg, R1: v.reg})
+		r.push(d)
+
+	case pycode.FOR_ITER:
+		it := r.peek(1)
+		actual := r.actual(1)
+		if exhausted, known := peekExhausted(actual); known && exhausted {
+			// The recording iteration leaves the loop here: guard that
+			// the iterator is exhausted and follow the exit path.
+			snapHere := r.snap(pc)
+			r.pop()
+			r.emit(Op{Kind: OpIterExhausted, R1: it.reg, Snap: snapHere})
+			return
+		}
+		exit := r.snap(int(in.Arg))
+		exit.Stack = exit.Stack[:len(exit.Stack)-1] // iterator is popped on exhaust
+		switch actual.(type) {
+		case *pyobj.RangeIter:
+			d := r.fresh(kInt)
+			r.emit(Op{Kind: OpRangeNext, Dst: d.reg, R1: it.reg, Snap: exit})
+			r.push(d)
+		case *pyobj.ListIter:
+			d := r.fresh(kObj)
+			r.emit(Op{Kind: OpListIterNext, Dst: d.reg, R1: it.reg, Snap: exit})
+			r.push(d)
+		default:
+			d := r.fresh(kObj)
+			r.emit(Op{Kind: OpResidualIterNext, Dst: d.reg, R1: it.reg, Snap: exit})
+			r.push(d)
+		}
+
+	case pycode.CALL_FUNCTION:
+		argc := int(in.Arg)
+		args := make([]Reg, argc+1)
+		for i := argc; i >= 1; i-- {
+			args[i] = r.ensureBoxed(r.peek(argc - i + 1)).reg
+		}
+		args[0] = r.ensureBoxed(r.peek(argc + 1)).reg
+		for i := 0; i <= argc; i++ {
+			r.pop()
+		}
+		d := r.fresh(kObj)
+		r.emit(Op{Kind: OpResidualCall, Dst: d.reg, Aux: in.Arg, Args: args})
+		r.push(d)
+
+	case pycode.BUILD_LIST, pycode.BUILD_TUPLE:
+		n := int(in.Arg)
+		args := make([]Reg, n)
+		for i := n; i >= 1; i-- {
+			args[n-i] = r.ensureBoxed(r.peek(i)).reg
+		}
+		for i := 0; i < n; i++ {
+			r.pop()
+		}
+		d := r.fresh(kObj)
+		k := OpResidualBuildList
+		if in.Op == pycode.BUILD_TUPLE {
+			k = OpResidualBuildTuple
+		}
+		r.emit(Op{Kind: k, Dst: d.reg, Aux: in.Arg, Args: args})
+		r.push(d)
+
+	case pycode.BUILD_MAP:
+		d := r.fresh(kObj)
+		r.emit(Op{Kind: OpResidualBuildMap, Dst: d.reg})
+		r.push(d)
+
+	case pycode.STORE_MAP:
+		k := r.ensureBoxed(r.peek(1))
+		v := r.ensureBoxed(r.peek(2))
+		r.pop()
+		r.pop()
+		dct := r.peek(1)
+		r.emit(Op{Kind: OpResidualSetItem, R1: dct.reg, R2: k.reg, R3: v.reg})
+
+	case pycode.UNPACK_SEQUENCE:
+		n := int(in.Arg)
+		seq := r.ensureBoxed(r.peek(1))
+		snapBefore := r.snap(pc)
+		r.pop()
+		dsts := make([]Reg, n)
+		// Pushed so the leftmost element ends on top, as the
+		// interpreter does.
+		syms := make([]sym, n)
+		for i := 0; i < n; i++ {
+			syms[i] = r.fresh(kObj)
+			dsts[i] = syms[i].reg
+		}
+		r.emit(Op{Kind: OpResidualUnpack, R1: seq.reg, Aux: in.Arg, Args: dsts, Snap: snapBefore})
+		for i := n - 1; i >= 0; i-- {
+			r.push(syms[i])
+		}
+
+	default:
+		// RETURN_VALUE, MAKE_FUNCTION, BUILD_CLASS, prints, DELETE_*,
+		// BUILD_SLICE, and anything else: leave the loop interpreted.
+		r.abort()
+	}
+}
+
+// recordBinOp specializes arithmetic against the observed operand types.
+func (r *recorder) recordBinOp(pc int, op pycode.Opcode) {
+	kind := binKindFor(op)
+	a := r.actual(2)
+	b := r.actual(1)
+	sa := r.peek(2)
+	sb := r.peek(1)
+
+	if isIntLike(a) && isIntLike(b) && kind != interp.BinPow {
+		snapBefore := r.snap(pc)
+		ia := r.ensureInt(sa, pc)
+		ib := r.ensureInt(sb, pc)
+		r.pop()
+		r.pop()
+		d := r.fresh(kInt)
+		r.emit(Op{Kind: intOpFor(kind), Dst: d.reg, R1: ia.reg, R2: ib.reg, Snap: snapBefore})
+		r.push(d)
+		return
+	}
+	aNum := isIntLike(a) || isFloat(a)
+	bNum := isIntLike(b) || isFloat(b)
+	if aNum && bNum && kind != interp.BinLShift && kind != interp.BinRShift &&
+		kind != interp.BinAnd && kind != interp.BinOr && kind != interp.BinXor {
+		snapBefore := r.snap(pc)
+		fa := r.ensureFloat(sa, pc)
+		fb := r.ensureFloat(sb, pc)
+		r.pop()
+		r.pop()
+		d := r.fresh(kFloat)
+		r.emit(Op{Kind: floatOpFor(kind), Dst: d.reg, R1: fa.reg, R2: fb.reg, Snap: snapBefore})
+		r.push(d)
+		return
+	}
+	// Residual: strings, containers, mixed exotic cases.
+	ba := r.ensureBoxed(sa)
+	bb := r.ensureBoxed(sb)
+	r.pop()
+	r.pop()
+	d := r.fresh(kObj)
+	r.emit(Op{Kind: OpResidualBin, Dst: d.reg, R1: ba.reg, R2: bb.reg, Aux: int32(kind)})
+	r.push(d)
+}
+
+func (r *recorder) recordCompare(pc int, cmp pycode.CmpOp) {
+	a := r.actual(2)
+	b := r.actual(1)
+	sa := r.peek(2)
+	sb := r.peek(1)
+	ordered := cmp <= pycode.CmpGE
+
+	if ordered && isIntLike(a) && isIntLike(b) {
+		ia := r.ensureInt(sa, pc)
+		ib := r.ensureInt(sb, pc)
+		r.pop()
+		r.pop()
+		d := r.fresh(kBool)
+		r.emit(Op{Kind: OpIntCmp, Dst: d.reg, R1: ia.reg, R2: ib.reg, Aux: int32(cmp)})
+		r.push(d)
+		return
+	}
+	if ordered && (isIntLike(a) || isFloat(a)) && (isIntLike(b) || isFloat(b)) {
+		fa := r.ensureFloat(sa, pc)
+		fb := r.ensureFloat(sb, pc)
+		r.pop()
+		r.pop()
+		d := r.fresh(kBool)
+		r.emit(Op{Kind: OpFloatCmp, Dst: d.reg, R1: fa.reg, R2: fb.reg, Aux: int32(cmp)})
+		r.push(d)
+		return
+	}
+	ba := r.ensureBoxed(sa)
+	bb := r.ensureBoxed(sb)
+	r.pop()
+	r.pop()
+	d := r.fresh(kObj)
+	r.emit(Op{Kind: OpResidualCmp, Dst: d.reg, R1: ba.reg, R2: bb.reg, Aux: int32(cmp)})
+	r.push(d)
+}
+
+func (r *recorder) recordSubscr(pc int) {
+	o := r.actual(2)
+	k := r.actual(1)
+	so := r.peek(2)
+	sk := r.peek(1)
+
+	if _, isList := o.(*pyobj.List); isList && isIntLike(k) {
+		snapBefore := r.snap(pc)
+		if so.kind != kObj {
+			r.abort()
+			return
+		}
+		r.emit(Op{Kind: OpGuardList, R1: so.reg, Snap: snapBefore})
+		ik := r.ensureInt(sk, pc)
+		r.pop()
+		r.pop()
+		d := r.fresh(kObj)
+		r.emit(Op{Kind: OpListGet, Dst: d.reg, R1: so.reg, R2: ik.reg, Snap: snapBefore})
+		r.push(d)
+		return
+	}
+	bo := r.ensureBoxed(so)
+	bk := r.ensureBoxed(sk)
+	r.pop()
+	r.pop()
+	d := r.fresh(kObj)
+	r.emit(Op{Kind: OpResidualGetItem, Dst: d.reg, R1: bo.reg, R2: bk.reg})
+	r.push(d)
+}
+
+func (r *recorder) recordStoreSubscr(pc int) {
+	// Stack: [value, obj, key] with key on top.
+	o := r.actual(2)
+	k := r.actual(1)
+	sk := r.peek(1)
+	so := r.peek(2)
+	sv := r.peek(3)
+
+	if _, isList := o.(*pyobj.List); isList && isIntLike(k) && so.kind == kObj {
+		snapBefore := r.snap(pc)
+		r.emit(Op{Kind: OpGuardList, R1: so.reg, Snap: snapBefore})
+		ik := r.ensureInt(sk, pc)
+		bv := r.ensureBoxed(sv)
+		r.pop()
+		r.pop()
+		r.pop()
+		r.emit(Op{Kind: OpListSet, R1: so.reg, R2: ik.reg, R3: bv.reg, Snap: snapBefore})
+		return
+	}
+	bk := r.ensureBoxed(sk)
+	bo := r.ensureBoxed(so)
+	bv := r.ensureBoxed(sv)
+	r.pop()
+	r.pop()
+	r.pop()
+	r.emit(Op{Kind: OpResidualSetItem, R1: bo.reg, R2: bk.reg, R3: bv.reg})
+}
+
+func binKindFor(op pycode.Opcode) interp.BinKind {
+	switch op {
+	case pycode.BINARY_ADD, pycode.INPLACE_ADD:
+		return interp.BinAdd
+	case pycode.BINARY_SUBTRACT, pycode.INPLACE_SUBTRACT:
+		return interp.BinSub
+	case pycode.BINARY_MULTIPLY, pycode.INPLACE_MULTIPLY:
+		return interp.BinMul
+	case pycode.BINARY_DIVIDE, pycode.INPLACE_DIVIDE:
+		return interp.BinDiv
+	case pycode.BINARY_FLOOR_DIVIDE, pycode.INPLACE_FLOOR_DIVIDE:
+		return interp.BinFloorDiv
+	case pycode.BINARY_MODULO, pycode.INPLACE_MODULO:
+		return interp.BinMod
+	case pycode.BINARY_POWER:
+		return interp.BinPow
+	case pycode.BINARY_LSHIFT, pycode.INPLACE_LSHIFT:
+		return interp.BinLShift
+	case pycode.BINARY_RSHIFT, pycode.INPLACE_RSHIFT:
+		return interp.BinRShift
+	case pycode.BINARY_AND, pycode.INPLACE_AND:
+		return interp.BinAnd
+	case pycode.BINARY_OR, pycode.INPLACE_OR:
+		return interp.BinOr
+	case pycode.BINARY_XOR, pycode.INPLACE_XOR:
+		return interp.BinXor
+	}
+	panic("jit: not a binop")
+}
+
+func intOpFor(k interp.BinKind) OpKind {
+	switch k {
+	case interp.BinAdd:
+		return OpIntAdd
+	case interp.BinSub:
+		return OpIntSub
+	case interp.BinMul:
+		return OpIntMul
+	case interp.BinDiv, interp.BinFloorDiv:
+		return OpIntDiv
+	case interp.BinMod:
+		return OpIntMod
+	case interp.BinAnd:
+		return OpIntAnd
+	case interp.BinOr:
+		return OpIntOr
+	case interp.BinXor:
+		return OpIntXor
+	case interp.BinLShift:
+		return OpIntShl
+	case interp.BinRShift:
+		return OpIntShr
+	}
+	panic("jit: no int op")
+}
+
+func floatOpFor(k interp.BinKind) OpKind {
+	switch k {
+	case interp.BinAdd:
+		return OpFloatAdd
+	case interp.BinSub:
+		return OpFloatSub
+	case interp.BinMul:
+		return OpFloatMul
+	case interp.BinDiv:
+		return OpFloatDiv
+	case interp.BinFloorDiv:
+		return OpFloatFloorDiv
+	case interp.BinMod:
+		return OpFloatMod
+	case interp.BinPow:
+		return OpFloatPow
+	}
+	panic("jit: no float op")
+}
+
+// peekExhausted reports, without side effects, whether the iterator's next
+// step will exhaust it.
+func peekExhausted(o pyobj.Object) (exhausted, known bool) {
+	switch it := o.(type) {
+	case *pyobj.RangeIter:
+		return (it.Step > 0 && it.Cur >= it.Stop) || (it.Step < 0 && it.Cur <= it.Stop), true
+	case *pyobj.ListIter:
+		return it.Idx >= len(it.L.Items), true
+	case *pyobj.TupleIter:
+		return it.Idx >= len(it.T.Items), true
+	case *pyobj.StrIter:
+		return it.Idx >= len(it.S.V), true
+	case *pyobj.DictIter:
+		for i := it.Idx; i < len(it.D.Entries); i++ {
+			if it.D.Entries[i].Live() {
+				return false, true
+			}
+		}
+		return true, true
+	}
+	return false, false
+}

@@ -1,0 +1,201 @@
+package jit
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/emit"
+	"repro/internal/gc"
+	"repro/internal/interp"
+	"repro/internal/isa"
+)
+
+// runBothModes runs src under the JIT and under the plain interpreter with
+// the same generational heap, returning both outputs.
+func runBothModes(t *testing.T, src string, threshold int) (string, string) {
+	t.Helper()
+	var out strings.Builder
+	vm := interp.New(emit.NewEngine(isa.NullSink{}), gc.DefaultGenConfig(4<<20), &out)
+	cfg := DefaultConfig()
+	cfg.HotThreshold = threshold
+	New(vm, cfg)
+	if err := vm.RunSource("<jit>", src); err != nil {
+		t.Fatalf("jit: %v", err)
+	}
+	var out2 strings.Builder
+	vm2 := interp.New(emit.NewEngine(isa.NullSink{}), gc.DefaultGenConfig(4<<20), &out2)
+	if err := vm2.RunSource("<plain>", src); err != nil {
+		t.Fatal(err)
+	}
+	return out.String(), out2.String()
+}
+
+func mustMatch(t *testing.T, src string, threshold int) {
+	t.Helper()
+	a, b := runBothModes(t, src, threshold)
+	if a != b {
+		t.Errorf("JIT diverged\n--- jit ---\n%s--- interp ---\n%s", a, b)
+	}
+}
+
+// Regression: and/or chains compile into guard pairs on one register; both
+// resume points must reconstruct the stack correctly.
+func TestRegressionBoolChainGuards(t *testing.T) {
+	mustMatch(t, `
+def f(n):
+    best = -1.0
+    total = 0.0
+    for i in xrange(n):
+        t = (i * 37 % 100) / 10.0 - 3.0
+        if t > 0.0 and (best < 0.0 or t < best):
+            best = t
+            total += t
+    return (best, total)
+
+res = f(5000)
+print("%.6f %.6f" % (res[0], res[1]))
+`, 20)
+}
+
+// Regression: a local that is only STORED inside the trace (never loaded)
+// needs its own loop-carry register; using its current-value register as
+// the snapshot fallback corrupts deopts that happen before the store
+// (the raytrace best_s bug).
+func TestRegressionOnlyStoredLocalDeopt(t *testing.T) {
+	mustMatch(t, `
+class Thing:
+    def __init__(self, v):
+        self.v = v
+
+def scan(things, x):
+    best_t = -1.0
+    best_s = None
+    for s in things:
+        d = s.v - x
+        if d > 0.0 and (best_t < 0.0 or d < best_t):
+            best_t = d
+            best_s = s
+    if best_s is None:
+        return -99.0
+    return best_t + best_s.v
+
+things = [Thing(10.0), Thing(4.0), Thing(7.0), Thing(1.0)]
+acc = 0.0
+for i in xrange(4000):
+    r = scan(things, (i % 13) * 1.0)
+    if r > -90.0:
+        acc += r
+print("%.4f" % acc)
+`, 1039)
+}
+
+// Regression: None-vs-value comparison chains inside compiled loops.
+func TestRegressionNoneCompare(t *testing.T) {
+	mustMatch(t, `
+def f(n):
+    best = None
+    count = 0
+    for i in xrange(n):
+        v = i * 13 % 7
+        if best is None or v < best:
+            best = v
+            count += 1
+    return (best, count)
+
+res = f(4000)
+print(res[0], res[1])
+`, 20)
+}
+
+// Regression: int/float promotion in compiled arithmetic.
+func TestRegressionMixedIntFloat(t *testing.T) {
+	mustMatch(t, `
+def f(n):
+    acc = 0.0
+    for px in xrange(n):
+        dx = (px - n / 2) / float(n)
+        dy = -(px - n / 2) / float(n)
+        acc += dx * 2.0 - dy / 3.0
+    return acc
+
+print("%.6f" % f(4000))
+`, 20)
+}
+
+// Regression: recursion through residual calls re-enters compiled traces
+// of the same loop; the executor must be re-entrant.
+func TestRegressionRecursiveTraceReentry(t *testing.T) {
+	mustMatch(t, `
+class Thing:
+    def __init__(self, v):
+        self.v = v
+
+def scan(things, x, depth):
+    best = -1.0
+    for s in things:
+        d = s.v - x
+        if d > 0.0 and (best < 0.0 or d < best):
+            best = d
+    if depth < 2 and best > 5.0:
+        best = best * 0.5 + 0.5 * scan(things, x + 1.0, depth + 1)
+    return best
+
+things = [Thing(10.0), Thing(4.0), Thing(7.0), Thing(1.0)]
+acc = 0.0
+for i in xrange(2500):
+    acc += scan(things, (i % 13) * 1.0, 0)
+print("%.4f" % acc)
+`, 100)
+}
+
+// Regression: traces crossing inner-loop exits (SETUP_LOOP/POP_BLOCK)
+// must restore the frame's block stack at deopt (the fannkuch crash).
+func TestRegressionBlockStackDeopt(t *testing.T) {
+	mustMatch(t, `
+def f(n):
+    total = 0
+    i = 0
+    while i < n:
+        j = 0
+        while j < 3:
+            total += i ^ j
+            j += 1
+        if i % 97 == 0:
+            k = 0
+            while k < 5:
+                total -= k
+                k += 1
+        i += 1
+    return total
+
+print(f(8000))
+`, 100)
+}
+
+// Paranoid mode (single-iteration reconstruction) must agree with both
+// normal compiled execution and the interpreter.
+func TestParanoidModeConsistency(t *testing.T) {
+	src := `
+def f(n):
+    acc = 0
+    vals = range(50)
+    for i in xrange(n):
+        acc += vals[i % 50] * 3 - (i & 7)
+    return acc
+
+print(f(20000))
+`
+	var out strings.Builder
+	vm := interp.New(emit.NewEngine(isa.NullSink{}), gc.DefaultGenConfig(4<<20), &out)
+	cfg := DefaultConfig()
+	cfg.HotThreshold = 20
+	cfg.Paranoid = true
+	New(vm, cfg)
+	if err := vm.RunSource("<paranoid>", src); err != nil {
+		t.Fatal(err)
+	}
+	a, b := runBothModes(t, src, 20)
+	if a != b || out.String() != a {
+		t.Errorf("paranoid=%q jit=%q interp=%q", out.String(), a, b)
+	}
+}

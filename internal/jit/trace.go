@@ -1,0 +1,276 @@
+// Package jit implements a PyPy-style tracing just-in-time compiler for
+// the MiniPy virtual machine.
+//
+// Hot loop back-edges are detected by counters; one iteration of the loop
+// is then recorded through the interpreter's tracing hooks, specialized
+// against the value types observed during recording, and "compiled" into a
+// trace: a linear sequence of typed operations with guards. Compiled
+// traces execute with unboxed integer/float values in virtual registers,
+// emitting their own micro-events at simulated addresses inside the JIT
+// code arena — so the microarchitecture simulator sees shorter instruction
+// sequences but the same data-memory traffic, exactly the contrast the
+// paper studies (Figs 7-9, 13).
+//
+// A failed guard deoptimizes: unboxed registers are boxed back into heap
+// objects (paying allocation), interpreter state is reconstructed from the
+// guard's snapshot, and execution resumes in the bytecode interpreter.
+// Guards that fail persistently invalidate the trace; the loop re-heats
+// and is re-recorded on the now-common path (a simplified form of PyPy's
+// bridges).
+package jit
+
+import (
+	"repro/internal/pycode"
+	"repro/internal/pyobj"
+)
+
+// OpKind is a trace operation.
+type OpKind uint8
+
+// Trace operations. R1/R2 are input registers, Dst the output register.
+const (
+	// Guards (deopt on failure).
+	OpGuardInt OpKind = iota
+	OpGuardFloat
+	OpGuardBool
+	OpGuardList
+	OpGuardTrue  // value must be truthy
+	OpGuardFalse // value must be falsy
+	OpGuardGlobal
+	OpGuardBounds // 0 <= R1.i < len(R2 list)
+
+	// Unboxed arithmetic (operands established by guards).
+	OpIntAdd
+	OpIntSub
+	OpIntMul
+	OpIntDiv
+	OpIntMod
+	OpIntAnd
+	OpIntOr
+	OpIntXor
+	OpIntShl
+	OpIntShr
+	OpIntNeg
+	OpIntCmp // Aux = CmpOp; Dst.i = 0/1
+	OpFloatAdd
+	OpFloatSub
+	OpFloatMul
+	OpFloatDiv
+	OpFloatFloorDiv
+	OpFloatMod
+	OpFloatCmp
+	OpFloatNeg
+	OpFloatPow
+	OpIntToFloat
+
+	// Register plumbing.
+	OpLoadLocal  // Dst <- frame local Aux (boxed object)
+	OpStoreLocal // frame local Aux <- R1 (boxes if unboxed at write time? no: lazily at deopt; the local shadow map holds the reg)
+	OpLoadConst  // Dst <- const Aux
+	OpMove
+
+	// Specialized heap operations (real addresses, real cache traffic).
+	OpListGet // Dst <- R1.list[R2.i]
+	OpListSet // R1.list[R2.i] <- R3
+	OpListLen // Dst.i <- len(R1.list)
+	OpListAppend
+	OpRangeNext // advance range iterator in R1; Dst.i <- value; deopt to exit on exhaust
+	OpListIterNext
+	OpIterExhausted // guard: iterator in R1 IS exhausted; deopt re-executes FOR_ITER
+	OpStrGetItem    // Dst <- R1.str[R2.i] (1-char str)
+	OpStrLen
+
+	// Residual operations: fall back to the interpreter's helpers
+	// (boxed values, full event emission).
+	OpResidualBin // Aux = interp.BinKind
+	OpResidualCmp // Aux = pycode.CmpOp
+	OpResidualGetItem
+	OpResidualSetItem
+	OpResidualGetAttr // Str = name
+	OpResidualSetAttr
+	OpResidualCall // Aux = argc; Args lists callable + args regs
+	OpResidualIterNext
+	OpResidualGetIter
+	OpResidualUnaryNeg
+	OpResidualNot
+	OpResidualBuildList  // Aux = count
+	OpResidualBuildTuple // Aux = count
+	OpResidualBuildMap
+	OpResidualTruthy // Dst.i = bool
+	OpResidualUnpack // Aux = count; expands into Args regs
+
+	// Box/unbox at trace boundaries.
+	OpBoxInt
+	OpBoxFloat
+	OpBoxBool
+	OpUnboxInt
+	OpUnboxFloat
+	OpUnboxBool
+
+	numOps
+)
+
+var opNames = map[OpKind]string{
+	OpGuardInt: "guard_int", OpGuardFloat: "guard_float", OpGuardBool: "guard_bool",
+	OpGuardList: "guard_list", OpGuardTrue: "guard_true", OpGuardFalse: "guard_false",
+	OpGuardGlobal: "guard_global", OpGuardBounds: "guard_bounds",
+	OpIntAdd: "int_add", OpIntSub: "int_sub", OpIntMul: "int_mul",
+	OpIntDiv: "int_div", OpIntMod: "int_mod", OpIntAnd: "int_and",
+	OpIntOr: "int_or", OpIntXor: "int_xor", OpIntShl: "int_shl",
+	OpIntShr: "int_shr", OpIntNeg: "int_neg", OpIntCmp: "int_cmp",
+	OpFloatAdd: "float_add", OpFloatSub: "float_sub", OpFloatMul: "float_mul",
+	OpFloatDiv: "float_div", OpFloatFloorDiv: "float_floordiv",
+	OpFloatMod: "float_mod", OpFloatCmp: "float_cmp", OpFloatNeg: "float_neg",
+	OpFloatPow:   "float_pow",
+	OpIntToFloat: "int_to_float",
+	OpLoadLocal:  "load_local", OpStoreLocal: "store_local",
+	OpLoadConst: "load_const", OpMove: "move",
+	OpListGet: "list_get", OpListSet: "list_set", OpListLen: "list_len",
+	OpListAppend: "list_append", OpRangeNext: "range_next",
+	OpListIterNext: "listiter_next", OpIterExhausted: "iter_exhausted",
+	OpStrGetItem: "str_getitem", OpStrLen: "str_len",
+	OpResidualBin: "residual_bin", OpResidualCmp: "residual_cmp",
+	OpResidualGetItem: "residual_getitem", OpResidualSetItem: "residual_setitem",
+	OpResidualGetAttr: "residual_getattr", OpResidualSetAttr: "residual_setattr",
+	OpResidualCall: "residual_call", OpResidualIterNext: "residual_iternext",
+	OpResidualGetIter: "residual_getiter", OpResidualUnaryNeg: "residual_neg",
+	OpResidualNot: "residual_not", OpResidualBuildList: "residual_buildlist",
+	OpResidualBuildTuple: "residual_buildtuple", OpResidualBuildMap: "residual_buildmap",
+	OpResidualTruthy: "residual_truthy", OpResidualUnpack: "residual_unpack",
+	OpBoxInt: "box_int", OpBoxFloat: "box_float", OpBoxBool: "box_bool",
+	OpUnboxInt: "unbox_int", OpUnboxFloat: "unbox_float", OpUnboxBool: "unbox_bool",
+}
+
+// String returns the op mnemonic.
+func (k OpKind) String() string {
+	if s, ok := opNames[k]; ok {
+		return s
+	}
+	return "op?"
+}
+
+// Reg is a virtual register index.
+type Reg int32
+
+// Op is one trace operation.
+type Op struct {
+	Kind OpKind
+	Dst  Reg
+	R1   Reg
+	R2   Reg
+	R3   Reg
+	Aux  int32        // operand: local slot, const index, cmp op, argc...
+	Str  string       // attribute/global name
+	Obj  pyobj.Object // guarded global value, const object
+	Args []Reg        // residual call arguments / unpack destinations
+	// Snap is the deopt snapshot for guard ops.
+	Snap *Snapshot
+	// Once marks preamble operations (local loads) that execute only on
+	// the first iteration of a compiled loop; loop-carried values reach
+	// their registers through the back-edge moves instead.
+	Once bool
+	// PC is the op's simulated code address in the JIT arena (assigned
+	// at compile time).
+	PC uint64
+	// SrcPC is the bytecode index the op was recorded from (debugging).
+	SrcPC int
+}
+
+// Snapshot records how to reconstruct interpreter state at a guard: which
+// registers hold the values of the frame's stack slots and dirty locals,
+// and where to resume.
+type Snapshot struct {
+	// ResumePC is the bytecode index at which the interpreter resumes.
+	ResumePC int
+	// Stack lists the registers holding the value stack, bottom first.
+	Stack []Reg
+	// Locals maps frame local slots to registers (only slots written or
+	// first-read inside the trace).
+	Locals map[int]Reg
+	// Blocks is the frame's block stack at this program point (loop
+	// blocks pushed by SETUP_LOOP). The trace itself never touches the
+	// frame's block stack, so deopt restores it wholesale; block-stack
+	// content is a pure function of the program point.
+	Blocks []pyobj.Block
+	// Fails counts how often this guard has deoptimized.
+	Fails int
+}
+
+// Trace is a compiled loop.
+type Trace struct {
+	// Code is the code object the loop belongs to; HeadPC its loop
+	// header bytecode index.
+	Code   *pycode.Code
+	HeadPC int
+	Ops    []Op
+	// NumRegs is the virtual register count.
+	NumRegs int
+	// Entry describes the frame state consumed at loop entry.
+	Entry Snapshot
+	// Close reconstructs the interpreter state at the loop header after
+	// a completed iteration (paranoid mode / fallback exits).
+	Close *Snapshot
+	// BaseAddr is the trace's simulated code base in the JIT arena;
+	// CodeBytes its footprint.
+	BaseAddr  uint64
+	CodeBytes uint64
+	// Executions counts completed loop iterations in compiled code.
+	Executions uint64
+	// Invalid marks a trace discarded after persistent guard failures.
+	Invalid bool
+}
+
+// Disassemble renders the trace for debugging.
+func (t *Trace) Disassemble() string {
+	var sb []byte
+	for i := range t.Ops {
+		op := &t.Ops[i]
+		sb = append(sb, []byte(fmtOp(i, op))...)
+	}
+	return string(sb)
+}
+
+func fmtOp(i int, op *Op) string {
+	s := ""
+	if op.Snap != nil {
+		s = " snap->" + itoa(op.Snap.ResumePC)
+	}
+	once := ""
+	if op.Once {
+		once = " once"
+	}
+	str := ""
+	if op.Str != "" {
+		str = " '" + op.Str + "'"
+	}
+	args := ""
+	for _, a := range op.Args {
+		args += " a" + itoa(int(a))
+	}
+	return itoa(i) + ": " + op.Kind.String() +
+		" d=" + itoa(int(op.Dst)) + " r1=" + itoa(int(op.R1)) +
+		" r2=" + itoa(int(op.R2)) + " r3=" + itoa(int(op.R3)) +
+		" aux=" + itoa(int(op.Aux)) + args + " src=" + itoa(op.SrcPC) + str + once + s + "\n"
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [24]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}

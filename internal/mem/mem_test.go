@@ -1,0 +1,123 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegionAllocAlignment(t *testing.T) {
+	r := NewRegion("t", 0x1000, 0x1000)
+	a1, ok := r.Alloc(10, 16)
+	if !ok || a1%16 != 0 {
+		t.Fatalf("misaligned: %#x", a1)
+	}
+	a2, ok := r.Alloc(10, 16)
+	if !ok || a2 <= a1 {
+		t.Fatalf("non-monotonic: %#x then %#x", a1, a2)
+	}
+	if !r.Contains(a1) || r.Contains(0x2001) {
+		t.Error("contains wrong")
+	}
+	if r.Used() == 0 || r.Avail() >= r.Size() {
+		t.Error("usage accounting wrong")
+	}
+}
+
+func TestRegionExhaustion(t *testing.T) {
+	r := NewRegion("t", 0, 64)
+	if _, ok := r.Alloc(65, 1); ok {
+		t.Error("over-allocation succeeded")
+	}
+	if _, ok := r.Alloc(64, 1); !ok {
+		t.Error("exact fit failed")
+	}
+	if _, ok := r.Alloc(1, 1); ok {
+		t.Error("allocation from full region succeeded")
+	}
+	r.Reset()
+	if _, ok := r.Alloc(64, 1); !ok {
+		t.Error("reset did not rewind")
+	}
+}
+
+func TestMustAllocPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAlloc did not panic on exhaustion")
+		}
+	}()
+	r := NewRegion("t", 0, 8)
+	r.MustAlloc(16, 1)
+}
+
+func TestFreeListReusesLIFO(t *testing.T) {
+	fl := NewFreeList(NewRegion("t", 0x1000, 1<<20))
+	a, reused := fl.Alloc(24)
+	if reused {
+		t.Error("first alloc cannot be reuse")
+	}
+	b, _ := fl.Alloc(24)
+	fl.Free(a, 24)
+	fl.Free(b, 24)
+	c, reused := fl.Alloc(24)
+	if !reused || c != b {
+		t.Errorf("expected LIFO reuse of %#x, got %#x (reused=%v)", b, c, reused)
+	}
+	d, reused := fl.Alloc(24)
+	if !reused || d != a {
+		t.Errorf("expected reuse of %#x, got %#x", a, d)
+	}
+}
+
+// Property: live blocks handed out by the free list never overlap.
+func TestFreeListNoOverlapProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		fl := NewFreeList(NewRegion("t", 0x1000, 1<<22))
+		type blk struct{ addr, size uint64 }
+		var live []blk
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				// free a pseudo-random live block
+				i := int(op) % len(live)
+				fl.Free(live[i].addr, live[i].size)
+				live = append(live[:i], live[i+1:]...)
+				continue
+			}
+			size := uint64(op%100) + 1
+			addr, _ := fl.Alloc(size)
+			live = append(live, blk{addr, size})
+		}
+		for i := 0; i < len(live); i++ {
+			for j := i + 1; j < len(live); j++ {
+				a, b := live[i], live[j]
+				if a.addr < b.addr+b.size && b.addr < a.addr+a.size {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCStack(t *testing.T) {
+	s := NewCStack(0x1000)
+	p1 := s.Push(64)
+	if p1 != 0x1000-64 {
+		t.Errorf("push: %#x", p1)
+	}
+	p2 := s.Push(32)
+	if p2 != p1-32 || s.Depth() != 96 {
+		t.Errorf("second push %#x depth %d", p2, s.Depth())
+	}
+	s.Pop(32)
+	if s.SP() != p1 {
+		t.Errorf("pop mismatch: %#x != %#x", s.SP(), p1)
+	}
+	s.Reset()
+	if s.Depth() != 0 {
+		t.Error("reset did not empty")
+	}
+}

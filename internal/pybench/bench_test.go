@@ -1,0 +1,153 @@
+package pybench
+
+import (
+	"flag"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/runtime"
+)
+
+var update = flag.Bool("update", false, "regenerate testdata/checksums.txt")
+
+const checksumFile = "testdata/checksums.txt"
+
+// loadChecksums parses the golden file: "name<TAB>output-with-\n-escaped".
+func loadChecksums(t *testing.T) map[string]string {
+	t.Helper()
+	data, err := os.ReadFile(checksumFile)
+	if err != nil {
+		t.Fatalf("read %s: %v (run with -update to generate)", checksumFile, err)
+	}
+	out := map[string]string{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 2)
+		if len(parts) != 2 {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		out[parts[0]] = strings.ReplaceAll(parts[1], "\\n", "\n")
+	}
+	return out
+}
+
+// runOn executes a benchmark on the given mode without timing simulation.
+func runOn(t *testing.T, b *Benchmark, mode runtime.Mode) string {
+	t.Helper()
+	cfg := runtime.DefaultConfig(mode)
+	cfg.Core = runtime.CountOnly
+	cfg.Warmups = 0
+	cfg.Measures = 1
+	cfg.MaxBytecodes = 500_000_000
+	r, err := runtime.NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(b.Name, b.Source)
+	if err != nil {
+		t.Fatalf("%s on %s: %v", b.Name, mode, err)
+	}
+	return res.Output
+}
+
+// TestChecksums verifies every benchmark against the golden outputs on the
+// CPython-mode interpreter (or regenerates them with -update).
+func TestChecksums(t *testing.T) {
+	if *update {
+		var lines []string
+		for _, b := range All() {
+			out := runOn(t, b, runtime.CPython)
+			if out == "" {
+				t.Fatalf("%s produced no output", b.Name)
+			}
+			lines = append(lines, b.Name+"\t"+strings.ReplaceAll(out, "\n", "\\n"))
+		}
+		sort.Strings(lines)
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(checksumFile, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d checksums", len(lines))
+		return
+	}
+	golden := loadChecksums(t)
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			want, ok := golden[b.Name]
+			if !ok {
+				t.Fatalf("no golden checksum (run go test -run TestChecksums -update)")
+			}
+			if got := runOn(t, b, runtime.CPython); got != want {
+				t.Errorf("output changed\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+	for name := range golden {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("golden entry %q has no benchmark", name)
+		}
+	}
+}
+
+// TestCrossRuntimeConsistency verifies all four run-time configurations
+// compute identical outputs for every benchmark — the repository's
+// strongest end-to-end invariant (interpreter, both collectors, and both
+// JIT flavours share semantics).
+func TestCrossRuntimeConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: runs every benchmark on four runtimes")
+	}
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			ref := runOn(t, b, runtime.CPython)
+			for _, mode := range []runtime.Mode{runtime.PyPyNoJIT, runtime.PyPyJIT, runtime.V8Like} {
+				if got := runOn(t, b, mode); got != ref {
+					t.Errorf("%s output differs from cpython\n--- %s ---\n%s--- cpython ---\n%s",
+						mode, mode, got, ref)
+				}
+			}
+		})
+	}
+}
+
+// TestSuiteShape sanity-checks the figure sets.
+func TestSuiteShape(t *testing.T) {
+	if n := len(All()); n < 30 {
+		t.Errorf("suite too small: %d benchmarks", n)
+	}
+	if n := len(Fig8Set()); n != 8 {
+		names := []string{}
+		for _, b := range Fig8Set() {
+			names = append(names, b.Name)
+		}
+		t.Errorf("Fig 8 set should have 8 benchmarks, got %d: %v", n, names)
+	}
+	if n := len(NurserySet()); n != 8 {
+		names := []string{}
+		for _, b := range NurserySet() {
+			names = append(names, b.Name)
+		}
+		t.Errorf("nursery set should have 8 benchmarks, got %d: %v", n, names)
+	}
+	if n := len(JetStreamSet()); n < 8 {
+		t.Errorf("JetStream set too small: %d", n)
+	}
+	seen := map[string]bool{}
+	for _, b := range All() {
+		if b.Source == "" {
+			t.Errorf("%s has no source", b.Name)
+		}
+		if seen[b.Name] {
+			t.Errorf("duplicate %s", b.Name)
+		}
+		seen[b.Name] = true
+	}
+}

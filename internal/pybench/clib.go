@@ -1,0 +1,235 @@
+package pybench
+
+// C-library-dominated benchmarks: the pickle, json, and regex families.
+// The paper finds these spend most of their time (>64%) in C library code;
+// here that code is the modeled pickle/json/re extension modules.
+
+// buildDataPrelude constructs the shared nested data set.
+const buildDataPrelude = `
+def build_record(i):
+    return {"id": i,
+            "name": "user-%d" % i,
+            "score": i * 0.75,
+            "tags": ["alpha", "beta", "g%d" % (i % 10)],
+            "active": i % 3 == 0,
+            "address": {"street": "%d Main St" % (i * 7 % 100),
+                        "zip": "%05d" % (i * 13 % 99999)}}
+
+def build_records(n):
+    out = []
+    for i in xrange(n):
+        out.append(build_record(i))
+    return out
+`
+
+func init() {
+	register(&Benchmark{
+		Name:      "pickle",
+		CLibHeavy: true,
+		Source: buildDataPrelude + `
+records = build_records(60)
+total = 0
+for rep in xrange(40):
+    s = pickle.dumps(records)
+    total += len(s)
+print(total % 1000003, len(s))
+`,
+	})
+
+	register(&Benchmark{
+		Name:      "unpickle",
+		CLibHeavy: true,
+		Source: buildDataPrelude + `
+records = build_records(60)
+blob = pickle.dumps(records)
+total = 0
+for rep in xrange(40):
+    back = pickle.loads(blob)
+    total += len(back) + back[3]["id"]
+print(total, len(blob))
+`,
+		AllocHeavy: true,
+	})
+
+	register(&Benchmark{
+		Name:      "pickle_list",
+		CLibHeavy: true,
+		Source: `
+data = []
+for i in xrange(400):
+    data.append(i * 3)
+    data.append("item-%d" % i)
+total = 0
+for rep in xrange(60):
+    s = pickle.dumps(data)
+    total += len(s)
+print(total % 1000003)
+`,
+	})
+
+	register(&Benchmark{
+		Name:      "pickle_dict",
+		CLibHeavy: true,
+		Source: `
+data = {}
+for i in xrange(300):
+    data["key-%d" % i] = [i, i * 2, "v%d" % i]
+total = 0
+for rep in xrange(40):
+    s = pickle.dumps(data)
+    total += len(s)
+print(total % 1000003)
+`,
+	})
+
+	register(&Benchmark{
+		Name:       "unpickle_list",
+		CLibHeavy:  true,
+		AllocHeavy: true,
+		Source: `
+data = []
+for i in xrange(400):
+    data.append(i * 3)
+    data.append("item-%d" % i)
+blob = pickle.dumps(data)
+total = 0
+for rep in xrange(60):
+    back = pickle.loads(blob)
+    total += back[0] + back[2] + len(back)
+print(total)
+`,
+	})
+
+	register(&Benchmark{
+		Name:      "json_dumps",
+		CLibHeavy: true,
+		Source: buildDataPrelude + `
+records = build_records(50)
+total = 0
+for rep in xrange(40):
+    s = json.dumps(records)
+    total += len(s)
+print(total % 1000003, len(s))
+`,
+	})
+
+	register(&Benchmark{
+		Name:       "json_loads",
+		CLibHeavy:  true,
+		AllocHeavy: true,
+		Source: buildDataPrelude + `
+records = build_records(50)
+blob = json.dumps(records)
+total = 0
+for rep in xrange(30):
+    back = json.loads(blob)
+    total += len(back) + back[7]["id"]
+print(total, len(blob))
+`,
+	})
+
+	register(&Benchmark{
+		Name:      "regex_v8",
+		CLibHeavy: true,
+		Fig8:      true,
+		JSName:    "regexp-2010",
+		Source: `
+# Patterns over synthetic web-ish text, in the spirit of the regex-v8
+# workload distilled from browser sessions.
+def build_text(n):
+    parts = []
+    for i in xrange(n):
+        parts.append("GET /page/%d?user=u%d&session=s%d HTTP/1.1 host%d.example.com " % (i, i * 7 % 50, i * 13 % 97, i % 5))
+        parts.append("<div class='c%d' id='e%d'>value %d,%d</div> " % (i % 9, i, i * 3, i * 5))
+    return "".join(parts)
+
+text = build_text(60)
+total = 0
+total += len(re.findall("GET /page/[0-9]+", text))
+total += len(re.findall("user=u[0-9]+", text))
+total += len(re.findall("<div class='c[0-9]'", text))
+total += len(re.findall("[0-9]+,[0-9]+", text))
+total += len(re.findall("host[0-9]\\.example\\.com", text))
+subbed = re.sub("session=s[0-9]+", "session=X", text)
+total += len(re.findall("session=X", subbed))
+print(total, len(text))
+`,
+	})
+
+	register(&Benchmark{
+		Name:      "regex_dna",
+		CLibHeavy: true,
+		JSName:    "regex-dna",
+		Source: `
+def build_dna(n):
+    bases = "ACGT"
+    parts = []
+    seed = 42
+    for i in xrange(n):
+        seed = (seed * 1103515245 + 12345) % 2147483648
+        parts.append(bases[(seed / 65536) % 4])
+    return "".join(parts)
+
+seq = build_dna(3000)
+variants = [
+    "AGGT",
+    "[CT]GGT",
+    "AG[AG]GT",
+    "AGG[CG]T",
+    "GG[AT]A",
+    "GT[CT]A",
+    "GG..CA"]
+total = 0
+for pat in variants:
+    total += len(re.findall(pat, seq))
+cleaned = re.sub("TTT+", "T", seq)
+print(total, len(cleaned))
+`,
+	})
+
+	register(&Benchmark{
+		Name:      "regex_effbot",
+		CLibHeavy: true,
+		Source: `
+def build_log(n):
+    parts = []
+    for i in xrange(n):
+        parts.append("2018-0%d-%02d %02d:%02d:%02d [worker-%d] level=%d msg='op %d done in %dms'\n" %
+                     (i % 9 + 1, i % 28 + 1, i % 24, i * 7 % 60, i * 13 % 60, i % 8, i % 5, i, i * 3 % 500))
+    return "".join(parts)
+
+log = build_log(100)
+total = 0
+total += len(re.findall("[0-9]+ms", log))
+total += len(re.findall("worker-[0-7]", log))
+total += len(re.findall("level=[0-4]", log))
+total += len(re.findall("\\d\\d:\\d\\d:\\d\\d", log))
+m = re.search("msg='op 42 done in \\d+ms'", log)
+if m is not None:
+    total += len(m)
+print(total)
+`,
+	})
+
+	register(&Benchmark{
+		Name:      "regex_compile",
+		CLibHeavy: true,
+		Source: `
+# Repeatedly compile distinct pattern strings (defeating the pattern
+# cache), as the real regex_compile stresses sre_compile.
+total = 0
+for rep in xrange(3):
+    for i in xrange(60):
+        pat = "(ab|cd)e{1,%d}[f-h]+i?j%d" % (i % 5 + 1, i)
+        p = re.compile(pat)
+        total += len(p)
+    for i in xrange(40):
+        pat = "w%d[0-9a-f]{2,4}(x|y|z)*" % i
+        p = re.compile(pat)
+        total += len(p)
+s = "abeefghij7 w3a1fx cdeffgi"
+total += len(re.findall("(ab|cd)e+[f-h]+", s))
+print(total)
+`,
+	})
+}

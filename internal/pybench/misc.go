@@ -1,0 +1,400 @@
+package pybench
+
+// Remaining suite members: the SymPy-style symbolic-math family, AES-like
+// byte crunching (crypto_pyaes), DEFLATE-style decompression (pyflate),
+// and the microbenchmark-ish unpack_seq and tuple_gc.
+
+// symPrelude implements polynomials as {exponent: coefficient} dicts —
+// the dictionary-heavy shape of the sympy benchmarks.
+const symPrelude = `
+def poly_add(a, b):
+    out = {}
+    for e in a.keys():
+        out[e] = a[e]
+    for e in b.keys():
+        if e in out:
+            out[e] = out[e] + b[e]
+            if out[e] == 0:
+                del out[e]
+        else:
+            out[e] = b[e]
+    return out
+
+def poly_mul(a, b):
+    out = {}
+    for ea in a.keys():
+        for eb in b.keys():
+            e = ea + eb
+            c = a[ea] * b[eb]
+            if e in out:
+                out[e] = out[e] + c
+                if out[e] == 0:
+                    del out[e]
+            else:
+                out[e] = c
+    return out
+
+def poly_scale(a, k):
+    out = {}
+    for e in a.keys():
+        out[e] = a[e] * k
+    return out
+
+def poly_eval(a, x):
+    total = 0
+    for e in a.keys():
+        term = a[e]
+        p = 0
+        while p < e:
+            term = term * x
+            p += 1
+        total += term
+    return total
+
+def poly_str(a):
+    parts = []
+    for e in sorted(a.keys()):
+        c = a[e]
+        if e == 0:
+            parts.append(str(c))
+        elif e == 1:
+            parts.append("%d*x" % c)
+        else:
+            parts.append("%d*x**%d" % (c, e))
+    return " + ".join(parts)
+`
+
+func init() {
+	register(&Benchmark{
+		Name:       "sym_expand",
+		AllocHeavy: true,
+		Source: symPrelude + `
+# expand((x+1)(x+2)...(x+n)) repeatedly
+total = 0
+for rep in xrange(10):
+    p = {0: 1}
+    for k in xrange(1, 13):
+        p = poly_mul(p, {0: k, 1: 1})
+    total += len(p) + poly_eval(p, 1) % 1000003
+print(total)
+`,
+	})
+
+	register(&Benchmark{
+		Name:       "sym_sum",
+		AllocHeavy: true,
+		Source: symPrelude + `
+# sum many polynomials with overlapping support
+total = 0
+acc = {}
+for i in xrange(600):
+    term = {i % 17: i + 1, (i * 3) % 23: -(i % 5) - 1, 0: 1}
+    acc = poly_add(acc, term)
+for e in sorted(acc.keys()):
+    total += e * acc[e]
+print(total % 1000003, len(acc))
+`,
+	})
+
+	register(&Benchmark{
+		Name:       "sym_str",
+		AllocHeavy: true,
+		Source: symPrelude + `
+# stringify symbolic expressions
+total = 0
+p = {0: 1}
+for k in xrange(1, 10):
+    p = poly_mul(p, {0: -k, 1: 1})
+    s = poly_str(p)
+    total += len(s)
+for rep in xrange(120):
+    total += len(poly_str(p))
+print(total)
+`,
+	})
+
+	register(&Benchmark{
+		Name:       "sym_integrate",
+		AllocHeavy: true,
+		Fig8:       true,
+		Source: symPrelude + `
+def poly_integrate(a):
+    # antiderivative with rational coefficients as (num, den) pairs
+    out = {}
+    for e in a.keys():
+        out[e + 1] = (a[e], e + 1)
+    return out
+
+def poly_diff(a):
+    out = {}
+    for e in a.keys():
+        if e > 0:
+            out[e - 1] = a[e] * e
+    return out
+
+total = 0
+for rep in xrange(25):
+    p = {0: 3, 1: -2, 3: 5, 6: 1, 9: -4}
+    for step in xrange(6):
+        p = poly_diff(poly_mul(p, {0: 1, 1: 1}))
+    integ = poly_integrate(p)
+    for e in sorted(integ.keys()):
+        pair = integ[e]
+        total += pair[0] / pair[1] + e
+print(total % 1000003)
+`,
+	})
+
+	register(&Benchmark{
+		Name:    "crypto_pyaes",
+		Nursery: false,
+		JSName:  "crypto-aes",
+		Source: `
+# AES-like block transformation over byte lists: substitution through an
+# S-box table, row rotation, column mixing in GF(256)-style arithmetic,
+# and round-key XOR - the access pattern of pyaes without the full cipher.
+def build_sbox():
+    sbox = []
+    for i in xrange(256):
+        v = i
+        v = (v * 7 + 99) % 256
+        v = v ^ (v * 2 % 256) ^ (v / 4)
+        sbox.append(v % 256)
+    return sbox
+
+def xtime(b):
+    b = b * 2
+    if b >= 256:
+        b = (b - 256) ^ 27
+    return b
+
+def encrypt_block(block, sbox, round_keys):
+    state = list(block)
+    for rk in round_keys:
+        i = 0
+        while i < 16:
+            state[i] = sbox[state[i]]
+            i += 1
+        # rotate rows
+        state[1], state[5], state[9], state[13] = state[5], state[9], state[13], state[1]
+        state[2], state[6], state[10], state[14] = state[10], state[14], state[2], state[6]
+        state[3], state[7], state[11], state[15] = state[15], state[3], state[7], state[11]
+        # mix columns (simplified)
+        c = 0
+        while c < 16:
+            a0 = state[c]
+            a1 = state[c + 1]
+            a2 = state[c + 2]
+            a3 = state[c + 3]
+            state[c] = xtime(a0) ^ a1 ^ a2 ^ a3
+            state[c + 1] = a0 ^ xtime(a1) ^ a2 ^ a3
+            state[c + 2] = a0 ^ a1 ^ xtime(a2) ^ a3
+            state[c + 3] = a0 ^ a1 ^ a2 ^ xtime(a3)
+            c += 4
+        i = 0
+        while i < 16:
+            state[i] = state[i] ^ rk[i]
+            i += 1
+    return state
+
+sbox = build_sbox()
+round_keys = []
+for r in xrange(10):
+    rk = []
+    for i in xrange(16):
+        rk.append((r * 31 + i * 17) % 256)
+    round_keys.append(rk)
+
+total = 0
+block = range(16)
+for n in xrange(120):
+    block = encrypt_block(block, sbox, round_keys)
+    total = (total + block[0] + block[15]) % 1000003
+print(total)
+`,
+	})
+
+	register(&Benchmark{
+		Name: "pyflate",
+		Source: `
+# pyflate-style bit-level decompression: huffman decode of a synthetic
+# canonical code over a generated bitstream.
+class BitReader:
+    def __init__(self, data):
+        self.data = data
+        self.pos = 0
+        self.bit = 0
+
+    def read_bit(self):
+        byte = self.data[self.pos]
+        b = (byte >> self.bit) & 1
+        self.bit += 1
+        if self.bit == 8:
+            self.bit = 0
+            self.pos += 1
+        return b
+
+    def read_bits(self, n):
+        v = 0
+        i = 0
+        while i < n:
+            v |= self.read_bit() << i
+            i += 1
+        return v
+
+def build_huffman():
+    # canonical code: symbols 0-3 get 2 bits, 4-11 get 4 bits
+    table = {}
+    code = 0
+    for sym in xrange(4):
+        table[(2, code)] = sym
+        code += 1
+    code = code << 2
+    for sym in xrange(4, 12):
+        table[(4, code)] = sym
+        code += 1
+    return table
+
+def decode(reader, table, count):
+    out = []
+    for i in xrange(count):
+        length = 0
+        code = 0
+        while True:
+            code = (code << 1) | reader.read_bit()
+            length += 1
+            key = (length, code)
+            if key in table:
+                out.append(table[key])
+                break
+            if length > 8:
+                out.append(0)
+                break
+    return out
+
+def build_stream(nbytes):
+    data = []
+    seed = 77
+    for i in xrange(nbytes):
+        seed = (seed * 1103515245 + 12345) % 2147483648
+        data.append((seed / 65536) % 256)
+    return data
+
+data = build_stream(1800)
+table = build_huffman()
+total = 0
+reader = BitReader(data)
+symbols = decode(reader, table, 3000)
+for s in symbols:
+    total += s
+print(total, len(symbols))
+`,
+	})
+
+	register(&Benchmark{
+		Name:    "unpack_seq",
+		Fig8:    true,
+		Nursery: true,
+		Source: `
+# unpack_seq: tuple unpacking microbenchmark, as in the suite.
+def do_unpacking(loops, t):
+    total = 0
+    for dummy in xrange(loops):
+        a, b, c, d, e, f, g, h = t
+        total += a + h
+        b, a, d, c, f, e, h, g = a, b, c, d, e, f, g, h
+        total += a + g
+    return total
+
+t = (1, 2, 3, 4, 5, 6, 7, 8)
+print(do_unpacking(8000, t))
+`,
+	})
+
+	register(&Benchmark{
+		Name:       "tuple_gc",
+		AllocHeavy: true,
+		Source: `
+# tuple_gc: allocate short-lived tuples at high rate (GC stress).
+def churn(n):
+    keep = None
+    total = 0
+    for i in xrange(n):
+        t = (i, i + 1, (i * 2, i * 3), "s%d" % (i % 10))
+        if i % 1024 == 0:
+            keep = t
+        total += t[0] + t[2][1]
+    return total + keep[1]
+
+print(churn(15000))
+`,
+	})
+
+	register(&Benchmark{
+		Name: "pyflate_bwt",
+		Source: `
+# companion workload: run-length + move-to-front coding (bzip-style
+# stages of pyflate).
+def mtf_encode(data):
+    alphabet = range(256)
+    out = []
+    for b in data:
+        idx = alphabet.index(b)
+        out.append(idx)
+        alphabet.pop(idx)
+        alphabet.insert(0, b)
+    return out
+
+def rle_encode(data):
+    out = []
+    i = 0
+    n = len(data)
+    while i < n:
+        j = i
+        while j < n and data[j] == data[i] and j - i < 255:
+            j += 1
+        out.append((data[i], j - i))
+        i = j
+    return out
+
+data = []
+seed = 5
+for i in xrange(900):
+    seed = (seed * 1103515245 + 12345) % 2147483648
+    data.append((seed / 1048576) % 32)
+coded = mtf_encode(data)
+runs = rle_encode(coded)
+total = 0
+for r in runs:
+    total += r[0] * r[1]
+print(total, len(runs))
+`,
+	})
+
+	register(&Benchmark{
+		Name:       "json_v8",
+		CLibHeavy:  true,
+		JSName:     "json-parse-financial",
+		AllocHeavy: true,
+		Source: `
+# JetStream-style JSON parse/serialize round trips on financial-ish data.
+def build_quotes(n):
+    out = []
+    for i in xrange(n):
+        out.append({"symbol": "TCK%02d" % (i % 40),
+                    "bid": 100.0 + i * 0.25,
+                    "ask": 100.5 + i * 0.25,
+                    "volume": i * 100 % 99999,
+                    "flags": [i % 2 == 0, i % 3 == 0]})
+    return out
+
+quotes = build_quotes(80)
+total = 0
+for rep in xrange(15):
+    blob = json.dumps(quotes)
+    back = json.loads(blob)
+    total += len(blob) + len(back)
+print(total)
+`,
+	})
+}

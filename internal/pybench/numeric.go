@@ -1,0 +1,738 @@
+package pybench
+
+func init() {
+	register(&Benchmark{
+		Name:   "nbody",
+		JSName: "n-body",
+		Source: `
+def advance(bodies, pairs, dt, steps):
+    s = 0
+    while s < steps:
+        for pair in pairs:
+            b1 = pair[0]
+            b2 = pair[1]
+            dx = b1[0][0] - b2[0][0]
+            dy = b1[0][1] - b2[0][1]
+            dz = b1[0][2] - b2[0][2]
+            d2 = dx * dx + dy * dy + dz * dz
+            mag = dt / (d2 * math.sqrt(d2))
+            m1 = b1[2] * mag
+            m2 = b2[2] * mag
+            v1 = b1[1]
+            v2 = b2[1]
+            v1[0] -= dx * m2
+            v1[1] -= dy * m2
+            v1[2] -= dz * m2
+            v2[0] += dx * m1
+            v2[1] += dy * m1
+            v2[2] += dz * m1
+        for b in bodies:
+            p = b[0]
+            v = b[1]
+            p[0] += dt * v[0]
+            p[1] += dt * v[1]
+            p[2] += dt * v[2]
+        s += 1
+
+def energy(bodies):
+    e = 0.0
+    n = len(bodies)
+    i = 0
+    while i < n:
+        b1 = bodies[i]
+        e += 0.5 * b1[2] * (b1[1][0] ** 2 + b1[1][1] ** 2 + b1[1][2] ** 2)
+        j = i + 1
+        while j < n:
+            b2 = bodies[j]
+            dx = b1[0][0] - b2[0][0]
+            dy = b1[0][1] - b2[0][1]
+            dz = b1[0][2] - b2[0][2]
+            e -= (b1[2] * b2[2]) / math.sqrt(dx * dx + dy * dy + dz * dz)
+            j += 1
+        i += 1
+    return e
+
+def make_bodies():
+    sm = 4.0 * math.pi * math.pi
+    dp = 365.24
+    return [
+        [[0.0, 0.0, 0.0], [0.0, 0.0, 0.0], sm],
+        [[4.841431442, -1.160320044, -0.103622044],
+         [0.001660076 * dp, 0.007699011 * dp, -0.000069046 * dp], 0.000954791 * sm],
+        [[8.343366718, 4.124798564, -0.403523417],
+         [-0.002767425 * dp, 0.004998528 * dp, 0.000230417 * dp], 0.000285885 * sm],
+        [[12.894369562, -15.111151401, -0.223307578],
+         [0.002964601 * dp, 0.002378471 * dp, -0.000029658 * dp], 0.000043662 * sm],
+        [[15.379697114, -25.919314609, 0.179258772],
+         [0.002680677 * dp, 0.001628241 * dp, -0.000095159 * dp], 0.000051513 * sm]]
+
+bodies = make_bodies()
+pairs = []
+i = 0
+while i < len(bodies):
+    j = i + 1
+    while j < len(bodies):
+        pairs.append((bodies[i], bodies[j]))
+        j += 1
+    i += 1
+print("%.6f" % energy(bodies))
+advance(bodies, pairs, 0.01, 800)
+print("%.6f" % energy(bodies))
+`,
+	})
+
+	register(&Benchmark{
+		Name:   "float",
+		Fig8:   true,
+		JSName: "float-mm",
+		Source: `
+class Point:
+    def __init__(self, i):
+        self.x = math.sin(i)
+        self.y = math.cos(i) * 3.0
+        self.z = (self.x * self.x) / 2.0
+
+    def normalize(self):
+        norm = math.sqrt(self.x * self.x + self.y * self.y + self.z * self.z)
+        self.x = self.x / norm
+        self.y = self.y / norm
+        self.z = self.z / norm
+
+def maximize(points):
+    next_p = points[0]
+    i = 1
+    while i < len(points):
+        p = points[i]
+        if next_p.x < p.x:
+            next_p.x = p.x
+        if next_p.y < p.y:
+            next_p.y = p.y
+        if next_p.z < p.z:
+            next_p.z = p.z
+        i += 1
+    return next_p
+
+def benchmark(n):
+    points = []
+    for i in xrange(n):
+        points.append(Point(float(i)))
+    for p in points:
+        p.normalize()
+    return maximize(points)
+
+p = benchmark(2500)
+print("%.9f %.9f %.9f" % (p.x, p.y, p.z))
+`,
+		AllocHeavy: true,
+	})
+
+	register(&Benchmark{
+		Name: "fannkuch",
+		Source: `
+def fannkuch(n):
+    perm1 = range(n)
+    count = range(n)
+    max_flips = 0
+    checksum = 0
+    m = n - 1
+    r = n
+    nperm = 0
+    while True:
+        while r != 1:
+            count[r - 1] = r
+            r -= 1
+        if perm1[0] != 0 and perm1[m] != m:
+            perm = list(perm1)
+            flips = 0
+            k = perm[0]
+            while k != 0:
+                i = 0
+                j = k
+                while i < j:
+                    t = perm[i]
+                    perm[i] = perm[j]
+                    perm[j] = t
+                    i += 1
+                    j -= 1
+                flips += 1
+                k = perm[0]
+            if flips > max_flips:
+                max_flips = flips
+            if nperm % 2 == 0:
+                checksum += flips
+            else:
+                checksum -= flips
+        while True:
+            if r == n:
+                return (checksum, max_flips)
+            p0 = perm1[0]
+            i = 0
+            while i < r:
+                perm1[i] = perm1[i + 1]
+                i += 1
+            perm1[r] = p0
+            count[r] -= 1
+            if count[r] > 0:
+                break
+            r += 1
+        nperm += 1
+
+res = fannkuch(7)
+print(res[0], res[1])
+`,
+		Nursery: true,
+	})
+
+	register(&Benchmark{
+		Name:   "spectral_norm",
+		JSName: "navier-stokes",
+		Source: `
+def eval_A(i, j):
+    return 1.0 / ((i + j) * (i + j + 1) / 2 + i + 1)
+
+def eval_A_times_u(u, n):
+    out = []
+    for i in xrange(n):
+        s = 0.0
+        for j in xrange(n):
+            s += eval_A(i, j) * u[j]
+        out.append(s)
+    return out
+
+def eval_At_times_u(u, n):
+    out = []
+    for i in xrange(n):
+        s = 0.0
+        for j in xrange(n):
+            s += eval_A(j, i) * u[j]
+        out.append(s)
+    return out
+
+def eval_AtA_times_u(u, n):
+    return eval_At_times_u(eval_A_times_u(u, n), n)
+
+def spectral(n):
+    u = [1.0] * n
+    v = []
+    for dummy in xrange(6):
+        v = eval_AtA_times_u(u, n)
+        u = eval_AtA_times_u(v, n)
+    vBv = 0.0
+    vv = 0.0
+    for i in xrange(n):
+        vBv += u[i] * v[i]
+        vv += v[i] * v[i]
+    return math.sqrt(vBv / vv)
+
+print("%.9f" % spectral(80))
+`,
+	})
+
+	register(&Benchmark{
+		Name: "pidigits",
+		Source: `
+# pi digits via Machin's formula in fixed-point bignum arithmetic.
+# MiniPy ints are fixed width, so the benchmark carries its own long
+# arithmetic as base-10000 limb lists - the same work that dominates the
+# real pidigits.
+def big_scale(digits):
+    out = [1]
+    for i in xrange(digits):
+        carry = 0
+        j = 0
+        while j < len(out):
+            v = out[j] * 10 + carry
+            out[j] = v % 10000
+            carry = v / 10000
+            j += 1
+        if carry:
+            out.append(carry)
+    return out
+
+def big_div_small(a, m):
+    out = [0] * len(a)
+    rem = 0
+    i = len(a) - 1
+    while i >= 0:
+        cur = rem * 10000 + a[i]
+        out[i] = cur / m
+        rem = cur % m
+        i -= 1
+    while len(out) > 1 and out[-1] == 0:
+        out.pop()
+    return out
+
+def big_add(a, b):
+    out = []
+    carry = 0
+    n = max(len(a), len(b))
+    for i in xrange(n):
+        v = carry
+        if i < len(a):
+            v += a[i]
+        if i < len(b):
+            v += b[i]
+        out.append(v % 10000)
+        carry = v / 10000
+    if carry:
+        out.append(carry)
+    return out
+
+def big_sub(a, b):
+    out = []
+    borrow = 0
+    for i in xrange(len(a)):
+        v = a[i] - borrow
+        if i < len(b):
+            v -= b[i]
+        if v < 0:
+            v += 10000
+            borrow = 1
+        else:
+            borrow = 0
+        out.append(v)
+    while len(out) > 1 and out[-1] == 0:
+        out.pop()
+    return out
+
+def big_mul_small(a, m):
+    out = []
+    carry = 0
+    for d in a:
+        v = d * m + carry
+        out.append(v % 10000)
+        carry = v / 10000
+    while carry > 0:
+        out.append(carry % 10000)
+        carry = carry / 10000
+    while len(out) > 1 and out[-1] == 0:
+        out.pop()
+    return out
+
+def is_zero(a):
+    for d in a:
+        if d != 0:
+            return False
+    return True
+
+def arctan_inv(x, scale):
+    # arctan(1/x) * 10^digits, by Taylor series in fixed point.
+    term = big_div_small(scale, x)
+    total = list(term)
+    x2 = x * x
+    k = 1
+    sign = -1
+    while not is_zero(term):
+        term = big_div_small(term, x2)
+        if is_zero(term):
+            break
+        part = big_div_small(term, 2 * k + 1)
+        if sign > 0:
+            total = big_add(total, part)
+        else:
+            total = big_sub(total, part)
+        sign = -sign
+        k += 1
+    return total
+
+def machin_pi(digits):
+    scale = big_scale(digits + 5)
+    a = big_mul_small(arctan_inv(5, scale), 16)
+    b = big_mul_small(arctan_inv(239, scale), 4)
+    return big_sub(a, b)
+
+pi = machin_pi(90)
+acc = 0
+for limb in pi:
+    acc = (acc * 31 + limb) % 1000003
+print(len(pi), acc)
+`,
+	})
+
+	register(&Benchmark{
+		Name:   "scimark_fft",
+		JSName: "3d-cube",
+		Source: `
+def fft_transform(data, n):
+    # iterative radix-2 over interleaved re/im list
+    i = 0
+    j = 0
+    while i < n:
+        if i < j:
+            tr = data[2 * i]
+            ti = data[2 * i + 1]
+            data[2 * i] = data[2 * j]
+            data[2 * i + 1] = data[2 * j + 1]
+            data[2 * j] = tr
+            data[2 * j + 1] = ti
+        m = n / 2
+        while m >= 1 and j >= m:
+            j -= m
+            m = m / 2
+        j += m
+        i += 1
+    step = 1
+    while step < n:
+        theta = -math.pi / step
+        wr = 1.0
+        wi = 0.0
+        wpr = math.cos(theta)
+        wpi = math.sin(theta)
+        m = 0
+        while m < step:
+            i = m
+            while i < n:
+                k = i + step
+                tr = wr * data[2 * k] - wi * data[2 * k + 1]
+                ti = wr * data[2 * k + 1] + wi * data[2 * k]
+                data[2 * k] = data[2 * i] - tr
+                data[2 * k + 1] = data[2 * i + 1] - ti
+                data[2 * i] += tr
+                data[2 * i + 1] += ti
+                i += 2 * step
+            wtemp = wr
+            wr = wr * wpr - wi * wpi
+            wi = wi * wpr + wtemp * wpi
+            m += 1
+        step *= 2
+
+n = 256
+data = []
+for i in xrange(n):
+    data.append(math.sin(0.1 * i))
+    data.append(0.0)
+for rep in xrange(8):
+    fft_transform(data, n)
+acc = 0.0
+for v in data:
+    acc += v * v
+print("%.6f" % math.sqrt(acc / n))
+`,
+	})
+
+	register(&Benchmark{
+		Name: "scimark_sor",
+		Source: `
+def sor(grid, w, h, omega, iters):
+    it = 0
+    while it < iters:
+        y = 1
+        while y < h - 1:
+            row = grid[y]
+            up = grid[y - 1]
+            down = grid[y + 1]
+            x = 1
+            while x < w - 1:
+                row[x] = omega * 0.25 * (up[x] + down[x] + row[x - 1] + row[x + 1]) + (1.0 - omega) * row[x]
+                x += 1
+            y += 1
+        it += 1
+
+w = 40
+h = 40
+grid = []
+for y in xrange(h):
+    row = []
+    for x in xrange(w):
+        row.append(float((x * y) % 17) / 17.0)
+    grid.append(row)
+sor(grid, w, h, 1.25, 12)
+acc = 0.0
+for row in grid:
+    for v in row:
+        acc += v
+print("%.6f" % acc)
+`,
+	})
+
+	register(&Benchmark{
+		Name: "scimark_lu",
+		Source: `
+def lu_factor(a, pivot, n):
+    j = 0
+    while j < n:
+        jp = j
+        t = abs(a[j][j])
+        i = j + 1
+        while i < n:
+            ab = abs(a[i][j])
+            if ab > t:
+                jp = i
+                t = ab
+            i += 1
+        pivot[j] = jp
+        if jp != j:
+            tmp = a[j]
+            a[j] = a[jp]
+            a[jp] = tmp
+        if a[j][j] != 0.0 and j < n - 1:
+            recp = 1.0 / a[j][j]
+            k = j + 1
+            while k < n:
+                a[k][j] = a[k][j] * recp
+                k += 1
+        if j < n - 1:
+            ii = j + 1
+            while ii < n:
+                aii = a[ii]
+                aj = a[j]
+                f = aii[j]
+                jj = j + 1
+                while jj < n:
+                    aii[jj] -= f * aj[jj]
+                    jj += 1
+                ii += 1
+        j += 1
+
+n = 24
+a = []
+seed = 1234
+for i in xrange(n):
+    row = []
+    for j in xrange(n):
+        seed = (seed * 1103515245 + 12345) % 2147483648
+        row.append(float(seed % 1000) / 1000.0 + 0.001)
+    a.append(row)
+pivot = [0] * n
+for rep in xrange(20):
+    b = []
+    for row in a:
+        b.append(list(row))
+    lu_factor(b, pivot, n)
+acc = 0.0
+for i in xrange(n):
+    acc += b[i][i]
+print("%.6f" % acc)
+`,
+	})
+
+	register(&Benchmark{
+		Name: "scimark_monte",
+		Source: `
+def monte_carlo(n):
+    random.seed(17)
+    under = 0
+    for i in xrange(n):
+        x = random.random()
+        y = random.random()
+        if x * x + y * y <= 1.0:
+            under += 1
+    return 4.0 * under / n
+
+print("%.6f" % monte_carlo(40000))
+`,
+		CLibHeavy: false,
+	})
+
+	register(&Benchmark{
+		Name: "scimark_sparse",
+		Source: `
+def sparse_matmult(vals, rows, cols, x, y, iters):
+    n = len(rows) - 1
+    it = 0
+    while it < iters:
+        r = 0
+        while r < n:
+            s = 0.0
+            i = rows[r]
+            end = rows[r + 1]
+            while i < end:
+                s += x[cols[i]] * vals[i]
+                i += 1
+            y[r] = s
+            r += 1
+        it += 1
+
+n = 300
+nz = 5
+vals = []
+cols = []
+rows = [0]
+seed = 7
+for r in xrange(n):
+    for k in xrange(nz):
+        seed = (seed * 1103515245 + 12345) % 2147483648
+        cols.append(seed % n)
+        vals.append(float(seed % 97) / 97.0)
+    rows.append(len(vals))
+x = [1.0] * n
+y = [0.0] * n
+sparse_matmult(vals, rows, cols, x, y, 40)
+acc = 0.0
+for v in y:
+    acc += v
+print("%.6f" % acc)
+`,
+	})
+
+	register(&Benchmark{
+		Name: "nqueens",
+		Source: `
+def solve(n, row, cols, diag1, diag2):
+    if row == n:
+        return 1
+    count = 0
+    for col in xrange(n):
+        d1 = row - col + n
+        d2 = row + col
+        if cols[col] == 0 and diag1[d1] == 0 and diag2[d2] == 0:
+            cols[col] = 1
+            diag1[d1] = 1
+            diag2[d2] = 1
+            count += solve(n, row + 1, cols, diag1, diag2)
+            cols[col] = 0
+            diag1[d1] = 0
+            diag2[d2] = 0
+    return count
+
+n = 7
+print(solve(n, 0, [0] * n, [0] * (2 * n + 1), [0] * (2 * n + 1)))
+`,
+	})
+
+	register(&Benchmark{
+		Name:    "chaos",
+		Nursery: false,
+		Source: `
+class GVector:
+    def __init__(self, x, y):
+        self.x = x
+        self.y = y
+
+    def linear_combination(self, other, l1, l2):
+        return GVector(self.x * l1 + other.x * l2, self.y * l1 + other.y * l2)
+
+def transform_point(point, target, factor):
+    return point.linear_combination(target, 1.0 - factor, factor)
+
+def chaos_game(n):
+    random.seed(1234)
+    corners = [GVector(0.0, 0.0), GVector(1.0, 0.0), GVector(0.5, 0.866)]
+    point = GVector(0.3, 0.3)
+    xacc = 0.0
+    yacc = 0.0
+    for i in xrange(n):
+        target = corners[random.randint(0, 2)]
+        point = transform_point(point, target, 0.5)
+        xacc += point.x
+        yacc += point.y
+    return (xacc / n, yacc / n)
+
+res = chaos_game(12000)
+print("%.6f %.6f" % (res[0], res[1]))
+`,
+		AllocHeavy: true,
+	})
+
+	register(&Benchmark{
+		Name:   "go",
+		Fig8:   true,
+		JSName: "earley-boyer",
+		Source: `
+# Simplified Go playouts: random legal moves on a small board with
+# capture-free scoring, modeled on the benchmark suite's go program.
+SIZE = 9
+EMPTY = 0
+BLACK = 1
+WHITE = 2
+
+def neighbors(pos):
+    out = []
+    x = pos % SIZE
+    y = pos / SIZE
+    if x > 0:
+        out.append(pos - 1)
+    if x < SIZE - 1:
+        out.append(pos + 1)
+    if y > 0:
+        out.append(pos - SIZE)
+    if y < SIZE - 1:
+        out.append(pos + SIZE)
+    return out
+
+def playout(board, moves):
+    color = BLACK
+    placed = 0
+    tries = 0
+    while placed < moves and tries < moves * 4:
+        tries += 1
+        pos = random.randint(0, SIZE * SIZE - 1)
+        if board[pos] != EMPTY:
+            continue
+        # avoid filling own single-point eyes
+        ncount = 0
+        own = 0
+        for nb in neighbors(pos):
+            ncount += 1
+            if board[nb] == color:
+                own += 1
+        if own == ncount:
+            continue
+        board[pos] = color
+        placed += 1
+        if color == BLACK:
+            color = WHITE
+        else:
+            color = BLACK
+    return placed
+
+def score(board):
+    black = 0
+    white = 0
+    for v in board:
+        if v == BLACK:
+            black += 1
+        elif v == WHITE:
+            white += 1
+    return black - white
+
+random.seed(42)
+total = 0
+for game in xrange(60):
+    board = [EMPTY] * (SIZE * SIZE)
+    playout(board, 70)
+    total += score(board)
+print(total)
+`,
+	})
+
+	register(&Benchmark{
+		Name: "meteor_contest",
+		Source: `
+# Bitboard puzzle search in the style of meteor_contest: place pieces on a
+# small board using bitmask backtracking.
+WIDTH = 5
+HEIGHT = 5
+
+def first_free(used, cells):
+    i = 0
+    while i < cells:
+        if used & (1 << i) == 0:
+            return i
+        i += 1
+    return -1
+
+def solve(used, pieces_left, masks, count, depth):
+    cells = WIDTH * HEIGHT
+    if pieces_left == 0:
+        return count + 1
+    if depth > 6:
+        return count
+    anchor = first_free(used, cells)
+    if anchor < 0:
+        return count
+    for mask in masks:
+        shifted = mask << anchor
+        if shifted >= (1 << cells):
+            continue
+        if shifted & (1 << anchor) == 0:
+            continue
+        if used & shifted == 0:
+            count = solve(used | shifted, pieces_left - 1, masks, count, depth + 1)
+    return count
+
+masks = [3, 7, 35, 33, 97, 1, 15]
+print(solve(0, 4, masks, 0, 0))
+`,
+	})
+}

@@ -1,0 +1,440 @@
+package pybench
+
+// Object-oriented benchmarks: richards, deltablue, raytrace, hexiom,
+// telco. Condensed ports that keep each benchmark's dominant behaviour —
+// virtual dispatch and linked structures (richards), constraint graphs
+// (deltablue), vector-object arithmetic (raytrace), search over board
+// states (hexiom), and decimal-style billing arithmetic (telco).
+
+func init() {
+	register(&Benchmark{
+		Name: "richards",
+		Fig8: true,
+		Source: `
+# Condensed Richards OS-kernel simulation: four task types exchanging
+# packets through a scheduler, driven by state held in task objects.
+IDLE = 0
+WORKER = 1
+HANDLER_A = 2
+HANDLER_B = 3
+
+class Packet:
+    def __init__(self, link, ident, kind):
+        self.link = link
+        self.ident = ident
+        self.kind = kind
+        self.datum = 0
+        self.data = [0, 0, 0, 0]
+
+class Task:
+    def __init__(self, ident, priority, queue):
+        self.ident = ident
+        self.priority = priority
+        self.queue = queue
+        self.ready = queue is not None
+        self.holdCount = 0
+        self.state = 0
+
+    def add_packet(self, packet):
+        packet.link = None
+        if self.queue is None:
+            self.queue = packet
+        else:
+            p = self.queue
+            while p.link is not None:
+                p = p.link
+            p.link = packet
+        self.ready = True
+
+    def take_packet(self):
+        p = self.queue
+        self.queue = p.link
+        if self.queue is None:
+            self.ready = False
+        return p
+
+class Scheduler:
+    def __init__(self):
+        self.tasks = []
+        self.hold_count = 0
+        self.queue_count = 0
+
+    def add(self, task):
+        self.tasks.append(task)
+
+    def run(self, cycles):
+        n = 0
+        while n < cycles:
+            progressed = False
+            for task in self.tasks:
+                if not task.ready:
+                    continue
+                progressed = True
+                self.step(task)
+            if not progressed:
+                break
+            n += 1
+
+    def step(self, task):
+        if task.ident == IDLE:
+            task.state += 1
+            if task.state % 2 == 0:
+                target = self.tasks[WORKER]
+            else:
+                target = self.tasks[HANDLER_A]
+            pkt = Packet(None, task.ident, task.state % 4)
+            target.add_packet(pkt)
+            self.queue_count += 1
+        elif task.ident == WORKER:
+            if task.queue is not None:
+                pkt = task.take_packet()
+                pkt.datum = (pkt.datum + task.state) % 26
+                k = 0
+                while k < 4:
+                    pkt.data[k] = (pkt.data[k] + pkt.datum + k) % 26
+                    k += 1
+                task.state += 1
+                self.tasks[HANDLER_B].add_packet(pkt)
+                self.queue_count += 1
+            else:
+                task.ready = False
+        elif task.ident == HANDLER_A:
+            if task.queue is not None:
+                pkt = task.take_packet()
+                self.hold_count += pkt.kind
+                task.holdCount += 1
+            else:
+                task.ready = False
+        else:
+            if task.queue is not None:
+                pkt = task.take_packet()
+                acc = 0
+                for v in pkt.data:
+                    acc += v
+                self.hold_count += acc % 7
+                task.holdCount += 1
+            else:
+                task.ready = False
+
+def run_richards(iterations):
+    total_hold = 0
+    total_queue = 0
+    for it in xrange(iterations):
+        sched = Scheduler()
+        sched.add(Task(IDLE, 0, Packet(None, 0, 0)))
+        sched.add(Task(WORKER, 1000, Packet(None, 1, 1)))
+        sched.add(Task(HANDLER_A, 2000, Packet(None, 2, 2)))
+        sched.add(Task(HANDLER_B, 3000, Packet(None, 3, 3)))
+        sched.run(220)
+        total_hold += sched.hold_count
+        total_queue += sched.queue_count
+    return (total_hold, total_queue)
+
+res = run_richards(12)
+print(res[0], res[1])
+`,
+		AllocHeavy: true,
+		JSName:     "richards",
+	})
+
+	register(&Benchmark{
+		Name: "deltablue",
+		Source: `
+# Condensed DeltaBlue: one-way dataflow constraint solver with a chain of
+# equality constraints and a stay constraint, re-planned after edits.
+class Variable:
+    def __init__(self, name, value):
+        self.name = name
+        self.value = value
+        self.determined_by = None
+        self.walk_strength = 0
+        self.stay = True
+        self.constraints = []
+
+class EqualityConstraint:
+    def __init__(self, v1, v2, strength):
+        self.v1 = v1
+        self.v2 = v2
+        self.strength = strength
+        self.is_satisfied = False
+        v1.constraints.append(self)
+        v2.constraints.append(self)
+
+    def choose_output(self):
+        if self.v1.walk_strength < self.v2.walk_strength:
+            return self.v1
+        return self.v2
+
+    def execute(self):
+        out = self.choose_output()
+        if out is self.v1:
+            self.v1.value = self.v2.value
+        else:
+            self.v2.value = self.v1.value
+        out.determined_by = self
+        out.walk_strength = self.strength
+        self.is_satisfied = True
+
+class Planner:
+    def __init__(self):
+        self.constraints = []
+
+    def add(self, c):
+        self.constraints.append(c)
+
+    def extract_plan(self):
+        plan = []
+        for c in self.constraints:
+            if c.strength > 0:
+                plan.append(c)
+        return plan
+
+    def execute_plan(self):
+        plan = self.extract_plan()
+        for c in plan:
+            c.execute()
+
+def chain_test(n, edits):
+    planner = Planner()
+    variables = []
+    for i in xrange(n):
+        variables.append(Variable("v%d" % i, 0))
+    i = 0
+    while i < n - 1:
+        planner.add(EqualityConstraint(variables[i], variables[i + 1], n - i))
+        i += 1
+    total = 0
+    for e in xrange(edits):
+        variables[0].value = e * 3 + 1
+        planner.execute_plan()
+        total += variables[n - 1].value
+    return total
+
+print(chain_test(60, 70))
+`,
+		AllocHeavy: true,
+		JSName:     "delta-blue",
+	})
+
+	register(&Benchmark{
+		Name: "raytrace",
+		Source: `
+class Vec:
+    def __init__(self, x, y, z):
+        self.x = x
+        self.y = y
+        self.z = z
+
+def vadd(a, b):
+    return Vec(a.x + b.x, a.y + b.y, a.z + b.z)
+
+def vsub(a, b):
+    return Vec(a.x - b.x, a.y - b.y, a.z - b.z)
+
+def vscale(a, s):
+    return Vec(a.x * s, a.y * s, a.z * s)
+
+def vdot(a, b):
+    return a.x * b.x + a.y * b.y + a.z * b.z
+
+def vnorm(a):
+    m = math.sqrt(vdot(a, a))
+    return Vec(a.x / m, a.y / m, a.z / m)
+
+class Sphere:
+    def __init__(self, center, radius, reflect):
+        self.center = center
+        self.radius = radius
+        self.reflect = reflect
+
+    def intersect(self, orig, dir):
+        oc = vsub(orig, self.center)
+        b = 2.0 * vdot(oc, dir)
+        c = vdot(oc, oc) - self.radius * self.radius
+        disc = b * b - 4.0 * c
+        if disc < 0.0:
+            return -1.0
+        sq = math.sqrt(disc)
+        t = (-b - sq) / 2.0
+        if t > 0.001:
+            return t
+        t = (-b + sq) / 2.0
+        if t > 0.001:
+            return t
+        return -1.0
+
+def trace(spheres, orig, dir, depth):
+    best_t = -1.0
+    best_s = None
+    for s in spheres:
+        t = s.intersect(orig, dir)
+        if t > 0.0 and (best_t < 0.0 or t < best_t):
+            best_t = t
+            best_s = s
+    if best_s is None:
+        return 0.1 + 0.4 * (dir.y + 1.0)
+    hit = vadd(orig, vscale(dir, best_t))
+    normal = vnorm(vsub(hit, best_s.center))
+    light = vnorm(Vec(0.6, 1.0, 0.4))
+    diffuse = vdot(normal, light)
+    if diffuse < 0.0:
+        diffuse = 0.0
+    color = 0.2 + 0.7 * diffuse
+    if depth < 2 and best_s.reflect > 0.0:
+        rdir = vsub(dir, vscale(normal, 2.0 * vdot(dir, normal)))
+        color = color * (1.0 - best_s.reflect) + best_s.reflect * trace(spheres, hit, vnorm(rdir), depth + 1)
+    return color
+
+def render(w, h):
+    spheres = [
+        Sphere(Vec(0.0, -0.5, 3.0), 1.0, 0.3),
+        Sphere(Vec(1.5, 0.3, 4.0), 0.8, 0.6),
+        Sphere(Vec(-1.5, 0.2, 2.5), 0.6, 0.0),
+        Sphere(Vec(0.0, -101.0, 3.0), 100.0, 0.1)]
+    orig = Vec(0.0, 0.0, -1.0)
+    acc = 0.0
+    for py in xrange(h):
+        for px in xrange(w):
+            dx = (px - w / 2) / float(w)
+            dy = -(py - h / 2) / float(h)
+            dir = vnorm(Vec(dx, dy, 1.0))
+            acc += trace(spheres, orig, dir, 0)
+    return acc
+
+print("%.6f" % render(48, 36))
+`,
+		AllocHeavy: true,
+		JSName:     "3d-raytrace",
+	})
+
+	register(&Benchmark{
+		Name: "hexiom",
+		Source: `
+# Condensed Hexiom solver: place numbered tiles on a small hex-ish board
+# so each tile's number equals its count of occupied neighbours;
+# depth-first search with pruning.
+def build_neighbors(w, h):
+    nbs = []
+    for i in xrange(w * h):
+        x = i % w
+        y = i / w
+        cur = []
+        if x > 0:
+            cur.append(i - 1)
+        if x < w - 1:
+            cur.append(i + 1)
+        if y > 0:
+            cur.append(i - w)
+            if x < w - 1:
+                cur.append(i - w + 1)
+        if y < h - 1:
+            cur.append(i + w)
+            if x > 0:
+                cur.append(i + w - 1)
+        nbs.append(cur)
+    return nbs
+
+def check(board, nbs, pos):
+    v = board[pos]
+    if v < 0:
+        return True
+    occupied = 0
+    empty = 0
+    for nb in nbs[pos]:
+        if board[nb] >= 0:
+            occupied += 1
+        elif board[nb] == -1:
+            empty += 1
+    if occupied > v:
+        return False
+    if occupied + empty < v:
+        return False
+    return True
+
+def solve(board, nbs, tiles, idx, count):
+    if idx == len(board):
+        for pos in xrange(len(board)):
+            v = board[pos]
+            if v < 0:
+                continue
+            occupied = 0
+            for nb in nbs[pos]:
+                if board[nb] >= 0:
+                    occupied += 1
+            if occupied != v:
+                return count
+        return count + 1
+    for t in xrange(len(tiles)):
+        if tiles[t] == 0:
+            continue
+        tiles[t] -= 1
+        board[idx] = t - 1
+        ok = True
+        if not check(board, nbs, idx):
+            ok = False
+        if ok and idx > 0:
+            if not check(board, nbs, idx - 1):
+                ok = False
+        if ok:
+            count = solve(board, nbs, tiles, idx + 1, count)
+        tiles[t] += 1
+        board[idx] = -2
+    return count
+
+w = 3
+h = 3
+nbs = build_neighbors(w, h)
+board = [-2] * (w * h)
+# tiles[0] = blanks (-1), tiles[k] = number k-1
+tiles = [4, 1, 2, 2]
+print(solve(board, nbs, tiles, 0, 0))
+`,
+		Nursery: false,
+	})
+
+	register(&Benchmark{
+		Name:    "telco",
+		Nursery: true,
+		Source: `
+# Telco-style billing: fixed-point call pricing with banker's-style
+# rounding and tax, over a synthetic call stream.
+def round_half_even_cents(amount_tenths_of_cents):
+    q = amount_tenths_of_cents / 10
+    r = amount_tenths_of_cents % 10
+    if r > 5:
+        q += 1
+    elif r == 5:
+        if q % 2 == 1:
+            q += 1
+    return q
+
+def bill(durations):
+    btotal = 0
+    dtotal = 0
+    ttotal = 0
+    lines = []
+    for d in durations:
+        if d % 2 == 0:
+            rate = 9
+        else:
+            rate = 27
+        price = d * rate
+        cents = round_half_even_cents(price)
+        btotal += cents
+        if rate == 27:
+            dist = round_half_even_cents(price * 3 / 4)
+            dtotal += dist
+        tax = round_half_even_cents(cents * 65 / 10)
+        ttotal += tax
+        lines.append("%d.%02d" % (cents / 100, cents % 100))
+    return (btotal, dtotal, ttotal, len(lines))
+
+random.seed(99)
+durations = []
+for i in xrange(2600):
+    durations.append(random.randint(1, 2400))
+res = bill(durations)
+print(res[0], res[1], res[2], res[3])
+`,
+	})
+}

@@ -1,0 +1,518 @@
+package pybench
+
+// String- and template-heavy benchmarks: template engines (spitfire, mako,
+// chameleon), markup generation (pyxl_bench), tokenization (html5lib,
+// eparse), formatting (logging_format), and repository-log walking
+// (dulwich_log).
+
+func init() {
+	register(&Benchmark{
+		Name:       "spitfire",
+		AllocHeavy: true,
+		Nursery:    true,
+		Fig8:       true,
+		Source: `
+# Spitfire-style template rendering: build an HTML table row by row with
+# string interpolation, accumulating into a list of fragments.
+def render_table(rows, cols):
+    out = []
+    out.append("<table>")
+    for r in xrange(rows):
+        out.append("<tr class='r%d'>" % (r % 2))
+        for c in xrange(cols):
+            out.append("<td>%d</td>" % (r * cols + c))
+        out.append("</tr>")
+    out.append("</table>")
+    return "".join(out)
+
+total = 0
+for rep in xrange(6):
+    html = render_table(100, 10)
+    total += len(html)
+print(total)
+`,
+	})
+
+	register(&Benchmark{
+		Name:       "spitfire_cstringio",
+		AllocHeavy: true,
+		Source: `
+# The cStringIO variant accumulates into one growing buffer string
+# instead of a fragment list (worse: quadratic-ish concatenation churn).
+def render_table(rows, cols):
+    buf = []
+    line = ""
+    for r in xrange(rows):
+        line = "<tr class='r%d'>" % (r % 2)
+        for c in xrange(cols):
+            line = line + "<td>%d</td>" % (r * cols + c)
+        line = line + "</tr>"
+        buf.append(line)
+    return "".join(buf)
+
+total = 0
+for rep in xrange(6):
+    html = render_table(90, 10)
+    total += len(html)
+print(total)
+`,
+	})
+
+	register(&Benchmark{
+		Name:       "mako",
+		AllocHeavy: true,
+		JSName:     "tagcloud",
+		Source: `
+# Mako-style templating: compile a template into segments once, then
+# render many contexts against it.
+def compile_template(tmpl):
+    segs = []
+    i = 0
+    while i < len(tmpl):
+        j = tmpl.find("${", i)
+        if j < 0:
+            segs.append((0, tmpl[i:]))
+            break
+        if j > i:
+            segs.append((0, tmpl[i:j]))
+        k = tmpl.find("}", j)
+        segs.append((1, tmpl[j + 2:k]))
+        i = k + 1
+    return segs
+
+def render(segs, ctx):
+    out = []
+    for seg in segs:
+        if seg[0] == 0:
+            out.append(seg[1])
+        else:
+            out.append(str(ctx[seg[1]]))
+    return "".join(out)
+
+template = "<html><head><title>${title}</title></head><body><h1>${title}</h1><p>User ${user} has ${points} points (rank ${rank}).</p><ul><li>${a}</li><li>${b}</li><li>${c}</li></ul></body></html>"
+segs = compile_template(template)
+total = 0
+for i in xrange(900):
+    ctx = {"title": "Page %d" % i, "user": "u%d" % (i % 50),
+           "points": i * 3, "rank": i % 10, "a": i, "b": i * i % 997, "c": "x" * (i % 5)}
+    total += len(render(segs, ctx))
+print(total)
+`,
+	})
+
+	register(&Benchmark{
+		Name:       "chameleon",
+		AllocHeavy: true,
+		Source: `
+# Chameleon-style attribute templating: walk a node tree substituting
+# attributes, serializing to markup.
+class Node:
+    def __init__(self, tag, attrs, children, text):
+        self.tag = tag
+        self.attrs = attrs
+        self.children = children
+        self.text = text
+
+def build_tree(depth, fan):
+    if depth == 0:
+        return Node("span", {"class": "leaf"}, [], "leaf")
+    kids = []
+    for i in xrange(fan):
+        kids.append(build_tree(depth - 1, fan))
+    return Node("div", {"class": "level%d" % depth, "data-n": str(depth * fan)}, kids, "")
+
+def serialize(node, out, ctx):
+    out.append("<")
+    out.append(node.tag)
+    for k in sorted(node.attrs.keys()):
+        out.append(" %s='%s'" % (k, node.attrs[k]))
+    out.append(">")
+    if node.text != "":
+        out.append(node.text + str(ctx))
+    for child in node.children:
+        serialize(child, out, ctx)
+    out.append("</%s>" % node.tag)
+
+tree = build_tree(4, 3)
+total = 0
+for rep in xrange(12):
+    out = []
+    serialize(tree, out, rep)
+    total += len("".join(out))
+print(total)
+`,
+	})
+
+	register(&Benchmark{
+		Name:    "logging_format",
+		Nursery: true,
+		Source: `
+# logging_format: format log records that are below the logger's level, so
+# all the work is in record construction and % formatting.
+class Record:
+    def __init__(self, level, msg, args):
+        self.level = level
+        self.msg = msg
+        self.args = args
+
+    def get_message(self):
+        return self.msg % self.args
+
+class Logger:
+    def __init__(self, level):
+        self.level = level
+        self.formatted = 0
+        self.emitted = 0
+
+    def log(self, level, msg, args):
+        record = Record(level, msg, args)
+        text = record.get_message()
+        self.formatted += len(text)
+        if level >= self.level:
+            self.emitted += 1
+
+logger = Logger(30)
+for i in xrange(2500):
+    logger.log(10, "debug %d: value=%r elapsed=%.3fms host=%s", (i, i * 3, i * 0.125, "h%d" % (i % 4)))
+    if i % 50 == 0:
+        logger.log(40, "error %d occurred after %d retries", (i, i % 7))
+print(logger.formatted, logger.emitted)
+`,
+		AllocHeavy: true,
+	})
+
+	register(&Benchmark{
+		Name:       "pyxl_bench",
+		AllocHeavy: true,
+		Nursery:    true,
+		Source: `
+# pyxl-style: HTML built from element objects with attribute dicts.
+class Element:
+    def __init__(self, tag):
+        self.tag = tag
+        self.attrs = {}
+        self.children = []
+
+    def attr(self, k, v):
+        self.attrs[k] = v
+        return self
+
+    def add(self, child):
+        self.children.append(child)
+        return self
+
+    def to_string(self, out):
+        out.append("<" + self.tag)
+        for k in sorted(self.attrs.keys()):
+            out.append(' %s="%s"' % (k, self.attrs[k]))
+        out.append(">")
+        for c in self.children:
+            if isinstance(c, Element):
+                c.to_string(out)
+            else:
+                out.append(str(c))
+        out.append("</" + self.tag + ">")
+
+def build_page(n):
+    page = Element("html")
+    body = Element("body")
+    page.add(body)
+    table = Element("table").attr("class", "data")
+    body.add(table)
+    for i in xrange(n):
+        row = Element("tr").attr("id", "row%d" % i)
+        row.add(Element("td").attr("class", "k").add(i))
+        row.add(Element("td").attr("class", "v").add(i * i % 1009))
+        table.add(row)
+    return page
+
+total = 0
+for rep in xrange(6):
+    out = []
+    build_page(70).to_string(out)
+    total += len("".join(out))
+print(total)
+`,
+	})
+
+	register(&Benchmark{
+		Name:       "html5lib",
+		AllocHeavy: true,
+		JSName:     "code-first-load",
+		Nursery:    true,
+		Source: `
+# html5lib-style tokenizer: scan markup into tag/attr/text tokens.
+def build_page(n):
+    parts = ["<!DOCTYPE html><html><head><title>t</title></head><body>"]
+    for i in xrange(n):
+        parts.append("<div id=d%d class='c%d even'><a href='/l/%d' rel=nofollow>link %d</a> text &amp; more <br/><img src=i%d.png alt=''/></div>" % (i, i % 7, i, i, i))
+    parts.append("</body></html>")
+    return "".join(parts)
+
+def tokenize(html):
+    tokens = []
+    i = 0
+    n = len(html)
+    while i < n:
+        if html[i] == "<":
+            j = html.find(">", i)
+            if j < 0:
+                break
+            tag = html[i + 1:j]
+            closing = tag.startswith("/")
+            if closing:
+                tag = tag[1:]
+            selfclose = tag.endswith("/")
+            if selfclose:
+                tag = tag[:len(tag) - 1]
+            fields = tag.split(" ")
+            name = fields[0]
+            attrs = {}
+            for f in fields[1:]:
+                eq = f.find("=")
+                if eq >= 0:
+                    attrs[f[:eq]] = f[eq + 1:].strip("'\"")
+                elif f != "":
+                    attrs[f] = ""
+            tokens.append((name, closing, len(attrs)))
+            i = j + 1
+        else:
+            j = html.find("<", i)
+            if j < 0:
+                j = n
+            text = html[i:j]
+            if text.strip() != "":
+                tokens.append(("#text", False, len(text)))
+            i = j
+    return tokens
+
+html = build_page(120)
+total = 0
+for rep in xrange(4):
+    tokens = tokenize(html)
+    for tok in tokens:
+        total += tok[2]
+print(len(tokens), total)
+`,
+	})
+
+	register(&Benchmark{
+		Name:    "eparse",
+		Fig8:    true,
+		Nursery: true,
+		Source: `
+# eparse: tokenize and parse arithmetic expressions into trees, then
+# evaluate them (the spark-parser benchmark's core loop).
+def tokenize(s):
+    toks = []
+    i = 0
+    n = len(s)
+    while i < n:
+        c = s[i]
+        if c == " ":
+            i += 1
+            continue
+        if c in "0123456789":
+            j = i
+            while j < n and s[j] in "0123456789":
+                j += 1
+            toks.append(("num", int(s[i:j])))
+            i = j
+            continue
+        if c in "abcdefghijklmnopqrstuvwxyz":
+            j = i
+            while j < n and s[j] in "abcdefghijklmnopqrstuvwxyz":
+                j += 1
+            toks.append(("name", s[i:j]))
+            i = j
+            continue
+        toks.append(("op", c))
+        i += 1
+    toks.append(("end", ""))
+    return toks
+
+class Parser:
+    def __init__(self, toks, env):
+        self.toks = toks
+        self.pos = 0
+        self.env = env
+
+    def peek(self):
+        return self.toks[self.pos]
+
+    def next(self):
+        t = self.toks[self.pos]
+        self.pos += 1
+        return t
+
+    def parse_atom(self):
+        t = self.next()
+        if t[0] == "num":
+            return t[1]
+        if t[0] == "name":
+            return self.env[t[1]]
+        if t[0] == "op" and t[1] == "(":
+            v = self.parse_expr()
+            self.next()
+            return v
+        return 0
+
+    def parse_term(self):
+        v = self.parse_atom()
+        while True:
+            t = self.peek()
+            if t[0] == "op" and t[1] == "*":
+                self.next()
+                v = v * self.parse_atom()
+            elif t[0] == "op" and t[1] == "/":
+                self.next()
+                d = self.parse_atom()
+                if d != 0:
+                    v = v / d
+            else:
+                return v
+
+    def parse_expr(self):
+        v = self.parse_term()
+        while True:
+            t = self.peek()
+            if t[0] == "op" and t[1] == "+":
+                self.next()
+                v = v + self.parse_term()
+            elif t[0] == "op" and t[1] == "-":
+                self.next()
+                v = v - self.parse_term()
+            else:
+                return v
+
+env = {"x": 3, "y": 7, "zz": 11}
+total = 0
+for i in xrange(300):
+    expr = "%d + x * (y - %d) / 2 + zz * %d - (x + y) * %d" % (i, i % 5, i % 9, i % 3)
+    p = Parser(tokenize(expr), env)
+    total += p.parse_expr()
+print(total)
+`,
+	})
+
+	register(&Benchmark{
+		Name:       "dulwich_log",
+		AllocHeavy: true,
+		Source: `
+# dulwich_log: walk a synthetic commit graph in topological order and
+# format each entry, as git-log over a repository of dict objects.
+def build_history(n):
+    commits = {}
+    for i in xrange(n):
+        parents = []
+        if i > 0:
+            parents.append("c%04d" % (i - 1))
+        if i % 7 == 3 and i > 4:
+            parents.append("c%04d" % (i - 4))
+        commits["c%04d" % i] = {
+            "parents": parents,
+            "author": "dev%d" % (i % 6),
+            "time": 1500000000 + i * 137,
+            "message": "commit %d: tweak module %d\n\nlonger body text %d" % (i, i % 12, i)}
+    return commits
+
+def walk(commits, head):
+    seen = {}
+    order = []
+    stack = [head]
+    while len(stack) > 0:
+        sha = stack.pop()
+        if sha in seen:
+            continue
+        seen[sha] = True
+        order.append(sha)
+        c = commits[sha]
+        for p in c["parents"]:
+            stack.append(p)
+    return order
+
+def format_entry(sha, c):
+    lines = []
+    lines.append("commit %s" % sha)
+    lines.append("Author: %s" % c["author"])
+    lines.append("Date: %d" % c["time"])
+    msg = c["message"].split("\n")
+    for line in msg:
+        lines.append("    " + line)
+    return "\n".join(lines)
+
+commits = build_history(220)
+order = walk(commits, "c0219")
+total = 0
+for sha in order:
+    total += len(format_entry(sha, commits[sha]))
+print(len(order), total)
+`,
+	})
+
+	register(&Benchmark{
+		Name: "rietveld",
+		Source: `
+# rietveld: code-review style workload - unified diff between synthetic
+# file versions plus template-ish rendering of the result.
+def make_file(n, variant):
+    lines = []
+    for i in xrange(n):
+        if variant == 1 and i % 13 == 5:
+            lines.append("changed line %d v2" % i)
+        elif variant == 1 and i % 29 == 11:
+            continue
+        else:
+            lines.append("line %d content alpha beta" % i)
+    return lines
+
+def diff(a, b):
+    # simple LCS-free diff: match forward with lookahead window
+    out = []
+    i = 0
+    j = 0
+    while i < len(a) and j < len(b):
+        if a[i] == b[j]:
+            out.append(" " + a[i])
+            i += 1
+            j += 1
+            continue
+        found = -1
+        k = j + 1
+        while k < len(b) and k < j + 5:
+            if a[i] == b[k]:
+                found = k
+                break
+            k += 1
+        if found >= 0:
+            while j < found:
+                out.append("+" + b[j])
+                j += 1
+        else:
+            out.append("-" + a[i])
+            i += 1
+    while i < len(a):
+        out.append("-" + a[i])
+        i += 1
+    while j < len(b):
+        out.append("+" + b[j])
+        j += 1
+    return out
+
+old = make_file(300, 0)
+new = make_file(300, 1)
+total = 0
+for rep in xrange(6):
+    d = diff(old, new)
+    adds = 0
+    dels = 0
+    for line in d:
+        if line.startswith("+"):
+            adds += 1
+        elif line.startswith("-"):
+            dels += 1
+    total += len(d) + adds * 2 + dels * 3
+print(total)
+`,
+	})
+}

@@ -1,0 +1,224 @@
+package pycode
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ConstKind discriminates compile-time constant values.
+type ConstKind uint8
+
+// Constant kinds.
+const (
+	ConstNone ConstKind = iota
+	ConstBool
+	ConstInt
+	ConstFloat
+	ConstStr
+	ConstCode
+	ConstTuple
+)
+
+// Const is a compile-time constant. Code objects carry constants in this
+// literal form; the runtime materializes them into heap objects at module
+// load, mirroring CPython's unmarshaling of .pyc files.
+type Const struct {
+	Kind  ConstKind
+	Int   int64 // also holds bool as 0/1
+	Float float64
+	Str   string
+	Code  *Code
+	Tuple []Const
+}
+
+// NoneConst, true/false, and scalar constructors.
+func NoneConst() Const { return Const{Kind: ConstNone} }
+func BoolConst(b bool) Const {
+	c := Const{Kind: ConstBool}
+	if b {
+		c.Int = 1
+	}
+	return c
+}
+func IntConst(v int64) Const     { return Const{Kind: ConstInt, Int: v} }
+func FloatConst(v float64) Const { return Const{Kind: ConstFloat, Float: v} }
+func StrConst(s string) Const    { return Const{Kind: ConstStr, Str: s} }
+func CodeConst(c *Code) Const    { return Const{Kind: ConstCode, Code: c} }
+
+// String renders the constant in source-like form.
+func (c Const) String() string {
+	switch c.Kind {
+	case ConstNone:
+		return "None"
+	case ConstBool:
+		if c.Int != 0 {
+			return "True"
+		}
+		return "False"
+	case ConstInt:
+		return fmt.Sprintf("%d", c.Int)
+	case ConstFloat:
+		return fmt.Sprintf("%g", c.Float)
+	case ConstStr:
+		return fmt.Sprintf("%q", c.Str)
+	case ConstCode:
+		return fmt.Sprintf("<code %s>", c.Code.Name)
+	case ConstTuple:
+		parts := make([]string, len(c.Tuple))
+		for i, e := range c.Tuple {
+			parts[i] = e.String()
+		}
+		return "(" + strings.Join(parts, ", ") + ")"
+	}
+	return "?"
+}
+
+// Equal reports deep equality of two constants (used for const pooling).
+func (c Const) Equal(o Const) bool {
+	if c.Kind != o.Kind {
+		return false
+	}
+	switch c.Kind {
+	case ConstNone:
+		return true
+	case ConstBool, ConstInt:
+		return c.Int == o.Int
+	case ConstFloat:
+		return c.Float == o.Float
+	case ConstStr:
+		return c.Str == o.Str
+	case ConstCode:
+		return c.Code == o.Code
+	case ConstTuple:
+		if len(c.Tuple) != len(o.Tuple) {
+			return false
+		}
+		for i := range c.Tuple {
+			if !c.Tuple[i].Equal(o.Tuple[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Instr is one bytecode instruction.
+type Instr struct {
+	Op  Opcode
+	Arg int32
+}
+
+// Code is a compiled code object, the unit of execution.
+type Code struct {
+	// Name is the function (or "<module>") name.
+	Name string
+	// Filename is the source name, for diagnostics.
+	Filename string
+	// NumParams is the number of declared parameters; parameters occupy
+	// the first NumParams slots of Varnames.
+	NumParams int
+	// Varnames names the fast-local slots.
+	Varnames []string
+	// Names lists the global/attribute names referenced by the code.
+	Names []string
+	// Consts is the constant pool.
+	Consts []Const
+	// Code is the instruction sequence.
+	Code []Instr
+	// StackSize is the value-stack capacity required by the code.
+	StackSize int
+	// Lines maps each instruction to a source line, for diagnostics.
+	Lines []int32
+	// IsModule marks module-level code (uses LOAD_NAME/STORE_NAME).
+	IsModule bool
+}
+
+// Disassemble renders the code object and, recursively, any nested code
+// constants in a dis-like format.
+func (c *Code) Disassemble() string {
+	var sb strings.Builder
+	c.disasmInto(&sb)
+	return sb.String()
+}
+
+func (c *Code) disasmInto(sb *strings.Builder) {
+	fmt.Fprintf(sb, "code %s (params=%d, locals=%d, stack=%d)\n",
+		c.Name, c.NumParams, len(c.Varnames), c.StackSize)
+	for i, in := range c.Code {
+		line := int32(0)
+		if i < len(c.Lines) {
+			line = c.Lines[i]
+		}
+		fmt.Fprintf(sb, "%5d  %4d  %-22s", i, line, in.Op)
+		if in.Op.HasArg() {
+			fmt.Fprintf(sb, " %4d", in.Arg)
+			switch in.Op {
+			case LOAD_CONST:
+				if int(in.Arg) < len(c.Consts) {
+					fmt.Fprintf(sb, "  (%s)", c.Consts[in.Arg])
+				}
+			case LOAD_FAST, STORE_FAST:
+				if int(in.Arg) < len(c.Varnames) {
+					fmt.Fprintf(sb, "  (%s)", c.Varnames[in.Arg])
+				}
+			case LOAD_GLOBAL, STORE_GLOBAL, LOAD_NAME, STORE_NAME,
+				LOAD_ATTR, STORE_ATTR, BUILD_CLASS:
+				if int(in.Arg) < len(c.Names) {
+					fmt.Fprintf(sb, "  (%s)", c.Names[in.Arg])
+				}
+			case COMPARE_OP:
+				fmt.Fprintf(sb, "  (%s)", CmpOp(in.Arg))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	for _, k := range c.Consts {
+		if k.Kind == ConstCode {
+			sb.WriteByte('\n')
+			k.Code.disasmInto(sb)
+		}
+	}
+}
+
+// Validate checks structural invariants of the code object: operand
+// indices in range, jump targets within bounds, and a positive stack size.
+func (c *Code) Validate() error {
+	n := int32(len(c.Code))
+	for i, in := range c.Code {
+		switch in.Op {
+		case LOAD_CONST:
+			if in.Arg < 0 || int(in.Arg) >= len(c.Consts) {
+				return fmt.Errorf("%s@%d: const index %d out of range", c.Name, i, in.Arg)
+			}
+		case LOAD_FAST, STORE_FAST:
+			if in.Arg < 0 || int(in.Arg) >= len(c.Varnames) {
+				return fmt.Errorf("%s@%d: local slot %d out of range", c.Name, i, in.Arg)
+			}
+		case LOAD_GLOBAL, STORE_GLOBAL, LOAD_NAME, STORE_NAME, LOAD_ATTR, STORE_ATTR, BUILD_CLASS:
+			if in.Arg < 0 || int(in.Arg) >= len(c.Names) {
+				return fmt.Errorf("%s@%d: name index %d out of range", c.Name, i, in.Arg)
+			}
+		case JUMP_FORWARD, JUMP_ABSOLUTE, POP_JUMP_IF_FALSE, POP_JUMP_IF_TRUE,
+			JUMP_IF_FALSE_OR_POP, JUMP_IF_TRUE_OR_POP, SETUP_LOOP, CONTINUE_LOOP, FOR_ITER:
+			if in.Arg < 0 || in.Arg > n {
+				return fmt.Errorf("%s@%d: jump target %d out of range", c.Name, i, in.Arg)
+			}
+		case CALL_FUNCTION, BUILD_LIST, BUILD_TUPLE, BUILD_MAP, UNPACK_SEQUENCE, MAKE_FUNCTION:
+			if in.Arg < 0 {
+				return fmt.Errorf("%s@%d: negative operand %d", c.Name, i, in.Arg)
+			}
+		}
+	}
+	if c.StackSize <= 0 {
+		return fmt.Errorf("%s: non-positive stack size %d", c.Name, c.StackSize)
+	}
+	for _, k := range c.Consts {
+		if k.Kind == ConstCode {
+			if err := k.Code.Validate(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

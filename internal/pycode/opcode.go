@@ -1,0 +1,199 @@
+// Package pycode defines the MiniPy bytecode: a CPython-2.7-style
+// stack-machine instruction set, code objects, and a disassembler.
+//
+// The opcode set intentionally mirrors CPython's: the overhead study
+// depends on the interpreter having the same structural work to do per
+// bytecode (dispatch, stack traffic, const loads, block-stack management
+// for loops, global/local name spaces) as the real interpreter.
+package pycode
+
+import "fmt"
+
+// Opcode identifies a bytecode instruction.
+type Opcode uint8
+
+// The MiniPy opcode set.
+const (
+	// Stack manipulation.
+	POP_TOP Opcode = iota
+	DUP_TOP
+	DUP_TOP_TWO
+	ROT_TWO
+	ROT_THREE
+
+	// Constants and names.
+	LOAD_CONST  // arg: const index
+	LOAD_FAST   // arg: local slot
+	STORE_FAST  // arg: local slot
+	LOAD_GLOBAL // arg: name index; falls back to builtins
+	STORE_GLOBAL
+	LOAD_NAME // arg: name index; module-level load (globals then builtins)
+	STORE_NAME
+	LOAD_ATTR  // arg: name index
+	STORE_ATTR // arg: name index
+
+	// Unary operations.
+	UNARY_NEGATIVE
+	UNARY_NOT
+
+	// Binary operations.
+	BINARY_ADD
+	BINARY_SUBTRACT
+	BINARY_MULTIPLY
+	BINARY_DIVIDE // true division on floats, floor on ints (py2)
+	BINARY_FLOOR_DIVIDE
+	BINARY_MODULO
+	BINARY_POWER
+	BINARY_LSHIFT
+	BINARY_RSHIFT
+	BINARY_AND
+	BINARY_OR
+	BINARY_XOR
+	BINARY_SUBSCR
+
+	// In-place operations (compile from augmented assignment).
+	INPLACE_ADD
+	INPLACE_SUBTRACT
+	INPLACE_MULTIPLY
+	INPLACE_DIVIDE
+	INPLACE_FLOOR_DIVIDE
+	INPLACE_MODULO
+	INPLACE_AND
+	INPLACE_OR
+	INPLACE_XOR
+	INPLACE_LSHIFT
+	INPLACE_RSHIFT
+
+	STORE_SUBSCR
+	DELETE_SUBSCR
+
+	// Comparison; arg: CmpOp.
+	COMPARE_OP
+
+	// Container construction; arg: element count.
+	BUILD_LIST
+	BUILD_TUPLE
+	BUILD_MAP // arg: hint (pairs follow via STORE_MAP)
+	STORE_MAP
+	BUILD_SLICE // arg: 2 or 3 (start, stop[, step])
+	UNPACK_SEQUENCE
+
+	// Control flow.
+	JUMP_FORWARD      // arg: absolute target (kept absolute for simplicity)
+	JUMP_ABSOLUTE     // arg: absolute target
+	POP_JUMP_IF_FALSE // arg: absolute target
+	POP_JUMP_IF_TRUE
+	JUMP_IF_FALSE_OR_POP
+	JUMP_IF_TRUE_OR_POP
+	SETUP_LOOP // arg: loop-exit target; pushes a block
+	POP_BLOCK
+	BREAK_LOOP
+	CONTINUE_LOOP // arg: loop-start target
+	GET_ITER
+	FOR_ITER // arg: loop-exit target when exhausted
+
+	// Functions and classes.
+	CALL_FUNCTION // arg: positional argument count
+	MAKE_FUNCTION // arg: default count; code object on stack (as const index in operand? const on stack)
+	RETURN_VALUE
+	BUILD_CLASS // arg: name index; methods dict and bases tuple on stack
+
+	// Printing (py2-style statement support; MiniPy uses the print
+	// builtin, but the opcode remains for the interpreter's rich
+	// control-flow accounting tests).
+	PRINT_ITEM
+	PRINT_NEWLINE
+
+	NOP
+
+	numOpcodes
+)
+
+// NumOpcodes is the number of defined opcodes.
+const NumOpcodes = int(numOpcodes)
+
+var opNames = [...]string{
+	POP_TOP: "POP_TOP", DUP_TOP: "DUP_TOP", DUP_TOP_TWO: "DUP_TOP_TWO",
+	ROT_TWO: "ROT_TWO", ROT_THREE: "ROT_THREE",
+	LOAD_CONST: "LOAD_CONST", LOAD_FAST: "LOAD_FAST", STORE_FAST: "STORE_FAST",
+	LOAD_GLOBAL: "LOAD_GLOBAL", STORE_GLOBAL: "STORE_GLOBAL",
+	LOAD_NAME: "LOAD_NAME", STORE_NAME: "STORE_NAME",
+	LOAD_ATTR: "LOAD_ATTR", STORE_ATTR: "STORE_ATTR",
+	UNARY_NEGATIVE: "UNARY_NEGATIVE", UNARY_NOT: "UNARY_NOT",
+	BINARY_ADD: "BINARY_ADD", BINARY_SUBTRACT: "BINARY_SUBTRACT",
+	BINARY_MULTIPLY: "BINARY_MULTIPLY", BINARY_DIVIDE: "BINARY_DIVIDE",
+	BINARY_FLOOR_DIVIDE: "BINARY_FLOOR_DIVIDE", BINARY_MODULO: "BINARY_MODULO",
+	BINARY_POWER: "BINARY_POWER", BINARY_LSHIFT: "BINARY_LSHIFT",
+	BINARY_RSHIFT: "BINARY_RSHIFT", BINARY_AND: "BINARY_AND",
+	BINARY_OR: "BINARY_OR", BINARY_XOR: "BINARY_XOR", BINARY_SUBSCR: "BINARY_SUBSCR",
+	INPLACE_ADD: "INPLACE_ADD", INPLACE_SUBTRACT: "INPLACE_SUBTRACT",
+	INPLACE_MULTIPLY: "INPLACE_MULTIPLY", INPLACE_DIVIDE: "INPLACE_DIVIDE",
+	INPLACE_FLOOR_DIVIDE: "INPLACE_FLOOR_DIVIDE", INPLACE_MODULO: "INPLACE_MODULO",
+	INPLACE_AND: "INPLACE_AND", INPLACE_OR: "INPLACE_OR", INPLACE_XOR: "INPLACE_XOR",
+	INPLACE_LSHIFT: "INPLACE_LSHIFT", INPLACE_RSHIFT: "INPLACE_RSHIFT",
+	STORE_SUBSCR: "STORE_SUBSCR", DELETE_SUBSCR: "DELETE_SUBSCR", COMPARE_OP: "COMPARE_OP",
+	BUILD_LIST: "BUILD_LIST", BUILD_TUPLE: "BUILD_TUPLE", BUILD_MAP: "BUILD_MAP",
+	STORE_MAP: "STORE_MAP", BUILD_SLICE: "BUILD_SLICE", UNPACK_SEQUENCE: "UNPACK_SEQUENCE",
+	JUMP_FORWARD: "JUMP_FORWARD", JUMP_ABSOLUTE: "JUMP_ABSOLUTE",
+	POP_JUMP_IF_FALSE: "POP_JUMP_IF_FALSE", POP_JUMP_IF_TRUE: "POP_JUMP_IF_TRUE",
+	JUMP_IF_FALSE_OR_POP: "JUMP_IF_FALSE_OR_POP", JUMP_IF_TRUE_OR_POP: "JUMP_IF_TRUE_OR_POP",
+	SETUP_LOOP: "SETUP_LOOP", POP_BLOCK: "POP_BLOCK", BREAK_LOOP: "BREAK_LOOP",
+	CONTINUE_LOOP: "CONTINUE_LOOP", GET_ITER: "GET_ITER", FOR_ITER: "FOR_ITER",
+	CALL_FUNCTION: "CALL_FUNCTION", MAKE_FUNCTION: "MAKE_FUNCTION",
+	RETURN_VALUE: "RETURN_VALUE", BUILD_CLASS: "BUILD_CLASS",
+	PRINT_ITEM: "PRINT_ITEM", PRINT_NEWLINE: "PRINT_NEWLINE", NOP: "NOP",
+}
+
+// String returns the opcode mnemonic.
+func (op Opcode) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("Opcode(%d)", uint8(op))
+}
+
+// HasArg reports whether the opcode uses its operand.
+func (op Opcode) HasArg() bool {
+	switch op {
+	case POP_TOP, DUP_TOP, DUP_TOP_TWO, ROT_TWO, ROT_THREE,
+		UNARY_NEGATIVE, UNARY_NOT,
+		BINARY_ADD, BINARY_SUBTRACT, BINARY_MULTIPLY, BINARY_DIVIDE,
+		BINARY_FLOOR_DIVIDE, BINARY_MODULO, BINARY_POWER,
+		BINARY_LSHIFT, BINARY_RSHIFT, BINARY_AND, BINARY_OR, BINARY_XOR,
+		BINARY_SUBSCR,
+		INPLACE_ADD, INPLACE_SUBTRACT, INPLACE_MULTIPLY, INPLACE_DIVIDE,
+		INPLACE_FLOOR_DIVIDE, INPLACE_MODULO, INPLACE_AND, INPLACE_OR,
+		INPLACE_XOR, INPLACE_LSHIFT, INPLACE_RSHIFT,
+		STORE_SUBSCR, DELETE_SUBSCR, STORE_MAP, POP_BLOCK, BREAK_LOOP, GET_ITER,
+		RETURN_VALUE, PRINT_ITEM, PRINT_NEWLINE, NOP:
+		return false
+	}
+	return true
+}
+
+// CmpOp is the operand of COMPARE_OP.
+type CmpOp uint16
+
+// Comparison operators.
+const (
+	CmpLT CmpOp = iota
+	CmpLE
+	CmpEQ
+	CmpNE
+	CmpGT
+	CmpGE
+	CmpIn
+	CmpNotIn
+	CmpIs
+	CmpIsNot
+)
+
+var cmpNames = [...]string{"<", "<=", "==", "!=", ">", ">=", "in", "not in", "is", "is not"}
+
+// String returns the operator's source form.
+func (c CmpOp) String() string {
+	if int(c) < len(cmpNames) {
+		return cmpNames[c]
+	}
+	return fmt.Sprintf("CmpOp(%d)", uint16(c))
+}

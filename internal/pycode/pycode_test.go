@@ -1,0 +1,97 @@
+package pycode
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpcodeNames(t *testing.T) {
+	for op := Opcode(0); op < Opcode(NumOpcodes); op++ {
+		if strings.HasPrefix(op.String(), "Opcode(") {
+			t.Errorf("opcode %d unnamed", op)
+		}
+	}
+}
+
+func TestHasArgConsistency(t *testing.T) {
+	if POP_TOP.HasArg() || BINARY_ADD.HasArg() || RETURN_VALUE.HasArg() {
+		t.Error("no-arg opcodes report args")
+	}
+	for _, op := range []Opcode{LOAD_CONST, LOAD_FAST, CALL_FUNCTION, JUMP_ABSOLUTE, COMPARE_OP, FOR_ITER} {
+		if !op.HasArg() {
+			t.Errorf("%s should have an arg", op)
+		}
+	}
+}
+
+func TestConstEqualityAndString(t *testing.T) {
+	if !IntConst(3).Equal(IntConst(3)) || IntConst(3).Equal(IntConst(4)) {
+		t.Error("int const equality")
+	}
+	if IntConst(1).Equal(FloatConst(1)) {
+		t.Error("int and float consts must differ (1 vs 1.0 literals)")
+	}
+	if !BoolConst(true).Equal(BoolConst(true)) || BoolConst(true).Equal(BoolConst(false)) {
+		t.Error("bool const equality")
+	}
+	tup := Const{Kind: ConstTuple, Tuple: []Const{IntConst(1), StrConst("a")}}
+	tup2 := Const{Kind: ConstTuple, Tuple: []Const{IntConst(1), StrConst("a")}}
+	if !tup.Equal(tup2) {
+		t.Error("tuple const equality")
+	}
+	if tup.String() != `(1, "a")` {
+		t.Errorf("tuple const string %q", tup.String())
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	good := &Code{
+		Name: "f", Varnames: []string{"x"}, Consts: []Const{NoneConst()},
+		Code:      []Instr{{Op: LOAD_CONST, Arg: 0}, {Op: RETURN_VALUE}},
+		StackSize: 4,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid code rejected: %v", err)
+	}
+	bad := *good
+	bad.Code = []Instr{{Op: LOAD_CONST, Arg: 7}, {Op: RETURN_VALUE}}
+	if bad.Validate() == nil {
+		t.Error("out-of-range const accepted")
+	}
+	bad2 := *good
+	bad2.Code = []Instr{{Op: JUMP_ABSOLUTE, Arg: 99}}
+	if bad2.Validate() == nil {
+		t.Error("out-of-range jump accepted")
+	}
+	bad3 := *good
+	bad3.StackSize = 0
+	if bad3.Validate() == nil {
+		t.Error("zero stack accepted")
+	}
+	bad4 := *good
+	bad4.Code = []Instr{{Op: LOAD_FAST, Arg: 3}, {Op: RETURN_VALUE}}
+	if bad4.Validate() == nil {
+		t.Error("out-of-range local accepted")
+	}
+}
+
+func TestDisassembleShowsOperands(t *testing.T) {
+	c := &Code{
+		Name: "f", Varnames: []string{"x"}, Names: []string{"g"},
+		Consts: []Const{IntConst(42)},
+		Code: []Instr{
+			{Op: LOAD_CONST, Arg: 0},
+			{Op: STORE_FAST, Arg: 0},
+			{Op: LOAD_GLOBAL, Arg: 0},
+			{Op: COMPARE_OP, Arg: int32(CmpLE)},
+			{Op: RETURN_VALUE},
+		},
+		StackSize: 4,
+	}
+	d := c.Disassemble()
+	for _, want := range []string{"(42)", "(x)", "(g)", "(<=)", "LOAD_CONST"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+}

@@ -1,0 +1,367 @@
+// Package pycompile compiles the MiniPy language — the Python-2.7 subset
+// used by the benchmark suite — to pycode bytecode. It contains an
+// indentation-aware lexer, a recursive-descent parser producing an AST,
+// and a single-pass bytecode compiler with jump patching.
+package pycompile
+
+import "repro/internal/pycode"
+
+// Node is the common interface of AST nodes.
+type Node interface {
+	// Line returns the 1-based source line of the node.
+	Line() int
+}
+
+type pos struct{ line int }
+
+func (p pos) Line() int { return p.line }
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	expr()
+}
+
+// ---- Statements ----
+
+// Module is the root of a parsed source file.
+type Module struct {
+	pos
+	Body []Stmt
+}
+
+// FuncDef is a def statement.
+type FuncDef struct {
+	pos
+	Name     string
+	Params   []string
+	Defaults []Expr // defaults for the trailing parameters
+	Body     []Stmt
+}
+
+// ClassDef is a class statement with an optional single base.
+type ClassDef struct {
+	pos
+	Name string
+	Base Expr // nil for no base
+	Body []Stmt
+}
+
+// Return is a return statement.
+type Return struct {
+	pos
+	Value Expr // nil for bare return
+}
+
+// If is an if/elif/else chain (elif is nested in Orelse).
+type If struct {
+	pos
+	Cond   Expr
+	Body   []Stmt
+	Orelse []Stmt
+}
+
+// While is a while loop.
+type While struct {
+	pos
+	Cond Expr
+	Body []Stmt
+}
+
+// For is a for-in loop.
+type For struct {
+	pos
+	Target Expr // Name or TupleLit of Names
+	Iter   Expr
+	Body   []Stmt
+}
+
+// Assign is targets = value. Multiple targets (a = b = expr) assign the
+// same value left to right; each target may be a Name, Subscript,
+// Attribute, or a tuple/list of targets.
+type Assign struct {
+	pos
+	Targets []Expr
+	Value   Expr
+}
+
+// AugAssign is target op= value.
+type AugAssign struct {
+	pos
+	Target Expr
+	Op     BinOpKind
+	Value  Expr
+}
+
+// ExprStmt is an expression evaluated for effect.
+type ExprStmt struct {
+	pos
+	Value Expr
+}
+
+// Break, Continue, Pass are simple statements.
+type Break struct{ pos }
+type Continue struct{ pos }
+type Pass struct{ pos }
+
+// Global declares names as module-level inside a function.
+type Global struct {
+	pos
+	Names []string
+}
+
+// DelStmt deletes a subscript (del d[k]).
+type DelStmt struct {
+	pos
+	Target Expr
+}
+
+func (*FuncDef) stmt()   {}
+func (*ClassDef) stmt()  {}
+func (*Return) stmt()    {}
+func (*If) stmt()        {}
+func (*While) stmt()     {}
+func (*For) stmt()       {}
+func (*Assign) stmt()    {}
+func (*AugAssign) stmt() {}
+func (*ExprStmt) stmt()  {}
+func (*Break) stmt()     {}
+func (*Continue) stmt()  {}
+func (*Pass) stmt()      {}
+func (*Global) stmt()    {}
+func (*DelStmt) stmt()   {}
+
+// ---- Expressions ----
+
+// BinOpKind identifies a binary arithmetic/bitwise operator.
+type BinOpKind uint8
+
+// Binary operators.
+const (
+	OpAdd BinOpKind = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpFloorDiv
+	OpMod
+	OpPow
+	OpLShift
+	OpRShift
+	OpBitAnd
+	OpBitOr
+	OpBitXor
+)
+
+// Opcode returns the BINARY_* opcode for the operator.
+func (k BinOpKind) Opcode() pycode.Opcode {
+	switch k {
+	case OpAdd:
+		return pycode.BINARY_ADD
+	case OpSub:
+		return pycode.BINARY_SUBTRACT
+	case OpMul:
+		return pycode.BINARY_MULTIPLY
+	case OpDiv:
+		return pycode.BINARY_DIVIDE
+	case OpFloorDiv:
+		return pycode.BINARY_FLOOR_DIVIDE
+	case OpMod:
+		return pycode.BINARY_MODULO
+	case OpPow:
+		return pycode.BINARY_POWER
+	case OpLShift:
+		return pycode.BINARY_LSHIFT
+	case OpRShift:
+		return pycode.BINARY_RSHIFT
+	case OpBitAnd:
+		return pycode.BINARY_AND
+	case OpBitOr:
+		return pycode.BINARY_OR
+	case OpBitXor:
+		return pycode.BINARY_XOR
+	}
+	panic("pycompile: unknown BinOpKind")
+}
+
+// InplaceOpcode returns the INPLACE_* opcode for the operator.
+func (k BinOpKind) InplaceOpcode() pycode.Opcode {
+	switch k {
+	case OpAdd:
+		return pycode.INPLACE_ADD
+	case OpSub:
+		return pycode.INPLACE_SUBTRACT
+	case OpMul:
+		return pycode.INPLACE_MULTIPLY
+	case OpDiv:
+		return pycode.INPLACE_DIVIDE
+	case OpFloorDiv:
+		return pycode.INPLACE_FLOOR_DIVIDE
+	case OpMod:
+		return pycode.INPLACE_MODULO
+	case OpLShift:
+		return pycode.INPLACE_LSHIFT
+	case OpRShift:
+		return pycode.INPLACE_RSHIFT
+	case OpBitAnd:
+		return pycode.INPLACE_AND
+	case OpBitOr:
+		return pycode.INPLACE_OR
+	case OpBitXor:
+		return pycode.INPLACE_XOR
+	case OpPow:
+		return pycode.BINARY_POWER // no inplace power
+	}
+	panic("pycompile: unknown BinOpKind")
+}
+
+// Name references a variable.
+type Name struct {
+	pos
+	Ident string
+}
+
+// NumInt is an integer literal.
+type NumInt struct {
+	pos
+	V int64
+}
+
+// NumFloat is a float literal.
+type NumFloat struct {
+	pos
+	V float64
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	pos
+	V string
+}
+
+// BoolLit is True/False; NoneLit is None.
+type BoolLit struct {
+	pos
+	V bool
+}
+type NoneLit struct{ pos }
+
+// BinOp is a binary arithmetic/bitwise operation.
+type BinOp struct {
+	pos
+	Op   BinOpKind
+	L, R Expr
+}
+
+// UnaryKind identifies a unary operator.
+type UnaryKind uint8
+
+// Unary operators.
+const (
+	UnaryNeg UnaryKind = iota
+	UnaryNot
+	UnaryPos
+)
+
+// UnaryOp is a unary operation.
+type UnaryOp struct {
+	pos
+	Op UnaryKind
+	V  Expr
+}
+
+// BoolOpKind is and/or.
+type BoolOpKind uint8
+
+// Boolean operators.
+const (
+	BoolAnd BoolOpKind = iota
+	BoolOr
+)
+
+// BoolOp is a short-circuiting and/or chain.
+type BoolOp struct {
+	pos
+	Op     BoolOpKind
+	Values []Expr
+}
+
+// Compare is a (possibly chained) comparison.
+type Compare struct {
+	pos
+	Left   Expr
+	Ops    []pycode.CmpOp
+	Rights []Expr
+}
+
+// Call is a function call with positional arguments.
+type Call struct {
+	pos
+	Fn   Expr
+	Args []Expr
+}
+
+// Subscript is v[index]; Index may be a SliceExpr.
+type Subscript struct {
+	pos
+	V     Expr
+	Index Expr
+}
+
+// SliceExpr is lo:hi[:step] inside a subscript; components may be nil.
+type SliceExpr struct {
+	pos
+	Lo, Hi, Step Expr
+}
+
+// Attribute is v.name.
+type Attribute struct {
+	pos
+	V    Expr
+	Name string
+}
+
+// ListLit, TupleLit, DictLit are container displays.
+type ListLit struct {
+	pos
+	Elems []Expr
+}
+type TupleLit struct {
+	pos
+	Elems []Expr
+}
+type DictLit struct {
+	pos
+	Keys   []Expr
+	Values []Expr
+}
+
+// CondExpr is a conditional expression: body if cond else orelse.
+type CondExpr struct {
+	pos
+	Cond, Body, Orelse Expr
+}
+
+func (*Name) expr()      {}
+func (*NumInt) expr()    {}
+func (*NumFloat) expr()  {}
+func (*StrLit) expr()    {}
+func (*BoolLit) expr()   {}
+func (*NoneLit) expr()   {}
+func (*BinOp) expr()     {}
+func (*UnaryOp) expr()   {}
+func (*BoolOp) expr()    {}
+func (*Compare) expr()   {}
+func (*Call) expr()      {}
+func (*Subscript) expr() {}
+func (*SliceExpr) expr() {}
+func (*Attribute) expr() {}
+func (*ListLit) expr()   {}
+func (*TupleLit) expr()  {}
+func (*DictLit) expr()   {}
+func (*CondExpr) expr()  {}

@@ -1,0 +1,741 @@
+package pycompile
+
+import (
+	"fmt"
+
+	"repro/internal/pycode"
+)
+
+// CompileSource parses and compiles a MiniPy source file to a module code
+// object.
+func CompileSource(file, src string) (*pycode.Code, error) {
+	mod, err := Parse(file, src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileModule(file, mod)
+}
+
+// CompileModule compiles a parsed module.
+func CompileModule(file string, mod *Module) (*pycode.Code, error) {
+	fc := newFuncCompiler(file, "<module>", nil, true)
+	if err := fc.stmts(mod.Body); err != nil {
+		return nil, err
+	}
+	fc.emitReturnNone(0)
+	code := fc.finish()
+	if err := code.Validate(); err != nil {
+		return nil, fmt.Errorf("pycompile: internal error: %w", err)
+	}
+	return code, nil
+}
+
+// CompileError reports a semantic error during compilation.
+type CompileError struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *CompileError) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+type funcCompiler struct {
+	file     string
+	name     string
+	isModule bool
+
+	instrs []pycode.Instr
+	lines  []int32
+
+	consts    []pycode.Const
+	names     []string
+	nameIdx   map[string]int
+	varnames  []string
+	varIdx    map[string]int
+	numParams int
+
+	globals map[string]bool // names declared global
+	locals  map[string]bool // names assigned somewhere in the body
+
+	loopStarts []int // bytecode index of innermost loop starts (for continue)
+	loopDepth  int
+	scanned    bool
+
+	depth    int
+	maxDepth int
+}
+
+func newFuncCompiler(file, name string, params []string, isModule bool) *funcCompiler {
+	fc := &funcCompiler{
+		file:     file,
+		name:     name,
+		isModule: isModule,
+		nameIdx:  make(map[string]int),
+		varIdx:   make(map[string]int),
+		globals:  make(map[string]bool),
+		locals:   make(map[string]bool),
+	}
+	for _, p := range params {
+		fc.localSlot(p)
+		fc.locals[p] = true
+	}
+	fc.numParams = len(params)
+	return fc
+}
+
+func (fc *funcCompiler) errf(line int, format string, args ...interface{}) error {
+	return &CompileError{File: fc.file, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (fc *funcCompiler) finish() *pycode.Code {
+	return &pycode.Code{
+		Name:      fc.name,
+		Filename:  fc.file,
+		NumParams: fc.numParams,
+		Varnames:  fc.varnames,
+		Names:     fc.names,
+		Consts:    fc.consts,
+		Code:      fc.instrs,
+		StackSize: fc.maxDepth + 16,
+		Lines:     fc.lines,
+		IsModule:  fc.isModule,
+	}
+}
+
+// emit appends an instruction, tracking a conservative stack-depth
+// estimate, and returns its index.
+func (fc *funcCompiler) emit(line int, op pycode.Opcode, arg int32, effect int) int {
+	fc.instrs = append(fc.instrs, pycode.Instr{Op: op, Arg: arg})
+	fc.lines = append(fc.lines, int32(line))
+	fc.depth += effect
+	if fc.depth < 0 {
+		fc.depth = 0
+	}
+	if fc.depth > fc.maxDepth {
+		fc.maxDepth = fc.depth
+	}
+	return len(fc.instrs) - 1
+}
+
+// patch sets the jump target of the instruction at idx to the next
+// instruction to be emitted.
+func (fc *funcCompiler) patch(idx int) {
+	fc.instrs[idx].Arg = int32(len(fc.instrs))
+}
+
+func (fc *funcCompiler) here() int32 { return int32(len(fc.instrs)) }
+
+func (fc *funcCompiler) constIdx(k pycode.Const) int32 {
+	for i := range fc.consts {
+		if fc.consts[i].Equal(k) {
+			return int32(i)
+		}
+	}
+	fc.consts = append(fc.consts, k)
+	return int32(len(fc.consts) - 1)
+}
+
+func (fc *funcCompiler) nameSlot(name string) int32 {
+	if i, ok := fc.nameIdx[name]; ok {
+		return int32(i)
+	}
+	fc.names = append(fc.names, name)
+	fc.nameIdx[name] = len(fc.names) - 1
+	return int32(len(fc.names) - 1)
+}
+
+func (fc *funcCompiler) localSlot(name string) int32 {
+	if i, ok := fc.varIdx[name]; ok {
+		return int32(i)
+	}
+	fc.varnames = append(fc.varnames, name)
+	fc.varIdx[name] = len(fc.varnames) - 1
+	return int32(len(fc.varnames) - 1)
+}
+
+func (fc *funcCompiler) emitReturnNone(line int) {
+	fc.emit(line, pycode.LOAD_CONST, fc.constIdx(pycode.NoneConst()), 1)
+	fc.emit(line, pycode.RETURN_VALUE, 0, -1)
+}
+
+// collectLocals records every name assigned in the statement list so that
+// loads can be classified local vs global before any store is seen.
+func (fc *funcCompiler) collectLocals(body []Stmt) {
+	var walkTarget func(e Expr)
+	walkTarget = func(e Expr) {
+		switch t := e.(type) {
+		case *Name:
+			if !fc.globals[t.Ident] {
+				fc.locals[t.Ident] = true
+			}
+		case *TupleLit:
+			for _, el := range t.Elems {
+				walkTarget(el)
+			}
+		case *ListLit:
+			for _, el := range t.Elems {
+				walkTarget(el)
+			}
+		}
+	}
+	var walk func(stmts []Stmt)
+	walk = func(stmts []Stmt) {
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case *Global:
+				for _, n := range st.Names {
+					fc.globals[n] = true
+					delete(fc.locals, n)
+				}
+			case *Assign:
+				for _, t := range st.Targets {
+					walkTarget(t)
+				}
+			case *AugAssign:
+				walkTarget(st.Target)
+			case *For:
+				walkTarget(st.Target)
+				walk(st.Body)
+			case *While:
+				walk(st.Body)
+			case *If:
+				walk(st.Body)
+				walk(st.Orelse)
+			case *FuncDef:
+				if !fc.globals[st.Name] {
+					fc.locals[st.Name] = true
+				}
+			case *ClassDef:
+				if !fc.globals[st.Name] {
+					fc.locals[st.Name] = true
+				}
+			}
+		}
+	}
+	walk(body)
+}
+
+func (fc *funcCompiler) stmts(body []Stmt) error {
+	if !fc.isModule && !fc.scanned {
+		// First call on a function body: pre-scan for locals so loads
+		// classify correctly before any store is seen. (Module and
+		// class bodies use NAME ops and need no scan.)
+		fc.scanned = true
+		fc.collectLocals(body)
+	}
+	for _, s := range body {
+		if err := fc.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (fc *funcCompiler) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *ExprStmt:
+		if err := fc.expr(st.Value); err != nil {
+			return err
+		}
+		fc.emit(st.Line(), pycode.POP_TOP, 0, -1)
+		return nil
+	case *Assign:
+		if err := fc.expr(st.Value); err != nil {
+			return err
+		}
+		for i, t := range st.Targets {
+			if i < len(st.Targets)-1 {
+				fc.emit(st.Line(), pycode.DUP_TOP, 0, 1)
+			}
+			if err := fc.store(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *AugAssign:
+		return fc.augAssign(st)
+	case *Return:
+		if fc.isModule {
+			return fc.errf(st.Line(), "return outside function")
+		}
+		if st.Value != nil {
+			if err := fc.expr(st.Value); err != nil {
+				return err
+			}
+		} else {
+			fc.emit(st.Line(), pycode.LOAD_CONST, fc.constIdx(pycode.NoneConst()), 1)
+		}
+		fc.emit(st.Line(), pycode.RETURN_VALUE, 0, -1)
+		return nil
+	case *If:
+		return fc.ifStmt(st)
+	case *While:
+		return fc.whileStmt(st)
+	case *For:
+		return fc.forStmt(st)
+	case *Break:
+		if fc.loopDepth == 0 {
+			return fc.errf(st.Line(), "break outside loop")
+		}
+		fc.emit(st.Line(), pycode.BREAK_LOOP, 0, 0)
+		return nil
+	case *Continue:
+		if fc.loopDepth == 0 {
+			return fc.errf(st.Line(), "continue outside loop")
+		}
+		fc.emit(st.Line(), pycode.CONTINUE_LOOP, int32(fc.loopStarts[len(fc.loopStarts)-1]), 0)
+		return nil
+	case *Pass:
+		return nil
+	case *Global:
+		if fc.isModule {
+			return nil // no-op at module level
+		}
+		for _, n := range st.Names {
+			fc.globals[n] = true
+		}
+		return nil
+	case *FuncDef:
+		return fc.funcDef(st)
+	case *ClassDef:
+		return fc.classDef(st)
+	case *DelStmt:
+		sub := st.Target.(*Subscript)
+		if err := fc.expr(sub.V); err != nil {
+			return err
+		}
+		if err := fc.subscriptKey(sub.Index); err != nil {
+			return err
+		}
+		fc.emit(st.Line(), pycode.DELETE_SUBSCR, 0, -2)
+		return nil
+	}
+	return fc.errf(s.Line(), "unsupported statement %T", s)
+}
+
+func (fc *funcCompiler) funcDef(st *FuncDef) error {
+	sub := newFuncCompiler(fc.file, st.Name, st.Params, false)
+	if err := sub.stmts(st.Body); err != nil {
+		return err
+	}
+	sub.emitReturnNone(st.Line())
+	code := sub.finish()
+	for _, d := range st.Defaults {
+		if err := fc.expr(d); err != nil {
+			return err
+		}
+	}
+	fc.emit(st.Line(), pycode.LOAD_CONST, fc.constIdx(pycode.CodeConst(code)), 1)
+	fc.emit(st.Line(), pycode.MAKE_FUNCTION, int32(len(st.Defaults)), -len(st.Defaults))
+	return fc.storeName(st.Line(), st.Name)
+}
+
+func (fc *funcCompiler) classDef(st *ClassDef) error {
+	if st.Base != nil {
+		if err := fc.expr(st.Base); err != nil {
+			return err
+		}
+	} else {
+		fc.emit(st.Line(), pycode.LOAD_CONST, fc.constIdx(pycode.NoneConst()), 1)
+	}
+	// Compile the class body as a names-scope code object.
+	sub := newFuncCompiler(fc.file, st.Name, nil, true)
+	if err := sub.stmts(st.Body); err != nil {
+		return err
+	}
+	sub.emitReturnNone(st.Line())
+	body := sub.finish()
+	fc.emit(st.Line(), pycode.LOAD_CONST, fc.constIdx(pycode.CodeConst(body)), 1)
+	fc.emit(st.Line(), pycode.MAKE_FUNCTION, 0, 0)
+	fc.emit(st.Line(), pycode.BUILD_CLASS, fc.nameSlot(st.Name), -1)
+	return fc.storeName(st.Line(), st.Name)
+}
+
+func (fc *funcCompiler) ifStmt(st *If) error {
+	if err := fc.expr(st.Cond); err != nil {
+		return err
+	}
+	jFalse := fc.emit(st.Line(), pycode.POP_JUMP_IF_FALSE, 0, -1)
+	if err := fc.stmts(st.Body); err != nil {
+		return err
+	}
+	if len(st.Orelse) > 0 {
+		jEnd := fc.emit(st.Line(), pycode.JUMP_FORWARD, 0, 0)
+		fc.patch(jFalse)
+		if err := fc.stmts(st.Orelse); err != nil {
+			return err
+		}
+		fc.patch(jEnd)
+	} else {
+		fc.patch(jFalse)
+	}
+	return nil
+}
+
+func (fc *funcCompiler) whileStmt(st *While) error {
+	setup := fc.emit(st.Line(), pycode.SETUP_LOOP, 0, 0)
+	start := len(fc.instrs)
+	if err := fc.expr(st.Cond); err != nil {
+		return err
+	}
+	jExit := fc.emit(st.Line(), pycode.POP_JUMP_IF_FALSE, 0, -1)
+	fc.loopStarts = append(fc.loopStarts, start)
+	fc.loopDepth++
+	if err := fc.stmts(st.Body); err != nil {
+		return err
+	}
+	fc.loopDepth--
+	fc.loopStarts = fc.loopStarts[:len(fc.loopStarts)-1]
+	fc.emit(st.Line(), pycode.JUMP_ABSOLUTE, int32(start), 0)
+	fc.patch(jExit)
+	fc.emit(st.Line(), pycode.POP_BLOCK, 0, 0)
+	fc.patch(setup)
+	return nil
+}
+
+func (fc *funcCompiler) forStmt(st *For) error {
+	setup := fc.emit(st.Line(), pycode.SETUP_LOOP, 0, 0)
+	if err := fc.expr(st.Iter); err != nil {
+		return err
+	}
+	fc.emit(st.Line(), pycode.GET_ITER, 0, 0)
+	start := len(fc.instrs)
+	jExhaust := fc.emit(st.Line(), pycode.FOR_ITER, 0, 1)
+	if err := fc.store(st.Target); err != nil {
+		return err
+	}
+	fc.loopStarts = append(fc.loopStarts, start)
+	fc.loopDepth++
+	if err := fc.stmts(st.Body); err != nil {
+		return err
+	}
+	fc.loopDepth--
+	fc.loopStarts = fc.loopStarts[:len(fc.loopStarts)-1]
+	fc.emit(st.Line(), pycode.JUMP_ABSOLUTE, int32(start), -1)
+	fc.patch(jExhaust)
+	fc.emit(st.Line(), pycode.POP_BLOCK, 0, 0)
+	fc.patch(setup)
+	return nil
+}
+
+func (fc *funcCompiler) augAssign(st *AugAssign) error {
+	line := st.Line()
+	switch t := st.Target.(type) {
+	case *Name:
+		if err := fc.loadName(line, t.Ident); err != nil {
+			return err
+		}
+		if err := fc.expr(st.Value); err != nil {
+			return err
+		}
+		fc.emit(line, st.Op.InplaceOpcode(), 0, -1)
+		return fc.storeName(line, t.Ident)
+	case *Subscript:
+		if err := fc.expr(t.V); err != nil {
+			return err
+		}
+		if err := fc.subscriptKey(t.Index); err != nil {
+			return err
+		}
+		fc.emit(line, pycode.DUP_TOP_TWO, 0, 2)
+		fc.emit(line, pycode.BINARY_SUBSCR, 0, -1)
+		if err := fc.expr(st.Value); err != nil {
+			return err
+		}
+		fc.emit(line, st.Op.InplaceOpcode(), 0, -1)
+		fc.emit(line, pycode.ROT_THREE, 0, 0)
+		fc.emit(line, pycode.STORE_SUBSCR, 0, -3)
+		return nil
+	case *Attribute:
+		if err := fc.expr(t.V); err != nil {
+			return err
+		}
+		fc.emit(line, pycode.DUP_TOP, 0, 1)
+		fc.emit(line, pycode.LOAD_ATTR, fc.nameSlot(t.Name), 0)
+		if err := fc.expr(st.Value); err != nil {
+			return err
+		}
+		fc.emit(line, st.Op.InplaceOpcode(), 0, -1)
+		fc.emit(line, pycode.ROT_TWO, 0, 0)
+		fc.emit(line, pycode.STORE_ATTR, fc.nameSlot(t.Name), -2)
+		return nil
+	}
+	return fc.errf(line, "unsupported augmented-assignment target %T", st.Target)
+}
+
+// store compiles a store of the value on the stack top into target.
+func (fc *funcCompiler) store(target Expr) error {
+	line := target.Line()
+	switch t := target.(type) {
+	case *Name:
+		return fc.storeName(line, t.Ident)
+	case *Subscript:
+		// Stack: [value]; want [value, obj, key] for STORE_SUBSCR.
+		if err := fc.expr(t.V); err != nil {
+			return err
+		}
+		if err := fc.subscriptKey(t.Index); err != nil {
+			return err
+		}
+		fc.emit(line, pycode.STORE_SUBSCR, 0, -3)
+		return nil
+	case *Attribute:
+		if err := fc.expr(t.V); err != nil {
+			return err
+		}
+		fc.emit(line, pycode.STORE_ATTR, fc.nameSlot(t.Name), -2)
+		return nil
+	case *TupleLit:
+		fc.emit(line, pycode.UNPACK_SEQUENCE, int32(len(t.Elems)), len(t.Elems)-1)
+		for _, el := range t.Elems {
+			if err := fc.store(el); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *ListLit:
+		fc.emit(line, pycode.UNPACK_SEQUENCE, int32(len(t.Elems)), len(t.Elems)-1)
+		for _, el := range t.Elems {
+			if err := fc.store(el); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fc.errf(line, "unsupported assignment target %T", target)
+}
+
+func (fc *funcCompiler) storeName(line int, name string) error {
+	switch {
+	case fc.isModule:
+		fc.emit(line, pycode.STORE_NAME, fc.nameSlot(name), -1)
+	case fc.globals[name]:
+		fc.emit(line, pycode.STORE_GLOBAL, fc.nameSlot(name), -1)
+	default:
+		fc.emit(line, pycode.STORE_FAST, fc.localSlot(name), -1)
+	}
+	return nil
+}
+
+func (fc *funcCompiler) loadName(line int, name string) error {
+	switch {
+	case fc.isModule:
+		fc.emit(line, pycode.LOAD_NAME, fc.nameSlot(name), 1)
+	case !fc.globals[name] && fc.locals[name]:
+		fc.emit(line, pycode.LOAD_FAST, fc.localSlot(name), 1)
+	default:
+		fc.emit(line, pycode.LOAD_GLOBAL, fc.nameSlot(name), 1)
+	}
+	return nil
+}
+
+// subscriptKey compiles the index of a subscript; slices build a slice
+// object.
+func (fc *funcCompiler) subscriptKey(index Expr) error {
+	if sl, ok := index.(*SliceExpr); ok {
+		line := sl.Line()
+		comp := func(e Expr) error {
+			if e == nil {
+				fc.emit(line, pycode.LOAD_CONST, fc.constIdx(pycode.NoneConst()), 1)
+				return nil
+			}
+			return fc.expr(e)
+		}
+		if err := comp(sl.Lo); err != nil {
+			return err
+		}
+		if err := comp(sl.Hi); err != nil {
+			return err
+		}
+		n := int32(2)
+		if sl.Step != nil {
+			if err := fc.expr(sl.Step); err != nil {
+				return err
+			}
+			n = 3
+		}
+		fc.emit(line, pycode.BUILD_SLICE, n, -int(n)+1)
+		return nil
+	}
+	return fc.expr(index)
+}
+
+func (fc *funcCompiler) expr(e Expr) error {
+	line := e.Line()
+	switch ex := e.(type) {
+	case *Name:
+		return fc.loadName(line, ex.Ident)
+	case *NumInt:
+		fc.emit(line, pycode.LOAD_CONST, fc.constIdx(pycode.IntConst(ex.V)), 1)
+		return nil
+	case *NumFloat:
+		fc.emit(line, pycode.LOAD_CONST, fc.constIdx(pycode.FloatConst(ex.V)), 1)
+		return nil
+	case *StrLit:
+		fc.emit(line, pycode.LOAD_CONST, fc.constIdx(pycode.StrConst(ex.V)), 1)
+		return nil
+	case *BoolLit:
+		fc.emit(line, pycode.LOAD_CONST, fc.constIdx(pycode.BoolConst(ex.V)), 1)
+		return nil
+	case *NoneLit:
+		fc.emit(line, pycode.LOAD_CONST, fc.constIdx(pycode.NoneConst()), 1)
+		return nil
+	case *BinOp:
+		if err := fc.expr(ex.L); err != nil {
+			return err
+		}
+		if err := fc.expr(ex.R); err != nil {
+			return err
+		}
+		fc.emit(line, ex.Op.Opcode(), 0, -1)
+		return nil
+	case *UnaryOp:
+		if err := fc.expr(ex.V); err != nil {
+			return err
+		}
+		switch ex.Op {
+		case UnaryNeg:
+			fc.emit(line, pycode.UNARY_NEGATIVE, 0, 0)
+		case UnaryNot:
+			fc.emit(line, pycode.UNARY_NOT, 0, 0)
+		case UnaryPos:
+			// no-op
+		}
+		return nil
+	case *BoolOp:
+		jop := pycode.JUMP_IF_FALSE_OR_POP
+		if ex.Op == BoolOr {
+			jop = pycode.JUMP_IF_TRUE_OR_POP
+		}
+		var jumps []int
+		for i, v := range ex.Values {
+			if err := fc.expr(v); err != nil {
+				return err
+			}
+			if i < len(ex.Values)-1 {
+				jumps = append(jumps, fc.emit(line, jop, 0, -1))
+			}
+		}
+		for _, j := range jumps {
+			fc.patch(j)
+		}
+		return nil
+	case *Compare:
+		return fc.compare(ex)
+	case *Call:
+		if err := fc.expr(ex.Fn); err != nil {
+			return err
+		}
+		for _, a := range ex.Args {
+			if err := fc.expr(a); err != nil {
+				return err
+			}
+		}
+		fc.emit(line, pycode.CALL_FUNCTION, int32(len(ex.Args)), -len(ex.Args))
+		return nil
+	case *Subscript:
+		if err := fc.expr(ex.V); err != nil {
+			return err
+		}
+		if err := fc.subscriptKey(ex.Index); err != nil {
+			return err
+		}
+		fc.emit(line, pycode.BINARY_SUBSCR, 0, -1)
+		return nil
+	case *Attribute:
+		if err := fc.expr(ex.V); err != nil {
+			return err
+		}
+		fc.emit(line, pycode.LOAD_ATTR, fc.nameSlot(ex.Name), 0)
+		return nil
+	case *ListLit:
+		for _, el := range ex.Elems {
+			if err := fc.expr(el); err != nil {
+				return err
+			}
+		}
+		fc.emit(line, pycode.BUILD_LIST, int32(len(ex.Elems)), -len(ex.Elems)+1)
+		return nil
+	case *TupleLit:
+		for _, el := range ex.Elems {
+			if err := fc.expr(el); err != nil {
+				return err
+			}
+		}
+		fc.emit(line, pycode.BUILD_TUPLE, int32(len(ex.Elems)), -len(ex.Elems)+1)
+		return nil
+	case *DictLit:
+		fc.emit(line, pycode.BUILD_MAP, int32(len(ex.Keys)), 1)
+		for i := range ex.Keys {
+			if err := fc.expr(ex.Values[i]); err != nil {
+				return err
+			}
+			if err := fc.expr(ex.Keys[i]); err != nil {
+				return err
+			}
+			fc.emit(line, pycode.STORE_MAP, 0, -2)
+		}
+		return nil
+	case *CondExpr:
+		if err := fc.expr(ex.Cond); err != nil {
+			return err
+		}
+		jElse := fc.emit(line, pycode.POP_JUMP_IF_FALSE, 0, -1)
+		if err := fc.expr(ex.Body); err != nil {
+			return err
+		}
+		jEnd := fc.emit(line, pycode.JUMP_FORWARD, 0, 0)
+		fc.patch(jElse)
+		fc.depth-- // the two arms produce one value
+		if err := fc.expr(ex.Orelse); err != nil {
+			return err
+		}
+		fc.patch(jEnd)
+		return nil
+	case *SliceExpr:
+		return fc.errf(line, "slice outside subscript")
+	}
+	return fc.errf(line, "unsupported expression %T", e)
+}
+
+// compare compiles a possibly chained comparison using CPython's
+// DUP/ROT/JUMP_IF_FALSE_OR_POP pattern.
+func (fc *funcCompiler) compare(ex *Compare) error {
+	line := ex.Line()
+	if err := fc.expr(ex.Left); err != nil {
+		return err
+	}
+	if len(ex.Ops) == 1 {
+		if err := fc.expr(ex.Rights[0]); err != nil {
+			return err
+		}
+		fc.emit(line, pycode.COMPARE_OP, int32(ex.Ops[0]), -1)
+		return nil
+	}
+	var shortJumps []int
+	for i := 0; i < len(ex.Ops)-1; i++ {
+		if err := fc.expr(ex.Rights[i]); err != nil {
+			return err
+		}
+		fc.emit(line, pycode.DUP_TOP, 0, 1)
+		fc.emit(line, pycode.ROT_THREE, 0, 0)
+		fc.emit(line, pycode.COMPARE_OP, int32(ex.Ops[i]), -1)
+		shortJumps = append(shortJumps, fc.emit(line, pycode.JUMP_IF_FALSE_OR_POP, 0, -1))
+	}
+	if err := fc.expr(ex.Rights[len(ex.Ops)-1]); err != nil {
+		return err
+	}
+	fc.emit(line, pycode.COMPARE_OP, int32(ex.Ops[len(ex.Ops)-1]), -1)
+	jEnd := fc.emit(line, pycode.JUMP_FORWARD, 0, 0)
+	for _, j := range shortJumps {
+		fc.patch(j)
+	}
+	// Short-circuit landing: stack is [leftover, result]; discard the
+	// leftover middle operand.
+	fc.emit(line, pycode.ROT_TWO, 0, 0)
+	fc.emit(line, pycode.POP_TOP, 0, -1)
+	fc.patch(jEnd)
+	return nil
+}

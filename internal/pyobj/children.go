@@ -1,0 +1,149 @@
+package pyobj
+
+// Children calls f for every object directly referenced by o. The garbage
+// collectors use it for tracing; it must cover every reference-holding
+// field of every type.
+func Children(o Object, f func(Object)) {
+	switch v := o.(type) {
+	case *List:
+		for _, e := range v.Items {
+			f(e)
+		}
+	case *Tuple:
+		for _, e := range v.Items {
+			f(e)
+		}
+	case *Dict:
+		for i := range v.Entries {
+			if v.Entries[i].Live() {
+				if v.Entries[i].Key != nil {
+					f(v.Entries[i].Key)
+				}
+				f(v.Entries[i].Value)
+			}
+		}
+	case *Slice:
+		if v.Start != nil {
+			f(v.Start)
+		}
+		if v.Stop != nil {
+			f(v.Stop)
+		}
+		if v.Step != nil {
+			f(v.Step)
+		}
+	case *Func:
+		if v.Globals != nil {
+			f(v.Globals)
+		}
+		for _, d := range v.Defaults {
+			f(d)
+		}
+		for _, c := range v.ConstObjs {
+			if c != nil {
+				f(c)
+			}
+		}
+	case *Builtin:
+		if v.Self != nil {
+			f(v.Self)
+		}
+	case *Class:
+		if v.Dict != nil {
+			f(v.Dict)
+		}
+		if v.Base != nil {
+			f(v.Base)
+		}
+	case *Instance:
+		f(v.Class)
+		if v.Dict != nil {
+			f(v.Dict)
+		}
+	case *BoundMethod:
+		f(v.Self)
+		f(v.Fn)
+	case *Module:
+		if v.Dict != nil {
+			f(v.Dict)
+		}
+	case *ListIter:
+		f(v.L)
+	case *TupleIter:
+		f(v.T)
+	case *StrIter:
+		f(v.S)
+	case *DictIter:
+		f(v.D)
+	case *Cell:
+		if v.V != nil {
+			f(v.V)
+		}
+	case *Frame:
+		if v.Fn != nil {
+			f(v.Fn)
+		}
+		if v.Globals != nil {
+			f(v.Globals)
+		}
+		if v.Names != nil {
+			f(v.Names)
+		}
+		for _, c := range v.Consts {
+			if c != nil {
+				f(c)
+			}
+		}
+		for _, l := range v.Locals {
+			if l != nil {
+				f(l)
+			}
+		}
+		for i := 0; i < v.Sp; i++ {
+			if v.Stack[i] != nil {
+				f(v.Stack[i])
+			}
+		}
+		if v.Back != nil {
+			f(v.Back)
+		}
+	}
+	// Scalars (None, Bool, Int, Float, Str, Range, RangeIter) hold no
+	// references.
+}
+
+// PayloadSize returns the simulated size in bytes of an object's
+// separately allocated variable payload (list item arrays, dict slot
+// tables, string data). Objects without a variable payload return 0.
+func PayloadSize(o Object) uint64 {
+	switch v := o.(type) {
+	case *List:
+		return uint64(v.ItemsCap) * 8
+	case *Dict:
+		return uint64(v.TableCap) * 24
+	case *Str:
+		// Inline up to 24 bytes; longer strings carry a payload.
+		if len(v.V) > 24 {
+			return uint64(len(v.V))
+		}
+		return 0
+	}
+	return 0
+}
+
+// FixedSize returns the simulated size in bytes of the object header plus
+// inline payload at the object's address.
+func FixedSize(o Object) uint64 {
+	switch v := o.(type) {
+	case *Tuple:
+		return 40 + uint64(len(v.Items))*8
+	case *Frame:
+		return 64 + uint64(len(v.Locals)+len(v.Stack))*8
+	case *Str:
+		if len(v.V) <= 24 {
+			return 40 + uint64(len(v.V))
+		}
+		return 40
+	}
+	return uint64(o.PyType().BaseSize)
+}

@@ -1,0 +1,264 @@
+package pyobj
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Dict is the MiniPy dictionary: an insertion-ordered hash map. The Go map
+// provides the lookup mechanics; Entries preserves deterministic iteration
+// order (the simulators must be reproducible run to run). TableAddr and
+// TableCap describe the simulated open-addressing slot array, which the
+// runtime reallocates as the dict grows so that probe traffic touches
+// realistic addresses.
+type Dict struct {
+	H         Header
+	Entries   []DictEntry
+	index     map[string]int
+	used      int
+	TableAddr uint64
+	TableCap  int
+	// Version increments on every insert, update, or delete; the JIT
+	// guards promoted globals against it.
+	Version uint32
+}
+
+// DictEntry is one key/value pair. Deleted entries have an empty Enc.
+type DictEntry struct {
+	// Enc is the canonical key encoding (see EncodeKey); "" marks a
+	// deleted entry.
+	Enc   string
+	Key   Object
+	Value Object
+	// Hash is the simulated hash of the key, used to pick the probe
+	// slot address for event emission.
+	Hash uint64
+}
+
+// Live reports whether the entry holds a key/value pair.
+func (e *DictEntry) Live() bool { return e.Enc != "" }
+
+// PyType implements Object.
+func (d *Dict) PyType() *Type { return Types[TDict] }
+
+// Hdr implements Object.
+func (d *Dict) Hdr() *Header { return &d.H }
+
+// NewDictData returns a dict with initialized bookkeeping but no simulated
+// addresses (the runtime assigns those at allocation time).
+func NewDictData() *Dict {
+	return &Dict{index: make(map[string]int), TableCap: 8}
+}
+
+// Len returns the number of live entries.
+func (d *Dict) Len() int { return d.used }
+
+// EncodeKey returns a canonical comparable encoding of a hashable object,
+// or ok=false if the object is unhashable. Matching Python semantics,
+// ints, floats with integral values, and bools hash and compare equal
+// (1 == 1.0 == True).
+func EncodeKey(o Object) (string, bool) {
+	switch v := o.(type) {
+	case *Str:
+		return "s:" + v.V, true
+	case *Int:
+		return "i:" + strconv.FormatInt(v.V, 10), true
+	case *Bool:
+		if v.V {
+			return "i:1", true
+		}
+		return "i:0", true
+	case *Float:
+		if v.V == math.Trunc(v.V) && !math.IsInf(v.V, 0) &&
+			v.V >= -9.007199254740992e15 && v.V <= 9.007199254740992e15 {
+			return "i:" + strconv.FormatInt(int64(v.V), 10), true
+		}
+		return "f:" + strconv.FormatUint(math.Float64bits(v.V), 16), true
+	case *None:
+		return "n:", true
+	case *Tuple:
+		var sb strings.Builder
+		sb.WriteString("t:")
+		for _, e := range v.Items {
+			k, ok := EncodeKey(e)
+			if !ok {
+				return "", false
+			}
+			sb.WriteString(strconv.Itoa(len(k)))
+			sb.WriteByte(':')
+			sb.WriteString(k)
+		}
+		return sb.String(), true
+	}
+	return "", false
+}
+
+// HashKey returns a deterministic 64-bit hash of an encoded key (FNV-1a).
+func HashKey(enc string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(enc); i++ {
+		h ^= uint64(enc[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// SlotAddr returns the simulated address of the probe slot for hash h
+// after p probes.
+func (d *Dict) SlotAddr(h uint64, p int) uint64 {
+	if d.TableCap == 0 {
+		d.TableCap = 8
+	}
+	idx := (h + uint64(p)*uint64(p)) % uint64(d.TableCap)
+	return d.TableAddr + idx*24
+}
+
+// LookupResult reports the mechanics of a dict operation for event
+// emission.
+type LookupResult struct {
+	// Probes is the number of slots inspected (>=1 for any operation on
+	// a valid key).
+	Probes int
+	// Hash is the key's hash.
+	Hash uint64
+	// Found reports whether the key was present.
+	Found bool
+	// EntryIdx is the index in Entries of the found or inserted entry.
+	EntryIdx int
+	// Grew reports that an insert triggered a table resize.
+	Grew bool
+	// NewCap is the simulated slot capacity after a resize.
+	NewCap int
+}
+
+// lookup returns the entry index for enc, simulating quadratic probing to
+// produce a realistic probe count.
+func (d *Dict) lookup(enc string) (int, int, uint64) {
+	h := HashKey(enc)
+	idx, ok := d.index[enc]
+	// Model probe count: 1 for a hit at the home slot; add pseudo-probes
+	// derived from load factor to mimic collisions deterministically.
+	probes := 1
+	if d.TableCap > 0 {
+		load := d.used * 3 / d.TableCap // thirds of capacity
+		probes += load / 2              // 0 or 1 extra probe when >2/3... kept small
+	}
+	if !ok {
+		return -1, probes, h
+	}
+	return idx, probes, h
+}
+
+// Get looks up key (any hashable object) and returns its value.
+func (d *Dict) Get(key Object) (Object, LookupResult, bool) {
+	enc, ok := EncodeKey(key)
+	if !ok {
+		return nil, LookupResult{}, false
+	}
+	idx, probes, h := d.lookup(enc)
+	if idx < 0 {
+		return nil, LookupResult{Probes: probes, Hash: h}, false
+	}
+	return d.Entries[idx].Value, LookupResult{Probes: probes, Hash: h, Found: true, EntryIdx: idx}, true
+}
+
+// GetStr looks up a string key directly (the interpreter's hot path for
+// name resolution).
+func (d *Dict) GetStr(key string) (Object, LookupResult, bool) {
+	idx, probes, h := d.lookup("s:" + key)
+	if idx < 0 {
+		return nil, LookupResult{Probes: probes, Hash: h}, false
+	}
+	return d.Entries[idx].Value, LookupResult{Probes: probes, Hash: h, Found: true, EntryIdx: idx}, true
+}
+
+// Set inserts or updates key -> value and reports the operation's
+// mechanics. The caller is responsible for reallocating TableAddr when
+// Grew is set and for emitting events.
+func (d *Dict) Set(key Object, value Object) (LookupResult, bool) {
+	enc, ok := EncodeKey(key)
+	if !ok {
+		return LookupResult{}, false
+	}
+	return d.setEnc(enc, key, value), true
+}
+
+// SetStr inserts or updates a string key; the key object must be the
+// corresponding *Str (or nil for internal tables built at load time).
+func (d *Dict) SetStr(key string, keyObj Object, value Object) LookupResult {
+	return d.setEnc("s:"+key, keyObj, value)
+}
+
+func (d *Dict) setEnc(enc string, key Object, value Object) LookupResult {
+	idx, probes, h := d.lookup(enc)
+	d.Version++
+	if idx >= 0 {
+		d.Entries[idx].Value = value
+		return LookupResult{Probes: probes, Hash: h, Found: true, EntryIdx: idx}
+	}
+	d.Entries = append(d.Entries, DictEntry{Enc: enc, Key: key, Value: value, Hash: h})
+	d.index[enc] = len(d.Entries) - 1
+	d.used++
+	res := LookupResult{Probes: probes, Hash: h, EntryIdx: len(d.Entries) - 1}
+	// Grow at 2/3 load, quadrupling like CPython's small-dict policy.
+	if d.used*3 >= d.TableCap*2 {
+		d.TableCap *= 4
+		res.Grew = true
+		res.NewCap = d.TableCap
+	}
+	return res
+}
+
+// Delete removes key, reporting whether it was present.
+func (d *Dict) Delete(key Object) (LookupResult, bool) {
+	enc, ok := EncodeKey(key)
+	if !ok {
+		return LookupResult{}, false
+	}
+	idx, probes, h := d.lookup(enc)
+	if idx < 0 {
+		return LookupResult{Probes: probes, Hash: h}, false
+	}
+	d.Version++
+	d.Entries[idx].Enc = ""
+	d.Entries[idx].Key = nil
+	d.Entries[idx].Value = nil
+	delete(d.index, enc)
+	d.used--
+	return LookupResult{Probes: probes, Hash: h, Found: true, EntryIdx: idx}, true
+}
+
+// Contains reports whether key is present.
+func (d *Dict) Contains(key Object) (LookupResult, bool) {
+	_, res, ok := d.Get(key)
+	return res, ok && res.Found
+}
+
+// ForEach visits live entries in insertion order.
+func (d *Dict) ForEach(f func(k, v Object)) {
+	for i := range d.Entries {
+		if d.Entries[i].Live() {
+			f(d.Entries[i].Key, d.Entries[i].Value)
+		}
+	}
+}
+
+// Compact drops deleted entries, preserving order. The runtime calls it
+// after heavy deletion to keep iteration linear.
+func (d *Dict) Compact() {
+	if d.used == len(d.Entries) {
+		return
+	}
+	live := make([]DictEntry, 0, d.used)
+	for i := range d.Entries {
+		if d.Entries[i].Live() {
+			live = append(live, d.Entries[i])
+		}
+	}
+	d.Entries = live
+	d.index = make(map[string]int, len(live))
+	for i := range live {
+		d.index[live[i].Enc] = i
+	}
+}

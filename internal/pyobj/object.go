@@ -1,0 +1,512 @@
+// Package pyobj defines the MiniPy object model: boxed, heap-allocated,
+// reference-counted objects with simulated addresses, mirroring CPython's
+// PyObject layout.
+//
+// The package holds pure data structures and bookkeeping only. Allocation,
+// event emission, and garbage collection live in the runtime layers
+// (internal/gc, internal/interp); pyobj methods report what happened (probe
+// counts, growth) so callers can emit the corresponding micro-events.
+package pyobj
+
+import (
+	"fmt"
+
+	"repro/internal/pycode"
+)
+
+// TypeID discriminates built-in object types for fast dispatch.
+type TypeID uint8
+
+// Built-in type identifiers.
+const (
+	TNone TypeID = iota
+	TBool
+	TInt
+	TFloat
+	TStr
+	TList
+	TTuple
+	TDict
+	TRange
+	TSlice
+	TFunc
+	TBuiltin
+	TClass
+	TInstance
+	TBoundMethod
+	TModule
+	TListIter
+	TTupleIter
+	TStrIter
+	TRangeIter
+	TDictIter
+	TFrame
+	TCell
+	TCode
+	NumTypeIDs
+)
+
+// Type is a type object. Type objects are immortal and live in the data
+// segment; their simulated addresses are assigned at runtime start.
+type Type struct {
+	ID   TypeID
+	Name string
+	// Addr is the simulated address of the type object.
+	Addr uint64
+	// BaseSize is the simulated size in bytes of an instance header +
+	// fixed payload (variable parts such as list item arrays are
+	// allocated separately, as in CPython).
+	BaseSize uint32
+}
+
+// SlotAddr returns the simulated address of the type's slot-th function
+// pointer (tp_ slots), used by function-resolution event emission.
+func (t *Type) SlotAddr(slot int) uint64 { return t.Addr + 64 + uint64(slot)*8 }
+
+// Slot indices for common type slots.
+const (
+	SlotAdd = iota
+	SlotSub
+	SlotMul
+	SlotDiv
+	SlotMod
+	SlotPow
+	SlotCompare
+	SlotGetItem
+	SlotSetItem
+	SlotIter
+	SlotIterNext
+	SlotCall
+	SlotGetAttr
+	SlotSetAttr
+	SlotHash
+	SlotRepr
+	SlotLen
+	SlotContains
+	SlotDealloc
+)
+
+// Header is the simulated PyObject header present in every object.
+type Header struct {
+	// Addr is the object's current simulated address. A copying
+	// collection may change it; the Go pointer identity of the object
+	// never changes.
+	Addr uint64
+	// Size is the simulated size in bytes of the header + fixed payload
+	// at Addr.
+	Size uint32
+	// RC is the reference count (CPython mode only).
+	RC int32
+	// Old marks objects promoted to the old generation (PyPy mode).
+	Old bool
+	// Mark is the mark bit used by the major collector.
+	Mark bool
+	// Remembered marks old objects already present in the remembered
+	// set (write-barrier dedup).
+	Remembered bool
+	// Immortal objects (small ints, interned strings, type objects,
+	// singletons) are never collected and their refcount traffic is
+	// elided by the small-int cache fast path.
+	Immortal bool
+}
+
+// Object is implemented by every MiniPy value.
+type Object interface {
+	// PyType returns the object's type object.
+	PyType() *Type
+	// Hdr returns the object's header.
+	Hdr() *Header
+}
+
+// Types is the table of built-in type objects, indexed by TypeID.
+// Addresses are assigned by the runtime at startup.
+var Types = func() [NumTypeIDs]*Type {
+	mk := func(id TypeID, name string, size uint32) *Type {
+		return &Type{ID: id, Name: name, BaseSize: size}
+	}
+	return [NumTypeIDs]*Type{
+		TNone:        mk(TNone, "NoneType", 16),
+		TBool:        mk(TBool, "bool", 24),
+		TInt:         mk(TInt, "int", 24),
+		TFloat:       mk(TFloat, "float", 24),
+		TStr:         mk(TStr, "str", 40),
+		TList:        mk(TList, "list", 40),
+		TTuple:       mk(TTuple, "tuple", 40),
+		TDict:        mk(TDict, "dict", 48),
+		TRange:       mk(TRange, "xrange", 40),
+		TSlice:       mk(TSlice, "slice", 40),
+		TFunc:        mk(TFunc, "function", 56),
+		TBuiltin:     mk(TBuiltin, "builtin_function_or_method", 32),
+		TClass:       mk(TClass, "classobj", 48),
+		TInstance:    mk(TInstance, "instance", 32),
+		TBoundMethod: mk(TBoundMethod, "instancemethod", 40),
+		TModule:      mk(TModule, "module", 32),
+		TListIter:    mk(TListIter, "listiterator", 32),
+		TTupleIter:   mk(TTupleIter, "tupleiterator", 32),
+		TStrIter:     mk(TStrIter, "striterator", 32),
+		TRangeIter:   mk(TRangeIter, "rangeiterator", 40),
+		TDictIter:    mk(TDictIter, "dictionary-keyiterator", 32),
+		TFrame:       mk(TFrame, "frame", 64),
+		TCell:        mk(TCell, "cell", 24),
+		TCode:        mk(TCode, "code", 48),
+	}
+}()
+
+// TypeOf returns the type object for id.
+func TypeOf(id TypeID) *Type { return Types[id] }
+
+// ---- Scalars ----
+
+// None is the singleton None value's type. NoneObj is the canonical
+// instance created by the runtime.
+type None struct{ H Header }
+
+func (o *None) PyType() *Type { return Types[TNone] }
+func (o *None) Hdr() *Header  { return &o.H }
+
+// Bool is a boolean. True/False are immortal singletons.
+type Bool struct {
+	H Header
+	V bool
+}
+
+func (o *Bool) PyType() *Type { return Types[TBool] }
+func (o *Bool) Hdr() *Header  { return &o.H }
+
+// Int is a boxed 64-bit integer.
+type Int struct {
+	H Header
+	V int64
+}
+
+func (o *Int) PyType() *Type { return Types[TInt] }
+func (o *Int) Hdr() *Header  { return &o.H }
+
+// Float is a boxed 64-bit float.
+type Float struct {
+	H Header
+	V float64
+}
+
+func (o *Float) PyType() *Type { return Types[TFloat] }
+func (o *Float) Hdr() *Header  { return &o.H }
+
+// Str is an immutable string. DataAddr is the simulated address of the
+// character payload (allocated with the object).
+type Str struct {
+	H        Header
+	V        string
+	DataAddr uint64
+}
+
+func (o *Str) PyType() *Type { return Types[TStr] }
+func (o *Str) Hdr() *Header  { return &o.H }
+
+// ---- Containers ----
+
+// List is a mutable sequence. Items is the element slice; ItemsAddr and
+// ItemsCap describe the separately allocated ob_item array, as in CPython.
+type List struct {
+	H         Header
+	Items     []Object
+	ItemsAddr uint64
+	ItemsCap  int
+}
+
+func (o *List) PyType() *Type { return Types[TList] }
+func (o *List) Hdr() *Header  { return &o.H }
+
+// ItemAddr returns the simulated address of element i's slot.
+func (o *List) ItemAddr(i int) uint64 { return o.ItemsAddr + uint64(i)*8 }
+
+// Tuple is an immutable sequence; elements are stored inline after the
+// header.
+type Tuple struct {
+	H     Header
+	Items []Object
+}
+
+func (o *Tuple) PyType() *Type { return Types[TTuple] }
+func (o *Tuple) Hdr() *Header  { return &o.H }
+
+// ItemAddr returns the simulated address of element i's inline slot.
+func (o *Tuple) ItemAddr(i int) uint64 { return o.H.Addr + 40 + uint64(i)*8 }
+
+// Range is an xrange object (py2 lazy range).
+type Range struct {
+	H                 Header
+	Start, Stop, Step int64
+}
+
+func (o *Range) PyType() *Type { return Types[TRange] }
+func (o *Range) Hdr() *Header  { return &o.H }
+
+// Len returns the number of values the range produces.
+func (o *Range) Len() int64 {
+	if o.Step > 0 {
+		if o.Stop <= o.Start {
+			return 0
+		}
+		return (o.Stop - o.Start + o.Step - 1) / o.Step
+	}
+	if o.Stop >= o.Start {
+		return 0
+	}
+	return (o.Start - o.Stop - o.Step - 1) / (-o.Step)
+}
+
+// Slice is a slice object produced by BUILD_SLICE.
+type Slice struct {
+	H                 Header
+	Start, Stop, Step Object // None for omitted
+}
+
+func (o *Slice) PyType() *Type { return Types[TSlice] }
+func (o *Slice) Hdr() *Header  { return &o.H }
+
+// ---- Callables, classes, modules ----
+
+// Func is a user-defined function.
+type Func struct {
+	H        Header
+	Name     string
+	Code     *pycode.Code
+	Globals  *Dict
+	Defaults []Object
+	// ConstObjs is the materialized constant pool, parallel to
+	// Code.Consts, shared by all invocations.
+	ConstObjs []Object
+	// CodeAddr is the simulated address of the bytecode array.
+	CodeAddr uint64
+	// ConstsAddr is the simulated address of the co_consts pointer
+	// array.
+	ConstsAddr uint64
+}
+
+func (o *Func) PyType() *Type { return Types[TFunc] }
+func (o *Func) Hdr() *Header  { return &o.H }
+
+// BuiltinID identifies a builtin ("C") function implementation; the
+// interpreter maps IDs to Go implementations.
+type BuiltinID uint16
+
+// Builtin is a builtin function or method descriptor, modeled as a C
+// function: calling it pays the C calling convention.
+type Builtin struct {
+	H    Header
+	Name string
+	ID   BuiltinID
+	// CodeAddr is the simulated entry point in the C-library text
+	// segment.
+	CodeAddr uint64
+	// Self is the receiver for bound builtin methods (list.append etc.).
+	Self Object
+}
+
+func (o *Builtin) PyType() *Type { return Types[TBuiltin] }
+func (o *Builtin) Hdr() *Header  { return &o.H }
+
+// Class is an old-style class object: a namespace dict plus optional
+// single base.
+type Class struct {
+	H    Header
+	Name string
+	Dict *Dict
+	Base *Class
+}
+
+func (o *Class) PyType() *Type { return Types[TClass] }
+func (o *Class) Hdr() *Header  { return &o.H }
+
+// Lookup searches the class then its bases for name, reporting the number
+// of classes probed (for event emission).
+func (o *Class) Lookup(name string) (Object, int, bool) {
+	probes := 0
+	for c := o; c != nil; c = c.Base {
+		probes++
+		if v, _, ok := c.Dict.GetStr(name); ok {
+			return v, probes, true
+		}
+	}
+	return nil, probes, false
+}
+
+// Instance is an instance of a user class, with a per-instance attribute
+// dict.
+type Instance struct {
+	H     Header
+	Class *Class
+	Dict  *Dict
+}
+
+func (o *Instance) PyType() *Type { return Types[TInstance] }
+func (o *Instance) Hdr() *Header  { return &o.H }
+
+// BoundMethod pairs an instance with a function.
+type BoundMethod struct {
+	H    Header
+	Self Object
+	Fn   *Func
+}
+
+func (o *BoundMethod) PyType() *Type { return Types[TBoundMethod] }
+func (o *BoundMethod) Hdr() *Header  { return &o.H }
+
+// Module is a builtin module (math, json, pickle, re, ...): a named
+// namespace dict.
+type Module struct {
+	H    Header
+	Name string
+	Dict *Dict
+}
+
+func (o *Module) PyType() *Type { return Types[TModule] }
+func (o *Module) Hdr() *Header  { return &o.H }
+
+// ---- Iterators ----
+
+// ListIter iterates a list.
+type ListIter struct {
+	H   Header
+	L   *List
+	Idx int
+}
+
+func (o *ListIter) PyType() *Type { return Types[TListIter] }
+func (o *ListIter) Hdr() *Header  { return &o.H }
+
+// TupleIter iterates a tuple.
+type TupleIter struct {
+	H   Header
+	T   *Tuple
+	Idx int
+}
+
+func (o *TupleIter) PyType() *Type { return Types[TTupleIter] }
+func (o *TupleIter) Hdr() *Header  { return &o.H }
+
+// StrIter iterates a string by byte (MiniPy strings are ASCII).
+type StrIter struct {
+	H   Header
+	S   *Str
+	Idx int
+}
+
+func (o *StrIter) PyType() *Type { return Types[TStrIter] }
+func (o *StrIter) Hdr() *Header  { return &o.H }
+
+// RangeIter iterates an xrange.
+type RangeIter struct {
+	H         Header
+	Cur, Stop int64
+	Step      int64
+}
+
+func (o *RangeIter) PyType() *Type { return Types[TRangeIter] }
+func (o *RangeIter) Hdr() *Header  { return &o.H }
+
+// DictIter iterates a dict's keys (items/values served via mode).
+type DictIter struct {
+	H    Header
+	D    *Dict
+	Idx  int
+	Mode DictIterMode
+}
+
+// DictIterMode selects what a DictIter yields.
+type DictIterMode uint8
+
+// Dict iteration modes.
+const (
+	DictIterKeys DictIterMode = iota
+	DictIterValues
+	DictIterItems
+)
+
+func (o *DictIter) PyType() *Type { return Types[TDictIter] }
+func (o *DictIter) Hdr() *Header  { return &o.H }
+
+// CodeObj wraps a compiled code object as a first-class value (pushed by
+// LOAD_CONST for MAKE_FUNCTION/BUILD_CLASS). Code objects are immortal.
+type CodeObj struct {
+	H    Header
+	Code *pycode.Code
+}
+
+func (o *CodeObj) PyType() *Type { return Types[TCode] }
+func (o *CodeObj) Hdr() *Header  { return &o.H }
+
+// Cell is a closure cell (boxed variable shared between scopes).
+type Cell struct {
+	H Header
+	V Object
+}
+
+func (o *Cell) PyType() *Type { return Types[TCell] }
+func (o *Cell) Hdr() *Header  { return &o.H }
+
+// ---- Frame ----
+
+// Block is a block-stack entry (SETUP_LOOP), as in CPython's frame.
+type Block struct {
+	// Handler is the bytecode index to jump to on BREAK_LOOP.
+	Handler int32
+	// StackDepth is the value-stack depth to restore when the block is
+	// popped.
+	StackDepth int32
+}
+
+// Frame is an execution frame. Frames are heap objects in CPython; their
+// allocate/free churn is one of the paper's object-allocation overheads.
+type Frame struct {
+	H      Header
+	Code   *pycode.Code
+	Fn     *Func
+	Locals []Object
+	Stack  []Object
+	Sp     int
+	PC     int
+	Blocks []Block
+	Back   *Frame
+	// Globals is the module-level namespace for LOAD_GLOBAL/STORE_GLOBAL.
+	Globals *Dict
+	// Names, when non-nil, receives STORE_NAME writes and is consulted
+	// first by LOAD_NAME (class bodies execute with Names set to the
+	// class namespace).
+	Names *Dict
+	// Consts is the materialized constant pool parallel to
+	// Code.Consts.
+	Consts []Object
+	// ConstsAddr is the simulated address of the co_consts array.
+	ConstsAddr uint64
+	// CodeAddr is the simulated address of the bytecode array.
+	CodeAddr uint64
+}
+
+func (o *Frame) PyType() *Type { return Types[TFrame] }
+func (o *Frame) Hdr() *Header  { return &o.H }
+
+// LocalAddr returns the simulated address of fast-local slot i.
+func (o *Frame) LocalAddr(i int) uint64 { return o.H.Addr + 64 + uint64(i)*8 }
+
+// StackAddr returns the simulated address of value-stack slot i.
+func (o *Frame) StackAddr(i int) uint64 {
+	return o.H.Addr + 64 + uint64(len(o.Locals))*8 + uint64(i)*8
+}
+
+// TypeName returns the Python-visible type name of o, with instances
+// reporting their class name.
+func TypeName(o Object) string {
+	if inst, ok := o.(*Instance); ok {
+		return inst.Class.Name
+	}
+	return o.PyType().Name
+}
+
+// GoString aids debugging.
+func GoString(o Object) string {
+	if o == nil {
+		return "<nil>"
+	}
+	return fmt.Sprintf("<%s @%#x>", TypeName(o), o.Hdr().Addr)
+}

@@ -1,0 +1,284 @@
+package pyobj
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pycode"
+)
+
+func mkInt(v int64) *Int       { return &Int{V: v} }
+func mkFloat(v float64) *Float { return &Float{V: v} }
+func mkStr(s string) *Str      { return &Str{V: s} }
+
+func TestEncodeKeyNumericEquivalence(t *testing.T) {
+	// Python: 1 == 1.0 == True share a hash bucket.
+	k1, _ := EncodeKey(mkInt(1))
+	k2, _ := EncodeKey(mkFloat(1.0))
+	k3, _ := EncodeKey(&Bool{V: true})
+	if k1 != k2 || k2 != k3 {
+		t.Errorf("1/1.0/True encode differently: %q %q %q", k1, k2, k3)
+	}
+	kf, _ := EncodeKey(mkFloat(1.5))
+	if kf == k1 {
+		t.Error("1.5 collides with 1")
+	}
+	if _, ok := EncodeKey(&List{}); ok {
+		t.Error("lists must be unhashable")
+	}
+	kt1, ok1 := EncodeKey(&Tuple{Items: []Object{mkInt(1), mkStr("a")}})
+	kt2, ok2 := EncodeKey(&Tuple{Items: []Object{mkInt(1), mkStr("a")}})
+	if !ok1 || !ok2 || kt1 != kt2 {
+		t.Error("equal tuples encode differently")
+	}
+	if _, ok := EncodeKey(&Tuple{Items: []Object{&List{}}}); ok {
+		t.Error("tuple containing list must be unhashable")
+	}
+}
+
+// Property: Dict agrees with a Go map under arbitrary set/get/delete
+// streams over a small key space.
+func TestDictMatchesGoMap(t *testing.T) {
+	f := func(ops []uint16) bool {
+		d := NewDictData()
+		ref := map[int64]int64{}
+		for _, op := range ops {
+			key := int64(op % 37)
+			val := int64(op / 3)
+			switch op % 4 {
+			case 0, 1: // set
+				d.Set(mkInt(key), mkInt(val))
+				ref[key] = val
+			case 2: // get
+				got, _, ok := d.Get(mkInt(key))
+				want, wok := ref[key]
+				if ok != wok {
+					return false
+				}
+				if ok && got.(*Int).V != want {
+					return false
+				}
+			case 3: // delete
+				_, ok := d.Delete(mkInt(key))
+				_, wok := ref[key]
+				if ok != wok {
+					return false
+				}
+				delete(ref, key)
+			}
+			if d.Len() != len(ref) {
+				return false
+			}
+		}
+		// Final full comparison via iteration.
+		seen := 0
+		good := true
+		d.ForEach(func(k, v Object) {
+			seen++
+			want, ok := ref[k.(*Int).V]
+			if !ok || v.(*Int).V != want {
+				good = false
+			}
+		})
+		return good && seen == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDictVersionBumps(t *testing.T) {
+	d := NewDictData()
+	v0 := d.Version
+	d.Set(mkStr("a"), mkInt(1))
+	if d.Version == v0 {
+		t.Error("insert did not bump version")
+	}
+	v1 := d.Version
+	d.Set(mkStr("a"), mkInt(2))
+	if d.Version == v1 {
+		t.Error("update did not bump version")
+	}
+	v2 := d.Version
+	d.Delete(mkStr("a"))
+	if d.Version == v2 {
+		t.Error("delete did not bump version")
+	}
+}
+
+func TestDictCompactPreservesContent(t *testing.T) {
+	d := NewDictData()
+	for i := int64(0); i < 100; i++ {
+		d.Set(mkInt(i), mkInt(i*2))
+	}
+	for i := int64(0); i < 100; i += 2 {
+		d.Delete(mkInt(i))
+	}
+	d.Compact()
+	if d.Len() != 50 {
+		t.Fatalf("len %d", d.Len())
+	}
+	for i := int64(1); i < 100; i += 2 {
+		v, _, ok := d.Get(mkInt(i))
+		if !ok || v.(*Int).V != i*2 {
+			t.Fatalf("lost key %d after compact", i)
+		}
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	cases := []struct {
+		o    Object
+		want bool
+	}{
+		{&None{}, false},
+		{&Bool{V: false}, false},
+		{&Bool{V: true}, true},
+		{mkInt(0), false},
+		{mkInt(-1), true},
+		{mkFloat(0), false},
+		{mkStr(""), false},
+		{mkStr("x"), true},
+		{&List{}, false},
+		{&List{Items: []Object{mkInt(1)}}, true},
+		{&Tuple{}, false},
+		{&Range{Start: 0, Stop: 5, Step: 1}, true},
+		{&Range{Start: 5, Stop: 5, Step: 1}, false},
+	}
+	for _, c := range cases {
+		if Truthy(c.o) != c.want {
+			t.Errorf("Truthy(%s) != %v", Repr(c.o), c.want)
+		}
+	}
+}
+
+func TestCompareAndEqual(t *testing.T) {
+	if !Equal(mkInt(3), mkFloat(3.0)) {
+		t.Error("3 != 3.0")
+	}
+	if Equal(mkStr("a"), mkInt(1)) {
+		t.Error("'a' == 1")
+	}
+	if c, ok := Compare(mkStr("abc"), mkStr("abd")); !ok || c >= 0 {
+		t.Error("string order wrong")
+	}
+	l1 := &List{Items: []Object{mkInt(1), mkInt(2)}}
+	l2 := &List{Items: []Object{mkInt(1), mkInt(3)}}
+	if c, ok := Compare(l1, l2); !ok || c >= 0 {
+		t.Error("list order wrong")
+	}
+	if !Equal(
+		&Tuple{Items: []Object{mkInt(1), mkStr("x")}},
+		&Tuple{Items: []Object{mkInt(1), mkStr("x")}}) {
+		t.Error("equal tuples unequal")
+	}
+	if _, ok := Compare(mkInt(1), mkStr("a")); ok {
+		t.Error("int/str should be unordered")
+	}
+}
+
+// Property: Compare is antisymmetric and consistent with Equal for ints
+// and floats.
+func TestCompareProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, y := mkInt(int64(a)), mkInt(int64(b))
+		c1, ok1 := Compare(x, y)
+		c2, ok2 := Compare(y, x)
+		if !ok1 || !ok2 || c1 != -c2 {
+			return false
+		}
+		return (c1 == 0) == Equal(x, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReprFormats(t *testing.T) {
+	cases := []struct {
+		o    Object
+		want string
+	}{
+		{mkInt(42), "42"},
+		{mkFloat(2.5), "2.5"},
+		{mkFloat(3), "3.0"},
+		{mkStr("a'b"), `'a\'b'`},
+		{&None{}, "None"},
+		{&Bool{V: true}, "True"},
+		{&List{Items: []Object{mkInt(1), mkStr("x")}}, "[1, 'x']"},
+		{&Tuple{Items: []Object{mkInt(1)}}, "(1,)"},
+	}
+	for _, c := range cases {
+		if got := Repr(c.o); got != c.want {
+			t.Errorf("Repr = %q want %q", got, c.want)
+		}
+	}
+}
+
+// TestChildrenCoversReferences builds one instance of every reference-
+// holding type and checks traversal reaches the expected children.
+func TestChildrenCoversReferences(t *testing.T) {
+	leaf := mkInt(7)
+	count := func(o Object) int {
+		n := 0
+		Children(o, func(c Object) {
+			if c == leaf {
+				n++
+			}
+		})
+		return n
+	}
+	d := NewDictData()
+	d.Set(mkStr("k"), leaf)
+	cases := map[string]Object{
+		"list":  &List{Items: []Object{leaf}},
+		"tuple": &Tuple{Items: []Object{leaf}},
+		"dict":  d,
+		"slice": &Slice{Start: leaf, Stop: leaf, Step: leaf},
+		"cell":  &Cell{V: leaf},
+		"frame": &Frame{Locals: []Object{leaf}, Stack: []Object{leaf}, Sp: 1, Code: &pycode.Code{}},
+		"func":  &Func{Defaults: []Object{leaf}},
+		"bound": &BoundMethod{Self: leaf, Fn: &Func{}},
+	}
+	for name, o := range cases {
+		if count(o) == 0 {
+			t.Errorf("Children(%s) missed reference", name)
+		}
+	}
+}
+
+func TestRangeLen(t *testing.T) {
+	cases := []struct {
+		start, stop, step int64
+		want              int64
+	}{
+		{0, 10, 1, 10}, {0, 10, 3, 4}, {10, 0, -1, 10},
+		{0, 0, 1, 0}, {5, 2, 1, 0}, {10, 0, -3, 4},
+	}
+	for _, c := range cases {
+		r := &Range{Start: c.start, Stop: c.stop, Step: c.step}
+		if got := r.Len(); got != c.want {
+			t.Errorf("len(range(%d,%d,%d)) = %d want %d", c.start, c.stop, c.step, got, c.want)
+		}
+	}
+}
+
+func TestFixedAndPayloadSizes(t *testing.T) {
+	s := &Str{V: "hello"}
+	if FixedSize(s) != 45 {
+		t.Errorf("short string inline size %d", FixedSize(s))
+	}
+	long := &Str{V: fmt.Sprintf("%050d", 1)}
+	if PayloadSize(long) != 50 {
+		t.Errorf("long string payload %d", PayloadSize(long))
+	}
+	l := &List{ItemsCap: 8}
+	if PayloadSize(l) != 64 {
+		t.Errorf("list payload %d", PayloadSize(l))
+	}
+	tp := &Tuple{Items: make([]Object, 3)}
+	if FixedSize(tp) != 40+24 {
+		t.Errorf("tuple size %d", FixedSize(tp))
+	}
+}

@@ -1,0 +1,285 @@
+package pyobj
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Truthy returns the Python truth value of o.
+func Truthy(o Object) bool {
+	switch v := o.(type) {
+	case *None:
+		return false
+	case *Bool:
+		return v.V
+	case *Int:
+		return v.V != 0
+	case *Float:
+		return v.V != 0
+	case *Str:
+		return len(v.V) > 0
+	case *List:
+		return len(v.Items) > 0
+	case *Tuple:
+		return len(v.Items) > 0
+	case *Dict:
+		return v.Len() > 0
+	case *Range:
+		return v.Len() > 0
+	}
+	return true
+}
+
+// Number extraction helpers.
+
+// AsInt returns the int64 value of an Int or Bool.
+func AsInt(o Object) (int64, bool) {
+	switch v := o.(type) {
+	case *Int:
+		return v.V, true
+	case *Bool:
+		if v.V {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// AsFloat returns the float64 value of a Float, Int, or Bool.
+func AsFloat(o Object) (float64, bool) {
+	switch v := o.(type) {
+	case *Float:
+		return v.V, true
+	case *Int:
+		return float64(v.V), true
+	case *Bool:
+		if v.V {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// Equal reports Python == for built-in types (numeric cross-type equality,
+// deep sequence equality). Identity is used for types without structural
+// equality.
+func Equal(a, b Object) bool {
+	if a == b {
+		return true
+	}
+	switch av := a.(type) {
+	case *Int, *Bool, *Float:
+		af, ok1 := AsFloat(a)
+		bf, ok2 := AsFloat(b)
+		if ok1 && ok2 {
+			// Compare exactly on integers where possible.
+			ai, aok := AsInt(a)
+			bi, bok := AsInt(b)
+			if aok && bok {
+				return ai == bi
+			}
+			return af == bf
+		}
+		return false
+	case *Str:
+		bv, ok := b.(*Str)
+		return ok && av.V == bv.V
+	case *None:
+		_, ok := b.(*None)
+		return ok
+	case *Tuple:
+		bv, ok := b.(*Tuple)
+		if !ok || len(av.Items) != len(bv.Items) {
+			return false
+		}
+		for i := range av.Items {
+			if !Equal(av.Items[i], bv.Items[i]) {
+				return false
+			}
+		}
+		return true
+	case *List:
+		bv, ok := b.(*List)
+		if !ok || len(av.Items) != len(bv.Items) {
+			return false
+		}
+		for i := range av.Items {
+			if !Equal(av.Items[i], bv.Items[i]) {
+				return false
+			}
+		}
+		return true
+	case *Dict:
+		bv, ok := b.(*Dict)
+		if !ok || av.Len() != bv.Len() {
+			return false
+		}
+		eq := true
+		av.ForEach(func(k, v Object) {
+			if !eq {
+				return
+			}
+			ov, _, found := bv.Get(k)
+			if !found || !Equal(v, ov) {
+				eq = false
+			}
+		})
+		return eq
+	}
+	return false
+}
+
+// Compare returns -1, 0, or 1 ordering a before/equal/after b, for types
+// with a defined order (numbers, strings, and element-wise sequences). ok
+// is false for unordered type combinations.
+func Compare(a, b Object) (int, bool) {
+	af, aok := AsFloat(a)
+	bf, bok := AsFloat(b)
+	if aok && bok {
+		ai, iok := AsInt(a)
+		bi, jok := AsInt(b)
+		if iok && jok {
+			switch {
+			case ai < bi:
+				return -1, true
+			case ai > bi:
+				return 1, true
+			}
+			return 0, true
+		}
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		}
+		return 0, true
+	}
+	if as, ok := a.(*Str); ok {
+		if bs, ok := b.(*Str); ok {
+			return strings.Compare(as.V, bs.V), true
+		}
+	}
+	if at, ok := a.(*Tuple); ok {
+		if bt, ok := b.(*Tuple); ok {
+			return compareSeq(at.Items, bt.Items)
+		}
+	}
+	if al, ok := a.(*List); ok {
+		if bl, ok := b.(*List); ok {
+			return compareSeq(al.Items, bl.Items)
+		}
+	}
+	return 0, false
+}
+
+func compareSeq(a, b []Object) (int, bool) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		c, ok := Compare(a[i], b[i])
+		if !ok {
+			return 0, false
+		}
+		if c != 0 {
+			return c, true
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1, true
+	case len(a) > len(b):
+		return 1, true
+	}
+	return 0, true
+}
+
+// FormatFloat renders a float in Python repr style.
+func FormatFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return "inf"
+	}
+	if math.IsInf(f, -1) {
+		return "-inf"
+	}
+	if math.IsNaN(f) {
+		return "nan"
+	}
+	if f == math.Trunc(f) && math.Abs(f) < 1e16 {
+		return strconv.FormatFloat(f, 'f', 1, 64)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// StrOf returns the Python str() rendering of o.
+func StrOf(o Object) string {
+	if s, ok := o.(*Str); ok {
+		return s.V
+	}
+	return Repr(o)
+}
+
+// Repr returns the Python repr() rendering of o.
+func Repr(o Object) string {
+	switch v := o.(type) {
+	case *None:
+		return "None"
+	case *Bool:
+		if v.V {
+			return "True"
+		}
+		return "False"
+	case *Int:
+		return strconv.FormatInt(v.V, 10)
+	case *Float:
+		return FormatFloat(v.V)
+	case *Str:
+		return "'" + strings.ReplaceAll(strings.ReplaceAll(v.V, "\\", "\\\\"), "'", "\\'") + "'"
+	case *List:
+		parts := make([]string, len(v.Items))
+		for i, e := range v.Items {
+			parts[i] = Repr(e)
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case *Tuple:
+		parts := make([]string, len(v.Items))
+		for i, e := range v.Items {
+			parts[i] = Repr(e)
+		}
+		if len(parts) == 1 {
+			return "(" + parts[0] + ",)"
+		}
+		return "(" + strings.Join(parts, ", ") + ")"
+	case *Dict:
+		var parts []string
+		v.ForEach(func(k, val Object) {
+			ks := "?"
+			if k != nil {
+				ks = Repr(k)
+			}
+			parts = append(parts, ks+": "+Repr(val))
+		})
+		return "{" + strings.Join(parts, ", ") + "}"
+	case *Range:
+		return fmt.Sprintf("xrange(%d, %d, %d)", v.Start, v.Stop, v.Step)
+	case *Func:
+		return "<function " + v.Name + ">"
+	case *Builtin:
+		return "<built-in function " + v.Name + ">"
+	case *Class:
+		return "<class " + v.Name + ">"
+	case *Instance:
+		return "<" + v.Class.Name + " instance>"
+	case *BoundMethod:
+		return "<bound method " + v.Fn.Name + ">"
+	case *Module:
+		return "<module '" + v.Name + "'>"
+	}
+	return "<" + TypeName(o) + ">"
+}

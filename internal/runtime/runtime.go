@@ -1,0 +1,350 @@
+// Package runtime assembles complete MiniPy run-time configurations — the
+// paper's four systems under test — and drives the measurement protocol.
+//
+//   - CPython: bytecode interpreter + reference counting.
+//   - PyPyNoJIT: bytecode interpreter + generational GC.
+//   - PyPyJIT: tracing JIT + generational GC.
+//   - V8Like: eager, bulkier JIT + generational GC (the v8-flavoured
+//     runtime used to generalize the findings in Figs 6, 9, 16).
+//
+// A Runner executes a program with the paper's protocol (2 warmup runs, 3
+// measured runs) against a chosen core model and returns the attribution
+// breakdown, CPI, cache and GC statistics.
+package runtime
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/emit"
+	"repro/internal/gc"
+	"repro/internal/interp"
+	"repro/internal/isa"
+	"repro/internal/jit"
+	"repro/internal/pycode"
+	"repro/internal/pycompile"
+	"repro/internal/uarch"
+)
+
+// Mode identifies a run-time configuration.
+type Mode uint8
+
+// Run-time modes.
+const (
+	CPython Mode = iota
+	PyPyNoJIT
+	PyPyJIT
+	V8Like
+	NumModes
+)
+
+var modeNames = [NumModes]string{"cpython", "pypy-nojit", "pypy-jit", "v8like"}
+
+// String returns the mode's name.
+func (m Mode) String() string {
+	if m < NumModes {
+		return modeNames[m]
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// ParseMode resolves a mode name.
+func ParseMode(s string) (Mode, error) {
+	for m := Mode(0); m < NumModes; m++ {
+		if modeNames[m] == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("runtime: unknown mode %q (want cpython, pypy-nojit, pypy-jit, v8like)", s)
+}
+
+// UsesJIT reports whether the mode compiles hot loops.
+func (m Mode) UsesJIT() bool { return m == PyPyJIT || m == V8Like }
+
+// UsesGenGC reports whether the mode uses the generational collector.
+func (m Mode) UsesGenGC() bool { return m != CPython }
+
+// CoreKind selects the simulated core model.
+type CoreKind uint8
+
+// Core models.
+const (
+	// SimpleCore attributes cycles to overhead categories (Fig 4).
+	SimpleCore CoreKind = iota
+	// OOOCore models the out-of-order pipeline (Figs 7-9).
+	OOOCore
+	// CountOnly skips timing simulation (fast functional runs).
+	CountOnly
+)
+
+// Config assembles a full runtime-under-test.
+type Config struct {
+	Mode Mode
+	Core CoreKind
+	// Uarch is the machine configuration (Table I defaults).
+	Uarch uarch.Config
+	// NurseryBytes overrides the generational nursery size (default
+	// 4 MB, PyPy's default).
+	NurseryBytes uint64
+	// Warmups and Measures set the protocol (paper: 2 and 3).
+	Warmups  int
+	Measures int
+	// Stdout receives program output; nil discards it.
+	Stdout io.Writer
+	// MaxBytecodes bounds each run (safety valve; 0 = none).
+	MaxBytecodes uint64
+}
+
+// DefaultNursery is PyPy's default nursery size.
+const DefaultNursery = 4 << 20
+
+// DefaultConfig returns the standard configuration for a mode.
+func DefaultConfig(mode Mode) Config {
+	return Config{
+		Mode:         mode,
+		Core:         SimpleCore,
+		Uarch:        uarch.DefaultConfig(),
+		NurseryBytes: DefaultNursery,
+		Warmups:      2,
+		Measures:     3,
+	}
+}
+
+// Result is the outcome of a measured execution.
+type Result struct {
+	Mode Mode
+	// Breakdown attributes cycles to overhead categories (averaged over
+	// the measured runs).
+	Breakdown core.Breakdown
+	// Cycles and Instrs are per-measured-run averages.
+	Cycles uint64
+	Instrs uint64
+	// CPI is cycles per instruction.
+	CPI float64
+	// PhaseCPI / PhaseShare report per-phase behaviour (OOO runs).
+	PhaseCycles [core.NumPhases]float64
+	PhaseInstrs [core.NumPhases]uint64
+	// LLCMissRate is the last-level-cache miss rate during measurement.
+	LLCMissRate float64
+	LLCMisses   uint64
+	LLCAccesses uint64
+	// L1DMissRate is the L1 data-cache miss rate.
+	L1DMissRate float64
+	// BranchAccuracy is conditional-branch prediction accuracy (OOO).
+	BranchAccuracy float64
+	// GC summarizes collector activity over the measured runs.
+	GC gc.Stats
+	// JIT summarizes compiler activity (whole session).
+	JIT *jit.Stats
+	// Output is the program output of the final measured run.
+	Output string
+}
+
+// GCShare returns the fraction of cycles attributed to the GC phase.
+func (r *Result) GCShare() float64 {
+	var t float64
+	for _, c := range r.PhaseCycles {
+		t += c
+	}
+	if t == 0 {
+		return r.Breakdown.PhasePercent(core.PhaseGC) / 100
+	}
+	return r.PhaseCycles[core.PhaseGC] / t
+}
+
+// Runner executes programs under one configuration. A Runner is not safe
+// for concurrent use.
+type Runner struct {
+	cfg Config
+}
+
+// NewRunner validates cfg and returns a Runner.
+func NewRunner(cfg Config) (*Runner, error) {
+	if err := cfg.Uarch.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Warmups < 0 || cfg.Measures < 1 {
+		return nil, fmt.Errorf("runtime: need at least one measured run")
+	}
+	if cfg.NurseryBytes == 0 {
+		cfg.NurseryBytes = DefaultNursery
+	}
+	return &Runner{cfg: cfg}, nil
+}
+
+// Config returns the runner's configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+// discard is a sink for program output when none is wanted.
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// outBuffer collects the final run's output.
+type outBuffer struct {
+	buf  []byte
+	tee  io.Writer
+	keep bool
+}
+
+func (o *outBuffer) Write(p []byte) (int, error) {
+	if o.keep {
+		o.buf = append(o.buf, p...)
+	}
+	if o.tee != nil {
+		return o.tee.Write(p)
+	}
+	return len(p), nil
+}
+
+// Run compiles and executes src under the measurement protocol.
+func (r *Runner) Run(name, src string) (*Result, error) {
+	code, err := pycompile.CompileSource(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return r.RunCode(code)
+}
+
+// RunCode executes a compiled program under the measurement protocol: the
+// VM, heap, JIT, and caches persist across runs (so warmup trains the JIT
+// and warms the caches); statistics cover only the measured runs.
+func (r *Runner) RunCode(code *pycode.Code) (*Result, error) {
+	cfg := r.cfg
+	out := &outBuffer{tee: cfg.Stdout}
+
+	var heapCfg gc.Config
+	if cfg.Mode.UsesGenGC() {
+		heapCfg = gc.DefaultGenConfig(cfg.NurseryBytes)
+	} else {
+		heapCfg = gc.DefaultRefCountConfig()
+	}
+
+	eng := emit.NewEngine(isa.NullSink{})
+	vm := interp.New(eng, heapCfg, out)
+	vm.MaxBytecodes = cfg.MaxBytecodes
+
+	var theJIT *jit.JIT
+	switch cfg.Mode {
+	case PyPyJIT:
+		theJIT = jit.New(vm, jit.DefaultConfig())
+	case V8Like:
+		theJIT = jit.New(vm, jit.V8LikeConfig())
+	}
+
+	// Build the core model.
+	var simple *uarch.SimpleCore
+	var ooo *uarch.OOOCore
+	switch cfg.Core {
+	case SimpleCore:
+		simple = uarch.NewSimpleCore(cfg.Uarch)
+		eng.SetSink(simple)
+	case OOOCore:
+		ooo = uarch.NewOOOCore(cfg.Uarch)
+		eng.SetSink(ooo)
+	case CountOnly:
+		eng.SetSink(isa.NullSink{})
+	}
+
+	// Warmup runs: train JIT counters, caches, and predictors.
+	for i := 0; i < cfg.Warmups; i++ {
+		vm.ResetRand()
+		if err := vm.RunCode(code); err != nil {
+			return nil, fmt.Errorf("warmup run %d: %w", i+1, err)
+		}
+	}
+
+	// Reset statistics, keeping all learned state warm.
+	if simple != nil {
+		simple.ResetStats()
+	}
+	if ooo != nil {
+		ooo.ResetStats()
+	}
+	gcBefore := vm.Heap.Stats
+
+	// Measured runs.
+	for i := 0; i < cfg.Measures; i++ {
+		vm.ResetRand()
+		out.keep = i == cfg.Measures-1
+		out.buf = out.buf[:0]
+		if err := vm.RunCode(code); err != nil {
+			return nil, fmt.Errorf("measured run %d: %w", i+1, err)
+		}
+	}
+
+	res := &Result{Mode: cfg.Mode, Output: string(out.buf)}
+	n := uint64(cfg.Measures)
+	switch {
+	case simple != nil:
+		bd := *simple.Breakdown()
+		bd.Scale(n)
+		res.Breakdown = bd
+		res.Cycles = bd.TotalCycles()
+		res.Instrs = bd.TotalInstrs()
+		res.CPI = bd.CPI()
+		h := simple.Hierarchy()
+		res.LLCMissRate = h.L3.Stats.MissRate()
+		res.LLCMisses = h.L3.Stats.Misses / n
+		res.LLCAccesses = h.L3.Stats.Accesses / n
+		res.L1DMissRate = h.L1D.Stats.MissRate()
+		for p := core.Phase(0); p < core.NumPhases; p++ {
+			res.PhaseCycles[p] = float64(bd.PhaseCycles[p])
+			res.PhaseInstrs[p] = bd.PhaseInstrs[p]
+		}
+	case ooo != nil:
+		res.Cycles = ooo.Cycles() / n
+		res.Instrs = ooo.Instrs() / n
+		res.CPI = ooo.CPI()
+		bd := *ooo.Breakdown()
+		bd.Scale(n)
+		res.Breakdown = bd
+		h := ooo.Hierarchy()
+		res.LLCMissRate = h.L3.Stats.MissRate()
+		res.LLCMisses = h.L3.Stats.Misses / n
+		res.LLCAccesses = h.L3.Stats.Accesses / n
+		res.L1DMissRate = h.L1D.Stats.MissRate()
+		res.BranchAccuracy = ooo.Predictor().Stats.CondAccuracy()
+		for p := core.Phase(0); p < core.NumPhases; p++ {
+			res.PhaseCycles[p] = ooo.PhaseCycles(p) / float64(n)
+			res.PhaseInstrs[p] = ooo.PhaseInstrs(p) / n
+		}
+	}
+
+	// GC activity during the measured runs only.
+	after := vm.Heap.Stats
+	res.GC = gc.Stats{
+		Allocations:   (after.Allocations - gcBefore.Allocations) / n,
+		BytesAlloc:    (after.BytesAlloc - gcBefore.BytesAlloc) / n,
+		MinorGCs:      (after.MinorGCs - gcBefore.MinorGCs) / n,
+		MajorGCs:      (after.MajorGCs - gcBefore.MajorGCs) / n,
+		BytesCopied:   (after.BytesCopied - gcBefore.BytesCopied) / n,
+		Survivors:     (after.Survivors - gcBefore.Survivors) / n,
+		Frees:         (after.Frees - gcBefore.Frees) / n,
+		BarrierHits:   (after.BarrierHits - gcBefore.BarrierHits) / n,
+		BigAllocs:     (after.BigAllocs - gcBefore.BigAllocs) / n,
+		FreelistReuse: (after.FreelistReuse - gcBefore.FreelistReuse) / n,
+	}
+	if theJIT != nil {
+		st := theJIT.Stats
+		res.JIT = &st
+	}
+	return res, nil
+}
+
+// RunFunctional executes the program once with no simulation, returning
+// its output (for correctness tests and example tooling).
+func RunFunctional(mode Mode, name, src string, stdout io.Writer) error {
+	cfg := DefaultConfig(mode)
+	cfg.Core = CountOnly
+	cfg.Warmups = 0
+	cfg.Measures = 1
+	cfg.Stdout = stdout
+	r, err := NewRunner(cfg)
+	if err != nil {
+		return err
+	}
+	_, err = r.Run(name, src)
+	return err
+}

@@ -1,0 +1,175 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/uarch"
+)
+
+const loopProgram = `
+def work(n):
+    acc = 0
+    for i in xrange(n):
+        acc += i & 255
+    return acc
+
+print(work(2000))
+`
+
+func TestParseMode(t *testing.T) {
+	for m := Mode(0); m < NumModes; m++ {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("round trip %s failed: %v", m, err)
+		}
+	}
+	if _, err := ParseMode("nope"); err == nil {
+		t.Error("bad mode accepted")
+	}
+}
+
+func TestModePredicates(t *testing.T) {
+	if CPython.UsesJIT() || CPython.UsesGenGC() {
+		t.Error("cpython predicates wrong")
+	}
+	if !PyPyJIT.UsesJIT() || !PyPyJIT.UsesGenGC() {
+		t.Error("pypy-jit predicates wrong")
+	}
+	if PyPyNoJIT.UsesJIT() || !PyPyNoJIT.UsesGenGC() {
+		t.Error("pypy-nojit predicates wrong")
+	}
+}
+
+func run(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run("test", loopProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSimpleCoreResult(t *testing.T) {
+	cfg := DefaultConfig(CPython)
+	cfg.Core = SimpleCore
+	res := run(t, cfg)
+	if res.Output != "250008\n" {
+		t.Errorf("output %q", res.Output)
+	}
+	if res.Cycles == 0 || res.Instrs == 0 || res.CPI <= 0 {
+		t.Errorf("timing empty: %+v", res)
+	}
+	if got := res.Breakdown.TotalCycles(); got != res.Cycles {
+		t.Errorf("breakdown total %d != cycles %d", got, res.Cycles)
+	}
+	if res.Breakdown.Percent(core.Dispatch) <= 0 {
+		t.Error("no dispatch attribution")
+	}
+}
+
+func TestOOOCoreResult(t *testing.T) {
+	cfg := DefaultConfig(PyPyJIT)
+	cfg.Core = OOOCore
+	res := run(t, cfg)
+	if res.Output != "250008\n" {
+		t.Errorf("output %q", res.Output)
+	}
+	if res.CPI <= 0 || res.BranchAccuracy <= 0.5 {
+		t.Errorf("OOO stats off: CPI=%v acc=%v", res.CPI, res.BranchAccuracy)
+	}
+	if res.JIT == nil || res.JIT.TracesCompiled == 0 {
+		t.Error("JIT inactive under pypy-jit")
+	}
+	if res.PhaseInstrs[core.PhaseJITCode] == 0 {
+		t.Error("no compiled-phase instructions")
+	}
+}
+
+func TestMeasurementAveraging(t *testing.T) {
+	one := DefaultConfig(CPython)
+	one.Core = SimpleCore
+	one.Warmups, one.Measures = 1, 1
+	three := one
+	three.Measures = 3
+	r1 := run(t, one)
+	r3 := run(t, three)
+	// Per-run averages must be comparable (warm caches make later runs
+	// slightly cheaper, so allow a loose band).
+	ratio := float64(r3.Cycles) / float64(r1.Cycles)
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Errorf("per-run average off: %d vs %d (ratio %.2f)", r3.Cycles, r1.Cycles, ratio)
+	}
+}
+
+func TestWarmupTrainsJIT(t *testing.T) {
+	cold := DefaultConfig(PyPyJIT)
+	cold.Core = CountOnly
+	cold.Warmups, cold.Measures = 0, 1
+	warm := cold
+	warm.Warmups = 2
+	rCold := run(t, cold)
+	rWarm := run(t, warm)
+	if rWarm.JIT.CompiledIters <= rCold.JIT.CompiledIters {
+		t.Errorf("warmup did not increase compiled execution: %d vs %d",
+			rWarm.JIT.CompiledIters, rCold.JIT.CompiledIters)
+	}
+}
+
+func TestModesAgreeOnOutput(t *testing.T) {
+	var outputs []string
+	for m := Mode(0); m < NumModes; m++ {
+		cfg := DefaultConfig(m)
+		cfg.Core = CountOnly
+		cfg.Warmups, cfg.Measures = 0, 1
+		res := run(t, cfg)
+		outputs = append(outputs, res.Output)
+	}
+	for i := 1; i < len(outputs); i++ {
+		if outputs[i] != outputs[0] {
+			t.Errorf("mode %s output %q != %q", Mode(i), outputs[i], outputs[0])
+		}
+	}
+}
+
+func TestRunFunctional(t *testing.T) {
+	var out strings.Builder
+	if err := RunFunctional(CPython, "t", "print(6 * 7)\n", &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "42\n" {
+		t.Errorf("output %q", out.String())
+	}
+}
+
+func TestInvalidConfigsRejected(t *testing.T) {
+	bad := DefaultConfig(CPython)
+	bad.Measures = 0
+	if _, err := NewRunner(bad); err == nil {
+		t.Error("zero measures accepted")
+	}
+	bad2 := DefaultConfig(CPython)
+	bad2.Uarch.L1D.SizeBytes = 7777 // not divisible
+	if _, err := NewRunner(bad2); err == nil {
+		t.Error("invalid cache accepted")
+	}
+	_ = uarch.DefaultConfig()
+}
+
+func TestCompileErrorSurfaces(t *testing.T) {
+	r, err := NewRunner(DefaultConfig(CPython))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run("bad", "def broken(:\n    pass\n"); err == nil {
+		t.Error("compile error not surfaced")
+	}
+	if _, err := r.Run("raise", "x = [1]\nprint(x[5])\n"); err == nil {
+		t.Error("runtime error not surfaced")
+	}
+}

@@ -1,0 +1,116 @@
+package uarch
+
+// BranchStats collects predictor statistics.
+type BranchStats struct {
+	CondBranches   uint64
+	CondMispredict uint64
+	IndBranches    uint64
+	IndMispredict  uint64
+}
+
+// CondAccuracy returns the conditional-branch prediction accuracy.
+func (s BranchStats) CondAccuracy() float64 {
+	if s.CondBranches == 0 {
+		return 1
+	}
+	return 1 - float64(s.CondMispredict)/float64(s.CondBranches)
+}
+
+// IndAccuracy returns the indirect-branch target prediction accuracy.
+func (s BranchStats) IndAccuracy() float64 {
+	if s.IndBranches == 0 {
+		return 1
+	}
+	return 1 - float64(s.IndMispredict)/float64(s.IndBranches)
+}
+
+// BranchPredictor is the paper's two-level local-history predictor
+// (Table I: 2048 x 18-bit history entries indexing a 16384 x 2-bit pattern
+// table) plus a branch target buffer for indirect branches and calls.
+type BranchPredictor struct {
+	histMask    uint64
+	patternMask uint64
+	histBits    uint
+	history     []uint32 // per-PC local history
+	pattern     []uint8  // 2-bit saturating counters
+	btbMask     uint64
+	btbTag      []uint64
+	btbTarget   []uint64
+
+	Stats BranchStats
+}
+
+// NewBranchPredictor builds the predictor from cfg. Table sizes are
+// rounded to powers of two by Config helpers.
+func NewBranchPredictor(cfg Config) *BranchPredictor {
+	h := cfg.BPHistoryEntries
+	p := cfg.BPPatternEntries
+	b := cfg.BTBEntries
+	bp := &BranchPredictor{
+		histMask:    uint64(h - 1),
+		patternMask: uint64(p - 1),
+		histBits:    uint(cfg.BPHistoryBits),
+		history:     make([]uint32, h),
+		pattern:     make([]uint8, p),
+		btbMask:     uint64(b - 1),
+		btbTag:      make([]uint64, b),
+		btbTarget:   make([]uint64, b),
+	}
+	// Initialize counters to weakly taken, as real predictors power up
+	// biased toward loop branches.
+	for i := range bp.pattern {
+		bp.pattern[i] = 2
+	}
+	return bp
+}
+
+// PredictCond predicts and trains the direction of the conditional branch
+// at pc with the actual outcome taken, and reports whether the prediction
+// was correct.
+func (b *BranchPredictor) PredictCond(pc uint64, taken bool) bool {
+	hi := (pc >> 2) & b.histMask
+	hist := uint64(b.history[hi])
+	pi := (hist ^ (pc >> 2)) & b.patternMask
+	ctr := b.pattern[pi]
+	pred := ctr >= 2
+
+	// Train.
+	if taken {
+		if ctr < 3 {
+			b.pattern[pi] = ctr + 1
+		}
+	} else if ctr > 0 {
+		b.pattern[pi] = ctr - 1
+	}
+	newHist := (hist << 1)
+	if taken {
+		newHist |= 1
+	}
+	b.history[hi] = uint32(newHist & ((1 << b.histBits) - 1))
+
+	b.Stats.CondBranches++
+	correct := pred == taken
+	if !correct {
+		b.Stats.CondMispredict++
+	}
+	return correct
+}
+
+// PredictIndirect predicts and trains the target of the indirect branch or
+// call at pc with the actual target, and reports whether the predicted
+// target matched.
+func (b *BranchPredictor) PredictIndirect(pc, target uint64) bool {
+	i := (pc >> 2) & b.btbMask
+	tag := pc
+	correct := b.btbTag[i] == tag && b.btbTarget[i] == target
+	b.btbTag[i] = tag
+	b.btbTarget[i] = target
+	b.Stats.IndBranches++
+	if !correct {
+		b.Stats.IndMispredict++
+	}
+	return correct
+}
+
+// ResetStats zeroes statistics without clearing learned state.
+func (b *BranchPredictor) ResetStats() { b.Stats = BranchStats{} }

@@ -1,0 +1,241 @@
+package uarch
+
+import "fmt"
+
+// CacheStats collects per-level access statistics.
+type CacheStats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRate returns misses/accesses, or 0 when idle.
+func (s CacheStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a set-associative cache with true-LRU replacement.
+type Cache struct {
+	name      string
+	cfg       CacheConfig
+	setMask   uint64
+	lineShift uint
+	// tags[set*ways+way]; valid entries have tag!=0 (we bias tags by +1
+	// so that address 0 is representable).
+	tags []uint64
+	// lruTick[set*ways+way] is the last-use timestamp.
+	lruTick []uint64
+	tick    uint64
+
+	Stats CacheStats
+	// Evictions counts replaced valid lines.
+	Evictions uint64
+}
+
+// NewCache builds a cache from cfg.
+func NewCache(name string, cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("uarch: %s: %v", name, err))
+	}
+	sets := cfg.Sets()
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	return &Cache{
+		name:      name,
+		cfg:       cfg,
+		setMask:   uint64(sets - 1),
+		lineShift: shift,
+		tags:      make([]uint64, sets*cfg.Ways),
+		lruTick:   make([]uint64, sets*cfg.Ways),
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Name returns the cache's name.
+func (c *Cache) Name() string { return c.name }
+
+// Access looks up the line containing addr, filling it on a miss, and
+// reports whether the access hit.
+func (c *Cache) Access(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := line & c.setMask
+	tag := line + 1 // bias so tag 0 means invalid
+	base := int(set) * c.cfg.Ways
+	c.tick++
+	c.Stats.Accesses++
+
+	ways := c.tags[base : base+c.cfg.Ways]
+	for w, t := range ways {
+		if t == tag {
+			c.lruTick[base+w] = c.tick
+			return true
+		}
+	}
+	c.Stats.Misses++
+	// Choose victim: invalid way first, else least recently used.
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for w, t := range ways {
+		if t == 0 {
+			victim = w
+			oldest = 0
+			break
+		}
+		if c.lruTick[base+w] < oldest {
+			oldest = c.lruTick[base+w]
+			victim = w
+		}
+	}
+	if ways[victim] != 0 {
+		c.Evictions++
+	}
+	ways[victim] = tag
+	c.lruTick[base+victim] = c.tick
+	return false
+}
+
+// Probe reports whether addr is resident without updating LRU or stats.
+func (c *Cache) Probe(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := line & c.setMask
+	tag := line + 1
+	base := int(set) * c.cfg.Ways
+	for _, t := range c.tags[base : base+c.cfg.Ways] {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates the entire cache.
+func (c *Cache) Flush() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.lruTick[i] = 0
+	}
+}
+
+// ResetStats zeroes the statistics without touching contents.
+func (c *Cache) ResetStats() {
+	c.Stats = CacheStats{}
+	c.Evictions = 0
+}
+
+// Hierarchy is the full cache hierarchy plus the DRAM model. Instruction
+// fetches go L1I->L2->L3->memory; data accesses go L1D->L2->L3->memory.
+type Hierarchy struct {
+	L1I, L1D, L2, L3 *Cache
+	Mem              *DRAM
+	cfg              Config
+}
+
+// NewHierarchy builds the hierarchy from cfg.
+func NewHierarchy(cfg Config) *Hierarchy {
+	return &Hierarchy{
+		L1I: NewCache("L1I", cfg.L1I),
+		L1D: NewCache("L1D", cfg.L1D),
+		L2:  NewCache("L2", cfg.L2),
+		L3:  NewCache("L3", cfg.L3),
+		Mem: NewDRAM(cfg),
+		cfg: cfg,
+	}
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// AccessData returns the latency of a data access to addr at the given
+// core time, walking the hierarchy and charging DRAM bandwidth on an L3
+// miss.
+func (h *Hierarchy) AccessData(addr uint64, now uint64) uint64 {
+	if h.L1D.Access(addr) {
+		return uint64(h.cfg.L1D.LatencyCycles)
+	}
+	if h.L2.Access(addr) {
+		return uint64(h.cfg.L2.LatencyCycles)
+	}
+	if h.L3.Access(addr) {
+		return uint64(h.cfg.L3.LatencyCycles)
+	}
+	return uint64(h.cfg.L3.LatencyCycles) + h.Mem.Access(now, h.cfg.L3.LineBytes)
+}
+
+// AccessInstr returns the latency beyond the pipelined fetch of an
+// instruction fetch at pc (0 on an L1I hit, since fetch is pipelined).
+func (h *Hierarchy) AccessInstr(pc uint64, now uint64) uint64 {
+	if h.L1I.Access(pc) {
+		return 0
+	}
+	if h.L2.Access(pc) {
+		return uint64(h.cfg.L2.LatencyCycles)
+	}
+	if h.L3.Access(pc) {
+		return uint64(h.cfg.L3.LatencyCycles)
+	}
+	return uint64(h.cfg.L3.LatencyCycles) + h.Mem.Access(now, h.cfg.L3.LineBytes)
+}
+
+// ResetStats zeroes statistics on every level and the DRAM model, keeping
+// cache contents warm (used between warmup and measurement runs).
+func (h *Hierarchy) ResetStats() {
+	h.L1I.ResetStats()
+	h.L1D.ResetStats()
+	h.L2.ResetStats()
+	h.L3.ResetStats()
+	h.Mem.ResetStats()
+}
+
+// DRAM models main memory with a fixed access latency plus a bandwidth
+// constraint: each line transfer occupies the channel for
+// lineBytes/bytesPerCycle cycles, and accesses queue behind one another
+// when the channel is saturated.
+type DRAM struct {
+	latency       uint64
+	bytesPerCycle float64
+	busyUntil     uint64
+
+	// Stats
+	Accesses    uint64
+	QueueCycles uint64
+	BytesMoved  uint64
+}
+
+// NewDRAM builds the memory model from cfg.
+func NewDRAM(cfg Config) *DRAM {
+	return &DRAM{
+		latency:       uint64(cfg.MemLatencyCycles),
+		bytesPerCycle: cfg.BytesPerCycle(),
+	}
+}
+
+// Access returns the total latency of a memory access issued at core time
+// now transferring lineBytes, including any queuing delay behind earlier
+// transfers.
+func (d *DRAM) Access(now uint64, lineBytes int) uint64 {
+	d.Accesses++
+	d.BytesMoved += uint64(lineBytes)
+	transfer := uint64(float64(lineBytes)/d.bytesPerCycle + 0.999999)
+	if transfer == 0 {
+		transfer = 1
+	}
+	start := now
+	if d.busyUntil > start {
+		d.QueueCycles += d.busyUntil - start
+		start = d.busyUntil
+	}
+	d.busyUntil = start + transfer
+	return (start - now) + d.latency + transfer
+}
+
+// ResetStats zeroes the statistics and the channel occupancy.
+func (d *DRAM) ResetStats() {
+	d.Accesses, d.QueueCycles, d.BytesMoved = 0, 0, 0
+	d.busyUntil = 0
+}

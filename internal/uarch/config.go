@@ -1,0 +1,211 @@
+// Package uarch is the microarchitecture simulator: a Zsim-like model of a
+// modern out-of-order x86 core with a three-level cache hierarchy, a
+// two-level branch predictor, and a DRAMSim-like latency/bandwidth memory
+// model.
+//
+// Two core models consume the isa.Event stream:
+//
+//   - SimpleCore: in-order, one instruction per cycle plus cache-miss
+//     penalties. Because each instruction's cycles are unambiguous, this
+//     model attributes cycles to overhead categories (the paper's Fig. 4
+//     methodology).
+//   - OOOCore: an approximate out-of-order model with issue width, a
+//     reorder-buffer window, memory-level parallelism, and branch
+//     mispredict flushes, used for the microarchitectural sweeps (Figs
+//     7-9).
+package uarch
+
+import "fmt"
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Ways is the set associativity.
+	Ways int
+	// LineBytes is the cache line size.
+	LineBytes int
+	// LatencyCycles is the access (hit) latency.
+	LatencyCycles int
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c CacheConfig) Sets() int {
+	s := c.SizeBytes / (c.Ways * c.LineBytes)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Validate checks structural sanity.
+func (c CacheConfig) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("uarch: cache config must be positive: %+v", c)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("uarch: line size %d not a power of two", c.LineBytes)
+	}
+	if c.SizeBytes%(c.Ways*c.LineBytes) != 0 {
+		return fmt.Errorf("uarch: size %d not divisible by ways*line (%d*%d)",
+			c.SizeBytes, c.Ways, c.LineBytes)
+	}
+	if s := c.Sets(); s&(s-1) != 0 {
+		return fmt.Errorf("uarch: set count %d not a power of two", s)
+	}
+	return nil
+}
+
+// Config is the full machine configuration (Table I of the paper).
+type Config struct {
+	// IssueWidth is the maximum instructions issued per cycle (OOO).
+	IssueWidth int
+	// FetchBytes is the instruction-fetch width per cycle.
+	FetchBytes int
+	// ROB is the reorder-buffer capacity.
+	ROB int
+	// LoadQ and StoreQ are the load/store queue capacities.
+	LoadQ, StoreQ int
+
+	// BPHistoryEntries is the first-level (per-PC local history) table
+	// size of the 2-level branch predictor; each entry holds
+	// BPHistoryBits of history.
+	BPHistoryEntries int
+	// BPHistoryBits is the local history length.
+	BPHistoryBits int
+	// BPPatternEntries is the second-level pattern table size (2-bit
+	// counters).
+	BPPatternEntries int
+	// BTBEntries is the branch-target-buffer size used for indirect
+	// branches and calls.
+	BTBEntries int
+	// MispredictPenalty is the pipeline refill penalty in cycles.
+	MispredictPenalty int
+
+	// L1I, L1D, L2, L3 configure the cache hierarchy. L3 is the shared
+	// last-level cache (per-core slice, as in the paper).
+	L1I, L1D, L2, L3 CacheConfig
+
+	// MemLatencyCycles is the DRAM access latency.
+	MemLatencyCycles int
+	// MemBandwidthMBps is the DRAM bandwidth available to the core.
+	MemBandwidthMBps int
+	// FreqGHz is the core frequency, used to convert bandwidth to
+	// bytes per cycle.
+	FreqGHz float64
+}
+
+// DefaultConfig returns the paper's Table I configuration: a 4-way OOO
+// Skylake-like core at 3.4 GHz with 64 kB L1s, 256 kB L2, a 2 MB L3 slice,
+// and DDR4-2400 with 173-cycle latency.
+func DefaultConfig() Config {
+	return Config{
+		IssueWidth:        4,
+		FetchBytes:        16,
+		ROB:               224,
+		LoadQ:             72,
+		StoreQ:            56,
+		BPHistoryEntries:  2048,
+		BPHistoryBits:     18,
+		BPPatternEntries:  16384,
+		BTBEntries:        4096,
+		MispredictPenalty: 14,
+		L1I:               CacheConfig{SizeBytes: 64 << 10, Ways: 8, LineBytes: 64, LatencyCycles: 4},
+		L1D:               CacheConfig{SizeBytes: 64 << 10, Ways: 8, LineBytes: 64, LatencyCycles: 4},
+		L2:                CacheConfig{SizeBytes: 256 << 10, Ways: 4, LineBytes: 64, LatencyCycles: 12},
+		L3:                CacheConfig{SizeBytes: 2 << 20, Ways: 16, LineBytes: 64, LatencyCycles: 42},
+		MemLatencyCycles:  173,
+		MemBandwidthMBps:  12800, // DDR4-2400 x 64-bit / 1.5 (sharing), ~12.8 GB/s per core
+		FreqGHz:           3.4,
+	}
+}
+
+// Validate checks the whole configuration.
+func (c Config) Validate() error {
+	if c.IssueWidth <= 0 || c.ROB <= 0 {
+		return fmt.Errorf("uarch: issue width and ROB must be positive")
+	}
+	for _, cc := range []struct {
+		name string
+		cfg  CacheConfig
+	}{{"L1I", c.L1I}, {"L1D", c.L1D}, {"L2", c.L2}, {"L3", c.L3}} {
+		if err := cc.cfg.Validate(); err != nil {
+			return fmt.Errorf("%s: %w", cc.name, err)
+		}
+	}
+	if c.MemLatencyCycles <= 0 || c.MemBandwidthMBps <= 0 || c.FreqGHz <= 0 {
+		return fmt.Errorf("uarch: memory parameters must be positive")
+	}
+	return nil
+}
+
+// BytesPerCycle returns the DRAM bandwidth expressed in bytes per core
+// cycle.
+func (c Config) BytesPerCycle() float64 {
+	return float64(c.MemBandwidthMBps) * 1e6 / (c.FreqGHz * 1e9)
+}
+
+// ScaleCaches returns a copy of the configuration with every cache
+// capacity multiplied by f (associativity and line size unchanged; sizes
+// are kept at least one set). Used by the experiment harness to run
+// shape-preserving scaled-down sweeps.
+func (c Config) ScaleCaches(f float64) Config {
+	scale := func(cc CacheConfig) CacheConfig {
+		size := int(float64(cc.SizeBytes) * f)
+		min := cc.Ways * cc.LineBytes
+		if size < min {
+			size = min
+		}
+		// Round down to a power-of-two number of sets.
+		sets := size / min
+		p := 1
+		for p*2 <= sets {
+			p *= 2
+		}
+		cc.SizeBytes = p * min
+		return cc
+	}
+	c.L1I = scale(c.L1I)
+	c.L1D = scale(c.L1D)
+	c.L2 = scale(c.L2)
+	c.L3 = scale(c.L3)
+	return c
+}
+
+// WithL3Size returns a copy with the L3 capacity set to sizeBytes.
+func (c Config) WithL3Size(sizeBytes int) Config {
+	c.L3.SizeBytes = sizeBytes
+	return c
+}
+
+// WithLineSize returns a copy with every cache's line size set to
+// lineBytes, keeping capacities fixed.
+func (c Config) WithLineSize(lineBytes int) Config {
+	c.L1I.LineBytes = lineBytes
+	c.L1D.LineBytes = lineBytes
+	c.L2.LineBytes = lineBytes
+	c.L3.LineBytes = lineBytes
+	return c
+}
+
+// WithBranchTables returns a copy with the branch predictor tables scaled
+// by factor relative to the current configuration (Fig 7b's "relative to
+// baseline" axis).
+func (c Config) WithBranchTables(factor float64) Config {
+	scaleInt := func(n int) int {
+		v := int(float64(n) * factor)
+		if v < 4 {
+			v = 4
+		}
+		// keep power of two
+		p := 4
+		for p*2 <= v {
+			p *= 2
+		}
+		return p
+	}
+	c.BPHistoryEntries = scaleInt(c.BPHistoryEntries)
+	c.BPPatternEntries = scaleInt(c.BPPatternEntries)
+	c.BTBEntries = scaleInt(c.BTBEntries)
+	return c
+}

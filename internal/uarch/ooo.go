@@ -1,0 +1,264 @@
+package uarch
+
+import (
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// OOOCore is an approximate out-of-order core model. It does not simulate
+// register renaming; instead it uses the dependence annotations carried by
+// the event stream (Event.DepPrev) to bound instruction-level parallelism,
+// a reorder-buffer window to bound memory-level parallelism, load/store
+// queues, a decoupled front end with instruction-cache and branch-
+// mispredict stalls, and the shared cache hierarchy and DRAM bandwidth
+// model. The model is deterministic and event-ordered: each instruction is
+// assigned an issue time and a completion time, and total execution time is
+// the largest completion time observed.
+//
+// This is the model behind the microarchitecture sweeps (Figs 7-9): issue
+// width, branch predictor sizing, cache size and line size, and memory
+// latency and bandwidth all enter through the mechanisms above.
+type OOOCore struct {
+	cfg  Config
+	hier *Hierarchy
+	bp   *BranchPredictor
+
+	// Pipeline state. Times are in 1/256-cycle fixed point so that issue
+	// bandwidth (1/width cycles per instruction) stays exact.
+	nextIssue  uint64 // earliest next issue slot (fixed point)
+	fetchReady uint64 // front-end availability (fixed point)
+	prevDone   uint64 // completion time of the previous instruction
+	maxDone    uint64 // completion time of the latest-finishing instruction
+
+	rob      []uint64 // ring of completion times, ROB window
+	robHead  int
+	loadQ    []uint64
+	loadHead int
+	storeQ   []uint64
+	stHead   int
+
+	lastFetchLine uint64
+	lineShiftI    uint
+	issueStep     uint64 // fixed-point issue interval = 256/width
+
+	instrs    uint64
+	lastAcct  uint64 // last accounted issue time (fixed point)
+	catCycles [core.NumCategories]float64
+	phCycles  [core.NumPhases]float64
+	catInstrs [core.NumCategories]uint64
+	phInstrs  [core.NumPhases]uint64
+}
+
+var _ isa.Sink = (*OOOCore)(nil)
+
+const fix = 256 // fixed-point scale for sub-cycle issue accounting
+
+// NewOOOCore builds an out-of-order core over a fresh hierarchy from cfg.
+func NewOOOCore(cfg Config) *OOOCore {
+	shift := uint(0)
+	for 1<<shift < cfg.L1I.LineBytes {
+		shift++
+	}
+	step := uint64(fix / cfg.IssueWidth)
+	if step == 0 {
+		step = 1
+	}
+	return &OOOCore{
+		cfg:           cfg,
+		hier:          NewHierarchy(cfg),
+		bp:            NewBranchPredictor(cfg),
+		rob:           make([]uint64, cfg.ROB),
+		loadQ:         make([]uint64, cfg.LoadQ),
+		storeQ:        make([]uint64, cfg.StoreQ),
+		lastFetchLine: ^uint64(0),
+		lineShiftI:    shift,
+		issueStep:     step,
+	}
+}
+
+// latencies in whole cycles per kind (loads computed from the hierarchy).
+var oooLatency = [isa.NumKinds]uint64{
+	isa.ALU: 1, isa.Mul: 3, isa.Div: 18, isa.FPU: 4, isa.FDiv: 14,
+	isa.Load: 0, isa.Store: 1,
+	isa.CondBranch: 1, isa.Jump: 1, isa.IndJump: 1,
+	isa.Call: 1, isa.IndCall: 1, isa.Ret: 1, isa.Nop: 1,
+}
+
+// Exec implements isa.Sink.
+func (c *OOOCore) Exec(ev *isa.Event) {
+	issue := c.nextIssue
+	if c.fetchReady > issue {
+		issue = c.fetchReady
+	}
+	// ROB window: instruction i waits for instruction i-ROB to complete.
+	if w := c.rob[c.robHead] * fix; w > issue {
+		issue = w
+	}
+	if ev.DepPrev {
+		if w := c.prevDone * fix; w > issue {
+			issue = w
+		}
+	}
+
+	// Front end: instruction-cache miss on a new fetch line stalls fetch.
+	if line := ev.PC >> c.lineShiftI; line != c.lastFetchLine {
+		c.lastFetchLine = line
+		if iLat := c.hier.AccessInstr(ev.PC, issue/fix); iLat > 0 {
+			issue += iLat * fix
+			c.fetchReady = issue
+		}
+	}
+
+	issueCycle := issue / fix
+	var lat uint64
+	switch ev.Kind {
+	case isa.Load:
+		if w := c.loadQ[c.loadHead] * fix; w > issue {
+			issue = w
+			issueCycle = issue / fix
+		}
+		lat = c.hier.AccessData(ev.Addr, issueCycle)
+		c.loadQ[c.loadHead] = issueCycle + lat
+		c.loadHead++
+		if c.loadHead == len(c.loadQ) {
+			c.loadHead = 0
+		}
+	case isa.Store:
+		if w := c.storeQ[c.stHead] * fix; w > issue {
+			issue = w
+			issueCycle = issue / fix
+		}
+		// The store retires from the pipeline in one cycle via the
+		// store buffer, but occupies a store-queue entry until the
+		// line is owned.
+		drain := c.hier.AccessData(ev.Addr, issueCycle)
+		c.storeQ[c.stHead] = issueCycle + drain
+		c.stHead++
+		if c.stHead == len(c.storeQ) {
+			c.stHead = 0
+		}
+		lat = 1
+	default:
+		lat = oooLatency[ev.Kind]
+	}
+
+	done := issueCycle + lat
+
+	// Branch resolution.
+	switch ev.Kind {
+	case isa.CondBranch:
+		if !c.bp.PredictCond(ev.PC, ev.Taken) {
+			c.fetchReady = (done + uint64(c.cfg.MispredictPenalty)) * fix
+		}
+	case isa.IndJump, isa.IndCall:
+		if !c.bp.PredictIndirect(ev.PC, ev.Target) {
+			c.fetchReady = (done + uint64(c.cfg.MispredictPenalty)) * fix
+		}
+	}
+
+	c.rob[c.robHead] = done
+	c.robHead++
+	if c.robHead == len(c.rob) {
+		c.robHead = 0
+	}
+
+	c.nextIssue = issue + c.issueStep
+	c.prevDone = done
+	if done > c.maxDone {
+		c.maxDone = done
+	}
+	c.instrs++
+
+	// Accounting: the issue-time advance since the previous instruction
+	// is charged to this instruction's category and phase. Summed over
+	// the run this equals total issue time, which tracks total execution
+	// time closely on long streams.
+	acct := c.nextIssue
+	delta := float64(acct-c.lastAcct) / fix
+	c.lastAcct = acct
+	c.catCycles[ev.Cat] += delta
+	c.phCycles[ev.Phase] += delta
+	c.catInstrs[ev.Cat]++
+	c.phInstrs[ev.Phase]++
+}
+
+// Cycles returns the total simulated execution time in cycles.
+func (c *OOOCore) Cycles() uint64 {
+	if end := c.nextIssue / fix; end > c.maxDone {
+		return end
+	}
+	return c.maxDone
+}
+
+// Instrs returns the number of instructions executed.
+func (c *OOOCore) Instrs() uint64 { return c.instrs }
+
+// CPI returns cycles per instruction.
+func (c *OOOCore) CPI() float64 {
+	if c.instrs == 0 {
+		return 0
+	}
+	return float64(c.Cycles()) / float64(c.instrs)
+}
+
+// PhaseCPI returns the CPI of one execution phase: the issue-time share
+// charged to the phase divided by the phase's instruction count.
+func (c *OOOCore) PhaseCPI(p core.Phase) float64 {
+	if c.phInstrs[p] == 0 {
+		return 0
+	}
+	return c.phCycles[p] / float64(c.phInstrs[p])
+}
+
+// PhaseInstrs returns the instruction count of one phase.
+func (c *OOOCore) PhaseInstrs(p core.Phase) uint64 { return c.phInstrs[p] }
+
+// PhaseCycles returns the issue-time share charged to one phase.
+func (c *OOOCore) PhaseCycles(p core.Phase) float64 { return c.phCycles[p] }
+
+// Breakdown converts the accumulated accounting into a core.Breakdown.
+// Attribution on an out-of-order core is approximate (the paper uses the
+// simple core for attribution for exactly this reason); it is exposed for
+// phase accounting and coarse comparisons.
+func (c *OOOCore) Breakdown() *core.Breakdown {
+	bd := &core.Breakdown{}
+	for i := range c.catCycles {
+		bd.Cycles[i] = uint64(c.catCycles[i] + 0.5)
+		bd.Instrs[i] = c.catInstrs[i]
+	}
+	for i := range c.phCycles {
+		bd.PhaseCycles[i] = uint64(c.phCycles[i] + 0.5)
+		bd.PhaseInstrs[i] = c.phInstrs[i]
+	}
+	return bd
+}
+
+// Hierarchy exposes the cache hierarchy for statistics.
+func (c *OOOCore) Hierarchy() *Hierarchy { return c.hier }
+
+// Predictor exposes the branch predictor for statistics.
+func (c *OOOCore) Predictor() *BranchPredictor { return c.bp }
+
+// ResetStats clears cycle/instruction accounting and cache/predictor
+// statistics while keeping cache and predictor contents warm. Pipeline
+// time is rebased to zero.
+func (c *OOOCore) ResetStats() {
+	c.hier.ResetStats()
+	c.bp.ResetStats()
+	c.nextIssue, c.fetchReady, c.prevDone, c.maxDone = 0, 0, 0, 0
+	for i := range c.rob {
+		c.rob[i] = 0
+	}
+	for i := range c.loadQ {
+		c.loadQ[i] = 0
+	}
+	for i := range c.storeQ {
+		c.storeQ[i] = 0
+	}
+	c.robHead, c.loadHead, c.stHead = 0, 0, 0
+	c.instrs, c.lastAcct = 0, 0
+	c.catCycles = [core.NumCategories]float64{}
+	c.phCycles = [core.NumPhases]float64{}
+	c.catInstrs = [core.NumCategories]uint64{}
+	c.phInstrs = [core.NumPhases]uint64{}
+}

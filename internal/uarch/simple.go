@@ -1,0 +1,76 @@
+package uarch
+
+import (
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// SimpleCore is the paper's attribution model: an in-order core where every
+// instruction takes a single cycle unless it misses in the instruction or
+// data cache. Because each instruction's cycle contribution is unambiguous,
+// the core charges cycles directly to the instruction's overhead category,
+// producing the Fig. 4 breakdowns.
+type SimpleCore struct {
+	hier *Hierarchy
+	bd   core.Breakdown
+	now  uint64
+
+	lastFetchLine uint64
+	lineShiftI    uint
+}
+
+var _ isa.Sink = (*SimpleCore)(nil)
+
+// NewSimpleCore builds a simple core over a fresh hierarchy from cfg.
+func NewSimpleCore(cfg Config) *SimpleCore {
+	shift := uint(0)
+	for 1<<shift < cfg.L1I.LineBytes {
+		shift++
+	}
+	return &SimpleCore{
+		hier:          NewHierarchy(cfg),
+		lineShiftI:    shift,
+		lastFetchLine: ^uint64(0),
+	}
+}
+
+// Exec implements isa.Sink.
+func (c *SimpleCore) Exec(ev *isa.Event) {
+	cycles := uint64(1)
+
+	// Instruction fetch: one icache access per line transition.
+	if line := ev.PC >> c.lineShiftI; line != c.lastFetchLine {
+		c.lastFetchLine = line
+		cycles += c.hier.AccessInstr(ev.PC, c.now)
+	}
+
+	// Data access: a hit is folded into the single cycle; a miss stalls.
+	if ev.Kind.IsMem() {
+		lat := c.hier.AccessData(ev.Addr, c.now)
+		if l1 := uint64(c.hier.cfg.L1D.LatencyCycles); lat > l1 {
+			cycles += lat - l1
+		}
+	}
+
+	c.now += cycles
+	c.bd.Add(ev.Cat, ev.Phase, cycles, ev.CLib)
+	if ev.Kind == isa.IndCall && ev.Cat == core.CFunctionCall {
+		c.bd.CCallIndirectCycles += cycles
+	}
+}
+
+// Cycles returns the simulated cycle count so far.
+func (c *SimpleCore) Cycles() uint64 { return c.now }
+
+// Breakdown returns the accumulated attribution.
+func (c *SimpleCore) Breakdown() *core.Breakdown { return &c.bd }
+
+// Hierarchy exposes the cache hierarchy for statistics.
+func (c *SimpleCore) Hierarchy() *Hierarchy { return c.hier }
+
+// ResetStats clears the attribution and hierarchy statistics while keeping
+// cache contents warm, for the warmup/measurement protocol.
+func (c *SimpleCore) ResetStats() {
+	c.bd = core.Breakdown{}
+	c.hier.ResetStats()
+}

@@ -1,0 +1,265 @@
+package uarch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+func TestCacheBasicHitMiss(t *testing.T) {
+	c := NewCache("t", CacheConfig{SizeBytes: 1 << 10, Ways: 2, LineBytes: 64, LatencyCycles: 1})
+	if c.Access(0x100) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0x100) {
+		t.Error("warm access missed")
+	}
+	if !c.Access(0x13f & ^uint64(63)) && !c.Access(0x100+63) {
+		t.Error("same-line access missed")
+	}
+	if c.Stats.Accesses < 3 || c.Stats.Misses != 1 {
+		t.Errorf("stats %+v", c.Stats)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way cache with 64B lines and 2 sets: lines mapping to set 0 are
+	// multiples of 128.
+	c := NewCache("t", CacheConfig{SizeBytes: 256, Ways: 2, LineBytes: 64, LatencyCycles: 1})
+	c.Access(0)   // set 0, way A
+	c.Access(128) // set 0, way B
+	c.Access(0)   // touch A (B is LRU)
+	c.Access(256) // evicts B
+	if !c.Probe(0) {
+		t.Error("recently used line evicted")
+	}
+	if c.Probe(128) {
+		t.Error("LRU line not evicted")
+	}
+	if !c.Probe(256) {
+		t.Error("filled line absent")
+	}
+}
+
+// referenceCache is a naive per-set LRU model for cross-checking.
+type referenceCache struct {
+	ways, sets, lineShift int
+	lines                 [][]uint64 // per set, most recent first
+}
+
+func newReference(cfg CacheConfig) *referenceCache {
+	shift := 0
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	return &referenceCache{ways: cfg.Ways, sets: cfg.Sets(), lineShift: shift,
+		lines: make([][]uint64, cfg.Sets())}
+}
+
+func (r *referenceCache) access(addr uint64) bool {
+	line := addr >> r.lineShift
+	set := int(line % uint64(r.sets))
+	ls := r.lines[set]
+	for i, l := range ls {
+		if l == line {
+			copy(ls[1:i+1], ls[:i])
+			ls[0] = line
+			return true
+		}
+	}
+	ls = append([]uint64{line}, ls...)
+	if len(ls) > r.ways {
+		ls = ls[:r.ways]
+	}
+	r.lines[set] = ls
+	return false
+}
+
+// Property: the set-associative cache matches a straightforward LRU
+// reference model on arbitrary access streams.
+func TestCacheMatchesReferenceModel(t *testing.T) {
+	cfg := CacheConfig{SizeBytes: 2 << 10, Ways: 4, LineBytes: 64, LatencyCycles: 1}
+	f := func(addrs []uint16) bool {
+		c := NewCache("t", cfg)
+		r := newReference(cfg)
+		for _, a := range addrs {
+			if c.Access(uint64(a)) != r.access(uint64(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDRAMBandwidthQueuing(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MemBandwidthMBps = 340 // ~0.1 B/cycle at 3.4GHz -> 640 cycles per 64B line
+	d := NewDRAM(cfg)
+	l1 := d.Access(0, 64)
+	l2 := d.Access(0, 64) // same instant: queues behind the first transfer
+	if l2 <= l1 {
+		t.Errorf("no queuing: %d then %d", l1, l2)
+	}
+	if d.QueueCycles == 0 {
+		t.Error("queue cycles not recorded")
+	}
+
+	fast := NewDRAM(DefaultConfig())
+	f1 := fast.Access(0, 64)
+	if f1 >= l1 {
+		t.Errorf("high bandwidth should be faster: %d vs %d", f1, l1)
+	}
+}
+
+func TestBranchPredictorLearnsLoop(t *testing.T) {
+	bp := NewBranchPredictor(DefaultConfig())
+	// taken, taken, taken, not-taken pattern (loop of 4).
+	misses := 0
+	for i := 0; i < 4000; i++ {
+		taken := i%4 != 3
+		if !bp.PredictCond(0x400100, taken) {
+			misses++
+		}
+	}
+	acc := 1 - float64(misses)/4000
+	if acc < 0.95 {
+		t.Errorf("local-history predictor failed to learn period-4 loop: acc=%.3f", acc)
+	}
+}
+
+func TestBTBIndirect(t *testing.T) {
+	bp := NewBranchPredictor(DefaultConfig())
+	if bp.PredictIndirect(0x100, 0x2000) {
+		t.Error("cold BTB hit")
+	}
+	if !bp.PredictIndirect(0x100, 0x2000) {
+		t.Error("warm BTB miss")
+	}
+	if bp.PredictIndirect(0x100, 0x3000) {
+		t.Error("target change predicted")
+	}
+}
+
+func TestSimpleCoreAttribution(t *testing.T) {
+	c := NewSimpleCore(DefaultConfig())
+	ev := isa.Event{PC: 0x400000, Kind: isa.ALU, Cat: core.Dispatch, Phase: core.PhaseInterpreter}
+	c.Exec(&ev)
+	ev2 := isa.Event{PC: 0x400004, Kind: isa.Load, Addr: 0x10000, Cat: core.Stack, Phase: core.PhaseInterpreter}
+	c.Exec(&ev2)
+	bd := c.Breakdown()
+	if bd.Instrs[core.Dispatch] != 1 || bd.Instrs[core.Stack] != 1 {
+		t.Errorf("attribution wrong: %+v", bd.Instrs)
+	}
+	if bd.TotalCycles() != c.Cycles() {
+		t.Errorf("cycles mismatch: %d vs %d", bd.TotalCycles(), c.Cycles())
+	}
+	// The cold load must cost more than one cycle.
+	if bd.Cycles[core.Stack] <= 1 {
+		t.Errorf("cold miss cost %d cycles", bd.Cycles[core.Stack])
+	}
+}
+
+// exerciseOOO runs a synthetic stream and returns CPI.
+func exerciseOOO(cfg Config, dep bool, missEvery int) float64 {
+	c := NewOOOCore(cfg)
+	for i := 0; i < 50000; i++ {
+		ev := isa.Event{PC: 0x400000 + uint64(i%64)*4, Kind: isa.ALU,
+			Cat: core.Execute, Phase: core.PhaseInterpreter, DepPrev: dep}
+		if missEvery > 0 && i%missEvery == 0 {
+			ev.Kind = isa.Load
+			ev.Addr = uint64(i) * 4096 // always cold
+		}
+		c.Exec(&ev)
+	}
+	return c.CPI()
+}
+
+func TestOOOIssueWidthAndDependences(t *testing.T) {
+	cfg := DefaultConfig()
+	wide := exerciseOOO(cfg, false, 0)
+	if wide > 0.3 {
+		t.Errorf("independent ALU stream should exceed issue width throughput: CPI=%.3f", wide)
+	}
+	serial := exerciseOOO(cfg, true, 0)
+	if serial < 0.95 {
+		t.Errorf("fully dependent stream must be ~1 CPI, got %.3f", serial)
+	}
+	narrow := cfg
+	narrow.IssueWidth = 1
+	one := exerciseOOO(narrow, false, 0)
+	if one < 0.95 {
+		t.Errorf("1-wide machine must be >=1 CPI, got %.3f", one)
+	}
+}
+
+func TestOOOMemoryLatencySensitivity(t *testing.T) {
+	slow := DefaultConfig()
+	slow.MemLatencyCycles = 400
+	fast := DefaultConfig()
+	fast.MemLatencyCycles = 50
+	cpiSlow := exerciseOOO(slow, true, 8)
+	cpiFast := exerciseOOO(fast, true, 8)
+	if cpiSlow <= cpiFast {
+		t.Errorf("higher memory latency must raise CPI: %.3f vs %.3f", cpiSlow, cpiFast)
+	}
+}
+
+func TestOOOMispredictPenalty(t *testing.T) {
+	run := func(patterned bool) float64 {
+		c := NewOOOCore(DefaultConfig())
+		for i := 0; i < 40000; i++ {
+			taken := true
+			if !patterned {
+				// pseudo-random direction defeats the predictor
+				taken = (i*2654435761)>>16&1 == 0
+			}
+			ev := isa.Event{PC: 0x400100, Kind: isa.CondBranch, Taken: taken,
+				Cat: core.Execute, Phase: core.PhaseInterpreter}
+			c.Exec(&ev)
+		}
+		return c.CPI()
+	}
+	if rand, pat := run(false), run(true); rand <= pat {
+		t.Errorf("random branches must cost more: %.3f vs %.3f", rand, pat)
+	}
+}
+
+func TestConfigScaling(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := cfg.ScaleCaches(0.125)
+	if s.L3.SizeBytes != cfg.L3.SizeBytes/8 {
+		t.Errorf("L3 scale: %d", s.L3.SizeBytes)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("scaled config invalid: %v", err)
+	}
+	b := cfg.WithBranchTables(0.5)
+	if b.BPPatternEntries != cfg.BPPatternEntries/2 {
+		t.Errorf("bp scale: %d", b.BPPatternEntries)
+	}
+	l := cfg.WithLineSize(256)
+	if l.L1D.LineBytes != 256 || l.L1D.SizeBytes != cfg.L1D.SizeBytes {
+		t.Errorf("line size change altered capacity")
+	}
+}
+
+func TestHierarchyWarmupPersistsAcrossResetStats(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	h.AccessData(0x1234, 0)
+	h.ResetStats()
+	if h.L1D.Stats.Accesses != 0 {
+		t.Error("stats not reset")
+	}
+	lat := h.AccessData(0x1234, 0)
+	if lat != uint64(DefaultConfig().L1D.LatencyCycles) {
+		t.Errorf("warm line lost across ResetStats: latency %d", lat)
+	}
+}
