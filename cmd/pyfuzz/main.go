@@ -1,0 +1,114 @@
+// Command pyfuzz soak-runs the differential execution oracle: it
+// generates seeded MiniPy programs and executes each under the
+// interpreter-only baseline and every JIT/GC leg, failing on any
+// divergence in output, exception, or final globals, or on any runtime-
+// statistics invariant violation. Divergences are minimized and written
+// to the corpus directory as standalone reproducers.
+//
+// Usage:
+//
+//	pyfuzz -seed 1 -n 1000
+//	pyfuzz -n 200 -corpus /tmp/corpus -nurseries 64,256,4096
+//	pyfuzz -replay internal/difftest/corpus
+//
+// Exit status is nonzero if any divergence or invariant failure was
+// observed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/difftest"
+)
+
+func run() int {
+	var (
+		seed      = flag.Uint64("seed", 1, "base seed; program i uses seed+i")
+		n         = flag.Int("n", 200, "number of generated programs to check")
+		corpus    = flag.String("corpus", "", "directory for minimized reproducers (empty: don't write)")
+		replay    = flag.String("replay", "", "replay an existing corpus directory instead of generating")
+		budget    = flag.Uint64("budget", 0, "per-leg bytecode budget (0: default)")
+		nurseries = flag.String("nurseries", "", "comma-separated nursery sizes in KB (empty: 64,256,4096)")
+		quiet     = flag.Bool("q", false, "suppress per-program progress")
+		showGen   = flag.Uint64("print-seed", 0, "print the program for this seed and exit")
+	)
+	flag.Parse()
+
+	if *showGen != 0 {
+		fmt.Print(difftest.Generate(*showGen))
+		return 0
+	}
+
+	var sizes []uint64
+	if *nurseries != "" {
+		for _, f := range strings.Split(*nurseries, ",") {
+			kb, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+			if err != nil || kb == 0 {
+				fmt.Fprintf(os.Stderr, "pyfuzz: bad nursery size %q\n", f)
+				return 2
+			}
+			sizes = append(sizes, kb<<10)
+		}
+	}
+
+	if *replay != "" {
+		// LoadCorpus treats a missing directory as an empty corpus,
+		// which is right for optional corpora but would make a typo'd
+		// -replay path report success — require it to exist here.
+		if st, err := os.Stat(*replay); err != nil || !st.IsDir() {
+			fmt.Fprintf(os.Stderr, "pyfuzz: replay directory %s not found\n", *replay)
+			return 2
+		}
+		legs := difftest.Legs(sizes, nil)
+		divs, invs, err := difftest.RunCorpus(*replay, legs, *budget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pyfuzz: %v\n", err)
+			return 2
+		}
+		for i := range divs {
+			fmt.Printf("divergence: %s\n", divs[i].String())
+		}
+		for _, iv := range invs {
+			fmt.Printf("invariant: %s\n", iv)
+		}
+		if len(divs)+len(invs) > 0 {
+			return 1
+		}
+		fmt.Printf("corpus %s: conformant across %d legs\n", *replay, len(legs))
+		return 0
+	}
+
+	opts := difftest.Options{
+		Seed:      *seed,
+		N:         *n,
+		Nurseries: sizes,
+		Budget:    *budget,
+		CorpusDir: *corpus,
+	}
+	if !*quiet {
+		opts.Progress = func(done int) {
+			if done%25 == 0 || done == *n {
+				fmt.Fprintf(os.Stderr, "pyfuzz: %d/%d programs\n", done, *n)
+			}
+		}
+	}
+	rep, err := difftest.RunWith(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pyfuzz: %v\n", err)
+		return 2
+	}
+	fmt.Println(rep.Summary())
+	for _, p := range rep.ReproPaths {
+		fmt.Printf("reproducer written: %s\n", p)
+	}
+	if !rep.OK() {
+		return 1
+	}
+	return 0
+}
+
+func main() { os.Exit(run()) }

@@ -5,39 +5,52 @@
 // Usage:
 //
 //	pyrun [-mode cpython|pypy-nojit|pypy-jit|v8like] [-stats] [-core simple|ooo|none]
-//	      [-nursery bytes] (-bench name | file.py)
+//	      [-nursery bytes] [-quick] (-bench name | file.py)
 //	pyrun -list
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/pybench"
 	"repro/internal/runtime"
 )
 
-func main() {
-	mode := flag.String("mode", "cpython", "runtime mode: cpython, pypy-nojit, pypy-jit, v8like")
-	bench := flag.String("bench", "", "run a named suite benchmark instead of a file")
-	list := flag.Bool("list", false, "list suite benchmarks and exit")
-	stats := flag.Bool("stats", false, "print run statistics")
-	coreKind := flag.String("core", "none", "core model: simple, ooo, none")
-	nursery := flag.Uint64("nursery", runtime.DefaultNursery, "nursery size in bytes (generational modes)")
-	maxBytecodes := flag.Uint64("max-bytecodes", 0, "abort after this many bytecodes (0 = unlimited)")
-	flag.Parse()
+// run is the whole command, parameterized over args and output streams so
+// tests can drive it in-process. It returns the exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pyrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	mode := fs.String("mode", "cpython", "runtime mode: cpython, pypy-nojit, pypy-jit, v8like")
+	bench := fs.String("bench", "", "run a named suite benchmark instead of a file")
+	list := fs.Bool("list", false, "list suite benchmarks and exit")
+	stats := fs.Bool("stats", false, "print run statistics")
+	coreKind := fs.String("core", "none", "core model: simple, ooo, none")
+	nursery := fs.Uint64("nursery", runtime.DefaultNursery, "nursery size in bytes (generational modes)")
+	maxBytecodes := fs.Uint64("max-bytecodes", 0, "abort after this many bytecodes (0 = unlimited)")
+	quick := fs.Bool("quick", false, "skip the warmup protocol (one measured run)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "pyrun:", err)
+		return 1
+	}
 
 	if *list {
 		for _, b := range pybench.All() {
-			fmt.Println(b.Name)
+			fmt.Fprintln(stdout, b.Name)
 		}
-		return
+		return 0
 	}
 
 	m, err := runtime.ParseMode(*mode)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	var name, src string
@@ -45,23 +58,23 @@ func main() {
 	case *bench != "":
 		b, err := pybench.ByName(*bench)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		name, src = b.Name, b.Source
-	case flag.NArg() == 1:
-		data, err := os.ReadFile(flag.Arg(0))
+	case fs.NArg() == 1:
+		data, err := os.ReadFile(fs.Arg(0))
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		name, src = flag.Arg(0), string(data)
+		name, src = fs.Arg(0), string(data)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: pyrun [flags] (-bench name | file.py); see -h")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: pyrun [flags] (-bench name | file.py); see -h")
+		return 2
 	}
 
 	cfg := runtime.DefaultConfig(m)
 	cfg.NurseryBytes = *nursery
-	cfg.Stdout = os.Stdout
+	cfg.Stdout = stdout
 	cfg.MaxBytecodes = *maxBytecodes
 	switch *coreKind {
 	case "simple":
@@ -73,36 +86,38 @@ func main() {
 		cfg.Warmups = 0
 		cfg.Measures = 1
 	default:
-		fatal(fmt.Errorf("unknown core %q", *coreKind))
+		return fail(fmt.Errorf("unknown core %q", *coreKind))
+	}
+	if *quick {
+		cfg.Warmups = 0
+		cfg.Measures = 1
 	}
 
 	r, err := runtime.NewRunner(cfg)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	res, err := r.Run(name, src)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	if *stats {
-		fmt.Fprintf(os.Stderr, "\n== %s on %s ==\n", name, m)
+		fmt.Fprintf(stderr, "\n== %s on %s ==\n", name, m)
 		if cfg.Core != runtime.CountOnly {
-			fmt.Fprintf(os.Stderr, "cycles=%d instrs=%d CPI=%.3f LLC-miss=%.2f%% L1D-miss=%.2f%%\n",
+			fmt.Fprintf(stderr, "cycles=%d instrs=%d CPI=%.3f LLC-miss=%.2f%% L1D-miss=%.2f%%\n",
 				res.Cycles, res.Instrs, res.CPI, res.LLCMissRate*100, res.L1DMissRate*100)
 		}
 		if cfg.Core == runtime.SimpleCore {
-			fmt.Fprintln(os.Stderr, res.Breakdown.String())
+			fmt.Fprintln(stderr, res.Breakdown.String())
 		}
-		fmt.Fprintf(os.Stderr, "gc: allocs=%d bytes=%d minor=%d major=%d copied=%d\n",
+		fmt.Fprintf(stderr, "gc: allocs=%d bytes=%d minor=%d major=%d copied=%d\n",
 			res.GC.Allocations, res.GC.BytesAlloc, res.GC.MinorGCs, res.GC.MajorGCs, res.GC.BytesCopied)
 		if res.JIT != nil {
-			fmt.Fprintf(os.Stderr, "jit: %+v\n", *res.JIT)
+			fmt.Fprintf(stderr, "jit: %+v\n", *res.JIT)
 		}
 	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pyrun:", err)
-	os.Exit(1)
-}
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runPyrun(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	code := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), code
+}
+
+func TestListBenchmarks(t *testing.T) {
+	out, _, code := runPyrun(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "float") {
+		t.Errorf("bench list missing 'float':\n%s", out)
+	}
+}
+
+func TestQuickBenchAllModes(t *testing.T) {
+	for _, mode := range []string{"cpython", "pypy-nojit", "pypy-jit", "v8like"} {
+		out, errOut, code := runPyrun(t, "-quick", "-mode", mode, "-bench", "richards")
+		if code != 0 {
+			t.Fatalf("mode %s: exit %d, stderr:\n%s", mode, code, errOut)
+		}
+		if out == "" {
+			t.Errorf("mode %s: no program output", mode)
+		}
+	}
+}
+
+func TestQuickFileWithStats(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prog.py")
+	src := "x = 0\nfor i in xrange(100):\n    x += i\nprint(x)\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, errOut, code := runPyrun(t, "-quick", "-core", "simple", "-stats", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "4950") {
+		t.Errorf("program output wrong:\n%s", out)
+	}
+	if !strings.Contains(errOut, "cycles=") || !strings.Contains(errOut, "gc: allocs=") {
+		t.Errorf("stats missing from stderr:\n%s", errOut)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if _, _, code := runPyrun(t); code != 2 {
+		t.Errorf("no args: want exit 2, got %d", code)
+	}
+	if _, _, code := runPyrun(t, "-mode", "nope", "-bench", "float"); code != 1 {
+		t.Errorf("bad mode: want exit 1, got %d", code)
+	}
+	if _, _, code := runPyrun(t, "-bench", "no-such-bench"); code != 1 {
+		t.Errorf("bad bench: want exit 1, got %d", code)
+	}
+}

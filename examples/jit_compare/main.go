@@ -4,23 +4,28 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/pybench"
 	"repro/internal/runtime"
 	"repro/internal/uarch"
 )
 
-func main() {
+// run executes the comparison; quick skips the warmup protocol so smoke
+// tests finish fast while still exercising all four modes.
+func run(quick bool, out io.Writer) error {
 	bench, err := pybench.ByName("float")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	machine := uarch.DefaultConfig().ScaleCaches(0.125)
 
-	fmt.Printf("benchmark: %s\n\n", bench.Name)
-	fmt.Printf("%-12s %14s %12s %8s %8s %12s\n",
+	fmt.Fprintf(out, "benchmark: %s\n\n", bench.Name)
+	fmt.Fprintf(out, "%-12s %14s %12s %8s %8s %12s\n",
 		"runtime", "instructions", "cycles", "CPI", "GC%", "jit-iters")
 	for _, mode := range []runtime.Mode{
 		runtime.CPython, runtime.PyPyNoJIT, runtime.PyPyJIT, runtime.V8Like,
@@ -29,22 +34,35 @@ func main() {
 		cfg.Core = runtime.OOOCore
 		cfg.Uarch = machine
 		cfg.NurseryBytes = 512 << 10
+		if quick {
+			cfg.Warmups = 0
+			cfg.Measures = 1
+		}
 		runner, err := runtime.NewRunner(cfg)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		res, err := runner.RunCode(bench.Compiled())
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		jitIters := uint64(0)
 		if res.JIT != nil {
 			jitIters = res.JIT.CompiledIters
 		}
-		fmt.Printf("%-12s %14d %12d %8.3f %7.1f%% %12d\n",
+		fmt.Fprintf(out, "%-12s %14d %12d %8.3f %7.1f%% %12d\n",
 			mode, res.Instrs, res.Cycles, res.CPI, res.GCShare()*100, jitIters)
 	}
-	fmt.Println("\nThe JIT executes far fewer instructions but at a higher CPI")
-	fmt.Println("(more memory-bound), and garbage collection becomes a much larger")
-	fmt.Println("share of the remaining time - the paper's Figs 7 and 13.")
+	fmt.Fprintln(out, "\nThe JIT executes far fewer instructions but at a higher CPI")
+	fmt.Fprintln(out, "(more memory-bound), and garbage collection becomes a much larger")
+	fmt.Fprintln(out, "share of the remaining time - the paper's Figs 7 and 13.")
+	return nil
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "skip warmups for a fast run")
+	flag.Parse()
+	if err := run(*quick, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

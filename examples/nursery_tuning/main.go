@@ -5,8 +5,12 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/runtime"
@@ -28,36 +32,58 @@ def churn(n):
 print(churn(30000))
 `
 
-func main() {
+// run sweeps nursery sizes; quick shrinks the workload and the sweep so
+// smoke tests still cross at least one minor-collection boundary.
+func run(quick bool, out io.Writer) error {
+	src := program
+	sweep := []uint64{16 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10, 2 << 20, 8 << 20}
+	if quick {
+		src = strings.Replace(src, "churn(30000)", "churn(3000)", 1)
+		sweep = []uint64{16 << 10, 256 << 10}
+	}
+
 	// A 256 kB last-level cache makes the trade-off visible quickly.
 	machine := uarch.DefaultConfig().ScaleCaches(0.125)
-	fmt.Printf("LLC: %d kB\n\n", machine.L3.SizeBytes>>10)
-	fmt.Printf("%-10s %12s %10s %8s %8s %10s\n",
+	fmt.Fprintf(out, "LLC: %d kB\n\n", machine.L3.SizeBytes>>10)
+	fmt.Fprintf(out, "%-10s %12s %10s %8s %8s %10s\n",
 		"nursery", "cycles", "LLC-miss%", "GC%", "minorGCs", "vs-first")
 
 	var first float64
-	for _, nursery := range []uint64{16 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10, 2 << 20, 8 << 20} {
+	for _, nursery := range sweep {
 		cfg := runtime.DefaultConfig(runtime.PyPyJIT)
 		cfg.Core = runtime.SimpleCore
 		cfg.Uarch = machine
 		cfg.NurseryBytes = nursery
+		if quick {
+			cfg.Warmups = 0
+			cfg.Measures = 1
+		}
 		runner, err := runtime.NewRunner(cfg)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		res, err := runner.Run("nursery-tuning", program)
+		res, err := runner.Run("nursery-tuning", src)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if first == 0 {
 			first = float64(res.Cycles)
 		}
-		fmt.Printf("%-10d %12d %9.1f%% %7.1f%% %8d %9.3fx\n",
+		fmt.Fprintf(out, "%-10d %12d %9.1f%% %7.1f%% %8d %9.3fx\n",
 			nursery, res.Cycles, res.LLCMissRate*100,
 			res.Breakdown.PhasePercent(core.PhaseGC),
 			res.GC.MinorGCs, float64(res.Cycles)/first)
 	}
-	fmt.Println("\nSmall nurseries stay cache-resident but collect constantly;")
-	fmt.Println("large ones amortize GC but stream through the cache. The minimum")
-	fmt.Println("moves with the application and the cache size - size per app.")
+	fmt.Fprintln(out, "\nSmall nurseries stay cache-resident but collect constantly;")
+	fmt.Fprintln(out, "large ones amortize GC but stream through the cache. The minimum")
+	fmt.Fprintln(out, "moves with the application and the cache size - size per app.")
+	return nil
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "run a reduced workload and sweep")
+	flag.Parse()
+	if err := run(*quick, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

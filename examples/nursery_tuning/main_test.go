@@ -1,0 +1,23 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run(true, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"LLC:", "nursery", "vs-first", "cache-resident"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	// The quick sweep still runs two nursery sizes.
+	if !strings.Contains(got, "16384") || !strings.Contains(got, "262144") {
+		t.Errorf("expected both sweep points in output:\n%s", got)
+	}
+}

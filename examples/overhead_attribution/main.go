@@ -5,8 +5,12 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/runtime"
@@ -33,35 +37,53 @@ for i in xrange(4000):
 print(total)
 `
 
-func breakdown(name, src string) *runtime.Result {
+func breakdown(name, src string, quick bool) (*runtime.Result, error) {
 	cfg := runtime.DefaultConfig(runtime.CPython)
 	cfg.Core = runtime.SimpleCore
+	if quick {
+		src = strings.Replace(src, "xrange(4000)", "xrange(400)", 1)
+		cfg.Warmups = 0
+		cfg.Measures = 1
+	}
 	runner, err := runtime.NewRunner(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
-	res, err := runner.Run(name, src)
-	if err != nil {
-		log.Fatal(err)
-	}
-	return res
+	return runner.Run(name, src)
 }
 
-func main() {
-	d := breakdown("dict-version", dictVersion)
-	c := breakdown("class-version", classVersion)
+// run compares the two record styles; quick shrinks the loops and skips
+// the warmup protocol.
+func run(quick bool, out io.Writer) error {
+	d, err := breakdown("dict-version", dictVersion, quick)
+	if err != nil {
+		return err
+	}
+	c, err := breakdown("class-version", classVersion, quick)
+	if err != nil {
+		return err
+	}
 
-	fmt.Printf("%-24s %12s %12s\n", "category", "dict-style", "class-style")
+	fmt.Fprintf(out, "%-24s %12s %12s\n", "category", "dict-style", "class-style")
 	for _, cat := range []core.Category{
 		core.NameResolution, core.FunctionSetup, core.ObjectAllocation,
 		core.CFunctionCall, core.Dispatch, core.GarbageCollection,
 		core.Boxing, core.Execute,
 	} {
-		fmt.Printf("%-24s %11.1f%% %11.1f%%\n",
+		fmt.Fprintf(out, "%-24s %11.1f%% %11.1f%%\n",
 			cat, d.Breakdown.Percent(cat), c.Breakdown.Percent(cat))
 	}
-	fmt.Printf("\n%-24s %12d %12d\n", "total cycles", d.Cycles, c.Cycles)
-	fmt.Println("\nClass instances pay extra name resolution (attribute lookups walk")
-	fmt.Println("instance and class dicts) and function setup (__init__ frames);")
-	fmt.Println("dict records pay more in the C-function-call protocol of dict ops.")
+	fmt.Fprintf(out, "\n%-24s %12d %12d\n", "total cycles", d.Cycles, c.Cycles)
+	fmt.Fprintln(out, "\nClass instances pay extra name resolution (attribute lookups walk")
+	fmt.Fprintln(out, "instance and class dicts) and function setup (__init__ frames);")
+	fmt.Fprintln(out, "dict records pay more in the C-function-call protocol of dict ops.")
+	return nil
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced workloads with no warmups")
+	flag.Parse()
+	if err := run(*quick, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -4,9 +4,12 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"strings"
 
 	"repro/internal/runtime"
 )
@@ -24,24 +27,41 @@ for i in xrange(200):
 print("result:", total)
 `
 
-func main() {
+// run executes the example; quick shrinks the workload and skips the
+// warmup protocol so smoke tests finish in milliseconds.
+func run(quick bool, out io.Writer) error {
+	src := program
 	cfg := runtime.DefaultConfig(runtime.CPython)
 	cfg.Core = runtime.SimpleCore // per-category cycle attribution
-	cfg.Stdout = os.Stdout
+	cfg.Stdout = out
+	if quick {
+		src = strings.Replace(src, "xrange(200)", "xrange(20)", 1)
+		cfg.Warmups = 0
+		cfg.Measures = 1
+	}
 	runner, err := runtime.NewRunner(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	res, err := runner.Run("quickstart", program)
+	res, err := runner.Run("quickstart", src)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Println("\n-- overhead breakdown (simple core, Table II categories) --")
-	fmt.Print(res.Breakdown.String())
-	fmt.Printf("\nThe interpreter spent %.1f%% of cycles on overhead; an equivalent\n",
+	fmt.Fprintln(out, "\n-- overhead breakdown (simple core, Table II categories) --")
+	fmt.Fprint(out, res.Breakdown.String())
+	fmt.Fprintf(out, "\nThe interpreter spent %.1f%% of cycles on overhead; an equivalent\n",
 		res.Breakdown.OverheadPercent())
-	fmt.Printf("C program needs only the 'execute' slice, so the implied slowdown is %.1fx.\n",
+	fmt.Fprintf(out, "C program needs only the 'execute' slice, so the implied slowdown is %.1fx.\n",
 		res.Breakdown.SlowdownVsC())
+	return nil
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "run a reduced workload with no warmups")
+	flag.Parse()
+	if err := run(*quick, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,0 +1,91 @@
+package difftest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ReproSource formats a divergence as a standalone corpus file: the
+// minimized program prefixed with a comment header recording how it was
+// found. The file is valid MiniPy, so RunCorpus can replay it directly.
+func ReproSource(d *Divergence) string {
+	prog := d.Minimized
+	if prog == "" {
+		prog = d.Program
+	}
+	var sb strings.Builder
+	sb.WriteString("# difftest reproducer\n")
+	fmt.Fprintf(&sb, "# seed: %d\n", d.Seed)
+	fmt.Fprintf(&sb, "# leg:  %s\n", d.Leg)
+	for _, line := range strings.Split(d.Desc, "\n") {
+		fmt.Fprintf(&sb, "# diff: %s\n", line)
+	}
+	sb.WriteString(strings.TrimRight(prog, "\n"))
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// WriteRepro persists a divergence reproducer into dir, named by seed and
+// leg, and returns its path.
+func WriteRepro(dir string, d *Divergence) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	leg := strings.NewReplacer("/", "_", " ", "_").Replace(d.Leg)
+	path := filepath.Join(dir, fmt.Sprintf("seed%d_%s.py", d.Seed, leg))
+	if err := os.WriteFile(path, []byte(ReproSource(d)), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadCorpus reads every .py file in dir, sorted by name. A missing dir is
+// an empty corpus, not an error.
+func LoadCorpus(dir string) (map[string]string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	corpus := make(map[string]string)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".py") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		corpus[e.Name()] = string(b)
+	}
+	return corpus, nil
+}
+
+// RunCorpus replays every corpus program across legs, returning any
+// divergences and invariant failures. Fixed regressions stay green; a
+// reintroduced bug resurfaces immediately.
+func RunCorpus(dir string, legs []Leg, budget uint64) (divs []Divergence, invs []string, err error) {
+	corpus, err := LoadCorpus(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	names := make([]string, 0, len(corpus))
+	for n := range corpus {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		d, iv, cerr := CheckProgram(legs, n, corpus[n], budget)
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		divs = append(divs, d...)
+		invs = append(invs, iv...)
+	}
+	return divs, invs, nil
+}

@@ -1,0 +1,17 @@
+# C-helper traffic (json, re, % formatting) after a hot loop: the JIT's
+# residual-call path and the interpreter must agree on helper results.
+d = {"k0": 3, "k1": -14, "k2": 0}
+
+def hot(n):
+    acc = 0
+    for i in xrange(n):
+        acc = acc + d.get("k1", i) + (i & 15)
+    return acc
+
+print(hot(1250))
+js = json.dumps(d)
+print(js)
+print(json.loads(js))
+print(re.findall("[0-9]+", js))
+print(re.sub("k", "Q", js))
+print("%-8s|%+06.2f|%x" % ("end", 3.5, 255))

@@ -1,0 +1,16 @@
+# Allocation churn across nursery sizes: every iteration builds short-
+# lived containers and strings, so small nurseries collect mid-loop while
+# large ones never do — final state must be identical either way.
+def hot(n):
+    acc = 0
+    parts = []
+    for i in xrange(n):
+        row = [i % 7, i % 5, i % 3]
+        acc = acc + row[i % 3] + len(str(i))
+        if i % 97 == 0:
+            parts.append("%04d" % (i,))
+    return acc, parts
+
+r = hot(1300)
+print(r[0])
+print(len(r[1]), r[1][:4])

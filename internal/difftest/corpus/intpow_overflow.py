@@ -1,0 +1,12 @@
+# Integer power overflow and negative exponents must leave the compiled
+# fast path through a deopt and reproduce the interpreter's behaviour
+# (float result for negative exponents; the loop below stays exact).
+def hot(n):
+    acc = 0
+    for i in xrange(n):
+        acc = acc + (i % 9) ** (i % 4)
+    return acc
+
+print(hot(1400))
+print(2 ** 62)
+print(2 ** -2)

@@ -1,0 +1,18 @@
+# Regression: int ** int inside a compiled trace must stay an exact int.
+# The recorder used to route BINARY_POWER to the float path, so a hot
+# loop's integer accumulator silently became a float (printed "1295.0"
+# where the interpreter printed "1295"). Found by difftest seed 14.
+gi = 1
+
+def hot(n):
+    acc = 0
+    facc = 0.0
+    w = 0
+    while w < n:
+        acc = acc + (((gi % 1259) ** (acc % 4)) % 5)
+        if w % 431 == 1:
+            print(acc, facc)
+        w = w + 1
+    return acc
+
+print(hot(1334))

@@ -1,0 +1,19 @@
+# Negative-operand modulo in a compiled trace: the interpreter computes
+# Python's floored remainder, and the trace's int_mod op must apply the
+# same negative-operand fixup (the BrokenGuards fault injection removes
+# exactly this fixup, so this program is its canonical detector).
+def hot(n):
+    acc = 0
+    for i in xrange(n):
+        acc = acc + (3 - i) % 7
+    return acc
+
+print(hot(1500))
+
+def hot2(n):
+    acc = 0
+    for i in xrange(n):
+        acc = acc + (i - 600) % 11 + (-i) % 13
+    return acc
+
+print(hot2(1200))

@@ -1,0 +1,142 @@
+// Package difftest is a differential execution oracle for the MiniPy
+// runtimes: it generates seeded, deterministic programs that stress the
+// paper's overhead-prone surfaces (boxed arithmetic, dict-based name
+// resolution, attribute lookup, string formatting, subscripting, closures,
+// exceptions, and the C-helper library), executes each program under the
+// interpreter-only baseline and every JIT/GC configuration, and fails on
+// any divergence in output, raised exception, or final global bindings.
+//
+// Divergent programs are minimized by iterative block deletion and written
+// to a corpus directory as standalone reproducers. Alongside the
+// cross-mode diff, per-leg invariant checks audit runtime statistics
+// (refcount balance, GC survivor accounting, JIT deopt/guard counts) so
+// bookkeeping bugs surface even when program output is unaffected.
+//
+// Bounded runs are wired into `go test ./internal/difftest`; long soaks
+// run via cmd/pyfuzz.
+package difftest
+
+import (
+	"fmt"
+
+	"repro/internal/jit"
+)
+
+// Options configures a fuzzing run.
+type Options struct {
+	// Seed is the base seed; program i uses seed Seed+i.
+	Seed uint64
+	// N is the number of generated programs to check.
+	N int
+	// Nurseries overrides the generational nursery sweep (default
+	// DefaultNurseries).
+	Nurseries []uint64
+	// Budget bounds per-leg execution in bytecodes (default
+	// DefaultBudget).
+	Budget uint64
+	// CorpusDir, when non-empty, receives a minimized reproducer for
+	// every divergence.
+	CorpusDir string
+	// MutateJIT edits each JIT leg's config before use (fault injection
+	// in tests).
+	MutateJIT func(*jit.Config)
+	// Progress, when non-nil, is called after each program with the
+	// number checked so far.
+	Progress func(done int)
+}
+
+// Report summarizes a fuzzing run.
+type Report struct {
+	// Programs is the number of generated programs checked.
+	Programs int
+	// Legs is the number of runtime configurations each program ran
+	// under.
+	Legs int
+	// Divergences holds every cross-mode disagreement, minimized.
+	Divergences []Divergence
+	// InvariantFailures holds every statistics-consistency violation.
+	InvariantFailures []string
+	// ReproPaths lists corpus files written for the divergences.
+	ReproPaths []string
+}
+
+// OK reports whether the run observed no failures.
+func (r *Report) OK() bool {
+	return len(r.Divergences) == 0 && len(r.InvariantFailures) == 0
+}
+
+// Summary renders a one-paragraph human-readable result.
+func (r *Report) Summary() string {
+	s := fmt.Sprintf("difftest: %d programs x %d legs: %d divergences, %d invariant failures",
+		r.Programs, r.Legs, len(r.Divergences), len(r.InvariantFailures))
+	for i := range r.Divergences {
+		s += "\n  " + r.Divergences[i].String()
+	}
+	for _, iv := range r.InvariantFailures {
+		s += "\n  invariant: " + iv
+	}
+	return s
+}
+
+// Run checks n generated programs starting at the given seed under the
+// default leg matrix. It is the bounded fuzz entry point used by the
+// package tests; RunWith exposes the full options.
+func Run(seed uint64, n int) (*Report, error) {
+	return RunWith(Options{Seed: seed, N: n})
+}
+
+// RunWith executes a fuzzing run per opts.
+func RunWith(opts Options) (*Report, error) {
+	legs := Legs(opts.Nurseries, opts.MutateJIT)
+	rep := &Report{Legs: len(legs)}
+	for i := 0; i < opts.N; i++ {
+		seed := opts.Seed + uint64(i)
+		src := Generate(seed)
+		name := fmt.Sprintf("fuzz_seed%d.py", seed)
+		divs, invs, err := CheckProgram(legs, name, src, opts.Budget)
+		if err != nil {
+			return rep, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		// One shrink per program: legs usually disagree for the same
+		// root cause, and shrinking is by far the most expensive step.
+		var minimized string
+		for di, d := range divs {
+			d.Seed = seed
+			if di == 0 {
+				minimized = minimize(legs, d, opts.Budget)
+			}
+			d.Minimized = minimized
+			if opts.CorpusDir != "" && di == 0 {
+				if p, werr := WriteRepro(opts.CorpusDir, &d); werr == nil {
+					rep.ReproPaths = append(rep.ReproPaths, p)
+				}
+			}
+			rep.Divergences = append(rep.Divergences, d)
+		}
+		rep.InvariantFailures = append(rep.InvariantFailures, invs...)
+		rep.Programs++
+		if opts.Progress != nil {
+			opts.Progress(rep.Programs)
+		}
+	}
+	return rep, nil
+}
+
+// minimize shrinks a divergent program, preserving "still diverges on the
+// same leg". Returns "" if the leg cannot be found (defensive; cannot
+// happen for divergences produced by CheckProgram).
+func minimize(legs []Leg, d Divergence, budget uint64) string {
+	var leg *Leg
+	for i := range legs {
+		if legs[i].Name == d.Leg {
+			leg = &legs[i]
+			break
+		}
+	}
+	if leg == nil {
+		return ""
+	}
+	return Shrink(d.Program, func(cand string) bool {
+		return DivergesOn(legs[0], *leg, "shrink.py", cand, budget)
+	})
+}

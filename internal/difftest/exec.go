@@ -1,0 +1,206 @@
+package difftest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/emit"
+	"repro/internal/gc"
+	"repro/internal/interp"
+	"repro/internal/isa"
+	"repro/internal/jit"
+	"repro/internal/pycompile"
+	"repro/internal/pyobj"
+)
+
+// A Leg is one runtime configuration the oracle executes each program
+// under. The cpython leg (refcount heap, no JIT) is the baseline; every
+// other leg must agree with it byte for byte.
+type Leg struct {
+	Name string
+	Heap gc.Config
+	// JIT, when non-nil, attaches a tracing JIT with this configuration.
+	JIT *jit.Config
+}
+
+// DefaultNurseries are the nursery sizes the generational legs sweep. The
+// smallest forces frequent minor collections mid-trace; the largest is
+// PyPy's default, where most fuzz programs never collect.
+var DefaultNurseries = []uint64{64 << 10, 256 << 10, 4 << 20}
+
+// Legs builds the leg matrix: cpython + {pypy-nojit, pypy-jit, v8like} for
+// each nursery size. mutate, when non-nil, may edit each JIT config before
+// use (the fault-injection hook used by tests).
+func Legs(nurseries []uint64, mutate func(*jit.Config)) []Leg {
+	if len(nurseries) == 0 {
+		nurseries = DefaultNurseries
+	}
+	legs := []Leg{{Name: "cpython", Heap: gc.DefaultRefCountConfig()}}
+	for _, n := range nurseries {
+		legs = append(legs, Leg{
+			Name: fmt.Sprintf("pypy-nojit/%dk", n>>10),
+			Heap: gc.DefaultGenConfig(n),
+		})
+		for _, m := range []struct {
+			name string
+			cfg  jit.Config
+		}{
+			{"pypy-jit", jit.DefaultConfig()},
+			{"v8like", jit.V8LikeConfig()},
+		} {
+			cfg := m.cfg
+			if mutate != nil {
+				mutate(&cfg)
+			}
+			legs = append(legs, Leg{
+				Name: fmt.Sprintf("%s/%dk", m.name, n>>10),
+				Heap: gc.DefaultGenConfig(n),
+				JIT:  &cfg,
+			})
+		}
+	}
+	return legs
+}
+
+// Outcome captures everything observable about one execution of a program
+// under one leg: its stdout, the error it raised (if any), the canonical
+// rendering of its final global bindings, and runtime statistics for the
+// invariant checks.
+type Outcome struct {
+	Leg      string
+	HeapKind gc.Kind
+	Output   string
+	Err      string // "" on clean exit, else the PyError rendering
+	Globals  string
+	Snap     interp.Snapshot
+	JIT      *jit.Stats
+}
+
+// DefaultBudget bounds each leg's execution. Generated programs finish
+// far below it; the margin matters because JIT legs retire compiled
+// iterations outside the interpreter's bytecode counter, so a budget trip
+// would differ across legs and read as a divergence. CheckProgram skips
+// any program that trips it.
+const DefaultBudget = 100_000_000
+
+// Execute runs src under one leg and captures its outcome. Compile errors
+// are returned as err (the generator never produces them; the shrinker
+// filters its candidates through pycompile before calling Execute).
+func Execute(leg Leg, name, src string, budget uint64) (*Outcome, error) {
+	code, err := pycompile.CompileSource(name, src)
+	if err != nil {
+		return nil, err
+	}
+	eng := emit.NewEngine(isa.NullSink{})
+	var out strings.Builder
+	vm := interp.New(eng, leg.Heap, &out)
+	if budget == 0 {
+		budget = DefaultBudget
+	}
+	vm.MaxBytecodes = budget
+
+	var theJIT *jit.JIT
+	if leg.JIT != nil {
+		theJIT = jit.New(vm, *leg.JIT)
+	}
+
+	o := &Outcome{Leg: leg.Name, HeapKind: leg.Heap.Kind}
+	if rerr := vm.RunCode(code); rerr != nil {
+		o.Err = rerr.Error()
+	}
+	o.Output = out.String()
+	o.Globals = CanonGlobals(vm.Globals)
+	o.Snap = vm.StatsSnapshot()
+	if theJIT != nil {
+		st := theJIT.StatsSnapshot()
+		o.JIT = &st
+	}
+	return o, nil
+}
+
+// CanonGlobals renders a module's final global bindings in a canonical,
+// order-independent form: one "name = value" line per binding, sorted by
+// name, with functions/classes/modules reduced to their kind (their
+// identity is not part of program behaviour).
+func CanonGlobals(globals *pyobj.Dict) string {
+	if globals == nil {
+		return ""
+	}
+	type binding struct{ name, val string }
+	var bs []binding
+	globals.ForEach(func(k, v pyobj.Object) {
+		ks, ok := k.(*pyobj.Str)
+		if !ok {
+			return
+		}
+		// Skip the pre-bound builtins/modules: only program-created
+		// state matters, and the prelude is identical across legs.
+		switch v.(type) {
+		case *pyobj.Builtin, *pyobj.Module:
+			return
+		}
+		bs = append(bs, binding{ks.V, canonValue(v, 0)})
+	})
+	sort.Slice(bs, func(i, j int) bool { return bs[i].name < bs[j].name })
+	var sb strings.Builder
+	for _, b := range bs {
+		sb.WriteString(b.name)
+		sb.WriteString(" = ")
+		sb.WriteString(b.val)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// canonValue is pyobj.Repr plus structural rendering for instances (attrs
+// sorted by name) and a recursion cap for self-referential containers.
+func canonValue(v pyobj.Object, depth int) string {
+	if depth > 8 {
+		return "<deep>"
+	}
+	switch o := v.(type) {
+	case *pyobj.Instance:
+		type attr struct{ name, val string }
+		var as []attr
+		if o.Dict != nil {
+			o.Dict.ForEach(func(k, av pyobj.Object) {
+				if ks, ok := k.(*pyobj.Str); ok {
+					as = append(as, attr{ks.V, canonValue(av, depth+1)})
+				}
+			})
+		}
+		sort.Slice(as, func(i, j int) bool { return as[i].name < as[j].name })
+		parts := make([]string, len(as))
+		for i, a := range as {
+			parts[i] = a.name + "=" + a.val
+		}
+		return o.Class.Name + "{" + strings.Join(parts, ", ") + "}"
+	case *pyobj.List:
+		parts := make([]string, len(o.Items))
+		for i, e := range o.Items {
+			parts[i] = canonValue(e, depth+1)
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case *pyobj.Tuple:
+		parts := make([]string, len(o.Items))
+		for i, e := range o.Items {
+			parts[i] = canonValue(e, depth+1)
+		}
+		return "(" + strings.Join(parts, ", ") + ")"
+	case *pyobj.Dict:
+		// Insertion order is part of MiniPy dict semantics (as in
+		// CPython 3.7+ / PyPy), so legs must agree on it — do not sort.
+		var parts []string
+		o.ForEach(func(k, dv pyobj.Object) {
+			parts = append(parts, canonValue(k, depth+1)+": "+canonValue(dv, depth+1))
+		})
+		return "{" + strings.Join(parts, ", ") + "}"
+	case *pyobj.Func:
+		return "<function>"
+	case *pyobj.Class:
+		return "<class " + o.Name + ">"
+	default:
+		return pyobj.Repr(v)
+	}
+}

@@ -1,0 +1,916 @@
+package difftest
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The program generator emits seeded, deterministic MiniPy programs that
+// stress the overhead-prone surfaces the paper categorizes: boxed
+// arithmetic, dict-based name resolution, attribute lookup, string
+// formatting, list/dict subscripting, closure-style functions, exceptions,
+// and C-helper calls (json, re, % formatting). Programs are valid by
+// construction: expressions are generated type-directed, denominators and
+// shift amounts are clamped, subscripts are reduced modulo the container
+// length, and every loop has a static bound — so the only exceptions a
+// program can raise are the deliberately generated failing tails.
+
+// rng is a splitmix64 generator; all randomness flows from the seed, so a
+// seed fully identifies a program.
+type rng struct{ state uint64 }
+
+func newRng(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// chance reports true with probability pct/100.
+func (r *rng) chance(pct int) bool { return r.intn(100) < pct }
+
+func (r *rng) pick(ss []string) string { return ss[r.intn(len(ss))] }
+
+// kind is the static type the generator tracks for each variable.
+type kind int
+
+const (
+	kInt kind = iota
+	kFloat
+	kStr
+	kList // list of ints
+	kDict // str -> int
+	numKinds
+)
+
+// scope tracks the variables visible at the current generation point,
+// bucketed by kind. mut holds the subset that may be rebound here:
+// inside a function, module globals are readable but assigning one would
+// create a shadowing local — and a read-before-assign of that local is an
+// UnboundLocalError — so function scopes carry globals in vars but not in
+// mut.
+type scope struct {
+	vars [numKinds][]string
+	mut  [numKinds][]string
+}
+
+func (s *scope) add(k kind, name string) {
+	s.vars[k] = append(s.vars[k], name)
+	s.mut[k] = append(s.mut[k], name)
+}
+
+func (s *scope) has(k kind) bool { return len(s.vars[k]) > 0 }
+
+func (s *scope) hasMut(k kind) bool { return len(s.mut[k]) > 0 }
+
+func (s *scope) clone() *scope {
+	c := &scope{}
+	for k := range s.vars {
+		c.vars[k] = append([]string(nil), s.vars[k]...)
+		c.mut[k] = append([]string(nil), s.mut[k]...)
+	}
+	return c
+}
+
+// addRO adds a readable but non-rebindable variable (loop induction
+// variables: rebinding a while-loop counter can unbound the loop).
+func (s *scope) addRO(k kind, name string) { s.vars[k] = append(s.vars[k], name) }
+
+// funcView returns the scope a function body sees: everything readable,
+// nothing rebindable (parameters and locals are added by the caller).
+func (s *scope) funcView() *scope {
+	c := &scope{}
+	for k := range s.vars {
+		c.vars[k] = append([]string(nil), s.vars[k]...)
+	}
+	return c
+}
+
+// fnInfo describes a generated helper callable.
+type fnInfo struct {
+	name   string
+	params []kind
+	ret    kind
+	// loopy helpers contain their own loops and are kept out of hot-loop
+	// bodies to bound total work.
+	loopy bool
+}
+
+type generator struct {
+	r      *rng
+	b      strings.Builder
+	indent int
+	nextID int
+	fns    []fnInfo
+	// class support: when set, clsName is a class with int attributes x, y
+	// and an int method norm(); instances holds variables bound to it.
+	clsName   string
+	instances []string
+}
+
+// Generate returns the deterministic MiniPy program for seed.
+func Generate(seed uint64) string {
+	g := &generator{r: newRng(seed)}
+	sc := &scope{}
+	g.genGlobals(sc)
+	g.genHelpers(sc)
+	if g.r.chance(55) {
+		g.genClass(sc)
+	}
+	g.genHotLoop(sc)
+	g.genTail(sc)
+	return g.b.String()
+}
+
+func (g *generator) fresh(prefix string) string {
+	g.nextID++
+	return fmt.Sprintf("%s%d", prefix, g.nextID)
+}
+
+func (g *generator) line(format string, args ...interface{}) {
+	g.b.WriteString(strings.Repeat("    ", g.indent))
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+var strPool = []string{
+	"alpha", "bravo12", "x9y", "fuzz-target", "a1b2c3", "zz top",
+	"carbon", "delta 4", "0k0k0", "minipy",
+}
+
+func (g *generator) intLit() string {
+	switch g.r.intn(5) {
+	case 0:
+		return fmt.Sprintf("%d", g.r.intn(2000)-500)
+	case 1:
+		return fmt.Sprintf("%d", g.r.intn(10))
+	case 2:
+		return fmt.Sprintf("%d", 100000+g.r.intn(900000))
+	default:
+		return fmt.Sprintf("%d", g.r.intn(97))
+	}
+}
+
+func (g *generator) floatLit() string {
+	lits := []string{"0.5", "1.25", "-2.75", "3.5", "0.0625", "10.0", "-0.125", "7.75", "2.5"}
+	return g.r.pick(lits)
+}
+
+func (g *generator) strLit() string {
+	return "\"" + g.r.pick(strPool) + "\""
+}
+
+// ---- globals ----
+
+func (g *generator) genGlobals(sc *scope) {
+	for i := 0; i < 2+g.r.intn(2); i++ {
+		v := g.fresh("gi")
+		g.line("%s = %s", v, g.intLit())
+		sc.add(kInt, v)
+	}
+	for i := 0; i < 2; i++ {
+		v := g.fresh("gf")
+		g.line("%s = %s", v, g.floatLit())
+		sc.add(kFloat, v)
+	}
+	for i := 0; i < 2; i++ {
+		v := g.fresh("gs")
+		g.line("%s = %s", v, g.strLit())
+		sc.add(kStr, v)
+	}
+	lv := g.fresh("gl")
+	n := 5 + g.r.intn(4)
+	elems := make([]string, n)
+	for i := range elems {
+		elems[i] = g.intLit()
+	}
+	g.line("%s = [%s]", lv, strings.Join(elems, ", "))
+	sc.add(kList, lv)
+
+	dv := g.fresh("gd")
+	m := 3 + g.r.intn(3)
+	pairs := make([]string, m)
+	for i := range pairs {
+		pairs[i] = fmt.Sprintf("\"k%d\": %s", i, g.intLit())
+	}
+	g.line("%s = {%s}", dv, strings.Join(pairs, ", "))
+	sc.add(kDict, dv)
+	g.line("")
+}
+
+// ---- helper functions ----
+
+func (g *generator) genHelpers(sc *scope) {
+	n := 2 + g.r.intn(3)
+	for i := 0; i < n; i++ {
+		switch g.r.intn(5) {
+		case 0:
+			g.genMixerFn(sc)
+		case 1:
+			g.genStrFn(sc)
+		case 2:
+			g.genRecFn(sc)
+		case 3:
+			g.genClosureFactory(sc)
+		default:
+			g.genLoopyFn(sc)
+		}
+		g.line("")
+	}
+}
+
+// genMixerFn emits a small arithmetic helper over int/float params.
+func (g *generator) genMixerFn(sc *scope) {
+	name := g.fresh("mix")
+	pk := []kind{kInt, kInt}
+	if g.r.chance(40) {
+		pk[1] = kFloat
+	}
+	ret := pk[g.r.intn(2)]
+	params := []string{g.fresh("a"), g.fresh("b")}
+	g.line("def %s(%s, %s):", name, params[0], params[1])
+	g.indent++
+	body := sc.funcView()
+	for j, p := range params {
+		body.add(pk[j], p)
+	}
+	g.genStmts(body, 1+g.r.intn(3), false)
+	g.line("return %s", g.expr(body, ret, 2))
+	g.indent--
+	g.fns = append(g.fns, fnInfo{name: name, params: pk, ret: ret})
+}
+
+// genStrFn emits a string-building helper exercising % formatting.
+func (g *generator) genStrFn(sc *scope) {
+	name := g.fresh("sfn")
+	p0, p1 := g.fresh("n"), g.fresh("s")
+	g.line("def %s(%s, %s):", name, p0, p1)
+	g.indent++
+	body := sc.funcView()
+	body.add(kInt, p0)
+	body.add(kStr, p1)
+	g.line("return %s", g.expr(body, kStr, 2))
+	g.indent--
+	g.fns = append(g.fns, fnInfo{name: name, params: []kind{kInt, kStr}, ret: kStr})
+}
+
+// genRecFn emits a bounded recursive helper (callers clamp the argument).
+func (g *generator) genRecFn(sc *scope) {
+	name := g.fresh("rec")
+	p := g.fresh("n")
+	mod := []string{"9973", "7919", "4099"}[g.r.intn(3)]
+	mul := 2 + g.r.intn(5)
+	g.line("def %s(%s):", name, p)
+	g.indent++
+	g.line("if %s <= 1:", p)
+	g.indent++
+	g.line("return 1")
+	g.indent--
+	g.line("return (%s * %d + %s(%s - 1)) %% %s", p, mul, name, p, mod)
+	g.indent--
+	g.fns = append(g.fns, fnInfo{name: name, params: []kind{kInt}, ret: kInt, loopy: true})
+}
+
+// genClosureFactory emits a factory whose inner function captures a value
+// through a default argument (the MiniPy closure idiom), then binds one
+// instance at module scope.
+func (g *generator) genClosureFactory(sc *scope) {
+	fac := g.fresh("mk")
+	inner := g.fresh("in")
+	bound := g.fresh("hf")
+	k, x, kk := g.fresh("k"), g.fresh("x"), g.fresh("kk")
+	g.line("def %s(%s):", fac, k)
+	g.indent++
+	g.line("def %s(%s, %s=%s):", inner, x, kk, k)
+	g.indent++
+	inScope := &scope{}
+	inScope.add(kInt, x)
+	inScope.add(kInt, kk)
+	g.line("return %s", g.expr(inScope, kInt, 2))
+	g.indent--
+	g.line("return %s", inner)
+	g.indent--
+	g.line("%s = %s(%s)", bound, fac, g.intLit())
+	g.fns = append(g.fns, fnInfo{name: bound, params: []kind{kInt}, ret: kInt})
+}
+
+// genLoopyFn emits an aggregator with its own small loop.
+func (g *generator) genLoopyFn(sc *scope) {
+	name := g.fresh("agg")
+	p := g.fresh("n")
+	t := g.fresh("t")
+	q := g.fresh("q")
+	g.line("def %s(%s):", name, p)
+	g.indent++
+	g.line("%s = 0", t)
+	g.line("for %s in xrange(%s %% 9 + 2):", q, p)
+	g.indent++
+	body := sc.funcView()
+	body.add(kInt, p)
+	body.add(kInt, t)
+	body.add(kInt, q)
+	g.line("%s = %s + %s", t, t, g.expr(body, kInt, 2))
+	g.indent--
+	g.line("return %s", t)
+	g.indent--
+	g.fns = append(g.fns, fnInfo{name: name, params: []kind{kInt}, ret: kInt, loopy: true})
+}
+
+// ---- class ----
+
+func (g *generator) genClass(sc *scope) {
+	cls := g.fresh("Cls")
+	g.clsName = cls
+	g.line("class %s:", cls)
+	g.indent++
+	g.line("def __init__(self, x, y):")
+	g.indent++
+	g.line("self.x = x")
+	g.line("self.y = y")
+	g.indent--
+	ms := &scope{}
+	ms.add(kInt, "self.x")
+	ms.add(kInt, "self.y")
+	g.line("def norm(self):")
+	g.indent++
+	g.line("return %s", g.expr(ms, kInt, 2))
+	g.indent--
+	g.indent--
+	g.line("")
+	for i := 0; i < 1+g.r.intn(2); i++ {
+		inst := g.fresh("obj")
+		g.line("%s = %s(%s, %s)", inst, cls, g.intLit(), g.intLit())
+		g.instances = append(g.instances, inst)
+	}
+	g.line("")
+}
+
+// ---- statements ----
+
+// genStmts emits n statements into the current suite. inLoop restricts the
+// palette to cheap statements suitable for hot-loop bodies.
+func (g *generator) genStmts(sc *scope, n int, inLoop bool) {
+	for i := 0; i < n; i++ {
+		g.genStmt(sc, inLoop)
+	}
+}
+
+func (g *generator) genStmt(sc *scope, inLoop bool) {
+	switch g.r.intn(8) {
+	case 0: // new variable
+		k := kind(g.r.intn(3)) // int, float, or str
+		v := g.fresh("v")
+		g.line("%s = %s", v, g.expr(sc, k, 2))
+		sc.add(k, v)
+	case 1: // augmented assignment on a rebindable int/float
+		k := kInt
+		if g.r.chance(35) && sc.hasMut(kFloat) {
+			k = kFloat
+		}
+		if !sc.hasMut(k) {
+			k = kInt
+		}
+		if sc.hasMut(k) {
+			v := g.r.pick(sc.mut[k])
+			if strings.Contains(v, ".") { // attribute targets need plain stores
+				g.line("%s = %s + %s", v, v, g.expr(sc, k, 1))
+			} else {
+				g.line("%s %s= %s", v, g.r.pick([]string{"+", "-"}), g.expr(sc, k, 1))
+			}
+		} else {
+			g.line("pass")
+		}
+	case 2: // conditional
+		g.line("if %s:", g.cond(sc))
+		g.indent++
+		g.genSafeMutation(sc)
+		g.indent--
+		if g.r.chance(40) {
+			g.line("else:")
+			g.indent++
+			g.genSafeMutation(sc)
+			g.indent--
+		}
+	case 3: // list append
+		if sc.has(kList) {
+			g.line("%s.append(%s)", g.r.pick(sc.vars[kList]), g.expr(sc, kInt, 1))
+		} else {
+			g.line("pass")
+		}
+	case 4: // dict store (fresh key; dicts only grow)
+		if sc.has(kDict) {
+			g.line("%s[\"n%d\"] = %s", g.r.pick(sc.vars[kDict]), g.r.intn(40), g.expr(sc, kInt, 1))
+		} else {
+			g.line("pass")
+		}
+	case 5: // print
+		if inLoop {
+			g.genSafeMutation(sc)
+		} else {
+			g.line("print(%s, %s)", g.expr(sc, kind(g.r.intn(3)), 1), g.expr(sc, kind(g.r.intn(3)), 1))
+		}
+	case 6: // small nested loop (outside hot loops only)
+		if inLoop {
+			g.genSafeMutation(sc)
+		} else {
+			q := g.fresh("q")
+			g.line("for %s in xrange(%d):", q, 2+g.r.intn(7))
+			g.indent++
+			inner := sc.clone()
+			inner.addRO(kInt, q)
+			g.genSafeMutation(inner)
+			g.indent--
+			sc.add(kInt, q) // bound after the loop (xrange is never empty)
+		}
+	default: // list subscript store
+		if sc.has(kList) {
+			l := g.r.pick(sc.vars[kList])
+			g.line("%s[%s %% len(%s)] = %s", l, g.expr(sc, kInt, 1), l, g.expr(sc, kInt, 1))
+		} else {
+			g.line("pass")
+		}
+	}
+}
+
+// genSafeMutation emits a statement that never creates bindings later code
+// depends on (safe inside conditional branches).
+func (g *generator) genSafeMutation(sc *scope) {
+	switch {
+	case g.r.chance(40) && sc.hasMut(kInt):
+		v := g.r.pick(sc.mut[kInt])
+		g.line("%s = %s + %s", v, v, g.expr(sc, kInt, 1))
+	case g.r.chance(50) && sc.has(kList):
+		g.line("%s.append(%s)", g.r.pick(sc.vars[kList]), g.expr(sc, kInt, 1))
+	case sc.hasMut(kFloat):
+		v := g.r.pick(sc.mut[kFloat])
+		g.line("%s = %s * 0.5 + %s", v, v, g.expr(sc, kFloat, 1))
+	default:
+		g.line("pass")
+	}
+}
+
+// ---- expressions ----
+
+// expr generates a type-correct expression of the given kind.
+func (g *generator) expr(sc *scope, k kind, depth int) string {
+	switch k {
+	case kInt:
+		return g.intExpr(sc, depth)
+	case kFloat:
+		return g.floatExpr(sc, depth)
+	case kStr:
+		return g.strExpr(sc, depth)
+	case kList:
+		return g.listExpr(sc)
+	default:
+		if sc.has(kDict) {
+			return g.r.pick(sc.vars[kDict])
+		}
+		return "{\"k0\": 1}"
+	}
+}
+
+func (g *generator) intAtom(sc *scope) string {
+	if sc.has(kInt) && g.r.chance(65) {
+		return g.r.pick(sc.vars[kInt])
+	}
+	return g.intLit()
+}
+
+// safeDenom yields an expression that is always a nonzero positive int.
+func (g *generator) safeDenom(sc *scope) string {
+	if g.r.chance(60) {
+		return g.r.pick([]string{"3", "5", "7", "11", "13", "17"})
+	}
+	return fmt.Sprintf("(%s %% 7 + 9)", g.intAtom(sc))
+}
+
+func (g *generator) intExpr(sc *scope, depth int) string {
+	if depth <= 0 {
+		return g.intAtom(sc)
+	}
+	a := g.intExpr(sc, depth-1)
+	switch g.r.intn(14) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", a, g.intExpr(sc, depth-1))
+	case 1:
+		return fmt.Sprintf("(%s - %s)", a, g.intExpr(sc, depth-1))
+	case 2:
+		// Multiplier clamped: unchecked products compound across
+		// statements into spurious OverflowErrors.
+		return fmt.Sprintf("(%s * (%s %% 181 + 2))", a, g.intAtom(sc))
+	case 3:
+		return fmt.Sprintf("(%s // %s)", a, g.safeDenom(sc))
+	case 4:
+		return fmt.Sprintf("(%s %% %s)", a, g.safeDenom(sc))
+	case 5:
+		return fmt.Sprintf("(%s %s %s)", a, g.r.pick([]string{"&", "|", "^"}), g.intAtom(sc))
+	case 6:
+		return fmt.Sprintf("(%s << (%s %% 13))", a, g.intAtom(sc))
+	case 7:
+		return fmt.Sprintf("(%s >> (%s %% 13))", a, g.intAtom(sc))
+	case 8:
+		return fmt.Sprintf("abs(%s)", a)
+	case 9:
+		if sc.has(kList) {
+			l := g.r.pick(sc.vars[kList])
+			return fmt.Sprintf("%s[%s %% len(%s)]", l, a, l)
+		}
+		return a
+	case 10:
+		if sc.has(kDict) {
+			return fmt.Sprintf("%s.get(\"k%d\", %s)", g.r.pick(sc.vars[kDict]), g.r.intn(8), a)
+		}
+		return a
+	case 11:
+		// call a helper with int-compatible arguments
+		if call, ok := g.callExpr(sc, kInt, depth); ok {
+			return call
+		}
+		return a
+	case 12:
+		if len(g.instances) > 0 {
+			inst := g.r.pick(g.instances)
+			if g.r.chance(50) {
+				return fmt.Sprintf("%s.norm()", inst)
+			}
+			return fmt.Sprintf("%s.%s", inst, g.r.pick([]string{"x", "y"}))
+		}
+		return fmt.Sprintf("min(%s, %s)", a, g.intAtom(sc))
+	default:
+		return fmt.Sprintf("((%s %% 1259) ** (%s %% 4))", g.intAtom(sc), g.intAtom(sc))
+	}
+}
+
+func (g *generator) floatAtom(sc *scope) string {
+	if sc.has(kFloat) && g.r.chance(60) {
+		return g.r.pick(sc.vars[kFloat])
+	}
+	return g.floatLit()
+}
+
+func (g *generator) floatExpr(sc *scope, depth int) string {
+	if depth <= 0 {
+		return g.floatAtom(sc)
+	}
+	a := g.floatExpr(sc, depth-1)
+	switch g.r.intn(8) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", a, g.floatExpr(sc, depth-1))
+	case 1:
+		return fmt.Sprintf("(%s - %s)", a, g.floatAtom(sc))
+	case 2:
+		return fmt.Sprintf("(%s * %s)", a, g.floatAtom(sc))
+	case 3:
+		b := g.floatAtom(sc)
+		return fmt.Sprintf("(%s / (%s * %s + 1.5))", a, b, b)
+	case 4:
+		return fmt.Sprintf("float(%s)", g.intExpr(sc, depth-1))
+	case 5:
+		return fmt.Sprintf("math.sqrt(%s * %s + 2.0)", a, a)
+	case 6:
+		return fmt.Sprintf("math.sin(%s)", a)
+	default:
+		return fmt.Sprintf("(%s %% (%s * %s + 1.5))", a, g.floatAtom(sc), g.floatAtom(sc))
+	}
+}
+
+func (g *generator) strAtom(sc *scope) string {
+	if sc.has(kStr) && g.r.chance(55) {
+		return g.r.pick(sc.vars[kStr])
+	}
+	return g.strLit()
+}
+
+// formatSpec builds a random %-format directive, including the nested
+// width/precision/flag specs the paper's strformat helper implements.
+func (g *generator) formatSpec() (string, kind) {
+	flags := ""
+	if g.r.chance(25) {
+		flags += "-"
+	}
+	if g.r.chance(25) {
+		flags += "0"
+	}
+	if g.r.chance(20) {
+		flags += "+"
+	}
+	width := ""
+	if g.r.chance(60) {
+		width = fmt.Sprintf("%d", 1+g.r.intn(10))
+	}
+	prec := ""
+	if g.r.chance(40) {
+		prec = fmt.Sprintf(".%d", g.r.intn(6))
+	}
+	switch g.r.intn(4) {
+	case 0:
+		return "%" + flags + width + "d", kInt
+	case 1:
+		return "%" + flags + width + prec + "f", kFloat
+	case 2:
+		return "%" + flags + width + prec + "s", kStr
+	default:
+		return "%" + flags + width + "x", kInt
+	}
+}
+
+func (g *generator) strExpr(sc *scope, depth int) string {
+	if depth <= 0 {
+		return g.strAtom(sc)
+	}
+	switch g.r.intn(8) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.strExpr(sc, depth-1), g.strAtom(sc))
+	case 1:
+		return fmt.Sprintf("str(%s)", g.intExpr(sc, depth-1))
+	case 2:
+		return fmt.Sprintf("(%s * (%s %% 3 + 1))", g.strAtom(sc), g.intAtom(sc))
+	case 3:
+		return fmt.Sprintf("%s.%s()", g.strAtom(sc), g.r.pick([]string{"upper", "lower", "strip"}))
+	case 4:
+		return fmt.Sprintf("%s.replace(%s, %s)", g.strAtom(sc), g.strLit(), g.strLit())
+	case 5:
+		// 1-3 directives applied to a matching argument tuple
+		n := 1 + g.r.intn(3)
+		var fmtParts, args []string
+		for i := 0; i < n; i++ {
+			spec, k := g.formatSpec()
+			fmtParts = append(fmtParts, spec)
+			args = append(args, g.expr(sc, k, 1))
+		}
+		return fmt.Sprintf("(\"%s\" %% (%s,))", strings.Join(fmtParts, "|"), strings.Join(args, ", "))
+	case 6:
+		return fmt.Sprintf("\"-\".join([%s, %s])", g.strAtom(sc), g.strAtom(sc))
+	default:
+		if call, ok := g.callExpr(sc, kStr, depth); ok {
+			return call
+		}
+		return g.strAtom(sc)
+	}
+}
+
+func (g *generator) listExpr(sc *scope) string {
+	if !sc.has(kList) {
+		return "[1, 2, 3]"
+	}
+	l := g.r.pick(sc.vars[kList])
+	switch g.r.intn(3) {
+	case 0:
+		return l
+	case 1:
+		return fmt.Sprintf("sorted(%s)", l)
+	default:
+		return fmt.Sprintf("%s[(%s %% 5):]", l, g.intAtom(sc))
+	}
+}
+
+// callExpr builds a call to a generated helper returning kind k.
+func (g *generator) callExpr(sc *scope, k kind, depth int) (string, bool) {
+	var cands []fnInfo
+	for _, f := range g.fns {
+		if f.ret == k {
+			cands = append(cands, f)
+		}
+	}
+	if len(cands) == 0 {
+		return "", false
+	}
+	f := cands[g.r.intn(len(cands))]
+	args := make([]string, len(f.params))
+	for i, pk := range f.params {
+		if f.loopy && pk == kInt {
+			// clamp recursion depth / loop length
+			args[i] = fmt.Sprintf("(%s %% 7 + 1)", g.intAtom(sc))
+			continue
+		}
+		args[i] = g.expr(sc, pk, depth-1)
+	}
+	return fmt.Sprintf("%s(%s)", f.name, strings.Join(args, ", ")), true
+}
+
+func (g *generator) cond(sc *scope) string {
+	switch g.r.intn(6) {
+	case 0:
+		return fmt.Sprintf("%s %s %s", g.intExpr(sc, 1), g.r.pick([]string{"<", "<=", ">", ">=", "==", "!="}), g.intExpr(sc, 1))
+	case 1:
+		return fmt.Sprintf("%s < %s", g.floatExpr(sc, 1), g.floatExpr(sc, 1))
+	case 2:
+		return fmt.Sprintf("%s %s %s", g.strAtom(sc), g.r.pick([]string{"==", "!=", "<"}), g.strAtom(sc))
+	case 3:
+		if sc.has(kDict) {
+			return fmt.Sprintf("\"k%d\" in %s", g.r.intn(8), g.r.pick(sc.vars[kDict]))
+		}
+		return "1 < 2"
+	case 4:
+		if sc.has(kList) {
+			return fmt.Sprintf("%s in %s", g.intExpr(sc, 1), g.r.pick(sc.vars[kList]))
+		}
+		return "2 > 1"
+	default:
+		return fmt.Sprintf("(%s) and (%s)", g.intExpr(sc, 1)+" > 0", g.intExpr(sc, 1)+" < 100")
+	}
+}
+
+// ---- hot loop ----
+
+// genHotLoop emits the program's trace-compilation target. The loop lives
+// inside a function with local accumulators: module-level loops rebind
+// globals via STORE_NAME, which the trace recorder refuses to compile (as
+// PyPy refuses can't-promote paths), so a module-level loop would leave
+// the JIT legs interpreting everything. Iteration counts exceed the
+// PyPy-like hot threshold (1039), so pypy-jit and v8like legs execute
+// most iterations in compiled code.
+func (g *generator) genHotLoop(sc *scope) {
+	fn := g.fresh("hot")
+	arg := g.fresh("n")
+	acc := g.fresh("acc")
+	facc := g.fresh("facc")
+	iters := 1150 + g.r.intn(400)
+
+	g.line("def %s(%s):", fn, arg)
+	g.indent++
+	fsc := sc.funcView()
+	fsc.add(kInt, arg)
+	g.line("%s = 0", acc)
+	g.line("%s = 0.0", facc)
+	fsc.add(kInt, acc)
+	fsc.add(kFloat, facc)
+
+	var iv string
+	useWhile := g.r.chance(30)
+	if useWhile {
+		iv = g.fresh("w")
+		g.line("%s = 0", iv)
+		g.line("while %s < %s:", iv, arg)
+	} else {
+		iv = g.fresh("i")
+		g.line("for %s in xrange(%s):", iv, arg)
+	}
+	g.indent++
+	body := fsc.clone()
+	body.addRO(kInt, iv)
+
+	// Accumulate boxed/unboxed arithmetic every iteration.
+	g.line("%s = %s + %s", acc, acc, g.intExpr(body, 2))
+	if g.r.chance(70) {
+		g.line("%s = %s + %s", facc, facc, g.floatExpr(body, 1))
+	}
+	// Optional extra work: guards, subscripts, residual calls, attributes.
+	if g.r.chance(50) {
+		g.line("if %s %% %d == %d:", iv, 3+g.r.intn(6), g.r.intn(3))
+		g.indent++
+		g.genSafeMutation(body)
+		g.indent--
+	}
+	if g.r.chance(40) && body.has(kList) {
+		l := g.r.pick(body.vars[kList])
+		g.line("%s[%s %% len(%s)] = %s %% 1024", l, iv, l, iv)
+	}
+	if g.r.chance(40) {
+		var nonLoopy []fnInfo
+		for _, f := range g.fns {
+			if !f.loopy && f.ret == kInt {
+				nonLoopy = append(nonLoopy, f)
+			}
+		}
+		if len(nonLoopy) > 0 {
+			f := nonLoopy[g.r.intn(len(nonLoopy))]
+			args := make([]string, len(f.params))
+			for i, pk := range f.params {
+				args[i] = g.expr(body, pk, 1)
+			}
+			g.line("%s = %s + %s(%s)", acc, acc, f.name, strings.Join(args, ", "))
+		}
+	}
+	if g.r.chance(35) && len(g.instances) > 0 {
+		inst := g.r.pick(g.instances)
+		g.line("%s.x = %s.x + (%s %% 5)", inst, inst, iv)
+	}
+	// Periodic output keeps mid-loop state observable without flooding
+	// (a residual print call inside the compiled trace).
+	g.line("if %s %% %d == %d:", iv, 331+g.r.intn(140), g.r.intn(5))
+	g.indent++
+	g.line("print(%s, %s)", acc, facc)
+	g.indent--
+	if useWhile {
+		g.line("%s = %s + 1", iv, iv)
+	}
+	g.indent--
+	g.line("print(%s)", facc)
+	g.line("return %s", acc)
+	g.indent--
+	g.line("")
+
+	res := g.fresh("acc")
+	g.line("%s = %s(%d)", res, fn, iters)
+	g.line("print(%s)", res)
+	sc.add(kInt, res)
+	g.line("")
+
+	// Occasionally a second, shorter loop that only the eager v8like
+	// threshold (100) compiles — differential coverage of heat-up.
+	if g.r.chance(40) {
+		fn2 := g.fresh("hot")
+		arg2 := g.fresh("n")
+		acc2 := g.fresh("acc")
+		j := g.fresh("i")
+		g.line("def %s(%s):", fn2, arg2)
+		g.indent++
+		f2 := sc.funcView()
+		f2.add(kInt, arg2)
+		g.line("%s = 0", acc2)
+		f2.add(kInt, acc2)
+		g.line("for %s in xrange(%s):", j, arg2)
+		g.indent++
+		b2 := f2.clone()
+		b2.addRO(kInt, j)
+		g.line("%s = %s + %s", acc2, acc2, g.intExpr(b2, 1))
+		g.indent--
+		g.line("return %s", acc2)
+		g.indent--
+		res2 := g.fresh("acc")
+		g.line("%s = %s(%d)", res2, fn2, 150+g.r.intn(300))
+		g.line("print(%s)", res2)
+		sc.add(kInt, res2)
+		g.line("")
+	}
+}
+
+// ---- tail ----
+
+var rePatterns = []string{"[0-9]+", "a+", "b|r", "[a-z]+", "(ab)+", "x*", ""}
+
+func (g *generator) genTail(sc *scope) {
+	// C-helper traffic: JSON round trip over a container global.
+	if g.r.chance(70) && sc.has(kDict) {
+		js := g.fresh("js")
+		g.line("%s = json.dumps(%s)", js, g.r.pick(sc.vars[kDict]))
+		g.line("print(%s)", js)
+		g.line("print(json.loads(%s))", js)
+	} else if sc.has(kList) {
+		g.line("print(json.dumps(%s))", g.r.pick(sc.vars[kList]))
+	}
+	// Regex helpers over generated strings.
+	if g.r.chance(70) {
+		pat := g.r.pick(rePatterns)
+		s := g.strExpr(sc, 1)
+		switch g.r.intn(3) {
+		case 0:
+			g.line("print(re.findall(\"%s\", %s))", pat, s)
+		case 1:
+			g.line("print(re.sub(\"%s\", \"_\", %s))", pat, s)
+		default:
+			g.line("print(re.split(\"%s\", %s))", "-", s)
+		}
+	}
+	// Final state dump: every global the oracle also snapshots.
+	if sc.has(kList) {
+		l := g.r.pick(sc.vars[kList])
+		g.line("print(len(%s), %s[:6], %s[-3:])", l, l, l)
+	}
+	if sc.has(kDict) {
+		d := g.r.pick(sc.vars[kDict])
+		g.line("print(sorted(%s.keys()))", d)
+		g.line("print(%s)", d)
+	}
+	for _, inst := range g.instances {
+		g.line("print(%s.x, %s.y, %s.norm())", inst, inst, inst)
+	}
+	g.line("print(%s, %s)", g.strExpr(sc, 2), g.intExpr(sc, 2))
+
+	// Exceptions: a failing tail aborts execution identically everywhere.
+	if g.r.chance(18) {
+		switch g.r.intn(6) {
+		case 0:
+			l := "[1]"
+			if sc.has(kList) {
+				l = g.r.pick(sc.vars[kList])
+			}
+			g.line("print(%s[len(%s) + 7])", l, l)
+		case 1:
+			d := "{}"
+			if sc.has(kDict) {
+				d = g.r.pick(sc.vars[kDict])
+			}
+			g.line("print(%s[\"missing_zz\"])", d)
+		case 2:
+			v := g.intAtom(sc)
+			g.line("print(1 // (%s - %s))", v, v)
+		case 3:
+			g.line("print(int(\"not-a-number\"))")
+		case 4:
+			g.line("print(%s + 5)", g.strAtom(sc))
+		default:
+			g.line("print(difftest_never_defined)")
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package difftest
+
+import (
+	"fmt"
+
+	"repro/internal/gc"
+)
+
+// CheckInvariants audits one execution's runtime statistics for internal
+// consistency. These are single-leg checks — unlike the cross-mode diff
+// they catch bugs that corrupt bookkeeping without changing program
+// output (leaked refcounts, phantom survivors, deopt miscounts).
+func CheckInvariants(o *Outcome) []string {
+	var bad []string
+	fail := func(format string, args ...interface{}) {
+		bad = append(bad, fmt.Sprintf("[%s] ", o.Leg)+fmt.Sprintf(format, args...))
+	}
+	h := o.Snap.Heap
+
+	switch o.HeapKind {
+	case gc.RefCount:
+		// Every object is born with RC=1, so the decrefs that ever
+		// happened cannot exceed increfs plus births.
+		if h.Decrefs > h.Increfs+h.Allocations {
+			fail("refcount imbalance: %d decrefs > %d increfs + %d allocations",
+				h.Decrefs, h.Increfs, h.Allocations)
+		}
+		if h.BadDecrefs != 0 {
+			fail("%d decrefs hit an object with RC <= 0", h.BadDecrefs)
+		}
+		// Frees covers object and payload releases; both birth counters
+		// bound it.
+		if h.Frees > h.Allocations+h.PayloadAllocs {
+			fail("%d frees > %d allocations + %d payload allocs",
+				h.Frees, h.Allocations, h.PayloadAllocs)
+		}
+	case gc.Generational:
+		// Survivors are discovered by minor collections, and each
+		// surviving object is copied (header >= 16 bytes).
+		if h.Survivors > 0 && h.MinorGCs == 0 {
+			fail("%d survivors with zero minor GCs", h.Survivors)
+		}
+		if h.BytesCopied < 16*h.Survivors {
+			fail("%d bytes copied < 16 x %d survivors", h.BytesCopied, h.Survivors)
+		}
+		if h.MajorGCs > h.MinorGCs {
+			fail("%d major GCs > %d minor GCs", h.MajorGCs, h.MinorGCs)
+		}
+	}
+
+	if j := o.JIT; j != nil {
+		// Every deopt is triggered by a guard check.
+		if j.Deopts > j.GuardChecks {
+			fail("jit: %d deopts > %d guard checks", j.Deopts, j.GuardChecks)
+		}
+		if j.TracesCompiled+j.TracesAborted > j.TracesStarted {
+			fail("jit: compiled %d + aborted %d > started %d",
+				j.TracesCompiled, j.TracesAborted, j.TracesStarted)
+		}
+		if j.Invalidations > j.TracesCompiled {
+			fail("jit: %d invalidations > %d compiled traces", j.Invalidations, j.TracesCompiled)
+		}
+		if j.CompiledIters > 0 && j.TracesCompiled == 0 {
+			fail("jit: %d compiled iterations with no compiled trace", j.CompiledIters)
+		}
+	}
+	return bad
+}
+
+// CheckAccounting audits an instruction-attribution breakdown: category
+// counts must be individually sane and sum to the phase totals. Sampled
+// (run on a SimpleCore leg), because attribution simulation is ~10x the
+// cost of a functional run.
+func CheckAccounting(catInstrs []uint64, phaseInstrs []uint64) []string {
+	var bad []string
+	var catTotal, phaseTotal uint64
+	for _, c := range catInstrs {
+		catTotal += c
+	}
+	for _, p := range phaseInstrs {
+		phaseTotal += p
+	}
+	if catTotal != phaseTotal {
+		bad = append(bad, fmt.Sprintf(
+			"accounting: category instrs %d != phase instrs %d", catTotal, phaseTotal))
+	}
+	return bad
+}

@@ -1,0 +1,111 @@
+package difftest
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Divergence records a cross-mode disagreement: the leg, the program, and
+// a description of the first observed difference from the cpython
+// baseline. Minimized holds the shrunk reproducer (empty if shrinking
+// failed to preserve the divergence).
+type Divergence struct {
+	Seed      uint64
+	Leg       string
+	Desc      string
+	Program   string
+	Minimized string
+}
+
+func (d *Divergence) String() string {
+	return fmt.Sprintf("seed %d, leg %s: %s", d.Seed, d.Leg, d.Desc)
+}
+
+// diffOutcomes describes the first difference between the baseline and
+// another leg's outcome, or "" if they agree.
+func diffOutcomes(base, got *Outcome) string {
+	if base.Err != got.Err {
+		return fmt.Sprintf("error mismatch: baseline %q, got %q", base.Err, got.Err)
+	}
+	if base.Output != got.Output {
+		return firstLineDiff("output", base.Output, got.Output)
+	}
+	if base.Globals != got.Globals {
+		return firstLineDiff("globals", base.Globals, got.Globals)
+	}
+	return ""
+}
+
+// firstLineDiff pinpoints the first differing line between two multi-line
+// strings.
+func firstLineDiff(what, a, b string) string {
+	al := strings.Split(a, "\n")
+	bl := strings.Split(b, "\n")
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("%s line %d: baseline %q, got %q", what, i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("%s length: baseline %d lines, got %d lines", what, len(al), len(bl))
+}
+
+// CheckProgram executes src under every leg and compares each against the
+// first (baseline) leg. It returns one Divergence per disagreeing leg
+// (without reproducer minimization — the caller shrinks) plus any
+// invariant violations observed on the way.
+func CheckProgram(legs []Leg, name, src string, budget uint64) (divs []Divergence, invs []string, err error) {
+	base, err := Execute(legs[0], name, src, budget)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: baseline: %w", name, err)
+	}
+	if budgetTripped(base) {
+		// The budget is a harness artifact, not program semantics, and
+		// JIT legs count interpreted bytecodes only — comparing a
+		// tripped run across legs would fabricate divergences.
+		return nil, nil, nil
+	}
+	invs = append(invs, CheckInvariants(base)...)
+	for _, leg := range legs[1:] {
+		got, xerr := Execute(leg, name, src, budget)
+		if xerr != nil {
+			return nil, nil, fmt.Errorf("%s: leg %s: %w", name, leg.Name, xerr)
+		}
+		if budgetTripped(got) {
+			continue
+		}
+		invs = append(invs, CheckInvariants(got)...)
+		if d := diffOutcomes(base, got); d != "" {
+			divs = append(divs, Divergence{Leg: leg.Name, Desc: d, Program: src})
+		}
+	}
+	for i := range invs {
+		invs[i] = name + ": " + invs[i]
+	}
+	return divs, invs, nil
+}
+
+// budgetTripped reports whether the outcome aborted on the harness's
+// bytecode budget rather than on program semantics.
+func budgetTripped(o *Outcome) bool {
+	return strings.Contains(o.Err, "bytecode budget exceeded")
+}
+
+// DivergesOn reports whether src still diverges on the given leg versus
+// the baseline leg — the property the shrinker preserves. Execution errors
+// (compile failures, budget blowups) count as "does not diverge" so the
+// shrinker never locks onto a different bug.
+func DivergesOn(baseline, leg Leg, name, src string, budget uint64) bool {
+	base, err := Execute(baseline, name, src, budget)
+	if err != nil || budgetTripped(base) {
+		return false
+	}
+	got, err := Execute(leg, name, src, budget)
+	if err != nil || budgetTripped(got) {
+		return false
+	}
+	return diffOutcomes(base, got) != ""
+}

@@ -1,0 +1,90 @@
+package difftest
+
+import (
+	"strings"
+
+	"repro/internal/pycompile"
+)
+
+// Shrink minimizes src while preserving the property still(candidate).
+// It repeatedly deletes line spans — each line together with the
+// more-indented block that follows it, so suites disappear with their
+// headers — keeping a deletion only when the candidate still compiles and
+// still exhibits the property. Iterates to a fixpoint (bounded), so the
+// result is 1-minimal with respect to block deletion.
+func Shrink(src string, still func(string) bool) string {
+	cur := src
+	for round := 0; round < 12; round++ {
+		next, changed := shrinkPass(cur, still)
+		if !changed {
+			break
+		}
+		cur = next
+	}
+	return cur
+}
+
+func shrinkPass(src string, still func(string) bool) (string, bool) {
+	lines := strings.Split(src, "\n")
+	changed := false
+	// Delete from the bottom up: tail statements are the most likely to
+	// be removable, and removing them first keeps spans stable.
+	for i := len(lines) - 1; i >= 0; i-- {
+		if i >= len(lines) {
+			continue
+		}
+		if strings.TrimSpace(lines[i]) == "" {
+			continue
+		}
+		span := blockSpan(lines, i)
+		cand := append([]string(nil), lines[:i]...)
+		cand = append(cand, lines[i+span:]...)
+		candSrc := strings.Join(cand, "\n")
+		if !compiles(candSrc) || !still(candSrc) {
+			continue
+		}
+		lines = cand
+		changed = true
+	}
+	return strings.Join(lines, "\n"), changed
+}
+
+// blockSpan returns how many lines the statement at index i spans: the
+// line itself plus any following lines that are more indented (its suite)
+// or blank lines inside that suite.
+func blockSpan(lines []string, i int) int {
+	base := indentOf(lines[i])
+	span := 1
+	for j := i + 1; j < len(lines); j++ {
+		t := strings.TrimSpace(lines[j])
+		if t == "" {
+			// Blank line: part of the span only if suite continues after.
+			if j+1 < len(lines) && strings.TrimSpace(lines[j+1]) != "" && indentOf(lines[j+1]) > base {
+				span++
+				continue
+			}
+			break
+		}
+		if indentOf(lines[j]) <= base {
+			break
+		}
+		span++
+	}
+	return span
+}
+
+func indentOf(line string) int {
+	n := 0
+	for _, c := range line {
+		if c != ' ' {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+func compiles(src string) bool {
+	_, err := pycompile.CompileSource("shrink.py", src)
+	return err == nil
+}

@@ -82,6 +82,20 @@ type Stats struct {
 	BarrierHits   uint64
 	BigAllocs     uint64
 	FreelistReuse uint64
+	// PayloadAllocs counts variable-size payload blocks (list item
+	// arrays, dict tables, string data) handed out by AllocPayload.
+	// Frees covers both object and payload releases, so the balance
+	// invariant is Frees <= Allocations + PayloadAllocs.
+	PayloadAllocs uint64
+	// Increfs/Decrefs count reference-count operations (RefCount mode).
+	// Every allocation starts at RC=1, so at any point
+	// Decrefs <= Increfs + Allocations must hold.
+	Increfs uint64
+	Decrefs uint64
+	// BadDecrefs counts decrefs observed on an object whose reference
+	// count was already <= 0 — always a refcounting bug. The differential
+	// oracle asserts this stays zero.
+	BadDecrefs uint64
 }
 
 // Heap is the simulated Python heap.
@@ -208,6 +222,7 @@ func (h *Heap) AllocPayload(n uint64, cat core.Category) uint64 {
 	if n == 0 {
 		return 0
 	}
+	h.Stats.PayloadAllocs++
 	h.Stats.BytesAlloc += n
 	switch h.cfg.Kind {
 	case RefCount:

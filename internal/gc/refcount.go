@@ -15,6 +15,7 @@ func (h *Heap) Incref(o pyobj.Object) {
 	}
 	hd := o.Hdr()
 	hd.RC++
+	h.Stats.Increfs++
 	h.eng.Store(core.GarbageCollection, hd.Addr+8)
 }
 
@@ -26,6 +27,10 @@ func (h *Heap) Decref(o pyobj.Object) {
 	}
 	// dec + jz: load, store, conditional branch.
 	hd := o.Hdr()
+	if hd.RC <= 0 && !hd.Immortal && !hd.Mark {
+		h.Stats.BadDecrefs++
+	}
+	h.Stats.Decrefs++
 	hd.RC--
 	// Exactly-zero transition: extra decrefs on an already-dead object
 	// (reference cycles reach objects twice) must not re-trigger
@@ -65,6 +70,10 @@ func (h *Heap) dealloc(root pyobj.Object) {
 				return
 			}
 			ch := c.Hdr()
+			if ch.RC <= 0 && !ch.Immortal && !ch.Mark {
+				h.Stats.BadDecrefs++
+			}
+			h.Stats.Decrefs++
 			ch.RC--
 			cd := ch.RC == 0 && !ch.Immortal && !ch.Mark
 			h.eng.Load(core.GarbageCollection, ch.Addr+8, false)

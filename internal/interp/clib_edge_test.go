@@ -1,0 +1,70 @@
+package interp
+
+import "testing"
+
+// Edge-case regression tests for the C-helper library surfaces the
+// differential oracle leans on: clib_re degenerate patterns, strformat
+// nested specs, and byte-string behaviour on multi-byte (UTF-8) text.
+// Each case pins the CPython-2.7-style behaviour on both memory managers.
+
+func TestReEmptyPatterns(t *testing.T) {
+	// An empty pattern matches at every position, including the end.
+	expect(t, `print(re.findall("", "abc"))`, "['', '', '', '']\n")
+	// Empty-match substitution inserts between every character.
+	expect(t, `print(re.sub("", "-", "ab"))`, "-a-b-\n")
+	// Splitting on an empty pattern returns the string whole.
+	expect(t, `print(re.split("", "ab"))`, "['ab']\n")
+	// A star pattern alternates real and empty matches.
+	expect(t, `print(re.findall("x*", "axb"))`, "['', 'x', '', '']\n")
+	// Splitting the empty string yields one empty field.
+	expect(t, `print(re.split(",", ""))`, "['']\n")
+	// No match on the empty subject.
+	expect(t, `print(re.findall("a+", ""))`, "[]\n")
+	// Substitution with an empty replacement deletes matches.
+	expect(t, `print(re.sub("b+", "", "abba"))`, "aa\n")
+}
+
+func TestReGroupsAndClasses(t *testing.T) {
+	expect(t, `print(re.findall("[0-9]+", "a1 b22 c333"))`, "['1', '22', '333']\n")
+	// MiniPy groups are structural only (no captures), so findall
+	// returns the full match even when the pattern has a group —
+	// unlike CPython, which would return the last group capture.
+	expect(t, `print(re.findall("(ab)+", "ababxab"))`, "['abab', 'ab']\n")
+	expect(t, `print(re.sub("[aeiou]", "_", "differential"))`, "d_ff_r_nt__l\n")
+	expect(t, `print(re.split("[,;]", "a,b;c"))`, "['a', 'b', 'c']\n")
+}
+
+func TestStrformatNestedSpecs(t *testing.T) {
+	// Flag + zero-pad + width + precision on a float.
+	expect(t, `print("%+08.3f" % (3.14159,))`, "+003.142\n")
+	// Left-justify with precision.
+	expect(t, `print("%-8.2f|" % (2.5,))`, "2.50    |\n")
+	// Space flag: blank for positives, minus for negatives.
+	expect(t, `print("% d|% d" % (5, -5))`, " 5|-5\n")
+	// Zero-pad vs left-justify on ints.
+	expect(t, `print("%05d|%-5d|" % (42, 42))`, "00042|42   |\n")
+	// String precision truncates, width pads either side.
+	expect(t, `print("%8.3s|" % ("abcdef",))`, "     abc|\n")
+	expect(t, `print("%-8.3s|" % ("abcdef",))`, "abc     |\n")
+	// Precision 0 rounds to even; long precision keeps digits.
+	expect(t, `print("%.0f|%.5f" % (2.5, 1.0/3.0))`, "2|0.33333\n")
+	// Hex with zero-pad and left-justify.
+	expect(t, `print("%x|%08x|%-8x|" % (255, 255, 255))`, "ff|000000ff|ff      |\n")
+	// repr verb, char verb from int and str, literal percent.
+	expect(t, `print("%r" % ("ab",))`, "'ab'\n")
+	expect(t, `print("%c%c" % (65, "z"))`, "Az\n")
+	expect(t, `print("%%|%d" % (9,))`, "%|9\n")
+}
+
+func TestUnicodeByteStrings(t *testing.T) {
+	// MiniPy strings are byte strings: len counts bytes, slicing cuts
+	// bytes, and %-width pads by byte count — while upper() is
+	// unicode-aware. These pin the byte-semantics the oracle's canonical
+	// output comparison relies on.
+	expect(t, `print(len("héllo wörld"))`, "13\n")
+	expect(t, `print("héllo wörld".upper())`, "HÉLLO WÖRLD\n")
+	expect(t, `print("%14s|" % ("héllo wörld",))`, " héllo wörld|\n")
+	expect(t, `print("héllo"[0:3])`, "hé\n")
+	expect(t, `print("ä" * 3)`, "äää\n")
+	expect(t, `print("ä" == "ä", "ä" < "b")`, "True False\n")
+}

@@ -46,7 +46,7 @@ func (vm *VM) strFormat(format *pyobj.Str, arg pyobj.Object) pyobj.Object {
 			Raise("ValueError", "incomplete format")
 		}
 		// Flags.
-		leftAlign, zeroPad, plus := false, false, false
+		leftAlign, zeroPad, plus, space := false, false, false, false
 		for i < len(s) {
 			switch s[i] {
 			case '-':
@@ -56,6 +56,7 @@ func (vm *VM) strFormat(format *pyobj.Str, arg pyobj.Object) pyobj.Object {
 			case '+':
 				plus = true
 			case ' ':
+				space = true
 			default:
 				goto flagsDone
 			}
@@ -99,9 +100,6 @@ func (vm *VM) strFormat(format *pyobj.Str, arg pyobj.Object) pyobj.Object {
 				n = int64(f)
 			}
 			out = strconv.FormatInt(n, 10)
-			if plus && n >= 0 {
-				out = "+" + out
-			}
 		case 'x':
 			n, ok := pyobj.AsInt(next(verb))
 			if !ok {
@@ -167,12 +165,24 @@ func (vm *VM) strFormat(format *pyobj.Str, arg pyobj.Object) pyobj.Object {
 			Raise("ValueError", "unsupported format character '%c'", verb)
 		}
 
+		// Sign flags apply to every numeric conversion: '+' forces a
+		// sign, ' ' reserves the sign column for non-negatives ('+'
+		// wins when both are given, as in CPython).
+		isNum := strings.IndexByte("dixofFeEgG", verb) >= 0
+		if isNum && !strings.HasPrefix(out, "-") {
+			if plus {
+				out = "+" + out
+			} else if space {
+				out = " " + out
+			}
+		}
+
 		if width > len(out) {
 			pad := width - len(out)
 			switch {
 			case leftAlign:
 				out += strings.Repeat(" ", pad)
-			case zeroPad && (verb == 'd' || verb == 'i' || verb == 'f' || verb == 'x' || verb == 'o'):
+			case zeroPad && isNum:
 				if strings.HasPrefix(out, "-") || strings.HasPrefix(out, "+") {
 					out = out[:1] + strings.Repeat("0", pad) + out[1:]
 				} else {

@@ -191,9 +191,34 @@ func New(eng *emit.Engine, heapCfg gc.Config, stdout io.Writer) *VM {
 // SetTracer installs the JIT tracer.
 func (vm *VM) SetTracer(t Tracer) { vm.tracer = t }
 
-// ExtraRoots, when set, contributes additional GC roots (the JIT's live
-// trace registers during compiled-code execution).
-var _ = 0
+// SetStdout redirects program output to w (the differential oracle's
+// output-capture hook). Passing nil discards output.
+func (vm *VM) SetStdout(w io.Writer) {
+	if w == nil {
+		w = io.Discard
+	}
+	vm.Stdout = w
+}
+
+// Snapshot is a point-in-time copy of the VM's activity counters together
+// with the heap's, for cross-mode invariant checking.
+type Snapshot struct {
+	VM       VMStats
+	Heap     gc.Stats
+	MaxDepth int
+	// Bytecodes mirrors VM.Bytecodes for convenience.
+	Bytecodes uint64
+}
+
+// StatsSnapshot returns the current VM + heap counters.
+func (vm *VM) StatsSnapshot() Snapshot {
+	return Snapshot{
+		VM:        vm.Stats,
+		Heap:      vm.Heap.Stats,
+		MaxDepth:  vm.maxDepth,
+		Bytecodes: vm.Stats.Bytecodes,
+	}
+}
 
 // roots enumerates GC roots: the live frame chain (locals and evaluation
 // stacks), module globals, and builtins.

@@ -106,6 +106,7 @@ func (x *executor) run(f *pyobj.Frame, t *Trace) bool {
 		x.j.Stats.CompiledIters++
 		vm.CountJITIteration(len(t.Ops))
 		if x.j.cfg.Paranoid {
+			x.j.Stats.GuardChecks++ // paranoid exit counts as a checked exit
 			x.deopt(f, t, t.Close)
 			e.Ret(core.Dispatch)
 			return true
@@ -166,6 +167,9 @@ func (x *executor) execOp(f *pyobj.Frame, t *Trace, op *Op) bool {
 	e := vm.Eng
 	regs := x.regs
 
+	if op.Snap != nil {
+		x.j.Stats.GuardChecks++
+	}
 	switch op.Kind {
 	case OpGuardInt:
 		e.Load(core.TypeCheck, hdrAddr(regs[op.R1]), false)
@@ -253,11 +257,43 @@ func (x *executor) execOp(f *pyobj.Frame, t *Trace, op *Op) bool {
 			}
 		} else {
 			v = a % b
-			if v != 0 && ((v < 0) != (b < 0)) {
+			// Floored-remainder fixup; BrokenGuards (test-only fault
+			// injection) omits it to emulate a miscompiled deopt path.
+			if !x.j.cfg.BrokenGuards && v != 0 && ((v < 0) != (b < 0)) {
 				v += b
 			}
 		}
 		regs[op.Dst] = rval{i: v, kind: kInt}
+	case OpIntPow:
+		a, b := regs[op.R1].i, regs[op.R2].i
+		// Negative exponents produce floats and overflow raises — both
+		// leave the fast path through the deopt snapshot, where the
+		// interpreter re-executes with full semantics.
+		e.Branch(core.ErrorCheck, b < 0)
+		if b < 0 {
+			x.deopt(f, t, op.Snap)
+			return false
+		}
+		result, base, exp := int64(1), a, b
+		for exp > 0 {
+			e.Mul(core.Execute, true)
+			if exp&1 == 1 {
+				prev := result
+				result *= base
+				if base != 0 && result/base != prev {
+					x.deopt(f, t, op.Snap)
+					return false
+				}
+			}
+			nb := base * base
+			if base != 0 && exp > 1 && nb/base != base {
+				x.deopt(f, t, op.Snap)
+				return false
+			}
+			base = nb
+			exp >>= 1
+		}
+		regs[op.Dst] = rval{i: result, kind: kInt}
 	case OpIntAnd:
 		e.ALU(core.Execute, true)
 		regs[op.Dst] = rval{i: regs[op.R1].i & regs[op.R2].i, kind: kInt}
@@ -538,6 +574,11 @@ func (x *executor) execOp(f *pyobj.Frame, t *Trace, op *Op) bool {
 
 	default:
 		// Unknown op: bail out to the interpreter at the loop header.
+		// Counts as a guard check so Deopts <= GuardChecks stays an
+		// invariant even on this path.
+		if op.Snap == nil {
+			x.j.Stats.GuardChecks++
+		}
 		t.Invalid = true
 		x.deopt(f, t, &t.Entry)
 		return false

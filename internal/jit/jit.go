@@ -40,6 +40,13 @@ type Config struct {
 	SkipCode map[string]bool
 	// LogTraces records every compiled trace's disassembly (debugging).
 	LogTraces bool
+	// BrokenGuards is a TEST-ONLY fault-injection hook: compiled integer
+	// modulo skips its negative-operand fixup, so traces silently compute
+	// truncated (C-style) remainders where the interpreter computes
+	// Python's floored remainder. It exists solely so the differential
+	// oracle's own tests can prove that a miscompiled guard/deopt path is
+	// detected; never set it outside tests.
+	BrokenGuards bool
 }
 
 // DefaultConfig returns PyPy-like parameters.
@@ -75,7 +82,15 @@ type Stats struct {
 	Invalidations  uint64
 	CompiledIters  uint64
 	ResidualCalls  uint64
+	// GuardChecks counts executions of trace operations that carry a deopt
+	// snapshot (guards and checked arithmetic). Every deopt is triggered
+	// by one such check, so Deopts <= GuardChecks is an invariant the
+	// differential oracle asserts.
+	GuardChecks uint64
 }
+
+// StatsSnapshot returns a copy of the JIT's counters.
+func (j *JIT) StatsSnapshot() Stats { return j.Stats }
 
 type loopKey struct {
 	code *pycode.Code

@@ -503,7 +503,7 @@ func (r *recorder) recordBinOp(pc int, op pycode.Opcode) {
 	sa := r.peek(2)
 	sb := r.peek(1)
 
-	if isIntLike(a) && isIntLike(b) && kind != interp.BinPow {
+	if isIntLike(a) && isIntLike(b) {
 		snapBefore := r.snap(pc)
 		ia := r.ensureInt(sa, pc)
 		ib := r.ensureInt(sb, pc)
@@ -674,6 +674,8 @@ func intOpFor(k interp.BinKind) OpKind {
 		return OpIntDiv
 	case interp.BinMod:
 		return OpIntMod
+	case interp.BinPow:
+		return OpIntPow
 	case interp.BinAnd:
 		return OpIntAnd
 	case interp.BinOr:

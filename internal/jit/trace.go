@@ -45,6 +45,7 @@ const (
 	OpIntMul
 	OpIntDiv
 	OpIntMod
+	OpIntPow // deopts on negative exponent or overflow
 	OpIntAnd
 	OpIntOr
 	OpIntXor
@@ -115,7 +116,7 @@ var opNames = map[OpKind]string{
 	OpGuardList: "guard_list", OpGuardTrue: "guard_true", OpGuardFalse: "guard_false",
 	OpGuardGlobal: "guard_global", OpGuardBounds: "guard_bounds",
 	OpIntAdd: "int_add", OpIntSub: "int_sub", OpIntMul: "int_mul",
-	OpIntDiv: "int_div", OpIntMod: "int_mod", OpIntAnd: "int_and",
+	OpIntDiv: "int_div", OpIntMod: "int_mod", OpIntPow: "int_pow", OpIntAnd: "int_and",
 	OpIntOr: "int_or", OpIntXor: "int_xor", OpIntShl: "int_shl",
 	OpIntShr: "int_shr", OpIntNeg: "int_neg", OpIntCmp: "int_cmp",
 	OpFloatAdd: "float_add", OpFloatSub: "float_sub", OpFloatMul: "float_mul",

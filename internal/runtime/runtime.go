@@ -135,6 +135,9 @@ type Result struct {
 	BranchAccuracy float64
 	// GC summarizes collector activity over the measured runs.
 	GC gc.Stats
+	// VM summarizes interpreter activity (whole session, warmups
+	// included).
+	VM interp.VMStats
 	// JIT summarizes compiler activity (whole session).
 	JIT *jit.Stats
 	// Output is the program output of the final measured run.
@@ -326,8 +329,9 @@ func (r *Runner) RunCode(code *pycode.Code) (*Result, error) {
 		BigAllocs:     (after.BigAllocs - gcBefore.BigAllocs) / n,
 		FreelistReuse: (after.FreelistReuse - gcBefore.FreelistReuse) / n,
 	}
+	res.VM = vm.StatsSnapshot().VM
 	if theJIT != nil {
-		st := theJIT.Stats
+		st := theJIT.StatsSnapshot()
 		res.JIT = &st
 	}
 	return res, nil
