@@ -10,6 +10,7 @@ import (
 	"io"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/emit"
 	"repro/internal/experiments"
@@ -79,6 +80,29 @@ func BenchmarkInterpreterThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var out strings.Builder
 		vm := interp.New(emit.NewEngine(isa.NullSink{}), gc.DefaultRefCountConfig(), &out)
+		if err := vm.RunSource("bench", hotLoop); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpreterThroughputGoverned is BenchmarkInterpreterThroughput
+// with every resource limit armed (but far from tripping): the two
+// together measure the governor's dispatch-loop cost, which must stay
+// under 5% (one threshold compare per bytecode plus a stride-paced
+// deadline poll).
+func BenchmarkInterpreterThroughputGoverned(b *testing.B) {
+	limits := interp.Limits{
+		MaxSteps:          1 << 40,
+		MaxHeapBytes:      1 << 40,
+		MaxRecursionDepth: 100000,
+		Deadline:          time.Hour,
+		MaxOutputBytes:    1 << 30,
+	}
+	for i := 0; i < b.N; i++ {
+		var out strings.Builder
+		vm := interp.New(emit.NewEngine(isa.NullSink{}), gc.DefaultRefCountConfig(), &out)
+		vm.SetLimits(limits)
 		if err := vm.RunSource("bench", hotLoop); err != nil {
 			b.Fatal(err)
 		}

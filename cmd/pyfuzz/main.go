@@ -10,6 +10,14 @@
 //	pyfuzz -seed 1 -n 1000
 //	pyfuzz -n 200 -corpus /tmp/corpus -nurseries 64,256,4096
 //	pyfuzz -replay internal/difftest/corpus
+//	pyfuzz -faults -n 200
+//
+// With -faults, the run becomes a chaos soak: every leg except the
+// baseline executes under seeded fault injection (allocation failures,
+// nursery exhaustion, corrupted JIT guards, aborted trace compiles), and
+// the oracle verifies faults only ever surface as well-formed Python
+// exceptions — never as output divergences, internal errors, or host
+// panics.
 //
 // Exit status is nonzero if any divergence or invariant failure was
 // observed.
@@ -35,6 +43,9 @@ func run() int {
 		nurseries = flag.String("nurseries", "", "comma-separated nursery sizes in KB (empty: 64,256,4096)")
 		quiet     = flag.Bool("q", false, "suppress per-program progress")
 		showGen   = flag.Uint64("print-seed", 0, "print the program for this seed and exit")
+		faults    = flag.Bool("faults", false, "chaos soak: run faulted legs under seeded fault injection")
+		faultRate = flag.Uint64("fault-rate", 1000, "with -faults, each fault kind fires ~1/rate per site visit")
+		faultSeed = flag.Uint64("fault-seed", 0, "with -faults, injector seed (0: use -seed)")
 	)
 	flag.Parse()
 
@@ -88,6 +99,14 @@ func run() int {
 		Nurseries: sizes,
 		Budget:    *budget,
 		CorpusDir: *corpus,
+	}
+	if *faults {
+		if *faultRate == 0 {
+			fmt.Fprintln(os.Stderr, "pyfuzz: -fault-rate must be nonzero")
+			return 2
+		}
+		opts.FaultRate = *faultRate
+		opts.FaultSeed = *faultSeed
 	}
 	if !*quiet {
 		opts.Progress = func(done int) {

@@ -5,19 +5,62 @@
 // Usage:
 //
 //	pyrun [-mode cpython|pypy-nojit|pypy-jit|v8like] [-stats] [-core simple|ooo|none]
-//	      [-nursery bytes] [-quick] (-bench name | file.py)
+//	      [-nursery bytes] [-quick] [-max-steps n] [-max-heap bytes]
+//	      [-timeout dur] [-max-output bytes] (-bench name | file.py)
 //	pyrun -list
+//
+// Exit status: 0 success, 1 Python error, 2 usage error, 3 internal VM
+// error, 4 step/deadline limit (TimeoutError), 5 memory limit
+// (MemoryError), 6 recursion limit (RecursionError), 7 output limit
+// (OutputLimitError).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"repro/internal/interp"
 	"repro/internal/pybench"
 	"repro/internal/runtime"
 )
+
+// Exit statuses. Limit kinds get distinct codes so scripts can tell a
+// hostile-program timeout from an ordinary Python error.
+const (
+	exitOK        = 0
+	exitPyError   = 1
+	exitUsage     = 2
+	exitInternal  = 3
+	exitTimeout   = 4
+	exitMemory    = 5
+	exitRecursion = 6
+	exitOutput    = 7
+)
+
+// exitCode maps a runner error to the command's exit status.
+func exitCode(err error) int {
+	var ie *interp.InternalError
+	if errors.As(err, &ie) {
+		return exitInternal
+	}
+	var pe *interp.PyError
+	if errors.As(err, &pe) {
+		switch pe.Kind {
+		case "TimeoutError":
+			return exitTimeout
+		case "MemoryError":
+			return exitMemory
+		case "RecursionError":
+			return exitRecursion
+		case "OutputLimitError":
+			return exitOutput
+		}
+	}
+	return exitPyError
+}
 
 // run is the whole command, parameterized over args and output streams so
 // tests can drive it in-process. It returns the exit status.
@@ -32,13 +75,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	nursery := fs.Uint64("nursery", runtime.DefaultNursery, "nursery size in bytes (generational modes)")
 	maxBytecodes := fs.Uint64("max-bytecodes", 0, "abort after this many bytecodes (0 = unlimited)")
 	quick := fs.Bool("quick", false, "skip the warmup protocol (one measured run)")
+	maxSteps := fs.Uint64("max-steps", 0, "step budget per run in bytecodes; exceeding raises TimeoutError (0 = unlimited)")
+	maxHeap := fs.Uint64("max-heap", 0, "live-heap cap in bytes; exceeding raises MemoryError (0 = unlimited)")
+	timeout := fs.Duration("timeout", 0, "wall-clock deadline per run; exceeding raises TimeoutError (0 = none)")
+	maxRecur := fs.Int("max-recursion", 0, "call-depth cap; exceeding raises RecursionError (0 = default valve)")
+	maxOutput := fs.Uint64("max-output", 0, "output cap in bytes; exceeding raises OutputLimitError (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return exitUsage
 	}
 
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "pyrun:", err)
-		return 1
+		return exitPyError
 	}
 
 	if *list {
@@ -76,6 +124,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.NurseryBytes = *nursery
 	cfg.Stdout = stdout
 	cfg.MaxBytecodes = *maxBytecodes
+	cfg.Limits = interp.Limits{
+		MaxSteps:          *maxSteps,
+		MaxHeapBytes:      *maxHeap,
+		MaxRecursionDepth: *maxRecur,
+		Deadline:          *timeout,
+		MaxOutputBytes:    *maxOutput,
+	}
 	switch *coreKind {
 	case "simple":
 		cfg.Core = runtime.SimpleCore
@@ -99,7 +154,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	res, err := r.Run(name, src)
 	if err != nil {
-		return fail(err)
+		fmt.Fprintln(stderr, "pyrun:", err)
+		return exitCode(err)
 	}
 
 	if *stats {

@@ -65,3 +65,76 @@ func TestUsageErrors(t *testing.T) {
 		t.Errorf("bad bench: want exit 1, got %d", code)
 	}
 }
+
+// writeProg writes a temp program and returns its path.
+func writeProg(t *testing.T, src string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "prog.py")
+	if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestLimitExitCodes checks each governor limit maps to its distinct exit
+// status, across a JIT and a non-JIT mode.
+func TestLimitExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		flag []string
+		code int
+	}{
+		{"steps", "i = 0\nwhile True:\n    i = i + 1\n",
+			[]string{"-max-steps", "100000"}, exitTimeout},
+		{"deadline", "i = 0\nwhile True:\n    i = i + 1\n",
+			[]string{"-timeout", "30ms"}, exitTimeout},
+		{"heap", "l = []\nwhile True:\n    l.append(\"0123456789abcdef\")\n",
+			[]string{"-max-heap", "1048576"}, exitMemory},
+		{"recursion", "def f(n):\n    return f(n + 1)\nf(0)\n",
+			[]string{"-max-recursion", "64"}, exitRecursion},
+		{"output", "while True:\n    print(\"aaaaaaaaaaaaaaaa\")\n",
+			[]string{"-max-output", "4096"}, exitOutput},
+	}
+	for _, mode := range []string{"cpython", "pypy-jit"} {
+		for _, c := range cases {
+			t.Run(mode+"/"+c.name, func(t *testing.T) {
+				p := writeProg(t, c.src)
+				args := append([]string{"-mode", mode}, c.flag...)
+				args = append(args, p)
+				_, errOut, code := runPyrun(t, args...)
+				if code != c.code {
+					t.Fatalf("exit %d, want %d; stderr:\n%s", code, c.code, errOut)
+				}
+			})
+		}
+	}
+}
+
+// TestPlainPythonErrorStaysExitOne: an ordinary Python error is not a
+// limit trip.
+func TestPlainPythonErrorStaysExitOne(t *testing.T) {
+	p := writeProg(t, "print(1 / 0)\n")
+	_, errOut, code := runPyrun(t, "-max-steps", "100000", p)
+	if code != exitPyError {
+		t.Fatalf("exit %d, want %d; stderr:\n%s", code, exitPyError, errOut)
+	}
+	if !strings.Contains(errOut, "ZeroDivisionError") {
+		t.Errorf("stderr should carry the Python error: %s", errOut)
+	}
+}
+
+// TestLimitsWithinBudgetSucceed: limits set but not hit leave the run
+// untouched.
+func TestLimitsWithinBudgetSucceed(t *testing.T) {
+	p := writeProg(t, "print(sum(range(100)))\n")
+	out, errOut, code := runPyrun(t,
+		"-max-steps", "1000000", "-max-heap", "16777216",
+		"-timeout", "30s", "-max-output", "65536", p)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "4950") {
+		t.Errorf("output: %q", out)
+	}
+}

@@ -1,0 +1,81 @@
+package difftest
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/faults"
+	"repro/internal/gc"
+	"repro/internal/jit"
+)
+
+// ChaosSpec configures fault injection for a leg: each fault kind fires
+// with probability 1/Rate per site visit, from a PRNG seeded by Seed and
+// the program name (so a leg x program pair replays identically).
+type ChaosSpec struct {
+	Seed uint64
+	Rate uint64
+}
+
+// injector builds the per-execution fault injector for program name.
+func (c *ChaosSpec) injector(name string) *faults.Injector {
+	return faults.NewRate(c.Seed^fnv1a(name), c.Rate,
+		faults.AllocFail, faults.NurseryExhaust,
+		faults.GuardCorrupt, faults.TraceCompileFail)
+}
+
+// fnv1a hashes s (FNV-1a, 64-bit) for deterministic per-program seeds.
+func fnv1a(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// ChaosLegs builds the chaos-soak matrix: the unfaulted cpython baseline
+// plus one faulted leg per runtime mode. A single nursery size replaces
+// the usual sweep — chaos soaks trade GC-size coverage for fault-schedule
+// coverage, and the small nursery keeps collections (and so fault sites)
+// frequent.
+func ChaosLegs(seed, rate uint64) []Leg {
+	const nursery = 64 << 10
+	jitCfg := jit.DefaultConfig()
+	v8Cfg := jit.V8LikeConfig()
+	return []Leg{
+		{Name: "cpython", Heap: gc.DefaultRefCountConfig()},
+		{Name: "cpython+chaos", Heap: gc.DefaultRefCountConfig(),
+			Chaos: &ChaosSpec{Seed: seed, Rate: rate}},
+		{Name: "pypy-nojit+chaos", Heap: gc.DefaultGenConfig(nursery),
+			Chaos: &ChaosSpec{Seed: seed + 1, Rate: rate}},
+		{Name: "pypy-jit+chaos", Heap: gc.DefaultGenConfig(nursery), JIT: &jitCfg,
+			Chaos: &ChaosSpec{Seed: seed + 2, Rate: rate}},
+		{Name: "v8like+chaos", Heap: gc.DefaultGenConfig(nursery), JIT: &v8Cfg,
+			Chaos: &ChaosSpec{Seed: seed + 3, Rate: rate}},
+	}
+}
+
+// chaosDiff compares a faulted leg against the unfaulted baseline. The
+// graceful-degradation contract: an injected fault may surface as a
+// well-formed MemoryError after a prefix of the baseline's output, or be
+// absorbed silently (forced deopts, aborted compiles, extra minor GCs) —
+// in which case the leg must agree with the baseline exactly. Anything
+// else, and an InternalError above all, is a divergence.
+func chaosDiff(base, got *Outcome) string {
+	if strings.HasPrefix(got.Err, "InternalError") {
+		return "internal error under fault injection: " + got.Err
+	}
+	if got.Err != base.Err {
+		if !strings.HasPrefix(got.Err, "MemoryError") {
+			return fmt.Sprintf("error mismatch under faults: baseline %q, got %q (%s)",
+				base.Err, got.Err, got.Faults)
+		}
+		if !strings.HasPrefix(base.Output, got.Output) {
+			return firstLineDiff("output before injected MemoryError", base.Output, got.Output)
+		}
+		return ""
+	}
+	// No fault surfaced: full agreement required, faults or not.
+	return diffOutcomes(base, got)
+}

@@ -80,7 +80,7 @@ func RunCorpus(dir string, legs []Leg, budget uint64) (divs []Divergence, invs [
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		d, iv, cerr := CheckProgram(legs, n, corpus[n], budget)
+		d, iv, _, cerr := CheckProgram(legs, n, corpus[n], budget)
 		if cerr != nil {
 			return nil, nil, cerr
 		}

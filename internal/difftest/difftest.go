@@ -40,6 +40,12 @@ type Options struct {
 	// MutateJIT edits each JIT leg's config before use (fault injection
 	// in tests).
 	MutateJIT func(*jit.Config)
+	// FaultRate, when nonzero, switches the run to chaos mode: the leg
+	// matrix becomes ChaosLegs (unfaulted baseline + faulted legs) with
+	// every fault kind firing at probability 1/FaultRate per site.
+	FaultRate uint64
+	// FaultSeed seeds the chaos injectors (default: Seed).
+	FaultSeed uint64
 	// Progress, when non-nil, is called after each program with the
 	// number checked so far.
 	Progress func(done int)
@@ -58,6 +64,10 @@ type Report struct {
 	InvariantFailures []string
 	// ReproPaths lists corpus files written for the divergences.
 	ReproPaths []string
+	// Stats aggregates chaos/JIT degradation counters across the run:
+	// faults injected, deopts (including error-forced ones), and aborted
+	// trace compiles — the soak's evidence that fallback paths executed.
+	Stats ProgramStats
 }
 
 // OK reports whether the run observed no failures.
@@ -69,6 +79,10 @@ func (r *Report) OK() bool {
 func (r *Report) Summary() string {
 	s := fmt.Sprintf("difftest: %d programs x %d legs: %d divergences, %d invariant failures",
 		r.Programs, r.Legs, len(r.Divergences), len(r.InvariantFailures))
+	if r.Stats.FaultsFired > 0 {
+		s += fmt.Sprintf("\n  chaos: %d faults injected; jit fallback: %d deopts (%d error-forced), %d aborted compiles",
+			r.Stats.FaultsFired, r.Stats.Deopts, r.Stats.ErrorDeopts, r.Stats.TracesAborted)
+	}
 	for i := range r.Divergences {
 		s += "\n  " + r.Divergences[i].String()
 	}
@@ -88,15 +102,26 @@ func Run(seed uint64, n int) (*Report, error) {
 // RunWith executes a fuzzing run per opts.
 func RunWith(opts Options) (*Report, error) {
 	legs := Legs(opts.Nurseries, opts.MutateJIT)
+	if opts.FaultRate != 0 {
+		fseed := opts.FaultSeed
+		if fseed == 0 {
+			fseed = opts.Seed
+		}
+		legs = ChaosLegs(fseed, opts.FaultRate)
+	}
 	rep := &Report{Legs: len(legs)}
 	for i := 0; i < opts.N; i++ {
 		seed := opts.Seed + uint64(i)
 		src := Generate(seed)
 		name := fmt.Sprintf("fuzz_seed%d.py", seed)
-		divs, invs, err := CheckProgram(legs, name, src, opts.Budget)
+		divs, invs, stats, err := CheckProgram(legs, name, src, opts.Budget)
 		if err != nil {
 			return rep, fmt.Errorf("seed %d: %w", seed, err)
 		}
+		rep.Stats.FaultsFired += stats.FaultsFired
+		rep.Stats.Deopts += stats.Deopts
+		rep.Stats.ErrorDeopts += stats.ErrorDeopts
+		rep.Stats.TracesAborted += stats.TracesAborted
 		// One shrink per program: legs usually disagree for the same
 		// root cause, and shrinking is by far the most expensive step.
 		var minimized string
@@ -134,6 +159,12 @@ func minimize(legs []Leg, d Divergence, budget uint64) string {
 		}
 	}
 	if leg == nil {
+		return ""
+	}
+	if leg.Chaos != nil {
+		// Chaos fault schedules are seeded by program name, so a shrunk
+		// candidate replays a different schedule and the divergence
+		// predicate is not stable under shrinking. Report unminimized.
 		return ""
 	}
 	return Shrink(d.Program, func(cand string) bool {

@@ -283,3 +283,50 @@ print("%06.2f" % (1.5,))
 		}
 	}
 }
+
+// TestChaosSoak runs the chaos-mode matrix: seeded fault injection on
+// every leg but the baseline, with the graceful-degradation contract —
+// injected faults surface only as a well-formed MemoryError after a
+// prefix of the baseline's output, or not at all. Zero divergences and
+// zero invariant failures required; at least one fault must actually
+// fire, or the soak proved nothing.
+func TestChaosSoak(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 10
+	}
+	rep, err := RunWith(Options{Seed: 1, N: n, FaultRate: 500})
+	if err != nil {
+		t.Fatalf("RunWith: %v", err)
+	}
+	if !rep.OK() {
+		t.Fatalf("chaos soak failures:\n%s", rep.Summary())
+	}
+	if rep.Stats.FaultsFired == 0 {
+		t.Fatal("no faults fired; the soak exercised nothing")
+	}
+	if rep.Stats.Deopts == 0 {
+		t.Error("no JIT deopts observed under fault injection")
+	}
+	t.Logf("chaos: %d faults, %d deopts (%d error-forced), %d aborted compiles",
+		rep.Stats.FaultsFired, rep.Stats.Deopts, rep.Stats.ErrorDeopts, rep.Stats.TracesAborted)
+}
+
+// TestChaosFaultScheduleDeterministic: the same seed must replay the same
+// fault schedule — the property that makes chaos failures debuggable.
+func TestChaosFaultScheduleDeterministic(t *testing.T) {
+	run := func() *Report {
+		rep, err := RunWith(Options{Seed: 7, N: 5, FaultRate: 200})
+		if err != nil {
+			t.Fatalf("RunWith: %v", err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Stats != b.Stats {
+		t.Fatalf("same seed, different schedules: %+v vs %+v", a.Stats, b.Stats)
+	}
+	if a.Stats.FaultsFired == 0 {
+		t.Fatal("no faults fired at rate 200")
+	}
+}

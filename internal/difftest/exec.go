@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/emit"
+	"repro/internal/faults"
 	"repro/internal/gc"
 	"repro/internal/interp"
 	"repro/internal/isa"
@@ -22,6 +23,12 @@ type Leg struct {
 	Heap gc.Config
 	// JIT, when non-nil, attaches a tracing JIT with this configuration.
 	JIT *jit.Config
+	// Chaos, when non-nil, enables seeded fault injection on this leg
+	// (chaos mode). A faulted leg is held to relaxed-but-strict rules:
+	// injected faults may surface only as a well-formed MemoryError whose
+	// output is a prefix of the baseline's, or not at all — never as an
+	// output divergence, InternalError, or host panic.
+	Chaos *ChaosSpec
 }
 
 // DefaultNurseries are the nursery sizes the generational legs sweep. The
@@ -75,6 +82,10 @@ type Outcome struct {
 	Globals  string
 	Snap     interp.Snapshot
 	JIT      *jit.Stats
+	// Faults renders the fault injector's site/fired counts (chaos legs);
+	// FaultsFired is the total injected faults this execution.
+	Faults      string
+	FaultsFired uint64
 }
 
 // DefaultBudget bounds each leg's execution. Generated programs finish
@@ -100,9 +111,20 @@ func Execute(leg Leg, name, src string, budget uint64) (*Outcome, error) {
 	}
 	vm.MaxBytecodes = budget
 
+	// Chaos mode: one injector per execution (it is stateful), seeded
+	// from the leg's spec and the program name so every leg x program
+	// pair replays an identical fault schedule.
+	var inj *faults.Injector
+	if leg.Chaos != nil {
+		inj = leg.Chaos.injector(name)
+		vm.Heap.SetFaults(inj)
+	}
+
 	var theJIT *jit.JIT
 	if leg.JIT != nil {
-		theJIT = jit.New(vm, *leg.JIT)
+		cfg := *leg.JIT
+		cfg.Faults = inj
+		theJIT = jit.New(vm, cfg)
 	}
 
 	o := &Outcome{Leg: leg.Name, HeapKind: leg.Heap.Kind}
@@ -115,6 +137,10 @@ func Execute(leg Leg, name, src string, budget uint64) (*Outcome, error) {
 	if theJIT != nil {
 		st := theJIT.StatsSnapshot()
 		o.JIT = &st
+	}
+	if inj != nil {
+		o.Faults = inj.String()
+		o.FaultsFired = inj.TotalFired()
 	}
 	return o, nil
 }

@@ -53,39 +53,71 @@ func firstLineDiff(what, a, b string) string {
 	return fmt.Sprintf("%s length: baseline %d lines, got %d lines", what, len(al), len(bl))
 }
 
+// ProgramStats aggregates observability counters across one program's
+// legs: how many faults the chaos injectors fired and how the JITs
+// degraded (the soak's proof that fallback paths actually ran).
+type ProgramStats struct {
+	FaultsFired   uint64
+	Deopts        uint64
+	ErrorDeopts   uint64
+	TracesAborted uint64
+}
+
+func (s *ProgramStats) add(o *Outcome) {
+	s.FaultsFired += o.FaultsFired
+	if j := o.JIT; j != nil {
+		s.Deopts += j.Deopts
+		s.ErrorDeopts += j.ErrorDeopts
+		s.TracesAborted += j.TracesAborted
+	}
+}
+
 // CheckProgram executes src under every leg and compares each against the
 // first (baseline) leg. It returns one Divergence per disagreeing leg
 // (without reproducer minimization — the caller shrinks) plus any
-// invariant violations observed on the way.
-func CheckProgram(legs []Leg, name, src string, budget uint64) (divs []Divergence, invs []string, err error) {
+// invariant violations observed on the way. Legs with Chaos set are
+// compared under chaosDiff's graceful-degradation contract instead of
+// exact agreement.
+func CheckProgram(legs []Leg, name, src string, budget uint64) (divs []Divergence, invs []string, stats ProgramStats, err error) {
 	base, err := Execute(legs[0], name, src, budget)
 	if err != nil {
-		return nil, nil, fmt.Errorf("%s: baseline: %w", name, err)
+		return nil, nil, stats, fmt.Errorf("%s: baseline: %w", name, err)
 	}
 	if budgetTripped(base) {
 		// The budget is a harness artifact, not program semantics, and
 		// JIT legs count interpreted bytecodes only — comparing a
 		// tripped run across legs would fabricate divergences.
-		return nil, nil, nil
+		return nil, nil, stats, nil
 	}
 	invs = append(invs, CheckInvariants(base)...)
+	if strings.HasPrefix(base.Err, "InternalError") {
+		invs = append(invs, "[cpython] baseline internal error: "+base.Err)
+	}
+	stats.add(base)
 	for _, leg := range legs[1:] {
 		got, xerr := Execute(leg, name, src, budget)
 		if xerr != nil {
-			return nil, nil, fmt.Errorf("%s: leg %s: %w", name, leg.Name, xerr)
+			return nil, nil, stats, fmt.Errorf("%s: leg %s: %w", name, leg.Name, xerr)
 		}
+		stats.add(got)
 		if budgetTripped(got) {
 			continue
 		}
 		invs = append(invs, CheckInvariants(got)...)
-		if d := diffOutcomes(base, got); d != "" {
+		var d string
+		if leg.Chaos != nil {
+			d = chaosDiff(base, got)
+		} else {
+			d = diffOutcomes(base, got)
+		}
+		if d != "" {
 			divs = append(divs, Divergence{Leg: leg.Name, Desc: d, Program: src})
 		}
 	}
 	for i := range invs {
 		invs[i] = name + ": " + invs[i]
 	}
-	return divs, invs, nil
+	return divs, invs, stats, nil
 }
 
 // budgetTripped reports whether the outcome aborted on the harness's

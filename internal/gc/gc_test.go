@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/emit"
+	"repro/internal/faults"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/pyobj"
@@ -207,5 +208,159 @@ func TestGCEventsCarryGCPhase(t *testing.T) {
 	}
 	if sink.ByCat[core.GarbageCollection] == 0 {
 		t.Error("collection emitted no GC-category events")
+	}
+}
+
+// ---- Resource governor ----
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"gen without nursery", Config{Kind: Generational}},
+		{"nursery over half span", Config{Kind: Generational, NurseryBytes: mem.HeapSpan}},
+		{"unknown kind", Config{Kind: Kind(42)}},
+	}
+	for _, c := range cases {
+		err := Validate(c.cfg)
+		if err == nil {
+			t.Errorf("%s: Validate accepted", c.name)
+			continue
+		}
+		if _, ok := err.(*ConfigError); !ok {
+			t.Errorf("%s: error %T, want *ConfigError", c.name, err)
+		}
+	}
+	if err := Validate(DefaultRefCountConfig()); err != nil {
+		t.Errorf("refcount config rejected: %v", err)
+	}
+	if err := Validate(DefaultGenConfig(4 << 10)); err != nil {
+		t.Errorf("gen config rejected: %v", err)
+	}
+}
+
+func TestNewPanicsTypedOnBadConfig(t *testing.T) {
+	defer func() {
+		if _, ok := recover().(*ConfigError); !ok {
+			t.Error("New did not panic with *ConfigError")
+		}
+	}()
+	newHeap(Config{Kind: Generational}) // no nursery size
+}
+
+func TestUsedBytesRefCountTracksFrees(t *testing.T) {
+	h, _ := newHeap(DefaultRefCountConfig())
+	if h.UsedBytes() != 0 {
+		t.Fatalf("fresh heap used %d", h.UsedBytes())
+	}
+	o := &pyobj.Int{V: 1}
+	h.Allocate(o, core.Boxing)
+	used := h.UsedBytes()
+	if used == 0 {
+		t.Fatal("allocation not reflected in UsedBytes")
+	}
+	h.Decref(o) // freed immediately
+	if h.UsedBytes() != 0 {
+		t.Errorf("used %d after freeing the only object", h.UsedBytes())
+	}
+}
+
+func TestHeapLimitOOMWithoutHandler(t *testing.T) {
+	h, _ := newHeap(DefaultRefCountConfig())
+	h.SetLimit(256)
+	defer func() {
+		e, ok := recover().(*OutOfMemoryError)
+		if !ok {
+			t.Fatal("limit breach did not panic with *OutOfMemoryError")
+		}
+		if e.Limit != 256 || e.Need == 0 {
+			t.Errorf("bad error fields: %+v", e)
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		h.Allocate(&pyobj.Int{V: int64(i)}, core.Boxing) // never freed
+	}
+	t.Fatal("allocated past the limit without OOM")
+}
+
+func TestHeapLimitOOMHandlerInvoked(t *testing.T) {
+	h, _ := newHeap(DefaultRefCountConfig())
+	h.SetLimit(128)
+	type sentinel struct{ need uint64 }
+	h.SetOOM(func(need uint64) { panic(&sentinel{need}) })
+	defer func() {
+		s, ok := recover().(*sentinel)
+		if !ok {
+			t.Fatal("OOM handler not invoked")
+		}
+		if s.need == 0 {
+			t.Error("handler got zero need")
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		h.Allocate(&pyobj.Int{V: int64(i)}, core.Boxing)
+	}
+}
+
+// A generational heap whose footprint is garbage must survive a limit that
+// live data fits under: the emergency collection reclaims before OOM.
+func TestHeapLimitEmergencyCollection(t *testing.T) {
+	h, _ := newHeap(DefaultGenConfig(64 << 10))
+	h.SetLimit(32 << 10) // half the nursery: bump pointer alone would breach
+	for i := 0; i < 5000; i++ {
+		h.Allocate(&pyobj.Int{V: int64(i)}, core.Boxing) // all garbage
+	}
+	if h.Stats.MinorGCs == 0 {
+		t.Error("limit pressure never forced a collection")
+	}
+	if h.UsedBytes() > 32<<10 {
+		t.Errorf("used %d exceeds limit after collections", h.UsedBytes())
+	}
+}
+
+func TestGraceSuspendsLimit(t *testing.T) {
+	h, _ := newHeap(DefaultRefCountConfig())
+	h.SetLimit(1) // everything breaches
+	h.BeginGrace()
+	h.Allocate(&pyobj.Int{V: 1}, core.Boxing) // must not panic
+	h.EndGrace()
+	defer func() {
+		if recover() == nil {
+			t.Error("limit not re-enabled after EndGrace")
+		}
+	}()
+	h.Allocate(&pyobj.Int{V: 2}, core.Boxing)
+}
+
+func TestAllocFailInjection(t *testing.T) {
+	h, _ := newHeap(DefaultRefCountConfig())
+	h.SetFaults(faults.NewEveryNth(faults.AllocFail, 3))
+	var failed int
+	h.SetOOM(func(need uint64) { failed++; panic(&OutOfMemoryError{Need: need}) })
+	for i := 0; i < 9; i++ {
+		func() {
+			defer func() { recover() }()
+			h.Allocate(&pyobj.Int{V: int64(i)}, core.Boxing)
+		}()
+	}
+	if failed != 3 {
+		t.Errorf("every-3rd alloc fault fired %d/9 times, want 3", failed)
+	}
+}
+
+func TestTickPolledAtCollectionEntry(t *testing.T) {
+	h, roots := newHeap(DefaultGenConfig(4 << 10))
+	_ = roots
+	var ticks int
+	h.SetTick(func() { ticks++ })
+	for i := 0; i < 500; i++ {
+		h.Allocate(&pyobj.Int{V: int64(i)}, core.Boxing)
+	}
+	if h.Stats.MinorGCs == 0 {
+		t.Fatal("no collections happened")
+	}
+	if ticks == 0 {
+		t.Error("tick not polled during collection")
 	}
 }

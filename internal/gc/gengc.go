@@ -39,6 +39,12 @@ func (h *Heap) CollectMinor() {
 	if h.cfg.Kind != Generational {
 		return
 	}
+	if h.tick != nil {
+		// Deadline poll at the collection safe point, before any heap
+		// mutation: allocation-bound hostile programs spend most of their
+		// time here, so the budget must be enforceable mid-GC.
+		h.tick()
+	}
 	h.Stats.MinorGCs++
 	prevPhase := h.eng.SetPhase(core.PhaseGC)
 	h.eng.Call(core.GarbageCollection, h.pcMinor)
@@ -178,6 +184,9 @@ func (h *Heap) maybeMajor() {
 func (h *Heap) CollectMajor() {
 	if h.cfg.Kind != Generational {
 		return
+	}
+	if h.tick != nil {
+		h.tick()
 	}
 	h.Stats.MajorGCs++
 	prevPhase := h.eng.SetPhase(core.PhaseGC)

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/emit"
+	"repro/internal/faults"
 	"repro/internal/mem"
 	"repro/internal/pyobj"
 )
@@ -121,14 +122,78 @@ type Heap struct {
 	// Code addresses of the allocator / collector routines.
 	pcAlloc, pcMinor, pcMajor, pcDealloc, pcBarrier uint64
 
+	// Resource governor state. limit caps the live heap footprint; oomFn
+	// (installed by the VM) surfaces exhaustion as an in-language
+	// MemoryError; tick (also VM-installed) polls the execution deadline
+	// at collection entry so a runaway GC cannot outlive the budget;
+	// grace suspends enforcement while the VM reconstructs state on an
+	// error path (deopt boxing must never itself OOM).
+	limit       uint64
+	oomFn       func(need uint64)
+	tick        func()
+	grace       int
+	faultInj    *faults.Injector
+	inEmergency bool
+
 	Stats Stats
 }
 
+// OutOfMemoryError reports heap-limit exhaustion when no OOM handler is
+// installed (library use without a VM).
+type OutOfMemoryError struct {
+	Need, Limit, Used uint64
+}
+
+func (e *OutOfMemoryError) Error() string {
+	return fmt.Sprintf("gc: heap limit exhausted (need %d, used %d of %d)",
+		e.Need, e.Used, e.Limit)
+}
+
+// MinNursery is the smallest usable nursery: anything below can't hold a
+// single large-ish object plus copy headroom and would livelock the minor
+// collector.
+const MinNursery = 4 << 10
+
+// ConfigError reports an invalid heap configuration — a structured value
+// rather than a bare panic string so recover boundaries and pre-flight
+// validation can both report it.
+type ConfigError struct{ Reason string }
+
+func (e *ConfigError) Error() string { return "gc: " + e.Reason }
+
+// Validate checks cfg without building a heap; runner constructors call it
+// so misconfiguration surfaces as an error instead of a panic.
+func Validate(cfg Config) error {
+	switch cfg.Kind {
+	case RefCount:
+	case Generational:
+		if cfg.NurseryBytes == 0 {
+			return &ConfigError{Reason: "generational heap needs a nursery size"}
+		}
+		if cfg.NurseryBytes < MinNursery {
+			return &ConfigError{Reason: fmt.Sprintf(
+				"nursery %d below minimum %d", cfg.NurseryBytes, MinNursery)}
+		}
+		if cfg.NurseryBytes > mem.HeapSpan/2 {
+			return &ConfigError{Reason: fmt.Sprintf(
+				"nursery %d exceeds half the heap span %d", cfg.NurseryBytes, mem.HeapSpan)}
+		}
+	default:
+		return &ConfigError{Reason: fmt.Sprintf("unknown kind %d", cfg.Kind)}
+	}
+	return nil
+}
+
 // New builds a heap over the engine. Code addresses for the allocator
-// routines are taken from cspace (interpreter text segment).
+// routines are taken from cspace (interpreter text segment). Invalid
+// configurations panic with a typed *ConfigError; call Validate first to
+// get an error instead.
 func New(cfg Config, eng *emit.Engine, cspace *emit.CodeSpace) *Heap {
 	if cfg.MajorGrowthFactor == 0 {
 		cfg.MajorGrowthFactor = 1.82
+	}
+	if err := Validate(cfg); err != nil {
+		panic(err)
 	}
 	h := &Heap{
 		cfg:       cfg,
@@ -144,17 +209,101 @@ func New(cfg Config, eng *emit.Engine, cspace *emit.CodeSpace) *Heap {
 		h.rcArena = mem.NewRegion("rc-heap", mem.HeapBase, mem.HeapSpan)
 		h.rcFree = mem.NewFreeList(h.rcArena)
 	case Generational:
-		if cfg.NurseryBytes == 0 {
-			panic("gc: generational heap needs a nursery size")
-		}
 		h.nursery = mem.NewRegion("nursery", mem.HeapBase, cfg.NurseryBytes)
 		oldBase := mem.HeapBase + ((cfg.NurseryBytes + 0xfff) &^ 0xfff) + 0x1000_0000
 		h.old = mem.NewRegion("oldspace", oldBase, mem.HeapSpan-(oldBase-mem.HeapBase))
 		h.oldFree = mem.NewFreeList(h.old)
-	default:
-		panic(fmt.Sprintf("gc: unknown kind %d", cfg.Kind))
 	}
 	return h
+}
+
+// ---- Resource governor ----
+
+// SetLimit caps the heap's live footprint at bytes (0 = unlimited). When
+// an allocation would exceed the cap, the heap attempts one emergency full
+// collection (Generational mode) before declaring OOM.
+func (h *Heap) SetLimit(bytes uint64) { h.limit = bytes }
+
+// SetOOM installs the out-of-memory handler. The VM installs a function
+// that raises the in-language MemoryError; the handler must not return
+// normally if it wants to stop the allocation (it unwinds via panic).
+func (h *Heap) SetOOM(fn func(need uint64)) { h.oomFn = fn }
+
+// SetTick installs a callback polled at collection entry — the VM uses it
+// to check the execution deadline during GC, which can dominate runtime on
+// hostile allocation patterns.
+func (h *Heap) SetTick(fn func()) { h.tick = fn }
+
+// SetFaults installs a chaos-mode fault injector (nil disables).
+func (h *Heap) SetFaults(in *faults.Injector) { h.faultInj = in }
+
+// Faults returns the installed injector (nil when chaos mode is off).
+func (h *Heap) Faults() *faults.Injector { return h.faultInj }
+
+// BeginGrace suspends limit enforcement and fault injection; EndGrace
+// restores them. Error-recovery paths (JIT deopt state reconstruction)
+// run under grace so boxing the exit state can never re-fault.
+func (h *Heap) BeginGrace() { h.grace++ }
+
+// EndGrace ends a BeginGrace section.
+func (h *Heap) EndGrace() { h.grace-- }
+
+// UsedBytes returns the heap's live footprint: bytes handed out and not
+// yet freed, at allocator granularity. Exact for both collectors (the
+// free lists track returned bytes; the nursery is live up to its bump
+// pointer until the next minor collection).
+func (h *Heap) UsedBytes() uint64 {
+	switch h.cfg.Kind {
+	case RefCount:
+		return h.rcFree.LiveBytes()
+	case Generational:
+		return h.nursery.Used() + h.oldFree.LiveBytes()
+	}
+	return 0
+}
+
+// reserve enforces the heap limit (and chaos alloc faults) for an n-byte
+// allocation, attempting one emergency full collection before declaring
+// OOM. The fast path is two nil/zero compares.
+func (h *Heap) reserve(n uint64) {
+	if h.grace > 0 {
+		return
+	}
+	if h.faultInj.Should(faults.AllocFail) {
+		h.oom(n)
+		return
+	}
+	if h.limit == 0 || h.UsedBytes()+n <= h.limit {
+		return
+	}
+	h.emergencyCollect()
+	if h.UsedBytes()+n <= h.limit {
+		return
+	}
+	h.oom(n)
+}
+
+// emergencyCollect runs one full collection ahead of declaring OOM
+// (Generational only; reference counting frees eagerly, so there is
+// nothing left to reclaim).
+func (h *Heap) emergencyCollect() {
+	if h.cfg.Kind != Generational || h.inEmergency {
+		return
+	}
+	h.inEmergency = true
+	h.CollectMinor()
+	h.CollectMajor()
+	h.inEmergency = false
+}
+
+// oom reports allocation failure through the installed handler (expected
+// to raise MemoryError and unwind); without a handler it panics with a
+// typed error a recover boundary can classify.
+func (h *Heap) oom(n uint64) {
+	if h.oomFn != nil {
+		h.oomFn(n)
+	}
+	panic(&OutOfMemoryError{Need: n, Limit: h.limit, Used: h.UsedBytes()})
 }
 
 // SetRoots installs the root provider. It must be set before the first
@@ -185,6 +334,7 @@ func (h *Heap) bigThreshold() uint64 {
 // collection.
 func (h *Heap) Allocate(o pyobj.Object, cat core.Category) {
 	size := pyobj.FixedSize(o)
+	h.reserve(size)
 	hd := o.Hdr()
 	hd.Size = uint32(size)
 	h.Stats.Allocations++
@@ -192,7 +342,7 @@ func (h *Heap) Allocate(o pyobj.Object, cat core.Category) {
 
 	switch h.cfg.Kind {
 	case RefCount:
-		addr, reused := h.rcFree.Alloc(size)
+		addr, reused := h.rcAlloc(size)
 		if reused {
 			h.Stats.FreelistReuse++
 		}
@@ -222,11 +372,12 @@ func (h *Heap) AllocPayload(n uint64, cat core.Category) uint64 {
 	if n == 0 {
 		return 0
 	}
+	h.reserve(n)
 	h.Stats.PayloadAllocs++
 	h.Stats.BytesAlloc += n
 	switch h.cfg.Kind {
 	case RefCount:
-		addr, reused := h.rcFree.Alloc(n)
+		addr, reused := h.rcAlloc(n)
 		if reused {
 			h.Stats.FreelistReuse++
 		}
@@ -236,6 +387,26 @@ func (h *Heap) AllocPayload(n uint64, cat core.Category) uint64 {
 	default:
 		return h.genAlloc(n, cat)
 	}
+}
+
+// rcAlloc allocates from the refcount arena, mapping region exhaustion to
+// the OOM path instead of a panic.
+func (h *Heap) rcAlloc(n uint64) (addr uint64, reused bool) {
+	addr, reused, err := h.rcFree.AllocErr(n)
+	if err != nil {
+		h.oom(n)
+	}
+	return addr, reused
+}
+
+// oldAllocBlock allocates in the old space, mapping region exhaustion to
+// the OOM path.
+func (h *Heap) oldAllocBlock(n uint64) uint64 {
+	addr, _, err := h.oldFree.AllocErr(n)
+	if err != nil {
+		h.oom(n)
+	}
+	return addr
 }
 
 // FreePayload returns a payload block to the allocator (RefCount mode; a
@@ -255,11 +426,16 @@ func (h *Heap) FreePayload(addr, n uint64) {
 func (h *Heap) genAlloc(n uint64, cat core.Category) uint64 {
 	if n >= h.bigThreshold() {
 		h.Stats.BigAllocs++
-		addr, _ := h.oldFree.Alloc(n)
+		addr := h.oldAllocBlock(n)
 		h.oldAlloc += n
 		h.eng.ALU(cat, false)
 		h.maybeMajor()
 		return addr
+	}
+	if h.grace == 0 && h.faultInj.Should(faults.NurseryExhaust) {
+		// Chaos mode: pretend the nursery filled here, forcing a minor
+		// collection at an arbitrary allocation point.
+		h.CollectMinor()
 	}
 	// Bump: add + limit check.
 	h.eng.ALU(cat, false)
@@ -270,7 +446,7 @@ func (h *Heap) genAlloc(n uint64, cat core.Category) uint64 {
 		addr, ok = h.nursery.Alloc(n, 16)
 		if !ok {
 			// Object larger than the nursery: old space.
-			addr, _ = h.oldFree.Alloc(n)
+			addr = h.oldAllocBlock(n)
 			h.oldAlloc += n
 		}
 	}

@@ -1,7 +1,6 @@
 package interp
 
 import (
-	"fmt"
 	"sort"
 	"strconv"
 	"strings"
@@ -236,7 +235,8 @@ func biPrint(vm *VM, _ pyobj.Object, args []pyobj.Object) pyobj.Object {
 	for i := 0; i < n; i++ {
 		vm.Eng.Store(core.Execute, mem_ioBuf+uint64(i*8))
 	}
-	fmt.Fprintln(vm.Stdout, out)
+	vm.writeOut(out)
+	vm.writeOut("\n")
 	return nil
 }
 

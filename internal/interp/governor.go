@@ -1,0 +1,247 @@
+package interp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/gc"
+	"repro/internal/pycode"
+	"repro/internal/pyobj"
+)
+
+// Limits is the resource governor's configuration: hard caps a hostile or
+// buggy program cannot exceed. Each limit surfaces as an in-language
+// exception (TimeoutError, MemoryError, RecursionError, OutputLimitError)
+// that unwinds through normal PyError handling, so the host survives any
+// program. Zero values mean unlimited.
+//
+// Governor checks deliberately emit NO micro-events: enforcement is host
+// bookkeeping, not simulated Python work, and must not distort the paper's
+// overhead-category attribution (see EXPERIMENTS.md).
+type Limits struct {
+	// MaxSteps caps the bytecodes executed per RunCode invocation
+	// (compiled-trace operations count against it too). Exceeding it
+	// raises TimeoutError.
+	MaxSteps uint64
+	// MaxHeapBytes caps the live heap footprint. The collector attempts
+	// one emergency full collection before raising MemoryError.
+	MaxHeapBytes uint64
+	// MaxRecursionDepth caps the Python call depth, raising
+	// RecursionError (the VM's built-in depth valve stays in place and
+	// keeps raising RuntimeError, matching CPython 2.7).
+	MaxRecursionDepth int
+	// Deadline bounds wall-clock time per RunCode invocation, raising
+	// TimeoutError. Polled every deadlineStride bytecodes and at GC
+	// entry, so allocation-bound programs cannot dodge it.
+	Deadline time.Duration
+	// MaxOutputBytes caps bytes written to stdout, raising
+	// OutputLimitError.
+	MaxOutputBytes uint64
+}
+
+// Enabled reports whether any limit is set.
+func (l Limits) Enabled() bool {
+	return l.MaxSteps != 0 || l.MaxHeapBytes != 0 || l.MaxRecursionDepth != 0 ||
+		l.Deadline != 0 || l.MaxOutputBytes != 0
+}
+
+// deadlineStride is how many bytecodes run between wall-clock polls. At
+// interpreter speeds this bounds deadline overshoot to well under a
+// millisecond while keeping time.Now off the dispatch fast path.
+const deadlineStride = 8192
+
+// SetLimits installs the resource limits. Call before RunCode; the step
+// and wall-clock budgets are (re-)armed at each RunCode entry.
+func (vm *VM) SetLimits(l Limits) {
+	vm.limits = l
+	if l.MaxRecursionDepth > 0 {
+		vm.recursionLimit = l.MaxRecursionDepth
+	} else {
+		vm.recursionLimit = maxRecursion
+	}
+	vm.Heap.SetLimit(l.MaxHeapBytes)
+	vm.scheduleGovernor()
+}
+
+// Limits returns the installed resource limits.
+func (vm *VM) Limits() Limits { return vm.limits }
+
+// armGovernor starts a RunCode invocation's step and wall-clock budgets.
+func (vm *VM) armGovernor() {
+	vm.stepBase = vm.iterations
+	if d := vm.limits.Deadline; d > 0 {
+		vm.deadlineAt = time.Now().Add(d)
+	} else {
+		vm.deadlineAt = time.Time{}
+	}
+	vm.outBytes = 0
+	vm.scheduleGovernor()
+}
+
+// scheduleGovernor computes nextCheck, the absolute iteration count at
+// which dispatch must run the governor slow path. Keeping a single
+// precomputed threshold means the dispatch hot path pays one compare for
+// the whole governor, however many limits are armed.
+func (vm *VM) scheduleGovernor() {
+	next := ^uint64(0)
+	if l := vm.limits.MaxSteps; l != 0 {
+		if c := vm.stepBase + l + 1; c < next {
+			next = c
+		}
+	}
+	if !vm.deadlineAt.IsZero() {
+		if c := vm.iterations + deadlineStride; c < next {
+			next = c
+		}
+	}
+	vm.nextCheck = next
+}
+
+// governorCheck is the dispatch-loop slow path, entered when iterations
+// crosses nextCheck: enforce the step budget, poll the deadline, and
+// reschedule.
+func (vm *VM) governorCheck(f *pyobj.Frame, op pycode.Opcode) {
+	if l := vm.limits.MaxSteps; l != 0 && vm.iterations-vm.stepBase > l {
+		Raise("TimeoutError", "step budget of %d bytecodes exceeded in %s at pc=%d (op=%s)",
+			l, f.Code.Name, f.PC, op)
+	}
+	vm.pollDeadline()
+	vm.scheduleGovernor()
+}
+
+// governorCheckJIT is governorCheck for compiled-trace iteration
+// accounting, where no frame/opcode context is cheap to name.
+func (vm *VM) governorCheckJIT() {
+	if l := vm.limits.MaxSteps; l != 0 && vm.iterations-vm.stepBase > l {
+		Raise("TimeoutError", "step budget of %d bytecodes exceeded in compiled code", l)
+	}
+	vm.pollDeadline()
+	vm.scheduleGovernor()
+}
+
+// pollDeadline raises TimeoutError once the wall-clock deadline passes.
+// Installed as the heap's tick callback so collections check it too: an
+// allocation-bound hostile program spends most of its time in GC.
+func (vm *VM) pollDeadline() {
+	if vm.deadlineAt.IsZero() || time.Now().Before(vm.deadlineAt) {
+		return
+	}
+	Raise("TimeoutError", "execution deadline of %v exceeded", vm.limits.Deadline)
+}
+
+// raiseMemoryError is the heap's OOM handler: allocation failure —
+// whether from the heap limit, arena exhaustion, or an injected fault —
+// surfaces as a Python MemoryError, never a host panic.
+func (vm *VM) raiseMemoryError(need uint64) {
+	Raise("MemoryError", "out of memory: allocation of %d bytes failed", need)
+}
+
+// raiseRecursion reports a blown call depth. The governor's configured
+// limit raises RecursionError; the VM's built-in valve keeps CPython
+// 2.7's RuntimeError.
+func (vm *VM) raiseRecursion() {
+	if vm.limits.MaxRecursionDepth > 0 {
+		Raise("RecursionError", "maximum recursion depth (%d) exceeded", vm.recursionLimit)
+	}
+	Raise("RuntimeError", "maximum recursion depth exceeded")
+}
+
+// writeOut writes program output through the output-byte cap.
+func (vm *VM) writeOut(s string) {
+	if l := vm.limits.MaxOutputBytes; l != 0 {
+		vm.outBytes += uint64(len(s))
+		if vm.outBytes > l {
+			Raise("OutputLimitError", "output limit of %d bytes exceeded", l)
+		}
+	}
+	fmt.Fprint(vm.Stdout, s)
+}
+
+// ---- Crash isolation ----
+
+// FrameInfo is one entry of a crash snapshot's frame stack.
+type FrameInfo struct {
+	Func string
+	PC   int
+	Op   string
+}
+
+func (fi FrameInfo) String() string {
+	return fmt.Sprintf("%s at pc=%d (op=%s)", fi.Func, fi.PC, fi.Op)
+}
+
+// CrashState is the VM state captured when an internal failure unwinds:
+// enough to diagnose the crash without a debugger attached to the host.
+type CrashState struct {
+	// Frames is the Python frame stack at the point of failure,
+	// innermost first (capped at maxUnwindNotes entries).
+	Frames    []FrameInfo
+	Depth     int
+	Bytecodes uint64
+	Heap      gc.Stats
+}
+
+// InternalError wraps a Go panic that escaped the interpreter: a runtime
+// bug, never program-visible Python semantics. It carries the original
+// panic value, the Go stack at the panic site, and a VM state snapshot,
+// so converting the panic to an error loses nothing.
+type InternalError struct {
+	// Cause is the original panic value.
+	Cause interface{}
+	// Stack is the Go stack trace captured at recovery.
+	Stack []byte
+	// State snapshots the VM at the moment of failure.
+	State CrashState
+}
+
+func (e *InternalError) Error() string {
+	msg := fmt.Sprintf("InternalError: %v", e.Cause)
+	if len(e.State.Frames) > 0 {
+		msg += fmt.Sprintf(" [in %s; depth=%d, %d bytecodes executed]",
+			e.State.Frames[0], e.State.Depth, e.State.Bytecodes)
+	}
+	return msg
+}
+
+// Unwrap exposes an underlying error cause to errors.Is/As.
+func (e *InternalError) Unwrap() error {
+	if err, ok := e.Cause.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// maxUnwindNotes caps the crash snapshot's frame stack (deep recursion
+// crashes would otherwise snapshot thousands of frames).
+const maxUnwindNotes = 32
+
+// noteUnwind records f in the crash snapshot while a panic unwinds
+// through runFrame. By the time RunCode's recover runs, the frame chain
+// has already been popped by runFrame's deferred cleanup, so the stack
+// must be captured during the unwind itself.
+func (vm *VM) noteUnwind(f *pyobj.Frame) {
+	if len(vm.unwound) >= maxUnwindNotes {
+		return
+	}
+	fi := FrameInfo{Func: f.Code.Name, PC: f.PC}
+	if f.PC >= 0 && f.PC < len(f.Code.Code) {
+		fi.Op = f.Code.Code[f.PC].Op.String()
+	}
+	vm.unwound = append(vm.unwound, fi)
+}
+
+// internalError assembles the InternalError for a recovered panic.
+func (vm *VM) internalError(cause interface{}, stack []byte) *InternalError {
+	e := &InternalError{
+		Cause: cause,
+		Stack: stack,
+		State: CrashState{
+			Frames:    append([]FrameInfo(nil), vm.unwound...),
+			Depth:     len(vm.unwound),
+			Bytecodes: vm.Stats.Bytecodes,
+			Heap:      vm.Heap.Stats,
+		},
+	}
+	vm.unwound = vm.unwound[:0]
+	return e
+}

@@ -1,0 +1,259 @@
+package interp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/emit"
+	"repro/internal/gc"
+	"repro/internal/isa"
+	"repro/internal/pycode"
+)
+
+// newLimited builds a VM with the given heap config and limits.
+func newLimited(heap gc.Config, l Limits) (*VM, *strings.Builder) {
+	var out strings.Builder
+	vm := New(emit.NewEngine(isa.NullSink{}), heap, &out)
+	vm.SetLimits(l)
+	return vm, &out
+}
+
+// errKind returns the PyError kind of err, or "" if it is not a PyError.
+func errKind(err error) string {
+	var pe *PyError
+	if errors.As(err, &pe) {
+		return pe.Kind
+	}
+	return ""
+}
+
+// TestStepBudgetExactBoundary pins the budget's off-by-one behaviour: a
+// budget of exactly the program's bytecode count completes; one less trips
+// TimeoutError on the dispatch back-edge.
+func TestStepBudgetExactBoundary(t *testing.T) {
+	src := `
+acc = 0
+for i in xrange(50):
+    acc = acc + i
+print(acc)
+`
+	// Measure the program's exact bytecode count.
+	vm, _ := newLimited(gc.DefaultRefCountConfig(), Limits{})
+	if err := vm.RunSource("<measure>", src); err != nil {
+		t.Fatalf("unlimited run: %v", err)
+	}
+	total := vm.Stats.Bytecodes
+	if total == 0 {
+		t.Fatal("no bytecodes counted")
+	}
+
+	vm, out := newLimited(gc.DefaultRefCountConfig(), Limits{MaxSteps: total})
+	if err := vm.RunSource("<exact>", src); err != nil {
+		t.Fatalf("budget == program length should complete, got: %v", err)
+	}
+	if !strings.Contains(out.String(), "1225") {
+		t.Fatalf("wrong output: %q", out.String())
+	}
+
+	vm, _ = newLimited(gc.DefaultRefCountConfig(), Limits{MaxSteps: total - 1})
+	err := vm.RunSource("<short>", src)
+	if errKind(err) != "TimeoutError" {
+		t.Fatalf("budget == length-1: want TimeoutError, got %v", err)
+	}
+
+	// The governor re-arms per RunCode: the same VM must be reusable, and
+	// a sweep of tiny budgets must always terminate with TimeoutError,
+	// never a hang or panic.
+	for budget := uint64(1); budget <= 60; budget++ {
+		vm.SetLimits(Limits{MaxSteps: budget})
+		if err := vm.RunSource("<sweep>", src); errKind(err) != "TimeoutError" {
+			t.Fatalf("budget %d: want TimeoutError, got %v", budget, err)
+		}
+	}
+}
+
+// TestStepBudgetMessageNamesSite checks the TimeoutError pinpoints where
+// the budget died (frame, pc, opcode).
+func TestStepBudgetMessageNamesSite(t *testing.T) {
+	vm, _ := newLimited(gc.DefaultRefCountConfig(), Limits{MaxSteps: 10})
+	err := vm.RunSource("<loop>", "i = 0\nwhile True:\n    i = i + 1\n")
+	if errKind(err) != "TimeoutError" {
+		t.Fatalf("want TimeoutError, got %v", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "step budget of 10 bytecodes") || !strings.Contains(msg, "pc=") {
+		t.Errorf("message should name budget and site: %q", msg)
+	}
+}
+
+// TestHeapLimitRaisesMemoryError: an allocation bomb against a heap cap
+// surfaces as MemoryError under both memory managers, and the VM survives
+// to run the next program.
+func TestHeapLimitRaisesMemoryError(t *testing.T) {
+	bomb := `
+l = []
+while True:
+    l.append("0123456789abcdef0123456789abcdef")
+`
+	for _, cfg := range []gc.Config{gc.DefaultRefCountConfig(), gc.DefaultGenConfig(64 << 10)} {
+		vm, _ := newLimited(cfg, Limits{MaxHeapBytes: 1 << 20})
+		err := vm.RunSource("<bomb>", bomb)
+		if errKind(err) != "MemoryError" {
+			t.Fatalf("%v heap: want MemoryError, got %v", cfg.Kind, err)
+		}
+		// The heap must still be usable after the OOM unwound.
+		vm.SetLimits(Limits{})
+		var after strings.Builder
+		vm.Stdout = &after
+		if err := vm.RunSource("<after>", "print(sum([1, 2, 3]))"); err != nil {
+			t.Fatalf("%v heap: VM unusable after MemoryError: %v", cfg.Kind, err)
+		}
+		if after.String() != "6\n" {
+			t.Fatalf("%v heap: wrong output after recovery: %q", cfg.Kind, after.String())
+		}
+	}
+}
+
+// TestRecursionLimitInsideCHelper: the configured depth cap fires even
+// when frames are pushed from inside a C helper (map calling back into
+// Python), raising RecursionError rather than overflowing the Go stack.
+func TestRecursionLimitInsideCHelper(t *testing.T) {
+	src := `
+def boom(x):
+    return boom(x + 1)
+
+print(map(boom, [1, 2, 3]))
+`
+	vm, _ := newLimited(gc.DefaultRefCountConfig(), Limits{MaxRecursionDepth: 50})
+	err := vm.RunSource("<rec>", src)
+	if errKind(err) != "RecursionError" {
+		t.Fatalf("want RecursionError, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "maximum recursion depth (50) exceeded") {
+		t.Errorf("message should carry the configured limit: %q", err.Error())
+	}
+	// Depth bookkeeping must have unwound fully.
+	if err := vm.RunSource("<after>", "print(1)"); err != nil {
+		t.Fatalf("VM unusable after RecursionError: %v", err)
+	}
+}
+
+// TestDefaultRecursionValveKeepsRuntimeError: without a governor limit the
+// built-in valve still reports CPython 2.7's RuntimeError.
+func TestDefaultRecursionValveKeepsRuntimeError(t *testing.T) {
+	vm, _ := newLimited(gc.DefaultRefCountConfig(), Limits{})
+	err := vm.RunSource("<rec>", "def f(x):\n    return f(x)\nf(0)\n")
+	if errKind(err) != "RuntimeError" {
+		t.Fatalf("want RuntimeError from the default valve, got %v", err)
+	}
+}
+
+// TestDeadlineFiresDuringGC: an allocation-bound program spends most of
+// its time collecting; the deadline must still fire because GC entry
+// polls it.
+func TestDeadlineFiresDuringGC(t *testing.T) {
+	src := `
+l = []
+i = 0
+while True:
+    l.append([i, i + 1, i + 2])
+    if len(l) > 512:
+        l = []
+    i = i + 1
+`
+	vm, _ := newLimited(gc.DefaultGenConfig(32<<10), Limits{Deadline: 20 * time.Millisecond})
+	start := time.Now()
+	err := vm.RunSource("<gc-bound>", src)
+	if errKind(err) != "TimeoutError" {
+		t.Fatalf("want TimeoutError, got %v", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("deadline enforcement took %v", el)
+	}
+}
+
+// TestOutputLimitExactBoundary: output of exactly the cap passes; one byte
+// over raises OutputLimitError, through both the print statement and the
+// print builtin.
+func TestOutputLimitExactBoundary(t *testing.T) {
+	// "abc\n" is 4 bytes per iteration, 10 iterations = 40 bytes.
+	src := `
+for i in xrange(10):
+    print("abc")
+`
+	vm, out := newLimited(gc.DefaultRefCountConfig(), Limits{MaxOutputBytes: 40})
+	if err := vm.RunSource("<fit>", src); err != nil {
+		t.Fatalf("output == cap should pass, got: %v", err)
+	}
+	if len(out.String()) != 40 {
+		t.Fatalf("want 40 bytes, got %d", len(out.String()))
+	}
+
+	vm, out = newLimited(gc.DefaultRefCountConfig(), Limits{MaxOutputBytes: 39})
+	err := vm.RunSource("<over>", src)
+	if errKind(err) != "OutputLimitError" {
+		t.Fatalf("want OutputLimitError, got %v", err)
+	}
+	// Nothing after the cap may have been written.
+	if n := len(out.String()); n > 39 {
+		t.Fatalf("wrote %d bytes past a 39-byte cap", n)
+	}
+}
+
+// TestInternalErrorCarriesCrashState: a Go-level panic inside the
+// interpreter (an unknown opcode here) is converted at the RunCode
+// boundary into an InternalError with the frame stack captured during
+// unwinding — never re-panicked into the host.
+func TestInternalErrorCarriesCrashState(t *testing.T) {
+	code := &pycode.Code{
+		Name:     "broken",
+		Filename: "<broken>",
+		Code: []pycode.Instr{
+			{Op: pycode.Opcode(250)}, // not a real opcode
+		},
+	}
+	vm, _ := newLimited(gc.DefaultRefCountConfig(), Limits{})
+	err := vm.RunCode(code)
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want InternalError, got %v", err)
+	}
+	if len(ie.State.Frames) == 0 {
+		t.Fatal("crash state should capture the unwound frame stack")
+	}
+	if ie.State.Frames[0].Func != "broken" {
+		t.Errorf("innermost frame: want broken, got %+v", ie.State.Frames[0])
+	}
+	if len(ie.Stack) == 0 {
+		t.Error("Go stack trace missing from InternalError")
+	}
+	// The VM survives and the next program runs clean.
+	var out strings.Builder
+	vm.Stdout = &out
+	if err := vm.RunSource("<after>", "print(2 + 2)"); err != nil {
+		t.Fatalf("VM unusable after InternalError: %v", err)
+	}
+	if out.String() != "4\n" {
+		t.Fatalf("wrong output after recovery: %q", out.String())
+	}
+}
+
+// TestGovernorDisabledIsInert: zero limits never interfere, whatever the
+// program does.
+func TestGovernorDisabledIsInert(t *testing.T) {
+	if (Limits{}).Enabled() {
+		t.Fatal("zero Limits must report disabled")
+	}
+	vm, out := newLimited(gc.DefaultRefCountConfig(), Limits{})
+	if vm.nextCheck != ^uint64(0) {
+		t.Fatalf("disabled governor must park nextCheck, got %d", vm.nextCheck)
+	}
+	if err := vm.RunSource("<plain>", "print(sum(range(100)))"); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.String() != "4950\n" {
+		t.Fatalf("output: %q", out.String())
+	}
+}

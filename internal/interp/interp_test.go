@@ -386,3 +386,39 @@ func TestEventStreamNonEmpty(t *testing.T) {
 		t.Fatalf("expected memory and branch events, got mem=%d branch=%d", sink.Mem, sink.Branch)
 	}
 }
+
+// TestRefcountOwnershipOnEarlyAbort: every reference a container's dealloc
+// decrefs must have been owned (incref'd or transferred at store time).
+// Violations hide in completed runs behind the slack of still-live objects,
+// but surface as an aggregate deficit when a run aborts early — here via a
+// mid-program raise after function objects (class bodies) have died, the
+// historical trigger: dying body functions decref'd the shared constant
+// pool and a borrowed globals reference, draining None and the module
+// globals dict below their true counts.
+func TestRefcountOwnershipOnEarlyAbort(t *testing.T) {
+	src := `class A:
+    pass
+class B:
+    pass
+class C(A):
+    pass
+obj = C()
+s = [1, 2, 3, 4][0:2]
+print(len(s))
+boom = 1 / 0
+`
+	var out strings.Builder
+	vm := New(emit.NewEngine(isa.NullSink{}), gc.DefaultRefCountConfig(), &out)
+	err := vm.RunSource("<abort>", src)
+	if err == nil || !strings.Contains(err.Error(), "ZeroDivisionError") {
+		t.Fatalf("want ZeroDivisionError, got %v", err)
+	}
+	h := vm.StatsSnapshot().Heap
+	if h.Decrefs > h.Increfs+h.Allocations {
+		t.Fatalf("refcount imbalance after abort: %d decrefs > %d increfs + %d allocations",
+			h.Decrefs, h.Increfs, h.Allocations)
+	}
+	if h.BadDecrefs != 0 {
+		t.Fatalf("%d decrefs hit an object with RC <= 0", h.BadDecrefs)
+	}
+}

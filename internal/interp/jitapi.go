@@ -45,10 +45,16 @@ func (vm *VM) JITSpace() *emit.CodeSpace { return vm.jitSpace }
 func (vm *VM) BackEdgeCounterAddr() uint64 { return vm.dataAlloc(8) }
 
 // CountJITIteration accounts compiled-trace work against the bytecode
-// budget (MaxBytecodes safety valve).
+// budget (MaxBytecodes safety valve) and the resource governor's step and
+// deadline limits. A raise from here unwinds through the trace executor,
+// which deoptimizes (reconstructing interpreter state at the loop header)
+// before letting the error continue.
 func (vm *VM) CountJITIteration(nops int) {
 	vm.iterations += uint64(nops)
 	if vm.MaxBytecodes != 0 && vm.iterations > vm.MaxBytecodes {
 		Raise("RuntimeError", "bytecode budget exceeded in compiled code")
+	}
+	if vm.iterations >= vm.nextCheck {
+		vm.governorCheckJIT()
 	}
 }

@@ -1,7 +1,7 @@
 package interp
 
 import (
-	"fmt"
+	"runtime/debug"
 
 	"repro/internal/core"
 	"repro/internal/emit"
@@ -24,15 +24,27 @@ func (vm *VM) RunSource(file, src string) error {
 }
 
 // RunCode executes a module code object in a fresh module namespace.
+//
+// This is the host's crash-isolation boundary. Python-level errors come
+// back as *PyError. Any other panic reaching here is a runtime bug; it is
+// converted — not re-raised — into an *InternalError that preserves the
+// original panic value, the Go stack at the panic site, and a snapshot of
+// the VM (frame stack, bytecode count, GC stats), so one hostile program
+// can never take down a host serving many.
 func (vm *VM) RunCode(code *pycode.Code) (err error) {
+	vm.unwound = vm.unwound[:0]
+	vm.armGovernor()
 	defer func() {
-		if r := recover(); r != nil {
-			if pe, ok := r.(*PyError); ok {
-				err = pe
-				return
-			}
-			panic(r)
+		r := recover()
+		if r == nil {
+			return
 		}
+		if pe, ok := r.(*PyError); ok {
+			err = pe
+			vm.unwound = vm.unwound[:0]
+			return
+		}
+		err = vm.internalError(r, debug.Stack())
 	}()
 	vm.Globals = vm.NewDict()
 	cd := vm.materialize(code)
@@ -152,6 +164,12 @@ func (vm *VM) dispatch(f *pyobj.Frame, op pycode.Opcode) {
 		Raise("RuntimeError", "bytecode budget exceeded in %s at pc=%d (op=%s)",
 			f.Code.Name, f.PC, op)
 	}
+	// Resource governor: one compare against a precomputed threshold
+	// covers the step budget and deadline polling (governor.go). No
+	// events are emitted — enforcement stays out of overhead attribution.
+	if vm.iterations >= vm.nextCheck {
+		vm.governorCheck(f, op)
+	}
 	vm.Eng.At(vm.hp.dispatchLoop)
 	vm.Eng.Load(core.Dispatch, f.CodeAddr+uint64(f.PC)*3, true)
 	vm.Eng.ALU(core.Dispatch, true) // opcode extract
@@ -169,14 +187,22 @@ func (vm *VM) runFrame(f *pyobj.Frame) pyobj.Object {
 	if vm.depth > vm.maxDepth {
 		vm.maxDepth = vm.depth
 	}
-	vm.errCheck(vm.depth > maxRecursion)
-	if vm.depth > maxRecursion {
-		Raise("RuntimeError", "maximum recursion depth exceeded")
-	}
+	// completed distinguishes a normal return from a panic unwind: the
+	// crash snapshot must be captured here, because this deferred cleanup
+	// pops the frame chain before any outer recover can see it. Registered
+	// ahead of the recursion check so a depth raise unwinds cleanly too.
+	completed := false
 	defer func() {
+		if !completed {
+			vm.noteUnwind(f)
+		}
 		vm.depth--
 		vm.frame = back
 	}()
+	vm.errCheck(vm.depth > vm.recursionLimit)
+	if vm.depth > vm.recursionLimit {
+		vm.raiseRecursion()
+	}
 
 	code := f.Code.Code
 	tracer := vm.tracer
@@ -356,6 +382,8 @@ func (vm *VM) runFrame(f *pyobj.Frame) pyobj.Object {
 			var step pyobj.Object = vm.None
 			if in.Arg == 3 {
 				step = vm.pop(f)
+			} else {
+				vm.Incref(step) // the slice owns its default-step reference
 			}
 			hi := vm.pop(f)
 			lo := vm.pop(f)
@@ -465,16 +493,17 @@ func (vm *VM) runFrame(f *pyobj.Frame) pyobj.Object {
 			// Return: result handoff, frame teardown.
 			v := vm.pop(f)
 			vm.Eng.ALU(core.FunctionSetup, false)
+			completed = true
 			return v
 		case pycode.BUILD_CLASS:
 			vm.buildClass(f, f.Code.Names[in.Arg])
 
 		case pycode.PRINT_ITEM:
 			v := vm.pop(f)
-			fmt.Fprint(vm.Stdout, formatForPrint(v))
+			vm.writeOut(formatForPrint(v))
 			vm.Decref(v)
 		case pycode.PRINT_NEWLINE:
-			fmt.Fprintln(vm.Stdout)
+			vm.writeOut("\n")
 		case pycode.NOP:
 			// nothing
 		default:
@@ -535,6 +564,7 @@ func (vm *VM) makeFunction(f *pyobj.Frame, ndefaults int) {
 	for _, d := range defaults {
 		vm.barrier(fn, d)
 	}
+	vm.Incref(f.Globals) // the function owns its globals reference
 	vm.barrier(fn, f.Globals)
 	vm.push(f, fn)
 }
@@ -571,7 +601,11 @@ func (vm *VM) buildClass(f *pyobj.Frame, name string) {
 		vm.barrier(cls, base)
 	}
 	vm.Decref(bodyFn)
-	vm.Decref(baseObj)
+	if base == nil {
+		// No base: consume the pushed None. Otherwise the stack's
+		// reference transfers into cls.Base (decref'd at class dealloc).
+		vm.Decref(baseObj)
+	}
 	vm.push(f, cls)
 }
 

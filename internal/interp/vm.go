@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/emit"
@@ -108,6 +109,19 @@ type VM struct {
 	rng        uint64 // deterministic PRNG state for the random module
 	iterations uint64 // executed bytecodes (diagnostics)
 
+	// Resource governor state (governor.go). nextCheck is the iteration
+	// count at which dispatch enters the governor slow path — one compare
+	// on the hot path covers every armed limit.
+	limits         Limits
+	nextCheck      uint64
+	stepBase       uint64
+	deadlineAt     time.Time
+	recursionLimit int
+	outBytes       uint64
+	// unwound captures the frame stack while a Go panic unwinds
+	// (crash-isolation snapshot; see noteUnwind).
+	unwound []FrameInfo
+
 	// Counters.
 	Stats VMStats
 }
@@ -154,6 +168,12 @@ func New(eng *emit.Engine, heapCfg gc.Config, stdout io.Writer) *VM {
 	vm.jitSpace = emit.NewCodeSpace(mem.NewRegion("jit-code", mem.JITCodeBase, mem.DataBase-mem.JITCodeBase))
 	vm.Heap = gc.New(heapCfg, eng, vm.interpSpace)
 	vm.Heap.SetRoots(gc.RootFunc(vm.roots))
+	// Allocation failure of any kind surfaces as MemoryError, and GC entry
+	// polls the execution deadline (no-ops until limits are armed).
+	vm.Heap.SetOOM(vm.raiseMemoryError)
+	vm.Heap.SetTick(vm.pollDeadline)
+	vm.recursionLimit = maxRecursion
+	vm.nextCheck = ^uint64(0)
 
 	// Opcode handler code blocks (the big dispatch switch's arms).
 	for op := 0; op < pycode.NumOpcodes; op++ {

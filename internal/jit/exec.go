@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/interp"
 	"repro/internal/pycode"
 	"repro/internal/pyobj"
@@ -82,6 +83,30 @@ func (x *executor) run(f *pyobj.Frame, t *Trace) bool {
 	// Entry: spill the frame's value stack into the entry registers.
 	prevPhase := e.SetPhase(core.PhaseJITCode)
 	defer e.SetPhase(prevPhase)
+
+	// An error mid-trace — a residual operation raising, an allocation
+	// hitting the heap limit, the step budget tripping — must not leave
+	// the frame in trace-register limbo: deoptimize to the loop header,
+	// then let the error keep unwinding to the interpreter. Registered
+	// last so it runs first, while this activation's register file is
+	// still installed. Reconstruction runs under heap grace so boxing the
+	// exit state can never itself re-fault, and counts as a checked exit
+	// to preserve the Deopts <= GuardChecks invariant.
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if _, ok := r.(*interp.PyError); ok {
+			x.j.Stats.GuardChecks++
+			x.j.Stats.ErrorDeopts++
+			vm.Heap.BeginGrace()
+			x.deopt(f, t, t.Close)
+			vm.Heap.EndGrace()
+		}
+		panic(r)
+	}()
+
 	e.Call(core.Dispatch, t.BaseAddr)
 	for i, rg := range t.Entry.Stack {
 		e.Load(core.Stack, f.StackAddr(i), false)
@@ -169,6 +194,19 @@ func (x *executor) execOp(f *pyobj.Frame, t *Trace, op *Op) bool {
 
 	if op.Snap != nil {
 		x.j.Stats.GuardChecks++
+		// Chaos mode: spuriously fail this guard even though its condition
+		// holds. Only re-execution snapshots (ResumePC == SrcPC) are
+		// eligible: they restore the state before the originating bytecode
+		// and let the interpreter redo it, so the forced exit is
+		// semantics-preserving. Side-exit snapshots (branch guards,
+		// iterator exhaustion) encode the guard-failed successor and may
+		// only be taken when the condition really fails. Repeated firing
+		// blacklists the trace via Fails, exercising invalidation too.
+		if op.Snap.ResumePC == op.SrcPC && x.j.cfg.Faults.Should(faults.GuardCorrupt) {
+			x.j.Stats.InjectedFaults++
+			x.deopt(f, t, op.Snap)
+			return false
+		}
 	}
 	switch op.Kind {
 	case OpGuardInt:

@@ -1,0 +1,178 @@
+package jit
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/emit"
+	"repro/internal/faults"
+	"repro/internal/gc"
+	"repro/internal/interp"
+	"repro/internal/isa"
+)
+
+// errKind returns err's PyError kind, or "".
+func errKind(err error) string {
+	var pe *interp.PyError
+	if errors.As(err, &pe) {
+		return pe.Kind
+	}
+	return ""
+}
+
+// TestOOMDuringTraceDeoptsThenRaises: the heap limit firing inside
+// compiled code must deoptimize the trace (reconstructing interpreter
+// state) and then surface as MemoryError — not corrupt the frame or panic
+// the host.
+func TestOOMDuringTraceDeoptsThenRaises(t *testing.T) {
+	src := `
+def work(n):
+    l = []
+    i = 0
+    while i < n:
+        l.append(i * 2)
+        i = i + 1
+    return len(l)
+print(work(1000000))
+`
+	var out strings.Builder
+	vm := interp.New(emit.NewEngine(isa.NullSink{}), gc.DefaultGenConfig(64<<10), &out)
+	cfg := DefaultConfig()
+	cfg.HotThreshold = 20
+	j := New(vm, cfg)
+	vm.SetLimits(interp.Limits{MaxHeapBytes: 256 << 10})
+	err := vm.RunSource("<oom>", src)
+	if errKind(err) != "MemoryError" {
+		t.Fatalf("want MemoryError, got %v", err)
+	}
+	if j.Stats.TracesCompiled == 0 {
+		t.Fatal("loop never compiled; the test must OOM inside compiled code")
+	}
+	if j.Stats.ErrorDeopts == 0 {
+		t.Error("OOM mid-trace must be an error-forced deopt (ErrorDeopts == 0)")
+	}
+	if j.Stats.Deopts > j.Stats.GuardChecks {
+		t.Errorf("deopt accounting broken: Deopts %d > GuardChecks %d",
+			j.Stats.Deopts, j.Stats.GuardChecks)
+	}
+	// The VM and JIT survive: the same hot function must still run.
+	vm.SetLimits(interp.Limits{})
+	var after strings.Builder
+	vm.Stdout = &after
+	if err := vm.RunSource("<after>", "acc = 0\nfor i in xrange(100):\n    acc = acc + i\nprint(acc)\n"); err != nil {
+		t.Fatalf("VM unusable after mid-trace OOM: %v", err)
+	}
+	if after.String() != "4950\n" {
+		t.Fatalf("wrong output after recovery: %q", after.String())
+	}
+}
+
+// TestStepBudgetTripsInCompiledCode: compiled-trace iterations charge the
+// same step budget as interpreted bytecodes, so a hot loop cannot outrun
+// the governor by compiling.
+func TestStepBudgetTripsInCompiledCode(t *testing.T) {
+	src := `
+def work(n):
+    acc = 0
+    i = 0
+    while i < n:
+        acc = acc + (i & 1023)
+        i = i + 1
+    return acc
+print(work(10000000))
+`
+	var out strings.Builder
+	vm := interp.New(emit.NewEngine(isa.NullSink{}), gc.DefaultGenConfig(1<<20), &out)
+	cfg := DefaultConfig()
+	cfg.HotThreshold = 20
+	j := New(vm, cfg)
+	vm.SetLimits(interp.Limits{MaxSteps: 200_000})
+	err := vm.RunSource("<steps>", src)
+	if errKind(err) != "TimeoutError" {
+		t.Fatalf("want TimeoutError, got %v", err)
+	}
+	if j.Stats.TracesCompiled == 0 {
+		t.Fatal("loop never compiled; budget must trip inside compiled code")
+	}
+	if !strings.Contains(err.Error(), "compiled code") {
+		t.Errorf("budget should trip during compiled execution: %q", err.Error())
+	}
+	if j.Stats.ErrorDeopts == 0 {
+		t.Error("budget trip mid-trace must deopt cleanly (ErrorDeopts == 0)")
+	}
+}
+
+// TestGuardCorruptInjectionIsTransparent: forced spurious guard failures
+// may only take re-execution deopt exits, so program semantics are
+// unchanged however often they fire.
+func TestGuardCorruptInjectionIsTransparent(t *testing.T) {
+	src := `
+def work(n):
+    acc = 0
+    l = [3, 1, 4, 1, 5, 9, 2, 6]
+    for i in xrange(n):
+        l[i % 8] = (l[i % 8] + i) % 1024
+        acc = acc + l[(acc + i) % 8]
+    print(l)
+    return acc
+print(work(5000))
+`
+	run := func(inj *faults.Injector) (string, *Stats) {
+		var out strings.Builder
+		vm := interp.New(emit.NewEngine(isa.NullSink{}), gc.DefaultGenConfig(256<<10), &out)
+		cfg := DefaultConfig()
+		cfg.HotThreshold = 20
+		cfg.Faults = inj
+		j := New(vm, cfg)
+		if err := vm.RunSource("<guard>", src); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		st := j.StatsSnapshot()
+		return out.String(), &st
+	}
+	want, _ := run(nil)
+	for seed := uint64(1); seed <= 5; seed++ {
+		got, st := run(faults.NewRate(seed, 50, faults.GuardCorrupt))
+		if got != want {
+			t.Fatalf("seed %d: output diverged under guard corruption\n--- want ---\n%s--- got ---\n%s", seed, want, got)
+		}
+		if st.InjectedFaults == 0 {
+			t.Fatalf("seed %d: no guard faults fired; test exercised nothing", seed)
+		}
+		if st.Deopts > st.GuardChecks {
+			t.Fatalf("seed %d: Deopts %d > GuardChecks %d", seed, st.Deopts, st.GuardChecks)
+		}
+	}
+}
+
+// TestTraceCompileFailInjection: aborted compiles leave the program fully
+// interpreted but correct.
+func TestTraceCompileFailInjection(t *testing.T) {
+	src := `
+def work(n):
+    acc = 0
+    for i in xrange(n):
+        acc = acc + i * 3
+    return acc
+print(work(2000))
+`
+	var out strings.Builder
+	vm := interp.New(emit.NewEngine(isa.NullSink{}), gc.DefaultGenConfig(256<<10), &out)
+	cfg := DefaultConfig()
+	cfg.HotThreshold = 20
+	cfg.Faults = faults.NewEveryNth(faults.TraceCompileFail, 1) // every compile fails
+	j := New(vm, cfg)
+	if err := vm.RunSource("<abort>", src); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.String() != "5997000\n" {
+		t.Fatalf("wrong output under compile-fail injection: %q", out.String())
+	}
+	if j.Stats.TracesAborted == 0 {
+		t.Fatal("no aborted compiles; injection did not fire")
+	}
+	if j.Stats.CompiledIters != 0 {
+		t.Errorf("compiled iterations ran despite universal compile failure: %d", j.Stats.CompiledIters)
+	}
+}

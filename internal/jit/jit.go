@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/emit"
+	"repro/internal/faults"
 	"repro/internal/interp"
 	"repro/internal/pycode"
 	"repro/internal/pyobj"
@@ -47,6 +48,13 @@ type Config struct {
 	// oracle's own tests can prove that a miscompiled guard/deopt path is
 	// detected; never set it outside tests.
 	BrokenGuards bool
+	// Faults, when set, injects chaos-mode faults (the semantics-
+	// preserving generalization of BrokenGuards): GuardCorrupt forces a
+	// guard's deopt exit even though its condition holds, and
+	// TraceCompileFail aborts trace compilation at the final stage. Both
+	// degrade performance only — the interpreter re-executes from the
+	// deopt snapshot, or the loop simply stays interpreted.
+	Faults *faults.Injector
 }
 
 // DefaultConfig returns PyPy-like parameters.
@@ -87,6 +95,14 @@ type Stats struct {
 	// by one such check, so Deopts <= GuardChecks is an invariant the
 	// differential oracle asserts.
 	GuardChecks uint64
+	// ErrorDeopts counts deoptimizations forced by an error or resource
+	// limit firing mid-trace: the executor reconstructs interpreter state
+	// at the loop header, then lets the error keep unwinding. Included in
+	// Deopts.
+	ErrorDeopts uint64
+	// InjectedFaults counts chaos-mode faults fired inside the JIT
+	// (guard corruption + compile failures), for soak observability.
+	InjectedFaults uint64
 }
 
 // StatsSnapshot returns a copy of the JIT's counters.
@@ -220,6 +236,14 @@ func (j *JIT) finishRecording() {
 	r := j.rec
 	j.rec = nil
 	if r.aborted {
+		r.li.aborts++
+		j.Stats.TracesAborted++
+		return
+	}
+	if j.cfg.Faults.Should(faults.TraceCompileFail) {
+		// Chaos mode: the compiler "fails" at the final stage. The loop
+		// keeps running interpreted and may re-heat and recompile later.
+		j.Stats.InjectedFaults++
 		r.li.aborts++
 		j.Stats.TracesAborted++
 		return

@@ -35,6 +35,22 @@ const (
 	CStackTop uint64 = 0x0000_7fff_ffff_f000
 )
 
+// ExhaustedError reports that a region could not satisfy an allocation.
+// Callers that allocate on behalf of guest programs (the simulated Python
+// heap) map it to an in-language MemoryError; infrastructure regions sized
+// far beyond any realistic demand treat it as an internal fault.
+type ExhaustedError struct {
+	Region string
+	Size   uint64
+	Used   uint64
+	Want   uint64
+}
+
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("mem: region %s exhausted (size %d, used %d, want %d)",
+		e.Region, e.Size, e.Used, e.Want)
+}
+
 // Region is a contiguous range of simulated addresses with a bump pointer.
 type Region struct {
 	name string
@@ -85,13 +101,23 @@ func (r *Region) Alloc(n, align uint64) (uint64, bool) {
 	return p, true
 }
 
-// MustAlloc is Alloc but panics on exhaustion. Used for regions sized far
-// beyond any realistic demand (code, data).
-func (r *Region) MustAlloc(n, align uint64) uint64 {
+// AllocErr is Alloc with a typed error on exhaustion, for callers that can
+// recover (the simulated Python heap maps it to MemoryError).
+func (r *Region) AllocErr(n, align uint64) (uint64, error) {
 	p, ok := r.Alloc(n, align)
 	if !ok {
-		panic(fmt.Sprintf("mem: region %s exhausted (size %d, used %d, want %d)",
-			r.name, r.size, r.Used(), n))
+		return 0, &ExhaustedError{Region: r.name, Size: r.size, Used: r.Used(), Want: n}
+	}
+	return p, nil
+}
+
+// MustAlloc is Alloc but panics on exhaustion — with a typed
+// *ExhaustedError, so a recover boundary can report it structurally. Used
+// for regions sized far beyond any realistic demand (code, data).
+func (r *Region) MustAlloc(n, align uint64) uint64 {
+	p, err := r.AllocErr(n, align)
+	if err != nil {
+		panic(err)
 	}
 	return p
 }
@@ -121,6 +147,10 @@ type FreeList struct {
 	Reused uint64
 	// Fresh counts allocations satisfied by bump allocation.
 	Fresh uint64
+	// FreeBytes is the total size of blocks currently on the free list;
+	// region.Used() - FreeBytes is the exact live footprint of the
+	// allocator, independent of how callers account payload sizes.
+	FreeBytes uint64
 }
 
 // NewFreeList returns a free-list allocator over region.
@@ -141,27 +171,48 @@ func sizeClass(n uint64) uint64 {
 // blocks of the same size class. The second result reports whether the
 // block was reused from the free list.
 func (f *FreeList) Alloc(n uint64) (addr uint64, reused bool) {
+	addr, reused, err := f.AllocErr(n)
+	if err != nil {
+		panic(err)
+	}
+	return addr, reused
+}
+
+// AllocErr is Alloc with a typed *ExhaustedError instead of a panic when
+// the backing region is full, so the heap can surface MemoryError.
+func (f *FreeList) AllocErr(n uint64) (addr uint64, reused bool, err error) {
 	c := sizeClass(n)
 	if lst := f.classes[c]; len(lst) > 0 {
 		addr = lst[len(lst)-1]
 		f.classes[c] = lst[:len(lst)-1]
 		f.Reused++
-		return addr, true
+		f.FreeBytes -= c
+		return addr, true, nil
+	}
+	addr, err = f.region.AllocErr(c, 16)
+	if err != nil {
+		return 0, false, err
 	}
 	f.Fresh++
-	return f.region.MustAlloc(c, 16), false
+	return addr, false, nil
 }
 
 // Free returns the n-byte block at addr to the free list.
 func (f *FreeList) Free(addr, n uint64) {
 	c := sizeClass(n)
 	f.classes[c] = append(f.classes[c], addr)
+	f.FreeBytes += c
 }
+
+// LiveBytes returns the allocator's exact live footprint: bytes handed out
+// and not yet freed (size-class granularity).
+func (f *FreeList) LiveBytes() uint64 { return f.region.Used() - f.FreeBytes }
 
 // Reset drops all free-list state and rewinds the region.
 func (f *FreeList) Reset() {
 	f.classes = make(map[uint64][]uint64)
 	f.Reused, f.Fresh = 0, 0
+	f.FreeBytes = 0
 	f.region.Reset()
 }
 

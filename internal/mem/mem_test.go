@@ -42,12 +42,57 @@ func TestRegionExhaustion(t *testing.T) {
 
 func TestMustAllocPanics(t *testing.T) {
 	defer func() {
-		if recover() == nil {
+		r := recover()
+		if r == nil {
 			t.Error("MustAlloc did not panic on exhaustion")
+		}
+		if _, ok := r.(*ExhaustedError); !ok {
+			t.Errorf("panic value %T, want *ExhaustedError", r)
 		}
 	}()
 	r := NewRegion("t", 0, 8)
 	r.MustAlloc(16, 1)
+}
+
+func TestAllocErrReturnsTypedError(t *testing.T) {
+	r := NewRegion("small", 0, 32)
+	if _, err := r.AllocErr(16, 16); err != nil {
+		t.Fatalf("fitting alloc failed: %v", err)
+	}
+	_, err := r.AllocErr(64, 16)
+	ex, ok := err.(*ExhaustedError)
+	if !ok {
+		t.Fatalf("error %T, want *ExhaustedError", err)
+	}
+	if ex.Region != "small" || ex.Want != 64 {
+		t.Errorf("bad error fields: %+v", ex)
+	}
+}
+
+func TestFreeListAllocErrAndLiveBytes(t *testing.T) {
+	fl := NewFreeList(NewRegion("t", 0x1000, 1<<20))
+	a, _, err := fl.AllocErr(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fl.LiveBytes(); got != 32 { // 24 rounds to the 32-byte class
+		t.Errorf("LiveBytes after alloc = %d, want 32", got)
+	}
+	fl.Free(a, 24)
+	if got := fl.LiveBytes(); got != 0 {
+		t.Errorf("LiveBytes after free = %d, want 0", got)
+	}
+	if _, reused, _ := fl.AllocErr(24); !reused {
+		t.Error("free-list block not reused")
+	}
+	if got := fl.LiveBytes(); got != 32 {
+		t.Errorf("LiveBytes after reuse = %d, want 32", got)
+	}
+
+	tiny := NewFreeList(NewRegion("tiny", 0, 16))
+	if _, _, err := tiny.AllocErr(64); err == nil {
+		t.Error("AllocErr on full region returned nil error")
+	}
 }
 
 func TestFreeListReusesLIFO(t *testing.T) {

@@ -39,11 +39,9 @@ func Children(o Object, f func(Object)) {
 		for _, d := range v.Defaults {
 			f(d)
 		}
-		for _, c := range v.ConstObjs {
-			if c != nil {
-				f(c)
-			}
-		}
+		// ConstObjs are deliberately absent: they belong to the VM's
+		// per-code materialization cache (immortal, static segment), not
+		// to any one function — a dying function must not decref them.
 	case *Builtin:
 		if v.Self != nil {
 			f(v.Self)

@@ -1,0 +1,119 @@
+package runtime
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/interp"
+)
+
+// hostile programs: each tries to exhaust one host resource. Every mode
+// must terminate each of them with the expected in-language exception —
+// never a host panic or hang.
+var hostile = []struct {
+	name   string
+	src    string
+	limits interp.Limits
+	kind   string
+}{
+	{
+		name:   "infinite-loop",
+		src:    "i = 0\nwhile True:\n    i = i + 1\n",
+		limits: interp.Limits{MaxSteps: 200_000},
+		kind:   "TimeoutError",
+	},
+	{
+		name:   "alloc-bomb",
+		src:    "l = []\nwhile True:\n    l.append(\"0123456789abcdef0123456789abcdef\")\n",
+		limits: interp.Limits{MaxHeapBytes: 1 << 20},
+		kind:   "MemoryError",
+	},
+	{
+		name:   "deep-recursion",
+		src:    "def f(n):\n    return f(n + 1)\nf(0)\n",
+		limits: interp.Limits{MaxRecursionDepth: 100},
+		kind:   "RecursionError",
+	},
+	{
+		name:   "output-flood",
+		src:    "while True:\n    print(\"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\")\n",
+		limits: interp.Limits{MaxOutputBytes: 64 << 10},
+		kind:   "OutputLimitError",
+	},
+	{
+		name: "gc-bound-deadline",
+		src: "l = []\ni = 0\nwhile True:\n    l.append([i, i + 1])\n" +
+			"    if len(l) > 256:\n        l = []\n    i = i + 1\n",
+		limits: interp.Limits{Deadline: 30 * time.Millisecond},
+		kind:   "TimeoutError",
+	},
+}
+
+// TestHostileProgramsTerminateUnderAllModes is the acceptance matrix: 5
+// hostile programs x 4 runtime modes, each ending in the right Python
+// exception with the host intact.
+func TestHostileProgramsTerminateUnderAllModes(t *testing.T) {
+	for m := Mode(0); m < NumModes; m++ {
+		for _, h := range hostile {
+			t.Run(m.String()+"/"+h.name, func(t *testing.T) {
+				cfg := DefaultConfig(m)
+				cfg.Core = CountOnly
+				cfg.Warmups = 0
+				cfg.Measures = 1
+				cfg.NurseryBytes = 64 << 10
+				cfg.Stdout = io.Discard
+				cfg.Limits = h.limits
+				r, err := NewRunner(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, err = r.Run(h.name+".py", h.src)
+				var pe *interp.PyError
+				if !errors.As(err, &pe) || pe.Kind != h.kind {
+					t.Fatalf("want %s, got %v", h.kind, err)
+				}
+			})
+		}
+	}
+}
+
+// TestLimitsInertOnWellBehavedProgram: a program far below every limit
+// runs identically with the governor armed.
+func TestLimitsInertOnWellBehavedProgram(t *testing.T) {
+	for m := Mode(0); m < NumModes; m++ {
+		cfg := DefaultConfig(m)
+		cfg.Core = CountOnly
+		cfg.Warmups = 0
+		cfg.Measures = 1
+		cfg.Limits = interp.Limits{
+			MaxSteps:          1 << 40,
+			MaxHeapBytes:      1 << 32,
+			MaxRecursionDepth: 1000,
+			Deadline:          time.Minute,
+			MaxOutputBytes:    1 << 20,
+		}
+		r, err := NewRunner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run("ok.py", loopProgram)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if res.Output != "250008\n" {
+			t.Fatalf("%v: output %q", m, res.Output)
+		}
+	}
+}
+
+// TestBadHeapConfigReturnsError: heap misconfiguration surfaces from
+// NewRunner as an error, not a panic at first allocation.
+func TestBadHeapConfigReturnsError(t *testing.T) {
+	cfg := DefaultConfig(PyPyNoJIT)
+	cfg.NurseryBytes = 1 // absurdly small: gc.Validate must reject it
+	if _, err := NewRunner(cfg); err == nil {
+		t.Fatal("want config error for 1-byte nursery, got nil")
+	}
+}

@@ -94,6 +94,10 @@ type Config struct {
 	Stdout io.Writer
 	// MaxBytecodes bounds each run (safety valve; 0 = none).
 	MaxBytecodes uint64
+	// Limits is the resource governor: hard caps on steps, heap, call
+	// depth, wall-clock time, and output volume. Each cap surfaces as an
+	// in-language exception; zero values mean unlimited.
+	Limits interp.Limits
 }
 
 // DefaultNursery is PyPy's default nursery size.
@@ -173,11 +177,22 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if cfg.NurseryBytes == 0 {
 		cfg.NurseryBytes = DefaultNursery
 	}
+	if err := gc.Validate(heapConfig(cfg)); err != nil {
+		return nil, err
+	}
 	return &Runner{cfg: cfg}, nil
 }
 
 // Config returns the runner's configuration.
 func (r *Runner) Config() Config { return r.cfg }
+
+// heapConfig derives the heap configuration a Config implies.
+func heapConfig(cfg Config) gc.Config {
+	if cfg.Mode.UsesGenGC() {
+		return gc.DefaultGenConfig(cfg.NurseryBytes)
+	}
+	return gc.DefaultRefCountConfig()
+}
 
 // discard is a sink for program output when none is wanted.
 type discard struct{}
@@ -217,16 +232,10 @@ func (r *Runner) RunCode(code *pycode.Code) (*Result, error) {
 	cfg := r.cfg
 	out := &outBuffer{tee: cfg.Stdout}
 
-	var heapCfg gc.Config
-	if cfg.Mode.UsesGenGC() {
-		heapCfg = gc.DefaultGenConfig(cfg.NurseryBytes)
-	} else {
-		heapCfg = gc.DefaultRefCountConfig()
-	}
-
 	eng := emit.NewEngine(isa.NullSink{})
-	vm := interp.New(eng, heapCfg, out)
+	vm := interp.New(eng, heapConfig(cfg), out)
 	vm.MaxBytecodes = cfg.MaxBytecodes
+	vm.SetLimits(cfg.Limits)
 
 	var theJIT *jit.JIT
 	switch cfg.Mode {
