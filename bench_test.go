@@ -19,7 +19,9 @@ import (
 	"repro/internal/isa"
 	"repro/internal/jit"
 	"repro/internal/pybench"
+	"repro/internal/pycompile"
 	"repro/internal/runtime"
+	"repro/internal/supervise"
 	"repro/internal/uarch"
 )
 
@@ -105,6 +107,67 @@ func BenchmarkInterpreterThroughputGoverned(b *testing.B) {
 		vm.SetLimits(limits)
 		if err := vm.RunSource("bench", hotLoop); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchGovernedLimits arms every limit far from tripping, as in
+// BenchmarkInterpreterThroughputGoverned.
+var benchGovernedLimits = interp.Limits{
+	MaxSteps:          1 << 40,
+	MaxHeapBytes:      1 << 40,
+	MaxRecursionDepth: 100000,
+	Deadline:          time.Hour,
+	MaxOutputBytes:    1 << 30,
+}
+
+// BenchmarkRunnerDirectGoverned is the supervised benchmark's baseline:
+// the same governed program on a fresh single-use Runner per iteration,
+// with no pool in the way.
+func BenchmarkRunnerDirectGoverned(b *testing.B) {
+	code, err := pycompile.CompileSource("bench", hotLoop)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := runtime.DefaultConfig(runtime.CPython)
+	cfg.Core = runtime.CountOnly
+	cfg.Warmups, cfg.Measures = 0, 1
+	cfg.Limits = benchGovernedLimits
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := runtime.NewRunner(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.RunCode(code); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSupervisedThroughput runs the same governed program through a
+// warm one-worker supervise pool: the delta against
+// BenchmarkRunnerDirectGoverned is the full supervision overhead
+// (admission, dispatch, watchdog, health probe, warm reset), which must
+// stay under 5%.
+func BenchmarkSupervisedThroughput(b *testing.B) {
+	code, err := pycompile.CompileSource("bench", hotLoop)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := supervise.NewPool(supervise.Config{
+		Workers:       1,
+		DefaultLimits: benchGovernedLimits,
+		// The armed-but-far MaxHeapBytes reserves 1 TiB per job; lift
+		// the admission watermark accordingly.
+		HeapWatermark: 1 << 41,
+	})
+	defer pool.Close()
+	job := &supervise.Job{Name: "bench", Code: code, Mode: runtime.CPython}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := pool.Submit(job); res.Class != supervise.ClassOK {
+			b.Fatalf("class %s: %s", res.Class, res.Err)
 		}
 	}
 }

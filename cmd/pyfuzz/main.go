@@ -11,6 +11,7 @@
 //	pyfuzz -n 200 -corpus /tmp/corpus -nurseries 64,256,4096
 //	pyfuzz -replay internal/difftest/corpus
 //	pyfuzz -faults -n 200
+//	pyfuzz -pool -n 500
 //
 // With -faults, the run becomes a chaos soak: every leg except the
 // baseline executes under seeded fault injection (allocation failures,
@@ -18,6 +19,13 @@
 // the oracle verifies faults only ever surface as well-formed Python
 // exceptions — never as output divergences, internal errors, or host
 // panics.
+//
+// With -pool, the attack moves up a layer: the same generated programs
+// run through the internal/supervise worker pool while seeded
+// supervision faults (worker wedges, pool slot leaks) fire, and the
+// oracle verifies the supervisor's contract — faults never take the
+// pool down, never cross-contaminate another job's output, and always
+// surface as a well-formed error class.
 //
 // Exit status is nonzero if any divergence or invariant failure was
 // observed.
@@ -31,6 +39,7 @@ import (
 	"strings"
 
 	"repro/internal/difftest"
+	"repro/internal/supervise"
 )
 
 func run() int {
@@ -46,11 +55,35 @@ func run() int {
 		faults    = flag.Bool("faults", false, "chaos soak: run faulted legs under seeded fault injection")
 		faultRate = flag.Uint64("fault-rate", 1000, "with -faults, each fault kind fires ~1/rate per site visit")
 		faultSeed = flag.Uint64("fault-seed", 0, "with -faults, injector seed (0: use -seed)")
+		pool      = flag.Bool("pool", false, "pool-chaos soak: run programs through the supervise worker pool under injected supervision faults")
+		poolSize  = flag.Int("pool-workers", 4, "with -pool, number of warm workers")
+		wedgeN    = flag.Uint64("pool-wedge-every", 40, "with -pool, inject a worker wedge every Nth job (0: never)")
+		leakN     = flag.Uint64("pool-leak-every", 25, "with -pool, inject a slot leak every Nth job (0: never)")
 	)
 	flag.Parse()
 
 	if *showGen != 0 {
 		fmt.Print(difftest.Generate(*showGen))
+		return 0
+	}
+
+	if *pool {
+		res := supervise.Soak(supervise.SoakConfig{
+			Seed:        *seed,
+			Jobs:        *n,
+			Workers:     *poolSize,
+			WedgeEveryN: *wedgeN,
+			LeakEveryN:  *leakN,
+		})
+		s := res.Stats
+		fmt.Printf("pool soak: %d jobs, %d completed, %d shed, %d wedged, %d poisoned, %d leaked, %d recycled, %d restarts, %d live workers\n",
+			res.Jobs, s.Completed, s.Shed, s.Wedged, s.Poisoned, s.Leaked, s.Recycled, s.Restarts, s.Workers)
+		for _, v := range res.Violations {
+			fmt.Printf("violation: %s\n", v)
+		}
+		if !res.Ok() {
+			return 1
+		}
 		return 0
 	}
 

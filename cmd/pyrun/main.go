@@ -16,7 +16,6 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -25,41 +24,21 @@ import (
 	"repro/internal/interp"
 	"repro/internal/pybench"
 	"repro/internal/runtime"
+	"repro/internal/supervise"
 )
 
-// Exit statuses. Limit kinds get distinct codes so scripts can tell a
-// hostile-program timeout from an ordinary Python error.
+// Exit statuses shared with the serving layer: supervise.Class defines
+// the error-to-code mapping (0 success, 1 Python error, 3 internal, 4-7
+// limit trips); 2 is the CLI-only usage-error code.
 const (
-	exitOK        = 0
-	exitPyError   = 1
-	exitUsage     = 2
-	exitInternal  = 3
-	exitTimeout   = 4
-	exitMemory    = 5
-	exitRecursion = 6
-	exitOutput    = 7
+	exitPyError = 1
+	exitUsage   = 2
 )
 
-// exitCode maps a runner error to the command's exit status.
+// exitCode maps a runner error to the command's exit status through the
+// supervisor's classifier, so pyrun and pyserve agree byte-for-byte.
 func exitCode(err error) int {
-	var ie *interp.InternalError
-	if errors.As(err, &ie) {
-		return exitInternal
-	}
-	var pe *interp.PyError
-	if errors.As(err, &pe) {
-		switch pe.Kind {
-		case "TimeoutError":
-			return exitTimeout
-		case "MemoryError":
-			return exitMemory
-		case "RecursionError":
-			return exitRecursion
-		case "OutputLimitError":
-			return exitOutput
-		}
-	}
-	return exitPyError
+	return supervise.Classify(err).ExitCode()
 }
 
 // run is the whole command, parameterized over args and output streams so

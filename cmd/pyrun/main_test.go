@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/supervise"
 )
 
 func runPyrun(t *testing.T, args ...string) (string, string, int) {
@@ -86,15 +88,15 @@ func TestLimitExitCodes(t *testing.T) {
 		code int
 	}{
 		{"steps", "i = 0\nwhile True:\n    i = i + 1\n",
-			[]string{"-max-steps", "100000"}, exitTimeout},
+			[]string{"-max-steps", "100000"}, supervise.ClassTimeout.ExitCode()},
 		{"deadline", "i = 0\nwhile True:\n    i = i + 1\n",
-			[]string{"-timeout", "30ms"}, exitTimeout},
+			[]string{"-timeout", "30ms"}, supervise.ClassTimeout.ExitCode()},
 		{"heap", "l = []\nwhile True:\n    l.append(\"0123456789abcdef\")\n",
-			[]string{"-max-heap", "1048576"}, exitMemory},
+			[]string{"-max-heap", "1048576"}, supervise.ClassMemory.ExitCode()},
 		{"recursion", "def f(n):\n    return f(n + 1)\nf(0)\n",
-			[]string{"-max-recursion", "64"}, exitRecursion},
+			[]string{"-max-recursion", "64"}, supervise.ClassRecursion.ExitCode()},
 		{"output", "while True:\n    print(\"aaaaaaaaaaaaaaaa\")\n",
-			[]string{"-max-output", "4096"}, exitOutput},
+			[]string{"-max-output", "4096"}, supervise.ClassOutput.ExitCode()},
 	}
 	for _, mode := range []string{"cpython", "pypy-jit"} {
 		for _, c := range cases {

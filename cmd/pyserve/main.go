@@ -1,0 +1,271 @@
+// Command pyserve is the MiniPy serving daemon: an HTTP/JSON front end
+// over the internal/supervise worker pool. Programs run on warm,
+// reusable VM workers under per-request resource budgets; worker
+// failures are quarantined and replaced without dropping the service.
+//
+// Usage:
+//
+//	pyserve [-addr :8042] [-workers 4] [-queue 8] [-timeout 5s]
+//	        [-max-steps n] [-max-heap bytes] [-max-output bytes]
+//	        [-recycle 256]
+//
+// Endpoints:
+//
+//	POST /run     {"src": "...", "mode": "pypy-jit", "limits": {...}}
+//	              -> {"exitClass": "ok", "exitCode": 0, "stdout": ...}
+//	GET  /healthz -> pool statistics; 503 once no workers are live
+//	POST /drainz  -> graceful drain: stop admitting, wait for in-flight
+//
+// A request's "mode" selects the runtime per request (cpython,
+// pypy-nojit, pypy-jit, v8like; default cpython). Shed requests return
+// 503 with a Retry-After header. /run returns 200 for every executed
+// job — the job's own outcome (Python error, limit trip, internal
+// error) is in exitClass/exitCode, mirroring pyrun's exit statuses.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/interp"
+	"repro/internal/runtime"
+	"repro/internal/supervise"
+)
+
+// runRequest is the POST /run body.
+type runRequest struct {
+	Name   string     `json:"name,omitempty"`
+	Src    string     `json:"src"`
+	Mode   string     `json:"mode,omitempty"`
+	Limits *reqLimits `json:"limits,omitempty"`
+}
+
+// reqLimits is the per-request budget override; zero fields inherit the
+// server defaults.
+type reqLimits struct {
+	MaxSteps          uint64 `json:"maxSteps,omitempty"`
+	MaxHeapBytes      uint64 `json:"maxHeapBytes,omitempty"`
+	MaxRecursionDepth int    `json:"maxRecursionDepth,omitempty"`
+	DeadlineMs        int64  `json:"deadlineMs,omitempty"`
+	MaxOutputBytes    uint64 `json:"maxOutputBytes,omitempty"`
+}
+
+// runResponse is the POST /run reply.
+type runResponse struct {
+	ExitClass  string    `json:"exitClass"`
+	ExitCode   int       `json:"exitCode"`
+	Stdout     string    `json:"stdout"`
+	Error      string    `json:"error,omitempty"`
+	Mode       string    `json:"mode"`
+	Worker     int       `json:"worker"`
+	QueuedMs   float64   `json:"queuedMs"`
+	RunMs      float64   `json:"runMs"`
+	RetryAfter float64   `json:"retryAfterMs,omitempty"`
+	Stats      *runStats `json:"stats,omitempty"`
+}
+
+// runStats carries the execution counters of a successful run.
+type runStats struct {
+	Bytecodes   uint64 `json:"bytecodes"`
+	Allocs      uint64 `json:"allocs"`
+	MinorGCs    uint64 `json:"minorGCs"`
+	MajorGCs    uint64 `json:"majorGCs"`
+	ErrorDeopts uint64 `json:"errorDeopts,omitempty"`
+}
+
+// server ties the pool to the HTTP mux; tests drive it in-process.
+type server struct {
+	pool *supervise.Pool
+	// drainTimeout bounds how long /drainz waits for in-flight jobs.
+	drainTimeout time.Duration
+}
+
+func newServer(pool *supervise.Pool, drainTimeout time.Duration) *server {
+	return &server{pool: pool, drainTimeout: drainTimeout}
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/drainz", s.handleDrainz)
+	return mux
+}
+
+// maxBody bounds a /run request body (programs are small; a runaway
+// client must not balloon the daemon).
+const maxBody = 1 << 20
+
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	if len(body) > maxBody {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("program exceeds %d bytes", maxBody))
+		return
+	}
+	var req runRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.Src == "" {
+		httpError(w, http.StatusBadRequest, "missing src")
+		return
+	}
+	mode := runtime.CPython
+	if req.Mode != "" {
+		mode, err = runtime.ParseMode(req.Mode)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	job := &supervise.Job{
+		Name: req.Name,
+		Src:  req.Src,
+		Mode: mode,
+	}
+	if job.Name == "" {
+		job.Name = "request.py"
+	}
+	if l := req.Limits; l != nil {
+		job.Limits = interp.Limits{
+			MaxSteps:          l.MaxSteps,
+			MaxHeapBytes:      l.MaxHeapBytes,
+			MaxRecursionDepth: l.MaxRecursionDepth,
+			Deadline:          time.Duration(l.DeadlineMs) * time.Millisecond,
+			MaxOutputBytes:    l.MaxOutputBytes,
+		}
+	}
+
+	res := s.pool.Submit(job)
+	resp := runResponse{
+		ExitClass: res.Class.String(),
+		ExitCode:  res.Class.ExitCode(),
+		Stdout:    res.Output,
+		Error:     res.Err,
+		Mode:      res.Mode.String(),
+		Worker:    res.Worker,
+		QueuedMs:  float64(res.Queued) / float64(time.Millisecond),
+		RunMs:     float64(res.RunTime) / float64(time.Millisecond),
+	}
+	status := http.StatusOK
+	if res.Class == supervise.ClassShed {
+		status = http.StatusServiceUnavailable
+		resp.RetryAfter = float64(res.RetryAfter) / float64(time.Millisecond)
+		secs := int(res.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	if res.Class == supervise.ClassOK {
+		resp.Stats = &runStats{
+			Bytecodes:   res.Bytecodes,
+			Allocs:      res.Allocs,
+			MinorGCs:    res.MinorGCs,
+			MajorGCs:    res.MajorGCs,
+			ErrorDeopts: res.ErrorDeopts,
+		}
+	}
+	writeJSON(w, status, resp)
+}
+
+// healthzResponse reports pool occupancy and lifetime counters.
+type healthzResponse struct {
+	Ok    bool            `json:"ok"`
+	Stats supervise.Stats `json:"stats"`
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.pool.Stats()
+	ok := st.Workers > 0 && !st.Draining
+	status := http.StatusOK
+	if !ok {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, healthzResponse{Ok: ok, Stats: st})
+}
+
+// drainzResponse reports the drain outcome.
+type drainzResponse struct {
+	Drained bool            `json:"drained"`
+	Stats   supervise.Stats `json:"stats"`
+}
+
+func (s *server) handleDrainz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	ok := s.pool.Drain(s.drainTimeout)
+	status := http.StatusOK
+	if !ok {
+		status = http.StatusGatewayTimeout
+	}
+	writeJSON(w, status, drainzResponse{Drained: ok, Stats: s.pool.Stats()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func run() int {
+	var (
+		addr      = flag.String("addr", ":8042", "listen address")
+		workers   = flag.Int("workers", 4, "warm VM workers in the pool")
+		queue     = flag.Int("queue", 0, "admission queue depth (0: 2x workers)")
+		timeout   = flag.Duration("timeout", 5*time.Second, "default wall-clock deadline per job")
+		maxSteps  = flag.Uint64("max-steps", 50_000_000, "default step budget per job (0: unlimited)")
+		maxHeap   = flag.Uint64("max-heap", 256<<20, "default live-heap cap per job in bytes (0: unlimited)")
+		maxOutput = flag.Uint64("max-output", 8<<20, "default output cap per job in bytes (0: unlimited)")
+		recycle   = flag.Int("recycle", 256, "retire a worker after this many jobs")
+		drainWait = flag.Duration("drain-timeout", 30*time.Second, "how long /drainz waits for in-flight jobs")
+	)
+	flag.Parse()
+
+	pool := supervise.NewPool(supervise.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		RecycleAfter: *recycle,
+		DefaultLimits: interp.Limits{
+			MaxSteps:       *maxSteps,
+			MaxHeapBytes:   *maxHeap,
+			Deadline:       *timeout,
+			MaxOutputBytes: *maxOutput,
+		},
+	})
+	defer pool.Close()
+
+	srv := newServer(pool, *drainWait)
+	fmt.Fprintf(os.Stderr, "pyserve: listening on %s (%d workers)\n", *addr, *workers)
+	if err := http.ListenAndServe(*addr, srv.mux()); err != nil {
+		fmt.Fprintln(os.Stderr, "pyserve:", err)
+		return 1
+	}
+	return 0
+}
+
+func main() { os.Exit(run()) }

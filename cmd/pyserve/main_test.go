@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/interp"
+	"repro/internal/runtime"
+	"repro/internal/supervise"
+)
+
+func smokeServer(t *testing.T) (*httptest.Server, *supervise.Pool) {
+	t.Helper()
+	pool := supervise.NewPool(supervise.Config{
+		Workers: 2,
+		DefaultLimits: interp.Limits{
+			MaxSteps:       10_000_000,
+			MaxHeapBytes:   128 << 20,
+			Deadline:       30 * time.Second,
+			MaxOutputBytes: 1 << 20,
+		},
+	})
+	ts := httptest.NewServer(newServer(pool, 10*time.Second).mux())
+	t.Cleanup(func() {
+		ts.Close()
+		pool.Close()
+	})
+	return ts, pool
+}
+
+func postRun(t *testing.T, ts *httptest.Server, req runRequest) (int, runResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out runResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode /run response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestSmoke is the CI gate: 50 mixed-mode requests through the HTTP
+// surface — healthy programs, an ordinary Python error, and one request
+// per governor limit class — after which the pool must report zero
+// worker deaths of any kind.
+func TestSmoke(t *testing.T) {
+	ts, pool := smokeServer(t)
+
+	type want struct {
+		status int
+		class  string
+		exit   int
+		stdout string
+	}
+	post := func(i int, req runRequest, w want) {
+		t.Helper()
+		status, out := postRun(t, ts, req)
+		if status != w.status || out.ExitClass != w.class || out.ExitCode != w.exit {
+			t.Fatalf("request %d (%s): status %d class %s exit %d (err %q), want %d/%s/%d",
+				i, req.Name, status, out.ExitClass, out.ExitCode, out.Error,
+				w.status, w.class, w.exit)
+		}
+		if w.stdout != "" && out.Stdout != w.stdout {
+			t.Fatalf("request %d (%s): stdout %q, want %q", i, req.Name, out.Stdout, w.stdout)
+		}
+	}
+
+	reqs := 0
+	// 44 healthy requests cycling through every runtime mode.
+	for i := 0; i < 44; i++ {
+		mode := runtime.Mode(i % int(runtime.NumModes)).String()
+		post(reqs, runRequest{
+			Name: fmt.Sprintf("ok-%d.py", i),
+			Mode: mode,
+			Src:  fmt.Sprintf("total = 0\nfor j in range(50):\n    total = total + j\nprint(total + %d)\n", i),
+		}, want{status: 200, class: "ok", exit: 0, stdout: fmt.Sprintf("%d\n", 1225+i)})
+		reqs++
+	}
+
+	// One ordinary Python error.
+	post(reqs, runRequest{Name: "err.py", Src: "print(no_such_name)\n"},
+		want{status: 200, class: "error", exit: 1})
+	reqs++
+
+	// One request per limit class, each with a per-request budget.
+	limitReqs := []struct {
+		name  string
+		src   string
+		lim   reqLimits
+		class string
+		exit  int
+	}{
+		{"steps.py", "i = 0\nwhile True:\n    i = i + 1\n",
+			reqLimits{MaxSteps: 100_000}, "timeout", 4},
+		{"deadline.py", "i = 0\nwhile True:\n    i = i + 1\n",
+			reqLimits{MaxSteps: 1 << 40, DeadlineMs: 30}, "timeout", 4},
+		{"heap.py", "l = []\nwhile True:\n    l.append(\"0123456789abcdef\")\n",
+			reqLimits{MaxHeapBytes: 1 << 20}, "memory", 5},
+		{"recursion.py", "def f(n):\n    return f(n + 1)\nf(0)\n",
+			reqLimits{MaxRecursionDepth: 64}, "recursion", 6},
+		{"output.py", "while True:\n    print(\"aaaaaaaaaaaaaaaa\")\n",
+			reqLimits{MaxOutputBytes: 32 << 10}, "output-limit", 7},
+	}
+	for i, lr := range limitReqs {
+		mode := runtime.Mode(i % int(runtime.NumModes)).String()
+		post(reqs, runRequest{Name: lr.name, Src: lr.src, Mode: mode, Limits: &lr.lim},
+			want{status: 200, class: lr.class, exit: lr.exit})
+		reqs++
+	}
+
+	if reqs != 50 {
+		t.Fatalf("smoke sent %d requests, want 50", reqs)
+	}
+
+	st := pool.Stats()
+	if st.Poisoned != 0 || st.Wedged != 0 || st.Leaked != 0 {
+		t.Fatalf("smoke run killed workers: %+v", st)
+	}
+	if st.Workers == 0 {
+		t.Fatalf("no live workers after smoke: %+v", st)
+	}
+}
+
+// TestHealthz: the health endpoint reports live workers and lifetime
+// counters.
+func TestHealthz(t *testing.T) {
+	ts, _ := smokeServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var h healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Ok || h.Stats.Workers != 2 {
+		t.Fatalf("healthz %+v", h)
+	}
+}
+
+// TestDrainz: draining flips the daemon into rejection mode; /healthz
+// goes unhealthy and /run sheds.
+func TestDrainz(t *testing.T) {
+	ts, _ := smokeServer(t)
+	resp, err := http.Post(ts.URL+"/drainz", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("drainz status %d", resp.StatusCode)
+	}
+	status, out := postRun(t, ts, runRequest{Name: "x.py", Src: "print(1)\n"})
+	if status != http.StatusServiceUnavailable || out.ExitClass != "shed" {
+		t.Fatalf("post-drain run: status %d class %s", status, out.ExitClass)
+	}
+	if resp, err := http.Get(ts.URL + "/healthz"); err == nil {
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("post-drain healthz status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestBadRequests: malformed input gets 4xx, not a crash.
+func TestBadRequests(t *testing.T) {
+	ts, _ := smokeServer(t)
+	for _, tc := range []struct {
+		name   string
+		body   string
+		status int
+	}{
+		{"bad json", "{", http.StatusBadRequest},
+		{"no src", "{}", http.StatusBadRequest},
+		{"bad mode", `{"src": "print(1)", "mode": "jython"}`, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Fatalf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /run status %d", resp.StatusCode)
+	}
+}

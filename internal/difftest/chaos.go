@@ -66,6 +66,11 @@ func chaosDiff(base, got *Outcome) string {
 	if strings.HasPrefix(got.Err, "InternalError") {
 		return "internal error under fault injection: " + got.Err
 	}
+	if strings.HasPrefix(got.Err, "TimeoutError") && !strings.HasPrefix(base.Err, "TimeoutError") {
+		// The per-leg wall-clock guard fired: the leg wedged under
+		// faults instead of degrading gracefully.
+		return "wedged leg: wall-clock guard tripped under fault injection: " + got.Err
+	}
 	if got.Err != base.Err {
 		if !strings.HasPrefix(got.Err, "MemoryError") {
 			return fmt.Sprintf("error mismatch under faults: baseline %q, got %q (%s)",

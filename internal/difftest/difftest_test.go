@@ -3,6 +3,7 @@ package difftest
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/gc"
@@ -328,5 +329,35 @@ func TestChaosFaultScheduleDeterministic(t *testing.T) {
 	}
 	if a.Stats.FaultsFired == 0 {
 		t.Fatal("no faults fired at rate 200")
+	}
+}
+
+// TestLegWallClockGuard: every leg executes under a hard wall-clock
+// deadline derived from interp.Limits.Deadline, so a wedged leg raises
+// TimeoutError (and fails the oracle) instead of hanging the harness.
+func TestLegWallClockGuard(t *testing.T) {
+	leg := Leg{
+		Name:     "cpython",
+		Heap:     gc.DefaultRefCountConfig(),
+		Deadline: 20 * time.Millisecond,
+	}
+	src := "i = 0\nwhile i < 1000000000:\n    i = i + 1\n"
+	o, err := Execute(leg, "wedge.py", src, 1<<62) // budget out of the way
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(o.Err, "TimeoutError") || !strings.Contains(o.Err, "deadline") {
+		t.Fatalf("wedged leg must trip the wall-clock guard, got %q", o.Err)
+	}
+}
+
+// TestChaosDiffFlagsWedgedLeg: a guard trip on a faulted leg is reported
+// as a wedge, never absorbed by the graceful-degradation contract.
+func TestChaosDiffFlagsWedgedLeg(t *testing.T) {
+	base := &Outcome{Leg: "cpython", Output: "1\n"}
+	got := &Outcome{Leg: "pypy-jit+chaos", Err: "TimeoutError: execution deadline of 30s exceeded"}
+	d := chaosDiff(base, got)
+	if !strings.Contains(d, "wedged leg") {
+		t.Fatalf("want wedged-leg divergence, got %q", d)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/emit"
 	"repro/internal/faults"
@@ -29,7 +30,22 @@ type Leg struct {
 	// output is a prefix of the baseline's, or not at all — never as an
 	// output divergence, InternalError, or host panic.
 	Chaos *ChaosSpec
+	// Deadline is the leg's hard wall-clock guard, armed through
+	// interp.Limits.Deadline (default DefaultLegDeadline). A wedged leg
+	// — looping forever without tripping the bytecode budget, e.g. stuck
+	// inside GC under fault injection — raises TimeoutError instead of
+	// hanging CI. On a chaos leg a trip fails the oracle as a wedge; on
+	// an unfaulted leg it is skipped like a bytecode-budget trip, since
+	// the trip point depends on machine speed (a program near the
+	// bytecode budget can cross the deadline first on a slow machine).
+	Deadline time.Duration
 }
+
+// DefaultLegDeadline bounds one leg's execution in wall-clock time. It
+// only needs to beat "forever": the oracle treats trips on unfaulted
+// legs as harness artifacts, so the exact value never decides an
+// outcome.
+const DefaultLegDeadline = 30 * time.Second
 
 // DefaultNurseries are the nursery sizes the generational legs sweep. The
 // smallest forces frequent minor collections mid-trace; the largest is
@@ -110,6 +126,11 @@ func Execute(leg Leg, name, src string, budget uint64) (*Outcome, error) {
 		budget = DefaultBudget
 	}
 	vm.MaxBytecodes = budget
+	deadline := leg.Deadline
+	if deadline == 0 {
+		deadline = DefaultLegDeadline
+	}
+	vm.SetLimits(interp.Limits{Deadline: deadline})
 
 	// Chaos mode: one injector per execution (it is stateful), seeded
 	// from the leg's spec and the program name so every leg x program

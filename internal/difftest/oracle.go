@@ -83,10 +83,11 @@ func CheckProgram(legs []Leg, name, src string, budget uint64) (divs []Divergenc
 	if err != nil {
 		return nil, nil, stats, fmt.Errorf("%s: baseline: %w", name, err)
 	}
-	if budgetTripped(base) {
-		// The budget is a harness artifact, not program semantics, and
-		// JIT legs count interpreted bytecodes only — comparing a
-		// tripped run across legs would fabricate divergences.
+	if harnessTripped(base) {
+		// The budget and the wall-clock guard are harness artifacts, not
+		// program semantics: JIT legs count interpreted bytecodes only,
+		// and wall-clock trip points vary with machine load — comparing
+		// a tripped run across legs would fabricate divergences.
 		return nil, nil, stats, nil
 	}
 	invs = append(invs, CheckInvariants(base)...)
@@ -101,6 +102,13 @@ func CheckProgram(legs []Leg, name, src string, budget uint64) (divs []Divergenc
 		}
 		stats.add(got)
 		if budgetTripped(got) {
+			continue
+		}
+		if leg.Chaos == nil && deadlineTripped(got) {
+			// A wall-clock trip on an unfaulted leg means slow, not
+			// wedged (the baseline would have tripped too on a genuinely
+			// long program): skip like a budget trip. Chaos legs fall
+			// through so chaosDiff can flag the trip as a wedge.
 			continue
 		}
 		invs = append(invs, CheckInvariants(got)...)
@@ -126,17 +134,31 @@ func budgetTripped(o *Outcome) bool {
 	return strings.Contains(o.Err, "bytecode budget exceeded")
 }
 
+// deadlineTripped reports whether the outcome aborted on the per-leg
+// wall-clock guard (exec.go). The trip point depends on machine speed,
+// so outside chaos mode it is a harness artifact like the budget.
+func deadlineTripped(o *Outcome) bool {
+	return strings.Contains(o.Err, "execution deadline")
+}
+
+// harnessTripped reports whether the outcome aborted on any harness
+// bound — bytecode budget or wall-clock guard — rather than on program
+// semantics.
+func harnessTripped(o *Outcome) bool {
+	return budgetTripped(o) || deadlineTripped(o)
+}
+
 // DivergesOn reports whether src still diverges on the given leg versus
 // the baseline leg — the property the shrinker preserves. Execution errors
 // (compile failures, budget blowups) count as "does not diverge" so the
 // shrinker never locks onto a different bug.
 func DivergesOn(baseline, leg Leg, name, src string, budget uint64) bool {
 	base, err := Execute(baseline, name, src, budget)
-	if err != nil || budgetTripped(base) {
+	if err != nil || harnessTripped(base) {
 		return false
 	}
 	got, err := Execute(leg, name, src, budget)
-	if err != nil || budgetTripped(got) {
+	if err != nil || harnessTripped(got) {
 		return false
 	}
 	return diffOutcomes(base, got) != ""

@@ -41,11 +41,23 @@ const (
 	// TraceCompileFail aborts trace compilation at the final stage; the
 	// loop must keep running interpreted.
 	TraceCompileFail
+	// WorkerWedge stalls a supervised pool worker at job start (the
+	// worker sleeps past the supervisor's watchdog), simulating a job
+	// that neither finishes nor trips a VM limit. The supervisor must
+	// classify the job as wedged, quarantine the worker, and spawn a
+	// replacement — the pool itself must stay up.
+	WorkerWedge
+	// PoolSlotLeak makes a supervised pool worker fail to return itself
+	// to the idle ring after completing a job (a lost slot). The
+	// supervisor's accounting must detect the missing worker and restore
+	// pool capacity.
+	PoolSlotLeak
 	// NumKinds is the number of fault kinds.
 	NumKinds
 )
 
-var kindNames = [NumKinds]string{"alloc-fail", "nursery-exhaust", "guard-corrupt", "trace-compile-fail"}
+var kindNames = [NumKinds]string{"alloc-fail", "nursery-exhaust", "guard-corrupt", "trace-compile-fail",
+	"worker-wedge", "pool-slot-leak"}
 
 // String returns the kind's name.
 func (k Kind) String() string {

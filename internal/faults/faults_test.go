@@ -116,3 +116,43 @@ func TestParallelInjectorsIndependent(t *testing.T) {
 		}
 	}
 }
+
+// Every kind has a distinct, non-placeholder name (guards the kindNames
+// table against drifting out of sync with the Kind enum).
+func TestKindNamesComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for k := Kind(0); k < NumKinds; k++ {
+		n := k.String()
+		if n == "" || seen[n] {
+			t.Fatalf("kind %d has bad or duplicate name %q", k, n)
+		}
+		seen[n] = true
+	}
+	if Kind(NumKinds).String() == kindNames[0] {
+		t.Error("out-of-range kind must not alias a real name")
+	}
+}
+
+// The supervision fault kinds obey the same disciplines as the VM kinds.
+func TestSupervisionKindsFire(t *testing.T) {
+	in := NewEveryNth(WorkerWedge, 3)
+	fired := 0
+	for i := 0; i < 9; i++ {
+		if in.Should(WorkerWedge) {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("worker-wedge every-3rd over 9 visits: fired %d", fired)
+	}
+	in2 := NewRate(7, 2, PoolSlotLeak)
+	any := false
+	for i := 0; i < 64; i++ {
+		if in2.Should(PoolSlotLeak) {
+			any = true
+		}
+	}
+	if !any {
+		t.Error("pool-slot-leak at rate 1/2 never fired in 64 visits")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/pyobj"
@@ -23,7 +24,14 @@ type typeMethodKey struct {
 	name string
 }
 
-var typeMethods map[typeMethodKey]pyobj.BuiltinID
+// typeMethods is shared by all VMs: builtin IDs are allocated in a fixed
+// registration order, so every VM computes an identical table. The first
+// VM to construct populates it (typeMethodsOnce); later VMs and running
+// interpreters only read it, so concurrent VM construction is race-free.
+var (
+	typeMethods     map[typeMethodKey]pyobj.BuiltinID
+	typeMethodsOnce sync.Once
+)
 
 // lookupTypeMethod finds a built-in type's method implementation.
 func (vm *VM) lookupTypeMethod(t pyobj.TypeID, name string) (pyobj.BuiltinID, bool) {
@@ -141,10 +149,19 @@ func (vm *VM) iterate(o pyobj.Object, f func(pyobj.Object)) {
 }
 
 // registerBuiltins wires every builtin function, type method, and module.
+// Every VM registers its own implementations (IDs and simulated code
+// addresses are identical across VMs); only the first populates the
+// shared typeMethods table.
 func (vm *VM) registerBuiltins() {
-	typeMethods = make(map[typeMethodKey]pyobj.BuiltinID)
+	populate := false
+	typeMethodsOnce.Do(func() {
+		typeMethods = make(map[typeMethodKey]pyobj.BuiltinID)
+		populate = true
+	})
 	tm := func(t pyobj.TypeID, name string, id pyobj.BuiltinID) {
-		typeMethods[typeMethodKey{t, name}] = id
+		if populate {
+			typeMethods[typeMethodKey{t, name}] = id
+		}
 	}
 
 	// ---- Global functions ----

@@ -174,8 +174,11 @@ func (fi FrameInfo) String() string {
 // enough to diagnose the crash without a debugger attached to the host.
 type CrashState struct {
 	// Frames is the Python frame stack at the point of failure,
-	// innermost first (capped at maxUnwindNotes entries).
-	Frames    []FrameInfo
+	// innermost first (capped at maxUnwindNotes entries, each with a
+	// bounded function-name rendering).
+	Frames []FrameInfo
+	// Depth is the true unwound call depth, which may exceed
+	// len(Frames) when the snapshot cap clipped the stack.
 	Depth     int
 	Bytecodes uint64
 	Heap      gc.Stats
@@ -211,37 +214,78 @@ func (e *InternalError) Unwrap() error {
 	return nil
 }
 
-// maxUnwindNotes caps the crash snapshot's frame stack (deep recursion
-// crashes would otherwise snapshot thousands of frames).
-const maxUnwindNotes = 32
+// Crash-snapshot size caps. A worker that crashes while 4000 Python
+// frames deep would otherwise snapshot thousands of FrameInfos, render a
+// megabyte Go stack, and potentially hold an arbitrarily large panic
+// value — the crash *report* must never become its own memory exhaustion.
+const (
+	// maxUnwindNotes caps the crash snapshot's frame stack.
+	maxUnwindNotes = 32
+	// maxFuncRepr caps a snapshot frame's function-name rendering.
+	maxFuncRepr = 128
+	// maxCauseRepr caps the rendered panic value carried by the error.
+	maxCauseRepr = 2048
+	// maxStackBytes caps the captured Go stack trace (deep Python
+	// recursion recurses through Go, so an uncapped trace scales with
+	// the crash depth).
+	maxStackBytes = 16 << 10
+)
+
+// truncRepr bounds s to max bytes, marking the cut.
+func truncRepr(s string, max int) string {
+	if len(s) <= max {
+		return s
+	}
+	return s[:max] + "...[truncated]"
+}
 
 // noteUnwind records f in the crash snapshot while a panic unwinds
 // through runFrame. By the time RunCode's recover runs, the frame chain
 // has already been popped by runFrame's deferred cleanup, so the stack
 // must be captured during the unwind itself.
 func (vm *VM) noteUnwind(f *pyobj.Frame) {
+	vm.unwoundTotal++
 	if len(vm.unwound) >= maxUnwindNotes {
 		return
 	}
-	fi := FrameInfo{Func: f.Code.Name, PC: f.PC}
+	fi := FrameInfo{Func: truncRepr(f.Code.Name, maxFuncRepr), PC: f.PC}
 	if f.PC >= 0 && f.PC < len(f.Code.Code) {
 		fi.Op = f.Code.Code[f.PC].Op.String()
 	}
 	vm.unwound = append(vm.unwound, fi)
 }
 
-// internalError assembles the InternalError for a recovered panic.
+// internalError assembles the InternalError for a recovered panic. Every
+// variable-size component is bounded: frames were capped during the
+// unwind, the Go stack is clipped to maxStackBytes, and the panic value
+// is rendered once into a capped string instead of being retained (a
+// huge panic value would otherwise live as long as the error does).
 func (vm *VM) internalError(cause interface{}, stack []byte) *InternalError {
+	if len(stack) > maxStackBytes {
+		stack = append(stack[:maxStackBytes:maxStackBytes], []byte("\n...[stack truncated]")...)
+	}
 	e := &InternalError{
-		Cause: cause,
+		Cause: boundCause(cause),
 		Stack: stack,
 		State: CrashState{
 			Frames:    append([]FrameInfo(nil), vm.unwound...),
-			Depth:     len(vm.unwound),
+			Depth:     vm.unwoundTotal,
 			Bytecodes: vm.Stats.Bytecodes,
 			Heap:      vm.Heap.Stats,
 		},
 	}
 	vm.unwound = vm.unwound[:0]
+	vm.unwoundTotal = 0
 	return e
+}
+
+// boundCause reduces a panic value to a bounded footprint while keeping
+// error identity: small error values pass through untouched (so
+// errors.Is/As keep working); anything else is rendered to a capped
+// string.
+func boundCause(cause interface{}) interface{} {
+	if err, ok := cause.(error); ok && len(err.Error()) <= maxCauseRepr {
+		return err
+	}
+	return truncRepr(fmt.Sprint(cause), maxCauseRepr)
 }

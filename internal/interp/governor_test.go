@@ -10,6 +10,7 @@ import (
 	"repro/internal/gc"
 	"repro/internal/isa"
 	"repro/internal/pycode"
+	"repro/internal/pyobj"
 )
 
 // newLimited builds a VM with the given heap config and limits.
@@ -255,5 +256,65 @@ func TestGovernorDisabledIsInert(t *testing.T) {
 	}
 	if out.String() != "4950\n" {
 		t.Fatalf("output: %q", out.String())
+	}
+}
+
+// TestCrashSnapshotBounded: however deep the crash and however large the
+// panic value and Go stack, the assembled InternalError stays a bounded
+// report — the crash *reporting* path must never be its own memory
+// exhaustion (a worker pool quarantines crashed VMs by shipping this
+// error around).
+func TestCrashSnapshotBounded(t *testing.T) {
+	vm, _ := newLimited(gc.DefaultRefCountConfig(), Limits{})
+	code := &pycode.Code{
+		Name:     strings.Repeat("f", 4096), // absurd function name
+		Filename: "<deep>",
+		Code:     []pycode.Instr{{Op: pycode.NOP}},
+	}
+	f := &pyobj.Frame{Code: code}
+	const depth = 5000
+	for i := 0; i < depth; i++ {
+		vm.noteUnwind(f)
+	}
+	hugeCause := strings.Repeat("x", 1<<20)
+	hugeStack := []byte(strings.Repeat("goroutine 1 [running]\n", 1<<15))
+	ie := vm.internalError(hugeCause, hugeStack)
+
+	if len(ie.State.Frames) != maxUnwindNotes {
+		t.Fatalf("frames: want cap %d, got %d", maxUnwindNotes, len(ie.State.Frames))
+	}
+	if ie.State.Depth != depth {
+		t.Errorf("true depth: want %d, got %d", depth, ie.State.Depth)
+	}
+	if n := len(ie.State.Frames[0].Func); n > maxFuncRepr+len("...[truncated]") {
+		t.Errorf("frame func name not capped: %d bytes", n)
+	}
+	if n := len(ie.Stack); n > maxStackBytes+64 {
+		t.Errorf("Go stack not capped: %d bytes", n)
+	}
+	repr, ok := ie.Cause.(string)
+	if !ok {
+		t.Fatalf("huge non-error cause should be rendered to string, got %T", ie.Cause)
+	}
+	if len(repr) > maxCauseRepr+32 {
+		t.Errorf("cause repr not capped: %d bytes", len(repr))
+	}
+	if n := len(ie.Error()); n > maxCauseRepr+1024 {
+		t.Errorf("Error() rendering not bounded: %d bytes", n)
+	}
+	// The snapshot buffers reset for the next run.
+	if len(vm.unwound) != 0 || vm.unwoundTotal != 0 {
+		t.Error("unwind buffers not reset after snapshot")
+	}
+}
+
+// TestCrashSnapshotKeepsErrorIdentity: a small error panic value passes
+// through uncapped so errors.Is/As through Unwrap keep working.
+func TestCrashSnapshotKeepsErrorIdentity(t *testing.T) {
+	sentinel := errors.New("sentinel bug")
+	vm, _ := newLimited(gc.DefaultRefCountConfig(), Limits{})
+	ie := vm.internalError(sentinel, nil)
+	if !errors.Is(ie, sentinel) {
+		t.Fatal("small error cause must survive for errors.Is")
 	}
 }

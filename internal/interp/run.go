@@ -33,6 +33,7 @@ func (vm *VM) RunSource(file, src string) error {
 // can never take down a host serving many.
 func (vm *VM) RunCode(code *pycode.Code) (err error) {
 	vm.unwound = vm.unwound[:0]
+	vm.unwoundTotal = 0
 	vm.armGovernor()
 	defer func() {
 		r := recover()

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -119,8 +120,10 @@ type VM struct {
 	recursionLimit int
 	outBytes       uint64
 	// unwound captures the frame stack while a Go panic unwinds
-	// (crash-isolation snapshot; see noteUnwind).
-	unwound []FrameInfo
+	// (crash-isolation snapshot; see noteUnwind). unwoundTotal counts
+	// every unwound frame, including those past the snapshot cap.
+	unwound      []FrameInfo
+	unwoundTotal int
 
 	// Counters.
 	Stats VMStats
@@ -259,11 +262,27 @@ func (vm *VM) roots(visit func(pyobj.Object)) {
 
 func (vm *VM) dataAlloc(size uint64) uint64 { return vm.data.MustAlloc(size, 16) }
 
+// typeAddrsOnce guards the one-time assignment of the shared
+// pyobj.Types addresses: every VM's data segment starts at the same
+// fixed base, so all VMs compute identical addresses, and concurrent VM
+// construction (worker pools) must not race on the write.
+var typeAddrsOnce sync.Once
+
 func (vm *VM) initSingletons() {
 	// Type objects live at the start of the data segment so slot
-	// addresses are valid.
-	for _, t := range pyobj.Types {
-		t.Addr = vm.dataAlloc(256)
+	// addresses are valid. Every VM reserves the space; the first
+	// publishes the (identical) addresses into the shared type objects.
+	assigned := false
+	typeAddrsOnce.Do(func() {
+		assigned = true
+		for _, t := range pyobj.Types {
+			t.Addr = vm.dataAlloc(256)
+		}
+	})
+	if !assigned {
+		for range pyobj.Types {
+			vm.dataAlloc(256)
+		}
 	}
 	vm.None = &pyobj.None{H: pyobj.Header{Addr: vm.dataAlloc(16), Size: 16, Immortal: true}}
 	vm.True = &pyobj.Bool{H: pyobj.Header{Addr: vm.dataAlloc(24), Size: 24, Immortal: true}, V: true}

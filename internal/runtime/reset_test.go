@@ -1,0 +1,126 @@
+package runtime
+
+import (
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/interp"
+)
+
+// resetProgram exercises allocation, GC traffic, arithmetic, and (for JIT
+// modes) a hot loop, so any state bleeding between runs shows up in the
+// output or the statistics.
+const resetProgram = `
+keep = []
+acc = 0
+for i in xrange(3000):
+    acc = acc + i * 3 & 1023
+    t = [i, i + 1]
+    if i % 700 == 0:
+        keep.append(t)
+print(acc)
+print(len(keep))
+`
+
+// runFresh executes the program on a brand-new Runner.
+func runFresh(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run("reset.py", resetProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// sameResult compares everything deterministic about two results.
+func sameResult(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if want.Output != got.Output {
+		t.Errorf("%s: output %q != %q", label, got.Output, want.Output)
+	}
+	if !reflect.DeepEqual(want.VM, got.VM) {
+		t.Errorf("%s: VM stats %+v != %+v", label, got.VM, want.VM)
+	}
+	if !reflect.DeepEqual(want.GC, got.GC) {
+		t.Errorf("%s: GC stats %+v != %+v", label, got.GC, want.GC)
+	}
+	if !reflect.DeepEqual(want.Heap, got.Heap) {
+		t.Errorf("%s: heap stats %+v != %+v", label, got.Heap, want.Heap)
+	}
+	if (want.JIT == nil) != (got.JIT == nil) {
+		t.Fatalf("%s: JIT stats presence mismatch", label)
+	}
+	if want.JIT != nil && !reflect.DeepEqual(*want.JIT, *got.JIT) {
+		t.Errorf("%s: JIT stats %+v != %+v", label, *got.JIT, *want.JIT)
+	}
+}
+
+// TestResetMatchesFreshRunners: two sequential runs on one Runner — with
+// and without an explicit Reset between them — produce byte- and
+// stat-identical results to two fresh Runners, for every mode. This is
+// the warm worker pool's reuse contract: no observable state crosses
+// from one job to the next.
+func TestResetMatchesFreshRunners(t *testing.T) {
+	for m := Mode(0); m < NumModes; m++ {
+		t.Run(m.String(), func(t *testing.T) {
+			cfg := DefaultConfig(m)
+			cfg.Core = CountOnly
+			cfg.Warmups = 0
+			cfg.Measures = 1
+			cfg.NurseryBytes = 64 << 10 // force collections
+			cfg.Stdout = io.Discard
+
+			first := runFresh(t, cfg)
+			second := runFresh(t, cfg)
+			sameResult(t, "fresh-vs-fresh", first, second)
+
+			warm, err := NewRunner(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := warm.Run("reset.py", resetProgram)
+			if err != nil {
+				t.Fatal(err)
+			}
+			warm.Reset() // pre-build pristine state off the critical path
+			b, err := warm.Run("reset.py", resetProgram)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, "warm run 1", first, a)
+			sameResult(t, "warm run 2 (after Reset)", first, b)
+
+			// Without Reset the runner still builds pristine state.
+			c, err := warm.Run("reset.py", resetProgram)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, "warm run 3 (no Reset)", first, c)
+		})
+	}
+}
+
+// TestSetLimitsAppliesToWarmState: limits installed after Reset still
+// govern the next run (the pool arms per-job budgets on warm workers).
+func TestSetLimitsAppliesToWarmState(t *testing.T) {
+	cfg := DefaultConfig(CPython)
+	cfg.Core = CountOnly
+	cfg.Warmups = 0
+	cfg.Measures = 1
+	cfg.Stdout = io.Discard
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Reset() // warm state built with unlimited budgets
+	r.SetLimits(interp.Limits{MaxSteps: 1000})
+	_, err = r.Run("hot.py", "i = 0\nwhile True:\n    i = i + 1\n")
+	if err == nil {
+		t.Fatal("step budget armed after Reset did not fire")
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/emit"
+	"repro/internal/faults"
 	"repro/internal/gc"
 	"repro/internal/interp"
 	"repro/internal/isa"
@@ -98,6 +99,9 @@ type Config struct {
 	// depth, wall-clock time, and output volume. Each cap surfaces as an
 	// in-language exception; zero values mean unlimited.
 	Limits interp.Limits
+	// Faults, when non-nil, arms chaos-mode fault injection on the heap
+	// and JIT (soak harnesses; nil in normal operation).
+	Faults *faults.Injector
 }
 
 // DefaultNursery is PyPy's default nursery size.
@@ -142,6 +146,11 @@ type Result struct {
 	// VM summarizes interpreter activity (whole session, warmups
 	// included).
 	VM interp.VMStats
+	// Heap is the heap's whole-session statistics (warmups included;
+	// unlike GC, which is normalized to the measured runs). Supervision
+	// layers use it for health probes: refcount balance and
+	// free/allocation accounting.
+	Heap gc.Stats
 	// JIT summarizes compiler activity (whole session).
 	JIT *jit.Stats
 	// Output is the program output of the final measured run.
@@ -162,8 +171,27 @@ func (r *Result) GCShare() float64 {
 
 // Runner executes programs under one configuration. A Runner is not safe
 // for concurrent use.
+//
+// Each execution runs on pristine VM state: RunCode consumes the
+// pre-built state left by Reset if one is waiting, and otherwise builds
+// its own, so two sequential runs on one Runner behave exactly like runs
+// on two fresh Runners. A warm worker pool calls Reset between jobs to
+// pay the VM construction cost off the job's critical path.
 type Runner struct {
-	cfg Config
+	cfg  Config
+	warm *runState
+}
+
+// runState is the complete machinery for one execution: engine, VM,
+// optional JIT, and core model.
+type runState struct {
+	eng    *emit.Engine
+	vm     *interp.VM
+	jit    *jit.JIT
+	simple *uarch.SimpleCore
+	ooo    *uarch.OOOCore
+	out    *outBuffer
+	faults *faults.Injector // injector the state was built with
 }
 
 // NewRunner validates cfg and returns a Runner.
@@ -185,6 +213,73 @@ func NewRunner(cfg Config) (*Runner, error) {
 
 // Config returns the runner's configuration.
 func (r *Runner) Config() Config { return r.cfg }
+
+// SetLimits replaces the resource limits applied to subsequent runs (a
+// worker pool arms per-job budgets on a warm Runner). Takes effect even
+// when a pre-built state from Reset is waiting.
+func (r *Runner) SetLimits(l interp.Limits) { r.cfg.Limits = l }
+
+// SetFaults installs a chaos-mode fault injector for subsequent runs
+// (nil disables). Injectors are stateful and per-execution; soak
+// harnesses install a fresh one before each job.
+func (r *Runner) SetFaults(in *faults.Injector) { r.cfg.Faults = in }
+
+// Reset discards any state from a previous execution and pre-builds a
+// pristine replacement for the next run. Calling it between jobs gives a
+// warm worker two guarantees: no state crosses from one job to the next
+// (the old VM, heap, and JIT are dropped wholesale), and the next job
+// skips VM construction on its critical path.
+func (r *Runner) Reset() { r.warm = r.buildState() }
+
+// buildState constructs fresh execution state from the configuration.
+func (r *Runner) buildState() *runState {
+	cfg := r.cfg
+	st := &runState{out: &outBuffer{tee: cfg.Stdout}, faults: cfg.Faults}
+	st.eng = emit.NewEngine(isa.NullSink{})
+	st.vm = interp.New(st.eng, heapConfig(cfg), st.out)
+	st.vm.MaxBytecodes = cfg.MaxBytecodes
+	st.vm.SetLimits(cfg.Limits)
+	st.vm.Heap.SetFaults(cfg.Faults)
+
+	switch cfg.Mode {
+	case PyPyJIT:
+		jc := jit.DefaultConfig()
+		jc.Faults = cfg.Faults
+		st.jit = jit.New(st.vm, jc)
+	case V8Like:
+		jc := jit.V8LikeConfig()
+		jc.Faults = cfg.Faults
+		st.jit = jit.New(st.vm, jc)
+	}
+
+	switch cfg.Core {
+	case SimpleCore:
+		st.simple = uarch.NewSimpleCore(cfg.Uarch)
+		st.eng.SetSink(st.simple)
+	case OOOCore:
+		st.ooo = uarch.NewOOOCore(cfg.Uarch)
+		st.eng.SetSink(st.ooo)
+	case CountOnly:
+		st.eng.SetSink(isa.NullSink{})
+	}
+	return st
+}
+
+// takeState returns the execution state for one RunCode call: the
+// pre-built pristine state if Reset left one (and it still matches the
+// configuration), else a fresh build.
+func (r *Runner) takeState() *runState {
+	st := r.warm
+	r.warm = nil
+	if st == nil || st.faults != r.cfg.Faults {
+		return r.buildState()
+	}
+	// Re-arm the parts that may have changed since the state was built.
+	st.out.tee = r.cfg.Stdout
+	st.vm.MaxBytecodes = r.cfg.MaxBytecodes
+	st.vm.SetLimits(r.cfg.Limits)
+	return st
+}
 
 // heapConfig derives the heap configuration a Config implies.
 func heapConfig(cfg Config) gc.Config {
@@ -230,34 +325,8 @@ func (r *Runner) Run(name, src string) (*Result, error) {
 // and warms the caches); statistics cover only the measured runs.
 func (r *Runner) RunCode(code *pycode.Code) (*Result, error) {
 	cfg := r.cfg
-	out := &outBuffer{tee: cfg.Stdout}
-
-	eng := emit.NewEngine(isa.NullSink{})
-	vm := interp.New(eng, heapConfig(cfg), out)
-	vm.MaxBytecodes = cfg.MaxBytecodes
-	vm.SetLimits(cfg.Limits)
-
-	var theJIT *jit.JIT
-	switch cfg.Mode {
-	case PyPyJIT:
-		theJIT = jit.New(vm, jit.DefaultConfig())
-	case V8Like:
-		theJIT = jit.New(vm, jit.V8LikeConfig())
-	}
-
-	// Build the core model.
-	var simple *uarch.SimpleCore
-	var ooo *uarch.OOOCore
-	switch cfg.Core {
-	case SimpleCore:
-		simple = uarch.NewSimpleCore(cfg.Uarch)
-		eng.SetSink(simple)
-	case OOOCore:
-		ooo = uarch.NewOOOCore(cfg.Uarch)
-		eng.SetSink(ooo)
-	case CountOnly:
-		eng.SetSink(isa.NullSink{})
-	}
+	st := r.takeState()
+	vm, theJIT, simple, ooo, out := st.vm, st.jit, st.simple, st.ooo, st.out
 
 	// Warmup runs: train JIT counters, caches, and predictors.
 	for i := 0; i < cfg.Warmups; i++ {
@@ -339,6 +408,7 @@ func (r *Runner) RunCode(code *pycode.Code) (*Result, error) {
 		FreelistReuse: (after.FreelistReuse - gcBefore.FreelistReuse) / n,
 	}
 	res.VM = vm.StatsSnapshot().VM
+	res.Heap = after
 	if theJIT != nil {
 		st := theJIT.StatsSnapshot()
 		res.JIT = &st

@@ -1,0 +1,137 @@
+// Package supervise is the serving layer over the MiniPy runtimes: a
+// supervisor owning a pool of N warm, reusable VM workers that executes
+// submitted jobs under per-job resource budgets and survives anything a
+// job does. Limit trips surface as classified errors; InternalError
+// panics and statistics-corrupting runs poison the worker, which is
+// quarantined and replaced (with exponential backoff and a restart-budget
+// circuit breaker); wedged workers are detected by a watchdog and
+// condemned without taking the pool down. In front of the pool sits
+// admission control: a bounded queue with deterministic load shedding and
+// a RetryAfter hint, plus graceful drain for shutdown.
+//
+// cmd/pyserve exposes the pool over HTTP/JSON; the Soak harness (used by
+// cmd/pyfuzz -pool) attacks the pool itself with injected supervision
+// faults and verifies the supervisor's invariant: faults never take down
+// the pool, never cross-contaminate another job's output, and always
+// surface as a well-formed error class.
+package supervise
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/interp"
+)
+
+// Class is the supervisor's job-outcome classification. The first seven
+// classes mirror cmd/pyrun's exit statuses exactly (the supervisor and
+// the CLI share one mapping); the remainder are supervision-level
+// outcomes a single-process run cannot produce.
+type Class uint8
+
+// Job outcome classes.
+const (
+	// ClassOK: clean exit.
+	ClassOK Class = iota
+	// ClassError: an ordinary Python error (or a compile error).
+	ClassError
+	// ClassInternal: a VM bug surfaced as interp.InternalError. The
+	// worker that produced it is poisoned and quarantined.
+	ClassInternal
+	// ClassTimeout: the step budget or wall-clock deadline tripped.
+	ClassTimeout
+	// ClassMemory: the heap limit tripped (MemoryError).
+	ClassMemory
+	// ClassRecursion: the call-depth limit tripped (RecursionError).
+	ClassRecursion
+	// ClassOutput: the output-byte limit tripped (OutputLimitError).
+	ClassOutput
+	// ClassWedged: the worker failed to produce a result before the
+	// supervisor's watchdog fired; the worker was condemned.
+	ClassWedged
+	// ClassShed: admission control rejected the job (queue depth or
+	// heap-reservation watermark); retry after the result's RetryAfter.
+	ClassShed
+	// NumClasses is the number of classes.
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"ok", "error", "internal", "timeout", "memory", "recursion",
+	"output-limit", "wedged", "shed",
+}
+
+// String returns the class's wire name (the pyserve exitClass field).
+func (c Class) String() string {
+	if c < NumClasses {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// ParseClass resolves a wire name.
+func ParseClass(s string) (Class, error) {
+	for c := Class(0); c < NumClasses; c++ {
+		if classNames[c] == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("supervise: unknown class %q", s)
+}
+
+// ExitCode maps a class to the pyrun exit-status contract: 0 success, 1
+// Python error, 3 internal VM error, 4 step/deadline limit, 5 memory
+// limit, 6 recursion limit, 7 output limit. The supervision-only classes
+// extend the sequence: 8 wedged, 9 shed. (2 remains the CLI usage-error
+// code and is not a job class.)
+func (c Class) ExitCode() int {
+	switch c {
+	case ClassOK:
+		return 0
+	case ClassError:
+		return 1
+	case ClassInternal:
+		return 3
+	case ClassTimeout:
+		return 4
+	case ClassMemory:
+		return 5
+	case ClassRecursion:
+		return 6
+	case ClassOutput:
+		return 7
+	case ClassWedged:
+		return 8
+	case ClassShed:
+		return 9
+	}
+	return 1
+}
+
+// Classify maps a runner error to its class: nil is ClassOK, an
+// InternalError is ClassInternal, governor-limit PyErrors map to their
+// dedicated classes, and everything else (ordinary Python errors,
+// compile errors) is ClassError.
+func Classify(err error) Class {
+	if err == nil {
+		return ClassOK
+	}
+	var ie *interp.InternalError
+	if errors.As(err, &ie) {
+		return ClassInternal
+	}
+	var pe *interp.PyError
+	if errors.As(err, &pe) {
+		switch pe.Kind {
+		case "TimeoutError":
+			return ClassTimeout
+		case "MemoryError":
+			return ClassMemory
+		case "RecursionError":
+			return ClassRecursion
+		case "OutputLimitError":
+			return ClassOutput
+		}
+	}
+	return ClassError
+}

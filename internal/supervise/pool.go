@@ -1,0 +1,152 @@
+package supervise
+
+import (
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/interp"
+	"repro/internal/pycode"
+	"repro/internal/runtime"
+)
+
+// Config parameterizes a Pool. Zero values take the documented defaults.
+type Config struct {
+	// Workers is the pool size (default 4).
+	Workers int
+	// QueueDepth bounds jobs admitted but not yet dispatched; beyond it
+	// Submit sheds (default 2 x Workers).
+	QueueDepth int
+	// HeapWatermark bounds the summed heap reservations (each job's
+	// effective MaxHeapBytes) of admitted jobs; beyond it Submit sheds
+	// (default 1 GiB).
+	HeapWatermark uint64
+	// RecycleAfter replaces a healthy worker after this many jobs, to
+	// bound state drift (default 256).
+	RecycleAfter int
+	// RestartBudget is the circuit breaker: at most this many
+	// unplanned worker replacements per RestartWindow; past it the pool
+	// stops replacing until the window slides (default 8 per minute).
+	RestartBudget int
+	RestartWindow time.Duration
+	// BackoffBase/BackoffMax pace unplanned replacements: the k-th
+	// consecutive replacement waits BackoffBase << k, capped (defaults
+	// 10ms / 2s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// WedgeFactor and WedgeSlack derive the watchdog from a job's
+	// deadline: a worker is declared wedged after
+	// deadline*WedgeFactor + WedgeSlack (defaults 2 and 250ms).
+	WedgeFactor int
+	WedgeSlack  time.Duration
+	// DefaultLimits fills any zero field of a job's Limits. Its
+	// Deadline defaults to 5s: a supervised job always has a wall-clock
+	// bound, or the watchdog could not be derived.
+	DefaultLimits interp.Limits
+	// Faults, when non-nil, injects supervision-layer chaos
+	// (WorkerWedge, PoolSlotLeak). Guarded by the pool mutex — the
+	// injector itself is not concurrency-safe.
+	Faults *faults.Injector
+	// VMFaults, when non-nil, builds a per-job VM-layer injector
+	// (chaos soaks); nil runs jobs unfaulted.
+	VMFaults func(job *Job) *faults.Injector
+	// MaintInterval paces the maintenance scan that detects leaked or
+	// wedged workers and restores pool capacity (default 25ms).
+	MaintInterval time.Duration
+}
+
+func (c *Config) setDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.HeapWatermark == 0 {
+		c.HeapWatermark = 1 << 30
+	}
+	if c.RecycleAfter <= 0 {
+		c.RecycleAfter = 256
+	}
+	if c.RestartBudget <= 0 {
+		c.RestartBudget = 8
+	}
+	if c.RestartWindow <= 0 {
+		c.RestartWindow = time.Minute
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 10 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 2 * time.Second
+	}
+	if c.WedgeFactor <= 0 {
+		c.WedgeFactor = 2
+	}
+	if c.WedgeSlack <= 0 {
+		c.WedgeSlack = 250 * time.Millisecond
+	}
+	if c.DefaultLimits.Deadline == 0 {
+		c.DefaultLimits.Deadline = 5 * time.Second
+	}
+	if c.MaintInterval <= 0 {
+		c.MaintInterval = 25 * time.Millisecond
+	}
+}
+
+// Job is one unit of work: a MiniPy program and the runtime mode to
+// execute it under.
+type Job struct {
+	Name string
+	// Src is the program source; Code, when non-nil, is a precompiled
+	// program and wins over Src.
+	Src  string
+	Code *pycode.Code
+	Mode runtime.Mode
+	// Limits are per-job resource budgets; zero fields inherit the
+	// pool's DefaultLimits.
+	Limits interp.Limits
+}
+
+// JobResult is everything the supervisor reports about one job.
+type JobResult struct {
+	Class  Class
+	Err    string // error rendering; "" when Class == ClassOK
+	Output string
+	Mode   runtime.Mode
+	Worker int // id of the worker that ran the job (-1 if none did)
+	// Queued and RunTime split the job's latency into admission wait
+	// and execution.
+	Queued  time.Duration
+	RunTime time.Duration
+	// RetryAfter is the shed hint (Class == ClassShed only).
+	RetryAfter time.Duration
+	// Execution statistics (zero on errored runs).
+	Bytecodes   uint64
+	Allocs      uint64
+	MinorGCs    uint64
+	MajorGCs    uint64
+	ErrorDeopts uint64
+
+	// health carries the worker's post-job probe verdict to finishJob;
+	// not part of the reported result.
+	health string
+}
+
+// Stats counts pool activity. Counter fields are cumulative; Workers,
+// Idle, and Queued are a point-in-time snapshot filled by Pool.Stats.
+type Stats struct {
+	Submitted   uint64
+	Completed   uint64 // replies delivered (any class but shed/wedged)
+	Shed        uint64
+	Wedged      uint64
+	Poisoned    uint64 // workers quarantined for internal errors / bad probes
+	Leaked      uint64 // slot leaks detected and repaired
+	Recycled    uint64 // planned replacements (job-count policy)
+	Restarts    uint64 // unplanned replacements spawned
+	BreakerOpen uint64 // replacement attempts refused by the circuit breaker
+
+	Workers  int
+	Idle     int
+	Queued   int
+	Draining bool
+}

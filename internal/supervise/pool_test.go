@@ -1,0 +1,401 @@
+package supervise
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/interp"
+	"repro/internal/pycode"
+	"repro/internal/runtime"
+)
+
+// testLimits keeps pool tests fast: short deadlines shrink the wedge
+// watchdog, and generous functional budgets keep honest programs clean.
+var testLimits = interp.Limits{
+	MaxSteps:     5_000_000,
+	MaxHeapBytes: 64 << 20,
+	Deadline:     200 * time.Millisecond,
+}
+
+func testPool(t *testing.T, cfg Config) *Pool {
+	t.Helper()
+	if cfg.DefaultLimits == (interp.Limits{}) {
+		cfg.DefaultLimits = testLimits
+	}
+	if cfg.WedgeSlack == 0 {
+		cfg.WedgeSlack = 50 * time.Millisecond
+	}
+	if cfg.BackoffBase == 0 {
+		cfg.BackoffBase = time.Millisecond
+	}
+	if cfg.BackoffMax == 0 {
+		cfg.BackoffMax = 20 * time.Millisecond
+	}
+	p := NewPool(cfg)
+	t.Cleanup(p.Close)
+	return p
+}
+
+// waitStats polls the pool until pred holds or the deadline passes.
+func waitStats(t *testing.T, p *Pool, what string, pred func(Stats) bool) Stats {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := p.Stats()
+		if pred(s) {
+			return s
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s; stats %+v", what, s)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// badCode is a hand-built invalid program: BINARY_ADD against an empty
+// value stack, which no compiler output can contain. Executing it must
+// surface as an InternalError, not a host crash.
+func badCode() *pycode.Code {
+	return &pycode.Code{
+		Name:      "<module>",
+		Filename:  "bad.py",
+		Code:      []pycode.Instr{{Op: pycode.BINARY_ADD}},
+		Lines:     []int32{1},
+		StackSize: 4,
+		IsModule:  true,
+	}
+}
+
+// TestPoolRunsAllModes: one pool serves correct results in every runtime
+// mode, twice per mode to exercise the warm-reuse path.
+func TestPoolRunsAllModes(t *testing.T) {
+	p := testPool(t, Config{Workers: 2})
+	const src = "total = 0\nfor i in range(100):\n    total = total + i\nprint(total)\n"
+	for round := 0; round < 2; round++ {
+		for m := runtime.Mode(0); m < runtime.NumModes; m++ {
+			res := p.Submit(&Job{Name: "sum.py", Src: src, Mode: m})
+			if res.Class != ClassOK {
+				t.Fatalf("round %d %v: class %s err %q", round, m, res.Class, res.Err)
+			}
+			if res.Output != "4950\n" {
+				t.Fatalf("round %d %v: output %q", round, m, res.Output)
+			}
+			if res.Bytecodes == 0 {
+				t.Fatalf("round %d %v: no bytecode count reported", round, m)
+			}
+		}
+	}
+	if s := p.Stats(); s.Poisoned != 0 || s.Wedged != 0 {
+		t.Fatalf("healthy workload poisoned/wedged workers: %+v", s)
+	}
+}
+
+// TestPoolConcurrentSubmitters: many goroutines share the pool; every
+// job gets its own uncontaminated output.
+func TestPoolConcurrentSubmitters(t *testing.T) {
+	// 32 jobs each reserving testLimits.MaxHeapBytes: keep the summed
+	// reservations under the watermark so nothing sheds.
+	p := testPool(t, Config{Workers: 4, QueueDepth: 64, HeapWatermark: 1 << 40})
+	var wg sync.WaitGroup
+	errs := make(chan string, 32)
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			src := fmt.Sprintf("print(%d * 1000 + %d)\n", g, g)
+			want := fmt.Sprintf("%d\n", g*1000+g)
+			res := p.Submit(&Job{
+				Name: fmt.Sprintf("g%d.py", g),
+				Src:  src,
+				Mode: runtime.Mode(g % int(runtime.NumModes)),
+			})
+			if res.Class != ClassOK {
+				errs <- fmt.Sprintf("g%d: class %s err %q", g, res.Class, res.Err)
+				return
+			}
+			if res.Output != want {
+				errs <- fmt.Sprintf("g%d: output %q, want %q (cross-contamination?)",
+					g, res.Output, want)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestInternalErrorPoisonsWorker: a job that dies of an InternalError is
+// classified, its worker is quarantined and replaced, and the pool keeps
+// serving.
+func TestInternalErrorPoisonsWorker(t *testing.T) {
+	p := testPool(t, Config{Workers: 1})
+	res := p.Submit(&Job{Name: "bad.py", Code: badCode(), Mode: runtime.CPython})
+	if res.Class != ClassInternal {
+		t.Fatalf("want ClassInternal, got %s (%q)", res.Class, res.Err)
+	}
+	if res.Class.ExitCode() != 3 {
+		t.Fatalf("internal exit code %d, want 3", res.Class.ExitCode())
+	}
+	s := waitStats(t, p, "poisoned worker replaced", func(s Stats) bool {
+		return s.Poisoned == 1 && s.Workers == 1
+	})
+	if s.Restarts == 0 {
+		t.Fatalf("replacement not counted as restart: %+v", s)
+	}
+	// The replacement must serve correct results.
+	ok := p.Submit(&Job{Name: "ok.py", Src: "print(6 * 7)\n", Mode: runtime.CPython})
+	if ok.Class != ClassOK || ok.Output != "42\n" {
+		t.Fatalf("pool broken after poisoning: class %s output %q err %q",
+			ok.Class, ok.Output, ok.Err)
+	}
+	if ok.Worker == res.Worker {
+		t.Fatalf("poisoned worker %d served another job", res.Worker)
+	}
+}
+
+// TestWedgeCondemnedAndReplaced: an injected WorkerWedge stalls a worker
+// past the watchdog; the submitter gets ClassWedged, the worker is
+// condemned, and a replacement restores capacity.
+func TestWedgeCondemnedAndReplaced(t *testing.T) {
+	fc := faults.Config{}
+	fc.EveryN[faults.WorkerWedge] = 3 // third job wedges
+	p := testPool(t, Config{Workers: 1, Faults: faults.New(fc),
+		DefaultLimits: interp.Limits{MaxSteps: 5_000_000, Deadline: 50 * time.Millisecond}})
+	const src = "print(1 + 1)\n"
+	for i := 1; i <= 2; i++ {
+		if res := p.Submit(&Job{Name: "a.py", Src: src, Mode: runtime.CPython}); res.Class != ClassOK {
+			t.Fatalf("job %d: class %s err %q", i, res.Class, res.Err)
+		}
+	}
+	res := p.Submit(&Job{Name: "a.py", Src: src, Mode: runtime.CPython})
+	if res.Class != ClassWedged {
+		t.Fatalf("want ClassWedged, got %s (%q)", res.Class, res.Err)
+	}
+	waitStats(t, p, "wedged worker replaced", func(s Stats) bool {
+		return s.Wedged == 1 && s.Workers == 1 && s.Idle == 1
+	})
+	if after := p.Submit(&Job{Name: "a.py", Src: src, Mode: runtime.CPython}); after.Class != ClassOK {
+		t.Fatalf("pool broken after wedge: class %s err %q", after.Class, after.Err)
+	}
+}
+
+// TestSlotLeakRepairedByMaintenance: an injected PoolSlotLeak makes a
+// worker vanish without returning to the idle ring; the maintenance scan
+// reclaims the slot and a replacement serves the next job.
+func TestSlotLeakRepairedByMaintenance(t *testing.T) {
+	fc := faults.Config{}
+	fc.EveryN[faults.PoolSlotLeak] = 1 // every finished job leaks its slot
+	p := testPool(t, Config{Workers: 1, Faults: faults.New(fc),
+		DefaultLimits: interp.Limits{MaxSteps: 5_000_000, Deadline: 50 * time.Millisecond}})
+	first := p.Submit(&Job{Name: "a.py", Src: "print(1)\n", Mode: runtime.CPython})
+	if first.Class != ClassOK {
+		t.Fatalf("first job: class %s err %q", first.Class, first.Err)
+	}
+	waitStats(t, p, "leak detected and repaired", func(s Stats) bool {
+		return s.Leaked >= 1 && s.Workers == 1 && s.Idle == 1
+	})
+	second := p.Submit(&Job{Name: "b.py", Src: "print(2)\n", Mode: runtime.CPython})
+	if second.Class != ClassOK || second.Output != "2\n" {
+		t.Fatalf("second job after leak: class %s output %q err %q",
+			second.Class, second.Output, second.Err)
+	}
+	if second.Worker == first.Worker {
+		t.Fatalf("leaked worker %d served again", first.Worker)
+	}
+}
+
+// TestRestartBreakerOpens: with the restart budget exhausted, the pool
+// stops replacing workers and sheds instead of spinning.
+func TestRestartBreakerOpens(t *testing.T) {
+	fc := faults.Config{}
+	fc.EveryN[faults.WorkerWedge] = 1 // every job wedges its worker
+	p := testPool(t, Config{Workers: 1, Faults: faults.New(fc),
+		RestartBudget: 1, RestartWindow: time.Hour,
+		DefaultLimits: interp.Limits{MaxSteps: 5_000_000, Deadline: 30 * time.Millisecond}})
+	const src = "print(1)\n"
+	// First wedge burns the worker; the single budgeted restart replaces
+	// it. Second wedge burns the replacement; the breaker holds.
+	for i := 0; i < 2; i++ {
+		res := p.Submit(&Job{Name: "a.py", Src: src, Mode: runtime.CPython})
+		if res.Class != ClassWedged {
+			t.Fatalf("wedge %d: class %s err %q", i, res.Class, res.Err)
+		}
+		if i == 0 {
+			waitStats(t, p, "budgeted restart", func(s Stats) bool { return s.Workers == 1 })
+		}
+	}
+	waitStats(t, p, "breaker to open", func(s Stats) bool {
+		return s.BreakerOpen >= 1 && s.Workers == 0
+	})
+	res := p.Submit(&Job{Name: "a.py", Src: src, Mode: runtime.CPython})
+	if res.Class != ClassShed {
+		t.Fatalf("dead pool with open breaker: want ClassShed, got %s (%q)",
+			res.Class, res.Err)
+	}
+	if res.RetryAfter <= 0 {
+		t.Fatal("shed result missing RetryAfter hint")
+	}
+}
+
+// TestRecycleIsPlannedReplacement: the job-count recycle policy swaps
+// workers without counting against the restart budget or backoff.
+func TestRecycleIsPlannedReplacement(t *testing.T) {
+	p := testPool(t, Config{Workers: 1, RecycleAfter: 1, RestartBudget: 1,
+		RestartWindow: time.Hour})
+	var lastWorker = -1
+	for i := 0; i < 3; i++ {
+		res := p.Submit(&Job{Name: "a.py", Src: "print(7)\n", Mode: runtime.CPython})
+		if res.Class != ClassOK {
+			t.Fatalf("job %d: class %s err %q", i, res.Class, res.Err)
+		}
+		if res.Worker == lastWorker {
+			t.Fatalf("job %d ran on recycled worker %d", i, res.Worker)
+		}
+		lastWorker = res.Worker
+		waitStats(t, p, "recycle replacement", func(s Stats) bool { return s.Idle == 1 })
+	}
+	s := p.Stats()
+	if s.Recycled < 2 {
+		t.Fatalf("want >= 2 recycles, got %+v", s)
+	}
+	if s.Restarts != 0 || s.BreakerOpen != 0 {
+		t.Fatalf("planned recycles consumed the restart budget: %+v", s)
+	}
+}
+
+// TestAdmissionShedsAtQueueDepth: with the worker occupied and the queue
+// full, further submissions are rejected with a retry hint.
+func TestAdmissionShedsAtQueueDepth(t *testing.T) {
+	p := testPool(t, Config{Workers: 1, QueueDepth: 1})
+	slow := &Job{Name: "slow.py", Mode: runtime.CPython,
+		Src:    "i = 0\nwhile True:\n    i = i + 1\n",
+		Limits: interp.Limits{MaxSteps: 1 << 40, Deadline: 400 * time.Millisecond}}
+	done := make(chan *JobResult, 2)
+	go func() { done <- p.Submit(slow) }()
+	// Wait until the slow job occupies the worker, then fill the queue.
+	waitStats(t, p, "worker busy", func(s Stats) bool { return s.Idle == 0 && s.Workers == 1 })
+	go func() { done <- p.Submit(slow) }()
+	waitStats(t, p, "queue full", func(s Stats) bool { return s.Queued == 1 })
+
+	shed := p.Submit(&Job{Name: "x.py", Src: "print(1)\n", Mode: runtime.CPython})
+	if shed.Class != ClassShed {
+		t.Fatalf("want ClassShed at full queue, got %s (%q)", shed.Class, shed.Err)
+	}
+	if shed.RetryAfter <= 0 {
+		t.Fatal("shed result missing RetryAfter hint")
+	}
+	for i := 0; i < 2; i++ {
+		if res := <-done; res.Class != ClassTimeout {
+			t.Fatalf("slow job %d: want ClassTimeout, got %s (%q)", i, res.Class, res.Err)
+		}
+	}
+}
+
+// TestHeapWatermarkSheds: a job whose heap reservation exceeds the
+// watermark is rejected outright.
+func TestHeapWatermarkSheds(t *testing.T) {
+	p := testPool(t, Config{Workers: 1, HeapWatermark: 1 << 20})
+	res := p.Submit(&Job{Name: "big.py", Src: "print(1)\n", Mode: runtime.CPython,
+		Limits: interp.Limits{MaxHeapBytes: 2 << 20}})
+	if res.Class != ClassShed {
+		t.Fatalf("want ClassShed over heap watermark, got %s (%q)", res.Class, res.Err)
+	}
+	// A job under the watermark still runs.
+	ok := p.Submit(&Job{Name: "ok.py", Src: "print(1)\n", Mode: runtime.CPython,
+		Limits: interp.Limits{MaxHeapBytes: 1 << 19}})
+	if ok.Class != ClassOK {
+		t.Fatalf("under-watermark job: class %s err %q", ok.Class, ok.Err)
+	}
+}
+
+// TestDrainWaitsForInFlight: Drain lets the running job finish, then
+// rejects new work.
+func TestDrainWaitsForInFlight(t *testing.T) {
+	p := testPool(t, Config{Workers: 1})
+	done := make(chan *JobResult, 1)
+	go func() {
+		done <- p.Submit(&Job{Name: "slow.py", Mode: runtime.CPython,
+			Src:    "total = 0\nfor i in range(100000):\n    total = total + 1\nprint(total)\n",
+			Limits: interp.Limits{MaxSteps: 1 << 40, Deadline: 30 * time.Second}})
+	}()
+	waitStats(t, p, "worker busy", func(s Stats) bool { return s.Idle == 0 })
+	if !p.Drain(60 * time.Second) {
+		t.Fatal("Drain timed out with one healthy in-flight job")
+	}
+	res := <-done
+	if res.Class != ClassOK || res.Output != "100000\n" {
+		t.Fatalf("in-flight job during drain: class %s output %q err %q",
+			res.Class, res.Output, res.Err)
+	}
+	if after := p.Submit(&Job{Name: "x.py", Src: "print(1)\n", Mode: runtime.CPython}); after.Class != ClassShed {
+		t.Fatalf("post-drain submit: want ClassShed, got %s", after.Class)
+	}
+}
+
+// TestClassRoundTrip: every class renders a distinct wire name that
+// parses back, and the exit codes honor the pyrun contract.
+func TestClassRoundTrip(t *testing.T) {
+	wantExit := [NumClasses]int{0, 1, 3, 4, 5, 6, 7, 8, 9}
+	seen := map[string]bool{}
+	for c := Class(0); c < NumClasses; c++ {
+		name := c.String()
+		if seen[name] {
+			t.Fatalf("duplicate class name %q", name)
+		}
+		seen[name] = true
+		back, err := ParseClass(name)
+		if err != nil || back != c {
+			t.Fatalf("round trip %q: got %v, %v", name, back, err)
+		}
+		if c.ExitCode() != wantExit[c] {
+			t.Fatalf("%s: exit code %d, want %d", name, c.ExitCode(), wantExit[c])
+		}
+	}
+	if _, err := ParseClass("no-such-class"); err == nil {
+		t.Fatal("ParseClass accepted garbage")
+	}
+}
+
+// TestSoakCleanPool: the chaos soak with no supervision faults armed is
+// a pure conformance run — zero violations, zero worker deaths.
+func TestSoakCleanPool(t *testing.T) {
+	res := Soak(SoakConfig{Seed: 1, Jobs: 60, Workers: 2})
+	if !res.Ok() {
+		t.Fatalf("clean soak violations: %v", res.Violations)
+	}
+	if res.Stats.Poisoned != 0 || res.Stats.Wedged != 0 || res.Stats.Leaked != 0 {
+		t.Fatalf("clean soak lost workers: %+v", res.Stats)
+	}
+}
+
+// TestSoakUnderSupervisionFaults is the pool-chaos oracle: injected
+// wedges and slot leaks may cost latency and workers, but never the
+// pool, never another job's output, never a malformed class.
+func TestSoakUnderSupervisionFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak in -short mode")
+	}
+	res := Soak(SoakConfig{
+		Seed:        7,
+		Jobs:        120,
+		Workers:     3,
+		WedgeEveryN: 40,
+		LeakEveryN:  25,
+		Limits: interp.Limits{
+			MaxSteps:     2_000_000,
+			MaxHeapBytes: 64 << 20,
+			Deadline:     200 * time.Millisecond,
+		},
+	})
+	if !res.Ok() {
+		t.Fatalf("soak violations: %v", res.Violations)
+	}
+	if res.Stats.Wedged == 0 && res.Stats.Leaked == 0 {
+		t.Fatalf("fault schedule never fired; soak proves nothing: %+v", res.Stats)
+	}
+}

@@ -1,0 +1,431 @@
+package supervise
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/interp"
+)
+
+// Pool is the supervisor: it owns the warm workers, admits jobs through
+// the bounded queue, dispatches them, watches for wedges, and replaces
+// condemned workers. All mutable state sits behind one mutex; workers
+// touch it only through the pool's methods.
+type Pool struct {
+	cfg Config
+
+	mu   sync.Mutex
+	cond *sync.Cond // signalled when a worker becomes idle or the pool state changes
+
+	idle    []*worker
+	workers map[*worker]*workerState
+
+	queued       int    // jobs admitted, not yet dispatched
+	heapReserved uint64 // summed MaxHeapBytes of admitted + running jobs
+
+	draining bool
+	closed   bool
+
+	nextID int
+
+	// Unplanned-replacement pacing and circuit breaker.
+	restarts    []time.Time // unplanned replacements inside RestartWindow
+	backoffN    int         // consecutive unplanned replacements (backoff exponent)
+	nextSpawnAt time.Time
+
+	stats Stats
+
+	maintStop chan struct{}
+	maintDone chan struct{}
+}
+
+// workerState is the pool's view of a worker.
+type workerState struct {
+	busy    bool
+	wedgeAt time.Time // while busy: when the maintenance scan declares it gone
+}
+
+// NewPool builds, warms, and starts a pool.
+func NewPool(cfg Config) *Pool {
+	cfg.setDefaults()
+	p := &Pool{
+		cfg:       cfg,
+		workers:   make(map[*worker]*workerState),
+		maintStop: make(chan struct{}),
+		maintDone: make(chan struct{}),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	p.mu.Lock()
+	for i := 0; i < cfg.Workers; i++ {
+		p.spawnLocked()
+	}
+	p.mu.Unlock()
+	go p.maintain()
+	return p
+}
+
+// effectiveLimits resolves a job's budgets: any zero field inherits the
+// pool default. The result always has a nonzero Deadline.
+func (p *Pool) effectiveLimits(job *Job) interp.Limits {
+	l := job.Limits
+	d := p.cfg.DefaultLimits
+	if l.MaxSteps == 0 {
+		l.MaxSteps = d.MaxSteps
+	}
+	if l.MaxHeapBytes == 0 {
+		l.MaxHeapBytes = d.MaxHeapBytes
+	}
+	if l.MaxRecursionDepth == 0 {
+		l.MaxRecursionDepth = d.MaxRecursionDepth
+	}
+	if l.Deadline == 0 {
+		l.Deadline = d.Deadline
+	}
+	if l.MaxOutputBytes == 0 {
+		l.MaxOutputBytes = d.MaxOutputBytes
+	}
+	return l
+}
+
+// watchdog is how long Submit waits for a worker's reply before
+// declaring the worker wedged: a multiple of the job's own wall-clock
+// budget plus slack, so a healthy limit trip always beats it.
+func (p *Pool) watchdog(job *Job) time.Duration {
+	return p.effectiveLimits(job).Deadline*time.Duration(p.cfg.WedgeFactor) +
+		p.cfg.WedgeSlack
+}
+
+// wedgeSleep is how long an injected WorkerWedge fault stalls: past the
+// watchdog with margin, so the supervisor is guaranteed to observe it.
+func (p *Pool) wedgeSleep(job *Job) time.Duration {
+	return p.watchdog(job) + p.cfg.WedgeSlack
+}
+
+// fireFault consults the supervision-layer injector under the pool
+// mutex (the injector itself is not concurrency-safe).
+func (p *Pool) fireFault(k faults.Kind) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cfg.Faults.Should(k)
+}
+
+// shed builds a rejection result. RetryAfter estimates when capacity
+// should free up: one default deadline per queued-or-running job ahead,
+// spread over the worker count.
+func (p *Pool) shedLocked(job *Job, why string) *JobResult {
+	p.stats.Shed++
+	ahead := p.queued + (len(p.workers) - len(p.idle)) + 1
+	per := p.cfg.DefaultLimits.Deadline
+	retry := per * time.Duration(ahead) / time.Duration(max(1, len(p.workers)))
+	if retry < 10*time.Millisecond {
+		retry = 10 * time.Millisecond
+	}
+	return &JobResult{
+		Class:      ClassShed,
+		Err:        "shed: " + why,
+		Mode:       job.Mode,
+		Worker:     -1,
+		RetryAfter: retry,
+	}
+}
+
+// Submit runs one job to completion through the pool and always returns
+// a non-nil result: the job's outcome, a ClassShed rejection, or a
+// ClassWedged verdict if the worker stalled past the watchdog.
+// Safe for concurrent use.
+func (p *Pool) Submit(job *Job) *JobResult {
+	start := time.Now()
+	reserve := p.effectiveLimits(job).MaxHeapBytes
+
+	p.mu.Lock()
+	p.stats.Submitted++
+	if p.closed || p.draining {
+		res := p.shedLocked(job, "pool is draining")
+		p.mu.Unlock()
+		return res
+	}
+	if p.queued >= p.cfg.QueueDepth {
+		res := p.shedLocked(job, "queue depth reached")
+		p.mu.Unlock()
+		return res
+	}
+	if p.heapReserved+reserve > p.cfg.HeapWatermark {
+		res := p.shedLocked(job, "heap reservation watermark reached")
+		p.mu.Unlock()
+		return res
+	}
+	p.queued++
+	p.heapReserved += reserve
+
+	// Wait for an idle worker. Maintenance broadcasts on every spawn;
+	// Drain/Close broadcast on state change.
+	var w *worker
+	for {
+		if p.closed || p.draining {
+			p.queued--
+			p.heapReserved -= reserve
+			res := p.shedLocked(job, "pool is draining")
+			p.mu.Unlock()
+			return res
+		}
+		if len(p.workers) == 0 {
+			// Every worker is condemned and the breaker is holding
+			// replacements back: reject rather than strand the caller.
+			p.queued--
+			p.heapReserved -= reserve
+			res := p.shedLocked(job, "no live workers (restart breaker open)")
+			p.mu.Unlock()
+			return res
+		}
+		if n := len(p.idle); n > 0 {
+			w = p.idle[n-1]
+			p.idle = p.idle[:n-1]
+			break
+		}
+		p.cond.Wait()
+	}
+	p.queued--
+	watchdog := p.watchdog(job)
+	st := p.workers[w]
+	st.busy = true
+	st.wedgeAt = time.Now().Add(watchdog)
+	p.mu.Unlock()
+
+	queued := time.Since(start)
+	req := &jobReq{job: job, reply: make(chan *JobResult, 1)}
+	w.jobs <- req
+
+	var res *JobResult
+	select {
+	case res = <-req.reply:
+		res.Queued = queued
+		p.mu.Lock()
+		p.stats.Completed++
+	case <-time.After(watchdog):
+		// The worker stalled past the watchdog. Condemn it; its late
+		// reply (if any) lands in the buffered channel and is dropped.
+		p.mu.Lock()
+		p.stats.Wedged++
+		if p.condemnLocked(w) {
+			p.noteUnplannedLocked()
+		}
+		res = &JobResult{
+			Class:  ClassWedged,
+			Err:    "wedged: no reply within " + watchdog.String(),
+			Mode:   job.Mode,
+			Worker: w.id,
+			Queued: queued,
+		}
+		res.RunTime = watchdog
+	}
+	p.heapReserved -= reserve
+	p.mu.Unlock()
+	return res
+}
+
+// release returns a worker to the idle ring after a job. No-op if the
+// worker was condemned in the meantime (wedge verdicts race with late
+// finishes).
+func (p *Pool) release(w *worker) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.workers[w]
+	if !ok {
+		return
+	}
+	st.busy = false
+	p.idle = append(p.idle, w)
+	p.cond.Broadcast()
+}
+
+// poison quarantines a worker whose VM state is untrusted (internal
+// error or failed health probe) and schedules an unplanned replacement.
+func (p *Pool) poison(w *worker, reason string) {
+	_ = reason
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.condemnLocked(w) {
+		p.stats.Poisoned++
+		p.noteUnplannedLocked()
+	}
+}
+
+// recycle is the planned replacement after RecycleAfter jobs: the old
+// worker retires, a fresh one spawns immediately. Not a failure — it
+// does not count against the backoff or the restart budget.
+func (p *Pool) recycle(w *worker) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.condemnLocked(w) {
+		return
+	}
+	p.stats.Recycled++
+	if !p.closed {
+		p.spawnLocked()
+	}
+}
+
+// condemnLocked removes a worker from the pool and tells its goroutine
+// to exit. Idempotent; reports whether this call did the removal.
+func (p *Pool) condemnLocked(w *worker) bool {
+	if _, ok := p.workers[w]; !ok {
+		return false
+	}
+	delete(p.workers, w)
+	for i, iw := range p.idle {
+		if iw == w {
+			p.idle = append(p.idle[:i], p.idle[i+1:]...)
+			break
+		}
+	}
+	close(w.quit)
+	return true
+}
+
+// noteUnplannedLocked records an unplanned worker loss for the backoff
+// and circuit-breaker bookkeeping. The replacement itself is spawned by
+// the maintenance scan once the backoff expires.
+func (p *Pool) noteUnplannedLocked() {
+	p.backoffN++
+	back := p.cfg.BackoffBase << (p.backoffN - 1)
+	if back > p.cfg.BackoffMax || back <= 0 {
+		back = p.cfg.BackoffMax
+	}
+	p.nextSpawnAt = time.Now().Add(back)
+}
+
+// spawnLocked adds one fresh worker to the pool and the idle ring.
+func (p *Pool) spawnLocked() {
+	w := &worker{
+		id:   p.nextID,
+		pool: p,
+		jobs: make(chan *jobReq, 1),
+		quit: make(chan struct{}),
+	}
+	p.nextID++
+	p.workers[w] = &workerState{}
+	p.idle = append(p.idle, w)
+	go w.loop()
+	p.cond.Broadcast()
+}
+
+// maintain is the background scan: it detects leaked slots (workers busy
+// past their wedge horizon that nobody condemned — e.g. an injected
+// PoolSlotLeak swallowed the release), and restores pool capacity under
+// the backoff and restart-budget rules.
+func (p *Pool) maintain() {
+	defer close(p.maintDone)
+	tick := time.NewTicker(p.cfg.MaintInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.maintStop:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		// Leak scan: a busy worker past its wedge horizon is gone for
+		// good — Submit's watchdog already returned (or an injected
+		// slot leak dropped the release); reclaim the slot.
+		for w, st := range p.workers {
+			if st.busy && now.After(st.wedgeAt) {
+				if p.condemnLocked(w) {
+					p.stats.Leaked++
+					p.noteUnplannedLocked()
+				}
+			}
+		}
+		// Capacity restoration, paced by backoff, bounded by the
+		// restart-budget breaker.
+		deficit := p.cfg.Workers - len(p.workers)
+		if deficit <= 0 {
+			// Full strength: a quiet pool earns its backoff back.
+			p.backoffN = 0
+		} else if now.After(p.nextSpawnAt) {
+			cut := now.Add(-p.cfg.RestartWindow)
+			live := p.restarts[:0]
+			for _, t := range p.restarts {
+				if t.After(cut) {
+					live = append(live, t)
+				}
+			}
+			p.restarts = live
+			if len(p.restarts) >= p.cfg.RestartBudget {
+				p.stats.BreakerOpen++
+			} else {
+				p.restarts = append(p.restarts, now)
+				p.stats.Restarts++
+				p.spawnLocked()
+			}
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Drain stops admitting work and waits (up to timeout) for in-flight
+// jobs to finish. Reports whether the pool went fully quiet in time.
+func (p *Pool) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	wake := time.AfterFunc(timeout, func() {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	})
+	defer wake.Stop()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.draining = true
+	p.cond.Broadcast()
+	for {
+		busy := 0
+		for _, st := range p.workers {
+			if st.busy {
+				busy++
+			}
+		}
+		if busy == 0 && p.queued == 0 {
+			return true
+		}
+		if !time.Now().Before(deadline) {
+			return false
+		}
+		p.cond.Wait()
+	}
+}
+
+// Close tears the pool down: condemns every worker, stops maintenance,
+// and rejects all future submissions. Idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	for w := range p.workers {
+		p.condemnLocked(w)
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	close(p.maintStop)
+	<-p.maintDone
+}
+
+// Stats returns a snapshot of the pool counters and current occupancy.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.Workers = len(p.workers)
+	s.Idle = len(p.idle)
+	s.Queued = p.queued
+	s.Draining = p.draining
+	return s
+}

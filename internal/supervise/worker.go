@@ -1,0 +1,211 @@
+package supervise
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/interp"
+	"repro/internal/pycompile"
+	"repro/internal/runtime"
+)
+
+// worker is one warm VM slot: a long-lived goroutine owning one reusable
+// Runner per runtime mode. Workers never die of a job — a job that
+// poisons its VM condemns the worker object, and the pool spawns a
+// replacement.
+type worker struct {
+	id   int
+	pool *Pool
+	// jobs carries at most one dispatched job (the pool only dispatches
+	// to idle workers, and the 1-slot buffer means dispatch never
+	// blocks on the worker's select).
+	jobs chan *jobReq
+	// quit is closed exactly once, by condemnLocked.
+	quit chan struct{}
+	// runners are the per-mode warm Runners, built on first use.
+	runners [runtime.NumModes]*runtime.Runner
+	// jobsDone counts jobs since spawn, for the recycle policy.
+	jobsDone int
+}
+
+// jobReq pairs a job with its reply channel (buffered, so a condemned
+// worker's late reply is dropped, never blocks).
+type jobReq struct {
+	job   *Job
+	reply chan *JobResult
+}
+
+// canarySrc is the health probe run after a job errors: a worker that
+// cannot produce "42" from pristine state is poisoned.
+const canarySrc = "print(6 * 7)\n"
+
+// loop is the worker goroutine: execute jobs until condemned.
+func (w *worker) loop() {
+	for {
+		select {
+		case <-w.quit:
+			return
+		case req := <-w.jobs:
+			// Injected supervision fault: wedge — stall past the
+			// watchdog before doing any work. The client gets a
+			// ClassWedged reply from the supervisor; this goroutine
+			// finishes on its own time and finds itself condemned.
+			if w.pool.fireFault(faults.WorkerWedge) {
+				time.Sleep(w.pool.wedgeSleep(req.job))
+			}
+			res := w.execute(req.job)
+			req.reply <- res
+			w.finishJob(req.job, res)
+		}
+	}
+}
+
+// runner returns the warm Runner for a mode, building it on first use.
+func (w *worker) runner(mode runtime.Mode) (*runtime.Runner, error) {
+	if r := w.runners[mode]; r != nil {
+		return r, nil
+	}
+	cfg := runtime.DefaultConfig(mode)
+	cfg.Core = runtime.CountOnly // serving is functional execution
+	cfg.Warmups = 0
+	cfg.Measures = 1
+	r, err := runtime.NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w.runners[mode] = r
+	return r, nil
+}
+
+// execute runs one job on the worker's warm Runner for the job's mode,
+// with the effective per-job limits armed.
+func (w *worker) execute(job *Job) *JobResult {
+	start := time.Now()
+	jr := &JobResult{Mode: job.Mode, Worker: w.id}
+	r, err := w.runner(job.Mode)
+	if err != nil {
+		jr.Class = ClassError
+		jr.Err = err.Error()
+		return jr
+	}
+	r.SetLimits(w.pool.effectiveLimits(job))
+	if f := w.pool.cfg.VMFaults; f != nil {
+		r.SetFaults(f(job))
+	} else {
+		r.SetFaults(nil)
+	}
+
+	code := job.Code
+	if code == nil {
+		code, err = pycompile.CompileSource(job.Name, job.Src)
+		if err != nil {
+			jr.Class = ClassError
+			jr.Err = err.Error()
+			jr.RunTime = time.Since(start)
+			return jr
+		}
+	}
+
+	res, err := r.RunCode(code)
+	jr.RunTime = time.Since(start)
+	jr.Class = Classify(err)
+	if err != nil {
+		jr.Err = err.Error()
+		return jr
+	}
+	jr.Output = res.Output
+	jr.Bytecodes = res.VM.Bytecodes
+	jr.Allocs = res.Heap.Allocations
+	jr.MinorGCs = res.Heap.MinorGCs
+	jr.MajorGCs = res.Heap.MajorGCs
+	if res.JIT != nil {
+		jr.ErrorDeopts = res.JIT.ErrorDeopts
+	}
+	jr.health = healthProbe(res)
+	return jr
+}
+
+// healthProbe audits a completed run's heap statistics: refcount balance
+// and free/allocation accounting. A worker whose bookkeeping went bad is
+// poisoned even when the job's output looked fine.
+func healthProbe(res *runtime.Result) string {
+	h := res.Heap
+	if h.BadDecrefs != 0 {
+		return fmt.Sprintf("%d decrefs hit an object with RC <= 0", h.BadDecrefs)
+	}
+	if h.Decrefs > h.Increfs+h.Allocations {
+		return fmt.Sprintf("refcount imbalance: %d decrefs > %d increfs + %d allocations",
+			h.Decrefs, h.Increfs, h.Allocations)
+	}
+	if h.Frees > h.Allocations+h.PayloadAllocs {
+		return fmt.Sprintf("free accounting: %d frees > %d allocations + %d payload allocs",
+			h.Frees, h.Allocations, h.PayloadAllocs)
+	}
+	if h.MajorGCs > h.MinorGCs {
+		return fmt.Sprintf("gc accounting: %d major GCs > %d minor GCs", h.MajorGCs, h.MinorGCs)
+	}
+	return ""
+}
+
+// canaryCheck reruns the worker's runner on the canary program from
+// pristine state. Used after a job errored (an errored run yields no
+// statistics to probe) and at recycle boundaries.
+func (w *worker) canaryCheck(mode runtime.Mode) string {
+	r, err := w.runner(mode)
+	if err != nil {
+		return err.Error()
+	}
+	r.SetLimits(interp.Limits{MaxSteps: 100_000, Deadline: 5 * time.Second})
+	r.SetFaults(nil)
+	res, err := r.Run("canary.py", canarySrc)
+	if err != nil {
+		return "canary failed: " + err.Error()
+	}
+	if res.Output != "42\n" {
+		return fmt.Sprintf("canary output %q", res.Output)
+	}
+	if bad := healthProbe(res); bad != "" {
+		return "canary " + bad
+	}
+	return ""
+}
+
+// finishJob is the worker's between-jobs path: health-check, recycle
+// bookkeeping, warm reset, and return-to-idle. Runs after the reply was
+// sent, so none of it sits on the job's latency path.
+func (w *worker) finishJob(job *Job, res *JobResult) {
+	w.jobsDone++
+	switch {
+	case res.Class == ClassInternal:
+		// The VM panicked. Its state is untrusted; quarantine.
+		w.pool.poison(w, "internal error: "+res.Err)
+		return
+	case res.health != "":
+		w.pool.poison(w, "health probe: "+res.health)
+		return
+	case res.Class != ClassOK:
+		// Limit trips and Python errors are expected outcomes, but the
+		// aborted run left no statistics — probe with a canary.
+		if bad := w.canaryCheck(job.Mode); bad != "" {
+			w.pool.poison(w, bad)
+			return
+		}
+	}
+	if w.jobsDone >= w.pool.cfg.RecycleAfter {
+		// Planned replacement bounds state drift; not a poisoning.
+		w.pool.recycle(w)
+		return
+	}
+	// Pre-build pristine VM state for the next job, off its critical
+	// path, then rejoin the idle ring.
+	if r := w.runners[job.Mode]; r != nil {
+		r.Reset()
+	}
+	// Injected supervision fault: slot leak — the worker "forgets" to
+	// return itself. The pool's maintenance scan restores capacity.
+	if w.pool.fireFault(faults.PoolSlotLeak) {
+		return
+	}
+	w.pool.release(w)
+}
