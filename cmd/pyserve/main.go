@@ -143,6 +143,17 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		job.Name = "request.py"
 	}
 	if l := req.Limits; l != nil {
+		// Negative budgets must not reach the pool: a negative Deadline
+		// is nonzero, so it would bypass the server default and skew the
+		// watchdog derivation.
+		if l.DeadlineMs < 0 {
+			httpError(w, http.StatusBadRequest, "limits.deadlineMs must be >= 0")
+			return
+		}
+		if l.MaxRecursionDepth < 0 {
+			httpError(w, http.StatusBadRequest, "limits.maxRecursionDepth must be >= 0")
+			return
+		}
 		job.Limits = interp.Limits{
 			MaxSteps:          l.MaxSteps,
 			MaxHeapBytes:      l.MaxHeapBytes,

@@ -189,6 +189,9 @@ func TestBadRequests(t *testing.T) {
 		{"bad json", "{", http.StatusBadRequest},
 		{"no src", "{}", http.StatusBadRequest},
 		{"bad mode", `{"src": "print(1)", "mode": "jython"}`, http.StatusBadRequest},
+		{"negative deadline", `{"src": "print(1)", "limits": {"deadlineMs": -1}}`, http.StatusBadRequest},
+		{"negative recursion depth", `{"src": "print(1)", "limits": {"maxRecursionDepth": -5}}`, http.StatusBadRequest},
+		{"negative steps", `{"src": "print(1)", "limits": {"maxSteps": -1}}`, http.StatusBadRequest},
 	} {
 		resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader([]byte(tc.body)))
 		if err != nil {

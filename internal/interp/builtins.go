@@ -25,9 +25,12 @@ type typeMethodKey struct {
 }
 
 // typeMethods is shared by all VMs: builtin IDs are allocated in a fixed
-// registration order, so every VM computes an identical table. The first
-// VM to construct populates it (typeMethodsOnce); later VMs and running
-// interpreters only read it, so concurrent VM construction is race-free.
+// registration order, so every VM computes an identical table. Each VM
+// builds its own complete copy during registerBuiltins; the first to
+// finish publishes it via typeMethodsOnce. The map is only ever visible
+// fully populated, and Once's happens-before edge makes the publication
+// safe to read without further synchronization — concurrent VM
+// construction is race-free.
 var (
 	typeMethods     map[typeMethodKey]pyobj.BuiltinID
 	typeMethodsOnce sync.Once
@@ -150,18 +153,13 @@ func (vm *VM) iterate(o pyobj.Object, f func(pyobj.Object)) {
 
 // registerBuiltins wires every builtin function, type method, and module.
 // Every VM registers its own implementations (IDs and simulated code
-// addresses are identical across VMs); only the first populates the
-// shared typeMethods table.
+// addresses are identical across VMs) and accumulates the type-method
+// table locally; the complete table is published once at the end, so
+// readers never observe a partially populated map.
 func (vm *VM) registerBuiltins() {
-	populate := false
-	typeMethodsOnce.Do(func() {
-		typeMethods = make(map[typeMethodKey]pyobj.BuiltinID)
-		populate = true
-	})
+	local := make(map[typeMethodKey]pyobj.BuiltinID)
 	tm := func(t pyobj.TypeID, name string, id pyobj.BuiltinID) {
-		if populate {
-			typeMethods[typeMethodKey{t, name}] = id
-		}
+		local[typeMethodKey{t, name}] = id
 	}
 
 	// ---- Global functions ----
@@ -234,6 +232,10 @@ func (vm *VM) registerBuiltins() {
 	vm.registerJSONModule()
 	vm.registerPickleModule()
 	vm.registerReModule()
+
+	// Publish the fully built table exactly once. Every table is
+	// identical, so losers simply discard theirs.
+	typeMethodsOnce.Do(func() { typeMethods = local })
 }
 
 // ---- Global builtin implementations ----

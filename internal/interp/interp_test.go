@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -420,5 +421,36 @@ boom = 1 / 0
 	}
 	if h.BadDecrefs != 0 {
 		t.Fatalf("%d decrefs hit an object with RC <= 0", h.BadDecrefs)
+	}
+}
+
+// TestConcurrentVMConstruction builds VMs from many goroutines at once
+// and immediately exercises method lookup on each. Run under -race this
+// guards the typeMethods publication: a partially populated (or
+// concurrently written) shared table would trip the race detector or
+// produce a missing-method AttributeError.
+func TestConcurrentVMConstruction(t *testing.T) {
+	const goroutines = 16
+	src := "l = [3, 1, 2]\nl.sort()\nd = {'a': 1}\nprint(l, d.get('a'))\n"
+	errs := make(chan error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func() {
+			var out strings.Builder
+			vm := New(emit.NewEngine(isa.NullSink{}), gc.DefaultRefCountConfig(), &out)
+			if err := vm.RunSource("<concurrent>", src); err != nil {
+				errs <- err
+				return
+			}
+			if got, want := out.String(), "[1, 2, 3] 1\n"; got != want {
+				errs <- fmt.Errorf("output %q, want %q", got, want)
+				return
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < goroutines; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
 	}
 }

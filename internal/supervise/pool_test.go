@@ -399,3 +399,39 @@ func TestSoakUnderSupervisionFaults(t *testing.T) {
 		t.Fatalf("fault schedule never fired; soak proves nothing: %+v", res.Stats)
 	}
 }
+
+// TestCondemnWakesBlockedSubmitters: a Submit blocked waiting for an
+// idle worker must be woken when the last worker is condemned while
+// replacement is held back (long backoff), so it sheds promptly via the
+// "no live workers" path instead of hanging until the next spawn.
+func TestCondemnWakesBlockedSubmitters(t *testing.T) {
+	fc := faults.Config{}
+	fc.EveryN[faults.WorkerWedge] = 1 // every job wedges its worker
+	p := testPool(t, Config{Workers: 1, Faults: faults.New(fc),
+		BackoffBase: 30 * time.Second, BackoffMax: 30 * time.Second,
+		DefaultLimits: interp.Limits{MaxSteps: 5_000_000, Deadline: 100 * time.Millisecond}})
+	const src = "print(1)\n"
+
+	first := make(chan *JobResult, 1)
+	go func() {
+		first <- p.Submit(&Job{Name: "a.py", Src: src, Mode: runtime.CPython})
+	}()
+	// Let the first job occupy (and wedge) the only worker, then block a
+	// second submitter in the idle-worker wait.
+	time.Sleep(30 * time.Millisecond)
+	start := time.Now()
+	res := p.Submit(&Job{Name: "b.py", Src: src, Mode: runtime.CPython})
+	blocked := time.Since(start)
+	if res.Class != ClassShed {
+		t.Fatalf("blocked submitter: want ClassShed, got %s (%q)", res.Class, res.Err)
+	}
+	// The wedge watchdog is 250ms (100ms*2 + 50ms slack); the backoff
+	// holds replacements for 30s. Prompt shedding means the condemnation
+	// itself woke us, not a later spawn.
+	if blocked > 2*time.Second {
+		t.Fatalf("blocked submitter shed after %v; not woken by condemnation", blocked)
+	}
+	if r := <-first; r.Class != ClassWedged {
+		t.Fatalf("wedged job: want ClassWedged, got %s (%q)", r.Class, r.Err)
+	}
+}

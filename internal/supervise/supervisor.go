@@ -187,22 +187,29 @@ func (p *Pool) Submit(job *Job) *JobResult {
 	}
 	p.queued--
 	watchdog := p.watchdog(job)
+	// Submit's watchdog timer and the maintenance leak-scan horizon are
+	// derived from the same instant (and the leak scan adds a further
+	// MaintInterval of slack), so Submit always observes a wedge first;
+	// the scan only reclaims slots whose release was genuinely dropped.
+	wedgeDeadline := time.Now().Add(watchdog)
 	st := p.workers[w]
 	st.busy = true
-	st.wedgeAt = time.Now().Add(watchdog)
+	st.wedgeAt = wedgeDeadline
 	p.mu.Unlock()
 
 	queued := time.Since(start)
 	req := &jobReq{job: job, reply: make(chan *JobResult, 1)}
 	w.jobs <- req
 
+	timer := time.NewTimer(time.Until(wedgeDeadline))
+	defer timer.Stop()
 	var res *JobResult
 	select {
 	case res = <-req.reply:
 		res.Queued = queued
 		p.mu.Lock()
 		p.stats.Completed++
-	case <-time.After(watchdog):
+	case <-timer.C:
 		// The worker stalled past the watchdog. Condemn it; its late
 		// reply (if any) lands in the buffered channel and is dropped.
 		p.mu.Lock()
@@ -268,6 +275,10 @@ func (p *Pool) recycle(w *worker) {
 
 // condemnLocked removes a worker from the pool and tells its goroutine
 // to exit. Idempotent; reports whether this call did the removal.
+// Broadcasts so Submit callers blocked in cond.Wait re-evaluate the
+// pool state — in particular, the last condemnation must wake them to
+// reach the "no live workers" shed path instead of hanging until the
+// next spawn.
 func (p *Pool) condemnLocked(w *worker) bool {
 	if _, ok := p.workers[w]; !ok {
 		return false
@@ -280,6 +291,7 @@ func (p *Pool) condemnLocked(w *worker) bool {
 		}
 	}
 	close(w.quit)
+	p.cond.Broadcast()
 	return true
 }
 
@@ -332,9 +344,13 @@ func (p *Pool) maintain() {
 		}
 		// Leak scan: a busy worker past its wedge horizon is gone for
 		// good — Submit's watchdog already returned (or an injected
-		// slot leak dropped the release); reclaim the slot.
+		// slot leak dropped the release); reclaim the slot. One
+		// MaintInterval of slack past the horizon guarantees Submit's
+		// own watchdog (armed from the same instant) always wins the
+		// race, so a worker that replied just inside the watchdog is
+		// never condemned out from under a successful result.
 		for w, st := range p.workers {
-			if st.busy && now.After(st.wedgeAt) {
+			if st.busy && now.After(st.wedgeAt.Add(p.cfg.MaintInterval)) {
 				if p.condemnLocked(w) {
 					p.stats.Leaked++
 					p.noteUnplannedLocked()
