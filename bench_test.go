@@ -22,6 +22,7 @@ import (
 	"repro/internal/pycompile"
 	"repro/internal/runtime"
 	"repro/internal/supervise"
+	"repro/internal/telemetry"
 	"repro/internal/uarch"
 )
 
@@ -161,6 +162,32 @@ func BenchmarkSupervisedThroughput(b *testing.B) {
 		// The armed-but-far MaxHeapBytes reserves 1 TiB per job; lift
 		// the admission watermark accordingly.
 		HeapWatermark: 1 << 41,
+	})
+	defer pool.Close()
+	job := &supervise.Job{Name: "bench", Code: code, Mode: runtime.CPython}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := pool.Submit(job); res.Class != supervise.ClassOK {
+			b.Fatalf("class %s: %s", res.Class, res.Err)
+		}
+	}
+}
+
+// BenchmarkSupervisedThroughputTelemetry is BenchmarkSupervisedThroughput
+// with the pool fully instrumented (job counters, queue-wait and run-time
+// histograms, occupancy gauges): the delta between the two is the
+// telemetry tax per job, which must stay within ~2% of the uninstrumented
+// pool (see EXPERIMENTS.md).
+func BenchmarkSupervisedThroughputTelemetry(b *testing.B) {
+	code, err := pycompile.CompileSource("bench", hotLoop)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := supervise.NewPool(supervise.Config{
+		Workers:       1,
+		DefaultLimits: benchGovernedLimits,
+		HeapWatermark: 1 << 41,
+		Metrics:       supervise.NewMetrics(telemetry.NewRegistry()),
 	})
 	defer pool.Close()
 	job := &supervise.Job{Name: "bench", Code: code, Mode: runtime.CPython}

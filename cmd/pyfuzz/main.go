@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/difftest"
 	"repro/internal/supervise"
+	"repro/internal/telemetry"
 )
 
 func run() int {
@@ -59,6 +60,7 @@ func run() int {
 		poolSize  = flag.Int("pool-workers", 4, "with -pool, number of warm workers")
 		wedgeN    = flag.Uint64("pool-wedge-every", 40, "with -pool, inject a worker wedge every Nth job (0: never)")
 		leakN     = flag.Uint64("pool-leak-every", 25, "with -pool, inject a slot leak every Nth job (0: never)")
+		metrics   = flag.Bool("metrics", false, "with -pool, instrument the soak pool and print the Prometheus exposition after the jobs drain")
 	)
 	flag.Parse()
 
@@ -68,18 +70,29 @@ func run() int {
 	}
 
 	if *pool {
-		res := supervise.Soak(supervise.SoakConfig{
+		cfg := supervise.SoakConfig{
 			Seed:        *seed,
 			Jobs:        *n,
 			Workers:     *poolSize,
 			WedgeEveryN: *wedgeN,
 			LeakEveryN:  *leakN,
-		})
+		}
+		var reg *telemetry.Registry
+		if *metrics {
+			reg = telemetry.NewRegistry()
+			cfg.Metrics = supervise.NewMetrics(reg)
+		}
+		res := supervise.Soak(cfg)
 		s := res.Stats
 		fmt.Printf("pool soak: %d jobs, %d completed, %d shed, %d wedged, %d poisoned, %d leaked, %d recycled, %d restarts, %d live workers\n",
 			res.Jobs, s.Completed, s.Shed, s.Wedged, s.Poisoned, s.Leaked, s.Recycled, s.Restarts, s.Workers)
 		for _, v := range res.Violations {
 			fmt.Printf("violation: %s\n", v)
+		}
+		if reg != nil {
+			if err := reg.WritePrometheus(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "pyfuzz: metrics exposition: %v\n", err)
+			}
 		}
 		if !res.Ok() {
 			return 1

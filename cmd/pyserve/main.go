@@ -11,8 +11,13 @@
 //
 // Endpoints:
 //
-//	POST /run     {"src": "...", "mode": "pypy-jit", "limits": {...}}
-//	              -> {"exitClass": "ok", "exitCode": 0, "stdout": ...}
+//	POST /run     {"src": "...", "mode": "pypy-jit", "limits": {...},
+//	               "breakdown": true}
+//	              -> {"exitClass": "ok", "exitCode": 0, "stdout": ...,
+//	                  "requestId": "r42", "breakdown": {...}}
+//	GET  /metrics -> Prometheus text exposition: job counters by exit
+//	              class, queue-wait and run-time histograms, pool
+//	              occupancy gauges, live overhead-category attribution
 //	GET  /healthz -> pool statistics; 503 once no workers are live
 //	POST /drainz  -> graceful drain: stop admitting, wait for in-flight
 //
@@ -21,6 +26,12 @@
 // 503 with a Retry-After header. /run returns 200 for every executed
 // job — the job's own outcome (Python error, limit trip, internal
 // error) is in exitClass/exitCode, mirroring pyrun's exit statuses.
+// Setting "breakdown": true runs the job with the paper's attribution
+// core armed and returns the Table-II-style per-category report.
+//
+// Every executed request gets a daemon-unique id, echoed in the
+// response body, the X-Request-Id header, and one structured JSON log
+// line on stderr.
 package main
 
 import (
@@ -31,11 +42,15 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/runtime"
 	"repro/internal/supervise"
+	"repro/internal/telemetry"
 )
 
 // runRequest is the POST /run body.
@@ -44,6 +59,10 @@ type runRequest struct {
 	Src    string     `json:"src"`
 	Mode   string     `json:"mode,omitempty"`
 	Limits *reqLimits `json:"limits,omitempty"`
+	// Breakdown opts this request into live overhead attribution: the
+	// job runs on the worker's attribution-core runner (slower) and the
+	// response carries the per-category cycle breakdown.
+	Breakdown bool `json:"breakdown,omitempty"`
 }
 
 // reqLimits is the per-request budget override; zero fields inherit the
@@ -58,16 +77,18 @@ type reqLimits struct {
 
 // runResponse is the POST /run reply.
 type runResponse struct {
-	ExitClass  string    `json:"exitClass"`
-	ExitCode   int       `json:"exitCode"`
-	Stdout     string    `json:"stdout"`
-	Error      string    `json:"error,omitempty"`
-	Mode       string    `json:"mode"`
-	Worker     int       `json:"worker"`
-	QueuedMs   float64   `json:"queuedMs"`
-	RunMs      float64   `json:"runMs"`
-	RetryAfter float64   `json:"retryAfterMs,omitempty"`
-	Stats      *runStats `json:"stats,omitempty"`
+	RequestID  string       `json:"requestId"`
+	ExitClass  string       `json:"exitClass"`
+	ExitCode   int          `json:"exitCode"`
+	Stdout     string       `json:"stdout"`
+	Error      string       `json:"error,omitempty"`
+	Mode       string       `json:"mode"`
+	Worker     int          `json:"worker"`
+	QueuedMs   float64      `json:"queuedMs"`
+	RunMs      float64      `json:"runMs"`
+	RetryAfter float64      `json:"retryAfterMs,omitempty"`
+	Stats      *runStats    `json:"stats,omitempty"`
+	Breakdown  *core.Report `json:"breakdown,omitempty"`
 }
 
 // runStats carries the execution counters of a successful run.
@@ -82,20 +103,69 @@ type runStats struct {
 // server ties the pool to the HTTP mux; tests drive it in-process.
 type server struct {
 	pool *supervise.Pool
+	// reg is the telemetry registry backing GET /metrics.
+	reg *telemetry.Registry
 	// drainTimeout bounds how long /drainz waits for in-flight jobs.
 	drainTimeout time.Duration
+	// nextID numbers executed requests; the id is echoed in the
+	// response, the X-Request-Id header, and the per-job log line.
+	nextID atomic.Uint64
+	// logw receives one JSON line per executed job (nil disables).
+	// logMu serializes writers so interleaved handlers cannot shear a
+	// line.
+	logw  io.Writer
+	logMu sync.Mutex
 }
 
-func newServer(pool *supervise.Pool, drainTimeout time.Duration) *server {
-	return &server{pool: pool, drainTimeout: drainTimeout}
+func newServer(pool *supervise.Pool, reg *telemetry.Registry, drainTimeout time.Duration, logw io.Writer) *server {
+	return &server{pool: pool, reg: reg, drainTimeout: drainTimeout, logw: logw}
 }
 
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/drainz", s.handleDrainz)
 	return mux
+}
+
+// jobLog is the structured per-job log line.
+type jobLog struct {
+	Time      string  `json:"ts"`
+	RequestID string  `json:"requestId"`
+	Name      string  `json:"name"`
+	Mode      string  `json:"mode"`
+	Class     string  `json:"class"`
+	Worker    int     `json:"worker"`
+	QueuedMs  float64 `json:"queuedMs"`
+	RunMs     float64 `json:"runMs"`
+	Bytecodes uint64  `json:"bytecodes,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+func (s *server) logJob(id string, job *supervise.Job, res *supervise.JobResult) {
+	if s.logw == nil {
+		return
+	}
+	line, err := json.Marshal(jobLog{
+		Time:      time.Now().UTC().Format(time.RFC3339Nano),
+		RequestID: id,
+		Name:      job.Name,
+		Mode:      res.Mode.String(),
+		Class:     res.Class.String(),
+		Worker:    res.Worker,
+		QueuedMs:  float64(res.Queued) / float64(time.Millisecond),
+		RunMs:     float64(res.RunTime) / float64(time.Millisecond),
+		Bytecodes: res.Bytecodes,
+		Error:     res.Err,
+	})
+	if err != nil {
+		return
+	}
+	s.logMu.Lock()
+	_, _ = s.logw.Write(append(line, '\n'))
+	s.logMu.Unlock()
 }
 
 // maxBody bounds a /run request body (programs are small; a runaway
@@ -142,12 +212,23 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if job.Name == "" {
 		job.Name = "request.py"
 	}
+	job.Breakdown = req.Breakdown
 	if l := req.Limits; l != nil {
 		// Negative budgets must not reach the pool: a negative Deadline
 		// is nonzero, so it would bypass the server default and skew the
 		// watchdog derivation.
 		if l.DeadlineMs < 0 {
 			httpError(w, http.StatusBadRequest, "limits.deadlineMs must be >= 0")
+			return
+		}
+		// The ms→Duration conversion multiplies by 10^6: a deadlineMs
+		// beyond ~292 million years overflows int64 and lands negative,
+		// which used to flow into the pool and produce an already-expired
+		// watchdog that condemned the healthy worker running the job.
+		// Nothing legitimate asks for more than a day.
+		if l.DeadlineMs > maxDeadlineMs {
+			httpError(w, http.StatusBadRequest,
+				fmt.Sprintf("limits.deadlineMs must be <= %d", int64(maxDeadlineMs)))
 			return
 		}
 		if l.MaxRecursionDepth < 0 {
@@ -163,8 +244,11 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	id := "r" + strconv.FormatUint(s.nextID.Add(1), 10)
 	res := s.pool.Submit(job)
+	s.logJob(id, job, res)
 	resp := runResponse{
+		RequestID: id,
 		ExitClass: res.Class.String(),
 		ExitCode:  res.Class.ExitCode(),
 		Stdout:    res.Output,
@@ -178,11 +262,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if res.Class == supervise.ClassShed {
 		status = http.StatusServiceUnavailable
 		resp.RetryAfter = float64(res.RetryAfter) / float64(time.Millisecond)
-		secs := int(res.RetryAfter / time.Second)
-		if secs < 1 {
-			secs = 1
-		}
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(res.RetryAfter)))
 	}
 	if res.Class == supervise.ClassOK {
 		resp.Stats = &runStats{
@@ -192,8 +272,38 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 			MajorGCs:    res.MajorGCs,
 			ErrorDeopts: res.ErrorDeopts,
 		}
+		if res.Breakdown != nil {
+			resp.Breakdown = res.Breakdown.Report()
+		}
 	}
+	w.Header().Set("X-Request-Id", id)
 	writeJSON(w, status, resp)
+}
+
+// maxDeadlineMs caps a request's deadlineMs at 24 hours — far above any
+// sane serving budget, far below the ~2^63 ns where the ms→Duration
+// conversion overflows.
+const maxDeadlineMs = 24 * 60 * 60 * 1000
+
+// retryAfterSeconds renders a shed result's retry hint as the integer
+// seconds of the Retry-After header, rounding UP: truncation would tell
+// clients to come back before the hint elapses (1.9s became "1"),
+// re-shedding the well-behaved ones.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
 }
 
 // healthzResponse reports pool occupancy and lifetime counters.
@@ -257,10 +367,12 @@ func run() int {
 	)
 	flag.Parse()
 
+	reg := telemetry.NewRegistry()
 	pool := supervise.NewPool(supervise.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		RecycleAfter: *recycle,
+		Metrics:      supervise.NewMetrics(reg),
 		DefaultLimits: interp.Limits{
 			MaxSteps:       *maxSteps,
 			MaxHeapBytes:   *maxHeap,
@@ -270,7 +382,7 @@ func run() int {
 	})
 	defer pool.Close()
 
-	srv := newServer(pool, *drainWait)
+	srv := newServer(pool, reg, *drainWait, os.Stderr)
 	fmt.Fprintf(os.Stderr, "pyserve: listening on %s (%d workers)\n", *addr, *workers)
 	if err := http.ListenAndServe(*addr, srv.mux()); err != nil {
 		fmt.Fprintln(os.Stderr, "pyserve:", err)

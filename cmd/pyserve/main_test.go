@@ -4,20 +4,52 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/interp"
 	"repro/internal/runtime"
 	"repro/internal/supervise"
+	"repro/internal/telemetry"
 )
 
+// syncBuffer is a mutex-guarded log sink for tests that inspect the
+// per-job log lines.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
 func smokeServer(t *testing.T) (*httptest.Server, *supervise.Pool) {
+	ts, pool, _ := metricsServer(t, io.Discard)
+	return ts, pool
+}
+
+// metricsServer is smokeServer with the telemetry registry exposed and a
+// caller-chosen log sink.
+func metricsServer(t *testing.T, logw io.Writer) (*httptest.Server, *supervise.Pool, *telemetry.Registry) {
 	t.Helper()
+	reg := telemetry.NewRegistry()
 	pool := supervise.NewPool(supervise.Config{
 		Workers: 2,
+		Metrics: supervise.NewMetrics(reg),
 		DefaultLimits: interp.Limits{
 			MaxSteps:       10_000_000,
 			MaxHeapBytes:   128 << 20,
@@ -25,12 +57,12 @@ func smokeServer(t *testing.T) (*httptest.Server, *supervise.Pool) {
 			MaxOutputBytes: 1 << 20,
 		},
 	})
-	ts := httptest.NewServer(newServer(pool, 10*time.Second).mux())
+	ts := httptest.NewServer(newServer(pool, reg, 10*time.Second, logw).mux())
 	t.Cleanup(func() {
 		ts.Close()
 		pool.Close()
 	})
-	return ts, pool
+	return ts, pool, reg
 }
 
 func postRun(t *testing.T, ts *httptest.Server, req runRequest) (int, runResponse) {
@@ -209,5 +241,195 @@ func TestBadRequests(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /run status %d", resp.StatusCode)
+	}
+}
+
+// TestMetricsEndpoint: after mixed traffic, GET /metrics serves a
+// well-formed Prometheus exposition with job counters by class, latency
+// histograms, and pool gauges.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _, _ := metricsServer(t, io.Discard)
+	for i := 0; i < 3; i++ {
+		if status, out := postRun(t, ts, runRequest{Src: "print(1)\n"}); status != 200 || out.ExitClass != "ok" {
+			t.Fatalf("warm-up: %d %s", status, out.ExitClass)
+		}
+	}
+	postRun(t, ts, runRequest{Src: "print(boom)\n"})
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE minipy_jobs_total counter",
+		`minipy_jobs_total{class="ok"} 3`,
+		`minipy_jobs_total{class="error"} 1`,
+		"# TYPE minipy_job_run_seconds histogram",
+		`minipy_job_run_seconds_bucket{class="ok",le="+Inf"} 3`,
+		"minipy_pool_workers 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", out)
+	}
+
+	if resp, err := http.Post(ts.URL+"/metrics", "text/plain", nil); err == nil {
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("POST /metrics status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestBreakdownRequest: "breakdown": true returns the Table-II-style
+// per-category report alongside a correct result; ordinary requests
+// carry none.
+func TestBreakdownRequest(t *testing.T) {
+	ts, _ := smokeServer(t)
+	status, out := postRun(t, ts, runRequest{
+		Name:      "bd.py",
+		Src:       "print(sum(range(10)))\n",
+		Breakdown: true,
+	})
+	if status != 200 || out.ExitClass != "ok" || out.Stdout != "45\n" {
+		t.Fatalf("breakdown run: %d %s %q (%s)", status, out.ExitClass, out.Stdout, out.Error)
+	}
+	bd := out.Breakdown
+	if bd == nil {
+		t.Fatal("no breakdown in response")
+	}
+	if bd.TotalCycles == 0 || bd.TotalInstrs == 0 || len(bd.Rows) == 0 {
+		t.Fatalf("degenerate breakdown: %+v", bd)
+	}
+	if bd.OverheadPercent < 0 || bd.OverheadPercent > 100 {
+		t.Fatalf("overhead percent %v out of range", bd.OverheadPercent)
+	}
+	var pct float64
+	for _, row := range bd.Rows {
+		pct += row.Percent
+	}
+	if pct < 99.0 || pct > 101.0 {
+		t.Fatalf("category percentages sum to %v, want ~100", pct)
+	}
+
+	if _, plain := postRun(t, ts, runRequest{Src: "print(1)\n"}); plain.Breakdown != nil {
+		t.Fatal("plain request unexpectedly carries a breakdown")
+	}
+}
+
+// TestDeadlineClamp is the overflow regression: a deadlineMs large
+// enough to overflow the ms→ns conversion used to reach the pool as a
+// negative Deadline and make the watchdog condemn the healthy worker
+// mid-job. Now it is a 400, the pool never sees it, and follow-up
+// traffic finds the workers intact.
+func TestDeadlineClamp(t *testing.T) {
+	ts, pool := smokeServer(t)
+	for _, deadlineMs := range []int64{
+		1 << 62,             // overflows time.Duration(ms) * time.Millisecond
+		9223372036854775807, // MaxInt64
+		maxDeadlineMs + 1,   // just past the cap
+	} {
+		status, _ := postRun(t, ts, runRequest{
+			Src:    "print(6 * 7)\n",
+			Limits: &reqLimits{DeadlineMs: deadlineMs},
+		})
+		if status != http.StatusBadRequest {
+			t.Fatalf("deadlineMs %d: status %d, want 400", deadlineMs, status)
+		}
+	}
+	// The cap itself is admissible.
+	if status, out := postRun(t, ts, runRequest{
+		Src:    "print(6 * 7)\n",
+		Limits: &reqLimits{DeadlineMs: maxDeadlineMs},
+	}); status != 200 || out.ExitClass != "ok" || out.Stdout != "42\n" {
+		t.Fatalf("deadlineMs at cap: %d %s %q", status, out.ExitClass, out.Stdout)
+	}
+
+	st := pool.Stats()
+	if st.Wedged != 0 || st.Poisoned != 0 || st.Restarts != 0 {
+		t.Fatalf("deadline probes condemned workers: %+v", st)
+	}
+	if st.Workers != 2 {
+		t.Fatalf("pool lost workers: %+v", st)
+	}
+}
+
+// TestRetryAfterSeconds: the Retry-After header rounds the hint UP —
+// truncation told clients to retry before the hint elapsed.
+func TestRetryAfterSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{time.Millisecond, 1},
+		{time.Second, 1},
+		{1900 * time.Millisecond, 2},
+		{2 * time.Second, 2},
+		{2*time.Second + time.Millisecond, 3},
+	} {
+		if got := retryAfterSeconds(tc.d); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+// TestRequestIDs: every executed request gets a daemon-unique id echoed
+// in body and header, and exactly one structured log line.
+func TestRequestIDs(t *testing.T) {
+	logs := &syncBuffer{}
+	ts, _, _ := metricsServer(t, logs)
+
+	seen := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		body, _ := json.Marshal(runRequest{Name: fmt.Sprintf("id-%d.py", i), Src: "print(1)\n"})
+		resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out runResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if out.RequestID == "" {
+			t.Fatal("response without requestId")
+		}
+		if hdr := resp.Header.Get("X-Request-Id"); hdr != out.RequestID {
+			t.Fatalf("header id %q != body id %q", hdr, out.RequestID)
+		}
+		if seen[out.RequestID] {
+			t.Fatalf("duplicate request id %s", out.RequestID)
+		}
+		seen[out.RequestID] = true
+	}
+
+	lines := strings.Split(strings.TrimSpace(logs.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d log lines, want 3:\n%s", len(lines), logs.String())
+	}
+	for _, line := range lines {
+		var entry jobLog
+		if err := json.Unmarshal([]byte(line), &entry); err != nil {
+			t.Fatalf("unparseable log line %q: %v", line, err)
+		}
+		if !seen[entry.RequestID] || entry.Class != "ok" || entry.Name == "" || entry.Time == "" {
+			t.Fatalf("malformed log entry %+v", entry)
+		}
 	}
 }

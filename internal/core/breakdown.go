@@ -232,6 +232,81 @@ func (b *Breakdown) Rows() []Row {
 	return rows
 }
 
+// Report is a serializable digest of a Breakdown: the Table-II-style
+// per-category rows (sorted by descending cycle share) plus group and
+// phase shares and the headline derived metrics. It is what serving
+// surfaces (pyserve's "breakdown" response field) hand to clients.
+type Report struct {
+	Rows            []ReportRow  `json:"rows"`
+	Groups          []GroupShare `json:"groups"`
+	Phases          []PhaseShare `json:"phases"`
+	TotalInstrs     uint64       `json:"totalInstructions"`
+	TotalCycles     uint64       `json:"totalCycles"`
+	OverheadPercent float64      `json:"overheadPercent"`
+	CLibPercent     float64      `json:"clibPercent"`
+	SlowdownVsC     float64      `json:"slowdownVsC"`
+	CPI             float64      `json:"cpi"`
+}
+
+// ReportRow is one category's share of a run.
+type ReportRow struct {
+	Category string  `json:"category"`
+	Group    string  `json:"group"`
+	Instrs   uint64  `json:"instructions"`
+	Cycles   uint64  `json:"cycles"`
+	Percent  float64 `json:"percent"`
+}
+
+// GroupShare is one overhead group's share of a run.
+type GroupShare struct {
+	Group   string  `json:"group"`
+	Percent float64 `json:"percent"`
+}
+
+// PhaseShare is one execution phase's share of a run.
+type PhaseShare struct {
+	Phase   string  `json:"phase"`
+	Cycles  uint64  `json:"cycles"`
+	Percent float64 `json:"percent"`
+}
+
+// Report digests the breakdown for serialization. Zero-cycle phase rows
+// are dropped (an interpreter-only run has no JIT phases); category rows
+// keep every category so clients always see the full taxonomy.
+func (b *Breakdown) Report() *Report {
+	rep := &Report{
+		TotalInstrs:     b.TotalInstrs(),
+		TotalCycles:     b.TotalCycles(),
+		OverheadPercent: b.OverheadPercent(),
+		CLibPercent:     b.CLibPercent(),
+		SlowdownVsC:     b.SlowdownVsC(),
+		CPI:             b.CPI(),
+	}
+	for _, r := range b.Rows() {
+		rep.Rows = append(rep.Rows, ReportRow{
+			Category: r.Category.String(),
+			Group:    r.Category.Group().String(),
+			Instrs:   b.Instrs[r.Category],
+			Cycles:   r.Cycles,
+			Percent:  r.Percent,
+		})
+	}
+	for g := Group(0); g < NumGroups; g++ {
+		rep.Groups = append(rep.Groups, GroupShare{Group: g.String(), Percent: b.GroupPercent(g)})
+	}
+	for p := Phase(0); p < NumPhases; p++ {
+		if b.PhaseCycles[p] == 0 {
+			continue
+		}
+		rep.Phases = append(rep.Phases, PhaseShare{
+			Phase:   p.String(),
+			Cycles:  b.PhaseCycles[p],
+			Percent: b.PhasePercent(p),
+		})
+	}
+	return rep
+}
+
 // String renders the breakdown as an aligned text table.
 func (b *Breakdown) String() string {
 	var sb strings.Builder

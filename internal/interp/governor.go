@@ -85,7 +85,18 @@ func (vm *VM) armGovernor() {
 func (vm *VM) scheduleGovernor() {
 	next := ^uint64(0)
 	if l := vm.limits.MaxSteps; l != 0 {
-		if c := vm.stepBase + l + 1; c < next {
+		// Saturating add: with MaxSteps near ^uint64(0) the sum wraps,
+		// which would either park the threshold behind the current
+		// iteration count (slow-path entry on every dispatch) or disarm
+		// a budget that should be armed. A saturated threshold means
+		// "unreachable", which is exactly what a 2^64-step budget is.
+		c := vm.stepBase + l
+		if c < vm.stepBase {
+			c = ^uint64(0)
+		} else if c != ^uint64(0) {
+			c++
+		}
+		if c < next {
 			next = c
 		}
 	}

@@ -2,6 +2,7 @@ package interp
 
 import (
 	"errors"
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -243,6 +244,57 @@ func TestInternalErrorCarriesCrashState(t *testing.T) {
 
 // TestGovernorDisabledIsInert: zero limits never interfere, whatever the
 // program does.
+// TestStepBudgetSaturatesNearMaxUint64: a step budget near ^uint64(0)
+// must behave as "unlimited", not wrap the scheduled check threshold.
+// Before the saturating add, stepBase + MaxSteps + 1 wrapped to a value
+// at or behind the current iteration count, forcing the governor slow
+// path on every single dispatch — and, after a prior run advanced
+// stepBase, could park the threshold where a budget that should be armed
+// never fired.
+func TestStepBudgetSaturatesNearMaxUint64(t *testing.T) {
+	src := "print(sum(range(100)))\n"
+	for _, steps := range []uint64{
+		math.MaxUint64,
+		math.MaxUint64 - 1,
+		math.MaxUint64 / 2,
+	} {
+		vm, out := newLimited(gc.DefaultRefCountConfig(), Limits{MaxSteps: steps})
+		if err := vm.RunSource("<huge>", src); err != nil {
+			t.Fatalf("MaxSteps=%d: %v", steps, err)
+		}
+		if out.String() != "4950\n" {
+			t.Fatalf("MaxSteps=%d: output %q", steps, out.String())
+		}
+		// The threshold must sit saturated at (or effectively at) the
+		// far end, never behind the iterations already executed.
+		if vm.nextCheck <= vm.iterations {
+			t.Fatalf("MaxSteps=%d: nextCheck %d not past iterations %d",
+				steps, vm.nextCheck, vm.iterations)
+		}
+		// A second run on the same VM (stepBase now nonzero) must stay
+		// healthy too — this is the case that could wrap into the
+		// disarmed regime.
+		if err := vm.RunSource("<huge2>", src); err != nil {
+			t.Fatalf("MaxSteps=%d second run: %v", steps, err)
+		}
+		if vm.nextCheck <= vm.iterations {
+			t.Fatalf("MaxSteps=%d second run: nextCheck %d not past iterations %d",
+				steps, vm.nextCheck, vm.iterations)
+		}
+	}
+
+	// A saturated budget must still coexist with a live deadline poll:
+	// the deadline schedules the nearer threshold and still trips.
+	vm, _ := newLimited(gc.DefaultRefCountConfig(), Limits{
+		MaxSteps: math.MaxUint64,
+		Deadline: time.Millisecond,
+	})
+	err := vm.RunSource("<spin>", "i = 0\nwhile True:\n    i = i + 1\n")
+	if errKind(err) != "TimeoutError" {
+		t.Fatalf("deadline under saturated step budget: want TimeoutError, got %v", err)
+	}
+}
+
 func TestGovernorDisabledIsInert(t *testing.T) {
 	if (Limits{}).Enabled() {
 		t.Fatal("zero Limits must report disabled")

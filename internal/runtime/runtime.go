@@ -119,6 +119,28 @@ func DefaultConfig(mode Mode) Config {
 	}
 }
 
+// ServingConfig returns the configuration serving layers run jobs under:
+// purely functional execution (no timing simulation, no warmups, one
+// run). This is what pool workers, reference runs, and soak oracles all
+// use — one definition keeps them in lockstep.
+func ServingConfig(mode Mode) Config {
+	cfg := DefaultConfig(mode)
+	cfg.Core = CountOnly
+	cfg.Warmups = 0
+	cfg.Measures = 1
+	return cfg
+}
+
+// AttributedServingConfig is ServingConfig with the simple-core
+// attribution pipeline armed: the run is slower, but its Result carries
+// the paper's full per-category cycle breakdown. Serving layers use it
+// for jobs that opt into live overhead attribution.
+func AttributedServingConfig(mode Mode) Config {
+	cfg := ServingConfig(mode)
+	cfg.Core = SimpleCore
+	return cfg
+}
+
 // Result is the outcome of a measured execution.
 type Result struct {
 	Mode Mode

@@ -1,0 +1,154 @@
+package supervise
+
+import (
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// Pool lifecycle events mirrored into telemetry counters (the cumulative
+// Stats fields, as a labelled family). Indexes into Metrics.events.
+const (
+	evShed = iota
+	evWedged
+	evPoisoned
+	evLeaked
+	evRecycled
+	evRestart
+	evBreakerOpen
+	numEvents
+)
+
+var eventNames = [numEvents]string{
+	"shed", "wedged", "poisoned", "leaked", "recycled", "restart", "breaker_open",
+}
+
+// Metrics is the pool's telemetry instrumentation: per-class job
+// counters and latency histograms, pool lifecycle event counters, and
+// the live overhead-attribution accumulator. A nil *Metrics disables
+// everything (every record helper is nil-safe), so an unwired pool pays
+// one branch per record site.
+//
+// Construction registers every family on the registry; NewPool
+// additionally registers the point-in-time occupancy gauges, which need
+// the pool itself. Like the resource governor, recording is host
+// bookkeeping only — it emits no micro-events and never touches the
+// simulated machine.
+type Metrics struct {
+	reg *telemetry.Registry
+
+	// jobs counts every Submit outcome by exit class.
+	jobs *telemetry.CounterVec
+	// queueWait and runTime split each job's latency into admission
+	// wait and execution, keyed by exit class.
+	queueWait *telemetry.HistogramVec
+	runTime   *telemetry.HistogramVec
+	// events mirrors the pool's cumulative lifecycle counters.
+	events *telemetry.CounterVec
+	// overheadCycles and overheadInstrs accumulate the per-category
+	// attribution of every breakdown-enabled job, so /metrics shows the
+	// paper's Table-II split for live traffic.
+	overheadCycles *telemetry.CounterVec
+	overheadInstrs *telemetry.CounterVec
+}
+
+// classNames lists the exit-class label values in Class order.
+func classLabelValues() []string {
+	vals := make([]string, NumClasses)
+	for c := Class(0); c < NumClasses; c++ {
+		vals[c] = c.String()
+	}
+	return vals
+}
+
+// categoryLabelValues lists the overhead-category label values in
+// taxonomy order.
+func categoryLabelValues() []string {
+	vals := make([]string, core.NumCategories)
+	for c := core.Category(0); c < core.NumCategories; c++ {
+		vals[c] = c.String()
+	}
+	return vals
+}
+
+// NewMetrics registers the pool's metric families on reg and returns the
+// instrumentation handle to put in Config.Metrics.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	classes := classLabelValues()
+	return &Metrics{
+		reg: reg,
+		jobs: reg.CounterVec("minipy_jobs_total",
+			"Jobs submitted to the pool, by exit class.", "class", classes),
+		queueWait: reg.HistogramVec("minipy_job_queue_wait_seconds",
+			"Admission wait before a job reached a worker, by exit class.", "class", classes),
+		runTime: reg.HistogramVec("minipy_job_run_seconds",
+			"Job execution time on a worker, by exit class.", "class", classes),
+		events: reg.CounterVec("minipy_pool_events_total",
+			"Pool lifecycle events (shed, wedged, poisoned, leaked, recycled, restart, breaker_open).",
+			"event", eventNames[:]),
+		overheadCycles: reg.CounterVec("minipy_overhead_cycles_total",
+			"Simulated cycles attributed per overhead category across breakdown-enabled jobs.",
+			"category", categoryLabelValues()),
+		overheadInstrs: reg.CounterVec("minipy_overhead_instructions_total",
+			"Dynamic instructions attributed per overhead category across breakdown-enabled jobs.",
+			"category", categoryLabelValues()),
+	}
+}
+
+// event records one pool lifecycle event. Safe on a nil receiver.
+func (m *Metrics) event(e int) {
+	if m == nil {
+		return
+	}
+	m.events.Inc(e)
+}
+
+// observeJob records a finished Submit: the class-keyed job counter and
+// the latency split. Called off the pool mutex (all instruments are
+// atomic). Safe on a nil receiver.
+func (m *Metrics) observeJob(res *JobResult) {
+	if m == nil || res == nil {
+		return
+	}
+	c := int(res.Class)
+	m.jobs.Inc(c)
+	m.queueWait.Observe(c, res.Queued)
+	m.runTime.Observe(c, res.RunTime)
+}
+
+// observeBreakdown accumulates one job's attribution into the live
+// per-category counters. Runs on the worker's between-jobs path, never
+// on the job's latency path. Safe on a nil receiver.
+func (m *Metrics) observeBreakdown(bd *core.Breakdown) {
+	if m == nil || bd == nil {
+		return
+	}
+	for c := core.Category(0); c < core.NumCategories; c++ {
+		if bd.Cycles[c] != 0 {
+			m.overheadCycles.Add(int(c), bd.Cycles[c])
+		}
+		if bd.Instrs[c] != 0 {
+			m.overheadInstrs.Add(int(c), bd.Instrs[c])
+		}
+	}
+}
+
+// registerGauges installs the pool's point-in-time occupancy gauges.
+// Gauge callbacks run at scrape time only and snapshot under the pool
+// mutex — the scrape path may lock; the record path never does.
+func (p *Pool) registerGauges(m *Metrics) {
+	snap := func(f func(Stats) float64) func() float64 {
+		return func() float64 { return f(p.Stats()) }
+	}
+	m.reg.GaugeFunc("minipy_pool_workers",
+		"Live workers in the pool.",
+		snap(func(s Stats) float64 { return float64(s.Workers) }))
+	m.reg.GaugeFunc("minipy_pool_idle",
+		"Idle workers ready for dispatch.",
+		snap(func(s Stats) float64 { return float64(s.Idle) }))
+	m.reg.GaugeFunc("minipy_pool_queued",
+		"Jobs admitted but not yet dispatched.",
+		snap(func(s Stats) float64 { return float64(s.Queued) }))
+	m.reg.GaugeFunc("minipy_pool_heap_reserved_bytes",
+		"Summed heap reservations of admitted and running jobs.",
+		snap(func(s Stats) float64 { return float64(s.HeapReserved) }))
+}

@@ -3,6 +3,7 @@ package supervise
 import (
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/interp"
 	"repro/internal/pycode"
@@ -52,6 +53,10 @@ type Config struct {
 	// MaintInterval paces the maintenance scan that detects leaked or
 	// wedged workers and restores pool capacity (default 25ms).
 	MaintInterval time.Duration
+	// Metrics, when non-nil, mirrors pool activity into telemetry
+	// instruments (see NewMetrics) and registers occupancy gauges on the
+	// metrics registry. Nil runs the pool unobserved at zero cost.
+	Metrics *Metrics
 }
 
 func (c *Config) setDefaults() {
@@ -105,6 +110,11 @@ type Job struct {
 	// Limits are per-job resource budgets; zero fields inherit the
 	// pool's DefaultLimits.
 	Limits interp.Limits
+	// Breakdown requests live overhead attribution: the job runs under
+	// the simple-core attribution pipeline (slower, but its result
+	// carries the paper's per-category cycle breakdown) instead of the
+	// functional fast path.
+	Breakdown bool
 }
 
 // JobResult is everything the supervisor reports about one job.
@@ -126,6 +136,9 @@ type JobResult struct {
 	MinorGCs    uint64
 	MajorGCs    uint64
 	ErrorDeopts uint64
+	// Breakdown is the job's overhead attribution, present only when the
+	// job requested it (Job.Breakdown) and ran to a clean exit.
+	Breakdown *core.Breakdown
 
 	// health carries the worker's post-job probe verdict to finishJob;
 	// not part of the reported result.
@@ -145,8 +158,9 @@ type Stats struct {
 	Restarts    uint64 // unplanned replacements spawned
 	BreakerOpen uint64 // replacement attempts refused by the circuit breaker
 
-	Workers  int
-	Idle     int
-	Queued   int
-	Draining bool
+	Workers      int
+	Idle         int
+	Queued       int
+	HeapReserved uint64
+	Draining     bool
 }

@@ -28,6 +28,9 @@ type SoakConfig struct {
 	// Limits are the per-job budgets; the zero value takes tight soak
 	// defaults (100ms deadline so injected wedges resolve quickly).
 	Limits interp.Limits
+	// Metrics, when non-nil, instruments the soak pool (so a soak can
+	// double as a telemetry smoke: scrape after the jobs drain).
+	Metrics *Metrics
 }
 
 // SoakResult is the soak verdict: the pool's closing statistics and
@@ -72,6 +75,7 @@ func Soak(cfg SoakConfig) *SoakResult {
 		Workers:       cfg.Workers,
 		DefaultLimits: cfg.Limits,
 		Faults:        inj,
+		Metrics:       cfg.Metrics,
 		// Tight replacement pacing: soaks condemn workers constantly
 		// and must not starve waiting on production backoff.
 		BackoffBase:   time.Millisecond,
@@ -157,10 +161,7 @@ func Soak(cfg SoakConfig) *SoakResult {
 // referenceRun executes one job on a fresh single-use Runner, outside
 // the pool, with the same limits — the contamination-free baseline.
 func referenceRun(name, src string, mode runtime.Mode, lim interp.Limits) *JobResult {
-	rc := runtime.DefaultConfig(mode)
-	rc.Core = runtime.CountOnly
-	rc.Warmups = 0
-	rc.Measures = 1
+	rc := runtime.ServingConfig(mode)
 	rc.Limits = lim
 	jr := &JobResult{Mode: mode, Worker: -1}
 	r, err := runtime.NewRunner(rc)

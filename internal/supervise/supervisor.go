@@ -61,12 +61,19 @@ func NewPool(cfg Config) *Pool {
 		p.spawnLocked()
 	}
 	p.mu.Unlock()
+	if cfg.Metrics != nil {
+		p.registerGauges(cfg.Metrics)
+	}
 	go p.maintain()
 	return p
 }
 
 // effectiveLimits resolves a job's budgets: any zero field inherits the
-// pool default. The result always has a nonzero Deadline.
+// pool default. The result always has a positive Deadline — a
+// non-positive per-job deadline (including one produced by an integer
+// overflow upstream of the pool) falls back to the default rather than
+// poisoning the watchdog derivation, where a negative deadline would
+// make Submit's timer fire instantly and condemn a healthy worker.
 func (p *Pool) effectiveLimits(job *Job) interp.Limits {
 	l := job.Limits
 	d := p.cfg.DefaultLimits
@@ -76,10 +83,10 @@ func (p *Pool) effectiveLimits(job *Job) interp.Limits {
 	if l.MaxHeapBytes == 0 {
 		l.MaxHeapBytes = d.MaxHeapBytes
 	}
-	if l.MaxRecursionDepth == 0 {
+	if l.MaxRecursionDepth <= 0 {
 		l.MaxRecursionDepth = d.MaxRecursionDepth
 	}
-	if l.Deadline == 0 {
+	if l.Deadline <= 0 {
 		l.Deadline = d.Deadline
 	}
 	if l.MaxOutputBytes == 0 {
@@ -88,12 +95,27 @@ func (p *Pool) effectiveLimits(job *Job) interp.Limits {
 	return l
 }
 
+// maxWatchdog caps the watchdog horizon when the multiply below would
+// overflow. A day-long watchdog is already "never" for a served job; the
+// point is that the cap is large and positive, not precise.
+const maxWatchdog = 24 * time.Hour
+
 // watchdog is how long Submit waits for a worker's reply before
 // declaring the worker wedged: a multiple of the job's own wall-clock
-// budget plus slack, so a healthy limit trip always beats it.
+// budget plus slack, so a healthy limit trip always beats it. The
+// arithmetic saturates: an enormous (but valid) deadline must degrade to
+// a distant watchdog, never wrap negative and condemn the worker on the
+// spot.
 func (p *Pool) watchdog(job *Job) time.Duration {
-	return p.effectiveLimits(job).Deadline*time.Duration(p.cfg.WedgeFactor) +
-		p.cfg.WedgeSlack
+	d := p.effectiveLimits(job).Deadline
+	wd := d * time.Duration(p.cfg.WedgeFactor)
+	if wd/time.Duration(p.cfg.WedgeFactor) != d || wd <= 0 || wd > maxWatchdog {
+		wd = maxWatchdog
+	}
+	if wd += p.cfg.WedgeSlack; wd <= 0 {
+		wd = maxWatchdog
+	}
+	return wd
 }
 
 // wedgeSleep is how long an injected WorkerWedge fault stalls: past the
@@ -103,8 +125,14 @@ func (p *Pool) wedgeSleep(job *Job) time.Duration {
 }
 
 // fireFault consults the supervision-layer injector under the pool
-// mutex (the injector itself is not concurrency-safe).
+// mutex (the injector itself is not concurrency-safe). The nil guard is
+// load-bearing twice over: it keeps an unfaulted pool's per-job fault
+// probes off the pool mutex entirely (two fewer lock acquisitions per
+// job), and it keeps the probe safe however the Config was assembled.
 func (p *Pool) fireFault(k faults.Kind) bool {
+	if p.cfg.Faults == nil {
+		return false
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.cfg.Faults.Should(k)
@@ -115,6 +143,7 @@ func (p *Pool) fireFault(k faults.Kind) bool {
 // spread over the worker count.
 func (p *Pool) shedLocked(job *Job, why string) *JobResult {
 	p.stats.Shed++
+	p.cfg.Metrics.event(evShed)
 	ahead := p.queued + (len(p.workers) - len(p.idle)) + 1
 	per := p.cfg.DefaultLimits.Deadline
 	retry := per * time.Duration(ahead) / time.Duration(max(1, len(p.workers)))
@@ -135,6 +164,14 @@ func (p *Pool) shedLocked(job *Job, why string) *JobResult {
 // ClassWedged verdict if the worker stalled past the watchdog.
 // Safe for concurrent use.
 func (p *Pool) Submit(job *Job) *JobResult {
+	res := p.submit(job)
+	// One funnel for the per-job telemetry (class counter + latency
+	// histograms), off the pool mutex: the instruments are atomic.
+	p.cfg.Metrics.observeJob(res)
+	return res
+}
+
+func (p *Pool) submit(job *Job) *JobResult {
 	start := time.Now()
 	reserve := p.effectiveLimits(job).MaxHeapBytes
 
@@ -214,6 +251,7 @@ func (p *Pool) Submit(job *Job) *JobResult {
 		// reply (if any) lands in the buffered channel and is dropped.
 		p.mu.Lock()
 		p.stats.Wedged++
+		p.cfg.Metrics.event(evWedged)
 		if p.condemnLocked(w) {
 			p.noteUnplannedLocked()
 		}
@@ -254,6 +292,7 @@ func (p *Pool) poison(w *worker, reason string) {
 	defer p.mu.Unlock()
 	if p.condemnLocked(w) {
 		p.stats.Poisoned++
+		p.cfg.Metrics.event(evPoisoned)
 		p.noteUnplannedLocked()
 	}
 }
@@ -268,6 +307,7 @@ func (p *Pool) recycle(w *worker) {
 		return
 	}
 	p.stats.Recycled++
+	p.cfg.Metrics.event(evRecycled)
 	if !p.closed {
 		p.spawnLocked()
 	}
@@ -353,6 +393,7 @@ func (p *Pool) maintain() {
 			if st.busy && now.After(st.wedgeAt.Add(p.cfg.MaintInterval)) {
 				if p.condemnLocked(w) {
 					p.stats.Leaked++
+					p.cfg.Metrics.event(evLeaked)
 					p.noteUnplannedLocked()
 				}
 			}
@@ -374,9 +415,11 @@ func (p *Pool) maintain() {
 			p.restarts = live
 			if len(p.restarts) >= p.cfg.RestartBudget {
 				p.stats.BreakerOpen++
+				p.cfg.Metrics.event(evBreakerOpen)
 			} else {
 				p.restarts = append(p.restarts, now)
 				p.stats.Restarts++
+				p.cfg.Metrics.event(evRestart)
 				p.spawnLocked()
 			}
 		}
@@ -442,6 +485,7 @@ func (p *Pool) Stats() Stats {
 	s.Workers = len(p.workers)
 	s.Idle = len(p.idle)
 	s.Queued = p.queued
+	s.HeapReserved = p.heapReserved
 	s.Draining = p.draining
 	return s
 }

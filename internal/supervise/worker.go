@@ -23,8 +23,11 @@ type worker struct {
 	jobs chan *jobReq
 	// quit is closed exactly once, by condemnLocked.
 	quit chan struct{}
-	// runners are the per-mode warm Runners, built on first use.
-	runners [runtime.NumModes]*runtime.Runner
+	// runners are the per-mode warm Runners, built on first use. The
+	// functional set serves ordinary jobs; the attributed set (simple
+	// core armed) serves jobs that requested a live overhead breakdown.
+	runners     [runtime.NumModes]*runtime.Runner
+	attrRunners [runtime.NumModes]*runtime.Runner
 	// jobsDone counts jobs since spawn, for the recycle policy.
 	jobsDone int
 }
@@ -62,19 +65,24 @@ func (w *worker) loop() {
 }
 
 // runner returns the warm Runner for a mode, building it on first use.
-func (w *worker) runner(mode runtime.Mode) (*runtime.Runner, error) {
-	if r := w.runners[mode]; r != nil {
+// Attributed jobs get the simple-core pipeline (slower, but the result
+// carries the paper's per-category breakdown); everything else runs on
+// the functional fast path.
+func (w *worker) runner(mode runtime.Mode, attributed bool) (*runtime.Runner, error) {
+	set := &w.runners
+	cfg := runtime.ServingConfig(mode)
+	if attributed {
+		set = &w.attrRunners
+		cfg = runtime.AttributedServingConfig(mode)
+	}
+	if r := set[mode]; r != nil {
 		return r, nil
 	}
-	cfg := runtime.DefaultConfig(mode)
-	cfg.Core = runtime.CountOnly // serving is functional execution
-	cfg.Warmups = 0
-	cfg.Measures = 1
 	r, err := runtime.NewRunner(cfg)
 	if err != nil {
 		return nil, err
 	}
-	w.runners[mode] = r
+	set[mode] = r
 	return r, nil
 }
 
@@ -83,7 +91,7 @@ func (w *worker) runner(mode runtime.Mode) (*runtime.Runner, error) {
 func (w *worker) execute(job *Job) *JobResult {
 	start := time.Now()
 	jr := &JobResult{Mode: job.Mode, Worker: w.id}
-	r, err := w.runner(job.Mode)
+	r, err := w.runner(job.Mode, job.Breakdown)
 	if err != nil {
 		jr.Class = ClassError
 		jr.Err = err.Error()
@@ -122,6 +130,10 @@ func (w *worker) execute(job *Job) *JobResult {
 	if res.JIT != nil {
 		jr.ErrorDeopts = res.JIT.ErrorDeopts
 	}
+	if job.Breakdown {
+		bd := res.Breakdown
+		jr.Breakdown = &bd
+	}
 	jr.health = healthProbe(res)
 	return jr
 }
@@ -151,8 +163,8 @@ func healthProbe(res *runtime.Result) string {
 // canaryCheck reruns the worker's runner on the canary program from
 // pristine state. Used after a job errored (an errored run yields no
 // statistics to probe) and at recycle boundaries.
-func (w *worker) canaryCheck(mode runtime.Mode) string {
-	r, err := w.runner(mode)
+func (w *worker) canaryCheck(mode runtime.Mode, attributed bool) string {
+	r, err := w.runner(mode, attributed)
 	if err != nil {
 		return err.Error()
 	}
@@ -176,6 +188,9 @@ func (w *worker) canaryCheck(mode runtime.Mode) string {
 // sent, so none of it sits on the job's latency path.
 func (w *worker) finishJob(job *Job, res *JobResult) {
 	w.jobsDone++
+	// Live attribution accounting happens here, after the reply was
+	// sent — never on the job's latency path.
+	w.pool.cfg.Metrics.observeBreakdown(res.Breakdown)
 	switch {
 	case res.Class == ClassInternal:
 		// The VM panicked. Its state is untrusted; quarantine.
@@ -186,8 +201,9 @@ func (w *worker) finishJob(job *Job, res *JobResult) {
 		return
 	case res.Class != ClassOK:
 		// Limit trips and Python errors are expected outcomes, but the
-		// aborted run left no statistics — probe with a canary.
-		if bad := w.canaryCheck(job.Mode); bad != "" {
+		// aborted run left no statistics — probe the runner that ran the
+		// job with a canary.
+		if bad := w.canaryCheck(job.Mode, job.Breakdown); bad != "" {
 			w.pool.poison(w, bad)
 			return
 		}
@@ -199,7 +215,11 @@ func (w *worker) finishJob(job *Job, res *JobResult) {
 	}
 	// Pre-build pristine VM state for the next job, off its critical
 	// path, then rejoin the idle ring.
-	if r := w.runners[job.Mode]; r != nil {
+	set := &w.runners
+	if job.Breakdown {
+		set = &w.attrRunners
+	}
+	if r := set[job.Mode]; r != nil {
 		r.Reset()
 	}
 	// Injected supervision fault: slot leak — the worker "forgets" to
