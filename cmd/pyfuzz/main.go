@@ -12,6 +12,14 @@
 //	pyfuzz -replay internal/difftest/corpus
 //	pyfuzz -faults -n 200
 //	pyfuzz -pool -n 500
+//	pyfuzz -quicken -n 500
+//
+// With -quicken, the leg matrix narrows to the quickening soak: the
+// quickened interpreter as baseline against the cold interpreter
+// (quickening disabled), inline-cache flush churn at several intervals
+// (worst case: every cache invalidated after every fill), and a JIT leg
+// that must observe the same guard state. Any behavioural effect of
+// quickening, inline caches, or de-quickening shows up as a divergence.
 //
 // With -faults, the run becomes a chaos soak: every leg except the
 // baseline executes under seeded fault injection (allocation failures,
@@ -56,6 +64,7 @@ func run() int {
 		faults    = flag.Bool("faults", false, "chaos soak: run faulted legs under seeded fault injection")
 		faultRate = flag.Uint64("fault-rate", 1000, "with -faults, each fault kind fires ~1/rate per site visit")
 		faultSeed = flag.Uint64("fault-seed", 0, "with -faults, injector seed (0: use -seed)")
+		quicken   = flag.Bool("quicken", false, "quickening soak: focused leg matrix (cold interpreter, inline-cache flush churn, JIT) against the quickened baseline")
 		pool      = flag.Bool("pool", false, "pool-chaos soak: run programs through the supervise worker pool under injected supervision faults")
 		poolSize  = flag.Int("pool-workers", 4, "with -pool, number of warm workers")
 		wedgeN    = flag.Uint64("pool-wedge-every", 40, "with -pool, inject a worker wedge every Nth job (0: never)")
@@ -145,8 +154,13 @@ func run() int {
 		Nurseries: sizes,
 		Budget:    *budget,
 		CorpusDir: *corpus,
+		Quicken:   *quicken,
 	}
 	if *faults {
+		if *quicken {
+			fmt.Fprintln(os.Stderr, "pyfuzz: -quicken and -faults are mutually exclusive")
+			return 2
+		}
 		if *faultRate == 0 {
 			fmt.Fprintln(os.Stderr, "pyfuzz: -fault-rate must be nonzero")
 			return 2

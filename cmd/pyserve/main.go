@@ -9,17 +9,28 @@
 //	        [-max-steps n] [-max-heap bytes] [-max-output bytes]
 //	        [-recycle 256]
 //
-// Endpoints:
+// Endpoints (versioned API, see internal/api):
 //
-//	POST /run     {"src": "...", "mode": "pypy-jit", "limits": {...},
-//	               "breakdown": true}
-//	              -> {"exitClass": "ok", "exitCode": 0, "stdout": ...,
-//	                  "requestId": "r42", "breakdown": {...}}
-//	GET  /metrics -> Prometheus text exposition: job counters by exit
-//	              class, queue-wait and run-time histograms, pool
-//	              occupancy gauges, live overhead-category attribution
-//	GET  /healthz -> pool statistics; 503 once no workers are live
-//	POST /drainz  -> graceful drain: stop admitting, wait for in-flight
+//	POST /v1/run     {"src": "...", "mode": "pypy-jit", "limits": {...},
+//	                  "breakdown": true}
+//	                 -> {"apiVersion": "v1", "exitClass": "ok",
+//	                     "exitCode": 0, "stdout": ..., "requestId": "r42",
+//	                     "stats": {..., "icHits": n, "icHitRate": r},
+//	                     "breakdown": {...}}
+//	                 Errors carry a machine-readable envelope:
+//	                 {"error": {"code": "invalid_limits", "message": ...}}
+//	GET  /v1/metrics -> Prometheus text exposition: job counters by exit
+//	                 class, queue-wait and run-time histograms, pool
+//	                 occupancy gauges, live overhead-category attribution,
+//	                 inline-cache hit/miss/invalidation counters
+//	GET  /v1/healthz -> pool statistics; 503 once no workers are live
+//	POST /drainz     -> graceful drain: stop admitting, wait for in-flight
+//
+// The unversioned endpoints (/run, /metrics, /healthz) are deprecated
+// aliases kept for existing clients: same behavior, but /run answers
+// with a Deprecation header and its validation errors keep the legacy
+// flat {"error": "message"} shape. They will be removed no sooner than
+// two releases after a /v2 ships.
 //
 // A request's "mode" selects the runtime per request (cpython,
 // pypy-nojit, pypy-jit, v8like; default cpython). Shed requests return
@@ -46,59 +57,19 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/api"
 	"repro/internal/interp"
 	"repro/internal/runtime"
 	"repro/internal/supervise"
 	"repro/internal/telemetry"
 )
 
-// runRequest is the POST /run body.
-type runRequest struct {
-	Name   string     `json:"name,omitempty"`
-	Src    string     `json:"src"`
-	Mode   string     `json:"mode,omitempty"`
-	Limits *reqLimits `json:"limits,omitempty"`
-	// Breakdown opts this request into live overhead attribution: the
-	// job runs on the worker's attribution-core runner (slower) and the
-	// response carries the per-category cycle breakdown.
-	Breakdown bool `json:"breakdown,omitempty"`
-}
-
-// reqLimits is the per-request budget override; zero fields inherit the
-// server defaults.
-type reqLimits struct {
-	MaxSteps          uint64 `json:"maxSteps,omitempty"`
-	MaxHeapBytes      uint64 `json:"maxHeapBytes,omitempty"`
-	MaxRecursionDepth int    `json:"maxRecursionDepth,omitempty"`
-	DeadlineMs        int64  `json:"deadlineMs,omitempty"`
-	MaxOutputBytes    uint64 `json:"maxOutputBytes,omitempty"`
-}
-
-// runResponse is the POST /run reply.
-type runResponse struct {
-	RequestID  string       `json:"requestId"`
-	ExitClass  string       `json:"exitClass"`
-	ExitCode   int          `json:"exitCode"`
-	Stdout     string       `json:"stdout"`
-	Error      string       `json:"error,omitempty"`
-	Mode       string       `json:"mode"`
-	Worker     int          `json:"worker"`
-	QueuedMs   float64      `json:"queuedMs"`
-	RunMs      float64      `json:"runMs"`
-	RetryAfter float64      `json:"retryAfterMs,omitempty"`
-	Stats      *runStats    `json:"stats,omitempty"`
-	Breakdown  *core.Report `json:"breakdown,omitempty"`
-}
-
-// runStats carries the execution counters of a successful run.
-type runStats struct {
-	Bytecodes   uint64 `json:"bytecodes"`
-	Allocs      uint64 `json:"allocs"`
-	MinorGCs    uint64 `json:"minorGCs"`
-	MajorGCs    uint64 `json:"majorGCs"`
-	ErrorDeopts uint64 `json:"errorDeopts,omitempty"`
-}
+// The request/response wire types are the shared versioned API structs;
+// the legacy /run alias serves the same shapes.
+type (
+	runRequest  = api.RunRequestV1
+	runResponse = api.RunResultV1
+)
 
 // server ties the pool to the HTTP mux; tests drive it in-process.
 type server struct {
@@ -123,7 +94,10 @@ func newServer(pool *supervise.Pool, reg *telemetry.Registry, drainTimeout time.
 
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/v1/run", s.handleRunV1)
+	mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/run", s.handleRunLegacy)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/drainz", s.handleDrainz)
@@ -172,35 +146,59 @@ func (s *server) logJob(id string, job *supervise.Job, res *supervise.JobResult)
 // client must not balloon the daemon).
 const maxBody = 1 << 20
 
-func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleRunV1(w http.ResponseWriter, r *http.Request) {
+	s.serveRun(w, r, true)
+}
+
+// handleRunLegacy is the deprecated unversioned alias of /v1/run: same
+// execution path, but it announces its deprecation in headers and keeps
+// the flat {"error": "message"} error shape for existing clients.
+func (s *server) handleRunLegacy(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", `</v1/run>; rel="successor-version"`)
+	s.serveRun(w, r, false)
+}
+
+// failRun writes a request-rejection response: the /v1 machine-readable
+// envelope, or the legacy flat shape for the deprecated alias.
+func (s *server) failRun(w http.ResponseWriter, v1 bool, status int, code, msg string) {
+	if v1 {
+		writeJSON(w, status, api.ErrorEnvelope{Err: api.Error{Code: code, Message: msg}})
+		return
+	}
+	httpError(w, status, msg)
+}
+
+func (s *server) serveRun(w http.ResponseWriter, r *http.Request, v1 bool) {
+	fail := func(status int, code, msg string) { s.failRun(w, v1, status, code, msg) }
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		fail(http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "POST only")
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "read body: "+err.Error())
+		fail(http.StatusBadRequest, api.CodeBadJSON, "read body: "+err.Error())
 		return
 	}
 	if len(body) > maxBody {
-		httpError(w, http.StatusRequestEntityTooLarge,
+		fail(http.StatusRequestEntityTooLarge, api.CodeBodyTooLarge,
 			fmt.Sprintf("program exceeds %d bytes", maxBody))
 		return
 	}
 	var req runRequest
 	if err := json.Unmarshal(body, &req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		fail(http.StatusBadRequest, api.CodeBadJSON, "bad JSON: "+err.Error())
 		return
 	}
 	if req.Src == "" {
-		httpError(w, http.StatusBadRequest, "missing src")
+		fail(http.StatusBadRequest, api.CodeMissingSrc, "missing src")
 		return
 	}
 	mode := runtime.CPython
 	if req.Mode != "" {
 		mode, err = runtime.ParseMode(req.Mode)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err.Error())
+			fail(http.StatusBadRequest, api.CodeBadMode, err.Error())
 			return
 		}
 	}
@@ -214,49 +212,35 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	job.Breakdown = req.Breakdown
 	if l := req.Limits; l != nil {
-		// Negative budgets must not reach the pool: a negative Deadline
-		// is nonzero, so it would bypass the server default and skew the
-		// watchdog derivation.
-		if l.DeadlineMs < 0 {
-			httpError(w, http.StatusBadRequest, "limits.deadlineMs must be >= 0")
+		// All budget validation — negative rejection, the 24h deadline
+		// cap that used to be an overflow hazard — lives in Normalize;
+		// nothing invalid ever reaches the pool.
+		norm, err := l.Normalize()
+		if err != nil {
+			code := api.CodeInvalidLimits
+			if ae, ok := err.(*api.Error); ok {
+				code = ae.Code
+			}
+			fail(http.StatusBadRequest, code, err.Error())
 			return
 		}
-		// The ms→Duration conversion multiplies by 10^6: a deadlineMs
-		// beyond ~292 million years overflows int64 and lands negative,
-		// which used to flow into the pool and produce an already-expired
-		// watchdog that condemned the healthy worker running the job.
-		// Nothing legitimate asks for more than a day.
-		if l.DeadlineMs > maxDeadlineMs {
-			httpError(w, http.StatusBadRequest,
-				fmt.Sprintf("limits.deadlineMs must be <= %d", int64(maxDeadlineMs)))
-			return
-		}
-		if l.MaxRecursionDepth < 0 {
-			httpError(w, http.StatusBadRequest, "limits.maxRecursionDepth must be >= 0")
-			return
-		}
-		job.Limits = interp.Limits{
-			MaxSteps:          l.MaxSteps,
-			MaxHeapBytes:      l.MaxHeapBytes,
-			MaxRecursionDepth: l.MaxRecursionDepth,
-			Deadline:          time.Duration(l.DeadlineMs) * time.Millisecond,
-			MaxOutputBytes:    l.MaxOutputBytes,
-		}
+		job.Limits = norm
 	}
 
 	id := "r" + strconv.FormatUint(s.nextID.Add(1), 10)
 	res := s.pool.Submit(job)
 	s.logJob(id, job, res)
 	resp := runResponse{
-		RequestID: id,
-		ExitClass: res.Class.String(),
-		ExitCode:  res.Class.ExitCode(),
-		Stdout:    res.Output,
-		Error:     res.Err,
-		Mode:      res.Mode.String(),
-		Worker:    res.Worker,
-		QueuedMs:  float64(res.Queued) / float64(time.Millisecond),
-		RunMs:     float64(res.RunTime) / float64(time.Millisecond),
+		APIVersion: api.Version,
+		RequestID:  id,
+		ExitClass:  res.Class.String(),
+		ExitCode:   res.Class.ExitCode(),
+		Stdout:     res.Output,
+		Error:      res.Err,
+		Mode:       res.Mode.String(),
+		Worker:     res.Worker,
+		QueuedMs:   float64(res.Queued) / float64(time.Millisecond),
+		RunMs:      float64(res.RunTime) / float64(time.Millisecond),
 	}
 	status := http.StatusOK
 	if res.Class == supervise.ClassShed {
@@ -265,12 +249,15 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(res.RetryAfter)))
 	}
 	if res.Class == supervise.ClassOK {
-		resp.Stats = &runStats{
+		resp.Stats = &api.RunStatsV1{
 			Bytecodes:   res.Bytecodes,
 			Allocs:      res.Allocs,
 			MinorGCs:    res.MinorGCs,
 			MajorGCs:    res.MajorGCs,
 			ErrorDeopts: res.ErrorDeopts,
+			ICHits:      res.IC.Hits(),
+			ICMisses:    res.IC.Misses(),
+			ICHitRate:   res.IC.HitRate(),
 		}
 		if res.Breakdown != nil {
 			resp.Breakdown = res.Breakdown.Report()
@@ -279,11 +266,6 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Request-Id", id)
 	writeJSON(w, status, resp)
 }
-
-// maxDeadlineMs caps a request's deadlineMs at 24 hours — far above any
-// sane serving budget, far below the ~2^63 ns where the ms→Duration
-// conversion overflows.
-const maxDeadlineMs = 24 * 60 * 60 * 1000
 
 // retryAfterSeconds renders a shed result's retry hint as the integer
 // seconds of the Retry-After header, rounding UP: truncation would tell

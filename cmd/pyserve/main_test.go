@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/interp"
 	"repro/internal/runtime"
 	"repro/internal/supervise"
@@ -130,20 +131,20 @@ func TestSmoke(t *testing.T) {
 	limitReqs := []struct {
 		name  string
 		src   string
-		lim   reqLimits
+		lim   api.Limits
 		class string
 		exit  int
 	}{
 		{"steps.py", "i = 0\nwhile True:\n    i = i + 1\n",
-			reqLimits{MaxSteps: 100_000}, "timeout", 4},
+			api.Limits{MaxSteps: 100_000}, "timeout", 4},
 		{"deadline.py", "i = 0\nwhile True:\n    i = i + 1\n",
-			reqLimits{MaxSteps: 1 << 40, DeadlineMs: 30}, "timeout", 4},
+			api.Limits{MaxSteps: 1 << 40, Deadline: 30 * time.Millisecond}, "timeout", 4},
 		{"heap.py", "l = []\nwhile True:\n    l.append(\"0123456789abcdef\")\n",
-			reqLimits{MaxHeapBytes: 1 << 20}, "memory", 5},
+			api.Limits{MaxHeapBytes: 1 << 20}, "memory", 5},
 		{"recursion.py", "def f(n):\n    return f(n + 1)\nf(0)\n",
-			reqLimits{MaxRecursionDepth: 64}, "recursion", 6},
+			api.Limits{MaxRecursionDepth: 64}, "recursion", 6},
 		{"output.py", "while True:\n    print(\"aaaaaaaaaaaaaaaa\")\n",
-			reqLimits{MaxOutputBytes: 32 << 10}, "output-limit", 7},
+			api.Limits{MaxOutputBytes: 32 << 10}, "output-limit", 7},
 	}
 	for i, lr := range limitReqs {
 		mode := runtime.Mode(i % int(runtime.NumModes)).String()
@@ -335,27 +336,29 @@ func TestBreakdownRequest(t *testing.T) {
 // TestDeadlineClamp is the overflow regression: a deadlineMs large
 // enough to overflow the ms→ns conversion used to reach the pool as a
 // negative Deadline and make the watchdog condemn the healthy worker
-// mid-job. Now it is a 400, the pool never sees it, and follow-up
-// traffic finds the workers intact.
+// mid-job. Normalize rejects it with a 400, the pool never sees it, and
+// follow-up traffic finds the workers intact.
 func TestDeadlineClamp(t *testing.T) {
 	ts, pool := smokeServer(t)
 	for _, deadlineMs := range []int64{
-		1 << 62,             // overflows time.Duration(ms) * time.Millisecond
-		9223372036854775807, // MaxInt64
-		maxDeadlineMs + 1,   // just past the cap
+		1 << 62,               // overflows time.Duration(ms) * time.Millisecond
+		9223372036854775807,   // MaxInt64
+		api.MaxDeadlineMs + 1, // just past the cap
 	} {
-		status, _ := postRun(t, ts, runRequest{
-			Src:    "print(6 * 7)\n",
-			Limits: &reqLimits{DeadlineMs: deadlineMs},
-		})
-		if status != http.StatusBadRequest {
-			t.Fatalf("deadlineMs %d: status %d, want 400", deadlineMs, status)
+		body := fmt.Sprintf(`{"src": "print(6 * 7)\n", "limits": {"deadlineMs": %d}}`, deadlineMs)
+		resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("deadlineMs %d: status %d, want 400", deadlineMs, resp.StatusCode)
 		}
 	}
 	// The cap itself is admissible.
 	if status, out := postRun(t, ts, runRequest{
 		Src:    "print(6 * 7)\n",
-		Limits: &reqLimits{DeadlineMs: maxDeadlineMs},
+		Limits: &api.Limits{Deadline: api.MaxDeadline},
 	}); status != 200 || out.ExitClass != "ok" || out.Stdout != "42\n" {
 		t.Fatalf("deadlineMs at cap: %d %s %q", status, out.ExitClass, out.Stdout)
 	}
@@ -431,5 +434,189 @@ func TestRequestIDs(t *testing.T) {
 		if !seen[entry.RequestID] || entry.Class != "ok" || entry.Name == "" || entry.Time == "" {
 			t.Fatalf("malformed log entry %+v", entry)
 		}
+	}
+}
+
+// postRunV1 drives the versioned endpoint.
+func postRunV1(t *testing.T, ts *httptest.Server, req api.RunRequestV1) (int, api.RunResultV1) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out api.RunResultV1
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode /v1/run response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestV1Run: the versioned endpoint executes jobs, stamps the API
+// version, and reports inline-cache effectiveness in stats.
+func TestV1Run(t *testing.T) {
+	ts, _ := smokeServer(t)
+	status, out := postRunV1(t, ts, api.RunRequestV1{
+		Name: "v1.py",
+		Src:  "class C:\n    def __init__(self):\n        self.v = 3\n    def get(self):\n        return self.v\nc = C()\ntotal = 0\nfor i in range(200):\n    total = total + c.get()\nprint(total)\n",
+	})
+	if status != 200 || out.ExitClass != "ok" || out.Stdout != "600\n" {
+		t.Fatalf("v1 run: %d %s %q (%s)", status, out.ExitClass, out.Stdout, out.Error)
+	}
+	if out.APIVersion != api.Version {
+		t.Fatalf("apiVersion %q, want %q", out.APIVersion, api.Version)
+	}
+	if out.Stats == nil {
+		t.Fatal("v1 result without stats")
+	}
+	if out.Stats.ICHits == 0 {
+		t.Fatalf("attribute-heavy program recorded no IC hits: %+v", out.Stats)
+	}
+	if out.Stats.ICHitRate <= 0.5 || out.Stats.ICHitRate > 1 {
+		t.Fatalf("IC hit rate %v out of expected range (stats %+v)", out.Stats.ICHitRate, out.Stats)
+	}
+}
+
+// TestV1ErrorEnvelope: /v1 rejections carry machine-readable codes;
+// the legacy alias keeps the flat error string.
+func TestV1ErrorEnvelope(t *testing.T) {
+	ts, _ := smokeServer(t)
+	for _, tc := range []struct {
+		name, body, code string
+		status           int
+	}{
+		{"bad json", "{", api.CodeBadJSON, http.StatusBadRequest},
+		{"no src", "{}", api.CodeMissingSrc, http.StatusBadRequest},
+		{"bad mode", `{"src": "print(1)", "mode": "jython"}`, api.CodeBadMode, http.StatusBadRequest},
+		{"negative deadline", `{"src": "print(1)", "limits": {"deadlineMs": -1}}`, api.CodeInvalidLimits, http.StatusBadRequest},
+		{"over-cap deadline", `{"src": "print(1)", "limits": {"deadlineMs": 86400001}}`, api.CodeInvalidLimits, http.StatusBadRequest},
+		{"negative recursion", `{"src": "print(1)", "limits": {"maxRecursionDepth": -5}}`, api.CodeInvalidLimits, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env api.ErrorEnvelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatalf("%s: decode envelope: %v", tc.name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status || env.Err.Code != tc.code || env.Err.Message == "" {
+			t.Fatalf("%s: status %d code %q msg %q, want %d/%s",
+				tc.name, resp.StatusCode, env.Err.Code, env.Err.Message, tc.status, tc.code)
+		}
+	}
+
+	// Legacy alias: flat {"error": "message"} shape, no envelope.
+	resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&flat); err != nil {
+		t.Fatalf("legacy error not flat: %v", err)
+	}
+	resp.Body.Close()
+	if flat["error"] != "missing src" {
+		t.Fatalf("legacy error body %v", flat)
+	}
+}
+
+// TestLegacyDeprecationHeader: the unversioned /run alias executes
+// identically to /v1/run but announces its deprecation.
+func TestLegacyDeprecationHeader(t *testing.T) {
+	ts, _ := smokeServer(t)
+	body, _ := json.Marshal(runRequest{Src: "print(1)\n"})
+	resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Fatal("legacy /run missing Deprecation header")
+	}
+	if link := resp.Header.Get("Link"); !strings.Contains(link, "/v1/run") {
+		t.Fatalf("legacy /run Link header %q does not point at successor", link)
+	}
+	var out runResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ExitClass != "ok" || out.Stdout != "1\n" {
+		t.Fatalf("legacy run: %s %q", out.ExitClass, out.Stdout)
+	}
+
+	// The versioned endpoint must NOT carry the deprecation marker.
+	resp2, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.Header.Get("Deprecation") != "" {
+		t.Fatal("/v1/run unexpectedly marked deprecated")
+	}
+}
+
+// TestV1MetricsICCounters: after IC-heavy traffic, /v1/metrics exposes
+// the inline-cache counter families with nonzero hit counts.
+func TestV1MetricsICCounters(t *testing.T) {
+	ts, _, _ := metricsServer(t, io.Discard)
+	src := "class C:\n    def __init__(self):\n        self.v = 1\nc = C()\nt = 0\nfor i in range(300):\n    t = t + c.v\nprint(t)\n"
+	if status, out := postRunV1(t, ts, api.RunRequestV1{Src: src}); status != 200 || out.ExitClass != "ok" {
+		t.Fatalf("warm-up: %d %s (%s)", status, out.ExitClass, out.Error)
+	}
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/v1/metrics status %d", resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposition := string(b)
+	for _, want := range []string{
+		"# TYPE minipy_ic_hits_total counter",
+		`minipy_ic_hits_total{site="attr"}`,
+		`minipy_ic_misses_total{site=`,
+		"# TYPE minipy_ic_invalidations_total counter",
+		"# TYPE minipy_ic_dequickened_total counter",
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if strings.Contains(exposition, `minipy_ic_hits_total{site="attr"} 0`) {
+		t.Error("attr IC hits stayed zero after attribute-heavy traffic")
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", exposition)
+	}
+}
+
+// TestV1Healthz: the versioned health endpoint mirrors /healthz.
+func TestV1Healthz(t *testing.T) {
+	ts, _ := smokeServer(t)
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/v1/healthz status %d", resp.StatusCode)
+	}
+	var h healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Ok || h.Stats.Workers != 2 {
+		t.Fatalf("v1 healthz %+v", h)
 	}
 }

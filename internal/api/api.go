@@ -1,0 +1,90 @@
+package api
+
+import "repro/internal/core"
+
+// Version is the current serving API version, echoed in every /v1
+// result so clients and logs can tell payload generations apart.
+const Version = "v1"
+
+// Machine-readable error codes carried by the /v1 error envelope.
+// Clients dispatch on Code; Message is for humans and may change.
+const (
+	CodeBadJSON          = "bad_json"
+	CodeMissingSrc       = "missing_src"
+	CodeBadMode          = "bad_mode"
+	CodeInvalidLimits    = "invalid_limits"
+	CodeBodyTooLarge     = "body_too_large"
+	CodeMethodNotAllowed = "method_not_allowed"
+)
+
+// Error is a machine-readable API error. It implements error so
+// validation helpers (Limits.Normalize) can return it directly and
+// handlers can surface it without re-wrapping.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *Error) Error() string { return e.Message }
+
+// ErrorEnvelope is the /v1 error response body:
+//
+//	{"error": {"code": "invalid_limits", "message": "..."}}
+//
+// The legacy (unversioned) endpoints keep their flat
+// {"error": "message"} shape for existing clients.
+type ErrorEnvelope struct {
+	Err Error `json:"error"`
+}
+
+// RunRequestV1 is the POST /v1/run body.
+type RunRequestV1 struct {
+	// Name labels the program in logs and results; defaults to
+	// "request.py".
+	Name string `json:"name,omitempty"`
+	// Src is the MiniPy program text. Required.
+	Src string `json:"src"`
+	// Mode selects the runtime per request (cpython, pypy-nojit,
+	// pypy-jit, v8like; default cpython).
+	Mode string `json:"mode,omitempty"`
+	// Limits overrides the server's default budgets; zero fields
+	// inherit. Validated by Limits.Normalize.
+	Limits *Limits `json:"limits,omitempty"`
+	// Breakdown opts this request into live overhead attribution: the
+	// job runs on the worker's attribution-core runner (slower) and the
+	// result carries the per-category cycle breakdown.
+	Breakdown bool `json:"breakdown,omitempty"`
+}
+
+// RunStatsV1 carries the execution counters of a successful run.
+type RunStatsV1 struct {
+	Bytecodes   uint64 `json:"bytecodes"`
+	Allocs      uint64 `json:"allocs"`
+	MinorGCs    uint64 `json:"minorGCs"`
+	MajorGCs    uint64 `json:"majorGCs"`
+	ErrorDeopts uint64 `json:"errorDeopts,omitempty"`
+	// Inline-cache effectiveness of the quickened interpreter: hits and
+	// misses across all site kinds, plus derived hit rate in [0, 1].
+	ICHits    uint64  `json:"icHits,omitempty"`
+	ICMisses  uint64  `json:"icMisses,omitempty"`
+	ICHitRate float64 `json:"icHitRate,omitempty"`
+}
+
+// RunResultV1 is the POST /v1/run reply. A 200 means the job executed;
+// the job's own outcome (Python error, limit trip, internal error) is in
+// ExitClass/ExitCode. Shed requests return 503 with RetryAfterMs set.
+type RunResultV1 struct {
+	APIVersion string       `json:"apiVersion"`
+	RequestID  string       `json:"requestId"`
+	ExitClass  string       `json:"exitClass"`
+	ExitCode   int          `json:"exitCode"`
+	Stdout     string       `json:"stdout"`
+	Error      string       `json:"error,omitempty"`
+	Mode       string       `json:"mode"`
+	Worker     int          `json:"worker"`
+	QueuedMs   float64      `json:"queuedMs"`
+	RunMs      float64      `json:"runMs"`
+	RetryAfter float64      `json:"retryAfterMs,omitempty"`
+	Stats      *RunStatsV1  `json:"stats,omitempty"`
+	Breakdown  *core.Report `json:"breakdown,omitempty"`
+}

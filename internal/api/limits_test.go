@@ -1,0 +1,123 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      Limits
+		wantErr string // substring of the error; "" means valid
+	}{
+		{"zero value", Limits{}, ""},
+		{"all set", Limits{MaxSteps: 1, MaxHeapBytes: 1, MaxRecursionDepth: 1,
+			Deadline: time.Second, MaxOutputBytes: 1}, ""},
+		{"at deadline cap", Limits{Deadline: MaxDeadline}, ""},
+		{"negative deadline", Limits{Deadline: -time.Second}, "deadlineMs must be >= 0"},
+		{"over deadline cap", Limits{Deadline: MaxDeadline + 1}, "deadlineMs must be <="},
+		{"negative recursion", Limits{MaxRecursionDepth: -1}, "maxRecursionDepth must be >= 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			norm, err := tc.in.Normalize()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Normalize(%+v) = %v, want nil", tc.in, err)
+				}
+				if norm != tc.in {
+					t.Fatalf("Normalize changed a valid value: %+v -> %+v", tc.in, norm)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Normalize(%+v) error %v, want containing %q", tc.in, err, tc.wantErr)
+			}
+			var apiErr *Error
+			if !errors.As(err, &apiErr) || apiErr.Code != CodeInvalidLimits {
+				t.Fatalf("Normalize error %#v, want *Error with code %s", err, CodeInvalidLimits)
+			}
+		})
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	d := Limits{MaxSteps: 100, MaxHeapBytes: 200, MaxRecursionDepth: 30,
+		Deadline: 4 * time.Second, MaxOutputBytes: 500}
+
+	if got := (Limits{}).WithDefaults(d); got != d {
+		t.Fatalf("zero value WithDefaults = %+v, want defaults %+v", got, d)
+	}
+
+	set := Limits{MaxSteps: 1, MaxHeapBytes: 2, MaxRecursionDepth: 3,
+		Deadline: time.Second, MaxOutputBytes: 5}
+	if got := set.WithDefaults(d); got != set {
+		t.Fatalf("fully-set WithDefaults = %+v, want unchanged %+v", got, set)
+	}
+
+	// Defense in depth: non-positive signed fields count as unset, so a
+	// negative Deadline that slipped past validation can never produce a
+	// non-positive watchdog horizon.
+	neg := Limits{Deadline: -time.Second, MaxRecursionDepth: -1}
+	got := neg.WithDefaults(d)
+	if got.Deadline != d.Deadline || got.MaxRecursionDepth != d.MaxRecursionDepth {
+		t.Fatalf("negative signed fields WithDefaults = %+v, want defaults inherited", got)
+	}
+}
+
+func TestLimitsJSONRoundTrip(t *testing.T) {
+	in := Limits{MaxSteps: 7, MaxHeapBytes: 1 << 20, MaxRecursionDepth: 40,
+		Deadline: 1500 * time.Millisecond, MaxOutputBytes: 9}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `"deadlineMs":1500`; !strings.Contains(string(b), want) {
+		t.Fatalf("wire form %s missing %s", b, want)
+	}
+	var out Limits
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip %+v -> %s -> %+v", in, b, out)
+	}
+}
+
+func TestLimitsJSONOverflowSaturates(t *testing.T) {
+	// A deadlineMs too large for the ms->ns multiply must saturate above
+	// MaxDeadline (so Normalize rejects it as over-cap), never wrap
+	// negative and masquerade as unset/already-expired.
+	for _, ms := range []int64{math.MaxInt64/int64(time.Millisecond) + 1, math.MaxInt64, 1 << 62} {
+		var l Limits
+		if err := json.Unmarshal([]byte(`{"deadlineMs":`+jsonInt(ms)+`}`), &l); err != nil {
+			t.Fatalf("deadlineMs=%d: %v", ms, err)
+		}
+		if l.Deadline <= MaxDeadline {
+			t.Fatalf("deadlineMs=%d decoded to %v, want saturated above MaxDeadline", ms, l.Deadline)
+		}
+		if _, err := l.Normalize(); err == nil {
+			t.Fatalf("deadlineMs=%d passed Normalize after saturation", ms)
+		}
+	}
+	var l Limits
+	if err := json.Unmarshal([]byte(`{"deadlineMs":-5}`), &l); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Normalize(); err == nil {
+		t.Fatal("negative deadlineMs passed Normalize")
+	}
+	if err := json.Unmarshal([]byte(`{"maxSteps":-1}`), &l); err == nil {
+		t.Fatal("negative maxSteps decoded into a uint64 field without error")
+	}
+}
+
+func jsonInt(v int64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}

@@ -321,3 +321,55 @@ func (b *Breakdown) String() string {
 		b.OverheadPercent(), b.CLibPercent(), b.SlowdownVsC(), b.CPI())
 	return sb.String()
 }
+
+// CategoryDelta is one category's change between two attributions of the
+// same workload — the vehicle for before/after comparisons like "how
+// much name-resolution share did inline caches remove" against the
+// paper's Table II split.
+type CategoryDelta struct {
+	Category    Category `json:"-"`
+	Name        string   `json:"category"`
+	BaseCycles  uint64   `json:"baseCycles"`
+	NewCycles   uint64   `json:"newCycles"`
+	BasePercent float64  `json:"basePercent"`
+	NewPercent  float64  `json:"newPercent"`
+	// DeltaPercent is NewPercent - BasePercent: negative when the
+	// category's share of total cycles shrank.
+	DeltaPercent float64 `json:"deltaPercent"`
+	// CycleRatio is NewCycles / BaseCycles (1 when both are zero; +Inf
+	// is avoided by reporting the raw new count as a ratio of 1 cycle).
+	CycleRatio float64 `json:"cycleRatio"`
+}
+
+// DiffBreakdowns compares two attributions of the same workload,
+// returning one delta per category ordered by ascending DeltaPercent —
+// the categories an optimization shrank most come first. Base is the
+// reference (e.g. the cold interpreter), next the candidate (e.g. the
+// quickened one).
+func DiffBreakdowns(base, next *Breakdown) []CategoryDelta {
+	deltas := make([]CategoryDelta, 0, NumCategories)
+	for c := Category(0); c < NumCategories; c++ {
+		d := CategoryDelta{
+			Category:    c,
+			Name:        c.String(),
+			BaseCycles:  base.Cycles[c],
+			NewCycles:   next.Cycles[c],
+			BasePercent: base.Percent(c),
+			NewPercent:  next.Percent(c),
+		}
+		d.DeltaPercent = d.NewPercent - d.BasePercent
+		switch {
+		case d.BaseCycles != 0:
+			d.CycleRatio = float64(d.NewCycles) / float64(d.BaseCycles)
+		case d.NewCycles == 0:
+			d.CycleRatio = 1
+		default:
+			d.CycleRatio = float64(d.NewCycles)
+		}
+		deltas = append(deltas, d)
+	}
+	sort.SliceStable(deltas, func(i, j int) bool {
+		return deltas[i].DeltaPercent < deltas[j].DeltaPercent
+	})
+	return deltas
+}

@@ -158,3 +158,44 @@ func TestRowsSortedByCycles(t *testing.T) {
 		t.Errorf("rows not sorted: %v", rows[:3])
 	}
 }
+
+func TestDiffBreakdowns(t *testing.T) {
+	var base, next Breakdown
+	base.Cycles[NameResolution] = 400
+	base.Cycles[Execute] = 600
+	next.Cycles[NameResolution] = 100
+	next.Cycles[Execute] = 600
+	deltas := DiffBreakdowns(&base, &next)
+	if len(deltas) != int(NumCategories) {
+		t.Fatalf("got %d deltas, want %d", len(deltas), NumCategories)
+	}
+	// Name resolution shrank most, so it sorts first.
+	if deltas[0].Category != NameResolution {
+		t.Fatalf("biggest shrink is %s, want %s", deltas[0].Name, NameResolution)
+	}
+	d := deltas[0]
+	if d.BasePercent != 40 {
+		t.Errorf("BasePercent = %v, want 40", d.BasePercent)
+	}
+	wantNew := 100 * 100.0 / 700.0
+	if d.NewPercent < wantNew-0.01 || d.NewPercent > wantNew+0.01 {
+		t.Errorf("NewPercent = %v, want ~%v", d.NewPercent, wantNew)
+	}
+	if d.DeltaPercent >= 0 {
+		t.Errorf("DeltaPercent = %v, want negative", d.DeltaPercent)
+	}
+	if d.CycleRatio != 0.25 {
+		t.Errorf("CycleRatio = %v, want 0.25", d.CycleRatio)
+	}
+	// Execute grew in *share* (same cycles, smaller total).
+	last := deltas[len(deltas)-1]
+	if last.Category != Execute || last.DeltaPercent <= 0 {
+		t.Errorf("largest growth: %+v, want Execute with positive delta", last)
+	}
+	// Untouched categories: ratio pinned to 1, zero delta.
+	for _, d := range deltas[1 : len(deltas)-1] {
+		if d.BaseCycles == 0 && d.NewCycles == 0 && (d.CycleRatio != 1 || d.DeltaPercent != 0) {
+			t.Errorf("empty category %s: %+v", d.Name, d)
+		}
+	}
+}

@@ -46,6 +46,11 @@ type Options struct {
 	FaultRate uint64
 	// FaultSeed seeds the chaos injectors (default: Seed).
 	FaultSeed uint64
+	// Quicken switches the run to the quickening-focused leg matrix
+	// (QuickenLegs): cold interpreter, inline-cache flush churn, and a
+	// JIT leg against the quickened baseline. Ignored when FaultRate is
+	// set (chaos mode owns the matrix).
+	Quicken bool
 	// Progress, when non-nil, is called after each program with the
 	// number checked so far.
 	Progress func(done int)
@@ -102,6 +107,9 @@ func Run(seed uint64, n int) (*Report, error) {
 // RunWith executes a fuzzing run per opts.
 func RunWith(opts Options) (*Report, error) {
 	legs := Legs(opts.Nurseries, opts.MutateJIT)
+	if opts.Quicken {
+		legs = QuickenLegs()
+	}
 	if opts.FaultRate != 0 {
 		fseed := opts.FaultSeed
 		if fseed == 0 {

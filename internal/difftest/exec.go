@@ -30,6 +30,14 @@ type Leg struct {
 	// output is a prefix of the baseline's, or not at all — never as an
 	// output divergence, InternalError, or host panic.
 	Chaos *ChaosSpec
+	// NoQuicken runs this leg on a cold interpreter: no bytecode
+	// quickening, no inline caches. The quickened default must agree
+	// with it byte for byte.
+	NoQuicken bool
+	// ICFlushEvery, when nonzero, flushes every inline cache after each
+	// n-th cache fill — worst-case guard-invalidation churn. Constant
+	// refill/invalidate cycling must never change program behaviour.
+	ICFlushEvery uint64
 	// Deadline is the leg's hard wall-clock guard, armed through
 	// interp.Limits.Deadline (default DefaultLegDeadline). A wedged leg
 	// — looping forever without tripping the bytecode budget, e.g. stuck
@@ -59,7 +67,15 @@ func Legs(nurseries []uint64, mutate func(*jit.Config)) []Leg {
 	if len(nurseries) == 0 {
 		nurseries = DefaultNurseries
 	}
-	legs := []Leg{{Name: "cpython", Heap: gc.DefaultRefCountConfig()}}
+	legs := []Leg{
+		{Name: "cpython", Heap: gc.DefaultRefCountConfig()},
+		// Quickening legs: the cold interpreter (inline caches off
+		// entirely) and the churn leg (caches flushed after every 32nd
+		// fill, so guard invalidation and refill run constantly). Both
+		// must match the quickened default bit for bit.
+		{Name: "cold-ic", Heap: gc.DefaultRefCountConfig(), NoQuicken: true},
+		{Name: "ic-flush", Heap: gc.DefaultRefCountConfig(), ICFlushEvery: 32},
+	}
 	for _, n := range nurseries {
 		legs = append(legs, Leg{
 			Name: fmt.Sprintf("pypy-nojit/%dk", n>>10),
@@ -84,6 +100,23 @@ func Legs(nurseries []uint64, mutate func(*jit.Config)) []Leg {
 		}
 	}
 	return legs
+}
+
+// QuickenLegs builds the quickening-focused leg matrix (pyfuzz -quicken):
+// the quickened default as baseline, the cold interpreter, inline-cache
+// flush churn at several intervals (1 is the worst case — every fill is
+// invalidated before its first hit), and a JIT leg, since compiled traces
+// must observe the same guard state the quickened interpreter maintains.
+func QuickenLegs() []Leg {
+	jitCfg := jit.DefaultConfig()
+	return []Leg{
+		{Name: "cpython", Heap: gc.DefaultRefCountConfig()},
+		{Name: "cold-ic", Heap: gc.DefaultRefCountConfig(), NoQuicken: true},
+		{Name: "ic-flush/1", Heap: gc.DefaultRefCountConfig(), ICFlushEvery: 1},
+		{Name: "ic-flush/8", Heap: gc.DefaultRefCountConfig(), ICFlushEvery: 8},
+		{Name: "ic-flush/64", Heap: gc.DefaultRefCountConfig(), ICFlushEvery: 64},
+		{Name: "pypy-jit-quick/256k", Heap: gc.DefaultGenConfig(256 << 10), JIT: &jitCfg},
+	}
 }
 
 // Outcome captures everything observable about one execution of a program
@@ -126,6 +159,12 @@ func Execute(leg Leg, name, src string, budget uint64) (*Outcome, error) {
 		budget = DefaultBudget
 	}
 	vm.MaxBytecodes = budget
+	if leg.NoQuicken {
+		vm.SetQuicken(false)
+	}
+	if leg.ICFlushEvery != 0 {
+		vm.SetICFlushEvery(leg.ICFlushEvery)
+	}
 	deadline := leg.Deadline
 	if deadline == 0 {
 		deadline = DefaultLegDeadline

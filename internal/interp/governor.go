@@ -4,46 +4,21 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/gc"
 	"repro/internal/pycode"
 	"repro/internal/pyobj"
 )
 
-// Limits is the resource governor's configuration: hard caps a hostile or
-// buggy program cannot exceed. Each limit surfaces as an in-language
-// exception (TimeoutError, MemoryError, RecursionError, OutputLimitError)
-// that unwinds through normal PyError handling, so the host survives any
-// program. Zero values mean unlimited.
+// Limits is the resource governor's configuration: the canonical
+// api.Limits budget set. Clamping and validation live in
+// api.Limits.Normalize; the governor just enforces whatever it is given.
+// Zero values mean unlimited.
 //
 // Governor checks deliberately emit NO micro-events: enforcement is host
 // bookkeeping, not simulated Python work, and must not distort the paper's
 // overhead-category attribution (see EXPERIMENTS.md).
-type Limits struct {
-	// MaxSteps caps the bytecodes executed per RunCode invocation
-	// (compiled-trace operations count against it too). Exceeding it
-	// raises TimeoutError.
-	MaxSteps uint64
-	// MaxHeapBytes caps the live heap footprint. The collector attempts
-	// one emergency full collection before raising MemoryError.
-	MaxHeapBytes uint64
-	// MaxRecursionDepth caps the Python call depth, raising
-	// RecursionError (the VM's built-in depth valve stays in place and
-	// keeps raising RuntimeError, matching CPython 2.7).
-	MaxRecursionDepth int
-	// Deadline bounds wall-clock time per RunCode invocation, raising
-	// TimeoutError. Polled every deadlineStride bytecodes and at GC
-	// entry, so allocation-bound programs cannot dodge it.
-	Deadline time.Duration
-	// MaxOutputBytes caps bytes written to stdout, raising
-	// OutputLimitError.
-	MaxOutputBytes uint64
-}
-
-// Enabled reports whether any limit is set.
-func (l Limits) Enabled() bool {
-	return l.MaxSteps != 0 || l.MaxHeapBytes != 0 || l.MaxRecursionDepth != 0 ||
-		l.Deadline != 0 || l.MaxOutputBytes != 0
-}
+type Limits = api.Limits
 
 // deadlineStride is how many bytecodes run between wall-clock polls. At
 // interpreter speeds this bounds deadline overshoot to well under a
@@ -114,7 +89,7 @@ func (vm *VM) scheduleGovernor() {
 func (vm *VM) governorCheck(f *pyobj.Frame, op pycode.Opcode) {
 	if l := vm.limits.MaxSteps; l != 0 && vm.iterations-vm.stepBase > l {
 		Raise("TimeoutError", "step budget of %d bytecodes exceeded in %s at pc=%d (op=%s)",
-			l, f.Code.Name, f.PC, op)
+			l, f.Code.Name, f.PC, op.Dequicken())
 	}
 	vm.pollDeadline()
 	vm.scheduleGovernor()

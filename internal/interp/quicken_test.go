@@ -1,0 +1,476 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/emit"
+	"repro/internal/gc"
+	"repro/internal/isa"
+)
+
+// runQuick runs src on a quickened refcount VM and returns stdout plus
+// the VM for stat inspection.
+func runQuick(t *testing.T, src string) (string, *VM) {
+	t.Helper()
+	var out strings.Builder
+	vm := New(emit.NewEngine(isa.NullSink{}), gc.DefaultRefCountConfig(), &out)
+	if err := vm.RunSource("<test>", src); err != nil {
+		t.Fatalf("RunSource: %v\nsource:\n%s", err, src)
+	}
+	return out.String(), vm
+}
+
+// runCold runs src with quickening disabled.
+func runCold(t *testing.T, src string) string {
+	t.Helper()
+	var out strings.Builder
+	vm := New(emit.NewEngine(isa.NullSink{}), gc.DefaultRefCountConfig(), &out)
+	vm.SetQuicken(false)
+	if err := vm.RunSource("<test>", src); err != nil {
+		t.Fatalf("RunSource(cold): %v\nsource:\n%s", err, src)
+	}
+	if vm.Stats.IC.Hits() != 0 || vm.Stats.IC.Sites != 0 {
+		t.Fatalf("cold VM recorded IC activity: %+v", vm.Stats.IC)
+	}
+	return out.String()
+}
+
+// expectQuick runs src quickened, cold, and under worst-case cache churn
+// (flush after every fill), requiring identical output everywhere.
+func expectQuick(t *testing.T, src, want string) ICStats {
+	t.Helper()
+	got, vm := runQuick(t, src)
+	if got != want {
+		t.Errorf("quickened output mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if cold := runCold(t, src); cold != got {
+		t.Errorf("quickened vs cold divergence\n--- quickened ---\n%s--- cold ---\n%s", got, cold)
+	}
+	var out strings.Builder
+	churn := New(emit.NewEngine(isa.NullSink{}), gc.DefaultRefCountConfig(), &out)
+	churn.SetICFlushEvery(1)
+	if err := churn.RunSource("<test>", src); err != nil {
+		t.Fatalf("RunSource(churn): %v", err)
+	}
+	if out.String() != got {
+		t.Errorf("quickened vs churn divergence\n--- quickened ---\n%s--- churn ---\n%s", got, out.String())
+	}
+	return vm.Stats.IC
+}
+
+func TestICGlobalHits(t *testing.T) {
+	src := `
+base = 7
+def f():
+    s = 0
+    i = 0
+    while i < 200:
+        s = s + base
+        i = i + 1
+    return s
+print(f())
+`
+	ic := expectQuick(t, src, "1400\n")
+	if ic.GlobalHits < 150 {
+		t.Errorf("GlobalHits = %d, want >= 150 (stats: %+v)", ic.GlobalHits, ic)
+	}
+	if ic.Sites == 0 {
+		t.Errorf("no IC sites allocated")
+	}
+}
+
+func TestICGlobalBuiltinHits(t *testing.T) {
+	src := `
+def f():
+    s = 0
+    i = 0
+    while i < 100:
+        s = s + len([1, 2, 3])
+        i = i + 1
+    return s
+print(f())
+`
+	ic := expectQuick(t, src, "300\n")
+	if ic.GlobalHits < 80 {
+		t.Errorf("GlobalHits = %d, want >= 80 for builtin-resolved site", ic.GlobalHits)
+	}
+}
+
+func TestICGlobalInvalidationByStore(t *testing.T) {
+	// Each iteration rebinds the global between reads: every read after a
+	// store must observe the new value, and the version guard must record
+	// the invalidation.
+	src := `
+x = 0
+def bump(v):
+    global x
+    x = v
+def read():
+    return x
+i = 0
+total = 0
+while i < 30:
+    bump(i)
+    total = total + read()
+    i = i + 1
+print(total)
+print(x)
+`
+	ic := expectQuick(t, src, "435\n29\n")
+	if ic.Invalidations == 0 {
+		t.Errorf("expected guard invalidations from global rebinding, got stats %+v", ic)
+	}
+}
+
+func TestICDequickenOnChurn(t *testing.T) {
+	// The same read site invalidated every iteration exhausts its miss
+	// budget (icMaxMisses) and must de-quicken — while still producing
+	// correct values for every read.
+	src := `
+x = 0
+def bump(v):
+    global x
+    x = v
+def read():
+    return x
+i = 0
+total = 0
+while i < 60:
+    bump(i)
+    total = total + read()
+    i = i + 1
+print(total)
+`
+	ic := expectQuick(t, src, "1770\n")
+	if ic.Dequickened == 0 {
+		t.Errorf("expected de-quickening after sustained churn, got stats %+v", ic)
+	}
+}
+
+func TestICAttrSlotHits(t *testing.T) {
+	src := `
+class P:
+    def __init__(self, x, y):
+        self.x = x
+        self.y = y
+def norm1(p, n):
+    s = 0
+    i = 0
+    while i < n:
+        s = s + p.x + p.y
+        i = i + 1
+    return s
+p = P(3, 4)
+print(norm1(p, 100))
+`
+	ic := expectQuick(t, src, "700\n")
+	if ic.AttrHits < 150 {
+		t.Errorf("AttrHits = %d, want >= 150 (stats: %+v)", ic.AttrHits, ic)
+	}
+}
+
+func TestICAttrSlotAcrossInstances(t *testing.T) {
+	// The slot cache keys on dict layout, not instance identity: iterating
+	// same-shaped instances must keep hitting.
+	src := `
+class P:
+    def __init__(self, x):
+        self.x = x
+items = []
+i = 0
+while i < 50:
+    items.append(P(i))
+    i = i + 1
+def total(items):
+    s = 0
+    for it in items:
+        s = s + it.x
+    return s
+print(total(items))
+`
+	ic := expectQuick(t, src, "1225\n")
+	if ic.AttrHits < 30 {
+		t.Errorf("AttrHits = %d, want >= 30 across same-shaped instances", ic.AttrHits)
+	}
+}
+
+func TestICMethodHits(t *testing.T) {
+	src := `
+class C:
+    def val(self):
+        return 5
+def f(c, n):
+    s = 0
+    i = 0
+    while i < n:
+        s = s + c.val()
+        i = i + 1
+    return s
+print(f(C(), 100))
+`
+	ic := expectQuick(t, src, "500\n")
+	if ic.MethodHits < 80 {
+		t.Errorf("MethodHits = %d, want >= 80 (stats: %+v)", ic.MethodHits, ic)
+	}
+}
+
+func TestICMethodRebindInvalidation(t *testing.T) {
+	// Rebinding a class method bumps the class dict version; the chain
+	// guard must miss and the site must resolve the new function.
+	src := `
+class C:
+    def val(self):
+        return 1
+def two(self):
+    return 2
+def f(c, n):
+    s = 0
+    i = 0
+    while i < n:
+        s = s + c.val()
+        i = i + 1
+    return s
+c = C()
+a = f(c, 20)
+C.val = two
+b = f(c, 20)
+print(a, b)
+`
+	ic := expectQuick(t, src, "20 40\n")
+	if ic.Invalidations == 0 {
+		t.Errorf("expected invalidation from method rebinding, got %+v", ic)
+	}
+}
+
+func TestICMethodShadowedByInstanceAttr(t *testing.T) {
+	// A populated class-method cache must not bypass an instance attribute
+	// that later shadows the method on a *different* instance of the same
+	// class: the hit path's shadow probe catches it.
+	src := `
+class C:
+    def val(self):
+        return 1
+def f(c):
+    return c.val
+a = C()
+b = C()
+i = 0
+while i < 10:
+    m = f(a)
+    i = i + 1
+print(f(a)())
+b.val = 99
+print(f(b))
+print(f(a)())
+`
+	expectQuick(t, src, "1\n99\n1\n")
+}
+
+func TestICInheritedMethodBaseRebind(t *testing.T) {
+	// The chain version covers base classes: rebinding a method on the
+	// base must invalidate caches filled through the subclass.
+	src := `
+class A:
+    def who(self):
+        return "a"
+class B(A):
+    pass
+def f(b, n):
+    r = ""
+    i = 0
+    while i < n:
+        r = b.who()
+        i = i + 1
+    return r
+b = B()
+x = f(b, 10)
+def other(self):
+    return "z"
+A.who = other
+y = f(b, 10)
+print(x, y)
+`
+	expectQuick(t, src, "a z\n")
+}
+
+func TestICTypeMethodHits(t *testing.T) {
+	src := `
+def f(n):
+    xs = []
+    i = 0
+    while i < n:
+        xs.append(i)
+        i = i + 1
+    return len(xs)
+print(f(100))
+`
+	ic := expectQuick(t, src, "100\n")
+	if ic.MethodHits < 80 {
+		t.Errorf("MethodHits = %d, want >= 80 for list.append site", ic.MethodHits)
+	}
+}
+
+func TestICStoreAttrHits(t *testing.T) {
+	src := `
+class Counter:
+    def __init__(self):
+        self.n = 0
+c = Counter()
+def run(c, k):
+    i = 0
+    while i < k:
+        c.n = c.n + 1
+        i = i + 1
+run(c, 100)
+print(c.n)
+`
+	ic := expectQuick(t, src, "100\n")
+	if ic.StoreHits < 80 {
+		t.Errorf("StoreHits = %d, want >= 80 (stats: %+v)", ic.StoreHits, ic)
+	}
+}
+
+func TestICAttrSlotSurvivesDictGrowth(t *testing.T) {
+	// Filling the cache on c.v and then inserting many more attributes
+	// grows and rehashes the instance dict; the entry-index hint must keep
+	// reading the live value, never a stale slot.
+	src := `
+class C:
+    pass
+c = C()
+c.v = 1
+def f(c):
+    return c.v
+i = 0
+while i < 10:
+    x = f(c)
+    i = i + 1
+c.a0 = 0
+c.a1 = 1
+c.a2 = 2
+c.a3 = 3
+c.a4 = 4
+c.a5 = 5
+c.a6 = 6
+c.a7 = 7
+c.a8 = 8
+c.a9 = 9
+c.b0 = 0
+c.b1 = 1
+c.v = 42
+print(f(c))
+`
+	expectQuick(t, src, "42\n")
+}
+
+func TestICFlushResetsCaches(t *testing.T) {
+	src := `
+base = 3
+def f(n):
+    s = 0
+    i = 0
+    while i < n:
+        s = s + base
+        i = i + 1
+    return s
+print(f(50))
+`
+	var out strings.Builder
+	vm := New(emit.NewEngine(isa.NullSink{}), gc.DefaultRefCountConfig(), &out)
+	if err := vm.RunSource("<test>", src); err != nil {
+		t.Fatal(err)
+	}
+	before := vm.Stats.IC.Invalidations
+	vm.FlushICs()
+	if vm.Stats.IC.Invalidations <= before {
+		t.Errorf("FlushICs invalidated nothing (before=%d after=%d)", before, vm.Stats.IC.Invalidations)
+	}
+	if out.String() != "150\n" {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestICStatsHitRate(t *testing.T) {
+	var s ICStats
+	if r := s.HitRate(); r != 0 {
+		t.Errorf("empty HitRate = %v, want 0", r)
+	}
+	s.GlobalHits, s.AttrMisses = 3, 1
+	if r := s.HitRate(); r != 0.75 {
+		t.Errorf("HitRate = %v, want 0.75", r)
+	}
+}
+
+// TestQuickenedOracleSuite runs a grab bag of semantically tricky
+// programs through quickened, cold, and churn interpreters, demanding
+// identical output — the in-package miniature of the difftest leg.
+func TestQuickenedOracleSuite(t *testing.T) {
+	srcs := []struct{ name, src, want string }{
+		{"mixed-receiver-kinds", `
+class Box:
+    def __init__(self, v):
+        self.v = v
+    def get(self):
+        return self.v
+xs = []
+i = 0
+while i < 10:
+    xs.append(Box(i))
+    i = i + 1
+total = 0
+for b in xs:
+    total = total + b.get() + len(xs)
+print(total)
+`, "145\n"},
+		{"class-redefinition", `
+i = 0
+while i < 3:
+    class C:
+        def v(self):
+            return i
+    print(C().v())
+    i = i + 1
+`, "0\n1\n2\n"},
+		{"polymorphic-site", `
+class A:
+    def v(self):
+        return 1
+class B:
+    def v(self):
+        return 2
+def get(o):
+    return o.v()
+objs = [A(), B(), A(), B(), A()]
+total = 0
+j = 0
+while j < 20:
+    for o in objs:
+        total = total + get(o)
+    j = j + 1
+print(total)
+`, "140\n"},
+		{"shadow-flip-flop", `
+class C:
+    def v(self):
+        return "cls"
+def g(o):
+    return o.v
+r = []
+i = 0
+while i < 3:
+    a = C()
+    m = g(a)
+    r.append(m())
+    a.v = "inst"
+    r.append(g(a))
+    i = i + 1
+print(r)
+`, "['cls', 'inst', 'cls', 'inst', 'cls', 'inst']\n"},
+	}
+	for _, tc := range srcs {
+		t.Run(tc.name, func(t *testing.T) {
+			expectQuick(t, tc.src, tc.want)
+		})
+	}
+}

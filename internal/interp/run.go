@@ -76,6 +76,7 @@ func (vm *VM) materialize(code *pycode.Code) *codeData {
 	for i, n := range code.Names {
 		cd.nameObjs[i] = vm.Intern(n)
 	}
+	vm.quickenCode(code, cd)
 	vm.constCache[code] = cd
 	return cd
 }
@@ -126,6 +127,12 @@ func (vm *VM) newFrame(fn *pyobj.Func, code *pycode.Code, globals, names *pyobj.
 		Consts:     cd.consts,
 		ConstsAddr: cd.constsAddr,
 		CodeAddr:   cd.codeAddr,
+		Insns:      code.Code,
+	}
+	if cd.quick != nil {
+		f.Insns = cd.quick
+		f.Caches = cd.caches
+		f.ICAddr = cd.icAddr
 	}
 	vm.Eng.CCall(core.CFunctionCall, vm.hp.frameAlloc, emit.DefaultCCall)
 	vm.Heap.Allocate(f, core.ObjectAllocation)
@@ -162,8 +169,10 @@ func (vm *VM) dispatch(f *pyobj.Frame, op pycode.Opcode) {
 	vm.iterations++
 	vm.Stats.Bytecodes++
 	if vm.MaxBytecodes != 0 && vm.iterations > vm.MaxBytecodes {
+		// The de-quickened mnemonic keeps the message identical whether
+		// or not the site happened to be quickened when the budget hit.
 		Raise("RuntimeError", "bytecode budget exceeded in %s at pc=%d (op=%s)",
-			f.Code.Name, f.PC, op)
+			f.Code.Name, f.PC, op.Dequicken())
 	}
 	// Resource governor: one compare against a precomputed threshold
 	// covers the step budget and deadline polling (governor.go). No
@@ -205,12 +214,21 @@ func (vm *VM) runFrame(f *pyobj.Frame) pyobj.Object {
 		vm.raiseRecursion()
 	}
 
-	code := f.Code.Code
+	// Execute the frame's instruction stream: the per-VM quickened copy
+	// when inline caches are armed, the shared Code.Code otherwise. PC
+	// indices are identical in both, so everything downstream (jumps,
+	// JIT back-edge hooks, crash snapshots) is quickening-oblivious.
+	code := f.Insns
 	tracer := vm.tracer
 	for {
 		in := code[f.PC]
 		if tracer != nil && tracer.Recording() {
-			tracer.RecordInstr(f, f.PC, in)
+			// The trace recorder sees only generic opcodes: a recorded
+			// trace carries its own guards (which re-validate the live
+			// dict state at execution time), so feeding it the
+			// de-quickened form keeps the JIT and the interpreter's
+			// caches observing one and the same guard state.
+			tracer.RecordInstr(f, f.PC, pycode.Instr{Op: in.Op.Dequicken(), Arg: in.Arg})
 		}
 		vm.dispatch(f, in.Op)
 		pc := f.PC
@@ -272,6 +290,8 @@ func (vm *VM) runFrame(f *pyobj.Frame) pyobj.Object {
 
 		case pycode.LOAD_GLOBAL, pycode.LOAD_NAME:
 			vm.loadName(f, in)
+		case pycode.LOAD_GLOBAL_IC:
+			vm.loadGlobalIC(f, in, pc)
 		case pycode.STORE_GLOBAL:
 			v := vm.pop(f)
 			vm.DictSetStr(f.Globals, f.Code.Names[in.Arg], v, core.NameResolution)
@@ -290,10 +310,21 @@ func (vm *VM) runFrame(f *pyobj.Frame) pyobj.Object {
 			v := vm.getAttr(obj, f.Code.Names[in.Arg])
 			vm.push(f, v)
 			vm.Decref(obj)
+		case pycode.LOAD_ATTR_IC:
+			obj := vm.pop(f)
+			v := vm.loadAttrIC(f, obj, in, pc)
+			vm.push(f, v)
+			vm.Decref(obj)
 		case pycode.STORE_ATTR:
 			obj := vm.pop(f)
 			v := vm.pop(f)
 			vm.setAttr(obj, f.Code.Names[in.Arg], v)
+			vm.Decref(v)
+			vm.Decref(obj)
+		case pycode.STORE_ATTR_IC:
+			obj := vm.pop(f)
+			v := vm.pop(f)
+			vm.storeAttrIC(f, obj, in, pc, v)
 			vm.Decref(v)
 			vm.Decref(obj)
 

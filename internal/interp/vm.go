@@ -98,6 +98,14 @@ type VM struct {
 	// Per-code materialized constants.
 	constCache map[*pycode.Code]*codeData
 
+	// Quickening + inline caches (quicken.go). quicken gates bytecode
+	// rewriting at materialize time; icFlushEvery, when nonzero, flushes
+	// every cache after that many fills (the difftest invalidation-churn
+	// leg). icFills counts lifetime cache fills.
+	quicken      bool
+	icFlushEvery uint64
+	icFills      uint64
+
 	// Builtin implementations indexed by BuiltinID.
 	builtinImpls []builtinImpl
 
@@ -135,6 +143,8 @@ type VMStats struct {
 	Calls      uint64
 	CCalls     uint64
 	FrameAlloc uint64
+	// IC counts inline-cache activity per site kind (quicken.go).
+	IC ICStats
 }
 
 type codeData struct {
@@ -143,6 +153,16 @@ type codeData struct {
 	codeAddr   uint64
 	namesAddr  uint64
 	nameObjs   []*pyobj.Str
+	// quick is this VM's quickened copy of Code.Code (nil when
+	// quickening is off or the code object has no cache sites); caches
+	// are the per-site inline-cache slots indexed by Code.SiteOf, and
+	// icAddr is the simulated address of the slot array. Per-VM by
+	// design: code objects are shared across concurrently executing
+	// VMs, so neither the rewritten instructions nor the mutable cache
+	// state may live on the code object.
+	quick  []pycode.Instr
+	caches []pyobj.ICache
+	icAddr uint64
 }
 
 // helperPCs are the code blocks of the interpreter's C helper routines.
@@ -166,6 +186,7 @@ func New(eng *emit.Engine, heapCfg gc.Config, stdout io.Writer) *VM {
 		interpSpace: emit.NewCodeSpace(interpRegion),
 		clibSpace:   emit.NewCodeSpace(clibRegion),
 		constCache:  make(map[*pycode.Code]*codeData),
+		quicken:     true,
 		rng:         0x9E3779B97F4A7C15,
 	}
 	vm.jitSpace = emit.NewCodeSpace(mem.NewRegion("jit-code", mem.JITCodeBase, mem.DataBase-mem.JITCodeBase))

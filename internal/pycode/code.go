@@ -132,6 +132,39 @@ type Code struct {
 	Lines []int32
 	// IsModule marks module-level code (uses LOAD_NAME/STORE_NAME).
 	IsModule bool
+
+	// SiteOf maps each instruction index to its inline-cache site index,
+	// or -1 for instructions that carry no cache. NumICSites is the
+	// number of allocated sites. Both are filled by AllocateICSites at
+	// compile time and immutable afterwards: the mutable cache state
+	// itself lives per-VM (code objects are shared across concurrently
+	// executing VMs), so this table is safe to read without locking.
+	SiteOf     []int32
+	NumICSites int
+}
+
+// AllocateICSites assigns one inline-cache site to every quickenable
+// instruction (LOAD_GLOBAL, LOAD_ATTR, STORE_ATTR), recursing into
+// nested code constants. LOAD_NAME is deliberately excluded: module and
+// class bodies execute once, where a cache never amortizes its guard.
+func (c *Code) AllocateICSites() {
+	c.SiteOf = make([]int32, len(c.Code))
+	n := int32(0)
+	for i, in := range c.Code {
+		switch in.Op {
+		case LOAD_GLOBAL, LOAD_ATTR, STORE_ATTR:
+			c.SiteOf[i] = n
+			n++
+		default:
+			c.SiteOf[i] = -1
+		}
+	}
+	c.NumICSites = int(n)
+	for _, k := range c.Consts {
+		if k.Kind == ConstCode {
+			k.Code.AllocateICSites()
+		}
+	}
 }
 
 // Disassemble renders the code object and, recursively, any nested code
@@ -163,7 +196,8 @@ func (c *Code) disasmInto(sb *strings.Builder) {
 					fmt.Fprintf(sb, "  (%s)", c.Varnames[in.Arg])
 				}
 			case LOAD_GLOBAL, STORE_GLOBAL, LOAD_NAME, STORE_NAME,
-				LOAD_ATTR, STORE_ATTR, BUILD_CLASS:
+				LOAD_ATTR, STORE_ATTR, BUILD_CLASS,
+				LOAD_GLOBAL_IC, LOAD_ATTR_IC, STORE_ATTR_IC:
 				if int(in.Arg) < len(c.Names) {
 					fmt.Fprintf(sb, "  (%s)", c.Names[in.Arg])
 				}
@@ -195,7 +229,8 @@ func (c *Code) Validate() error {
 			if in.Arg < 0 || int(in.Arg) >= len(c.Varnames) {
 				return fmt.Errorf("%s@%d: local slot %d out of range", c.Name, i, in.Arg)
 			}
-		case LOAD_GLOBAL, STORE_GLOBAL, LOAD_NAME, STORE_NAME, LOAD_ATTR, STORE_ATTR, BUILD_CLASS:
+		case LOAD_GLOBAL, STORE_GLOBAL, LOAD_NAME, STORE_NAME, LOAD_ATTR, STORE_ATTR, BUILD_CLASS,
+			LOAD_GLOBAL_IC, LOAD_ATTR_IC, STORE_ATTR_IC:
 			if in.Arg < 0 || int(in.Arg) >= len(c.Names) {
 				return fmt.Errorf("%s@%d: name index %d out of range", c.Name, i, in.Arg)
 			}

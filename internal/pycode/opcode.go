@@ -106,6 +106,16 @@ const (
 
 	NOP
 
+	// Quickened opcodes (inline-cache specializations). The compiler
+	// never emits these: the interpreter rewrites the base opcode into
+	// its quickened form in a per-VM instruction copy once the site's
+	// inline cache is allocated, and rewrites it back (de-quickening)
+	// after repeated guard failures. Operands are identical to the base
+	// form, so PC layout never changes.
+	LOAD_GLOBAL_IC // LOAD_GLOBAL with dict-version-guarded cache
+	LOAD_ATTR_IC   // LOAD_ATTR with type+layout-guarded cache
+	STORE_ATTR_IC  // STORE_ATTR with layout-guarded cache
+
 	numOpcodes
 )
 
@@ -142,6 +152,46 @@ var opNames = [...]string{
 	CALL_FUNCTION: "CALL_FUNCTION", MAKE_FUNCTION: "MAKE_FUNCTION",
 	RETURN_VALUE: "RETURN_VALUE", BUILD_CLASS: "BUILD_CLASS",
 	PRINT_ITEM: "PRINT_ITEM", PRINT_NEWLINE: "PRINT_NEWLINE", NOP: "NOP",
+	LOAD_GLOBAL_IC: "LOAD_GLOBAL_IC", LOAD_ATTR_IC: "LOAD_ATTR_IC",
+	STORE_ATTR_IC: "STORE_ATTR_IC",
+}
+
+// Quickened reports whether op is an inline-cache specialization.
+func (op Opcode) Quickened() bool {
+	switch op {
+	case LOAD_GLOBAL_IC, LOAD_ATTR_IC, STORE_ATTR_IC:
+		return true
+	}
+	return false
+}
+
+// Dequicken maps a quickened opcode back to its generic form; base
+// opcodes map to themselves. The operand is shared, so rewriting an
+// instruction between the two forms never moves a jump target.
+func (op Opcode) Dequicken() Opcode {
+	switch op {
+	case LOAD_GLOBAL_IC:
+		return LOAD_GLOBAL
+	case LOAD_ATTR_IC:
+		return LOAD_ATTR
+	case STORE_ATTR_IC:
+		return STORE_ATTR
+	}
+	return op
+}
+
+// QuickenedOf returns the inline-cache specialization of op, if one
+// exists.
+func QuickenedOf(op Opcode) (Opcode, bool) {
+	switch op {
+	case LOAD_GLOBAL:
+		return LOAD_GLOBAL_IC, true
+	case LOAD_ATTR:
+		return LOAD_ATTR_IC, true
+	case STORE_ATTR:
+		return STORE_ATTR_IC, true
+	}
+	return op, false
 }
 
 // String returns the opcode mnemonic.

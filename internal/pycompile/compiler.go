@@ -27,6 +27,10 @@ func CompileModule(file string, mod *Module) (*pycode.Code, error) {
 	if err := code.Validate(); err != nil {
 		return nil, fmt.Errorf("pycompile: internal error: %w", err)
 	}
+	// Inline-cache site allocation happens here, before the code object
+	// escapes: published code is shared across VMs, so the site table
+	// must be complete and immutable by the time anyone executes it.
+	code.AllocateICSites()
 	return code, nil
 }
 

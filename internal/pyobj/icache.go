@@ -1,0 +1,96 @@
+package pyobj
+
+// Inline-cache slots for the quickened interpreter. One ICache backs one
+// quickenable bytecode site (see pycode.Code.SiteOf). The slots are pure
+// data — guard checking, event emission, and fill policy live in
+// internal/interp — and are allocated per-VM: code objects are shared
+// across concurrently executing VMs, so cache state must never be stored
+// on the code object itself.
+
+// ICState identifies what a cache slot currently holds.
+type ICState uint8
+
+// Cache states. ICEmpty is the lazy initial state; a site transitions on
+// its first execution and re-transitions on every refill after a guard
+// miss.
+const (
+	ICEmpty ICState = iota
+	// ICGlobal: LOAD_GLOBAL bound in module globals, guarded by the
+	// globals dict's identity + version.
+	ICGlobal
+	// ICGlobalBuiltin: LOAD_GLOBAL bound in builtins, guarded by both
+	// the globals version (the name must still be absent there) and the
+	// builtins version.
+	ICGlobalBuiltin
+	// ICAttrSlot: LOAD_ATTR data attribute in the instance dict, guarded
+	// by an entry-index + encoded-key layout hint (valid across all
+	// same-shaped instances; a dict Compact or delete breaks the hint
+	// and reads as a miss).
+	ICAttrSlot
+	// ICAttrClass: LOAD_ATTR resolved to a non-function class attribute,
+	// guarded by receiver class identity + class-chain version.
+	ICAttrClass
+	// ICAttrMethod: LOAD_ATTR resolved to a class function (allocates a
+	// bound method on every hit, as CPython does), same guard as
+	// ICAttrClass.
+	ICAttrMethod
+	// ICAttrModule: LOAD_ATTR on a module namespace, guarded like
+	// ICGlobal.
+	ICAttrModule
+	// ICAttrType: LOAD_ATTR resolved in a builtin type's method table,
+	// guarded by the receiver's TypeID (the table is immutable once
+	// published).
+	ICAttrType
+	// ICStoreSlot: STORE_ATTR updating an existing instance-dict entry
+	// in place, guarded like ICAttrSlot.
+	ICStoreSlot
+)
+
+// ICache is one monomorphic inline-cache slot. Fields are a union over
+// the states above; State says which guards and payloads are live.
+type ICache struct {
+	State ICState
+	// Misses counts guard failures at this site (saturating). The
+	// interpreter de-quickens the site once it crosses its miss budget.
+	Misses uint8
+
+	// Dict-version guards (ICGlobal, ICGlobalBuiltin, ICAttrModule).
+	Dict *Dict
+	Ver  uint32
+	BVer uint32
+
+	// Class-chain guard (ICAttrClass, ICAttrMethod).
+	Class *Class
+	CVer  uint64
+
+	// Layout hint (ICAttrSlot, ICStoreSlot).
+	Enc      string
+	EntryIdx int32
+
+	// Type-method guard (ICAttrType).
+	TypeID TypeID
+	BID    BuiltinID
+
+	// Cached payloads. Value/Fn hold borrowed references: the guarded
+	// dict entry owns the reference, and a passing guard proves the
+	// entry still does, so the cache itself is invisible to the GC.
+	Value Object
+	Fn    *Func
+}
+
+// Reset returns the slot to the empty state, dropping cached references.
+func (c *ICache) Reset() {
+	*c = ICache{}
+}
+
+// ChainVersion folds the dict versions along the class chain into one
+// guard word: any method rebinding, attribute store, or delete anywhere
+// in the chain changes it. The multiplier keeps base-class edits from
+// cancelling against derived-class edits.
+func (c *Class) ChainVersion() uint64 {
+	var v uint64
+	for k := c; k != nil; k = k.Base {
+		v = v*1000003 + uint64(k.Dict.Version) + 1
+	}
+	return v
+}

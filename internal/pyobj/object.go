@@ -481,6 +481,19 @@ type Frame struct {
 	ConstsAddr uint64
 	// CodeAddr is the simulated address of the bytecode array.
 	CodeAddr uint64
+	// Insns is the instruction stream the frame executes: the VM's
+	// quickened per-VM copy of Code.Code when inline caches are enabled,
+	// Code.Code itself otherwise. Indices are 1:1 with Code.Code, so
+	// jump targets, the JIT's PC bookkeeping, and crash snapshots are
+	// oblivious to quickening.
+	Insns []pycode.Instr
+	// Caches are the per-site inline-cache slots (indexed by
+	// Code.SiteOf), shared by all frames of this code object within one
+	// VM; nil when quickening is off.
+	Caches []ICache
+	// ICAddr is the simulated address of the cache-slot array, for
+	// guard-load event emission.
+	ICAddr uint64
 }
 
 func (o *Frame) PyType() *Type { return Types[TFrame] }

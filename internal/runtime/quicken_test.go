@@ -1,0 +1,94 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// icBenchProgram is the attribute/global-heavy workload: a tight loop of
+// global reads, instance attribute loads and stores, and method calls —
+// the dispatch shapes the paper's NameResolution and CFunctionCall
+// categories are made of, and exactly what inline caches target.
+const icBenchProgram = `
+STEP = 3
+class Acc:
+    def __init__(self):
+        self.total = 0
+    def bump(self, v):
+        self.total = self.total + v
+def run(n):
+    a = Acc()
+    i = 0
+    while i < n:
+        a.bump(STEP)
+        a.total = a.total + STEP
+        i = i + 1
+    return a.total
+print(run(4000))
+`
+
+const icBenchWant = "24000\n"
+
+// TestQuickeningShrinksNameResolution: under the attribution core, the
+// quickened interpreter must shift the Table-II-style split — the
+// name-resolution and C-function-call shares shrink versus the cold
+// interpreter on the same program, with identical program output.
+func TestQuickeningShrinksNameResolution(t *testing.T) {
+	run := func(noQuicken bool) *Result {
+		t.Helper()
+		cfg := DefaultConfig(CPython)
+		cfg.NoQuicken = noQuicken
+		r, err := NewRunner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run("icbench.py", icBenchProgram)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Output != icBenchWant {
+			t.Fatalf("noQuicken=%v output %q, want %q", noQuicken, res.Output, icBenchWant)
+		}
+		return res
+	}
+	cold := run(true)
+	quick := run(false)
+
+	if hits := quick.VM.IC.Hits(); hits == 0 {
+		t.Fatalf("quickened run recorded no IC hits: %+v", quick.VM.IC)
+	}
+	if rate := quick.VM.IC.HitRate(); rate < 0.9 {
+		t.Errorf("IC hit rate %.3f, want >= 0.9 on a monomorphic workload (%+v)", rate, quick.VM.IC)
+	}
+	if cold.VM.IC.Hits() != 0 || cold.VM.IC.Sites != 0 {
+		t.Errorf("cold run recorded IC activity: %+v", cold.VM.IC)
+	}
+
+	coldNR := cold.Breakdown.Percent(core.NameResolution)
+	quickNR := quick.Breakdown.Percent(core.NameResolution)
+	if quickNR >= coldNR {
+		t.Errorf("NameResolution share did not shrink: cold %.2f%% -> quickened %.2f%%", coldNR, quickNR)
+	}
+	// The elided DictGetStr/getAttr helper calls are CFunctionCall
+	// traffic — the Brunthaler effect the paper attributes to quickening.
+	coldCC := cold.Breakdown.Percent(core.CFunctionCall)
+	quickCC := quick.Breakdown.Percent(core.CFunctionCall)
+	if quickCC >= coldCC {
+		t.Errorf("CFunctionCall share did not shrink: cold %.2f%% -> quickened %.2f%%", coldCC, quickCC)
+	}
+	if qt, ct := quick.Breakdown.TotalCycles(), cold.Breakdown.TotalCycles(); qt >= ct {
+		t.Errorf("quickened run not cheaper in cycles: %d >= %d", qt, ct)
+	}
+
+	deltas := core.DiffBreakdowns(&cold.Breakdown, &quick.Breakdown)
+	top := deltas[0].Category
+	if top != core.NameResolution && top != core.CFunctionCall {
+		t.Errorf("largest share shrink is %s, want name resolution or C function calls\n%+v",
+			deltas[0].Name, deltas[:3])
+	}
+	t.Logf("cycles: cold %d -> quickened %d (%.1f%% saved); NameResolution %.2f%% -> %.2f%%; CFunctionCall %.2f%% -> %.2f%%; IC hit rate %.3f",
+		cold.Breakdown.TotalCycles(), quick.Breakdown.TotalCycles(),
+		100*(1-float64(quick.Breakdown.TotalCycles())/float64(cold.Breakdown.TotalCycles())),
+		coldNR, quickNR, coldCC, quickCC, quick.VM.IC.HitRate())
+}

@@ -102,6 +102,10 @@ type Config struct {
 	// Faults, when non-nil, arms chaos-mode fault injection on the heap
 	// and JIT (soak harnesses; nil in normal operation).
 	Faults *faults.Injector
+	// NoQuicken disables bytecode quickening and inline caches (the
+	// zero value keeps them on, the production default). Differential
+	// harnesses use it for cold-interpreter reference legs.
+	NoQuicken bool
 }
 
 // DefaultNursery is PyPy's default nursery size.
@@ -259,6 +263,7 @@ func (r *Runner) buildState() *runState {
 	st := &runState{out: &outBuffer{tee: cfg.Stdout}, faults: cfg.Faults}
 	st.eng = emit.NewEngine(isa.NullSink{})
 	st.vm = interp.New(st.eng, heapConfig(cfg), st.out)
+	st.vm.SetQuicken(!cfg.NoQuicken)
 	st.vm.MaxBytecodes = cfg.MaxBytecodes
 	st.vm.SetLimits(cfg.Limits)
 	st.vm.Heap.SetFaults(cfg.Faults)

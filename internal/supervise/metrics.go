@@ -49,7 +49,27 @@ type Metrics struct {
 	// paper's Table-II split for live traffic.
 	overheadCycles *telemetry.CounterVec
 	overheadInstrs *telemetry.CounterVec
+	// icHits and icMisses accumulate inline-cache traffic by site kind
+	// (global, attr, method, store); icInvalidations and icDequickened
+	// count guard breaks and sites demoted back to generic bytecode.
+	// Together they expose the quickened interpreter's effectiveness on
+	// live traffic.
+	icHits          *telemetry.CounterVec
+	icMisses        *telemetry.CounterVec
+	icInvalidations *telemetry.Counter
+	icDequickened   *telemetry.Counter
 }
+
+// icSiteNames lists the inline-cache site-kind label values, indexed by
+// the icSite* constants.
+var icSiteNames = []string{"global", "attr", "method", "store"}
+
+const (
+	icSiteGlobal = iota
+	icSiteAttr
+	icSiteMethod
+	icSiteStore
+)
 
 // classNames lists the exit-class label values in Class order.
 func classLabelValues() []string {
@@ -91,6 +111,16 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		overheadInstrs: reg.CounterVec("minipy_overhead_instructions_total",
 			"Dynamic instructions attributed per overhead category across breakdown-enabled jobs.",
 			"category", categoryLabelValues()),
+		icHits: reg.CounterVec("minipy_ic_hits_total",
+			"Inline-cache hits in the quickened interpreter, by site kind.",
+			"site", icSiteNames),
+		icMisses: reg.CounterVec("minipy_ic_misses_total",
+			"Inline-cache misses in the quickened interpreter, by site kind.",
+			"site", icSiteNames),
+		icInvalidations: reg.Counter("minipy_ic_invalidations_total",
+			"Inline-cache guard invalidations (version bumps, layout changes, flushes)."),
+		icDequickened: reg.Counter("minipy_ic_dequickened_total",
+			"Quickened sites demoted back to generic bytecode after exhausting their miss budget."),
 	}
 }
 
@@ -113,6 +143,34 @@ func (m *Metrics) observeJob(res *JobResult) {
 	m.jobs.Inc(c)
 	m.queueWait.Observe(c, res.Queued)
 	m.runTime.Observe(c, res.RunTime)
+	m.observeIC(res)
+}
+
+// observeIC folds one job's inline-cache counters into the site-kind
+// totals. Safe on a nil receiver.
+func (m *Metrics) observeIC(res *JobResult) {
+	if m == nil || res == nil {
+		return
+	}
+	ic := res.IC
+	addPair := func(site int, hits, misses uint64) {
+		if hits != 0 {
+			m.icHits.Add(site, hits)
+		}
+		if misses != 0 {
+			m.icMisses.Add(site, misses)
+		}
+	}
+	addPair(icSiteGlobal, ic.GlobalHits, ic.GlobalMisses)
+	addPair(icSiteAttr, ic.AttrHits, ic.AttrMisses)
+	addPair(icSiteMethod, ic.MethodHits, ic.MethodMisses)
+	addPair(icSiteStore, ic.StoreHits, ic.StoreMisses)
+	if ic.Invalidations != 0 {
+		m.icInvalidations.Add(ic.Invalidations)
+	}
+	if ic.Dequickened != 0 {
+		m.icDequickened.Add(ic.Dequickened)
+	}
 }
 
 // observeBreakdown accumulates one job's attribution into the live

@@ -136,6 +136,9 @@ type JobResult struct {
 	MinorGCs    uint64
 	MajorGCs    uint64
 	ErrorDeopts uint64
+	// IC is the run's inline-cache activity (quickened interpreter);
+	// zero when quickening is disabled or the run errored.
+	IC interp.ICStats
 	// Breakdown is the job's overhead attribution, present only when the
 	// job requested it (Job.Breakdown) and ran to a clean exit.
 	Breakdown *core.Breakdown

@@ -1,0 +1,71 @@
+package supervise
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/pycompile"
+	"repro/internal/runtime"
+)
+
+// TestSharedQuickenedCode: one precompiled code object executed
+// concurrently by every worker in the pool. Quickened instruction
+// streams and inline-cache slots are per-VM state; the shared
+// *pycode.Code must stay immutable, or the race detector (CI's -race
+// leg) and the output comparison below catch it.
+func TestSharedQuickenedCode(t *testing.T) {
+	src := `
+STEP = 2
+class Acc:
+    def __init__(self):
+        self.total = 0
+    def bump(self, v):
+        self.total = self.total + v
+a = Acc()
+i = 0
+while i < 400:
+    a.bump(STEP)
+    a.total = a.total + STEP
+    i = i + 1
+print(a.total)
+`
+	const want = "1600\n"
+	code, err := pycompile.CompileSource("shared.py", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 32 concurrent jobs each reserve the default heap budget; raise the
+	// admission watermark so none shed — this test is about sharing, not
+	// admission control.
+	p := testPool(t, Config{Workers: 4, QueueDepth: 64, HeapWatermark: 8 << 30})
+
+	const jobs = 32
+	var wg sync.WaitGroup
+	results := make([]*JobResult, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = p.Submit(&Job{Name: "shared.py", Code: code, Mode: runtime.CPython})
+		}(i)
+	}
+	wg.Wait()
+
+	hits := uint64(0)
+	for i, res := range results {
+		if res.Class != ClassOK {
+			t.Fatalf("job %d: class %s (%s)", i, res.Class, res.Err)
+		}
+		if res.Output != want {
+			t.Fatalf("job %d: output %q, want %q", i, res.Output, want)
+		}
+		hits += res.IC.Hits()
+	}
+	if hits == 0 {
+		t.Fatal("no IC hits across shared-code jobs; quickening not active in the pool")
+	}
+	st := p.Stats()
+	if st.Poisoned != 0 || st.Wedged != 0 {
+		t.Fatalf("shared-code traffic condemned workers: %+v", st)
+	}
+}

@@ -68,31 +68,15 @@ func NewPool(cfg Config) *Pool {
 	return p
 }
 
-// effectiveLimits resolves a job's budgets: any zero field inherits the
-// pool default. The result always has a positive Deadline — a
-// non-positive per-job deadline (including one produced by an integer
-// overflow upstream of the pool) falls back to the default rather than
-// poisoning the watchdog derivation, where a negative deadline would
-// make Submit's timer fire instantly and condemn a healthy worker.
+// effectiveLimits resolves a job's budgets against the pool defaults via
+// the canonical api.Limits.WithDefaults. The result always has a
+// positive Deadline when the default does — a non-positive per-job
+// deadline (including one produced by an integer overflow upstream of
+// the pool) falls back to the default rather than poisoning the watchdog
+// derivation, where a negative deadline would make Submit's timer fire
+// instantly and condemn a healthy worker.
 func (p *Pool) effectiveLimits(job *Job) interp.Limits {
-	l := job.Limits
-	d := p.cfg.DefaultLimits
-	if l.MaxSteps == 0 {
-		l.MaxSteps = d.MaxSteps
-	}
-	if l.MaxHeapBytes == 0 {
-		l.MaxHeapBytes = d.MaxHeapBytes
-	}
-	if l.MaxRecursionDepth <= 0 {
-		l.MaxRecursionDepth = d.MaxRecursionDepth
-	}
-	if l.Deadline <= 0 {
-		l.Deadline = d.Deadline
-	}
-	if l.MaxOutputBytes == 0 {
-		l.MaxOutputBytes = d.MaxOutputBytes
-	}
-	return l
+	return job.Limits.WithDefaults(p.cfg.DefaultLimits)
 }
 
 // maxWatchdog caps the watchdog horizon when the multiply below would

@@ -130,6 +130,7 @@ func (w *worker) execute(job *Job) *JobResult {
 	if res.JIT != nil {
 		jr.ErrorDeopts = res.JIT.ErrorDeopts
 	}
+	jr.IC = res.VM.IC
 	if job.Breakdown {
 		bd := res.Breakdown
 		jr.Breakdown = &bd
