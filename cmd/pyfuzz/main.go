@@ -15,11 +15,16 @@
 //	pyfuzz -quicken -n 500
 //
 // With -quicken, the leg matrix narrows to the quickening soak: the
-// quickened interpreter as baseline against the cold interpreter
+// tier-2 quickened interpreter as baseline against the cold interpreter
 // (quickening disabled), inline-cache flush churn at several intervals
-// (worst case: every cache invalidated after every fill), and a JIT leg
-// that must observe the same guard state. Any behavioural effect of
-// quickening, inline caches, or de-quickening shows up as a divergence.
+// (worst case: every cache invalidated after every fill), the tier-2
+// ablation legs — poly-cold (monomorphic caches only), fusion-flush
+// (superinstructions de-fused and re-fused on a tight cadence), and
+// intfast-overflow (the unboxed-int magnitude cap lowered so the
+// speculative arithmetic paths deopt constantly) — and a JIT leg that
+// must observe the same guard state. Any behavioural effect of
+// quickening, inline caches, polymorphic stubs, superinstruction
+// fusion, or de-quickening shows up as a divergence.
 //
 // With -faults, the run becomes a chaos soak: every leg except the
 // baseline executes under seeded fault injection (allocation failures,

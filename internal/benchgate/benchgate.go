@@ -1,0 +1,50 @@
+// Package benchgate is the single source of truth for the repo's
+// performance regression gates. Each Gate names the benchmark guard
+// test that enforces it and the minimum speedup it demands; the guard
+// tests import their threshold from here and the CI workflow runs the
+// guards listed here (see TestGateTable, which keeps the table and the
+// workflow from drifting apart). Raising or lowering a gate is a
+// one-line change in this file — never an inline constant in a test.
+package benchgate
+
+import "fmt"
+
+// Gate is one performance regression gate.
+type Gate struct {
+	// Name identifies the gate (and keys Lookup).
+	Name string
+	// Package is the Go package holding the guard test, relative to the
+	// module root.
+	Package string
+	// Test is the exact guard test function name CI must run.
+	Test string
+	// MinSpeedup is the wall-clock ratio (baseline / optimized) the
+	// guard fails below.
+	MinSpeedup float64
+	// Baseline and Optimized describe the two legs being compared.
+	Baseline, Optimized string
+}
+
+// Table lists every gate. Order is stable for reporting.
+var Table = []Gate{
+	{
+		Name:       "dispatch-quickened",
+		Package:    "./internal/interp/",
+		Test:       "TestQuickenedDispatchGuard",
+		MinSpeedup: 2.0,
+		Baseline:   "cold interpreter (quickening off)",
+		Optimized:  "tier-2 quickened (poly ICs + fusion + unboxed-int)",
+	},
+}
+
+// Lookup returns the gate with the given name, panicking on a miss —
+// a bad gate name in a guard test is a programming error the test run
+// should fail loudly on, not skip.
+func Lookup(name string) Gate {
+	for _, g := range Table {
+		if g.Name == name {
+			return g
+		}
+	}
+	panic(fmt.Sprintf("benchgate: no gate named %q", name))
+}

@@ -1,0 +1,66 @@
+package benchgate
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGateTable validates the table itself: names unique, thresholds
+// sane, and — the drift guard — every gate's Test appears verbatim in
+// the CI workflow, and every gate's guard source references the gate
+// by name through Lookup (so no test can silently hard-code its own
+// threshold again).
+func TestGateTable(t *testing.T) {
+	root := filepath.Join("..", "..")
+	ci, err := os.ReadFile(filepath.Join(root, ".github", "workflows", "ci.yml"))
+	if err != nil {
+		t.Fatalf("reading CI workflow: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, g := range Table {
+		if seen[g.Name] {
+			t.Errorf("duplicate gate name %q", g.Name)
+		}
+		seen[g.Name] = true
+		if g.MinSpeedup <= 1.0 {
+			t.Errorf("gate %q: MinSpeedup %.2f must exceed 1.0", g.Name, g.MinSpeedup)
+		}
+		if !strings.Contains(string(ci), g.Test) {
+			t.Errorf("gate %q: CI workflow does not run guard test %s", g.Name, g.Test)
+		}
+		found := false
+		err := filepath.Walk(filepath.Join(root, strings.TrimPrefix(g.Package, "./")),
+			func(path string, info os.FileInfo, err error) error {
+				if err != nil || info.IsDir() || !strings.HasSuffix(path, "_test.go") {
+					return err
+				}
+				src, err := os.ReadFile(path)
+				if err != nil {
+					return err
+				}
+				if strings.Contains(string(src), "func "+g.Test+"(") &&
+					strings.Contains(string(src), `benchgate.Lookup("`+g.Name+`")`) {
+					found = true
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("gate %q: walking %s: %v", g.Name, g.Package, err)
+		}
+		if !found {
+			t.Errorf("gate %q: no test file in %s defines %s and looks the gate up by name",
+				g.Name, g.Package, g.Test)
+		}
+	}
+}
+
+func TestLookupPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Lookup of an unknown gate did not panic")
+		}
+	}()
+	Lookup("no-such-gate")
+}

@@ -21,7 +21,8 @@ type ChaosSpec struct {
 func (c *ChaosSpec) injector(name string) *faults.Injector {
 	return faults.NewRate(c.Seed^fnv1a(name), c.Rate,
 		faults.AllocFail, faults.NurseryExhaust,
-		faults.GuardCorrupt, faults.TraceCompileFail)
+		faults.GuardCorrupt, faults.TraceCompileFail,
+		faults.GuardChainCorrupt)
 }
 
 // fnv1a hashes s (FNV-1a, 64-bit) for deterministic per-program seeds.

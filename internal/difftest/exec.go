@@ -38,6 +38,21 @@ type Leg struct {
 	// n-th cache fill — worst-case guard-invalidation churn. Constant
 	// refill/invalidate cycling must never change program behaviour.
 	ICFlushEvery uint64
+	// NoPoly caps this leg's quickening at tier 1 (monomorphic caches
+	// only): no polymorphic stubs, no superinstruction fusion, no
+	// speculative unboxed-int rewrites. Tier-2 machinery must be
+	// behaviour-invisible against this leg.
+	NoPoly bool
+	// FuseFlushEvery, when nonzero, de-fuses and re-fuses every atomic
+	// superinstruction after each n-th tier-2 fast-path execution —
+	// worst-case fusion churn (1 tears every pair down again before its
+	// next execution).
+	FuseFlushEvery uint64
+	// IntFastMaxAbs, when nonzero, caps the unboxed-int fast path's
+	// operand magnitude, forcing constant speculative deopts; the
+	// deopted generic path must reproduce every result and overflow
+	// promotion exactly.
+	IntFastMaxAbs int64
 	// Deadline is the leg's hard wall-clock guard, armed through
 	// interp.Limits.Deadline (default DefaultLegDeadline). A wedged leg
 	// — looping forever without tripping the bytecode budget, e.g. stuck
@@ -75,6 +90,13 @@ func Legs(nurseries []uint64, mutate func(*jit.Config)) []Leg {
 		// must match the quickened default bit for bit.
 		{Name: "cold-ic", Heap: gc.DefaultRefCountConfig(), NoQuicken: true},
 		{Name: "ic-flush", Heap: gc.DefaultRefCountConfig(), ICFlushEvery: 32},
+		// Tier-2 legs: monomorphic-only quickening, worst-case
+		// superinstruction de-fuse/re-fuse churn, and a capped
+		// unboxed-int fast path that deopts on any operand past 2^20.
+		// Each must match the full tier-2 default bit for bit.
+		{Name: "poly-cold", Heap: gc.DefaultRefCountConfig(), NoPoly: true},
+		{Name: "fusion-flush", Heap: gc.DefaultRefCountConfig(), FuseFlushEvery: 16},
+		{Name: "intfast-overflow", Heap: gc.DefaultRefCountConfig(), IntFastMaxAbs: 1 << 20},
 	}
 	for _, n := range nurseries {
 		legs = append(legs, Leg{
@@ -115,6 +137,10 @@ func QuickenLegs() []Leg {
 		{Name: "ic-flush/1", Heap: gc.DefaultRefCountConfig(), ICFlushEvery: 1},
 		{Name: "ic-flush/8", Heap: gc.DefaultRefCountConfig(), ICFlushEvery: 8},
 		{Name: "ic-flush/64", Heap: gc.DefaultRefCountConfig(), ICFlushEvery: 64},
+		{Name: "poly-cold", Heap: gc.DefaultRefCountConfig(), NoPoly: true},
+		{Name: "fusion-flush/1", Heap: gc.DefaultRefCountConfig(), FuseFlushEvery: 1},
+		{Name: "fusion-flush/16", Heap: gc.DefaultRefCountConfig(), FuseFlushEvery: 16},
+		{Name: "intfast-overflow", Heap: gc.DefaultRefCountConfig(), IntFastMaxAbs: 1 << 20},
 		{Name: "pypy-jit-quick/256k", Heap: gc.DefaultGenConfig(256 << 10), JIT: &jitCfg},
 	}
 }
@@ -164,6 +190,17 @@ func Execute(leg Leg, name, src string, budget uint64) (*Outcome, error) {
 	}
 	if leg.ICFlushEvery != 0 {
 		vm.SetICFlushEvery(leg.ICFlushEvery)
+	}
+	if leg.NoPoly {
+		vm.SetPolyICs(false)
+		vm.SetFusion(false)
+		vm.SetIntFast(false)
+	}
+	if leg.FuseFlushEvery != 0 {
+		vm.SetFuseFlushEvery(leg.FuseFlushEvery)
+	}
+	if leg.IntFastMaxAbs != 0 {
+		vm.SetIntFastMaxAbs(leg.IntFastMaxAbs)
 	}
 	deadline := leg.Deadline
 	if deadline == 0 {

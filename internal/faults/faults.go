@@ -52,12 +52,18 @@ const (
 	// supervisor's accounting must detect the missing worker and restore
 	// pool capacity.
 	PoolSlotLeak
+	// GuardChainCorrupt forces a polymorphic inline-cache chain walk to
+	// report a whole-chain miss even when an entry would have matched.
+	// The site must fall back to the generic lookup and refill with
+	// identical program-visible behaviour — the chain only ever elides
+	// lookup work, never changes its result.
+	GuardChainCorrupt
 	// NumKinds is the number of fault kinds.
 	NumKinds
 )
 
 var kindNames = [NumKinds]string{"alloc-fail", "nursery-exhaust", "guard-corrupt", "trace-compile-fail",
-	"worker-wedge", "pool-slot-leak"}
+	"worker-wedge", "pool-slot-leak", "guard-chain-corrupt"}
 
 // String returns the kind's name.
 func (k Kind) String() string {

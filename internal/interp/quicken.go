@@ -56,16 +56,35 @@ type ICStats struct {
 	Invalidations uint64
 	Dequickened   uint64
 	Sites         uint64
+
+	// Tier-2 counters. Poly* covers polymorphic stub traffic (a hit
+	// anywhere in the chain; a miss that exhausted it); PolyPromotions
+	// counts mono→poly and chain-extension transitions. Fused counts
+	// pairs rewritten into superinstructions, Defused the reverse
+	// rewrites; FusedHits/FusedMisses count fused fast-path executions
+	// and their per-execution deopts. IntFast* counts the speculative
+	// unboxed-int paths (a miss is a deopt to the generic handler).
+	PolyHits       uint64
+	PolyMisses     uint64
+	PolyPromotions uint64
+	Fused          uint64
+	Defused        uint64
+	FusedHits      uint64
+	FusedMisses    uint64
+	IntFastHits    uint64
+	IntFastMisses  uint64
 }
 
 // Hits sums hit counters across site kinds.
 func (s ICStats) Hits() uint64 {
-	return s.GlobalHits + s.AttrHits + s.MethodHits + s.StoreHits
+	return s.GlobalHits + s.AttrHits + s.MethodHits + s.StoreHits +
+		s.PolyHits + s.FusedHits + s.IntFastHits
 }
 
 // Misses sums miss counters across site kinds.
 func (s ICStats) Misses() uint64 {
-	return s.GlobalMisses + s.AttrMisses + s.MethodMisses + s.StoreMisses
+	return s.GlobalMisses + s.AttrMisses + s.MethodMisses + s.StoreMisses +
+		s.PolyMisses + s.FusedMisses + s.IntFastMisses
 }
 
 // HitRate returns hits / (hits + misses), or 0 with no activity.
@@ -85,10 +104,44 @@ func (vm *VM) SetQuicken(on bool) {
 	vm.quicken = on
 	if !on {
 		for _, cd := range vm.constCache {
-			cd.quick, cd.caches = nil, nil
+			cd.quick, cd.caches, cd.fused = nil, nil, nil
 		}
 	}
 }
+
+// SetPolyICs gates tier-2 polymorphic promotion: when off, a
+// monomorphic site that misses refills monomorphically (tier-1
+// behaviour, the difftest poly-cold leg).
+func (vm *VM) SetPolyICs(on bool) { vm.polyICs = on }
+
+// SetFusion gates the superinstruction pass for code materialized from
+// now on; disabling also de-fuses streams already built.
+func (vm *VM) SetFusion(on bool) {
+	vm.fusion = on
+	if !on {
+		for _, cd := range vm.constCache {
+			vm.defuseAll(cd)
+		}
+	}
+}
+
+// SetIntFast gates the speculative unboxed-int rewrites for code
+// materialized from now on (already-rewritten sites deopt per execution
+// once their miss budget de-quickens them).
+func (vm *VM) SetIntFast(on bool) { vm.intFast = on }
+
+// SetFuseFlushEvery arms fusion churn: after every n tier-2 fast-path
+// executions, every fusable pair is de-fused (odd trips) or re-fused
+// (even trips). The differential oracle's fusion-flush leg uses it to
+// prove mid-run de-fusion/re-fusion cannot change program behaviour.
+// n == 0 disables.
+func (vm *VM) SetFuseFlushEvery(n uint64) { vm.fuseFlushEvery = n }
+
+// SetIntFastMaxAbs caps the operand magnitude the speculative int fast
+// path accepts; operands beyond the cap take the deopt path exactly as
+// a real overflow would. The difftest intfast-overflow leg sets 1 to
+// force constant deopting. 0 restores the default (int64 overflow only).
+func (vm *VM) SetIntFastMaxAbs(v int64) { vm.intFastMaxAbs = v }
 
 // Quickened reports whether bytecode quickening is enabled.
 func (vm *VM) Quickened() bool { return vm.quicken }
@@ -137,6 +190,16 @@ func (vm *VM) quickenCode(code *pycode.Code, cd *codeData) {
 	cd.caches = make([]pyobj.ICache, code.NumICSites)
 	cd.icAddr = vm.dataAlloc(uint64(code.NumICSites)*icSlotBytes + 16)
 	vm.Stats.IC.Sites += uint64(code.NumICSites)
+	// Tier-2 passes. Fusion first (it claims COMPARE_OP/LOAD_ATTR pairs
+	// in their base form), then the speculative int rewrites over
+	// whatever arithmetic sites remain unfused. Fusion never runs under
+	// a tracer: a recorded trace must see one generic op per dispatch.
+	if vm.fusion && vm.tracer == nil {
+		vm.fuseCode(code, cd)
+	}
+	if vm.intFast {
+		vm.intFastCode(code, cd)
+	}
 }
 
 // icGuardEvents emits a hit path's guard check: one load of the cache
@@ -265,9 +328,53 @@ func (vm *VM) loadGlobalIC(f *pyobj.Frame, in pycode.Instr, pc int) {
 func (vm *VM) loadAttrIC(f *pyobj.Frame, obj pyobj.Object, in pycode.Instr, pc int) pyobj.Object {
 	site := f.Code.SiteOf[pc]
 	c := &f.Caches[site]
-	e := vm.Eng
 	name := f.Code.Names[in.Arg]
 
+	if c.State == pyobj.ICPoly {
+		if v, ok := vm.attrPolyLookup(f, obj, c, site, name); ok {
+			return v
+		}
+	} else if v, method, ok := vm.attrCacheHit(f, obj, c, site, name); ok {
+		if method {
+			vm.Stats.IC.MethodHits++
+		} else {
+			vm.Stats.IC.AttrHits++
+		}
+		return v
+	}
+
+	// Miss: generic path (full events; may raise AttributeError), then
+	// refill — possibly promoting the site to a polymorphic stub. The
+	// miss is provisionally counted as an attribute miss and reclassified
+	// if the fill resolves to a method.
+	if c.State == pyobj.ICPoly {
+		vm.Stats.IC.PolyMisses++
+	} else {
+		vm.Stats.IC.AttrMisses++
+	}
+	wasPoly := c.State == pyobj.ICPoly
+	quick := vm.icMiss(f, pc, c)
+	v := vm.getAttr(obj, name)
+	if quick {
+		if method, ok := vm.refillAttrAfterMiss(c, obj, name); ok {
+			vm.noteFill()
+			if method && !wasPoly {
+				vm.Stats.IC.AttrMisses--
+				vm.Stats.IC.MethodMisses++
+			}
+		}
+	}
+	return v
+}
+
+// attrCacheHit attempts the guarded hit of one monomorphic cache entry
+// for a LOAD_ATTR of obj. On a hit it emits the guard events, performs
+// the generic path's exact object-model work (bound-method allocation
+// included), and returns the value as a new reference plus whether the
+// entry was a method resolution. On a guard mismatch it emits nothing
+// and reports false.
+func (vm *VM) attrCacheHit(f *pyobj.Frame, obj pyobj.Object, c *pyobj.ICache, site int32, name string) (v pyobj.Object, method, ok bool) {
+	e := vm.Eng
 	switch o := obj.(type) {
 	case *pyobj.Instance:
 		switch c.State {
@@ -281,8 +388,7 @@ func (vm *VM) loadAttrIC(f *pyobj.Frame, obj pyobj.Object, in pycode.Instr, pc i
 				e.Load(core.NameResolution, d.SlotAddr(ent.Hash, 0)+8, true)
 				v := ent.Value
 				vm.Incref(v)
-				vm.Stats.IC.AttrHits++
-				return v
+				return v, false, true
 			}
 		case pyobj.ICAttrClass, pyobj.ICAttrMethod:
 			if c.Class == o.Class && c.CVer == o.Class.ChainVersion() {
@@ -307,13 +413,11 @@ func (vm *VM) loadAttrIC(f *pyobj.Frame, obj pyobj.Object, in pycode.Instr, pc i
 						vm.Incref(c.Fn)
 						vm.barrier(bm, o)
 						vm.barrier(bm, c.Fn)
-						vm.Stats.IC.MethodHits++
-						return bm
+						return bm, true, true
 					}
 					v := c.Value
 					vm.Incref(v)
-					vm.Stats.IC.AttrHits++
-					return v
+					return v, false, true
 				}
 			}
 		}
@@ -325,8 +429,7 @@ func (vm *VM) loadAttrIC(f *pyobj.Frame, obj pyobj.Object, in pycode.Instr, pc i
 			e.Load(core.NameResolution, f.ICAddr+uint64(site)*icSlotBytes+8, true)
 			v := c.Value
 			vm.Incref(v)
-			vm.Stats.IC.AttrHits++
-			return v
+			return v, false, true
 		}
 	default:
 		if c.State == pyobj.ICAttrType && obj.PyType().ID == c.TypeID {
@@ -338,27 +441,10 @@ func (vm *VM) loadAttrIC(f *pyobj.Frame, obj pyobj.Object, in pycode.Instr, pc i
 			e.Store(core.FunctionSetup, b.H.Addr+16)
 			vm.Incref(obj)
 			vm.barrier(b, obj)
-			vm.Stats.IC.MethodHits++
-			return b
+			return b, true, true
 		}
 	}
-
-	// Miss: generic path (full events; may raise AttributeError), then
-	// refill. The miss is provisionally counted as an attribute miss and
-	// reclassified if the fill resolves to a method.
-	vm.Stats.IC.AttrMisses++
-	quick := vm.icMiss(f, pc, c)
-	v := vm.getAttr(obj, name)
-	if quick {
-		if method, ok := vm.fillAttrCache(c, obj, name); ok {
-			vm.noteFill()
-			if method {
-				vm.Stats.IC.AttrMisses--
-				vm.Stats.IC.MethodMisses++
-			}
-		}
-	}
-	return v
+	return nil, false, false
 }
 
 // fillAttrCache repopulates c from pure (event-free) lookups after the
@@ -421,42 +507,54 @@ func (vm *VM) fillAttrCache(c *pyobj.ICache, obj pyobj.Object, name string) (met
 func (vm *VM) storeAttrIC(f *pyobj.Frame, obj pyobj.Object, in pycode.Instr, pc int, v pyobj.Object) {
 	site := f.Code.SiteOf[pc]
 	c := &f.Caches[site]
-	if o, isInst := obj.(*pyobj.Instance); isInst && c.State == pyobj.ICStoreSlot {
-		d := o.Dict
-		if idx := int(c.EntryIdx); idx < len(d.Entries) && d.Entries[idx].Enc == c.Enc {
-			e := vm.Eng
-			e.Load(core.TypeCheck, obj.Hdr().Addr, false)
-			e.Branch(core.TypeCheck, true)
-			vm.icGuardEvents(f, site)
-			ent := &d.Entries[idx]
-			slot := d.SlotAddr(ent.Hash, 0) + 8
-			// Mirror the generic overwrite exactly: old-value load, new
-			// reference, version bump, store, write barrier.
-			e.Load(core.NameResolution, slot, true)
-			d.Version++
-			ent.Value = v
-			vm.Incref(v)
-			e.Store(core.NameResolution, slot)
-			vm.barrier(d, v)
-			vm.Stats.IC.StoreHits++
+	if c.State == pyobj.ICPoly {
+		if vm.storePolyLookup(f, obj, c, site, v) {
 			return
 		}
+	} else if vm.storeCacheHit(f, obj, c, site, v) {
+		vm.Stats.IC.StoreHits++
+		return
 	}
 
-	vm.Stats.IC.StoreMisses++
+	if c.State == pyobj.ICPoly {
+		vm.Stats.IC.PolyMisses++
+	} else {
+		vm.Stats.IC.StoreMisses++
+	}
 	quick := vm.icMiss(f, pc, c)
 	vm.setAttr(obj, f.Code.Names[in.Arg], v)
 	if !quick {
 		return
 	}
-	if o, isInst := obj.(*pyobj.Instance); isInst {
-		name := f.Code.Names[in.Arg]
-		if _, res, found := o.Dict.GetStr(name); found {
-			icRefill(c, c.State == pyobj.ICEmpty)
-			c.State = pyobj.ICStoreSlot
-			c.Enc = "s:" + name
-			c.EntryIdx = int32(res.EntryIdx)
-			vm.noteFill()
-		}
+	if vm.refillStoreAfterMiss(c, obj, f.Code.Names[in.Arg]) {
+		vm.noteFill()
 	}
+}
+
+// storeCacheHit attempts the guarded in-place update of one monomorphic
+// ICStoreSlot entry. On a hit it mirrors the generic overwrite exactly:
+// old-value load, new reference, version bump, store, write barrier.
+func (vm *VM) storeCacheHit(f *pyobj.Frame, obj pyobj.Object, c *pyobj.ICache, site int32, v pyobj.Object) bool {
+	o, isInst := obj.(*pyobj.Instance)
+	if !isInst || c.State != pyobj.ICStoreSlot {
+		return false
+	}
+	d := o.Dict
+	idx := int(c.EntryIdx)
+	if idx >= len(d.Entries) || d.Entries[idx].Enc != c.Enc {
+		return false
+	}
+	e := vm.Eng
+	e.Load(core.TypeCheck, obj.Hdr().Addr, false)
+	e.Branch(core.TypeCheck, true)
+	vm.icGuardEvents(f, site)
+	ent := &d.Entries[idx]
+	slot := d.SlotAddr(ent.Hash, 0) + 8
+	e.Load(core.NameResolution, slot, true)
+	d.Version++
+	ent.Value = v
+	vm.Incref(v)
+	e.Store(core.NameResolution, slot)
+	vm.barrier(d, v)
+	return true
 }

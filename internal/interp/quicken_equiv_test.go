@@ -1,0 +1,170 @@
+package interp_test
+
+// The quickening-equivalence layer: tier-1 inline caches and the full
+// tier-2 pipeline (polymorphic stubs, superinstruction fusion,
+// speculative unboxed-int rewrites) are pure performance transforms.
+// For every difftest corpus program, a sweep of generated programs,
+// and the int64 boundary cases, all three tiers must agree on program
+// output, exception identity, module-dict version bumps, and — for
+// clean runs — the net reference-count balance
+// (Increfs + Allocations - Decrefs), which counts objects still live
+// at exit and so must not depend on which dispatch path ran. Gross
+// incref/decref totals legitimately differ: fused operand borrowing
+// elides balanced pairs.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/difftest"
+	"repro/internal/emit"
+	"repro/internal/gc"
+	"repro/internal/interp"
+	"repro/internal/isa"
+)
+
+type tierOutcome struct {
+	Output  string
+	Err     string
+	DictVer uint32
+	NetRefs int64
+}
+
+// tier 0 = generic (quickening off), 1 = tier-1 (monomorphic ICs only),
+// 2 = full tier-2.
+var tierNames = [3]string{"generic", "tier-1", "tier-2"}
+
+func runTier(t *testing.T, name, src string, tier int) tierOutcome {
+	t.Helper()
+	var out strings.Builder
+	vm := interp.New(emit.NewEngine(isa.NullSink{}), gc.DefaultRefCountConfig(), &out)
+	vm.MaxBytecodes = difftest.DefaultBudget
+	switch tier {
+	case 0:
+		vm.SetQuicken(false)
+	case 1:
+		vm.SetPolyICs(false)
+		vm.SetFusion(false)
+		vm.SetIntFast(false)
+	}
+	res := tierOutcome{}
+	if err := vm.RunSource(name, src); err != nil {
+		res.Err = err.Error()
+	}
+	res.Output = out.String()
+	if vm.Globals != nil {
+		res.DictVer = vm.Globals.Version
+	}
+	st := vm.Heap.Stats
+	res.NetRefs = int64(st.Increfs) + int64(st.Allocations) - int64(st.Decrefs)
+	return res
+}
+
+// assertTiersAgree runs src at all three tiers and fails on any
+// divergence. Net refcounts are only compared for clean runs: an
+// exception unwinds through tier-specific code with tier-specific
+// temporaries, so only output/error/dict-version identity is required
+// there.
+func assertTiersAgree(t *testing.T, name, src string) {
+	t.Helper()
+	base := runTier(t, name, src, 0)
+	for tier := 1; tier <= 2; tier++ {
+		got := runTier(t, name, src, tier)
+		if got.Output != base.Output {
+			t.Errorf("%s: %s output diverged from generic\n--- generic ---\n%s--- %s ---\n%s",
+				name, tierNames[tier], base.Output, tierNames[tier], got.Output)
+		}
+		if got.Err != base.Err {
+			t.Errorf("%s: %s exception diverged: generic %q, %s %q",
+				name, tierNames[tier], base.Err, tierNames[tier], got.Err)
+		}
+		if got.DictVer != base.DictVer {
+			t.Errorf("%s: %s module-dict version diverged: generic %d, %s %d",
+				name, tierNames[tier], base.DictVer, tierNames[tier], got.DictVer)
+		}
+		if base.Err == "" && got.NetRefs != base.NetRefs {
+			t.Errorf("%s: %s net refcount balance diverged: generic %d, %s %d",
+				name, tierNames[tier], base.NetRefs, tierNames[tier], got.NetRefs)
+		}
+	}
+}
+
+func TestQuickenEquivCorpus(t *testing.T) {
+	corpus, err := difftest.LoadCorpus("../difftest/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) == 0 {
+		t.Fatal("empty difftest corpus")
+	}
+	for name, src := range corpus {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			assertTiersAgree(t, name, src)
+		})
+	}
+}
+
+func TestQuickenEquivGenerated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generated equivalence sweep skipped in -short mode")
+	}
+	const seeds = 24
+	for seed := uint64(1); seed <= seeds; seed++ {
+		seed := seed
+		name := fmt.Sprintf("gen_%03d", seed)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			assertTiersAgree(t, name, difftest.Generate(seed))
+		})
+	}
+}
+
+// int64 boundary programs: the unboxed-int speculation must deopt on
+// the exact overflow edge and reproduce the generic OverflowError (or
+// clean result) bit-for-bit.
+var boundaryPrograms = map[string]string{
+	"boundary_pos_edge": `
+big = 9223372036854775807
+print(big - 1)
+print(big - 1 + 1)
+x = big + 1
+print(x)
+`,
+	"boundary_neg_edge": `
+neg = 0 - 9223372036854775807
+neg = neg - 1
+print(neg)
+y = neg - 1
+print(y)
+`,
+	"boundary_mul": `
+half = 3037000499
+print(half * half)
+z = half * half * 4
+print(z)
+`,
+	"boundary_clean_loop": `
+acc = 9223372036854775000
+i = 0
+while i < 800:
+    acc = acc + 1
+    i = i + 1
+print(acc)
+`,
+}
+
+func TestQuickenEquivInt64Boundary(t *testing.T) {
+	sawOverflow := false
+	for name, src := range boundaryPrograms {
+		assertTiersAgree(t, name, src)
+		if out := runTier(t, name, src, 0); strings.Contains(out.Err, "OverflowError") {
+			sawOverflow = true
+		}
+	}
+	if !sawOverflow {
+		t.Error("no boundary program tripped OverflowError; the deopt edge is untested")
+	}
+}

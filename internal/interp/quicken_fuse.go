@@ -1,0 +1,905 @@
+package interp
+
+import (
+	"repro/internal/core"
+	"repro/internal/pycode"
+	"repro/internal/pyobj"
+)
+
+// Tier-2 superinstruction fusion and speculative unboxed-int rewrites.
+//
+// The fusion pass rewrites hot bytecode pairs in the per-VM quickened
+// stream into single-dispatch superinstructions. Every fusion uses the
+// "second slot intact" technique: only the head instruction's opcode
+// changes; the second slot keeps its original instruction. The fused
+// handler reads the second slot as an immediate operand and retires both
+// (setting PC past the pair), while a jump that lands on the second slot
+// executes it as the intact original — no jump-target analysis is needed
+// for the pair's interior, only a guarantee that nothing jumps *between*
+// the halves such that the head's changed stack contract is observed.
+//
+// Three fusions exist:
+//
+//   - COMPARE_POP_JUMP: COMPARE_OP + POP_JUMP_IF_{FALSE,TRUE}. One
+//     dispatch instead of two, and the int fast path skips boxing the
+//     intermediate bool entirely (a balanced elision: the generic pair
+//     increfs and decrefs the bool singleton symmetrically).
+//   - LOAD_FAST_LOAD_FAST: two adjacent local loads in one dispatch.
+//   - LOAD_ATTR_CALL_METHOD / CALL_METHOD: the distance pair. The head
+//     replaces LOAD_ATTR_IC before an argument run ending in
+//     CALL_FUNCTION(argc); a method-cache hit pushes (callee, self) and
+//     elides the BoundMethod allocation, a miss pushes (nil, attr-value)
+//     and the rewritten CALL_METHOD dispatches on the nil marker. Both
+//     halves still execute — the win is the allocation, not the dispatch.
+//
+// De-fusion safety: the atomic pairs (COMPARE_POP_JUMP,
+// LOAD_FAST_LOAD_FAST) may be de-fused and re-fused at any dispatch
+// boundary — a suspended frame is always parked inside a call
+// instruction, never between the halves of an atomic pair. The attr-call
+// pair is never de-fused once any frame is live: its two halves bracket
+// stack state (the extra callee slot), so a mid-run rewrite would strand
+// a suspended CALL_METHOD above a de-fused head. It deoptimizes
+// per-execution through the nil-marker path instead, and is restored to
+// LOAD_ATTR_IC + CALL_FUNCTION only when no frame is executing (the
+// SetTracer-before-run case).
+
+// fuseKind identifies a superinstruction rewrite.
+type fuseKind uint8
+
+const (
+	fuseCmpJump fuseKind = iota
+	fuseFastFast
+	fuseAttrCall
+	fuseFastAttr    // LOAD_FAST + LOAD_ATTR(_IC), borrowed receiver
+	fuseFastStore   // LOAD_FAST + STORE_ATTR(_IC), borrowed receiver
+	fuseFastBin     // LOAD_FAST + BINARY_{ADD,SUB,MUL}(_INT), borrowed rhs
+	fuseConstBin    // LOAD_CONST + BINARY_{ADD,SUB,MUL}(_INT), borrowed rhs
+	fuseGlobalBin   // LOAD_GLOBAL_IC + BINARY_{ADD,SUB,MUL}(_INT), borrowed rhs
+	fuseFastFastCmp // LOAD_FAST_LOAD_FAST upgraded over a COMPARE_POP_JUMP
+	fuseConstReturn // LOAD_CONST + RETURN_VALUE
+	numFuseKinds
+)
+
+// atomicFuse maps each atomic fusion kind to its superinstruction opcode
+// and the head opcode it restores to on de-fusion. The attr-call kind is
+// absent: its two halves bracket stack state and it is only undone by
+// defuseAll when no frame is live.
+var atomicFuse = [numFuseKinds]struct{ fused, head pycode.Opcode }{
+	fuseCmpJump:     {pycode.COMPARE_POP_JUMP, pycode.COMPARE_OP},
+	fuseFastFast:    {pycode.LOAD_FAST_LOAD_FAST, pycode.LOAD_FAST},
+	fuseFastAttr:    {pycode.LOAD_FAST_LOAD_ATTR, pycode.LOAD_FAST},
+	fuseFastStore:   {pycode.LOAD_FAST_STORE_ATTR, pycode.LOAD_FAST},
+	fuseFastBin:     {pycode.LOAD_FAST_BINARY, pycode.LOAD_FAST},
+	fuseConstBin:    {pycode.LOAD_CONST_BINARY, pycode.LOAD_CONST},
+	fuseGlobalBin:   {pycode.LOAD_GLOBAL_BINARY, pycode.LOAD_GLOBAL_IC},
+	fuseFastFastCmp: {pycode.LOAD_FAST_FAST_CMP_JUMP, pycode.LOAD_FAST},
+	fuseConstReturn: {pycode.LOAD_CONST_RETURN, pycode.LOAD_CONST},
+}
+
+// fusedSite records one fusion applied to a codeData's quickened stream.
+type fusedSite struct {
+	pc   int
+	kind fuseKind
+	// callPC is the CALL_FUNCTION slot of an attr-call pair (unused by
+	// the atomic kinds, whose second slot is pc+1 and stays intact).
+	callPC int
+}
+
+// fuseMaxArgScan bounds the argument-run scan of the attr-call pairing:
+// call sites with more in-between instructions stay unfused.
+const fuseMaxArgScan = 8
+
+// jumpTargets returns a bitmap of instruction indices any control
+// transfer in code can land on.
+func jumpTargets(code *pycode.Code) []bool {
+	t := make([]bool, len(code.Code))
+	for _, in := range code.Code {
+		switch in.Op {
+		case pycode.JUMP_FORWARD, pycode.JUMP_ABSOLUTE,
+			pycode.POP_JUMP_IF_FALSE, pycode.POP_JUMP_IF_TRUE,
+			pycode.JUMP_IF_FALSE_OR_POP, pycode.JUMP_IF_TRUE_OR_POP,
+			pycode.CONTINUE_LOOP, pycode.FOR_ITER, pycode.SETUP_LOOP:
+			if int(in.Arg) < len(t) {
+				t[int(in.Arg)] = true
+			}
+		}
+	}
+	return t
+}
+
+// fuseCode rewrites fusable pairs in cd's quickened stream. Runs at
+// materialize time, after the monomorphic IC rewrites and before the
+// speculative int pass (fusion claims COMPARE_OP heads in their base
+// form).
+func (vm *VM) fuseCode(code *pycode.Code, cd *codeData) {
+	quick := cd.quick
+	targets := jumpTargets(code)
+	pair := func(i int, k fuseKind) {
+		quick[i].Op = atomicFuse[k].fused
+		cd.fused = append(cd.fused, fusedSite{pc: i, kind: k})
+		vm.Stats.IC.Fused++
+	}
+	for i := 0; i+1 < len(quick); i++ {
+		switch quick[i].Op {
+		case pycode.COMPARE_OP:
+			n := quick[i+1].Op
+			if (n == pycode.POP_JUMP_IF_FALSE || n == pycode.POP_JUMP_IF_TRUE) && !targets[i+1] {
+				pair(i, fuseCmpJump)
+				i++
+			}
+		case pycode.LOAD_FAST:
+			if targets[i+1] {
+				continue
+			}
+			switch quick[i+1].Op {
+			case pycode.LOAD_FAST:
+				pair(i, fuseFastFast)
+				i++
+			case pycode.LOAD_ATTR_IC:
+				// The attr-call distance pair is the bigger win (it
+				// elides a BoundMethod allocation); only borrow the
+				// receiver when the attr load does not feed a call.
+				if _, call := findCallSlot(quick, targets, i+1); !call {
+					pair(i, fuseFastAttr)
+					i++
+				}
+			case pycode.STORE_ATTR_IC, pycode.STORE_ATTR:
+				pair(i, fuseFastStore)
+				i++
+			case pycode.BINARY_ADD, pycode.BINARY_SUBTRACT, pycode.BINARY_MULTIPLY:
+				pair(i, fuseFastBin)
+				i++
+			}
+		case pycode.LOAD_CONST:
+			if targets[i+1] {
+				continue
+			}
+			switch quick[i+1].Op {
+			case pycode.BINARY_ADD, pycode.BINARY_SUBTRACT, pycode.BINARY_MULTIPLY:
+				pair(i, fuseConstBin)
+				i++
+			case pycode.RETURN_VALUE:
+				pair(i, fuseConstReturn)
+				i++
+			}
+		case pycode.LOAD_GLOBAL_IC:
+			switch quick[i+1].Op {
+			case pycode.BINARY_ADD, pycode.BINARY_SUBTRACT, pycode.BINARY_MULTIPLY:
+				if !targets[i+1] {
+					pair(i, fuseGlobalBin)
+					i++
+				}
+			}
+		case pycode.LOAD_ATTR_IC:
+			if j, ok := findCallSlot(quick, targets, i); ok {
+				quick[i].Op = pycode.LOAD_ATTR_CALL_METHOD
+				quick[j].Op = pycode.CALL_METHOD
+				cd.fused = append(cd.fused, fusedSite{pc: i, kind: fuseAttrCall, callPC: j})
+				vm.Stats.IC.Fused++
+			}
+		}
+	}
+	// Second sweep: a LOAD_FAST_LOAD_FAST whose tail feeds a fused
+	// COMPARE_POP_JUMP upgrades to the four-slot loop-header form. No new
+	// target checks are needed: every interior slot is intact, and each
+	// suffix (pc+1, pc+2, pc+3) executes standalone with the generic
+	// stack contract if jumped into.
+	for fi := range cd.fused {
+		fs := &cd.fused[fi]
+		if fs.kind == fuseFastFast && fs.pc+2 < len(quick) &&
+			quick[fs.pc+2].Op == pycode.COMPARE_POP_JUMP {
+			quick[fs.pc].Op = pycode.LOAD_FAST_FAST_CMP_JUMP
+			fs.kind = fuseFastFastCmp
+		}
+	}
+}
+
+// findCallSlot scans forward from a LOAD_ATTR_IC head for the
+// CALL_FUNCTION that consumes it, accepting only a straight-line run of
+// pure pushes whose count matches the call's argc. Any jump target inside
+// the window (head exclusive — landing on the head itself executes the
+// whole pair with the generic stack contract) rejects the pairing: an
+// entry between the halves would observe the head's extra stack slot, or
+// reach CALL_METHOD without it.
+func findCallSlot(quick []pycode.Instr, targets []bool, i int) (int, bool) {
+	depth := 0
+	for j := i + 1; j < len(quick) && j <= i+1+fuseMaxArgScan; j++ {
+		if targets[j] {
+			return 0, false
+		}
+		switch quick[j].Op {
+		case pycode.LOAD_FAST, pycode.LOAD_CONST, pycode.LOAD_GLOBAL,
+			pycode.LOAD_GLOBAL_IC, pycode.LOAD_NAME:
+			depth++
+		case pycode.CALL_FUNCTION:
+			if int(quick[j].Arg) == depth {
+				return j, true
+			}
+			return 0, false
+		default:
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// intFastCode rewrites remaining (unfused) arithmetic and comparison
+// sites to their speculative unboxed-int forms. Only sites with a cache
+// slot are rewritten: the slot's miss budget is what de-quickens a site
+// whose operands turn out not to be small ints.
+func (vm *VM) intFastCode(code *pycode.Code, cd *codeData) {
+	for i := range cd.quick {
+		if code.SiteOf[i] < 0 {
+			continue
+		}
+		switch cd.quick[i].Op {
+		case pycode.BINARY_ADD:
+			cd.quick[i].Op = pycode.BINARY_ADD_INT
+		case pycode.BINARY_SUBTRACT:
+			cd.quick[i].Op = pycode.BINARY_SUB_INT
+		case pycode.BINARY_MULTIPLY:
+			cd.quick[i].Op = pycode.BINARY_MUL_INT
+		case pycode.COMPARE_OP:
+			if pycode.CmpOp(cd.quick[i].Arg) <= pycode.CmpGE {
+				cd.quick[i].Op = pycode.COMPARE_OP_INT
+			}
+		}
+	}
+}
+
+// defuseAtomic rewrites every fused atomic pair in cd back to its base
+// head opcode (the second slot was never modified). Attr-call pairs are
+// left alone — see the package comment for why.
+func (vm *VM) defuseAtomic(cd *codeData) {
+	if cd == nil || cd.quick == nil {
+		return
+	}
+	for _, fs := range cd.fused {
+		if fs.kind == fuseAttrCall {
+			continue
+		}
+		if cd.quick[fs.pc].Op == atomicFuse[fs.kind].fused {
+			cd.quick[fs.pc].Op = atomicFuse[fs.kind].head
+			vm.Stats.IC.Defused++
+		}
+	}
+}
+
+// refuseAll re-applies the atomic fusions recorded in cd.fused (the
+// even-numbered trips of the fusion-flush churn). A head that was
+// de-quickened in the meantime is left generic — de-fused atomic heads
+// are generic opcodes that never miss, so in practice the head is always
+// restorable.
+func (vm *VM) refuseAll(cd *codeData) {
+	if cd == nil || cd.quick == nil {
+		return
+	}
+	for _, fs := range cd.fused {
+		if fs.kind == fuseAttrCall {
+			continue
+		}
+		if cd.quick[fs.pc].Op == atomicFuse[fs.kind].head {
+			cd.quick[fs.pc].Op = atomicFuse[fs.kind].fused
+			vm.Stats.IC.Fused++
+		}
+	}
+}
+
+// defuseAll restores every fusion that is safe to undo: atomic pairs
+// always, attr-call pairs only when no frame is live (their halves
+// bracket stack state). Restored attr-call entries are dropped from the
+// fused list; unrestorable ones are kept fused and keep deoptimizing
+// per-execution through the nil-marker path.
+func (vm *VM) defuseAll(cd *codeData) {
+	if cd == nil || cd.quick == nil {
+		return
+	}
+	vm.defuseAtomic(cd)
+	kept := cd.fused[:0]
+	for _, fs := range cd.fused {
+		if fs.kind != fuseAttrCall {
+			continue // atomic entries are dropped: nothing re-fuses them
+		}
+		if vm.frame != nil {
+			kept = append(kept, fs)
+			continue
+		}
+		if cd.quick[fs.pc].Op == pycode.LOAD_ATTR_CALL_METHOD {
+			cd.quick[fs.pc].Op = pycode.LOAD_ATTR_IC
+		}
+		if cd.quick[fs.callPC].Op == pycode.CALL_METHOD {
+			cd.quick[fs.callPC].Op = pycode.CALL_FUNCTION
+		}
+		vm.Stats.IC.Defused++
+	}
+	cd.fused = kept
+}
+
+// fuseTick advances the fusion-flush churn counter: every tier-2
+// fast-path execution ticks it, and every fuseFlushEvery ticks the
+// atomic fusions are de-fused (odd trips) or re-fused (even trips).
+// Int-fast executions keep ticking while the pairs are de-fused, so the
+// re-fusion trip is always reached.
+func (vm *VM) fuseTick() {
+	if vm.fuseFlushEvery == 0 {
+		return
+	}
+	vm.fuseTicks++
+	if vm.fuseTicks%vm.fuseFlushEvery != 0 {
+		return
+	}
+	if vm.fuseFlushed {
+		for _, cd := range vm.constCache {
+			vm.refuseAll(cd)
+		}
+	} else {
+		for _, cd := range vm.constCache {
+			vm.defuseAtomic(cd)
+		}
+	}
+	vm.fuseFlushed = !vm.fuseFlushed
+}
+
+// ---- fused handlers ----
+
+// loadAttrCallMethod executes the head of an attr-call pair. The method
+// fast path requires the site's MRU cache entry to be a guarded
+// ICAttrMethod hit; it pushes (callee, self) — transferring the
+// receiver's reference into the self slot — and skips the BoundMethod
+// allocation the generic hit would pay. Every other outcome (value
+// attribute, module function, cache miss) pushes (nil, attr-value) with
+// exactly the generic LOAD_ATTR_IC semantics, except that the
+// instruction is never rewritten back to LOAD_ATTR: the pair's stack
+// contract is fixed, so a megamorphic head keeps its miss budget
+// saturated but stays fused.
+func (vm *VM) loadAttrCallMethod(f *pyobj.Frame, in pycode.Instr, pc int) {
+	obj := vm.pop(f)
+	site := f.Code.SiteOf[pc]
+	c := &f.Caches[site]
+	name := f.Code.Names[in.Arg]
+
+	if o, isInst := obj.(*pyobj.Instance); isInst {
+		mc := c
+		if c.State == pyobj.ICPoly && len(c.Poly) > 0 {
+			mc = &c.Poly[0] // elide through the MRU way only
+		}
+		if mc.State == pyobj.ICAttrMethod && mc.Class == o.Class && mc.CVer == o.Class.ChainVersion() {
+			if _, _, shadowed := o.Dict.GetStr(name); !shadowed {
+				e := vm.Eng
+				e.Load(core.TypeCheck, obj.Hdr().Addr, false)
+				e.Branch(core.TypeCheck, true)
+				vm.icGuardEvents(f, site)
+				e.Load(core.NameResolution, o.Dict.TableAddr, true)
+				e.Branch(core.NameResolution, true)
+				vm.Incref(mc.Fn)
+				vm.push(f, mc.Fn)
+				vm.push(f, o)
+				vm.Stats.IC.FusedHits++
+				vm.fuseTick()
+				return
+			}
+		}
+	}
+
+	// Non-eliding path: LOAD_ATTR_IC semantics under a nil marker.
+	var v pyobj.Object
+	if c.State == pyobj.ICPoly {
+		if pv, ok := vm.attrPolyLookup(f, obj, c, site, name); ok {
+			v = pv
+		}
+	} else if hv, method, ok := vm.attrCacheHit(f, obj, c, site, name); ok {
+		v = hv
+		if method {
+			vm.Stats.IC.MethodHits++
+		} else {
+			vm.Stats.IC.AttrHits++
+		}
+	}
+	if v == nil {
+		if c.State == pyobj.ICPoly {
+			vm.Stats.IC.PolyMisses++
+		} else {
+			vm.Stats.IC.AttrMisses++
+		}
+		if c.State != pyobj.ICEmpty {
+			vm.Stats.IC.Invalidations++
+		}
+		if c.Misses < 255 {
+			c.Misses++
+		}
+		v = vm.getAttr(obj, name)
+		if c.Misses < icMaxMisses {
+			if _, ok := vm.refillAttrAfterMiss(c, obj, name); ok {
+				vm.noteFill()
+			}
+		}
+	}
+	vm.push(f, nil)
+	vm.push(f, v)
+	vm.Decref(obj)
+	vm.Stats.IC.FusedMisses++
+}
+
+// callMethod executes the rewritten CALL_FUNCTION of an attr-call pair:
+// argc arguments above the head's two slots. A non-nil bottom slot is
+// the elided method's callee — prepend self and call it directly,
+// skipping the callable type dispatch the generic path pays. A nil
+// bottom slot means the head took the generic path; the top slot is an
+// ordinary callable.
+func (vm *VM) callMethod(f *pyobj.Frame, argc int) {
+	vm.Stats.Calls++
+	e := vm.Eng
+	args := make([]pyobj.Object, argc)
+	for i := argc - 1; i >= 0; i-- {
+		args[i] = vm.pop(f)
+	}
+	selfOrCallable := vm.pop(f)
+	head := vm.pop(f)
+
+	if head != nil {
+		fn := head.(*pyobj.Func)
+		// Self-prepend shuffle, as CallObject's BoundMethod arm.
+		e.ALUn(core.FunctionSetup, 2)
+		full := make([]pyobj.Object, 0, argc+1)
+		full = append(full, selfOrCallable)
+		full = append(full, args...)
+		res := vm.callPy(fn, full)
+		for _, a := range args {
+			vm.Decref(a)
+		}
+		vm.Decref(selfOrCallable)
+		vm.Decref(fn)
+		vm.push(f, res)
+		vm.fuseTick()
+		return
+	}
+
+	// Generic CALL_FUNCTION tail on the attr result.
+	e.Load(core.TypeCheck, selfOrCallable.Hdr().Addr, false)
+	e.ALU(core.TypeCheck, true)
+	e.Branch(core.TypeCheck, true)
+	res := vm.CallObject(selfOrCallable, args)
+	for _, a := range args {
+		vm.Decref(a)
+	}
+	vm.Decref(selfOrCallable)
+	vm.push(f, res)
+}
+
+// comparePopJump executes a fused COMPARE_OP + POP_JUMP_IF_{FALSE,TRUE}.
+// The intact second slot supplies the jump sense and target. The int
+// fast path computes the branch condition unboxed, skipping the bool
+// singleton round-trip (incref+decref, balanced) and the second
+// dispatch; every other operand shape falls back to the generic
+// CompareOp + Truthy sequence with only the dispatch elided.
+func (vm *VM) comparePopJump(f *pyobj.Frame, in pycode.Instr, pc int) {
+	next := f.Insns[pc+1]
+	b := vm.pop(f)
+	a := vm.pop(f)
+	op := pycode.CmpOp(in.Arg)
+
+	var t bool
+	ai, aok := a.(*pyobj.Int)
+	bi, bok := b.(*pyobj.Int)
+	// Speculation guard: one type-word load + branch, charged to
+	// Dispatch (the category this machinery exists to shrink).
+	vm.Eng.Load(core.Dispatch, a.Hdr().Addr, true)
+	fast := vm.intFast && op <= pycode.CmpGE && aok && bok &&
+		vm.intFastOK(ai.V) && vm.intFastOK(bi.V)
+	vm.Eng.Branch(core.Dispatch, fast)
+	if fast {
+		vm.Eng.ALU(core.Execute, true)
+		t = cmpResult(op, compareInt(ai.V, bi.V))
+	} else {
+		r := vm.CompareOp(op, a, b)
+		t = vm.Truthy(r)
+		vm.Decref(r)
+	}
+	vm.Decref(a)
+	vm.Decref(b)
+
+	vm.retireElided(f, next.Op)
+	taken := t == (next.Op == pycode.POP_JUMP_IF_TRUE)
+	vm.Eng.Branch(core.Execute, taken)
+	if taken {
+		f.PC = int(next.Arg)
+	} else {
+		f.PC = pc + 2
+	}
+	vm.Stats.IC.FusedHits++
+	vm.fuseTick()
+}
+
+// loadFastLoadFast executes two adjacent local loads in one dispatch,
+// replicating each load's events and UnboundLocalError check exactly.
+func (vm *VM) loadFastLoadFast(f *pyobj.Frame, in pycode.Instr, pc int) {
+	next := f.Insns[pc+1]
+	vm.Eng.ALU(core.RegTransfer, false)
+	vm.Eng.Load(core.Stack, f.LocalAddr(int(in.Arg)), true)
+	v := f.Locals[in.Arg]
+	vm.errCheck(v == nil)
+	if v == nil {
+		Raise("UnboundLocalError", "local variable '%s' referenced before assignment",
+			f.Code.Varnames[in.Arg])
+	}
+	vm.Incref(v)
+	vm.push(f, v)
+
+	// Second load; its dispatch is elided but its bytecode retires.
+	vm.retireElided(f, next.Op)
+	vm.Eng.ALU(core.RegTransfer, false)
+	vm.Eng.Load(core.Stack, f.LocalAddr(int(next.Arg)), true)
+	w := f.Locals[next.Arg]
+	vm.errCheck(w == nil)
+	if w == nil {
+		Raise("UnboundLocalError", "local variable '%s' referenced before assignment",
+			f.Code.Varnames[next.Arg])
+	}
+	vm.Incref(w)
+	vm.push(f, w)
+	f.PC = pc + 2
+	vm.Stats.IC.FusedHits++
+	vm.fuseTick()
+}
+
+// ---- speculative unboxed-int handlers ----
+
+// intFastOK applies the operand-magnitude cap (difftest's forced-deopt
+// knob); 0 means only real int64 overflow deopts.
+func (vm *VM) intFastOK(v int64) bool {
+	return vm.intFastMaxAbs == 0 || (v <= vm.intFastMaxAbs && v >= -vm.intFastMaxAbs)
+}
+
+// intFastMiss charges a deopt to the site's miss budget and rewrites the
+// instruction back to its generic form once the budget is exhausted.
+// Unlike the fused pairs, the int-fast forms are single-slot rewrites,
+// so de-quickening them mid-run is always safe.
+func (vm *VM) intFastMiss(f *pyobj.Frame, pc int) {
+	vm.Stats.IC.IntFastMisses++
+	site := f.Code.SiteOf[pc]
+	if site < 0 {
+		return
+	}
+	c := &f.Caches[site]
+	if c.Misses < 255 {
+		c.Misses++
+	}
+	if c.Misses >= icMaxMisses {
+		in := f.Insns[pc]
+		f.Insns[pc] = pycode.Instr{Op: in.Op.Dequicken(), Arg: in.Arg}
+		c.Reset()
+		vm.Stats.IC.Dequickened++
+	}
+}
+
+// intFastBin executes BINARY_{ADD,SUB,MUL}_INT: unboxed arithmetic with
+// an exact overflow pre-check. Any deopt — non-int operand, magnitude
+// cap, would-overflow — falls back to the generic BinaryOp, which
+// re-derives the type/overflow errors with identical messages and
+// events.
+func (vm *VM) intFastBin(f *pyobj.Frame, op pycode.Opcode, pc int) {
+	b := vm.pop(f)
+	a := vm.pop(f)
+	ai, aok := a.(*pyobj.Int)
+	bi, bok := b.(*pyobj.Int)
+
+	vm.Eng.Load(core.Dispatch, a.Hdr().Addr, true)
+	fast := aok && bok && vm.intFastOK(ai.V) && vm.intFastOK(bi.V)
+	var v int64
+	if fast {
+		v, fast = intFastArith(op, ai.V, bi.V)
+	}
+	vm.Eng.Branch(core.Dispatch, fast)
+	if fast {
+		vm.Eng.ALU(core.Execute, true)
+		r := vm.NewInt(v)
+		vm.Decref(a)
+		vm.Decref(b)
+		vm.push(f, r)
+		vm.Stats.IC.IntFastHits++
+		vm.fuseTick()
+		return
+	}
+
+	vm.intFastMiss(f, pc)
+	r := vm.BinaryOp(binKindOf(op.Dequicken()), a, b)
+	vm.Decref(a)
+	vm.Decref(b)
+	vm.push(f, r)
+	vm.fuseTick()
+}
+
+const minInt64 = -1 << 63
+
+// intFastArith computes x OP y unboxed with an exact overflow pre-check,
+// reporting false (a deopt) when the int64 result would be wrong.
+func intFastArith(op pycode.Opcode, x, y int64) (int64, bool) {
+	switch op {
+	case pycode.BINARY_ADD_INT:
+		v := x + y
+		return v, !((x > 0 && y > 0 && v < 0) || (x < 0 && y < 0 && v >= 0))
+	case pycode.BINARY_SUB_INT:
+		v := x - y
+		return v, !((x > 0 && y < 0 && v < 0) || (x < 0 && y > 0 && v >= 0))
+	case pycode.BINARY_MUL_INT:
+		v := x * y
+		return v, x == 0 || (v/x == y && !(x == -1 && y == minInt64))
+	}
+	return 0, false
+}
+
+// compareOpInt executes COMPARE_OP_INT (an unfused comparison site
+// rewritten speculatively): unboxed compare on the fast path, generic
+// CompareOp on deopt.
+func (vm *VM) compareOpInt(f *pyobj.Frame, in pycode.Instr, pc int) {
+	b := vm.pop(f)
+	a := vm.pop(f)
+	op := pycode.CmpOp(in.Arg)
+	ai, aok := a.(*pyobj.Int)
+	bi, bok := b.(*pyobj.Int)
+
+	vm.Eng.Load(core.Dispatch, a.Hdr().Addr, true)
+	fast := aok && bok && vm.intFastOK(ai.V) && vm.intFastOK(bi.V)
+	vm.Eng.Branch(core.Dispatch, fast)
+	if fast {
+		vm.Eng.ALU(core.Execute, true)
+		r := vm.NewBool(cmpResult(op, compareInt(ai.V, bi.V)))
+		vm.Decref(a)
+		vm.Decref(b)
+		vm.push(f, r)
+		vm.Stats.IC.IntFastHits++
+		vm.fuseTick()
+		return
+	}
+
+	vm.intFastMiss(f, pc)
+	r := vm.CompareOp(op, a, b)
+	vm.Decref(a)
+	vm.Decref(b)
+	vm.push(f, r)
+	vm.fuseTick()
+}
+
+// ---- operand-borrowing superinstruction handlers ----
+//
+// Each handler below reads the head's operand without pushing it: the
+// owning reference (a frame local slot, co_consts, or a guarded
+// global-dict entry) stays live for the whole handler, so the generic
+// sequence's incref+push ... pop+decref round-trip is elided as a
+// balanced pair — net reference counts are identical to the generic
+// pair's. The head still pays the generic form's resolution events (the
+// elision is stack and refcount traffic, not semantic work), and every
+// elided slot retires a bytecode for budget and telemetry parity.
+
+// localBorrow reads a local slot with LOAD_FAST's events and
+// UnboundLocalError check, returning a borrowed reference.
+func (vm *VM) localBorrow(f *pyobj.Frame, idx int) pyobj.Object {
+	vm.Eng.ALU(core.RegTransfer, false)
+	vm.Eng.Load(core.Stack, f.LocalAddr(idx), true)
+	v := f.Locals[idx]
+	vm.errCheck(v == nil)
+	if v == nil {
+		Raise("UnboundLocalError", "local variable '%s' referenced before assignment",
+			f.Code.Varnames[idx])
+	}
+	return v
+}
+
+// constBorrow reads a co_consts slot with LOAD_CONST's events, returning
+// a borrowed reference (consts are owned by the code object for the
+// frame's whole lifetime).
+func (vm *VM) constBorrow(f *pyobj.Frame, idx int) pyobj.Object {
+	vm.Eng.ALU(core.RegTransfer, false)
+	vm.Eng.Load(core.ConstLoad, f.ConstsAddr+uint64(idx)*8, true)
+	return f.Consts[idx]
+}
+
+// retireElided accounts one fused-away slot: the dispatch's events are
+// gone but the bytecode still retires against the step budget and the
+// resource governor, so a fused program trips the exact same limits at
+// the exact same retirement count as its generic execution. op is the
+// elided slot's opcode, for the budget message.
+func (vm *VM) retireElided(f *pyobj.Frame, op pycode.Opcode) {
+	vm.iterations++
+	vm.Stats.Bytecodes++
+	if vm.MaxBytecodes != 0 && vm.iterations > vm.MaxBytecodes {
+		Raise("RuntimeError", "bytecode budget exceeded in %s at pc=%d (op=%s)",
+			f.Code.Name, f.PC, op.Dequicken())
+	}
+	if vm.iterations >= vm.nextCheck {
+		vm.governorCheck(f, op)
+	}
+}
+
+// loadFastLoadAttr executes LOAD_FAST + LOAD_ATTR(_IC) with a borrowed
+// receiver. The second slot is read per execution: the attr site may
+// de-quicken itself (icMiss rewrites slot pc+1 only) while the head
+// stays fused, in which case the generic lookup runs instead.
+func (vm *VM) loadFastLoadAttr(f *pyobj.Frame, in pycode.Instr, pc int) {
+	obj := vm.localBorrow(f, int(in.Arg))
+	next := f.Insns[pc+1]
+	vm.retireElided(f, next.Op)
+	var v pyobj.Object
+	if next.Op == pycode.LOAD_ATTR_IC {
+		v = vm.loadAttrIC(f, obj, next, pc+1)
+	} else {
+		v = vm.getAttr(obj, f.Code.Names[next.Arg])
+	}
+	vm.push(f, v)
+	f.PC = pc + 2
+	vm.Stats.IC.FusedHits++
+	vm.fuseTick()
+}
+
+// loadFastStoreAttr executes LOAD_FAST + STORE_ATTR(_IC) with a
+// borrowed receiver: the stored value is popped and released exactly as
+// the generic pair does, only the receiver round-trip is elided.
+func (vm *VM) loadFastStoreAttr(f *pyobj.Frame, in pycode.Instr, pc int) {
+	obj := vm.localBorrow(f, int(in.Arg))
+	next := f.Insns[pc+1]
+	vm.retireElided(f, next.Op)
+	v := vm.pop(f)
+	if next.Op == pycode.STORE_ATTR_IC {
+		vm.storeAttrIC(f, obj, next, pc+1, v)
+	} else {
+		vm.setAttr(obj, f.Code.Names[next.Arg], v)
+	}
+	vm.Decref(v)
+	f.PC = pc + 2
+	vm.Stats.IC.FusedHits++
+	vm.fuseTick()
+}
+
+// binaryFusedTail finishes a borrowed-rhs binary pair: a is owned (it
+// came off the stack), b is borrowed unless ownedB. When the second slot
+// holds a speculative *_INT form the unboxed fast path runs under the
+// usual one-load-one-branch guard; a deopt charges the slot's miss
+// budget (possibly de-quickening slot pc+1 alone) and falls back to the
+// generic BinaryOp for identical slow-path results and errors.
+func (vm *VM) binaryFusedTail(f *pyobj.Frame, a, b pyobj.Object, pc int, ownedB bool) {
+	next := f.Insns[pc+1]
+	op := next.Op
+	if gen := op.Dequicken(); gen != op {
+		ai, aok := a.(*pyobj.Int)
+		bi, bok := b.(*pyobj.Int)
+		vm.Eng.Load(core.Dispatch, a.Hdr().Addr, true)
+		fast := vm.intFast && aok && bok && vm.intFastOK(ai.V) && vm.intFastOK(bi.V)
+		var v int64
+		if fast {
+			v, fast = intFastArith(op, ai.V, bi.V)
+		}
+		vm.Eng.Branch(core.Dispatch, fast)
+		if fast {
+			vm.Eng.ALU(core.Execute, true)
+			r := vm.NewInt(v)
+			vm.Decref(a)
+			if ownedB {
+				vm.Decref(b)
+			}
+			vm.push(f, r)
+			vm.Stats.IC.IntFastHits++
+			f.PC = pc + 2
+			vm.Stats.IC.FusedHits++
+			vm.fuseTick()
+			return
+		}
+		vm.intFastMiss(f, pc+1)
+		op = gen
+	}
+	r := vm.BinaryOp(binKindOf(op), a, b)
+	vm.Decref(a)
+	if ownedB {
+		vm.Decref(b)
+	}
+	vm.push(f, r)
+	f.PC = pc + 2
+	vm.Stats.IC.FusedHits++
+	vm.fuseTick()
+}
+
+// loadFastBinary executes LOAD_FAST + BINARY_{ADD,SUB,MUL}(_INT) with a
+// borrowed right operand.
+func (vm *VM) loadFastBinary(f *pyobj.Frame, in pycode.Instr, pc int) {
+	b := vm.localBorrow(f, int(in.Arg))
+	vm.retireElided(f, f.Insns[pc+1].Op)
+	a := vm.pop(f)
+	vm.binaryFusedTail(f, a, b, pc, false)
+}
+
+// loadConstBinary executes LOAD_CONST + BINARY_{ADD,SUB,MUL}(_INT) with
+// a borrowed right operand.
+func (vm *VM) loadConstBinary(f *pyobj.Frame, in pycode.Instr, pc int) {
+	b := vm.constBorrow(f, int(in.Arg))
+	vm.retireElided(f, f.Insns[pc+1].Op)
+	a := vm.pop(f)
+	vm.binaryFusedTail(f, a, b, pc, false)
+}
+
+// loadGlobalBinary executes LOAD_GLOBAL_IC + BINARY_{ADD,SUB,MUL}(_INT).
+// On a guarded cache hit the right operand is borrowed from the global
+// dict entry (the dict owns the reference and nothing can run between
+// the fused halves). On a miss the generic LOAD_GLOBAL_IC handler runs —
+// including its refill and its budget accounting, which may de-quicken
+// the head back to plain LOAD_GLOBAL — and the pushed value is popped
+// back into an owned right operand.
+func (vm *VM) loadGlobalBinary(f *pyobj.Frame, in pycode.Instr, pc int) {
+	site := f.Code.SiteOf[pc]
+	c := &f.Caches[site]
+	g := f.Globals
+	var b pyobj.Object
+	switch c.State {
+	case pyobj.ICGlobal:
+		if c.Dict == g && c.Ver == g.Version {
+			vm.icGuardEvents(f, site)
+			vm.Eng.Load(core.NameResolution, f.ICAddr+uint64(site)*icSlotBytes+8, true)
+			b = c.Value
+			vm.Stats.IC.GlobalHits++
+		}
+	case pyobj.ICGlobalBuiltin:
+		if c.Dict == g && c.Ver == g.Version && c.BVer == vm.Builtins.Version {
+			vm.icGuardEvents(f, site)
+			vm.Eng.ALU(core.NameResolution, true)
+			vm.Eng.Load(core.NameResolution, f.ICAddr+uint64(site)*icSlotBytes+8, true)
+			b = c.Value
+			vm.Stats.IC.GlobalHits++
+		}
+	}
+	if b != nil {
+		vm.retireElided(f, f.Insns[pc+1].Op)
+		a := vm.pop(f)
+		vm.binaryFusedTail(f, a, b, pc, false)
+		return
+	}
+	vm.loadGlobalIC(f, in, pc)
+	b = vm.pop(f)
+	vm.retireElided(f, f.Insns[pc+1].Op)
+	a := vm.pop(f)
+	vm.binaryFusedTail(f, a, b, pc, true)
+}
+
+// loadFastFastCmpJump executes the four-slot loop-header form: two
+// borrowed local loads feeding a fused compare-and-branch. The compare
+// slot is read per execution — the fusion-flush churn may have de-fused
+// the inner COMPARE_POP_JUMP back to COMPARE_OP(_INT), in which case the
+// boxed compare result is pushed for the still-separate jump.
+func (vm *VM) loadFastFastCmpJump(f *pyobj.Frame, in pycode.Instr, pc int) {
+	a := vm.localBorrow(f, int(in.Arg))
+	vm.retireElided(f, pycode.LOAD_FAST)
+	b := vm.localBorrow(f, int(f.Insns[pc+1].Arg))
+	cmp := f.Insns[pc+2]
+	op := pycode.CmpOp(cmp.Arg)
+	vm.retireElided(f, cmp.Op)
+
+	var t bool
+	ai, aok := a.(*pyobj.Int)
+	bi, bok := b.(*pyobj.Int)
+	vm.Eng.Load(core.Dispatch, a.Hdr().Addr, true)
+	fast := vm.intFast && op <= pycode.CmpGE && aok && bok &&
+		vm.intFastOK(ai.V) && vm.intFastOK(bi.V)
+	vm.Eng.Branch(core.Dispatch, fast)
+	if fast {
+		vm.Eng.ALU(core.Execute, true)
+		t = cmpResult(op, compareInt(ai.V, bi.V))
+	} else {
+		r := vm.CompareOp(op, a, b)
+		t = vm.Truthy(r)
+		vm.Decref(r)
+	}
+
+	if cmp.Op == pycode.COMPARE_POP_JUMP {
+		jmp := f.Insns[pc+3]
+		vm.retireElided(f, jmp.Op)
+		taken := t == (jmp.Op == pycode.POP_JUMP_IF_TRUE)
+		vm.Eng.Branch(core.Execute, taken)
+		if taken {
+			f.PC = int(jmp.Arg)
+		} else {
+			f.PC = pc + 4
+		}
+	} else {
+		vm.push(f, vm.NewBool(t))
+		f.PC = pc + 3
+	}
+	vm.Stats.IC.FusedHits++
+	vm.fuseTick()
+}

@@ -1,0 +1,196 @@
+package interp
+
+import (
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/pyobj"
+)
+
+// Tier-2 polymorphic inline caches. A monomorphic LOAD_ATTR/STORE_ATTR
+// site that misses with a *different* guard identity (another class,
+// another instance layout) is promoted to a 2–4-way polymorphic stub: a
+// linear chain of monomorphic entries walked in MRU order, each attempt
+// paying one compare+branch (charged to NameResolution, like the mono
+// guard). Same-identity churn (a version bump on the cached class or
+// layout) refills in place instead — a chain of dead versions would
+// never hit again. The chain shares the site's 16-miss de-quickening
+// budget: a megamorphic site still converges to generic bytecode.
+//
+// The chaos-mode GuardChainCorrupt fault forces a whole-chain miss even
+// though some entry would have matched: the site then takes the generic
+// lookup and refills, which must be behaviour-identical (the cache only
+// ever elides lookup work, never changes its result).
+
+// attrPolyLookup walks an ICPoly chain for a LOAD_ATTR site. On a hit
+// the matching entry moves to the front and the value (a new reference,
+// bound method included) is returned. A miss — chain exhausted, or a
+// forced GuardChainCorrupt — reports false and the caller runs the
+// generic path.
+func (vm *VM) attrPolyLookup(f *pyobj.Frame, obj pyobj.Object, c *pyobj.ICache, site int32, name string) (pyobj.Object, bool) {
+	if vm.Heap.Faults().Should(faults.GuardChainCorrupt) {
+		return nil, false
+	}
+	for i := range c.Poly {
+		v, _, ok := vm.attrCacheHit(f, obj, &c.Poly[i], site, name)
+		if ok {
+			if i != 0 {
+				c.Poly[0], c.Poly[i] = c.Poly[i], c.Poly[0]
+			}
+			vm.Stats.IC.PolyHits++
+			return v, true
+		}
+		// Failed chain entry: the compare and fall-through branch.
+		vm.Eng.ALU(core.NameResolution, true)
+		vm.Eng.Branch(core.NameResolution, false)
+	}
+	return nil, false
+}
+
+// storePolyLookup walks an ICPoly chain for a STORE_ATTR site,
+// performing the guarded in-place update on a hit.
+func (vm *VM) storePolyLookup(f *pyobj.Frame, obj pyobj.Object, c *pyobj.ICache, site int32, v pyobj.Object) bool {
+	if vm.Heap.Faults().Should(faults.GuardChainCorrupt) {
+		return false
+	}
+	for i := range c.Poly {
+		if vm.storeCacheHit(f, obj, &c.Poly[i], site, v) {
+			if i != 0 {
+				c.Poly[0], c.Poly[i] = c.Poly[i], c.Poly[0]
+			}
+			vm.Stats.IC.PolyHits++
+			return true
+		}
+		vm.Eng.ALU(core.NameResolution, true)
+		vm.Eng.Branch(core.NameResolution, false)
+	}
+	return false
+}
+
+// sameAttrIdentity reports whether two filled entries guard the same
+// shape — the distinction between version churn (refill in place) and
+// genuine polymorphism (grow the chain).
+func sameAttrIdentity(a, b *pyobj.ICache) bool {
+	if a.State != b.State {
+		// ICAttrClass vs ICAttrMethod on the same class is still the
+		// same resolution site shape-wise; treat as same identity so a
+		// method rebound to a value refills rather than chains.
+		classish := func(s pyobj.ICState) bool {
+			return s == pyobj.ICAttrClass || s == pyobj.ICAttrMethod
+		}
+		if !(classish(a.State) && classish(b.State)) {
+			return false
+		}
+	}
+	switch a.State {
+	case pyobj.ICAttrSlot, pyobj.ICStoreSlot:
+		return a.Enc == b.Enc && a.EntryIdx == b.EntryIdx
+	case pyobj.ICAttrClass, pyobj.ICAttrMethod:
+		return a.Class == b.Class
+	case pyobj.ICAttrModule:
+		return a.Dict == b.Dict
+	case pyobj.ICAttrType:
+		return a.TypeID == b.TypeID
+	}
+	return false
+}
+
+// polyInsert places a freshly filled entry into an ICPoly chain:
+// replacing a stale same-identity entry in place, appending while the
+// chain has room, or overwriting the LRU tail once it is full.
+func (vm *VM) polyInsert(c *pyobj.ICache, e *pyobj.ICache) {
+	for i := range c.Poly {
+		if sameAttrIdentity(&c.Poly[i], e) {
+			c.Poly[i] = *e
+			return
+		}
+	}
+	if len(c.Poly) < pyobj.PolyWays {
+		c.Poly = append(c.Poly, *e)
+	} else {
+		c.Poly[len(c.Poly)-1] = *e
+	}
+	vm.Stats.IC.PolyPromotions++
+}
+
+// refillAttrAfterMiss repopulates a LOAD_ATTR site after the generic
+// path succeeded, promoting monomorphic sites to polymorphic stubs when
+// the miss brought a new guard identity. Reports whether the fill
+// happened and whether it resolved to a method.
+func (vm *VM) refillAttrAfterMiss(c *pyobj.ICache, obj pyobj.Object, name string) (method, ok bool) {
+	if !vm.polyICs || c.State == pyobj.ICEmpty {
+		return vm.fillAttrCache(c, obj, name)
+	}
+	var e pyobj.ICache
+	m, filled := vm.fillAttrCache(&e, obj, name)
+	if !filled {
+		return false, false
+	}
+	e.Misses = 0
+	if c.State == pyobj.ICPoly {
+		vm.polyInsert(c, &e)
+		return m, true
+	}
+	if sameAttrIdentity(c, &e) {
+		// Version churn on the cached shape: plain monomorphic refill
+		// (identical to tier-1 behaviour).
+		misses := c.Misses
+		*c = e
+		c.Misses = misses
+		return m, true
+	}
+	// Mono -> poly promotion: the old entry stays reachable behind the
+	// new (MRU-first) one. The site's miss budget carries over — the
+	// chain buys hit coverage, not budget amnesty.
+	old := *c
+	old.Poly = nil
+	misses := c.Misses
+	c.Reset()
+	c.State = pyobj.ICPoly
+	c.Misses = misses
+	c.Poly = append(make([]pyobj.ICache, 0, pyobj.PolyWays), e, old)
+	vm.Stats.IC.PolyPromotions++
+	return m, true
+}
+
+// refillStoreAfterMiss is refillAttrAfterMiss for STORE_ATTR sites.
+func (vm *VM) refillStoreAfterMiss(c *pyobj.ICache, obj pyobj.Object, name string) bool {
+	o, isInst := obj.(*pyobj.Instance)
+	if !isInst {
+		return false
+	}
+	_, res, found := o.Dict.GetStr(name)
+	if !found {
+		return false
+	}
+	fill := func(e *pyobj.ICache) {
+		e.State = pyobj.ICStoreSlot
+		e.Enc = "s:" + name
+		e.EntryIdx = int32(res.EntryIdx)
+	}
+	if !vm.polyICs || c.State == pyobj.ICEmpty {
+		icRefill(c, c.State == pyobj.ICEmpty)
+		fill(c)
+		return true
+	}
+	var e pyobj.ICache
+	fill(&e)
+	if c.State == pyobj.ICPoly {
+		vm.polyInsert(c, &e)
+		return true
+	}
+	if sameAttrIdentity(c, &e) {
+		misses := c.Misses
+		*c = e
+		c.Misses = misses
+		return true
+	}
+	old := *c
+	old.Poly = nil
+	misses := c.Misses
+	c.Reset()
+	c.State = pyobj.ICPoly
+	c.Misses = misses
+	c.Poly = append(make([]pyobj.ICache, 0, pyobj.PolyWays), e, old)
+	vm.Stats.IC.PolyPromotions++
+	return true
+}

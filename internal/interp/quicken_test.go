@@ -21,6 +21,19 @@ func runQuick(t *testing.T, src string) (string, *VM) {
 	return out.String(), vm
 }
 
+// runQuickWith runs src on a quickened refcount VM after applying cfg
+// (for pinning individual tier-2 knobs), returning stdout plus the VM.
+func runQuickWith(t *testing.T, src string, cfg func(*VM)) (string, *VM) {
+	t.Helper()
+	var out strings.Builder
+	vm := New(emit.NewEngine(isa.NullSink{}), gc.DefaultRefCountConfig(), &out)
+	cfg(vm)
+	if err := vm.RunSource("<test>", src); err != nil {
+		t.Fatalf("RunSource: %v\nsource:\n%s", err, src)
+	}
+	return out.String(), vm
+}
+
 // runCold runs src with quickening disabled.
 func runCold(t *testing.T, src string) string {
 	t.Helper()
@@ -209,7 +222,18 @@ def f(c, n):
     return s
 print(f(C(), 100))
 `
-	ic := expectQuick(t, src, "500\n")
+	// Fusion rewrites this call site into LOAD_ATTR_CALL_METHOD, whose
+	// eliding fast path counts under FusedHits; disable it to exercise
+	// the tier-1 monomorphic method cache this test is about (the fused
+	// form has its own coverage in quicken_tier2_test.go).
+	got, vm := runQuickWith(t, src, func(vm *VM) { vm.SetFusion(false) })
+	if got != "500\n" {
+		t.Errorf("output = %q, want %q", got, "500\n")
+	}
+	if cold := runCold(t, src); cold != got {
+		t.Errorf("quickened vs cold divergence\n--- quickened ---\n%s--- cold ---\n%s", got, cold)
+	}
+	ic := vm.Stats.IC
 	if ic.MethodHits < 80 {
 		t.Errorf("MethodHits = %d, want >= 80 (stats: %+v)", ic.MethodHits, ic)
 	}

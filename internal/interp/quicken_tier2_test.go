@@ -1,0 +1,315 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/emit"
+	"repro/internal/faults"
+	"repro/internal/gc"
+	"repro/internal/isa"
+)
+
+// polySrc drives one LOAD_ATTR site through two receiver classes with
+// different dict layouts — the shape that must promote the monomorphic
+// cache to a polymorphic stub chain instead of burning its miss budget.
+const polySrc = `
+class A:
+    def __init__(self):
+        self.v = 1
+class B:
+    def __init__(self):
+        self.pad = 0
+        self.v = 2
+def total(objs):
+    t = 0
+    i = 0
+    while i < 200:
+        t = t + objs[i % 2].v
+        i = i + 1
+    return t
+print(total([A(), B()]))
+`
+
+const polyWant = "300\n"
+
+func TestPolyPromotionOnBimorphicSite(t *testing.T) {
+	got, vm := runQuick(t, polySrc)
+	if got != polyWant {
+		t.Fatalf("output %q, want %q", got, polyWant)
+	}
+	if cold := runCold(t, polySrc); cold != got {
+		t.Fatalf("cold output %q, quickened %q", cold, got)
+	}
+	ic := vm.Stats.IC
+	if ic.PolyPromotions == 0 {
+		t.Errorf("bimorphic site never promoted to a poly stub: %+v", ic)
+	}
+	if ic.PolyHits == 0 {
+		t.Errorf("no polymorphic-stub hits on an alternating two-class site: %+v", ic)
+	}
+	if ic.Dequickened != 0 {
+		t.Errorf("bimorphic site de-quickened instead of promoting: %+v", ic)
+	}
+	// After both classes are cached the site should hit nearly always.
+	if ic.PolyHits < 150 {
+		t.Errorf("poly hits %d too low for 200 alternating accesses: %+v", ic.PolyHits, ic)
+	}
+}
+
+// TestPolyColdMatchesPoly pins the poly-cold difftest leg's contract at
+// the unit level: disabling promotion changes only the counters, never
+// the output.
+func TestPolyColdMatchesPoly(t *testing.T) {
+	got, vm := runQuickWith(t, polySrc, func(vm *VM) {
+		vm.SetPolyICs(false)
+		vm.SetFusion(false)
+		vm.SetIntFast(false)
+	})
+	if got != polyWant {
+		t.Fatalf("tier-1 output %q, want %q", got, polyWant)
+	}
+	ic := vm.Stats.IC
+	if ic.PolyHits != 0 || ic.PolyPromotions != 0 || ic.FusedHits != 0 || ic.IntFastHits != 0 {
+		t.Errorf("tier-1 pin recorded tier-2 activity: %+v", ic)
+	}
+	// Without promotion the alternating site must exhaust its miss
+	// budget and demote back to the generic opcode.
+	if ic.Dequickened == 0 {
+		t.Errorf("alternating site without poly stubs never de-quickened: %+v", ic)
+	}
+}
+
+// TestMegamorphicSiteDequickens: six receiver classes exceed the stub
+// chain's maximum width; the site must give up and rewrite back to the
+// generic opcode rather than thrash forever.
+func TestMegamorphicSiteDequickens(t *testing.T) {
+	src := `
+class C0:
+    def __init__(self):
+        self.v = 0
+class C1:
+    def __init__(self):
+        self.a = 0
+        self.v = 1
+class C2:
+    def __init__(self):
+        self.a = 0
+        self.b = 0
+        self.v = 2
+class C3:
+    def __init__(self):
+        self.a = 0
+        self.b = 0
+        self.c = 0
+        self.v = 3
+class C4:
+    def __init__(self):
+        self.a = 0
+        self.b = 0
+        self.c = 0
+        self.d = 0
+        self.v = 4
+class C5:
+    def __init__(self):
+        self.a = 0
+        self.b = 0
+        self.c = 0
+        self.d = 0
+        self.e = 0
+        self.v = 5
+objs = [C0(), C1(), C2(), C3(), C4(), C5()]
+t = 0
+i = 0
+while i < 300:
+    t = t + objs[i % 6].v
+    i = i + 1
+print(t)
+`
+	const want = "750\n"
+	got, vm := runQuick(t, src)
+	if got != want {
+		t.Fatalf("output %q, want %q", got, want)
+	}
+	if cold := runCold(t, src); cold != got {
+		t.Fatalf("cold output %q, quickened %q", cold, got)
+	}
+	ic := vm.Stats.IC
+	if ic.Dequickened == 0 {
+		t.Errorf("megamorphic site never de-quickened: %+v", ic)
+	}
+	if ic.PolyPromotions == 0 {
+		t.Errorf("megamorphic site never even tried promotion: %+v", ic)
+	}
+}
+
+// fusionSrc is the dispatch-bench shape: its loop contains every fused
+// pair the tier-2 pass emits (compare+jump header, fast+fast, borrowed
+// attribute load/store, const and global binary operands, const return).
+const fusionSrc = `
+STEP = 3
+class Acc:
+    def __init__(self):
+        self.total = 0
+    def bump(self, v):
+        self.total = self.total + v
+def run(n):
+    a = Acc()
+    i = 0
+    while i < n:
+        a.bump(STEP)
+        a.total = a.total + STEP
+        i = i + 1
+    return a.total
+print(run(500))
+`
+
+const fusionWant = "3000\n"
+
+func TestFusionChurnStaysCorrect(t *testing.T) {
+	for _, every := range []uint64{1, 2, 16} {
+		got, vm := runQuickWith(t, fusionSrc, func(vm *VM) {
+			vm.SetFuseFlushEvery(every)
+		})
+		if got != fusionWant {
+			t.Fatalf("flushEvery=%d output %q, want %q", every, got, fusionWant)
+		}
+		ic := vm.Stats.IC
+		if ic.Defused == 0 {
+			t.Errorf("flushEvery=%d: churn never de-fused a superinstruction: %+v", every, ic)
+		}
+		if ic.Fused <= ic.Defused/2 {
+			t.Errorf("flushEvery=%d: de-fused sites never re-fused (fused %d, defused %d)",
+				every, ic.Fused, ic.Defused)
+		}
+	}
+	if cold := runCold(t, fusionSrc); cold != fusionWant {
+		t.Fatalf("cold output %q, want %q", cold, fusionWant)
+	}
+}
+
+func TestFusionOffStillCorrect(t *testing.T) {
+	got, vm := runQuickWith(t, fusionSrc, func(vm *VM) {
+		vm.SetFusion(false)
+	})
+	if got != fusionWant {
+		t.Fatalf("fusion-off output %q, want %q", got, fusionWant)
+	}
+	ic := vm.Stats.IC
+	if ic.Fused != 0 || ic.FusedHits != 0 {
+		t.Errorf("fusion disabled but fused counters moved: %+v", ic)
+	}
+	// The IC and intfast tiers keep working without fusion.
+	if ic.Hits() == 0 || ic.IntFastHits == 0 {
+		t.Errorf("fusion-off run lost its other tiers: %+v", ic)
+	}
+}
+
+// TestIntFastMaxAbsForcesDeopt pins the intfast-overflow leg's knob: a
+// tiny magnitude cap makes the speculative unboxed path bail once the
+// accumulator outgrows it, with identical results.
+func TestIntFastMaxAbsForcesDeopt(t *testing.T) {
+	src := `
+acc = 0
+i = 0
+while i < 2000:
+    acc = acc + 7
+    i = i + 1
+print(acc)
+`
+	const want = "14000\n"
+	got, vm := runQuickWith(t, src, func(vm *VM) {
+		vm.SetIntFastMaxAbs(1 << 10)
+	})
+	if got != want {
+		t.Fatalf("output %q, want %q", got, want)
+	}
+	ic := vm.Stats.IC
+	if ic.IntFastMisses == 0 {
+		t.Errorf("capped intfast path never deopted: %+v", ic)
+	}
+	if ic.IntFastHits == 0 {
+		t.Errorf("capped intfast path never hit below the cap: %+v", ic)
+	}
+	if uncapped, _ := runQuick(t, src); uncapped != want {
+		t.Fatalf("uncapped output %q, want %q", uncapped, want)
+	}
+}
+
+// TestIntFastOverflowDeoptsToGenericRaise: an addition that would wrap
+// int64 must leave the unboxed fast path through the pre-check deopt
+// and reproduce the generic handler's OverflowError exactly.
+func TestIntFastOverflowDeoptsToGenericRaise(t *testing.T) {
+	src := `
+big = 9223372036854775807
+step = 1
+i = 0
+while i < 10:
+    big = big - 1
+    i = i + 1
+print(big)
+x = big + 20
+print(x)
+`
+	run := func(quicken bool) (string, string, *VM) {
+		var out strings.Builder
+		vm := New(emit.NewEngine(isa.NullSink{}), gc.DefaultRefCountConfig(), &out)
+		vm.SetQuicken(quicken)
+		errStr := ""
+		if err := vm.RunSource("<overflow>", src); err != nil {
+			errStr = err.Error()
+		}
+		return out.String(), errStr, vm
+	}
+	coldOut, coldErr, _ := run(false)
+	quickOut, quickErr, vm := run(true)
+	if coldErr == "" || !strings.Contains(coldErr, "OverflowError") {
+		t.Fatalf("cold run did not overflow: err=%q out=%q", coldErr, coldOut)
+	}
+	if quickOut != coldOut || quickErr != coldErr {
+		t.Fatalf("tier-2 diverged at the overflow boundary:\ncold  out=%q err=%q\nquick out=%q err=%q",
+			coldOut, coldErr, quickOut, quickErr)
+	}
+	if vm.Stats.IC.IntFastMisses == 0 {
+		t.Errorf("overflow-boundary arithmetic never deopted the unboxed path: %+v", vm.Stats.IC)
+	}
+}
+
+// TestGuardChainCorruptFaultIsAbsorbed: the chaos fault that pretends a
+// poly stub chain's guards are stale must only force re-fills — never a
+// wrong answer. Mirrors the difftest chaos soak at the unit level.
+func TestGuardChainCorruptFaultIsAbsorbed(t *testing.T) {
+	var out strings.Builder
+	vm := New(emit.NewEngine(isa.NullSink{}), gc.DefaultRefCountConfig(), &out)
+	vm.Heap.SetFaults(faults.NewEveryNth(faults.GuardChainCorrupt, 3))
+	if err := vm.RunSource("<chaos>", polySrc); err != nil {
+		t.Fatalf("RunSource under GuardChainCorrupt: %v", err)
+	}
+	if out.String() != polyWant {
+		t.Fatalf("output under GuardChainCorrupt %q, want %q", out.String(), polyWant)
+	}
+	if vm.Stats.IC.PolyMisses == 0 {
+		t.Errorf("forced guard-chain corruption produced no poly misses: %+v", vm.Stats.IC)
+	}
+}
+
+// TestFusedSuperinstructionsFire asserts the fusion pass actually
+// rewrites the bench shape (counters, not just correctness): the loop
+// executes fused dispatches and unboxed-int fast paths by the hundreds.
+func TestFusedSuperinstructionsFire(t *testing.T) {
+	got, vm := runQuick(t, fusionSrc)
+	if got != fusionWant {
+		t.Fatalf("output %q, want %q", got, fusionWant)
+	}
+	ic := vm.Stats.IC
+	if ic.Fused == 0 {
+		t.Fatalf("fusion pass rewrote nothing: %+v", ic)
+	}
+	// 500 iterations, several fused pairs per iteration.
+	if ic.FusedHits < 1000 {
+		t.Errorf("fused hits %d, want >= 1000 over 500 bench iterations: %+v", ic.FusedHits, ic)
+	}
+	if ic.IntFastHits < 500 {
+		t.Errorf("intfast hits %d, want >= 500: %+v", ic.IntFastHits, ic)
+	}
+}

@@ -120,8 +120,12 @@ func (vm *VM) newFrame(fn *pyobj.Func, code *pycode.Code, globals, names *pyobj.
 	f := &pyobj.Frame{
 		Code:       code,
 		Fn:         fn,
-		Locals:     make([]pyobj.Object, len(code.Varnames)),
-		Stack:      make([]pyobj.Object, code.StackSize),
+		Locals: make([]pyobj.Object, len(code.Varnames)),
+		// One slot beyond the compiler's worst case: a fused attr-call
+		// head (quicken_fuse.go) pushes (callee, self) where the generic
+		// LOAD_ATTR pushed one value, and at most one fused window is
+		// live per frame.
+		Stack: make([]pyobj.Object, code.StackSize+1),
 		Globals:    globals,
 		Names:      names,
 		Consts:     cd.consts,
@@ -519,6 +523,48 @@ func (vm *VM) runFrame(f *pyobj.Frame) pyobj.Object {
 
 		case pycode.CALL_FUNCTION:
 			vm.callFunction(f, int(in.Arg))
+
+		// Tier-2 superinstructions and speculative int forms
+		// (quicken_fuse.go). Only the per-VM quickened stream ever
+		// contains these.
+		case pycode.LOAD_ATTR_CALL_METHOD:
+			vm.loadAttrCallMethod(f, in, pc)
+		case pycode.CALL_METHOD:
+			vm.callMethod(f, int(in.Arg))
+		case pycode.COMPARE_POP_JUMP:
+			vm.comparePopJump(f, in, pc)
+		case pycode.LOAD_FAST_LOAD_FAST:
+			vm.loadFastLoadFast(f, in, pc)
+		case pycode.BINARY_ADD_INT, pycode.BINARY_SUB_INT, pycode.BINARY_MUL_INT:
+			vm.intFastBin(f, in.Op, pc)
+		case pycode.COMPARE_OP_INT:
+			vm.compareOpInt(f, in, pc)
+
+		// Operand-borrowing superinstructions (quicken_fuse.go).
+		case pycode.LOAD_FAST_LOAD_ATTR:
+			vm.loadFastLoadAttr(f, in, pc)
+		case pycode.LOAD_FAST_STORE_ATTR:
+			vm.loadFastStoreAttr(f, in, pc)
+		case pycode.LOAD_FAST_BINARY:
+			vm.loadFastBinary(f, in, pc)
+		case pycode.LOAD_CONST_BINARY:
+			vm.loadConstBinary(f, in, pc)
+		case pycode.LOAD_GLOBAL_BINARY:
+			vm.loadGlobalBinary(f, in, pc)
+		case pycode.LOAD_FAST_FAST_CMP_JUMP:
+			vm.loadFastFastCmpJump(f, in, pc)
+		case pycode.LOAD_CONST_RETURN:
+			// Fused LOAD_CONST + RETURN_VALUE: the result never touches
+			// the operand stack.
+			v := vm.constBorrow(f, int(in.Arg))
+			vm.Incref(v)
+			vm.retireElided(f, pycode.RETURN_VALUE)
+			vm.Eng.ALU(core.FunctionSetup, false)
+			vm.Stats.IC.FusedHits++
+			vm.fuseTick()
+			completed = true
+			return v
+
 		case pycode.MAKE_FUNCTION:
 			vm.makeFunction(f, int(in.Arg))
 		case pycode.RETURN_VALUE:

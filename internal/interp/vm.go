@@ -105,6 +105,23 @@ type VM struct {
 	quicken      bool
 	icFlushEvery uint64
 	icFills      uint64
+	// Tier-2 quickening (quicken_poly.go / quicken_fuse.go). polyICs
+	// gates promotion of missing monomorphic sites to polymorphic stubs;
+	// fusion gates the superinstruction pass (always off under a tracer —
+	// recorded traces must see one instruction per dispatch); intFast
+	// gates the speculative unboxed-int rewrites. fuseFlushEvery, when
+	// nonzero, de-fuses (odd trips) and re-fuses (even trips) every
+	// fusable pair after that many tier-2 fast-path executions — the
+	// difftest fusion-churn leg. intFastMaxAbs caps the operand magnitude
+	// the int fast path accepts (difftest's forced-deopt leg sets it to
+	// 1; 0 means no cap beyond real int64 overflow).
+	polyICs        bool
+	fusion         bool
+	intFast        bool
+	fuseFlushEvery uint64
+	fuseTicks      uint64
+	fuseFlushed    bool
+	intFastMaxAbs  int64
 
 	// Builtin implementations indexed by BuiltinID.
 	builtinImpls []builtinImpl
@@ -163,6 +180,13 @@ type codeData struct {
 	quick  []pycode.Instr
 	caches []pyobj.ICache
 	icAddr uint64
+	// fused records the superinstruction rewrites applied to quick, for
+	// mid-run de-fusion/re-fusion (quicken_fuse.go). Atomic pairs
+	// (COMPARE_POP_JUMP, LOAD_FAST_LOAD_FAST) are rewritable at any
+	// dispatch boundary; attr-call pairs are never de-fused (their two
+	// halves bracket live stack state) and deoptimize per-execution
+	// through the nil-marker path instead.
+	fused []fusedSite
 }
 
 // helperPCs are the code blocks of the interpreter's C helper routines.
@@ -187,6 +211,9 @@ func New(eng *emit.Engine, heapCfg gc.Config, stdout io.Writer) *VM {
 		clibSpace:   emit.NewCodeSpace(clibRegion),
 		constCache:  make(map[*pycode.Code]*codeData),
 		quicken:     true,
+		polyICs:     true,
+		fusion:      true,
+		intFast:     true,
 		rng:         0x9E3779B97F4A7C15,
 	}
 	vm.jitSpace = emit.NewCodeSpace(mem.NewRegion("jit-code", mem.JITCodeBase, mem.DataBase-mem.JITCodeBase))
@@ -232,8 +259,19 @@ func New(eng *emit.Engine, heapCfg gc.Config, stdout io.Writer) *VM {
 	return vm
 }
 
-// SetTracer installs the JIT tracer.
-func (vm *VM) SetTracer(t Tracer) { vm.tracer = t }
+// SetTracer installs the JIT tracer. Superinstruction fusion is
+// incompatible with trace recording (a fused dispatch retires two
+// logical bytecodes, but RecordInstr must see exactly one generic op per
+// dispatch), so installing a tracer de-fuses every existing quickened
+// stream and disables the fusion pass for future materializations.
+func (vm *VM) SetTracer(t Tracer) {
+	vm.tracer = t
+	if t != nil {
+		for _, cd := range vm.constCache {
+			vm.defuseAll(cd)
+		}
+	}
+}
 
 // SetStdout redirects program output to w (the differential oracle's
 // output-capture hook). Passing nil discards output.

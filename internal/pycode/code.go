@@ -144,15 +144,18 @@ type Code struct {
 }
 
 // AllocateICSites assigns one inline-cache site to every quickenable
-// instruction (LOAD_GLOBAL, LOAD_ATTR, STORE_ATTR), recursing into
-// nested code constants. LOAD_NAME is deliberately excluded: module and
-// class bodies execute once, where a cache never amortizes its guard.
+// instruction (LOAD_GLOBAL, LOAD_ATTR, STORE_ATTR, and the speculative
+// int arithmetic/compare sites, which use their slot only for the deopt
+// miss budget), recursing into nested code constants. LOAD_NAME is
+// deliberately excluded: module and class bodies execute once, where a
+// cache never amortizes its guard.
 func (c *Code) AllocateICSites() {
 	c.SiteOf = make([]int32, len(c.Code))
 	n := int32(0)
 	for i, in := range c.Code {
 		switch in.Op {
-		case LOAD_GLOBAL, LOAD_ATTR, STORE_ATTR:
+		case LOAD_GLOBAL, LOAD_ATTR, STORE_ATTR,
+			BINARY_ADD, BINARY_SUBTRACT, BINARY_MULTIPLY, COMPARE_OP:
 			c.SiteOf[i] = n
 			n++
 		default:
@@ -197,11 +200,11 @@ func (c *Code) disasmInto(sb *strings.Builder) {
 				}
 			case LOAD_GLOBAL, STORE_GLOBAL, LOAD_NAME, STORE_NAME,
 				LOAD_ATTR, STORE_ATTR, BUILD_CLASS,
-				LOAD_GLOBAL_IC, LOAD_ATTR_IC, STORE_ATTR_IC:
+				LOAD_GLOBAL_IC, LOAD_ATTR_IC, STORE_ATTR_IC, LOAD_ATTR_CALL_METHOD:
 				if int(in.Arg) < len(c.Names) {
 					fmt.Fprintf(sb, "  (%s)", c.Names[in.Arg])
 				}
-			case COMPARE_OP:
+			case COMPARE_OP, COMPARE_OP_INT, COMPARE_POP_JUMP:
 				fmt.Fprintf(sb, "  (%s)", CmpOp(in.Arg))
 			}
 		}
@@ -230,9 +233,17 @@ func (c *Code) Validate() error {
 				return fmt.Errorf("%s@%d: local slot %d out of range", c.Name, i, in.Arg)
 			}
 		case LOAD_GLOBAL, STORE_GLOBAL, LOAD_NAME, STORE_NAME, LOAD_ATTR, STORE_ATTR, BUILD_CLASS,
-			LOAD_GLOBAL_IC, LOAD_ATTR_IC, STORE_ATTR_IC:
+			LOAD_GLOBAL_IC, LOAD_ATTR_IC, STORE_ATTR_IC, LOAD_ATTR_CALL_METHOD:
 			if in.Arg < 0 || int(in.Arg) >= len(c.Names) {
 				return fmt.Errorf("%s@%d: name index %d out of range", c.Name, i, in.Arg)
+			}
+		case LOAD_FAST_LOAD_FAST:
+			if in.Arg < 0 || int(in.Arg) >= len(c.Varnames) {
+				return fmt.Errorf("%s@%d: local slot %d out of range", c.Name, i, in.Arg)
+			}
+		case CALL_METHOD:
+			if in.Arg < 0 {
+				return fmt.Errorf("%s@%d: negative operand %d", c.Name, i, in.Arg)
 			}
 		case JUMP_FORWARD, JUMP_ABSOLUTE, POP_JUMP_IF_FALSE, POP_JUMP_IF_TRUE,
 			JUMP_IF_FALSE_OR_POP, JUMP_IF_TRUE_OR_POP, SETUP_LOOP, CONTINUE_LOOP, FOR_ITER:

@@ -116,6 +116,43 @@ const (
 	LOAD_ATTR_IC   // LOAD_ATTR with type+layout-guarded cache
 	STORE_ATTR_IC  // STORE_ATTR with layout-guarded cache
 
+	// Tier-2 quickened opcodes: superinstructions and speculative int
+	// fast paths. Like the _IC forms these exist only in per-VM quickened
+	// copies; the compiler never emits them and PC layout never changes.
+	//
+	// Fused pairs keep the second component's slot intact (the head
+	// handler reads it as its second operand and skips it), so a jump
+	// into the middle of a fused pair executes the original second
+	// instruction standalone — fusion is invisible to control flow.
+	LOAD_ATTR_CALL_METHOD // LOAD_ATTR head of an attr-load+call pair; pushes callee+self
+	CALL_METHOD           // CALL_FUNCTION rewritten to consume the two-slot method layout
+	COMPARE_POP_JUMP      // COMPARE_OP fused with the following POP_JUMP_IF_{FALSE,TRUE}
+	LOAD_FAST_LOAD_FAST   // LOAD_FAST fused with the following LOAD_FAST
+
+	// Speculative unboxed-int arithmetic (Brunthaler-style staging): one
+	// guard, then the int fast path; any non-int operand or overflow
+	// deopts to the generic handler for the identical slow-path result.
+	BINARY_ADD_INT
+	BINARY_SUB_INT
+	BINARY_MUL_INT
+	COMPARE_OP_INT
+
+	// Operand-borrowing superinstructions (the staging step on top of
+	// plain fusion): the head's operand is produced and fully consumed
+	// inside one handler, so the stack round-trip and its incref/decref
+	// pair are elided *together* — a balanced elision that leaves net
+	// reference counts identical to the generic sequence. Borrowing is
+	// safe precisely because no instruction can run between the fused
+	// halves: a frame local, a constant, or a guarded global-dict entry
+	// keeps its owning reference alive for the whole handler.
+	LOAD_FAST_LOAD_ATTR     // LOAD_FAST + LOAD_ATTR(_IC), borrowed receiver
+	LOAD_FAST_STORE_ATTR    // LOAD_FAST + STORE_ATTR(_IC), borrowed receiver
+	LOAD_FAST_BINARY        // LOAD_FAST + BINARY_{ADD,SUB,MUL}(_INT), borrowed rhs
+	LOAD_CONST_BINARY       // LOAD_CONST + BINARY_{ADD,SUB,MUL}(_INT), borrowed rhs
+	LOAD_GLOBAL_BINARY      // LOAD_GLOBAL_IC + BINARY_{ADD,SUB,MUL}(_INT), borrowed rhs
+	LOAD_FAST_FAST_CMP_JUMP // LOAD_FAST + LOAD_FAST + COMPARE_POP_JUMP quad head
+	LOAD_CONST_RETURN       // LOAD_CONST + RETURN_VALUE
+
 	numOpcodes
 )
 
@@ -153,13 +190,27 @@ var opNames = [...]string{
 	RETURN_VALUE: "RETURN_VALUE", BUILD_CLASS: "BUILD_CLASS",
 	PRINT_ITEM: "PRINT_ITEM", PRINT_NEWLINE: "PRINT_NEWLINE", NOP: "NOP",
 	LOAD_GLOBAL_IC: "LOAD_GLOBAL_IC", LOAD_ATTR_IC: "LOAD_ATTR_IC",
-	STORE_ATTR_IC: "STORE_ATTR_IC",
+	STORE_ATTR_IC:         "STORE_ATTR_IC",
+	LOAD_ATTR_CALL_METHOD: "LOAD_ATTR_CALL_METHOD", CALL_METHOD: "CALL_METHOD",
+	COMPARE_POP_JUMP: "COMPARE_POP_JUMP", LOAD_FAST_LOAD_FAST: "LOAD_FAST_LOAD_FAST",
+	BINARY_ADD_INT: "BINARY_ADD_INT", BINARY_SUB_INT: "BINARY_SUB_INT",
+	BINARY_MUL_INT: "BINARY_MUL_INT", COMPARE_OP_INT: "COMPARE_OP_INT",
+	LOAD_FAST_LOAD_ATTR: "LOAD_FAST_LOAD_ATTR", LOAD_FAST_STORE_ATTR: "LOAD_FAST_STORE_ATTR",
+	LOAD_FAST_BINARY: "LOAD_FAST_BINARY", LOAD_CONST_BINARY: "LOAD_CONST_BINARY",
+	LOAD_GLOBAL_BINARY:      "LOAD_GLOBAL_BINARY",
+	LOAD_FAST_FAST_CMP_JUMP: "LOAD_FAST_FAST_CMP_JUMP",
+	LOAD_CONST_RETURN:       "LOAD_CONST_RETURN",
 }
 
 // Quickened reports whether op is an inline-cache specialization.
 func (op Opcode) Quickened() bool {
 	switch op {
-	case LOAD_GLOBAL_IC, LOAD_ATTR_IC, STORE_ATTR_IC:
+	case LOAD_GLOBAL_IC, LOAD_ATTR_IC, STORE_ATTR_IC,
+		LOAD_ATTR_CALL_METHOD, CALL_METHOD, COMPARE_POP_JUMP, LOAD_FAST_LOAD_FAST,
+		BINARY_ADD_INT, BINARY_SUB_INT, BINARY_MUL_INT, COMPARE_OP_INT,
+		LOAD_FAST_LOAD_ATTR, LOAD_FAST_STORE_ATTR, LOAD_FAST_BINARY,
+		LOAD_CONST_BINARY, LOAD_GLOBAL_BINARY, LOAD_FAST_FAST_CMP_JUMP,
+		LOAD_CONST_RETURN:
 		return true
 	}
 	return false
@@ -172,10 +223,27 @@ func (op Opcode) Dequicken() Opcode {
 	switch op {
 	case LOAD_GLOBAL_IC:
 		return LOAD_GLOBAL
-	case LOAD_ATTR_IC:
+	case LOAD_ATTR_IC, LOAD_ATTR_CALL_METHOD:
 		return LOAD_ATTR
 	case STORE_ATTR_IC:
 		return STORE_ATTR
+	case CALL_METHOD:
+		return CALL_FUNCTION
+	case COMPARE_POP_JUMP, COMPARE_OP_INT:
+		return COMPARE_OP
+	case LOAD_FAST_LOAD_FAST, LOAD_FAST_LOAD_ATTR, LOAD_FAST_STORE_ATTR,
+		LOAD_FAST_BINARY, LOAD_FAST_FAST_CMP_JUMP:
+		return LOAD_FAST
+	case LOAD_CONST_BINARY, LOAD_CONST_RETURN:
+		return LOAD_CONST
+	case LOAD_GLOBAL_BINARY:
+		return LOAD_GLOBAL
+	case BINARY_ADD_INT:
+		return BINARY_ADD
+	case BINARY_SUB_INT:
+		return BINARY_SUBTRACT
+	case BINARY_MUL_INT:
+		return BINARY_MULTIPLY
 	}
 	return op
 }
@@ -215,7 +283,8 @@ func (op Opcode) HasArg() bool {
 		INPLACE_FLOOR_DIVIDE, INPLACE_MODULO, INPLACE_AND, INPLACE_OR,
 		INPLACE_XOR, INPLACE_LSHIFT, INPLACE_RSHIFT,
 		STORE_SUBSCR, DELETE_SUBSCR, STORE_MAP, POP_BLOCK, BREAK_LOOP, GET_ITER,
-		RETURN_VALUE, PRINT_ITEM, PRINT_NEWLINE, NOP:
+		RETURN_VALUE, PRINT_ITEM, PRINT_NEWLINE, NOP,
+		BINARY_ADD_INT, BINARY_SUB_INT, BINARY_MUL_INT:
 		return false
 	}
 	return true

@@ -44,7 +44,16 @@ const (
 	// ICStoreSlot: STORE_ATTR updating an existing instance-dict entry
 	// in place, guarded like ICAttrSlot.
 	ICStoreSlot
+	// ICPoly: a 2–4-way polymorphic stub. The slot's own guard fields are
+	// dead; Poly holds the linear chain of monomorphic entries (each in
+	// one of the states above), walked in MRU order.
+	ICPoly
 )
+
+// PolyWays is the maximum chain length of a polymorphic stub. A site
+// needing a fifth way is megamorphic: further shapes churn the chain's
+// last entry and burn the site's miss budget toward de-quickening.
+const PolyWays = 4
 
 // ICache is one monomorphic inline-cache slot. Fields are a union over
 // the states above; State says which guards and payloads are live.
@@ -76,6 +85,10 @@ type ICache struct {
 	// entry still does, so the cache itself is invisible to the GC.
 	Value Object
 	Fn    *Func
+
+	// Poly is the guard chain of an ICPoly stub (nil in every other
+	// state). Entries are monomorphic ICaches with Poly/Misses unused.
+	Poly []ICache
 }
 
 // Reset returns the slot to the empty state, dropping cached references.

@@ -106,6 +106,11 @@ type Config struct {
 	// zero value keeps them on, the production default). Differential
 	// harnesses use it for cold-interpreter reference legs.
 	NoQuicken bool
+	// NoTier2 caps quickening at tier 1 (monomorphic inline caches
+	// only): no polymorphic stubs, no superinstruction fusion, no
+	// speculative unboxed-int rewrites. Ablation harnesses use it to
+	// isolate the tier-2 contribution; meaningless with NoQuicken set.
+	NoTier2 bool
 }
 
 // DefaultNursery is PyPy's default nursery size.
@@ -264,6 +269,11 @@ func (r *Runner) buildState() *runState {
 	st.eng = emit.NewEngine(isa.NullSink{})
 	st.vm = interp.New(st.eng, heapConfig(cfg), st.out)
 	st.vm.SetQuicken(!cfg.NoQuicken)
+	if cfg.NoTier2 {
+		st.vm.SetPolyICs(false)
+		st.vm.SetFusion(false)
+		st.vm.SetIntFast(false)
+	}
 	st.vm.MaxBytecodes = cfg.MaxBytecodes
 	st.vm.SetLimits(cfg.Limits)
 	st.vm.Heap.SetFaults(cfg.Faults)

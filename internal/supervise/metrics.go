@@ -62,13 +62,16 @@ type Metrics struct {
 
 // icSiteNames lists the inline-cache site-kind label values, indexed by
 // the icSite* constants.
-var icSiteNames = []string{"global", "attr", "method", "store"}
+var icSiteNames = []string{"global", "attr", "method", "store", "poly", "fused", "intfast"}
 
 const (
 	icSiteGlobal = iota
 	icSiteAttr
 	icSiteMethod
 	icSiteStore
+	icSitePoly
+	icSiteFused
+	icSiteIntFast
 )
 
 // classNames lists the exit-class label values in Class order.
@@ -165,6 +168,9 @@ func (m *Metrics) observeIC(res *JobResult) {
 	addPair(icSiteAttr, ic.AttrHits, ic.AttrMisses)
 	addPair(icSiteMethod, ic.MethodHits, ic.MethodMisses)
 	addPair(icSiteStore, ic.StoreHits, ic.StoreMisses)
+	addPair(icSitePoly, ic.PolyHits, ic.PolyMisses)
+	addPair(icSiteFused, ic.FusedHits, ic.FusedMisses)
+	addPair(icSiteIntFast, ic.IntFastHits, ic.IntFastMisses)
 	if ic.Invalidations != 0 {
 		m.icInvalidations.Add(ic.Invalidations)
 	}
