@@ -52,6 +52,7 @@ import (
 	"strings"
 
 	"repro/internal/difftest"
+	"repro/internal/route"
 	"repro/internal/supervise"
 	"repro/internal/telemetry"
 )
@@ -75,11 +76,46 @@ func run() int {
 		wedgeN    = flag.Uint64("pool-wedge-every", 40, "with -pool, inject a worker wedge every Nth job (0: never)")
 		leakN     = flag.Uint64("pool-leak-every", 25, "with -pool, inject a slot leak every Nth job (0: never)")
 		metrics   = flag.Bool("metrics", false, "with -pool, instrument the soak pool and print the Prometheus exposition after the jobs drain")
+		routing   = flag.Bool("route", false, "router chaos soak: drive a verified corpus through a real pyroute front over real replicas while backend kill/wedge/flap faults fire")
+		downN     = flag.Uint64("route-down-every", 20, "with -route, kill replica 1 for good at this injector tick (0: never)")
+		slowN     = flag.Uint64("route-slow-every", 35, "with -route, wedge the last replica every Nth tick (0: never)")
+		flapN     = flag.Uint64("route-flap-every", 50, "with -route, bounce the last replica every Nth tick (0: never)")
 	)
 	flag.Parse()
 
 	if *showGen != 0 {
 		fmt.Print(difftest.Generate(*showGen))
+		return 0
+	}
+
+	if *routing {
+		// Hedging on: a replica wedged for less than the ejection
+		// hysteresis stalls its in-flight requests past the upstream
+		// timeout, and those are not retry-safe — the hedge's duplicate
+		// attempt is the only way to serve them.
+		res := route.Soak(route.SoakConfig{
+			Seed:       *seed,
+			Jobs:       *n,
+			DownEveryN: *downN,
+			SlowEveryN: *slowN,
+			FlapEveryN: *flapN,
+			Hedge:      true,
+		})
+		if rep := res.Report; rep != nil {
+			fmt.Printf("route soak: %d requests, outcomes %v, %d wrong answers, %d budgeted / %d unbudgeted failures (ratio %.3f, budget %.3f)\n",
+				rep.Requests, rep.Outcomes, rep.WrongAnswers,
+				rep.BudgetedFailures, rep.UnbudgetedFailures, rep.FailureRatio, rep.AllowedFailureRatio)
+			fmt.Printf("route soak: p50 %.1fms p99 %.1fms, %d ejections, %d readmits; killed=%d wedges=%d flaps=%d\n",
+				rep.Latency.P50Ms, rep.Latency.P99Ms, res.Ejections, res.Readmits,
+				res.Killed, res.Wedges, res.Flaps)
+		}
+		fmt.Println(res.Faults)
+		for _, v := range res.Violations {
+			fmt.Printf("violation: %s\n", v)
+		}
+		if !res.Ok() {
+			return 1
+		}
 		return 0
 	}
 

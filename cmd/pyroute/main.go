@@ -1,0 +1,96 @@
+// Command pyroute is the scale-out front tier: an HTTP router that
+// consistent-hashes MiniPy programs across N pyserve replicas and keeps
+// serving while individual replicas crash, wedge, drain, or shed. The
+// routing engine lives in internal/route; this command is flag parsing
+// and wiring.
+//
+// Usage:
+//
+//	pyroute -backends http://h1:8042,http://h2:8042,http://h3:8042 \
+//	        [-addr :8040] [-max-attempts 3] [-hedge] [-probe-interval 1s]
+//
+// Endpoints:
+//
+//	POST /v1/run     route one program to its backend (with health-aware
+//	                 failover, bounded retries, optional hedging)
+//	GET  /v1/metrics fleet-wide Prometheus exposition: router counters
+//	                 plus the summed backend families
+//	GET  /v1/healthz router liveness + per-backend health states
+//	GET  /v1/readyz  same: a router is ready exactly when it can route
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/route"
+	"repro/internal/telemetry"
+)
+
+func run() int {
+	var (
+		addr          = flag.String("addr", ":8040", "listen address")
+		backends      = flag.String("backends", "", "comma-separated pyserve base URLs (required)")
+		timeout       = flag.Duration("timeout", 30*time.Second, "per-attempt upstream timeout")
+		probeInterval = flag.Duration("probe-interval", time.Second, "active health probe interval")
+		failThreshold = flag.Int("fail-threshold", 3, "consecutive connect failures before ejection")
+		readmitAfter  = flag.Duration("readmit-after", 2*time.Second, "ejection cooldown before a half-open trial")
+		maxAttempts   = flag.Int("max-attempts", 3, "attempts per request including the first")
+		retryRatio    = flag.Float64("retry-ratio", 0.2, "retry budget: tokens earned per incoming request")
+		hedge         = flag.Bool("hedge", false, "enable tail-latency hedging (duplicates slow requests)")
+		hedgeQuantile = flag.Float64("hedge-quantile", 0.95, "latency quantile that arms the hedge timer")
+	)
+	flag.Parse()
+
+	urls := splitBackends(*backends)
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "pyroute: -backends is required (comma-separated pyserve URLs)")
+		return 2
+	}
+
+	reg := telemetry.NewRegistry()
+	rt, err := route.New(route.Config{
+		Backends:         urls,
+		UpstreamTimeout:  *timeout,
+		ProbeInterval:    *probeInterval,
+		FailThreshold:    *failThreshold,
+		ReadmitAfter:     *readmitAfter,
+		MaxAttempts:      *maxAttempts,
+		RetryBudgetRatio: *retryRatio,
+		Hedge:            *hedge,
+		HedgeQuantile:    *hedgeQuantile,
+		Metrics:          route.NewMetrics(reg, urls),
+		Logw:             os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pyroute:", err)
+		return 2
+	}
+	defer rt.Close()
+
+	fmt.Fprintf(os.Stderr, "pyroute: listening on %s, routing to %d backends\n", *addr, len(urls))
+	if err := http.ListenAndServe(*addr, rt.Mux()); err != nil {
+		fmt.Fprintln(os.Stderr, "pyroute:", err)
+		return 1
+	}
+	return 0
+}
+
+// splitBackends parses the -backends flag, tolerating blanks and
+// trailing slashes.
+func splitBackends(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func main() { os.Exit(run()) }

@@ -2,6 +2,9 @@
 // over the internal/supervise worker pool. Programs run on warm,
 // reusable VM workers under per-request resource budgets; worker
 // failures are quarantined and replaced without dropping the service.
+// The server itself lives in internal/serve so the routing tier
+// (internal/route, cmd/pyroute) can spin in-process backends; this
+// command is flag parsing and wiring.
 //
 // Usage:
 //
@@ -9,331 +12,32 @@
 //	        [-max-steps n] [-max-heap bytes] [-max-output bytes]
 //	        [-recycle 256]
 //
-// Endpoints (versioned API, see internal/api):
+// Endpoints (versioned API, see internal/api and internal/serve):
 //
-//	POST /v1/run     {"src": "...", "mode": "pypy-jit", "limits": {...},
-//	                  "breakdown": true}
-//	                 -> {"apiVersion": "v1", "exitClass": "ok",
-//	                     "exitCode": 0, "stdout": ..., "requestId": "r42",
-//	                     "stats": {..., "icHits": n, "icHitRate": r},
-//	                     "breakdown": {...}}
-//	                 Errors carry a machine-readable envelope:
-//	                 {"error": {"code": "invalid_limits", "message": ...}}
-//	GET  /v1/metrics -> Prometheus text exposition: job counters by exit
-//	                 class, queue-wait and run-time histograms, pool
-//	                 occupancy gauges, live overhead-category attribution,
-//	                 inline-cache hit/miss/invalidation counters
-//	GET  /v1/healthz -> pool statistics; 503 once no workers are live
-//	POST /drainz     -> graceful drain: stop admitting, wait for in-flight
+//	POST /v1/run     execute one program; errors carry the machine-
+//	                 readable envelope
+//	GET  /v1/metrics Prometheus text exposition
+//	GET  /v1/healthz pure liveness (200 while any worker is alive,
+//	                 draining included)
+//	GET  /v1/readyz  readiness (503 while draining or shedding at the
+//	                 heap watermark)
+//	POST /drainz     graceful drain
 //
-// The unversioned endpoints (/run, /metrics, /healthz) are deprecated
-// aliases kept for existing clients: same behavior, but /run answers
-// with a Deprecation header and its validation errors keep the legacy
-// flat {"error": "message"} shape. They will be removed no sooner than
-// two releases after a /v2 ships.
-//
-// A request's "mode" selects the runtime per request (cpython,
-// pypy-nojit, pypy-jit, v8like; default cpython). Shed requests return
-// 503 with a Retry-After header. /run returns 200 for every executed
-// job — the job's own outcome (Python error, limit trip, internal
-// error) is in exitClass/exitCode, mirroring pyrun's exit statuses.
-// Setting "breakdown": true runs the job with the paper's attribution
-// core armed and returns the Table-II-style per-category report.
-//
-// Every executed request gets a daemon-unique id, echoed in the
-// response body, the X-Request-Id header, and one structured JSON log
-// line on stderr.
+// plus the deprecated unversioned aliases /run, /metrics, /healthz.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
-	"strconv"
-	"sync"
-	"sync/atomic"
 	"time"
 
-	"repro/internal/api"
 	"repro/internal/interp"
-	"repro/internal/runtime"
+	"repro/internal/serve"
 	"repro/internal/supervise"
 	"repro/internal/telemetry"
 )
-
-// The request/response wire types are the shared versioned API structs;
-// the legacy /run alias serves the same shapes.
-type (
-	runRequest  = api.RunRequestV1
-	runResponse = api.RunResultV1
-)
-
-// server ties the pool to the HTTP mux; tests drive it in-process.
-type server struct {
-	pool *supervise.Pool
-	// reg is the telemetry registry backing GET /metrics.
-	reg *telemetry.Registry
-	// drainTimeout bounds how long /drainz waits for in-flight jobs.
-	drainTimeout time.Duration
-	// nextID numbers executed requests; the id is echoed in the
-	// response, the X-Request-Id header, and the per-job log line.
-	nextID atomic.Uint64
-	// logw receives one JSON line per executed job (nil disables).
-	// logMu serializes writers so interleaved handlers cannot shear a
-	// line.
-	logw  io.Writer
-	logMu sync.Mutex
-}
-
-func newServer(pool *supervise.Pool, reg *telemetry.Registry, drainTimeout time.Duration, logw io.Writer) *server {
-	return &server{pool: pool, reg: reg, drainTimeout: drainTimeout, logw: logw}
-}
-
-func (s *server) mux() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/run", s.handleRunV1)
-	mux.HandleFunc("/v1/metrics", s.handleMetrics)
-	mux.HandleFunc("/v1/healthz", s.handleHealthz)
-	mux.HandleFunc("/run", s.handleRunLegacy)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/drainz", s.handleDrainz)
-	return mux
-}
-
-// jobLog is the structured per-job log line.
-type jobLog struct {
-	Time      string  `json:"ts"`
-	RequestID string  `json:"requestId"`
-	Name      string  `json:"name"`
-	Mode      string  `json:"mode"`
-	Class     string  `json:"class"`
-	Worker    int     `json:"worker"`
-	QueuedMs  float64 `json:"queuedMs"`
-	RunMs     float64 `json:"runMs"`
-	Bytecodes uint64  `json:"bytecodes,omitempty"`
-	Error     string  `json:"error,omitempty"`
-}
-
-func (s *server) logJob(id string, job *supervise.Job, res *supervise.JobResult) {
-	if s.logw == nil {
-		return
-	}
-	line, err := json.Marshal(jobLog{
-		Time:      time.Now().UTC().Format(time.RFC3339Nano),
-		RequestID: id,
-		Name:      job.Name,
-		Mode:      res.Mode.String(),
-		Class:     res.Class.String(),
-		Worker:    res.Worker,
-		QueuedMs:  float64(res.Queued) / float64(time.Millisecond),
-		RunMs:     float64(res.RunTime) / float64(time.Millisecond),
-		Bytecodes: res.Bytecodes,
-		Error:     res.Err,
-	})
-	if err != nil {
-		return
-	}
-	s.logMu.Lock()
-	_, _ = s.logw.Write(append(line, '\n'))
-	s.logMu.Unlock()
-}
-
-// maxBody bounds a /run request body (programs are small; a runaway
-// client must not balloon the daemon).
-const maxBody = 1 << 20
-
-func (s *server) handleRunV1(w http.ResponseWriter, r *http.Request) {
-	s.serveRun(w, r, true)
-}
-
-// handleRunLegacy is the deprecated unversioned alias of /v1/run: same
-// execution path, but it announces its deprecation in headers and keeps
-// the flat {"error": "message"} error shape for existing clients.
-func (s *server) handleRunLegacy(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Deprecation", "true")
-	w.Header().Set("Link", `</v1/run>; rel="successor-version"`)
-	s.serveRun(w, r, false)
-}
-
-// failRun writes a request-rejection response: the /v1 machine-readable
-// envelope, or the legacy flat shape for the deprecated alias.
-func (s *server) failRun(w http.ResponseWriter, v1 bool, status int, code, msg string) {
-	if v1 {
-		writeJSON(w, status, api.ErrorEnvelope{Err: api.Error{Code: code, Message: msg}})
-		return
-	}
-	httpError(w, status, msg)
-}
-
-func (s *server) serveRun(w http.ResponseWriter, r *http.Request, v1 bool) {
-	fail := func(status int, code, msg string) { s.failRun(w, v1, status, code, msg) }
-	if r.Method != http.MethodPost {
-		fail(http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "POST only")
-		return
-	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
-	if err != nil {
-		fail(http.StatusBadRequest, api.CodeBadJSON, "read body: "+err.Error())
-		return
-	}
-	if len(body) > maxBody {
-		fail(http.StatusRequestEntityTooLarge, api.CodeBodyTooLarge,
-			fmt.Sprintf("program exceeds %d bytes", maxBody))
-		return
-	}
-	var req runRequest
-	if err := json.Unmarshal(body, &req); err != nil {
-		fail(http.StatusBadRequest, api.CodeBadJSON, "bad JSON: "+err.Error())
-		return
-	}
-	if req.Src == "" {
-		fail(http.StatusBadRequest, api.CodeMissingSrc, "missing src")
-		return
-	}
-	mode := runtime.CPython
-	if req.Mode != "" {
-		mode, err = runtime.ParseMode(req.Mode)
-		if err != nil {
-			fail(http.StatusBadRequest, api.CodeBadMode, err.Error())
-			return
-		}
-	}
-	job := &supervise.Job{
-		Name: req.Name,
-		Src:  req.Src,
-		Mode: mode,
-	}
-	if job.Name == "" {
-		job.Name = "request.py"
-	}
-	job.Breakdown = req.Breakdown
-	if l := req.Limits; l != nil {
-		// All budget validation — negative rejection, the 24h deadline
-		// cap that used to be an overflow hazard — lives in Normalize;
-		// nothing invalid ever reaches the pool.
-		norm, err := l.Normalize()
-		if err != nil {
-			code := api.CodeInvalidLimits
-			if ae, ok := err.(*api.Error); ok {
-				code = ae.Code
-			}
-			fail(http.StatusBadRequest, code, err.Error())
-			return
-		}
-		job.Limits = norm
-	}
-
-	id := "r" + strconv.FormatUint(s.nextID.Add(1), 10)
-	res := s.pool.Submit(job)
-	s.logJob(id, job, res)
-	resp := runResponse{
-		APIVersion: api.Version,
-		RequestID:  id,
-		ExitClass:  res.Class.String(),
-		ExitCode:   res.Class.ExitCode(),
-		Stdout:     res.Output,
-		Error:      res.Err,
-		Mode:       res.Mode.String(),
-		Worker:     res.Worker,
-		QueuedMs:   float64(res.Queued) / float64(time.Millisecond),
-		RunMs:      float64(res.RunTime) / float64(time.Millisecond),
-	}
-	status := http.StatusOK
-	if res.Class == supervise.ClassShed {
-		status = http.StatusServiceUnavailable
-		resp.RetryAfter = float64(res.RetryAfter) / float64(time.Millisecond)
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(res.RetryAfter)))
-	}
-	if res.Class == supervise.ClassOK {
-		resp.Stats = &api.RunStatsV1{
-			Bytecodes:   res.Bytecodes,
-			Allocs:      res.Allocs,
-			MinorGCs:    res.MinorGCs,
-			MajorGCs:    res.MajorGCs,
-			ErrorDeopts: res.ErrorDeopts,
-			ICHits:      res.IC.Hits(),
-			ICMisses:    res.IC.Misses(),
-			ICHitRate:   res.IC.HitRate(),
-		}
-		if res.Breakdown != nil {
-			resp.Breakdown = res.Breakdown.Report()
-		}
-	}
-	w.Header().Set("X-Request-Id", id)
-	writeJSON(w, status, resp)
-}
-
-// retryAfterSeconds renders a shed result's retry hint as the integer
-// seconds of the Retry-After header, rounding UP: truncation would tell
-// clients to come back before the hint elapses (1.9s became "1"),
-// re-shedding the well-behaved ones.
-func retryAfterSeconds(d time.Duration) int {
-	secs := int((d + time.Second - 1) / time.Second)
-	if secs < 1 {
-		secs = 1
-	}
-	return secs
-}
-
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = s.reg.WritePrometheus(w)
-}
-
-// healthzResponse reports pool occupancy and lifetime counters.
-type healthzResponse struct {
-	Ok    bool            `json:"ok"`
-	Stats supervise.Stats `json:"stats"`
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	st := s.pool.Stats()
-	ok := st.Workers > 0 && !st.Draining
-	status := http.StatusOK
-	if !ok {
-		status = http.StatusServiceUnavailable
-	}
-	writeJSON(w, status, healthzResponse{Ok: ok, Stats: st})
-}
-
-// drainzResponse reports the drain outcome.
-type drainzResponse struct {
-	Drained bool            `json:"drained"`
-	Stats   supervise.Stats `json:"stats"`
-}
-
-func (s *server) handleDrainz(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
-	ok := s.pool.Drain(s.drainTimeout)
-	status := http.StatusOK
-	if !ok {
-		status = http.StatusGatewayTimeout
-	}
-	writeJSON(w, status, drainzResponse{Drained: ok, Stats: s.pool.Stats()})
-}
-
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
-}
 
 func run() int {
 	var (
@@ -364,9 +68,9 @@ func run() int {
 	})
 	defer pool.Close()
 
-	srv := newServer(pool, reg, *drainWait, os.Stderr)
+	srv := serve.New(pool, reg, *drainWait, os.Stderr)
 	fmt.Fprintf(os.Stderr, "pyserve: listening on %s (%d workers)\n", *addr, *workers)
-	if err := http.ListenAndServe(*addr, srv.mux()); err != nil {
+	if err := http.ListenAndServe(*addr, srv.Mux()); err != nil {
 		fmt.Fprintln(os.Stderr, "pyserve:", err)
 		return 1
 	}

@@ -15,7 +15,26 @@ const (
 	CodeInvalidLimits    = "invalid_limits"
 	CodeBodyTooLarge     = "body_too_large"
 	CodeMethodNotAllowed = "method_not_allowed"
+
+	// Router (pyroute) error codes. A router rejection means the job was
+	// never executed — clients may retry after the Retry-After hint.
+	//
+	// CodeNoBackends: every backend is ejected, draining, or down.
+	CodeNoBackends = "no_backends"
+	// CodeUpstreamError: the chosen backend failed in a way the router
+	// must not retry (the job may have executed).
+	CodeUpstreamError = "upstream_error"
+	// CodeRetryBudget: the failure was retry-safe but the router's retry
+	// budget is exhausted; retrying more would amplify an outage.
+	CodeRetryBudget = "retry_budget_exhausted"
 )
+
+// HeaderRequestID is the request-id header both serving tiers speak: the
+// router forwards the client-supplied id (generating one if absent) with
+// a per-attempt suffix, and the backend echoes whatever id reached it,
+// so one id ties the client's view, the router's log line, and the
+// backend's log line together.
+const HeaderRequestID = "X-Request-Id"
 
 // Error is a machine-readable API error. It implements error so
 // validation helpers (Limits.Normalize) can return it directly and

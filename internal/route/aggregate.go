@@ -1,0 +1,118 @@
+package route
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// aggregate.go merges the backends' Prometheus text expositions into one
+// fleet-wide scrape: series with identical name+labels are summed across
+// backends (counters and histogram buckets sum exactly; pool-occupancy
+// gauges sum into fleet totals), comment lines are deduplicated, and the
+// router's own pyroute_ families are prepended. The router stays a thin
+// front: it does not need to know any backend metric by name.
+
+// promAggregator accumulates parsed exposition lines in first-seen order.
+type promAggregator struct {
+	order  []promEntry
+	series map[string]int // series key -> index into order
+	seen   map[string]bool
+	// scraped/failed count backends contacted for the trailer comment.
+	scraped, failed int
+}
+
+type promEntry struct {
+	comment string  // non-empty for # lines
+	key     string  // series name+labels
+	value   float64 // summed value
+}
+
+func newPromAggregator() *promAggregator {
+	return &promAggregator{series: make(map[string]int), seen: make(map[string]bool)}
+}
+
+// consume parses one backend's exposition and folds it in. Malformed
+// lines are skipped — a half-written backend scrape must not break the
+// fleet scrape.
+func (a *promAggregator) consume(r io.Reader) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !a.seen[line] {
+				a.seen[line] = true
+				a.order = append(a.order, promEntry{comment: line})
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			continue
+		}
+		key, raw := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			continue
+		}
+		if i, ok := a.series[key]; ok {
+			a.order[i].value += v
+		} else {
+			a.series[key] = len(a.order)
+			a.order = append(a.order, promEntry{key: key, value: v})
+		}
+	}
+}
+
+func (a *promAggregator) write(w io.Writer) {
+	buf := bufio.NewWriter(w)
+	for _, e := range a.order {
+		if e.comment != "" {
+			buf.WriteString(e.comment)
+			buf.WriteByte('\n')
+			continue
+		}
+		buf.WriteString(e.key)
+		buf.WriteByte(' ')
+		buf.WriteString(strconv.FormatFloat(e.value, 'g', -1, 64))
+		buf.WriteByte('\n')
+	}
+	buf.Flush()
+}
+
+// handleMetrics serves the fleet-wide scrape: the router's own families
+// first, then the summed backend families. Backends that fail to answer
+// within the probe timeout are skipped and counted in a trailer comment.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	agg := newPromAggregator()
+	for _, b := range rt.backends {
+		resp, err := rt.probeClient.Get(b.url + "/v1/metrics")
+		if err != nil {
+			agg.failed++
+			continue
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, maxUpstreamBody))
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			agg.failed++
+			continue
+		}
+		agg.scraped++
+		agg.consume(bytes.NewReader(body))
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if rt.metrics != nil && rt.metrics.reg != nil {
+		_ = rt.metrics.reg.WritePrometheus(w)
+	}
+	agg.write(w)
+	_, _ = io.WriteString(w, "# pyroute: aggregated "+strconv.Itoa(agg.scraped)+
+		" backends, "+strconv.Itoa(agg.failed)+" unreachable\n")
+}

@@ -1,0 +1,494 @@
+package route
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/api"
+)
+
+// maxBody bounds a forwarded request body, mirroring the backend's cap.
+const maxBody = 1 << 20
+
+// maxUpstreamBody bounds a backend response the router will buffer.
+const maxUpstreamBody = 8 << 20
+
+// Mux returns the router's route table.
+func (rt *Router) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", rt.handleRun)
+	mux.HandleFunc("/v1/metrics", rt.handleMetrics)
+	mux.HandleFunc("/v1/healthz", rt.handleHealthz)
+	mux.HandleFunc("/v1/readyz", rt.handleReadyz)
+	return mux
+}
+
+// Request outcomes, the router's top-level accounting. Indexes into the
+// pyroute_requests_total counter family.
+const (
+	outOK          = iota // 2xx passed through
+	outClientError        // backend 4xx passed through
+	outShed               // backend 503 passed through (all alternatives spent)
+	outNoBackends         // no routable backend could take the job
+	outRetryBudget        // retry-safe failure, but the budget was dry
+	outUpstream           // non-retryable upstream failure (may have executed)
+	numOutcomes
+)
+
+var outcomeNames = [numOutcomes]string{
+	"ok", "client_error", "shed", "no_backends", "retry_budget_exhausted", "upstream_error",
+}
+
+// upstreamResp is one attempt's buffered backend response.
+type upstreamResp struct {
+	status     int
+	body       []byte
+	retryAfter string // verbatim Retry-After header ("" if none)
+	latency    time.Duration
+}
+
+// routeResult is what forward hands back to the HTTP layer.
+type routeResult struct {
+	status     int
+	body       []byte // response body, already JSON
+	retryAfter string // Retry-After to propagate ("" if none)
+	backend    string // backend that produced the response ("" if router-generated)
+	attempts   int
+	hedged     bool
+	outcome    int
+}
+
+func (rt *Router) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		rt.writeEnvelope(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+	if err != nil {
+		rt.writeEnvelope(w, http.StatusBadRequest, api.CodeBadJSON, "read body: "+err.Error())
+		return
+	}
+	if len(body) > maxBody {
+		rt.writeEnvelope(w, http.StatusRequestEntityTooLarge, api.CodeBodyTooLarge,
+			fmt.Sprintf("program exceeds %d bytes", maxBody))
+		return
+	}
+	// The router parses just enough to route: the program source for the
+	// content hash. Full validation stays at the backend; the original
+	// bytes are forwarded untouched.
+	var req api.RunRequestV1
+	if err := json.Unmarshal(body, &req); err != nil {
+		rt.writeEnvelope(w, http.StatusBadRequest, api.CodeBadJSON, "bad JSON: "+err.Error())
+		return
+	}
+	if req.Src == "" {
+		rt.writeEnvelope(w, http.StatusBadRequest, api.CodeMissingSrc, "missing src")
+		return
+	}
+
+	id := r.Header.Get(api.HeaderRequestID)
+	if id == "" || len(id) > 128 {
+		id = "pr" + strconv.FormatUint(rt.nextID.Add(1), 10)
+	}
+	rt.earnRetryToken()
+
+	start := time.Now()
+	res := rt.forward(r.Context(), ContentHash(req.Src), body, id)
+	rt.metrics.request(res.outcome)
+	rt.logRequest(id, res, time.Since(start))
+
+	w.Header().Set(api.HeaderRequestID, id)
+	w.Header().Set("Content-Type", "application/json")
+	if res.retryAfter != "" {
+		w.Header().Set("Retry-After", res.retryAfter)
+	}
+	if res.backend != "" {
+		w.Header().Set("X-Pyroute-Backend", res.backend)
+	}
+	w.Header().Set("X-Pyroute-Attempts", strconv.Itoa(res.attempts))
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+// forward runs the attempt loop: primary by ring order, then retries
+// against the remaining candidates under the retry budget. Only
+// failures that prove the job never executed are re-routed.
+func (rt *Router) forward(ctx context.Context, key uint64, body []byte, id string) routeResult {
+	cands := rt.candidates(key)
+	if len(cands) == 0 {
+		return rt.routerReject(http.StatusServiceUnavailable, outNoBackends,
+			api.CodeNoBackends, "no routable backends", 2*rt.cfg.ProbeInterval)
+	}
+	// Single-node degradation: with one routable replica the router is a
+	// pass-through — no re-routing targets, no hedging. (Dial errors may
+	// still retry the same node below: a restarting replica is a
+	// transient, and the job provably never ran.)
+	single := len(cands) == 1
+
+	maxAttempts := rt.cfg.MaxAttempts
+	var slept time.Duration
+	var lastShed *upstreamResp
+	attempts, hedged := 0, false
+
+	for ci := 0; attempts < maxAttempts; {
+		b := cands[ci%len(cands)]
+		attemptID := id
+		if attempts > 0 {
+			attemptID = fmt.Sprintf("%s.r%d", id, attempts+1)
+		}
+
+		var resp *upstreamResp
+		var err error
+		var safe bool
+		if attempts == 0 && rt.cfg.Hedge && !single {
+			alt := cands[(ci+1)%len(cands)]
+			var won bool
+			resp, err, safe, won = rt.hedgedAttempt(ctx, b, alt, body, id)
+			if won {
+				hedged = true
+				b = alt // response came from the hedge target
+			}
+		} else {
+			resp, err, safe = rt.attempt(ctx, b, body, attemptID)
+		}
+		attempts++
+
+		switch {
+		case err == nil && resp.status != http.StatusServiceUnavailable:
+			out := outOK
+			if resp.status >= 400 {
+				out = outClientError
+			}
+			return routeResult{
+				status: resp.status, body: resp.body, backend: b.url,
+				attempts: attempts, hedged: hedged, outcome: out,
+			}
+
+		case err == nil: // 503: the backend rejected before execution
+			lastShed = resp
+			if single || attempts >= maxAttempts {
+				// Nowhere else to go: pass the shed (and its hint)
+				// through so the client backs off instead of parking
+				// here.
+				return routeResult{
+					status: http.StatusServiceUnavailable, body: resp.body,
+					retryAfter: resp.retryAfter, backend: b.url,
+					attempts: attempts, hedged: hedged, outcome: outShed,
+				}
+			}
+			if !rt.spendRetryToken() {
+				rt.metrics.retryBudgetDry()
+				return routeResult{
+					status: http.StatusServiceUnavailable, body: resp.body,
+					retryAfter: resp.retryAfter, backend: b.url,
+					attempts: attempts, hedged: hedged, outcome: outShed,
+				}
+			}
+			// A shed is a load signal, not a death: re-route to the next
+			// ring candidate immediately, no backoff.
+			rt.metrics.retry()
+			ci++
+
+		case safe: // connect-level failure: the job never reached a worker
+			if attempts >= maxAttempts {
+				return rt.routerReject(http.StatusServiceUnavailable, outNoBackends,
+					api.CodeNoBackends,
+					fmt.Sprintf("backend %s unreachable after %d attempts: %v", b.url, attempts, err),
+					rt.cfg.BackoffMax)
+			}
+			if !rt.spendRetryToken() {
+				rt.metrics.retryBudgetDry()
+				return rt.routerReject(http.StatusServiceUnavailable, outRetryBudget,
+					api.CodeRetryBudget,
+					"retry budget exhausted: "+err.Error(), rt.cfg.BackoffMax)
+			}
+			rt.metrics.retry()
+			if single || len(cands) == 1 {
+				// Same node again: back off (exponential, jittered,
+				// bounded) so a restarting replica gets air.
+				back := rt.jitter(rt.backoffFor(attempts, lastShed))
+				if slept+back > rt.cfg.MaxRetryWait {
+					return rt.routerReject(http.StatusServiceUnavailable, outNoBackends,
+						api.CodeNoBackends, "backend unreachable: "+err.Error(), rt.cfg.BackoffMax)
+				}
+				slept += back
+				if !sleepCtx(ctx, back) {
+					return rt.routerReject(http.StatusServiceUnavailable, outNoBackends,
+						api.CodeNoBackends, "canceled while backing off", rt.cfg.BackoffMax)
+				}
+			} else {
+				ci++ // different node, immediately
+			}
+
+		default: // unsafe: the job may have executed — never re-route
+			return rt.routerReject(http.StatusBadGateway, outUpstream,
+				api.CodeUpstreamError,
+				fmt.Sprintf("backend %s failed mid-flight (not retried: the job may have executed): %v", b.url, err),
+				0)
+		}
+	}
+	// Attempts exhausted on sheds.
+	res := rt.routerReject(http.StatusServiceUnavailable, outShed,
+		api.CodeNoBackends, "every candidate shed the job", rt.cfg.BackoffMax)
+	if lastShed != nil {
+		res.body = lastShed.body
+		res.retryAfter = lastShed.retryAfter
+	}
+	res.attempts = attempts
+	res.hedged = hedged
+	return res
+}
+
+// backoffFor derives the pre-retry sleep for attempt n, flooring it with
+// the backend's Retry-After hint when one was given.
+func (rt *Router) backoffFor(n int, shed *upstreamResp) time.Duration {
+	back := rt.cfg.BackoffBase << uint(n-1)
+	if back > rt.cfg.BackoffMax || back <= 0 {
+		back = rt.cfg.BackoffMax
+	}
+	if shed != nil && shed.retryAfter != "" {
+		if secs, err := strconv.Atoi(shed.retryAfter); err == nil {
+			if hint := time.Duration(secs) * time.Second; hint > back {
+				back = hint
+			}
+		}
+	}
+	return back
+}
+
+// sleepCtx sleeps d unless ctx ends first; reports whether it slept out.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// attempt forwards the request bytes to one backend and buffers the
+// response. The third return reports retry safety: true means the job
+// provably never executed (the connection was never established), so
+// re-routing cannot double-execute it.
+func (rt *Router) attempt(ctx context.Context, b *backend, body []byte, attemptID string) (*upstreamResp, error, bool) {
+	rt.metrics.backendRequest(b.idx)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		return nil, err, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(api.HeaderRequestID, attemptID)
+
+	start := time.Now()
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		safe := dialFailure(err)
+		rt.metrics.backendFailure(b.idx)
+		if safe {
+			if b.recordFailure(rt.cfg.FailThreshold, time.Now()) {
+				rt.metrics.eject(b.idx)
+				st, fails := b.currentState()
+				rt.logEvent("backend ejected", b.url, st, fails)
+			}
+		}
+		return nil, err, safe
+	}
+	defer resp.Body.Close()
+	rb, err := io.ReadAll(io.LimitReader(resp.Body, maxUpstreamBody))
+	if err != nil {
+		// The response started and died: the job may have executed.
+		rt.metrics.backendFailure(b.idx)
+		return nil, err, false
+	}
+	lat := time.Since(start)
+	// Any complete HTTP exchange — a shed included — proves the backend
+	// alive; clear its failure streak and feed the hedge histogram.
+	b.recordSuccess()
+	rt.lat.observe(lat)
+	rt.metrics.observeUpstream(b.idx, lat)
+	return &upstreamResp{
+		status:     resp.StatusCode,
+		body:       rb,
+		retryAfter: resp.Header.Get("Retry-After"),
+		latency:    lat,
+	}, nil, false
+}
+
+// dialFailure reports whether err proves the request never reached the
+// backend: the dial itself failed (refused, unreachable, dial timeout).
+// Anything past an established connection — reset mid-read, EOF,
+// response timeout — may mean the job executed, so it is never
+// retry-safe.
+func dialFailure(err error) bool {
+	var op *net.OpError
+	for e := err; e != nil; e = errors.Unwrap(e) {
+		if errors.As(e, &op) {
+			return op.Op == "dial"
+		}
+	}
+	return false
+}
+
+// hedgedAttempt runs the primary attempt and, if it is still in flight
+// after the histogram-derived hedge delay, races a duplicate on alt.
+// The first acceptable response (no transport error, not a shed) wins
+// and the loser's context is canceled. Returns won=true when the
+// hedge's response is the one returned.
+func (rt *Router) hedgedAttempt(parent context.Context, primary, alt *backend, body []byte, id string) (*upstreamResp, error, bool, bool) {
+	type res struct {
+		resp *upstreamResp
+		err  error
+		safe bool
+	}
+	ctx1, cancel1 := context.WithCancel(parent)
+	ctx2, cancel2 := context.WithCancel(parent)
+	defer cancel1()
+	defer cancel2()
+
+	ch1 := make(chan res, 1)
+	go func() {
+		r, err, safe := rt.attempt(ctx1, primary, body, id)
+		ch1 <- res{r, err, safe}
+	}()
+
+	timer := time.NewTimer(rt.hedgeDelay())
+	defer timer.Stop()
+	select {
+	case r1 := <-ch1:
+		return r1.resp, r1.err, r1.safe, false
+	case <-timer.C:
+	}
+
+	// Primary is slow: launch the hedge.
+	rt.metrics.hedge()
+	ch2 := make(chan res, 1)
+	go func() {
+		r, err, safe := rt.attempt(ctx2, alt, body, id+".h2")
+		ch2 <- res{r, err, safe}
+	}()
+
+	acceptable := func(r res) bool {
+		return r.err == nil && r.resp.status != http.StatusServiceUnavailable
+	}
+	select {
+	case r1 := <-ch1:
+		if acceptable(r1) {
+			cancel2()
+			return r1.resp, r1.err, r1.safe, false
+		}
+		r2 := <-ch2
+		if acceptable(r2) {
+			rt.metrics.hedgeWin()
+			return r2.resp, r2.err, r2.safe, true
+		}
+		return r1.resp, r1.err, r1.safe, false
+	case r2 := <-ch2:
+		if acceptable(r2) {
+			cancel1()
+			rt.metrics.hedgeWin()
+			return r2.resp, r2.err, r2.safe, true
+		}
+		r1 := <-ch1
+		return r1.resp, r1.err, r1.safe, false
+	}
+}
+
+// routerReject builds a router-generated error result with the /v1
+// machine-readable envelope and a Retry-After hint for 503s.
+func (rt *Router) routerReject(status, outcome int, code, msg string, retryHint time.Duration) routeResult {
+	body, _ := json.Marshal(api.ErrorEnvelope{Err: api.Error{Code: code, Message: msg}})
+	body = append(body, '\n')
+	res := routeResult{status: status, body: body, outcome: outcome, attempts: 1}
+	if status == http.StatusServiceUnavailable && retryHint > 0 {
+		secs := int((retryHint + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		res.retryAfter = strconv.Itoa(secs)
+	}
+	return res
+}
+
+// writeEnvelope writes a router-side rejection directly.
+func (rt *Router) writeEnvelope(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(api.ErrorEnvelope{Err: api.Error{Code: code, Message: msg}})
+}
+
+// handleHealthz reports router liveness: 200 while at least one backend
+// is routable, with the per-backend state table either way.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rt.writeHealth(w)
+}
+
+// handleReadyz mirrors healthz: a router is ready exactly when it can
+// route somewhere.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	rt.writeHealth(w)
+}
+
+type routerHealth struct {
+	Ok       bool            `json:"ok"`
+	Backends []backendHealth `json:"backends"`
+}
+
+func (rt *Router) writeHealth(w http.ResponseWriter) {
+	ok, report := rt.healthReport()
+	status := http.StatusOK
+	if !ok {
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(int((2*rt.cfg.ProbeInterval+time.Second-1)/time.Second)))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(routerHealth{Ok: ok, Backends: report})
+}
+
+// requestLog is the router's structured per-request log line.
+type requestLog struct {
+	Time      string  `json:"ts"`
+	RequestID string  `json:"requestId"`
+	Backend   string  `json:"backend,omitempty"`
+	Attempts  int     `json:"attempts"`
+	Hedged    bool    `json:"hedged,omitempty"`
+	Status    int     `json:"status"`
+	Outcome   string  `json:"outcome"`
+	TotalMs   float64 `json:"totalMs"`
+}
+
+func (rt *Router) logRequest(id string, res routeResult, total time.Duration) {
+	if rt.logw == nil {
+		return
+	}
+	line, err := json.Marshal(requestLog{
+		Time:      time.Now().UTC().Format(time.RFC3339Nano),
+		RequestID: id,
+		Backend:   res.backend,
+		Attempts:  res.attempts,
+		Hedged:    res.hedged,
+		Status:    res.status,
+		Outcome:   outcomeNames[res.outcome],
+		TotalMs:   float64(total) / float64(time.Millisecond),
+	})
+	if err != nil {
+		return
+	}
+	rt.logMu.Lock()
+	_, _ = rt.logw.Write(append(line, '\n'))
+	rt.logMu.Unlock()
+}

@@ -1,0 +1,169 @@
+package route
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Metrics mirrors router activity into a telemetry registry under the
+// pyroute_ prefix. All record methods are safe on a nil receiver, so an
+// unwired router pays one predictable branch per event.
+type Metrics struct {
+	reg *telemetry.Registry
+
+	// requests counts completed requests by outcome (ok, client_error,
+	// shed, no_backends, retry_budget_exhausted, upstream_error).
+	requests *telemetry.CounterVec
+	// retries counts re-routed attempts; retryBudgetExhausted counts
+	// retry-safe failures the budget refused to retry.
+	retries              *telemetry.Counter
+	retryBudgetExhausted *telemetry.Counter
+	// hedges counts launched hedge attempts; hedgeWins counts the ones
+	// whose response was used.
+	hedges    *telemetry.Counter
+	hedgeWins *telemetry.Counter
+
+	// Per-backend families, labelled by backend URL.
+	backendRequests *telemetry.CounterVec
+	backendFailures *telemetry.CounterVec
+	ejections       *telemetry.CounterVec
+	readmits        *telemetry.CounterVec
+	breakerHolds    *telemetry.CounterVec
+	upstreamLatency *telemetry.HistogramVec
+}
+
+// NewMetrics registers the router's metric families on reg. The backend
+// URL list fixes the per-backend label sets (the router's fleet is
+// static per process).
+func NewMetrics(reg *telemetry.Registry, backends []string) *Metrics {
+	outcomes := make([]string, numOutcomes)
+	copy(outcomes, outcomeNames[:])
+	return &Metrics{
+		reg: reg,
+		requests: reg.CounterVec("pyroute_requests_total",
+			"Completed router requests by outcome.", "outcome", outcomes),
+		retries: reg.Counter("pyroute_retries_total",
+			"Re-routed attempts (retry-safe failures sent to another backend or retried after backoff)."),
+		retryBudgetExhausted: reg.Counter("pyroute_retry_budget_exhausted_total",
+			"Retry-safe failures not retried because the retry token bucket was empty."),
+		hedges: reg.Counter("pyroute_hedges_total",
+			"Hedge attempts launched after the tail-latency delay."),
+		hedgeWins: reg.Counter("pyroute_hedge_wins_total",
+			"Hedge attempts whose response was returned to the client."),
+		backendRequests: reg.CounterVec("pyroute_backend_requests_total",
+			"Attempts forwarded per backend.", "backend", backends),
+		backendFailures: reg.CounterVec("pyroute_backend_failures_total",
+			"Transport-level attempt failures per backend.", "backend", backends),
+		ejections: reg.CounterVec("pyroute_backend_ejections_total",
+			"Health ejections per backend.", "backend", backends),
+		readmits: reg.CounterVec("pyroute_backend_readmits_total",
+			"Half-open readmissions per backend.", "backend", backends),
+		breakerHolds: reg.CounterVec("pyroute_backend_breaker_holds_total",
+			"Readmissions refused by the flap breaker per backend.", "backend", backends),
+		upstreamLatency: reg.HistogramVec("pyroute_upstream_seconds",
+			"Upstream attempt latency per backend.", "backend", backends),
+	}
+}
+
+func (m *Metrics) request(outcome int) {
+	if m == nil {
+		return
+	}
+	m.requests.Inc(outcome)
+}
+
+func (m *Metrics) retry() {
+	if m == nil {
+		return
+	}
+	m.retries.Inc()
+}
+
+func (m *Metrics) retryBudgetDry() {
+	if m == nil {
+		return
+	}
+	m.retryBudgetExhausted.Inc()
+}
+
+func (m *Metrics) hedge() {
+	if m == nil {
+		return
+	}
+	m.hedges.Inc()
+}
+
+func (m *Metrics) hedgeWin() {
+	if m == nil {
+		return
+	}
+	m.hedgeWins.Inc()
+}
+
+func (m *Metrics) backendRequest(idx int) {
+	if m == nil {
+		return
+	}
+	m.backendRequests.Inc(idx)
+}
+
+func (m *Metrics) backendFailure(idx int) {
+	if m == nil {
+		return
+	}
+	m.backendFailures.Inc(idx)
+}
+
+func (m *Metrics) eject(idx int) {
+	if m == nil {
+		return
+	}
+	m.ejections.Inc(idx)
+}
+
+func (m *Metrics) readmit(idx int) {
+	if m == nil {
+		return
+	}
+	m.readmits.Inc(idx)
+}
+
+func (m *Metrics) breakerHeld(idx int) {
+	if m == nil {
+		return
+	}
+	m.breakerHolds.Inc(idx)
+}
+
+func (m *Metrics) observeUpstream(idx int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.upstreamLatency.Observe(idx, d)
+}
+
+// registerGauges wires the router's live state into scrape-time gauges.
+// Called once from New when a Metrics is configured.
+func (rt *Router) registerGauges() {
+	reg := rt.metrics.reg
+	if reg == nil {
+		return
+	}
+	reg.GaugeFuncVec("pyroute_backend_up",
+		"Whether the backend is routable (1) or drained/ejected/half-open (0).",
+		"backend", rt.cfg.Backends, func(i int) float64 {
+			if rt.backends[i].routable() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("pyroute_backends_routable",
+		"Number of currently routable backends.", func() float64 {
+			return float64(rt.routableCount())
+		})
+	reg.GaugeFunc("pyroute_retry_tokens",
+		"Current retry-budget token level.", func() float64 {
+			return float64(rt.retryTokens.Load()) / 1000
+		})
+}

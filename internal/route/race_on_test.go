@@ -1,0 +1,8 @@
+//go:build race
+
+package route
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. The chaos soak couples fault cadence to wall clock and is
+// skipped under the detector's slowdown (see soak_test.go).
+const raceEnabled = true

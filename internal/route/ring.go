@@ -1,0 +1,83 @@
+package route
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// ContentHash is the routing key: a stable 64-bit digest of the program
+// source. It is the same content identity a compile/quicken artifact
+// cache will key on later — programs hash identically here and there, so
+// a router pins each distinct program to one backend and that backend's
+// warm inline caches (and eventually its cached artifacts) stay hot for
+// it.
+func ContentHash(src string) uint64 {
+	sum := sha256.Sum256([]byte(src))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// vnodes is how many ring points each backend contributes. 64 points per
+// backend keeps the keyspace split within a few percent of even for the
+// small replica counts a front tier realistically fronts.
+const vnodes = 64
+
+// ring is a consistent-hash ring over backend indexes. Immutable after
+// construction: health is consulted at walk time, not baked into the
+// ring, so ejecting a backend only remaps the keys that hashed to it.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	idx  int
+}
+
+// buildRing places vnodes points per backend name on the ring. Points
+// hash the backend name, not its index, so reordering the backend list
+// does not reshuffle the keyspace.
+func buildRing(names []string) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(names)*vnodes)}
+	for i, name := range names {
+		for v := 0; v < vnodes; v++ {
+			sum := sha256.Sum256([]byte(name + "#" + strconv.Itoa(v)))
+			r.points = append(r.points, ringPoint{
+				hash: binary.BigEndian.Uint64(sum[:8]),
+				idx:  i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// walk yields distinct backend indexes in ring order starting at key's
+// successor point: the key's owner first, then the fallbacks a retry
+// should prefer, in a deterministic order every router instance agrees
+// on. Stops early when yield returns false.
+func (r *ring) walk(key uint64, yield func(idx int) bool) {
+	if len(r.points) == 0 {
+		return
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	seen := make(map[int]bool, 8)
+	for n := 0; n < len(r.points); n++ {
+		p := r.points[(start+n)%len(r.points)]
+		if seen[p.idx] {
+			continue
+		}
+		seen[p.idx] = true
+		if !yield(p.idx) {
+			return
+		}
+	}
+}
+
+// owner returns the key's primary backend index (-1 on an empty ring).
+func (r *ring) owner(key uint64) int {
+	idx := -1
+	r.walk(key, func(i int) bool { idx = i; return false })
+	return idx
+}

@@ -1,0 +1,367 @@
+// Package serve is the pyserve HTTP serving layer: the versioned /v1
+// JSON surface over an internal/supervise worker pool. cmd/pyserve is a
+// thin flag-parsing wrapper; keeping the server here lets the router
+// (internal/route) and its chaos soaks spin real in-process backends.
+//
+// Endpoints:
+//
+//	POST /v1/run     execute one MiniPy program on a warm worker
+//	GET  /v1/metrics Prometheus text exposition
+//	GET  /v1/healthz pure liveness: 200 while any worker is alive,
+//	                 including while draining — "shutting down, stop
+//	                 routing here" is readiness, not death
+//	GET  /v1/readyz  readiness: 503 while draining or while admission
+//	                 is shedding at the heap watermark; routers drain
+//	                 nodes on this signal without ejecting them
+//	POST /drainz     graceful drain: stop admitting, wait for in-flight
+//
+// The unversioned endpoints (/run, /metrics, /healthz) are deprecated
+// aliases kept for existing clients: same behavior, but /run answers
+// with a Deprecation header and its validation errors keep the legacy
+// flat {"error": "message"} shape.
+//
+// Every executed request gets a request id — the client-supplied
+// X-Request-Id when present (so a routing tier's ids survive end to
+// end), a daemon-unique generated one otherwise — echoed in the
+// response body, the X-Request-Id header, and one structured JSON log
+// line.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/runtime"
+	"repro/internal/supervise"
+	"repro/internal/telemetry"
+)
+
+// Server ties the pool to the HTTP mux; tests and the router soak drive
+// it in-process via Mux.
+type Server struct {
+	pool *supervise.Pool
+	// reg is the telemetry registry backing GET /metrics.
+	reg *telemetry.Registry
+	// drainTimeout bounds how long /drainz waits for in-flight jobs.
+	drainTimeout time.Duration
+	// nextID numbers executed requests that did not bring their own id.
+	nextID atomic.Uint64
+	// logw receives one JSON line per executed job (nil disables).
+	// logMu serializes writers so interleaved handlers cannot shear a
+	// line.
+	logw  io.Writer
+	logMu sync.Mutex
+}
+
+// New builds a Server over pool. reg backs /metrics, drainTimeout bounds
+// /drainz, logw (nil to disable) receives per-job structured log lines.
+func New(pool *supervise.Pool, reg *telemetry.Registry, drainTimeout time.Duration, logw io.Writer) *Server {
+	return &Server{pool: pool, reg: reg, drainTimeout: drainTimeout, logw: logw}
+}
+
+// Mux returns the server's route table.
+func (s *Server) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", s.handleRunV1)
+	mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/readyz", s.handleReadyz)
+	mux.HandleFunc("/run", s.handleRunLegacy)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/drainz", s.handleDrainz)
+	return mux
+}
+
+// jobLog is the structured per-job log line.
+type jobLog struct {
+	Time      string  `json:"ts"`
+	RequestID string  `json:"requestId"`
+	Name      string  `json:"name"`
+	Mode      string  `json:"mode"`
+	Class     string  `json:"class"`
+	Worker    int     `json:"worker"`
+	QueuedMs  float64 `json:"queuedMs"`
+	RunMs     float64 `json:"runMs"`
+	Bytecodes uint64  `json:"bytecodes,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+func (s *Server) logJob(id string, job *supervise.Job, res *supervise.JobResult) {
+	if s.logw == nil {
+		return
+	}
+	line, err := json.Marshal(jobLog{
+		Time:      time.Now().UTC().Format(time.RFC3339Nano),
+		RequestID: id,
+		Name:      job.Name,
+		Mode:      res.Mode.String(),
+		Class:     res.Class.String(),
+		Worker:    res.Worker,
+		QueuedMs:  float64(res.Queued) / float64(time.Millisecond),
+		RunMs:     float64(res.RunTime) / float64(time.Millisecond),
+		Bytecodes: res.Bytecodes,
+		Error:     res.Err,
+	})
+	if err != nil {
+		return
+	}
+	s.logMu.Lock()
+	_, _ = s.logw.Write(append(line, '\n'))
+	s.logMu.Unlock()
+}
+
+// maxBody bounds a /run request body (programs are small; a runaway
+// client must not balloon the daemon).
+const maxBody = 1 << 20
+
+// maxRequestID bounds a client-supplied X-Request-Id: beyond it the id
+// is discarded and a local one generated, so a hostile client cannot
+// stuff megabytes into every log line.
+const maxRequestID = 128
+
+// requestID resolves the request's id: the client-supplied X-Request-Id
+// when present and sane, a daemon-unique generated one otherwise. A
+// routing tier forwards its id (with per-attempt suffixes) through this
+// header, so one id ties the router's log line to the backend's.
+func (s *Server) requestID(r *http.Request) string {
+	if id := r.Header.Get(api.HeaderRequestID); id != "" && len(id) <= maxRequestID {
+		return id
+	}
+	return "r" + strconv.FormatUint(s.nextID.Add(1), 10)
+}
+
+func (s *Server) handleRunV1(w http.ResponseWriter, r *http.Request) {
+	s.serveRun(w, r, true)
+}
+
+// handleRunLegacy is the deprecated unversioned alias of /v1/run: same
+// execution path, but it announces its deprecation in headers and keeps
+// the flat {"error": "message"} error shape for existing clients.
+func (s *Server) handleRunLegacy(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", `</v1/run>; rel="successor-version"`)
+	s.serveRun(w, r, false)
+}
+
+// failRun writes a request-rejection response: the /v1 machine-readable
+// envelope, or the legacy flat shape for the deprecated alias.
+func (s *Server) failRun(w http.ResponseWriter, v1 bool, status int, code, msg string) {
+	if v1 {
+		writeJSON(w, status, api.ErrorEnvelope{Err: api.Error{Code: code, Message: msg}})
+		return
+	}
+	httpError(w, status, msg)
+}
+
+func (s *Server) serveRun(w http.ResponseWriter, r *http.Request, v1 bool) {
+	fail := func(status int, code, msg string) { s.failRun(w, v1, status, code, msg) }
+	if r.Method != http.MethodPost {
+		fail(http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+	if err != nil {
+		fail(http.StatusBadRequest, api.CodeBadJSON, "read body: "+err.Error())
+		return
+	}
+	if len(body) > maxBody {
+		fail(http.StatusRequestEntityTooLarge, api.CodeBodyTooLarge,
+			fmt.Sprintf("program exceeds %d bytes", maxBody))
+		return
+	}
+	var req api.RunRequestV1
+	if err := json.Unmarshal(body, &req); err != nil {
+		fail(http.StatusBadRequest, api.CodeBadJSON, "bad JSON: "+err.Error())
+		return
+	}
+	if req.Src == "" {
+		fail(http.StatusBadRequest, api.CodeMissingSrc, "missing src")
+		return
+	}
+	mode := runtime.CPython
+	if req.Mode != "" {
+		mode, err = runtime.ParseMode(req.Mode)
+		if err != nil {
+			fail(http.StatusBadRequest, api.CodeBadMode, err.Error())
+			return
+		}
+	}
+	job := &supervise.Job{
+		Name: req.Name,
+		Src:  req.Src,
+		Mode: mode,
+	}
+	if job.Name == "" {
+		job.Name = "request.py"
+	}
+	job.Breakdown = req.Breakdown
+	if l := req.Limits; l != nil {
+		// All budget validation — negative rejection, the 24h deadline
+		// cap that used to be an overflow hazard — lives in Normalize;
+		// nothing invalid ever reaches the pool.
+		norm, err := l.Normalize()
+		if err != nil {
+			code := api.CodeInvalidLimits
+			if ae, ok := err.(*api.Error); ok {
+				code = ae.Code
+			}
+			fail(http.StatusBadRequest, code, err.Error())
+			return
+		}
+		job.Limits = norm
+	}
+
+	id := s.requestID(r)
+	res := s.pool.Submit(job)
+	s.logJob(id, job, res)
+	resp := api.RunResultV1{
+		APIVersion: api.Version,
+		RequestID:  id,
+		ExitClass:  res.Class.String(),
+		ExitCode:   res.Class.ExitCode(),
+		Stdout:     res.Output,
+		Error:      res.Err,
+		Mode:       res.Mode.String(),
+		Worker:     res.Worker,
+		QueuedMs:   float64(res.Queued) / float64(time.Millisecond),
+		RunMs:      float64(res.RunTime) / float64(time.Millisecond),
+	}
+	status := http.StatusOK
+	if res.Class == supervise.ClassShed {
+		status = http.StatusServiceUnavailable
+		resp.RetryAfter = float64(res.RetryAfter) / float64(time.Millisecond)
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds(res.RetryAfter)))
+	}
+	if res.Class == supervise.ClassOK {
+		resp.Stats = &api.RunStatsV1{
+			Bytecodes:   res.Bytecodes,
+			Allocs:      res.Allocs,
+			MinorGCs:    res.MinorGCs,
+			MajorGCs:    res.MajorGCs,
+			ErrorDeopts: res.ErrorDeopts,
+			ICHits:      res.IC.Hits(),
+			ICMisses:    res.IC.Misses(),
+			ICHitRate:   res.IC.HitRate(),
+		}
+		if res.Breakdown != nil {
+			resp.Breakdown = res.Breakdown.Report()
+		}
+	}
+	w.Header().Set(api.HeaderRequestID, id)
+	writeJSON(w, status, resp)
+}
+
+// RetryAfterSeconds renders a retry hint as the integer seconds of the
+// Retry-After header, rounding UP: truncation would tell clients to come
+// back before the hint elapses (1.9s became "1"), re-shedding the
+// well-behaved ones.
+func RetryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+// healthzResponse reports pool occupancy and lifetime counters.
+type healthzResponse struct {
+	Ok    bool            `json:"ok"`
+	Stats supervise.Stats `json:"stats"`
+}
+
+// handleHealthz is pure liveness: 200 while any worker is alive. A
+// draining node is still alive — conflating "shutting down, stop routing
+// here" with "dead" made routers eject nodes that were gracefully
+// finishing their in-flight work; that signal moved to /v1/readyz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.pool.Stats()
+	ok := st.Workers > 0
+	status := http.StatusOK
+	if !ok {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, healthzResponse{Ok: ok, Stats: st})
+}
+
+// readyzResponse reports routability and the reason when not ready.
+type readyzResponse struct {
+	Ready  bool            `json:"ready"`
+	Reason string          `json:"reason,omitempty"`
+	Stats  supervise.Stats `json:"stats"`
+}
+
+// handleReadyz is readiness: whether this node should receive new work.
+// Not-ready (503, with a Retry-After hint for backoff) while draining or
+// while admission is shedding at the heap watermark; dead (no workers)
+// is also not ready. Routers use this to drain nodes without ejecting
+// them.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := s.pool.Stats()
+	reason := ""
+	switch {
+	case st.Workers == 0:
+		reason = "no live workers"
+	case st.Draining:
+		reason = "draining"
+	case st.HeapWatermark > 0 && st.HeapReserved >= st.HeapWatermark:
+		reason = "heap watermark reached"
+	}
+	if reason != "" {
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds(s.drainTimeout/4)))
+		writeJSON(w, http.StatusServiceUnavailable, readyzResponse{Ready: false, Reason: reason, Stats: st})
+		return
+	}
+	writeJSON(w, http.StatusOK, readyzResponse{Ready: true, Stats: st})
+}
+
+// drainzResponse reports the drain outcome.
+type drainzResponse struct {
+	Drained bool            `json:"drained"`
+	Stats   supervise.Stats `json:"stats"`
+}
+
+func (s *Server) handleDrainz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	ok := s.pool.Drain(s.drainTimeout)
+	status := http.StatusOK
+	if !ok {
+		// In-flight jobs outlived the drain window. Tell the caller when
+		// another attempt could succeed: the longest a remaining job can
+		// still run is one default deadline.
+		status = http.StatusGatewayTimeout
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds(s.drainTimeout)))
+	}
+	writeJSON(w, status, drainzResponse{Drained: ok, Stats: s.pool.Stats()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bytes"
@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -17,6 +18,12 @@ import (
 	"repro/internal/runtime"
 	"repro/internal/supervise"
 	"repro/internal/telemetry"
+)
+
+// The wire types under test are the shared versioned API structs.
+type (
+	runRequest  = api.RunRequestV1
+	runResponse = api.RunResultV1
 )
 
 // syncBuffer is a mutex-guarded log sink for tests that inspect the
@@ -58,7 +65,7 @@ func metricsServer(t *testing.T, logw io.Writer) (*httptest.Server, *supervise.P
 			MaxOutputBytes: 1 << 20,
 		},
 	})
-	ts := httptest.NewServer(newServer(pool, reg, 10*time.Second, logw).mux())
+	ts := httptest.NewServer(New(pool, reg, 10*time.Second, logw).Mux())
 	t.Cleanup(func() {
 		ts.Close()
 		pool.Close()
@@ -187,8 +194,11 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
-// TestDrainz: draining flips the daemon into rejection mode; /healthz
-// goes unhealthy and /run sheds.
+// TestDrainz: draining flips the daemon into rejection mode — /run
+// sheds with a Retry-After hint and /v1/readyz goes not-ready — but
+// /healthz stays healthy: a draining node is alive (liveness), just not
+// routable (readiness). Conflating the two made routers eject nodes
+// that were gracefully finishing their in-flight work.
 func TestDrainz(t *testing.T) {
 	ts, _ := smokeServer(t)
 	resp, err := http.Post(ts.URL+"/drainz", "application/json", nil)
@@ -199,15 +209,173 @@ func TestDrainz(t *testing.T) {
 	if resp.StatusCode != 200 {
 		t.Fatalf("drainz status %d", resp.StatusCode)
 	}
-	status, out := postRun(t, ts, runRequest{Name: "x.py", Src: "print(1)\n"})
-	if status != http.StatusServiceUnavailable || out.ExitClass != "shed" {
-		t.Fatalf("post-drain run: status %d class %s", status, out.ExitClass)
+	body, _ := json.Marshal(runRequest{Name: "x.py", Src: "print(1)\n"})
+	runResp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
 	}
+	var out runResponse
+	if err := json.NewDecoder(runResp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	runResp.Body.Close()
+	if runResp.StatusCode != http.StatusServiceUnavailable || out.ExitClass != "shed" {
+		t.Fatalf("post-drain run: status %d class %s", runResp.StatusCode, out.ExitClass)
+	}
+	// The drain rejection must carry a Retry-After hint: the routing
+	// tier's backoff keys off it instead of guessing.
+	if ra := runResp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("post-drain 503 without Retry-After header")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("post-drain Retry-After %q not a positive integer", ra)
+	}
+	if out.RetryAfter <= 0 {
+		t.Fatalf("post-drain body retryAfterMs %v, want > 0", out.RetryAfter)
+	}
+	// Liveness: still alive while draining.
 	if resp, err := http.Get(ts.URL + "/healthz"); err == nil {
-		if resp.StatusCode != http.StatusServiceUnavailable {
-			t.Fatalf("post-drain healthz status %d", resp.StatusCode)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-drain healthz status %d, want 200 (draining is not death)", resp.StatusCode)
 		}
 		resp.Body.Close()
+	}
+	if resp, err := http.Get(ts.URL + "/v1/healthz"); err == nil {
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-drain /v1/healthz status %d, want 200", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	// Readiness: not routable while draining, with a backoff hint.
+	resp2, err := http.Get(ts.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain readyz status %d, want 503", resp2.StatusCode)
+	}
+	if resp2.Header.Get("Retry-After") == "" {
+		t.Fatal("not-ready readyz without Retry-After header")
+	}
+	var rz readyzResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&rz); err != nil {
+		t.Fatal(err)
+	}
+	if rz.Ready || rz.Reason != "draining" {
+		t.Fatalf("post-drain readyz %+v, want not-ready/draining", rz)
+	}
+}
+
+// TestReadyz: a healthy, undrained node is ready; readiness and liveness
+// agree on the happy path.
+func TestReadyz(t *testing.T) {
+	ts, _ := smokeServer(t)
+	resp, err := http.Get(ts.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz status %d", resp.StatusCode)
+	}
+	var rz readyzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rz); err != nil {
+		t.Fatal(err)
+	}
+	if !rz.Ready || rz.Reason != "" {
+		t.Fatalf("readyz %+v, want ready", rz)
+	}
+	if rz.Stats.HeapWatermark == 0 {
+		t.Fatalf("readyz stats missing heap watermark: %+v", rz.Stats)
+	}
+}
+
+// TestDrainzTimeoutRetryAfter: when in-flight work outlives the drain
+// window, the 504 carries a Retry-After hint for the next attempt.
+func TestDrainzTimeoutRetryAfter(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	pool := supervise.NewPool(supervise.Config{
+		Workers: 1,
+		DefaultLimits: interp.Limits{
+			MaxSteps: 1 << 40,
+			Deadline: 2 * time.Second,
+		},
+	})
+	ts := httptest.NewServer(New(pool, reg, 50*time.Millisecond, io.Discard).Mux())
+	t.Cleanup(func() {
+		ts.Close()
+		pool.Close()
+	})
+
+	// Occupy the only worker past the drain window.
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		postRun(t, ts, runRequest{Name: "busy.py",
+			Src: "i = 0\nwhile True:\n    i = i + 1\n",
+			Limits: &api.Limits{MaxSteps: 1 << 40,
+				Deadline: 900 * time.Millisecond}})
+	}()
+	<-started
+	time.Sleep(100 * time.Millisecond) // let the job reach a worker
+
+	resp, err := http.Post(ts.URL+"/drainz", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("drainz under load status %d, want 504", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("drainz timeout 504 without Retry-After header")
+	}
+}
+
+// TestRequestIDPropagation: a client-supplied X-Request-Id survives to
+// the response body, header, and log line — the router's end-to-end id
+// contract — while an oversized id is discarded for a generated one.
+func TestRequestIDPropagation(t *testing.T) {
+	logs := &syncBuffer{}
+	ts, _, _ := metricsServer(t, logs)
+
+	body, _ := json.Marshal(runRequest{Name: "rid.py", Src: "print(1)\n"})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(api.HeaderRequestID, "edge-7.r2")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out runResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if out.RequestID != "edge-7.r2" || resp.Header.Get(api.HeaderRequestID) != "edge-7.r2" {
+		t.Fatalf("client id not propagated: body %q header %q",
+			out.RequestID, resp.Header.Get(api.HeaderRequestID))
+	}
+	if !strings.Contains(logs.String(), `"requestId":"edge-7.r2"`) {
+		t.Fatalf("log line missing client id:\n%s", logs.String())
+	}
+
+	// An oversized id is replaced, not echoed.
+	req2, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/run", bytes.NewReader(body))
+	req2.Header.Set(api.HeaderRequestID, strings.Repeat("x", maxRequestID+1))
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out2 runResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&out2); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if strings.HasPrefix(out2.RequestID, "x") || out2.RequestID == "" {
+		t.Fatalf("oversized client id echoed back: %q", out2.RequestID)
 	}
 }
 
@@ -374,7 +542,7 @@ func TestDeadlineClamp(t *testing.T) {
 
 // TestRetryAfterSeconds: the Retry-After header rounds the hint UP —
 // truncation told clients to retry before the hint elapsed.
-func TestRetryAfterSeconds(t *testing.T) {
+func TestRetryAfterSecondsRounding(t *testing.T) {
 	for _, tc := range []struct {
 		d    time.Duration
 		want int
@@ -386,8 +554,8 @@ func TestRetryAfterSeconds(t *testing.T) {
 		{2 * time.Second, 2},
 		{2*time.Second + time.Millisecond, 3},
 	} {
-		if got := retryAfterSeconds(tc.d); got != tc.want {
-			t.Errorf("retryAfterSeconds(%v) = %d, want %d", tc.d, got, tc.want)
+		if got := RetryAfterSeconds(tc.d); got != tc.want {
+			t.Errorf("RetryAfterSeconds(%v) = %d, want %d", tc.d, got, tc.want)
 		}
 	}
 }

@@ -165,5 +165,9 @@ type Stats struct {
 	Idle         int
 	Queued       int
 	HeapReserved uint64
-	Draining     bool
+	// HeapWatermark is the pool's configured admission watermark, so
+	// readiness probes can tell "shedding at capacity" (HeapReserved at
+	// the watermark) apart from ordinary load.
+	HeapWatermark uint64
+	Draining      bool
 }

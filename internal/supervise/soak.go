@@ -128,7 +128,7 @@ func Soak(cfg SoakConfig) *SoakResult {
 		key := refKey{progSeed, mode}
 		want, ok := refs[key]
 		if !ok {
-			want = referenceRun(name, src, mode, cfg.Limits)
+			want = ReferenceRun(name, src, mode, cfg.Limits)
 			refs[key] = want
 		}
 		if got.Class != want.Class || got.Err != want.Err {
@@ -158,9 +158,10 @@ func Soak(cfg SoakConfig) *SoakResult {
 	return res
 }
 
-// referenceRun executes one job on a fresh single-use Runner, outside
-// the pool, with the same limits — the contamination-free baseline.
-func referenceRun(name, src string, mode runtime.Mode, lim interp.Limits) *JobResult {
+// ReferenceRun executes one job on a fresh single-use Runner, outside
+// the pool, with the same limits — the contamination-free baseline the
+// pool-chaos and router-chaos soaks diff served results against.
+func ReferenceRun(name, src string, mode runtime.Mode, lim interp.Limits) *JobResult {
 	rc := runtime.ServingConfig(mode)
 	rc.Limits = lim
 	jr := &JobResult{Mode: mode, Worker: -1}

@@ -470,6 +470,7 @@ func (p *Pool) Stats() Stats {
 	s.Idle = len(p.idle)
 	s.Queued = p.queued
 	s.HeapReserved = p.heapReserved
+	s.HeapWatermark = p.cfg.HeapWatermark
 	s.Draining = p.draining
 	return s
 }

@@ -196,6 +196,18 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.register(name, &gaugeFam{name: name, help: help, fn: fn})
 }
 
+// GaugeFuncVec registers a gauge family keyed by one label over a fixed
+// value set, evaluated at scrape time: fn(i) is called with the label
+// index for each series (e.g. per-backend health in a routing tier).
+// Like GaugeFunc, the callback runs on the scrape path only.
+func (r *Registry) GaugeFuncVec(name, help, label string, values []string, fn func(i int) float64) {
+	fam := &gaugeVecFam{name: name, help: help, fn: fn}
+	for _, val := range values {
+		fam.labels = append(fam.labels, renderLabel(label, val))
+	}
+	r.register(name, fam)
+}
+
 // WritePrometheus renders every registered family in Prometheus text
 // exposition format (version 0.0.4).
 func (r *Registry) WritePrometheus(w io.Writer) error {
@@ -267,6 +279,25 @@ func (f *gaugeFam) expose(w io.Writer) error {
 	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
 		f.name, f.help, f.name, f.name, formatFloat(f.fn()))
 	return err
+}
+
+// gaugeVecFam renders one labelled callback-gauge family.
+type gaugeVecFam struct {
+	name, help string
+	labels     []string
+	fn         func(i int) float64
+}
+
+func (f *gaugeVecFam) expose(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", f.name, f.help, f.name); err != nil {
+		return err
+	}
+	for i, labels := range f.labels {
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labels, formatFloat(f.fn(i))); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // formatFloat renders a float the way Prometheus expects (shortest
