@@ -80,6 +80,8 @@ func run() int {
 		downN     = flag.Uint64("route-down-every", 20, "with -route, kill replica 1 for good at this injector tick (0: never)")
 		slowN     = flag.Uint64("route-slow-every", 35, "with -route, wedge the last replica every Nth tick (0: never)")
 		flapN     = flag.Uint64("route-flap-every", 50, "with -route, bounce the last replica every Nth tick (0: never)")
+		byteChaos = flag.Bool("route-bytechaos", false, "with -route, interpose byte-level chaos proxies (resets, stalls, truncation, corruption) and stamp every request with an idempotency key, arming the exactly-once oracle")
+		reloadN   = flag.Uint64("route-reload-every", 0, "with -route, toggle one replica out of and back into the fleet every Nth tick via live reconfiguration (0: never)")
 	)
 	flag.Parse()
 
@@ -93,23 +95,46 @@ func run() int {
 		// hysteresis stalls its in-flight requests past the upstream
 		// timeout, and those are not retry-safe — the hedge's duplicate
 		// attempt is the only way to serve them.
-		res := route.Soak(route.SoakConfig{
-			Seed:       *seed,
-			Jobs:       *n,
-			DownEveryN: *downN,
-			SlowEveryN: *slowN,
-			FlapEveryN: *flapN,
-			Hedge:      true,
-		})
+		cfg := route.SoakConfig{
+			Seed:         *seed,
+			Jobs:         *n,
+			DownEveryN:   *downN,
+			SlowEveryN:   *slowN,
+			FlapEveryN:   *flapN,
+			ReloadEveryN: *reloadN,
+			Hedge:        true,
+		}
+		if *byteChaos {
+			// Byte chaos and hedging don't mix: a hedge duplicates an
+			// attempt by design, which muddies the exactly-once audit.
+			// Idempotency keys take over mid-flight recovery instead.
+			cfg.Hedge = false
+			cfg.ByteChaos = true
+			cfg.IdempotencyKeys = true
+			cfg.NetResetRate = 60
+			cfg.NetTruncateRate = 60
+			cfg.NetCorruptRate = 80
+			cfg.NetDelayRate = 40
+			cfg.NetStallRate = 400
+			cfg.AllowedFailureRatio = 0.25
+		}
+		res := route.Soak(cfg)
 		if rep := res.Report; rep != nil {
 			fmt.Printf("route soak: %d requests, outcomes %v, %d wrong answers, %d budgeted / %d unbudgeted failures (ratio %.3f, budget %.3f)\n",
 				rep.Requests, rep.Outcomes, rep.WrongAnswers,
 				rep.BudgetedFailures, rep.UnbudgetedFailures, rep.FailureRatio, rep.AllowedFailureRatio)
-			fmt.Printf("route soak: p50 %.1fms p99 %.1fms, %d ejections, %d readmits; killed=%d wedges=%d flaps=%d\n",
+			fmt.Printf("route soak: p50 %.1fms p99 %.1fms, %d ejections, %d readmits; killed=%d wedges=%d flaps=%d reloads=%d\n",
 				rep.Latency.P50Ms, rep.Latency.P99Ms, res.Ejections, res.Readmits,
-				res.Killed, res.Wedges, res.Flaps)
+				res.Killed, res.Wedges, res.Flaps, res.Reloads)
+			if cfg.IdempotencyKeys {
+				fmt.Printf("route soak: exactly-once: %d deduped replies, %d duplicate executions, %d dedup hits, max executions/key %d\n",
+					rep.DedupedReplies, rep.DuplicateExecutions, res.DedupHits, res.MaxExecutions)
+			}
 		}
 		fmt.Println(res.Faults)
+		if res.NetFaults != "" {
+			fmt.Println(res.NetFaults)
+		}
 		for _, v := range res.Violations {
 			fmt.Printf("violation: %s\n", v)
 		}

@@ -8,15 +8,27 @@
 //
 //	pyroute -backends http://h1:8042,http://h2:8042,http://h3:8042 \
 //	        [-addr :8040] [-max-attempts 3] [-hedge] [-probe-interval 1s]
+//	pyroute -backends-file /etc/pyroute/backends [-addr :8040]
+//
+// With -backends-file, the fleet can be reconfigured without a restart:
+// edit the file (one backend URL per line, # comments) and send the
+// process SIGHUP — the router swaps the backend set in place, draining
+// in-flight requests on removed nodes. PUT /v1/admin/backends does the
+// same over HTTP.
 //
 // Endpoints:
 //
-//	POST /v1/run     route one program to its backend (with health-aware
-//	                 failover, bounded retries, optional hedging)
-//	GET  /v1/metrics fleet-wide Prometheus exposition: router counters
-//	                 plus the summed backend families
-//	GET  /v1/healthz router liveness + per-backend health states
-//	GET  /v1/readyz  same: a router is ready exactly when it can route
+//	POST /v1/run            route one program to its backend (with
+//	                        health-aware failover, bounded retries,
+//	                        optional hedging)
+//	GET  /v1/metrics        fleet-wide Prometheus exposition: router
+//	                        counters plus the summed backend families
+//	GET  /v1/healthz        router liveness + per-backend health states
+//	GET  /v1/readyz         same: a router is ready exactly when it can
+//	                        route
+//	GET  /v1/admin/backends current fleet, including removed nodes still
+//	                        draining
+//	PUT  /v1/admin/backends replace the backend set at runtime
 package main
 
 import (
@@ -24,7 +36,9 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/route"
@@ -33,22 +47,32 @@ import (
 
 func run() int {
 	var (
-		addr          = flag.String("addr", ":8040", "listen address")
-		backends      = flag.String("backends", "", "comma-separated pyserve base URLs (required)")
-		timeout       = flag.Duration("timeout", 30*time.Second, "per-attempt upstream timeout")
-		probeInterval = flag.Duration("probe-interval", time.Second, "active health probe interval")
-		failThreshold = flag.Int("fail-threshold", 3, "consecutive connect failures before ejection")
-		readmitAfter  = flag.Duration("readmit-after", 2*time.Second, "ejection cooldown before a half-open trial")
-		maxAttempts   = flag.Int("max-attempts", 3, "attempts per request including the first")
-		retryRatio    = flag.Float64("retry-ratio", 0.2, "retry budget: tokens earned per incoming request")
-		hedge         = flag.Bool("hedge", false, "enable tail-latency hedging (duplicates slow requests)")
-		hedgeQuantile = flag.Float64("hedge-quantile", 0.95, "latency quantile that arms the hedge timer")
+		addr           = flag.String("addr", ":8040", "listen address")
+		backends       = flag.String("backends", "", "comma-separated pyserve base URLs")
+		backendsFile   = flag.String("backends-file", "", "file with one pyserve base URL per line (# comments); SIGHUP re-reads it and reconfigures the fleet without a restart")
+		timeout        = flag.Duration("timeout", 30*time.Second, "per-attempt upstream timeout")
+		probeInterval  = flag.Duration("probe-interval", time.Second, "active health probe interval")
+		failThreshold  = flag.Int("fail-threshold", 3, "consecutive connect failures before ejection")
+		readmitAfter   = flag.Duration("readmit-after", 2*time.Second, "ejection cooldown before a half-open trial")
+		maxAttempts    = flag.Int("max-attempts", 3, "attempts per request including the first")
+		retryRatio     = flag.Float64("retry-ratio", 0.2, "retry budget: tokens earned per incoming request")
+		hedge          = flag.Bool("hedge", false, "enable tail-latency hedging (duplicates slow requests)")
+		hedgeQuantile  = flag.Float64("hedge-quantile", 0.95, "latency quantile that arms the hedge timer")
+		metricsTimeout = flag.Duration("metrics-timeout", time.Second, "per-backend deadline for the fleet /v1/metrics aggregation")
 	)
 	flag.Parse()
 
 	urls := splitBackends(*backends)
+	if *backendsFile != "" {
+		fileURLs, err := readBackendsFile(*backendsFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pyroute:", err)
+			return 2
+		}
+		urls = append(urls, fileURLs...)
+	}
 	if len(urls) == 0 {
-		fmt.Fprintln(os.Stderr, "pyroute: -backends is required (comma-separated pyserve URLs)")
+		fmt.Fprintln(os.Stderr, "pyroute: -backends or -backends-file is required (pyserve URLs)")
 		return 2
 	}
 
@@ -63,6 +87,7 @@ func run() int {
 		RetryBudgetRatio: *retryRatio,
 		Hedge:            *hedge,
 		HedgeQuantile:    *hedgeQuantile,
+		MetricsTimeout:   *metricsTimeout,
 		Metrics:          route.NewMetrics(reg, urls),
 		Logw:             os.Stderr,
 	})
@@ -71,6 +96,27 @@ func run() int {
 		return 2
 	}
 	defer rt.Close()
+
+	if *backendsFile != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				next, err := readBackendsFile(*backendsFile)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "pyroute: SIGHUP:", err)
+					continue
+				}
+				added, removed, err := rt.Reconfigure(next)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "pyroute: SIGHUP reconfigure:", err)
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "pyroute: SIGHUP: fleet now %d backends (+%v -%v)\n",
+					len(next), added, removed)
+			}
+		}()
+	}
 
 	fmt.Fprintf(os.Stderr, "pyroute: listening on %s, routing to %d backends\n", *addr, len(urls))
 	if err := http.ListenAndServe(*addr, rt.Mux()); err != nil {
@@ -91,6 +137,24 @@ func splitBackends(s string) []string {
 		}
 	}
 	return out
+}
+
+// readBackendsFile reads one backend URL per line; blank lines and
+// #-comments are skipped.
+func readBackendsFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("backends file: %w", err)
+	}
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, strings.TrimRight(line, "/"))
+	}
+	return out, nil
 }
 
 func main() { os.Exit(run()) }

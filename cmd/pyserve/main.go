@@ -10,7 +10,7 @@
 //
 //	pyserve [-addr :8042] [-workers 4] [-queue 8] [-timeout 5s]
 //	        [-max-steps n] [-max-heap bytes] [-max-output bytes]
-//	        [-recycle 256]
+//	        [-recycle 256] [-dedup-ttl 5m] [-dedup-cap 4096]
 //
 // Endpoints (versioned API, see internal/api and internal/serve):
 //
@@ -50,6 +50,8 @@ func run() int {
 		maxOutput = flag.Uint64("max-output", 8<<20, "default output cap per job in bytes (0: unlimited)")
 		recycle   = flag.Int("recycle", 256, "retire a worker after this many jobs")
 		drainWait = flag.Duration("drain-timeout", 30*time.Second, "how long /drainz waits for in-flight jobs")
+		dedupTTL  = flag.Duration("dedup-ttl", 5*time.Minute, "how long an idempotency key's recorded result answers replays")
+		dedupCap  = flag.Int("dedup-cap", 4096, "max idempotency keys held in the dedup cache")
 	)
 	flag.Parse()
 
@@ -68,7 +70,12 @@ func run() int {
 	})
 	defer pool.Close()
 
-	srv := serve.New(pool, reg, *drainWait, os.Stderr)
+	srv := serve.NewWithOptions(pool, reg, serve.Options{
+		DrainTimeout: *drainWait,
+		LogW:         os.Stderr,
+		DedupTTL:     *dedupTTL,
+		DedupCap:     *dedupCap,
+	})
 	fmt.Fprintf(os.Stderr, "pyserve: listening on %s (%d workers)\n", *addr, *workers)
 	if err := http.ListenAndServe(*addr, srv.Mux()); err != nil {
 		fmt.Fprintln(os.Stderr, "pyserve:", err)

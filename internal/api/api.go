@@ -1,6 +1,11 @@
 package api
 
-import "repro/internal/core"
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"repro/internal/core"
+)
 
 // Version is the current serving API version, echoed in every /v1
 // result so clients and logs can tell payload generations apart.
@@ -15,6 +20,13 @@ const (
 	CodeInvalidLimits    = "invalid_limits"
 	CodeBodyTooLarge     = "body_too_large"
 	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeBadIdempotencyKey: the request's idempotencyKey exceeds
+	// MaxIdempotencyKey bytes.
+	CodeBadIdempotencyKey = "bad_idempotency_key"
+	// CodeIntegrity: the request body did not match its X-Content-Digest
+	// — the bytes were damaged in transit. The job was never parsed, let
+	// alone executed, so a routing tier may retry it freely.
+	CodeIntegrity = "integrity_violation"
 
 	// Router (pyroute) error codes. A router rejection means the job was
 	// never executed — clients may retry after the Retry-After hint.
@@ -35,6 +47,36 @@ const (
 // so one id ties the client's view, the router's log line, and the
 // backend's log line together.
 const HeaderRequestID = "X-Request-Id"
+
+// Content-integrity headers. Real fleets die mid-byte: a response can be
+// truncated, a body can be bit-flipped by a failing middlebox, and
+// neither may ever surface as a wrong answer. Both serving tiers stamp
+// and verify SHA-256 body digests:
+//
+//   - HeaderContentDigest travels router -> backend on /v1/run. The
+//     backend verifies it before parsing; a mismatch is rejected with
+//     CodeIntegrity (the job never executed, so the router retries).
+//   - HeaderResultDigest travels backend -> router on every /v1/run
+//     response. The router verifies the buffered body against it; a
+//     mismatch (or a missing digest on a 2xx) is a mid-flight failure —
+//     replayed under an idempotency key, surfaced as upstream_error
+//     otherwise — never passed through to the client.
+const (
+	HeaderContentDigest = "X-Content-Digest"
+	HeaderResultDigest  = "X-Pyserve-Digest"
+)
+
+// Digest returns the hex SHA-256 of body: the value both integrity
+// headers carry.
+func Digest(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
+}
+
+// MaxIdempotencyKey bounds a client-supplied idempotency key; beyond it
+// the request is rejected with CodeBadIdempotencyKey (a hostile client
+// must not stuff megabytes into the dedup cache's key space).
+const MaxIdempotencyKey = 128
 
 // Error is a machine-readable API error. It implements error so
 // validation helpers (Limits.Normalize) can return it directly and
@@ -73,6 +115,15 @@ type RunRequestV1 struct {
 	// job runs on the worker's attribution-core runner (slower) and the
 	// result carries the per-category cycle breakdown.
 	Breakdown bool `json:"breakdown,omitempty"`
+	// IdempotencyKey, when non-empty, declares the request idempotent
+	// and keys it in the backend's result-dedup cache: a replay of the
+	// same key within the cache TTL returns the recorded result instead
+	// of executing again, and a routing tier may re-route mid-flight
+	// failures of the request to another replica. Keys must be unique
+	// per logical request (a UUID, or client-id + sequence); reusing a
+	// key for a different program returns the first program's result.
+	// At most MaxIdempotencyKey bytes.
+	IdempotencyKey string `json:"idempotencyKey,omitempty"`
 }
 
 // RunStatsV1 carries the execution counters of a successful run.
@@ -106,4 +157,13 @@ type RunResultV1 struct {
 	RetryAfter float64      `json:"retryAfterMs,omitempty"`
 	Stats      *RunStatsV1  `json:"stats,omitempty"`
 	Breakdown  *core.Report `json:"breakdown,omitempty"`
+
+	// Exactly-once bookkeeping, present only for requests that carried
+	// an idempotencyKey. Executions is the number of times the program
+	// body actually ran under this key on the answering backend — the
+	// execution-count stamp; anything above 1 is a dedup-layer bug.
+	// Deduped marks a replay absorbed by the cache: the recorded result
+	// was returned and nothing executed.
+	Executions int  `json:"executions,omitempty"`
+	Deduped    bool `json:"deduped,omitempty"`
 }

@@ -19,8 +19,14 @@ type Gate struct {
 	// Test is the exact guard test function name CI must run.
 	Test string
 	// MinSpeedup is the wall-clock ratio (baseline / optimized) the
-	// guard fails below.
+	// guard fails below. Exactly one of MinSpeedup and MaxOverheadPct is
+	// set per gate.
 	MinSpeedup float64
+	// MaxOverheadPct is the overhead-form gate: the guard fails when the
+	// feature leg's wall clock exceeds the baseline leg's by more than
+	// this percentage. Used for features that must be near-free (e.g.
+	// dedup bookkeeping on the router's hot path) rather than faster.
+	MaxOverheadPct float64
 	// Baseline and Optimized describe the two legs being compared.
 	Baseline, Optimized string
 }
@@ -34,6 +40,14 @@ var Table = []Gate{
 		MinSpeedup: 2.0,
 		Baseline:   "cold interpreter (quickening off)",
 		Optimized:  "tier-2 quickened (poly ICs + fusion + unboxed-int)",
+	},
+	{
+		Name:           "router-dedup-overhead",
+		Package:        "./internal/route/",
+		Test:           "TestDedupOverheadGuard",
+		MaxOverheadPct: 2.0,
+		Baseline:       "routed requests without idempotency keys",
+		Optimized:      "routed requests with per-request idempotency keys (dedup enabled)",
 	},
 }
 

@@ -24,8 +24,13 @@ func TestGateTable(t *testing.T) {
 			t.Errorf("duplicate gate name %q", g.Name)
 		}
 		seen[g.Name] = true
-		if g.MinSpeedup <= 1.0 {
+		switch {
+		case g.MinSpeedup != 0 && g.MaxOverheadPct != 0:
+			t.Errorf("gate %q: sets both MinSpeedup and MaxOverheadPct; pick one form", g.Name)
+		case g.MinSpeedup != 0 && g.MinSpeedup <= 1.0:
 			t.Errorf("gate %q: MinSpeedup %.2f must exceed 1.0", g.Name, g.MinSpeedup)
+		case g.MinSpeedup == 0 && g.MaxOverheadPct <= 0:
+			t.Errorf("gate %q: needs MinSpeedup > 1.0 or MaxOverheadPct > 0", g.Name)
 		}
 		if !strings.Contains(string(ci), g.Test) {
 			t.Errorf("gate %q: CI workflow does not run guard test %s", g.Name, g.Test)

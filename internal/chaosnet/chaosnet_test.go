@@ -1,0 +1,206 @@
+package chaosnet
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// backend starts a plain HTTP echo server and returns its host:port.
+func backend(t *testing.T) string {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		if len(body) > 0 {
+			_, _ = w.Write(body)
+			return
+		}
+		_, _ = w.Write([]byte("hello from the backend"))
+	}))
+	t.Cleanup(ts.Close)
+	u, err := url.Parse(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u.Host
+}
+
+func proxyFor(t *testing.T, cfg Config) *Proxy {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = p.Close() })
+	return p
+}
+
+func get(t *testing.T, client *http.Client, url string) (string, error) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}
+
+// TestPassthrough: with no injector the proxy is transparent.
+func TestPassthrough(t *testing.T) {
+	p := proxyFor(t, Config{Target: backend(t)})
+	body, err := get(t, http.DefaultClient, p.URL())
+	if err != nil {
+		t.Fatalf("passthrough GET: %v", err)
+	}
+	if body != "hello from the backend" {
+		t.Fatalf("body = %q", body)
+	}
+	if p.Accepted() != 1 {
+		t.Fatalf("Accepted = %d, want 1", p.Accepted())
+	}
+}
+
+// TestReset: a NetReset fault kills the exchange with a transport error
+// — the client never sees a fabricated or partial success.
+func TestReset(t *testing.T) {
+	inj := faults.NewEveryNth(faults.NetReset, 1)
+	p := proxyFor(t, Config{Target: backend(t), Faults: inj})
+	if _, err := get(t, http.DefaultClient, p.URL()); err == nil {
+		t.Fatal("GET through resetting proxy succeeded")
+	}
+	_ = p.Close() // waits for the pumps; the injector is quiescent after
+	if inj.Fired[faults.NetReset] == 0 {
+		t.Fatal("NetReset never fired")
+	}
+}
+
+// TestTruncate: a truncated response surfaces as a transport error, not
+// a silently short body accepted as complete.
+func TestTruncate(t *testing.T) {
+	inj := faults.NewEveryNth(faults.NetTruncate, 1)
+	p := proxyFor(t, Config{Target: backend(t), Faults: inj})
+	body, err := get(t, http.DefaultClient, p.URL())
+	if err == nil && body == "hello from the backend" {
+		t.Fatal("truncating proxy delivered an intact exchange")
+	}
+	_ = p.Close()
+	if inj.Fired[faults.NetTruncate] == 0 {
+		t.Fatal("NetTruncate never fired")
+	}
+}
+
+// TestCorrupt: flipped bytes are observable — the exchange either fails
+// outright or delivers bytes that differ from what the backend sent.
+func TestCorrupt(t *testing.T) {
+	inj := faults.NewEveryNth(faults.NetCorrupt, 1)
+	p := proxyFor(t, Config{Target: backend(t), Faults: inj})
+	body, err := get(t, http.DefaultClient, p.URL())
+	if err == nil && body == "hello from the backend" {
+		t.Fatal("corrupting proxy delivered undamaged bytes")
+	}
+	_ = p.Close()
+	if inj.Fired[faults.NetCorrupt] == 0 {
+		t.Fatal("NetCorrupt never fired")
+	}
+}
+
+// TestStall: a half-open stall never errors on its own; only the
+// client's deadline unsticks it.
+func TestStall(t *testing.T) {
+	inj := faults.NewEveryNth(faults.NetStall, 1)
+	p := proxyFor(t, Config{Target: backend(t), Faults: inj, StallFor: 10 * time.Second})
+	client := &http.Client{Timeout: 300 * time.Millisecond}
+	start := time.Now()
+	_, err := get(t, client, p.URL())
+	if err == nil {
+		t.Fatal("GET through stalled proxy succeeded")
+	}
+	if elapsed := time.Since(start); elapsed < 250*time.Millisecond {
+		t.Fatalf("stalled GET failed after %v — an error, not a deadline", elapsed)
+	}
+	// Close must unstick the frozen connection goroutine promptly (the
+	// deferred Close would hang otherwise; this is the regression guard).
+	done := make(chan struct{})
+	go func() { _ = p.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close hung on a stalled connection")
+	}
+}
+
+// TestDelay: injected latency is real but harmless.
+func TestDelay(t *testing.T) {
+	inj := faults.NewEveryNth(faults.NetDelay, 1)
+	p := proxyFor(t, Config{Target: backend(t), Faults: inj, Delay: 120 * time.Millisecond})
+	start := time.Now()
+	body, err := get(t, http.DefaultClient, p.URL())
+	if err != nil || body != "hello from the backend" {
+		t.Fatalf("delayed GET: err %v body %q", err, body)
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("GET finished in %v — delay not applied", elapsed)
+	}
+}
+
+// TestDeadTarget: when the backend refuses the dial the client's
+// connection is closed without a response — a mid-flight failure, which
+// is what a crashed replica looks like from behind a proxy.
+func TestDeadTarget(t *testing.T) {
+	// A listener opened then closed yields a port that refuses dials.
+	dead := backendPortClosed(t)
+	p := proxyFor(t, Config{Target: dead})
+	if _, err := get(t, http.DefaultClient, p.URL()); err == nil {
+		t.Fatal("GET to dead target succeeded")
+	}
+}
+
+func backendPortClosed(t *testing.T) string {
+	t.Helper()
+	ts := httptest.NewServer(http.NotFoundHandler())
+	addr := strings.TrimPrefix(ts.URL, "http://")
+	ts.Close()
+	return addr
+}
+
+// TestGroupSharedInjector: a Group's proxies share one injector safely
+// under concurrent traffic (the consult mutex is the only guard — this
+// test is the -race witness).
+func TestGroupSharedInjector(t *testing.T) {
+	inj := faults.NewRate(7, 4,
+		faults.NetReset, faults.NetCorrupt, faults.NetTruncate, faults.NetDelay)
+	targets := []string{backend(t), backend(t), backend(t)}
+	proxies, err := Group(targets, Config{Faults: inj, Delay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, p := range proxies {
+			_ = p.Close()
+		}
+	})
+	var wg sync.WaitGroup
+	client := &http.Client{Timeout: 2 * time.Second}
+	for i := 0; i < 30; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _ = get(t, client, proxies[i%len(proxies)].URL())
+		}(i)
+	}
+	wg.Wait()
+	for _, p := range proxies {
+		_ = p.Close()
+	}
+	if inj.TotalFired() == 0 {
+		t.Fatal("shared injector never fired across 30 exchanges at rate 1/4")
+	}
+}

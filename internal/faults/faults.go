@@ -73,13 +73,34 @@ const (
 	// hold a flapping node out rather than feed it live traffic on every
 	// brief recovery.
 	BackendFlap
+	// NetReset hard-closes a proxied TCP connection mid-stream (RST, not
+	// FIN): the peer sees "connection reset" partway through an exchange.
+	// The serving tiers must treat it as a mid-flight failure — never a
+	// wrong answer, never a duplicate execution past the dedup layer.
+	NetReset
+	// NetStall freezes a proxied connection half-open: bytes stop flowing
+	// in the response direction but the connection stays established, so
+	// only a deadline (not an error) can unstick the caller.
+	NetStall
+	// NetTruncate forwards a prefix of a response chunk and then closes
+	// the connection, producing a short body under a longer declared
+	// Content-Length.
+	NetTruncate
+	// NetCorrupt flips bytes inside a proxied chunk. End-to-end content
+	// digests must catch the damage before it can surface as a wrong
+	// answer.
+	NetCorrupt
+	// NetDelay injects latency before forwarding a proxied chunk,
+	// jittering the timing of otherwise-healthy exchanges.
+	NetDelay
 	// NumKinds is the number of fault kinds.
 	NumKinds
 )
 
 var kindNames = [NumKinds]string{"alloc-fail", "nursery-exhaust", "guard-corrupt", "trace-compile-fail",
 	"worker-wedge", "pool-slot-leak", "guard-chain-corrupt",
-	"backend-down", "backend-slow", "backend-flap"}
+	"backend-down", "backend-slow", "backend-flap",
+	"net-reset", "net-stall", "net-truncate", "net-corrupt", "net-delay"}
 
 // String returns the kind's name.
 func (k Kind) String() string {

@@ -65,6 +65,11 @@ type Config struct {
 	// Retry-After semantics — are reported separately and do not count
 	// against it.
 	AllowedFailureRatio float64
+	// IdempotencyKeys, when true, stamps every request with a unique
+	// idempotency key ("idem-<seed>-<seq>"). This authorizes the router
+	// to replay mid-flight failures and arms the exactly-once oracle:
+	// the report then counts deduped replies and duplicate executions.
+	IdempotencyKeys bool
 	// Client overrides the HTTP client (tests); nil builds one from
 	// Timeout.
 	Client *http.Client
@@ -98,6 +103,14 @@ type Report struct {
 	// expectation; WrongAnswers counts the ones that disagreed.
 	Verified     int `json:"verified"`
 	WrongAnswers int `json:"wrongAnswers"`
+
+	// Exactly-once accounting (IdempotencyKeys runs only).
+	// DedupedReplies counts 200s served from a backend's dedup cache —
+	// replays absorbed instead of re-executed. DuplicateExecutions
+	// counts 200s whose executions stamp exceeded 1: the exactly-once
+	// guarantee was broken. Must stay zero.
+	DedupedReplies      int `json:"dedupedReplies,omitempty"`
+	DuplicateExecutions int `json:"duplicateExecutions"`
 
 	// Error budget verdict.
 	BudgetedFailures    int     `json:"budgetedFailures"`
@@ -156,11 +169,12 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	var (
-		next            atomic.Int64 // request sequence
-		mu              sync.Mutex
-		lats            []time.Duration
-		outcomes        = make(map[string]int)
-		verified, wrong int
+		next             atomic.Int64 // request sequence
+		mu               sync.Mutex
+		lats             []time.Duration
+		outcomes         = make(map[string]int)
+		verified, wrong  int
+		deduped, dupExec int
 	)
 
 	start := time.Now()
@@ -177,17 +191,23 @@ func Run(cfg Config) (*Report, error) {
 				// Seeded corpus walk: deterministic per seq, spread
 				// across the corpus so all workers share the mix.
 				p := cfg.Corpus[(uint64(seq)*0x9E3779B97F4A7C15+cfg.Seed)%uint64(len(cfg.Corpus))]
-				outcome, stdout, lat := oneRequest(client, cfg.Target, p, seq)
+				r := oneRequest(client, &cfg, p, seq)
 
 				mu.Lock()
-				outcomes[outcome]++
-				if lat > 0 {
-					lats = append(lats, lat)
+				outcomes[r.outcome]++
+				if r.lat > 0 {
+					lats = append(lats, r.lat)
 				}
-				if p.WantClass != "" && !failure(outcome) {
+				if r.deduped {
+					deduped++
+				}
+				if r.execs > 1 {
+					dupExec++
+				}
+				if p.WantClass != "" && !failure(r.outcome) {
 					verified++
-					if outcome != classOutcome(p.WantClass) ||
-						(p.WantClass == "ok" && stdout != p.WantStdout) {
+					if r.outcome != classOutcome(p.WantClass) ||
+						(p.WantClass == "ok" && r.stdout != p.WantStdout) {
 						wrong++
 					}
 				}
@@ -206,6 +226,8 @@ func Run(cfg Config) (*Report, error) {
 		Outcomes:            outcomes,
 		Verified:            verified,
 		WrongAnswers:        wrong,
+		DedupedReplies:      deduped,
+		DuplicateExecutions: dupExec,
 		AllowedFailureRatio: cfg.AllowedFailureRatio,
 	}
 	if elapsed > 0 {
@@ -237,10 +259,25 @@ func classOutcome(class string) string {
 	return "python_error"
 }
 
+// reqResult is one request's classification.
+type reqResult struct {
+	outcome string
+	stdout  string
+	lat     time.Duration // zero for incomplete exchanges
+	deduped bool          // 200 served from a backend dedup cache
+	execs   int           // executions stamp (0 when absent)
+}
+
 // oneRequest performs one POST /v1/run and classifies the result.
 // Latency is reported only for completed HTTP exchanges.
-func oneRequest(client *http.Client, target string, p Program, seq int64) (outcome, stdout string, lat time.Duration) {
+func oneRequest(client *http.Client, cfg *Config, p Program, seq int64) reqResult {
 	rr := api.RunRequestV1{Name: p.Name, Src: p.Src}
+	if cfg.IdempotencyKeys {
+		// Unique per request: each job may be replayed, never conflated
+		// with another. The seed keys the namespace so back-to-back runs
+		// against a warm fleet cannot collide in a backend's dedup cache.
+		rr.IdempotencyKey = fmt.Sprintf("idem-%d-%d", cfg.Seed, seq)
+	}
 	if p.Limits != (interp.Limits{}) {
 		// Serve under the budgets the reference was stamped with: the
 		// class verdict must not depend on the server's defaults. Only
@@ -253,9 +290,9 @@ func oneRequest(client *http.Client, target string, p Program, seq int64) (outco
 		rr.Limits = &lim
 	}
 	body, _ := json.Marshal(rr)
-	req, err := http.NewRequest(http.MethodPost, target+"/v1/run", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, cfg.Target+"/v1/run", bytes.NewReader(body))
 	if err != nil {
-		return "transport_error", "", 0
+		return reqResult{outcome: "transport_error"}
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(api.HeaderRequestID, fmt.Sprintf("load-%d", seq))
@@ -263,35 +300,38 @@ func oneRequest(client *http.Client, target string, p Program, seq int64) (outco
 	start := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
-		return "transport_error", "", 0
+		return reqResult{outcome: "transport_error"}
 	}
 	defer resp.Body.Close()
 	rb, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
 	if err != nil {
-		return "transport_error", "", 0
+		return reqResult{outcome: "transport_error"}
 	}
-	lat = time.Since(start)
+	lat := time.Since(start)
 
 	switch {
 	case resp.StatusCode == http.StatusOK:
 		var res api.RunResultV1
 		if json.Unmarshal(rb, &res) != nil {
-			return "transport_error", "", lat
+			return reqResult{outcome: "transport_error", lat: lat}
 		}
+		out := reqResult{stdout: res.Stdout, lat: lat, deduped: res.Deduped, execs: res.Executions}
 		if res.ExitClass == "ok" {
-			return "ok", res.Stdout, lat
+			out.outcome = "ok"
+		} else {
+			out.outcome = "python_error"
 		}
-		return "python_error", res.Stdout, lat
+		return out
 	case resp.StatusCode == http.StatusServiceUnavailable:
 		var env api.ErrorEnvelope
 		if json.Unmarshal(rb, &env) == nil && env.Err.Code != "" {
-			return env.Err.Code, "", lat // no_backends / retry_budget_exhausted
+			return reqResult{outcome: env.Err.Code, lat: lat} // no_backends / retry_budget_exhausted
 		}
-		return "shed", "", lat
+		return reqResult{outcome: "shed", lat: lat}
 	case resp.StatusCode == http.StatusBadGateway:
-		return "upstream_error", "", lat
+		return reqResult{outcome: "upstream_error", lat: lat}
 	default:
-		return fmt.Sprintf("http_%d", resp.StatusCode), "", lat
+		return reqResult{outcome: fmt.Sprintf("http_%d", resp.StatusCode), lat: lat}
 	}
 }
 

@@ -3,10 +3,12 @@ package route
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // aggregate.go merges the backends' Prometheus text expositions into one
@@ -88,19 +90,44 @@ func (a *promAggregator) write(w io.Writer) {
 }
 
 // handleMetrics serves the fleet-wide scrape: the router's own families
-// first, then the summed backend families. Backends that fail to answer
-// within the probe timeout are skipped and counted in a trailer comment.
+// first, then the summed backend families. Backend fetches run
+// concurrently, each under its own MetricsTimeout deadline, so one
+// stalled replica delays the scrape by at most one timeout instead of
+// holding the whole fleet scrape hostage; backends that fail to answer
+// are skipped and counted in a trailer comment. Results are folded in
+// fleet order so the output is deterministic regardless of which fetch
+// finished first.
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	backends := rt.fleet.Load().backends
+	bodies := make([][]byte, len(backends)) // nil = fetch failed
+	var wg sync.WaitGroup
+	for i, b := range backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.MetricsTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/v1/metrics", nil)
+			if err != nil {
+				return
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(io.LimitReader(resp.Body, maxUpstreamBody))
+			if err != nil || resp.StatusCode != http.StatusOK {
+				return
+			}
+			bodies[i] = body
+		}(i, b)
+	}
+	wg.Wait()
+
 	agg := newPromAggregator()
-	for _, b := range rt.backends {
-		resp, err := rt.probeClient.Get(b.url + "/v1/metrics")
-		if err != nil {
-			agg.failed++
-			continue
-		}
-		body, err := io.ReadAll(io.LimitReader(resp.Body, maxUpstreamBody))
-		resp.Body.Close()
-		if err != nil || resp.StatusCode != http.StatusOK {
+	for _, body := range bodies {
+		if body == nil {
 			agg.failed++
 			continue
 		}

@@ -10,6 +10,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/api"
@@ -28,6 +29,7 @@ func (rt *Router) Mux() *http.ServeMux {
 	mux.HandleFunc("/v1/metrics", rt.handleMetrics)
 	mux.HandleFunc("/v1/healthz", rt.handleHealthz)
 	mux.HandleFunc("/v1/readyz", rt.handleReadyz)
+	mux.HandleFunc("/v1/admin/backends", rt.handleAdminBackends)
 	return mux
 }
 
@@ -101,7 +103,7 @@ func (rt *Router) handleRun(w http.ResponseWriter, r *http.Request) {
 	rt.earnRetryToken()
 
 	start := time.Now()
-	res := rt.forward(r.Context(), ContentHash(req.Src), body, id)
+	res := rt.forward(r.Context(), ContentHash(req.Src), body, id, req.IdempotencyKey != "")
 	rt.metrics.request(res.outcome)
 	rt.logRequest(id, res, time.Since(start))
 
@@ -119,9 +121,16 @@ func (rt *Router) handleRun(w http.ResponseWriter, r *http.Request) {
 }
 
 // forward runs the attempt loop: primary by ring order, then retries
-// against the remaining candidates under the retry budget. Only
-// failures that prove the job never executed are re-routed.
-func (rt *Router) forward(ctx context.Context, key uint64, body []byte, id string) routeResult {
+// against the remaining candidates under the retry budget. Failures
+// that prove the job never executed are always re-routable; mid-flight
+// failures are additionally re-routable when the request declared an
+// idempotency key (idem) — the backends' dedup cache absorbs the case
+// where the first attempt did execute, so a replay cannot double-run
+// the job. The first mid-flight replay targets the SAME backend (if the
+// job ran there, the recorded result answers instantly); later ones
+// advance along the ring.
+func (rt *Router) forward(ctx context.Context, key uint64, body []byte, id string, idem bool) routeResult {
+	digest := api.Digest(body)
 	cands := rt.candidates(key)
 	if len(cands) == 0 {
 		return rt.routerReject(http.StatusServiceUnavailable, outNoBackends,
@@ -137,6 +146,7 @@ func (rt *Router) forward(ctx context.Context, key uint64, body []byte, id strin
 	var slept time.Duration
 	var lastShed *upstreamResp
 	attempts, hedged := 0, false
+	replayedSame := false // one same-node replay per request (idem only)
 
 	for ci := 0; attempts < maxAttempts; {
 		b := cands[ci%len(cands)]
@@ -151,13 +161,13 @@ func (rt *Router) forward(ctx context.Context, key uint64, body []byte, id strin
 		if attempts == 0 && rt.cfg.Hedge && !single {
 			alt := cands[(ci+1)%len(cands)]
 			var won bool
-			resp, err, safe, won = rt.hedgedAttempt(ctx, b, alt, body, id)
+			resp, err, safe, won = rt.hedgedAttempt(ctx, b, alt, body, id, digest)
 			if won {
 				hedged = true
 				b = alt // response came from the hedge target
 			}
 		} else {
-			resp, err, safe = rt.attempt(ctx, b, body, attemptID)
+			resp, err, safe = rt.attempt(ctx, b, body, attemptID, digest)
 		}
 		attempts++
 
@@ -228,11 +238,46 @@ func (rt *Router) forward(ctx context.Context, key uint64, body []byte, id strin
 				ci++ // different node, immediately
 			}
 
-		default: // unsafe: the job may have executed — never re-route
-			return rt.routerReject(http.StatusBadGateway, outUpstream,
-				api.CodeUpstreamError,
-				fmt.Sprintf("backend %s failed mid-flight (not retried: the job may have executed): %v", b.url, err),
-				0)
+		default: // unsafe: the job may have executed
+			if !idem {
+				// Without an idempotency key a replay could double-run the
+				// job; surface the failure instead.
+				return rt.routerReject(http.StatusBadGateway, outUpstream,
+					api.CodeUpstreamError,
+					fmt.Sprintf("backend %s failed mid-flight (not retried: the job may have executed): %v", b.url, err),
+					0)
+			}
+			// Idempotent-declared: the backend's dedup cache makes the
+			// replay safe — if the interrupted attempt executed, the
+			// replay returns its recorded result instead of running
+			// again.
+			if attempts >= maxAttempts {
+				return rt.routerReject(http.StatusBadGateway, outUpstream,
+					api.CodeUpstreamError,
+					fmt.Sprintf("backend %s failed mid-flight; idempotent replays exhausted after %d attempts: %v", b.url, attempts, err),
+					0)
+			}
+			if !rt.spendRetryToken() {
+				rt.metrics.retryBudgetDry()
+				return rt.routerReject(http.StatusBadGateway, outRetryBudget,
+					api.CodeRetryBudget,
+					"mid-flight failure, retry budget exhausted: "+err.Error(), 0)
+			}
+			rt.metrics.retry()
+			rt.metrics.idemReplay()
+			// Give the wounded path a breath, bounded by the request's
+			// total sleep budget.
+			back := rt.jitter(rt.cfg.BackoffBase)
+			if slept+back > rt.cfg.MaxRetryWait || !sleepCtx(ctx, back) {
+				return rt.routerReject(http.StatusBadGateway, outUpstream,
+					api.CodeUpstreamError, "mid-flight failure: "+err.Error(), 0)
+			}
+			slept += back
+			if replayedSame || single {
+				ci++ // same node already re-tried once: advance the ring
+			} else {
+				replayedSame = true // replay the same node first
+			}
 		}
 	}
 	// Attempts exhausted on sheds.
@@ -255,13 +300,37 @@ func (rt *Router) backoffFor(n int, shed *upstreamResp) time.Duration {
 		back = rt.cfg.BackoffMax
 	}
 	if shed != nil && shed.retryAfter != "" {
-		if secs, err := strconv.Atoi(shed.retryAfter); err == nil {
-			if hint := time.Duration(secs) * time.Second; hint > back {
-				back = hint
-			}
+		if hint, ok := parseRetryAfter(shed.retryAfter, time.Now()); ok && hint > back {
+			back = hint
 		}
 	}
 	return back
+}
+
+// parseRetryAfter interprets a Retry-After header value per RFC 9110:
+// either delta-seconds ("3") or an HTTP-date ("Fri, 07 Aug 2026
+// 11:00:00 GMT", and the obsolete RFC 850 / asctime forms via
+// http.ParseTime). Returns ok=false for garbage and for negative
+// deltas; a date already in the past parses to zero (retry now).
+func parseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := t.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
 }
 
 // sleepCtx sleeps d unless ctx ends first; reports whether it slept out.
@@ -278,25 +347,29 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 
 // attempt forwards the request bytes to one backend and buffers the
 // response. The third return reports retry safety: true means the job
-// provably never executed (the connection was never established), so
-// re-routing cannot double-execute it.
-func (rt *Router) attempt(ctx context.Context, b *backend, body []byte, attemptID string) (*upstreamResp, error, bool) {
-	rt.metrics.backendRequest(b.idx)
+// provably never executed (the connection was never established, or the
+// backend's integrity gate rejected damaged request bytes before
+// parsing), so re-routing cannot double-execute it.
+func (rt *Router) attempt(ctx context.Context, b *backend, body []byte, attemptID, digest string) (*upstreamResp, error, bool) {
+	rt.metrics.backendRequest(b.slot)
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/v1/run", bytes.NewReader(body))
 	if err != nil {
 		return nil, err, false
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(api.HeaderRequestID, attemptID)
+	req.Header.Set(api.HeaderContentDigest, digest)
 
 	start := time.Now()
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		safe := dialFailure(err)
-		rt.metrics.backendFailure(b.idx)
+		rt.metrics.backendFailure(b.slot)
 		if safe {
 			if b.recordFailure(rt.cfg.FailThreshold, time.Now()) {
-				rt.metrics.eject(b.idx)
+				rt.metrics.eject(b.slot)
 				st, fails := b.currentState()
 				rt.logEvent("backend ejected", b.url, st, fails)
 			}
@@ -307,7 +380,7 @@ func (rt *Router) attempt(ctx context.Context, b *backend, body []byte, attemptI
 	rb, err := io.ReadAll(io.LimitReader(resp.Body, maxUpstreamBody))
 	if err != nil {
 		// The response started and died: the job may have executed.
-		rt.metrics.backendFailure(b.idx)
+		rt.metrics.backendFailure(b.slot)
 		return nil, err, false
 	}
 	lat := time.Since(start)
@@ -315,7 +388,37 @@ func (rt *Router) attempt(ctx context.Context, b *backend, body []byte, attemptI
 	// alive; clear its failure streak and feed the hedge histogram.
 	b.recordSuccess()
 	rt.lat.observe(lat)
-	rt.metrics.observeUpstream(b.idx, lat)
+	rt.metrics.observeUpstream(b.slot, lat)
+
+	// Response-integrity gate: the backend stamps X-Pyserve-Digest on
+	// every /v1/run response. A mismatch means the bytes were damaged
+	// between the backend and here; a MISSING digest on a 2xx means the
+	// damage ate the header itself (or the body was substituted
+	// wholesale). Either way the response is untrustworthy — treat it as
+	// a mid-flight failure (the job ran; only the answer was lost), never
+	// pass the bytes to the client.
+	if want := resp.Header.Get(api.HeaderResultDigest); want != "" {
+		if api.Digest(rb) != want {
+			rt.metrics.integrityFailure()
+			rt.metrics.backendFailure(b.slot)
+			return nil, fmt.Errorf("response from %s failed integrity check", b.url), false
+		}
+	} else if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		rt.metrics.integrityFailure()
+		rt.metrics.backendFailure(b.slot)
+		return nil, fmt.Errorf("2xx response from %s missing %s", b.url, api.HeaderResultDigest), false
+	}
+
+	// A 422 integrity_violation means the REQUEST bytes were damaged on
+	// the way out: the backend refused them before parsing, so the job
+	// provably never executed — retry-safe, and not the backend's fault.
+	if resp.StatusCode == http.StatusUnprocessableEntity {
+		var env api.ErrorEnvelope
+		if json.Unmarshal(rb, &env) == nil && env.Err.Code == api.CodeIntegrity {
+			rt.metrics.integrityFailure()
+			return nil, fmt.Errorf("request damaged in transit to %s (backend integrity reject)", b.url), true
+		}
+	}
 	return &upstreamResp{
 		status:     resp.StatusCode,
 		body:       rb,
@@ -344,7 +447,7 @@ func dialFailure(err error) bool {
 // The first acceptable response (no transport error, not a shed) wins
 // and the loser's context is canceled. Returns won=true when the
 // hedge's response is the one returned.
-func (rt *Router) hedgedAttempt(parent context.Context, primary, alt *backend, body []byte, id string) (*upstreamResp, error, bool, bool) {
+func (rt *Router) hedgedAttempt(parent context.Context, primary, alt *backend, body []byte, id, digest string) (*upstreamResp, error, bool, bool) {
 	type res struct {
 		resp *upstreamResp
 		err  error
@@ -357,7 +460,7 @@ func (rt *Router) hedgedAttempt(parent context.Context, primary, alt *backend, b
 
 	ch1 := make(chan res, 1)
 	go func() {
-		r, err, safe := rt.attempt(ctx1, primary, body, id)
+		r, err, safe := rt.attempt(ctx1, primary, body, id, digest)
 		ch1 <- res{r, err, safe}
 	}()
 
@@ -373,7 +476,7 @@ func (rt *Router) hedgedAttempt(parent context.Context, primary, alt *backend, b
 	rt.metrics.hedge()
 	ch2 := make(chan res, 1)
 	go func() {
-		r, err, safe := rt.attempt(ctx2, alt, body, id+".h2")
+		r, err, safe := rt.attempt(ctx2, alt, body, id+".h2", digest)
 		ch2 <- res{r, err, safe}
 	}()
 

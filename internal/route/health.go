@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -38,10 +39,24 @@ var stateNames = map[backendState]string{
 
 func (s backendState) String() string { return stateNames[s] }
 
-// backend is one replica behind the router.
+// backend is one replica behind the router. Backend objects survive
+// Reconfigure: a URL kept across a fleet swap keeps its object, so its
+// health state, failure streak, and flap-breaker history persist.
 type backend struct {
 	url string // base URL, e.g. http://127.0.0.1:9001
-	idx int    // index into Config.Backends (and the metric label sets)
+	// slot is the backend's stable index into the growable per-backend
+	// metric families (-1 when the router runs unobserved). Unlike a
+	// fleet index it never changes or collides across reconfigurations.
+	slot int
+
+	// inflight counts attempts currently holding this backend. A backend
+	// removed by Reconfigure serves its in-flight requests to completion
+	// (requests hold the pointer, not a fleet index); the router reports
+	// it as draining until this reaches zero.
+	inflight atomic.Int64
+	// removed marks the backend as dropped from the fleet: no longer
+	// probed, no longer a candidate, finishing what it already has.
+	removed atomic.Bool
 
 	mu          sync.Mutex
 	state       backendState
@@ -119,7 +134,7 @@ func (rt *Router) probeLoop() {
 			return
 		case <-tick.C:
 		}
-		for _, b := range rt.backends {
+		for _, b := range rt.fleet.Load().backends {
 			rt.probe(b)
 		}
 	}
@@ -193,7 +208,7 @@ func (rt *Router) probe(b *backend) {
 		if len(b.readmits) >= rt.cfg.ReadmitBudget {
 			b.ejectedAt = now // re-arm the cooldown; check again next window
 			b.mu.Unlock()
-			rt.metrics.breakerHeld(b.idx)
+			rt.metrics.breakerHeld(b.slot)
 			return
 		}
 		b.state = stHalfOpen
@@ -227,7 +242,7 @@ func (rt *Router) probe(b *backend) {
 			if b.consecFails >= rt.cfg.FailThreshold {
 				b.state = stEjected
 				b.ejectedAt = now
-				rt.metrics.eject(b.idx)
+				rt.metrics.eject(b.slot)
 				event = "backend ejected"
 			}
 		}
@@ -236,7 +251,7 @@ func (rt *Router) probe(b *backend) {
 			b.state = stHealthy
 			b.consecFails = 0
 			b.readmits = append(b.readmits, now)
-			rt.metrics.readmit(b.idx)
+			rt.metrics.readmit(b.slot)
 			event = "backend readmitted"
 		} else {
 			b.state = stEjected
@@ -259,8 +274,9 @@ type backendHealth struct {
 
 // healthReport summarizes the fleet for /v1/healthz and /v1/readyz.
 func (rt *Router) healthReport() (ok bool, report []backendHealth) {
-	report = make([]backendHealth, len(rt.backends))
-	for i, b := range rt.backends {
+	backends := rt.fleet.Load().backends
+	report = make([]backendHealth, len(backends))
+	for i, b := range backends {
 		st, fails := b.currentState()
 		report[i] = backendHealth{URL: b.url, State: st.String(), ConsecFails: fails}
 		if st == stHealthy {

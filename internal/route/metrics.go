@@ -23,19 +23,29 @@ type Metrics struct {
 	// whose response was used.
 	hedges    *telemetry.Counter
 	hedgeWins *telemetry.Counter
+	// reconfigs counts applied fleet reconfigurations.
+	reconfigs *telemetry.Counter
+	// integrityFailures counts backend responses whose bytes failed the
+	// X-Pyserve-Digest check (or lacked it on a 2xx).
+	integrityFailures *telemetry.Counter
+	// idemReplays counts mid-flight failures replayed under an
+	// idempotency key instead of surfacing as upstream_error.
+	idemReplays *telemetry.Counter
 
-	// Per-backend families, labelled by backend URL.
-	backendRequests *telemetry.CounterVec
-	backendFailures *telemetry.CounterVec
-	ejections       *telemetry.CounterVec
-	readmits        *telemetry.CounterVec
-	breakerHolds    *telemetry.CounterVec
-	upstreamLatency *telemetry.HistogramVec
+	// Per-backend families, labelled by backend URL. Growable: the fleet
+	// is hot-reloadable, so new backends mint new series at runtime
+	// (slotFor) instead of fixing the label set at registration.
+	backendRequests *telemetry.GrowableCounterVec
+	backendFailures *telemetry.GrowableCounterVec
+	ejections       *telemetry.GrowableCounterVec
+	readmits        *telemetry.GrowableCounterVec
+	breakerHolds    *telemetry.GrowableCounterVec
+	upstreamLatency *telemetry.GrowableHistogramVec
 }
 
 // NewMetrics registers the router's metric families on reg. The backend
-// URL list fixes the per-backend label sets (the router's fleet is
-// static per process).
+// URL list seeds the per-backend label sets; Reconfigure grows them for
+// backends added later.
 func NewMetrics(reg *telemetry.Registry, backends []string) *Metrics {
 	outcomes := make([]string, numOutcomes)
 	copy(outcomes, outcomeNames[:])
@@ -51,19 +61,40 @@ func NewMetrics(reg *telemetry.Registry, backends []string) *Metrics {
 			"Hedge attempts launched after the tail-latency delay."),
 		hedgeWins: reg.Counter("pyroute_hedge_wins_total",
 			"Hedge attempts whose response was returned to the client."),
-		backendRequests: reg.CounterVec("pyroute_backend_requests_total",
+		reconfigs: reg.Counter("pyroute_reconfigs_total",
+			"Fleet reconfigurations applied (SIGHUP or admin API)."),
+		integrityFailures: reg.Counter("pyroute_integrity_failures_total",
+			"Backend responses failing the X-Pyserve-Digest integrity check."),
+		idemReplays: reg.Counter("pyroute_idempotent_replays_total",
+			"Mid-flight failures replayed under an idempotency key."),
+		backendRequests: reg.GrowableCounterVec("pyroute_backend_requests_total",
 			"Attempts forwarded per backend.", "backend", backends),
-		backendFailures: reg.CounterVec("pyroute_backend_failures_total",
+		backendFailures: reg.GrowableCounterVec("pyroute_backend_failures_total",
 			"Transport-level attempt failures per backend.", "backend", backends),
-		ejections: reg.CounterVec("pyroute_backend_ejections_total",
+		ejections: reg.GrowableCounterVec("pyroute_backend_ejections_total",
 			"Health ejections per backend.", "backend", backends),
-		readmits: reg.CounterVec("pyroute_backend_readmits_total",
+		readmits: reg.GrowableCounterVec("pyroute_backend_readmits_total",
 			"Half-open readmissions per backend.", "backend", backends),
-		breakerHolds: reg.CounterVec("pyroute_backend_breaker_holds_total",
+		breakerHolds: reg.GrowableCounterVec("pyroute_backend_breaker_holds_total",
 			"Readmissions refused by the flap breaker per backend.", "backend", backends),
-		upstreamLatency: reg.HistogramVec("pyroute_upstream_seconds",
+		upstreamLatency: reg.GrowableHistogramVec("pyroute_upstream_seconds",
 			"Upstream attempt latency per backend.", "backend", backends),
 	}
+}
+
+// slotFor resolves url's slot across every per-backend family, growing
+// them in lockstep so one slot number indexes them all. -1 on a nil
+// Metrics (the unobserved router).
+func (m *Metrics) slotFor(url string) int {
+	if m == nil {
+		return -1
+	}
+	m.backendFailures.Slot(url)
+	m.ejections.Slot(url)
+	m.readmits.Slot(url)
+	m.breakerHolds.Slot(url)
+	m.upstreamLatency.Slot(url)
+	return m.backendRequests.Slot(url)
 }
 
 func (m *Metrics) request(outcome int) {
@@ -99,6 +130,27 @@ func (m *Metrics) hedgeWin() {
 		return
 	}
 	m.hedgeWins.Inc()
+}
+
+func (m *Metrics) reconfig() {
+	if m == nil {
+		return
+	}
+	m.reconfigs.Inc()
+}
+
+func (m *Metrics) integrityFailure() {
+	if m == nil {
+		return
+	}
+	m.integrityFailures.Inc()
+}
+
+func (m *Metrics) idemReplay() {
+	if m == nil {
+		return
+	}
+	m.idemReplays.Inc()
 }
 
 func (m *Metrics) backendRequest(idx int) {
@@ -150,13 +202,21 @@ func (rt *Router) registerGauges() {
 	if reg == nil {
 		return
 	}
-	reg.GaugeFuncVec("pyroute_backend_up",
+	// The fleet is hot-reloadable, so the series set is computed fresh at
+	// every scrape from the current fleet snapshot.
+	reg.DynamicGaugeFunc("pyroute_backend_up",
 		"Whether the backend is routable (1) or drained/ejected/half-open (0).",
-		"backend", rt.cfg.Backends, func(i int) float64 {
-			if rt.backends[i].routable() {
-				return 1
+		"backend", func() []telemetry.LabelValue {
+			backends := rt.fleet.Load().backends
+			out := make([]telemetry.LabelValue, len(backends))
+			for i, b := range backends {
+				v := 0.0
+				if b.routable() {
+					v = 1
+				}
+				out[i] = telemetry.LabelValue{Value: b.url, V: v}
 			}
-			return 0
+			return out
 		})
 	reg.GaugeFunc("pyroute_backends_routable",
 		"Number of currently routable backends.", func() float64 {

@@ -69,8 +69,13 @@ type Config struct {
 	ReadmitWindow time.Duration
 
 	// MaxAttempts caps attempts per request, first try included
-	// (default 3, clamped to the backend count).
+	// (default 3, clamped to the initial backend count).
 	MaxAttempts int
+	// MetricsTimeout bounds one backend's /v1/metrics fetch during fleet
+	// aggregation (default 1s). Each backend gets its own deadline: one
+	// stalled replica delays the fleet scrape by at most this much, it
+	// cannot hold the whole scrape hostage.
+	MetricsTimeout time.Duration
 	// RetryBudgetRatio is the token-bucket accrual: each incoming
 	// request earns this many retry tokens, each retry spends one
 	// (default 0.2 — retries may not exceed ~20% of traffic). The
@@ -134,6 +139,9 @@ func (c *Config) setDefaults() {
 	if n := len(c.Backends); c.MaxAttempts > n && n > 0 {
 		c.MaxAttempts = n
 	}
+	if c.MetricsTimeout <= 0 {
+		c.MetricsTimeout = time.Second
+	}
 	if c.RetryBudgetRatio <= 0 {
 		c.RetryBudgetRatio = 0.2
 	}
@@ -160,12 +168,31 @@ func (c *Config) setDefaults() {
 	}
 }
 
-// Router is the front tier. Obtain one from New, serve its Mux, Close it
-// when done.
-type Router struct {
-	cfg      Config
-	backends []*backend
+// fleet is one immutable generation of the router's backend set: the
+// backends and the ring built over them, published together behind one
+// atomic pointer. Every reader — request routing, probing, health
+// reports, metric gauges — loads the pointer once and works on a
+// consistent snapshot; Reconfigure builds the next generation and swaps
+// it in, so the traffic path never sees a half-updated fleet and never
+// takes a lock.
+type fleet struct {
+	backends []*backend // index-aligned with the ring's idx space
 	ring     *ring
+}
+
+// Router is the front tier. Obtain one from New, serve its Mux, Close it
+// when done. The backend set can be changed at runtime via Reconfigure
+// (SIGHUP or /v1/admin/backends in cmd/pyroute) without a restart.
+type Router struct {
+	cfg   Config
+	fleet atomic.Pointer[fleet]
+
+	// reconfigMu serializes Reconfigure calls (the traffic path never
+	// takes it); it also guards parting.
+	reconfigMu sync.Mutex
+	// parting holds removed backends still draining in-flight requests;
+	// pruned on the next admin read once their inflight count hits zero.
+	parting []*backend
 
 	client      *http.Client // upstream traffic
 	probeClient *http.Client // active probes (shorter timeout)
@@ -201,8 +228,7 @@ func New(cfg Config) (*Router, error) {
 		return nil, errNoBackendsConfigured
 	}
 	rt := &Router{
-		cfg:  cfg,
-		ring: buildRing(cfg.Backends),
+		cfg: cfg,
 		client: &http.Client{
 			Timeout: cfg.UpstreamTimeout,
 			// The default transport caps idle conns per host at 2; a
@@ -224,9 +250,11 @@ func New(cfg Config) (*Router, error) {
 		probeStop:   make(chan struct{}),
 		probeDone:   make(chan struct{}),
 	}
-	for i, u := range cfg.Backends {
-		rt.backends = append(rt.backends, &backend{url: u, idx: i})
+	f := &fleet{ring: buildRing(cfg.Backends)}
+	for _, u := range cfg.Backends {
+		f.backends = append(f.backends, &backend{url: u, slot: rt.slotFor(u)})
 	}
+	rt.fleet.Store(f)
 	rt.retryTokens.Store(int64(cfg.RetryBudgetBurst * 1000))
 	if rt.metrics != nil {
 		rt.registerGauges()
@@ -261,16 +289,17 @@ func (e errString) Error() string { return string(e) }
 // half-open backends are never candidates. A nil slice means nothing
 // is even alive to try.
 func (rt *Router) candidates(key uint64) []*backend {
+	f := rt.fleet.Load()
 	var out []*backend
-	rt.ring.walk(key, func(idx int) bool {
-		if b := rt.backends[idx]; b.routable() {
+	f.ring.walk(key, func(idx int) bool {
+		if b := f.backends[idx]; b.routable() {
 			out = append(out, b)
 		}
 		return true
 	})
 	if out == nil {
-		rt.ring.walk(key, func(idx int) bool {
-			if b := rt.backends[idx]; b.drained() {
+		f.ring.walk(key, func(idx int) bool {
+			if b := f.backends[idx]; b.drained() {
 				out = append(out, b)
 			}
 			return true
@@ -282,13 +311,17 @@ func (rt *Router) candidates(key uint64) []*backend {
 // routableCount is the current number of routable backends.
 func (rt *Router) routableCount() int {
 	n := 0
-	for _, b := range rt.backends {
+	for _, b := range rt.fleet.Load().backends {
 		if b.routable() {
 			n++
 		}
 	}
 	return n
 }
+
+// slotFor resolves a backend URL's stable metrics slot (see
+// Metrics.slotFor); -1 when unobserved.
+func (rt *Router) slotFor(url string) int { return rt.metrics.slotFor(url) }
 
 // earnRetryToken credits the bucket for one incoming request.
 func (rt *Router) earnRetryToken() {

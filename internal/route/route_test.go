@@ -102,12 +102,21 @@ func deadURL(t *testing.T) string {
 	return u
 }
 
+// stubRun writes a stub 200 /v1/run body with the X-Pyserve-Digest
+// stamp the router requires on every 2xx run response.
+func stubRun(w http.ResponseWriter, body string) {
+	b := []byte(body + "\n")
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(api.HeaderResultDigest, api.Digest(b))
+	_, _ = w.Write(b)
+}
+
 // srcOwnedBy finds a program source whose ring owner is backend idx.
 func srcOwnedBy(t *testing.T, rt *Router, idx int) string {
 	t.Helper()
 	for i := 0; i < 10000; i++ {
 		src := fmt.Sprintf("print(%d)\n", i)
-		if rt.ring.owner(ContentHash(src)) == idx {
+		if rt.fleet.Load().ring.owner(ContentHash(src)) == idx {
 			return src
 		}
 	}
@@ -295,8 +304,7 @@ func TestRetryTagsRequestID(t *testing.T) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", func(w http.ResponseWriter, r *http.Request) {
 		gotID.Store(r.Header.Get(api.HeaderRequestID))
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintln(w, `{"apiVersion":"v1","exitClass":"ok","stdout":""}`)
+		stubRun(w, `{"apiVersion":"v1","exitClass":"ok","stdout":""}`)
 	})
 	live := httptest.NewServer(mux)
 	t.Cleanup(live.Close)
@@ -402,7 +410,7 @@ func TestNoRetryWhenJobMayHaveExecuted(t *testing.T) {
 	other := http.NewServeMux()
 	other.HandleFunc("/v1/run", func(w http.ResponseWriter, r *http.Request) {
 		otherHits.Add(1)
-		fmt.Fprintln(w, `{}`)
+		stubRun(w, `{}`)
 	})
 	spare := httptest.NewServer(other)
 	t.Cleanup(spare.Close)
@@ -504,8 +512,7 @@ func newFlippable(t *testing.T) *flippableBackend {
 	})
 	mux.HandleFunc("/v1/run", func(w http.ResponseWriter, r *http.Request) {
 		f.runs.Add(1)
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintln(w, `{"apiVersion":"v1","exitClass":"ok","stdout":"flip\n"}`)
+		stubRun(w, `{"apiVersion":"v1","exitClass":"ok","stdout":"flip\n"}`)
 	})
 	f.ts = httptest.NewServer(mux)
 	t.Cleanup(f.ts.Close)
@@ -517,12 +524,12 @@ func waitState(t *testing.T, rt *Router, idx int, want backendState) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		if st, _ := rt.backends[idx].currentState(); st == want {
+		if st, _ := rt.fleet.Load().backends[idx].currentState(); st == want {
 			return
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	st, _ := rt.backends[idx].currentState()
+	st, _ := rt.fleet.Load().backends[idx].currentState()
 	t.Fatalf("backend %d stuck in %v, want %v", idx, st, want)
 }
 
@@ -620,7 +627,7 @@ func TestFlapBreakerHoldsFlappingBackend(t *testing.T) {
 	if rt.metrics.breakerHolds.Value(0) == 0 {
 		t.Fatal("flap breaker never held the flapping backend")
 	}
-	if st, _ := rt.backends[0].currentState(); st != stEjected {
+	if st, _ := rt.fleet.Load().backends[0].currentState(); st != stEjected {
 		t.Fatalf("flapping backend is %v, want held ejected", st)
 	}
 	if got := rt.metrics.readmits.Value(0); got != 2 {
@@ -638,7 +645,7 @@ func TestHedgingDuplicatesSlowRequests(t *testing.T) {
 		case <-r.Context().Done():
 			return
 		}
-		fmt.Fprintln(w, `{"apiVersion":"v1","exitClass":"ok","stdout":"slow\n"}`)
+		stubRun(w, `{"apiVersion":"v1","exitClass":"ok","stdout":"slow\n"}`)
 	})
 	slowTS := httptest.NewServer(slow)
 	t.Cleanup(slowTS.Close)

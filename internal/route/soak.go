@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chaosnet"
 	"repro/internal/faults"
 	"repro/internal/interp"
 	"repro/internal/load"
@@ -61,6 +62,30 @@ type SoakConfig struct {
 	// SlowFor is the wedge duration (default 300ms).
 	SlowFor time.Duration
 
+	// ByteChaos interposes a chaosnet proxy in front of every replica
+	// and drives the byte-level fault kinds below from one shared seeded
+	// injector: resets, half-open stalls, truncation, corruption, delay.
+	ByteChaos bool
+	// Per-chunk firing rates for byte chaos (fire with probability 1/N
+	// per forwarded chunk; zero disables a kind).
+	NetResetRate, NetStallRate, NetTruncateRate, NetCorruptRate, NetDelayRate uint64
+	// NetStallFor bounds one half-open stall (default 2.5s — above the
+	// soak router's 2s upstream timeout, so only the deadline, never an
+	// error, unsticks the victim).
+	NetStallFor time.Duration
+
+	// ReloadEveryN, in ticks, toggles one replica out of and back into
+	// the fleet via Reconfigure — zero-downtime reconfiguration under
+	// chaos (zero disables; forces Backends >= 4 so the reload target is
+	// distinct from the floor, kill, and chaos replicas).
+	ReloadEveryN uint64
+
+	// IdempotencyKeys stamps every request with a unique key. This
+	// authorizes the router to replay mid-flight failures and arms the
+	// exactly-once oracle: zero duplicate executions, per-key execution
+	// stamps <= 1, replays absorbed by the backends' dedup caches.
+	IdempotencyKeys bool
+
 	// AllowedFailureRatio is the declared error budget for unbudgeted
 	// failures — mid-flight kills and wedge stalls land here (default
 	// 0.2). The casualty count scales with request duration times fault
@@ -79,12 +104,20 @@ type SoakConfig struct {
 type SoakResult struct {
 	Report     *load.Report
 	Violations []string
-	// Faults is the injector's per-kind site/fired summary.
-	Faults string
-	// Killed/Wedges/Flaps count the fleet events actually driven.
-	Killed, Wedges, Flaps int
+	// Faults is the injector's per-kind site/fired summary; NetFaults is
+	// the byte-chaos injector's ("" when ByteChaos is off).
+	Faults    string
+	NetFaults string
+	// Killed/Wedges/Flaps count the fleet events actually driven;
+	// Reloads counts mid-run fleet reconfigurations.
+	Killed, Wedges, Flaps, Reloads int
 	// Ejections/Readmits are the router's counters summed over backends.
 	Ejections, Readmits uint64
+	// DedupHits sums replays absorbed by the backends' dedup caches;
+	// MaxExecutions is the worst per-key execution stamp observed across
+	// the fleet (exactly-once holds iff <= 1).
+	DedupHits     uint64
+	MaxExecutions int
 }
 
 // Ok reports whether the soak finished without an oracle violation.
@@ -105,6 +138,7 @@ var soakLimits = interp.Limits{
 type chaosBackend struct {
 	addr string
 	pool *supervise.Pool
+	api  *serve.Server // for DedupStats in the exactly-once oracle
 
 	handler http.Handler
 	wedged  atomic.Bool
@@ -121,8 +155,9 @@ func newChaosBackend(workers int) (*chaosBackend, error) {
 		Metrics:       supervise.NewMetrics(reg),
 		DefaultLimits: soakLimits,
 	})
-	cb := &chaosBackend{pool: pool}
-	inner := serve.New(pool, reg, time.Second, nil).Mux()
+	srv := serve.New(pool, reg, time.Second, nil)
+	cb := &chaosBackend{pool: pool, api: srv}
+	inner := srv.Mux()
 	cb.handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if cb.wedged.Load() {
 			// Wedge: neither answer nor refuse — hold the connection
@@ -199,6 +234,14 @@ func Soak(cfg SoakConfig) *SoakResult {
 	if cfg.Backends < 2 {
 		cfg.Backends = 3
 	}
+	if cfg.ReloadEveryN > 0 && cfg.Backends < 4 {
+		// The reload target must be distinct from the healthy floor
+		// (replica 0), the kill target (1) and the chaos target (last).
+		cfg.Backends = 4
+	}
+	if cfg.NetStallFor <= 0 {
+		cfg.NetStallFor = 2500 * time.Millisecond
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 2
 	}
@@ -236,24 +279,69 @@ func Soak(cfg SoakConfig) *SoakResult {
 	}
 	killTarget, chaosTarget := backs[1], backs[len(backs)-1]
 
+	// Byte chaos: one proxy per replica, all sharing one seeded injector
+	// (consults serialized by the proxy group), so the whole run's byte
+	// damage is replayable from the seed. The router then talks to the
+	// proxies; the backends themselves stay clean.
+	routerURLs := make([]string, len(urls))
+	copy(routerURLs, urls)
+	var netInj *faults.Injector
+	var proxies []*chaosnet.Proxy
+	if cfg.ByteChaos {
+		njCfg := faults.Config{Seed: cfg.Seed + 1}
+		njCfg.Rate[faults.NetReset] = cfg.NetResetRate
+		njCfg.Rate[faults.NetStall] = cfg.NetStallRate
+		njCfg.Rate[faults.NetTruncate] = cfg.NetTruncateRate
+		njCfg.Rate[faults.NetCorrupt] = cfg.NetCorruptRate
+		njCfg.Rate[faults.NetDelay] = cfg.NetDelayRate
+		netInj = faults.New(njCfg)
+		targets := make([]string, len(backs))
+		for i, cb := range backs {
+			targets[i] = cb.addr
+		}
+		var perr error
+		proxies, perr = chaosnet.Group(targets, chaosnet.Config{
+			Faults: netInj, StallFor: cfg.NetStallFor,
+		})
+		if perr != nil {
+			violate("chaos proxies failed to start: %v", perr)
+			return res
+		}
+		defer func() {
+			for _, p := range proxies {
+				_ = p.Close()
+			}
+		}()
+		for i, p := range proxies {
+			routerURLs[i] = p.URL()
+		}
+	}
+
 	reg := telemetry.NewRegistry()
-	metrics := NewMetrics(reg, urls)
+	metrics := NewMetrics(reg, routerURLs)
+	readmitBudget := 3
+	if cfg.ByteChaos {
+		// Random byte faults hit probes too, so ejections happen to
+		// perfectly healthy replicas; a tight flap budget would starve the
+		// fleet for reasons unrelated to what this run proves.
+		readmitBudget = 100
+	}
 	rt, err := New(Config{
-		Backends:        urls,
+		Backends:        routerURLs,
 		UpstreamTimeout: 2 * time.Second,
 		ProbeInterval:   20 * time.Millisecond,
 		// Generous probe timeout: a healthy node on a saturated CPU may
 		// answer readyz slowly; only a truly wedged or dead node should
 		// blow this.
-		ProbeTimeout: 250 * time.Millisecond,
-		FailThreshold:   2,
-		ReadmitAfter:    100 * time.Millisecond,
-		ReadmitBudget:   3,
-		ReadmitWindow:   time.Minute,
-		Hedge:           cfg.Hedge,
-		Seed:            cfg.Seed,
-		Metrics:         metrics,
-		Logw:            cfg.Logw,
+		ProbeTimeout:  250 * time.Millisecond,
+		FailThreshold: 2,
+		ReadmitAfter:  100 * time.Millisecond,
+		ReadmitBudget: readmitBudget,
+		ReadmitWindow: time.Minute,
+		Hedge:         cfg.Hedge,
+		Seed:          cfg.Seed,
+		Metrics:       metrics,
+		Logw:          cfg.Logw,
 	})
 	if err != nil {
 		violate("router failed to start: %v", err)
@@ -282,11 +370,36 @@ func Soak(cfg SoakConfig) *SoakResult {
 		defer close(done)
 		tick := time.NewTicker(cfg.TickEvery)
 		defer tick.Stop()
+		var tickN uint64
+		reloadedOut := false
+		const reloadIdx = 2 // distinct from floor (0), kill (1), chaos (last)
 		for {
 			select {
 			case <-stop:
 				return
 			case <-tick.C:
+			}
+			tickN++
+			if cfg.ReloadEveryN != 0 && tickN%cfg.ReloadEveryN == 0 {
+				// Zero-downtime reconfiguration under fire: toggle the
+				// reload target out of and back into the fleet. In-flight
+				// requests on the removed node drain; its keyspace moves
+				// and moves back; everything else stays pinned.
+				set := routerURLs
+				if !reloadedOut {
+					set = make([]string, 0, len(routerURLs)-1)
+					for i, u := range routerURLs {
+						if i != reloadIdx {
+							set = append(set, u)
+						}
+					}
+				}
+				if _, _, rerr := rt.Reconfigure(set); rerr != nil {
+					violate("mid-run reconfigure failed: %v", rerr)
+				} else {
+					res.Reloads++
+					reloadedOut = !reloadedOut
+				}
 			}
 			if inj.Should(faults.BackendDown) && res.Killed == 0 {
 				killTarget.Stop() // for good: no revival
@@ -318,18 +431,34 @@ func Soak(cfg SoakConfig) *SoakResult {
 		Timeout:             10 * time.Second,
 		Seed:                cfg.Seed,
 		AllowedFailureRatio: cfg.AllowedFailureRatio,
+		IdempotencyKeys:     cfg.IdempotencyKeys,
 	})
 	close(stop)
 	<-done
+	// Close the proxies before reading the net injector: its counters are
+	// only consistent once every pump goroutine has drained.
+	for _, p := range proxies {
+		_ = p.Close()
+	}
 	if err != nil {
 		violate("load run failed: %v", err)
 		return res
 	}
 	res.Report = rep
 	res.Faults = inj.String()
-	for i := range urls {
+	if netInj != nil {
+		res.NetFaults = netInj.String()
+	}
+	for i := range routerURLs {
 		res.Ejections += metrics.ejections.Value(i)
 		res.Readmits += metrics.readmits.Value(i)
+	}
+	for _, cb := range backs {
+		st := cb.api.DedupStats()
+		res.DedupHits += st.Hits
+		if st.MaxExecutions > res.MaxExecutions {
+			res.MaxExecutions = st.MaxExecutions
+		}
 	}
 
 	// The oracle.
@@ -349,6 +478,30 @@ func Soak(cfg SoakConfig) *SoakResult {
 	}
 	if res.Killed > 0 && res.Ejections == 0 {
 		violate("a replica was killed but the router never ejected anything")
+	}
+	if cfg.ReloadEveryN != 0 && res.Reloads == 0 {
+		violate("reload cadence configured but no reconfiguration was driven")
+	}
+	if cfg.IdempotencyKeys {
+		// The exactly-once oracle, from both ends: the client never saw an
+		// executions stamp above 1, and no backend ever recorded a key
+		// executing twice on its own pool.
+		if rep.DuplicateExecutions != 0 {
+			violate("%d responses carried an executions stamp > 1: a replay re-ran a job", rep.DuplicateExecutions)
+		}
+		if res.MaxExecutions > 1 {
+			violate("a backend recorded %d executions under one idempotency key", res.MaxExecutions)
+		}
+	}
+	if cfg.ByteChaos && cfg.IdempotencyKeys && netInj != nil {
+		// Resets, truncations, and corruptions on the response path all
+		// strike after the backend executed the job; the replays they force
+		// must be answered from the dedup cache, not by re-running.
+		respFaults := netInj.Fired[faults.NetReset] + netInj.Fired[faults.NetTruncate] +
+			netInj.Fired[faults.NetCorrupt]
+		if respFaults >= 3 && res.DedupHits == 0 {
+			violate("byte chaos fired %d response-path faults but no replay was absorbed by a dedup cache", respFaults)
+		}
 	}
 	return res
 }

@@ -29,9 +29,9 @@ func TestRouterChaosSoak(t *testing.T) {
 		Backends:   3,
 		Workers:    2,
 		TickEvery:  15 * time.Millisecond,
-		DownEveryN: 20,  // kill replica 1 ~300ms in
-		SlowEveryN: 35,  // wedge the last replica periodically
-		FlapEveryN: 50,  // and bounce it
+		DownEveryN: 20, // kill replica 1 ~300ms in
+		SlowEveryN: 35, // wedge the last replica periodically
+		FlapEveryN: 50, // and bounce it
 		SlowFor:    200 * time.Millisecond,
 	})
 	for _, v := range res.Violations {
@@ -54,5 +54,51 @@ func TestRouterChaosSoak(t *testing.T) {
 	}
 	if res.Ejections == 0 {
 		t.Error("router never ejected the killed replica")
+	}
+}
+
+// TestRouterByteChaosSoak is the exactly-once CI leg: four replicas
+// behind byte-mangling chaos proxies, one killed for good, one toggled
+// out of and back into the fleet by live reconfiguration, every request
+// carrying an idempotency key — zero wrong answers, zero duplicate
+// executions, replays absorbed by the backends' dedup caches.
+func TestRouterByteChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("byte-chaos soak skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("byte-chaos soak skipped under the race detector")
+	}
+	res := Soak(SoakConfig{
+		Seed:                11,
+		Jobs:                150,
+		Backends:            4,
+		Workers:             2,
+		TickEvery:           15 * time.Millisecond,
+		DownEveryN:          40, // kill replica 1 mid-run
+		ReloadEveryN:        25, // toggle replica 2 out of / into the fleet
+		ByteChaos:           true,
+		NetResetRate:        60,
+		NetTruncateRate:     60,
+		NetCorruptRate:      80,
+		NetDelayRate:        40,
+		NetStallRate:        400, // rare: each stall burns a full upstream timeout
+		IdempotencyKeys:     true,
+		AllowedFailureRatio: 0.25,
+	})
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.Report != nil {
+		t.Logf("byte chaos: outcomes=%v wrong=%d dupExec=%d dedupHits=%d maxExec=%d reloads=%d ejections=%d readmits=%d %s | %s",
+			res.Report.Outcomes, res.Report.WrongAnswers, res.Report.DuplicateExecutions,
+			res.DedupHits, res.MaxExecutions, res.Reloads, res.Ejections, res.Readmits,
+			res.Faults, res.NetFaults)
+	}
+	if res.Reloads == 0 {
+		t.Error("no live reconfiguration was driven")
+	}
+	if res.NetFaults == "" {
+		t.Error("byte-chaos injector reported no activity")
 	}
 }

@@ -28,6 +28,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -58,13 +59,59 @@ type Server struct {
 	// line.
 	logw  io.Writer
 	logMu sync.Mutex
+
+	// dedup is the exactly-once result cache for requests that declare
+	// an idempotency key (see dedup.go).
+	dedup *dedupCache
+	// mIntegrityRejects counts requests rejected for an X-Content-Digest
+	// mismatch before parsing.
+	mIntegrityRejects *telemetry.Counter
+}
+
+// Options tunes server construction beyond the required pool/registry.
+type Options struct {
+	// DrainTimeout bounds how long /drainz waits for in-flight jobs.
+	DrainTimeout time.Duration
+	// LogW receives one JSON line per executed job (nil disables).
+	LogW io.Writer
+	// DedupTTL is how long an idempotency key's recorded result is
+	// replayable (default 5m).
+	DedupTTL time.Duration
+	// DedupCap bounds the dedup cache population (default 4096).
+	DedupCap int
 }
 
 // New builds a Server over pool. reg backs /metrics, drainTimeout bounds
 // /drainz, logw (nil to disable) receives per-job structured log lines.
 func New(pool *supervise.Pool, reg *telemetry.Registry, drainTimeout time.Duration, logw io.Writer) *Server {
-	return &Server{pool: pool, reg: reg, drainTimeout: drainTimeout, logw: logw}
+	return NewWithOptions(pool, reg, Options{DrainTimeout: drainTimeout, LogW: logw})
 }
+
+// NewWithOptions builds a Server over pool with explicit Options.
+func NewWithOptions(pool *supervise.Pool, reg *telemetry.Registry, opts Options) *Server {
+	s := &Server{
+		pool:         pool,
+		reg:          reg,
+		drainTimeout: opts.DrainTimeout,
+		logw:         opts.LogW,
+		dedup:        newDedupCache(opts.DedupTTL, opts.DedupCap),
+	}
+	if reg != nil {
+		s.dedup.cHits = reg.Counter("pyserve_dedup_hits_total",
+			"Idempotent replays absorbed by the result-dedup cache.")
+		s.dedup.cRecorded = reg.Counter("pyserve_dedup_recorded_total",
+			"First executions recorded in the result-dedup cache.")
+		s.dedup.cEvictions = reg.Counter("pyserve_dedup_evictions_total",
+			"Dedup cache entries evicted for capacity before their TTL.")
+		s.mIntegrityRejects = reg.Counter("pyserve_integrity_rejects_total",
+			"Requests rejected for an X-Content-Digest mismatch.")
+	}
+	return s
+}
+
+// DedupStats reports the dedup cache's lifetime counters; the router
+// chaos soak's oracle reads MaxExecutions to prove exactly-once.
+func (s *Server) DedupStats() DedupStats { return s.dedup.stats() }
 
 // Mux returns the server's route table.
 func (s *Server) Mux() *http.ServeMux {
@@ -92,6 +139,9 @@ type jobLog struct {
 	RunMs     float64 `json:"runMs"`
 	Bytecodes uint64  `json:"bytecodes,omitempty"`
 	Error     string  `json:"error,omitempty"`
+	// Deduped marks a replay absorbed by the result-dedup cache; the
+	// line records the recorded result, not a fresh execution.
+	Deduped bool `json:"deduped,omitempty"`
 }
 
 func (s *Server) logJob(id string, job *supervise.Job, res *supervise.JobResult) {
@@ -109,6 +159,33 @@ func (s *Server) logJob(id string, job *supervise.Job, res *supervise.JobResult)
 		RunMs:     float64(res.RunTime) / float64(time.Millisecond),
 		Bytecodes: res.Bytecodes,
 		Error:     res.Err,
+	})
+	if err != nil {
+		return
+	}
+	s.logMu.Lock()
+	_, _ = s.logw.Write(append(line, '\n'))
+	s.logMu.Unlock()
+}
+
+// logDedup writes the structured log line for a dedup hit: no job ran,
+// so the fields come from the recorded result.
+func (s *Server) logDedup(id string, req *api.RunRequestV1, rec *api.RunResultV1) {
+	if s.logw == nil {
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = "request.py"
+	}
+	line, err := json.Marshal(jobLog{
+		Time:      time.Now().UTC().Format(time.RFC3339Nano),
+		RequestID: id,
+		Name:      name,
+		Mode:      rec.Mode,
+		Class:     rec.ExitClass,
+		Worker:    rec.Worker,
+		Deduped:   true,
 	})
 	if err != nil {
 		return
@@ -152,10 +229,11 @@ func (s *Server) handleRunLegacy(w http.ResponseWriter, r *http.Request) {
 }
 
 // failRun writes a request-rejection response: the /v1 machine-readable
-// envelope, or the legacy flat shape for the deprecated alias.
+// envelope (digest-stamped, like every /v1/run response), or the legacy
+// flat shape for the deprecated alias.
 func (s *Server) failRun(w http.ResponseWriter, v1 bool, status int, code, msg string) {
 	if v1 {
-		writeJSON(w, status, api.ErrorEnvelope{Err: api.Error{Code: code, Message: msg}})
+		writeJSONDigested(w, status, api.ErrorEnvelope{Err: api.Error{Code: code, Message: msg}})
 		return
 	}
 	httpError(w, status, msg)
@@ -177,6 +255,18 @@ func (s *Server) serveRun(w http.ResponseWriter, r *http.Request, v1 bool) {
 			fmt.Sprintf("program exceeds %d bytes", maxBody))
 		return
 	}
+	// Integrity gate, before the parser ever sees the bytes: a routing
+	// tier that stamped X-Content-Digest gets a hard reject if the body
+	// was damaged in transit. The job provably never executed, so the
+	// router retries this freely.
+	if want := r.Header.Get(api.HeaderContentDigest); v1 && want != "" {
+		if got := api.Digest(body); got != want {
+			s.mIntegrityRejects.Inc()
+			fail(http.StatusUnprocessableEntity, api.CodeIntegrity,
+				"request body does not match "+api.HeaderContentDigest)
+			return
+		}
+	}
 	var req api.RunRequestV1
 	if err := json.Unmarshal(body, &req); err != nil {
 		fail(http.StatusBadRequest, api.CodeBadJSON, "bad JSON: "+err.Error())
@@ -184,6 +274,11 @@ func (s *Server) serveRun(w http.ResponseWriter, r *http.Request, v1 bool) {
 	}
 	if req.Src == "" {
 		fail(http.StatusBadRequest, api.CodeMissingSrc, "missing src")
+		return
+	}
+	if len(req.IdempotencyKey) > api.MaxIdempotencyKey {
+		fail(http.StatusBadRequest, api.CodeBadIdempotencyKey,
+			fmt.Sprintf("idempotencyKey exceeds %d bytes", api.MaxIdempotencyKey))
 		return
 	}
 	mode := runtime.CPython
@@ -220,7 +315,51 @@ func (s *Server) serveRun(w http.ResponseWriter, r *http.Request, v1 bool) {
 	}
 
 	id := s.requestID(r)
+
+	// Exactly-once consult. Requests without a key skip all of this —
+	// one string compare and the dedup layer vanishes. Keyed requests
+	// single-flight: exactly one concurrent holder of a key executes;
+	// replays (concurrent or later, within the TTL) absorb its recorded
+	// result without touching the pool.
+	var entry *dedupEntry
+	if v1 && req.IdempotencyKey != "" {
+	consult:
+		for tries := 0; ; tries++ {
+			verdict, e, rec := s.dedup.consult(req.IdempotencyKey, time.Now())
+			switch verdict {
+			case dedupHit:
+				rec.RequestID = id
+				rec.Deduped = true
+				s.logDedup(id, &req, rec)
+				w.Header().Set(api.HeaderRequestID, id)
+				writeJSONDigested(w, http.StatusOK, rec)
+				return
+			case dedupWait:
+				if !s.dedup.wait(r.Context(), e) {
+					return // client gone; nothing to answer
+				}
+				if tries >= dedupWaitRetries {
+					// The executor kept resolving uncacheably (shed).
+					// Execute unrecorded rather than loop forever.
+					break consult
+				}
+			case dedupExecute:
+				entry = e
+				break consult
+			case dedupBypass:
+				break consult
+			}
+		}
+	}
+
 	res := s.pool.Submit(job)
+	if entry != nil && !res.Class.Executed() {
+		// The job never started (shed): releasing the entry without a
+		// result lets the retry that follows the Retry-After hint be the
+		// key's first execution.
+		s.dedup.resolve(entry, nil, false, time.Now())
+		entry = nil
+	}
 	s.logJob(id, job, res)
 	resp := api.RunResultV1{
 		APIVersion: api.Version,
@@ -255,8 +394,21 @@ func (s *Server) serveRun(w http.ResponseWriter, r *http.Request, v1 bool) {
 			resp.Breakdown = res.Breakdown.Report()
 		}
 	}
+	if v1 && req.IdempotencyKey != "" && res.Class.Executed() {
+		// The execution-count stamp: how many times the body ran under
+		// this key here. Recording happens below; a value above 1 would
+		// mean the dedup layer failed, and the chaos soak asserts on it.
+		resp.Executions = 1
+	}
+	if entry != nil {
+		s.dedup.resolve(entry, &resp, true, time.Now())
+	}
 	w.Header().Set(api.HeaderRequestID, id)
-	writeJSON(w, status, resp)
+	if v1 {
+		writeJSONDigested(w, status, resp)
+	} else {
+		writeJSON(w, status, resp)
+	}
 }
 
 // RetryAfterSeconds renders a retry hint as the integer seconds of the
@@ -352,6 +504,25 @@ func (s *Server) handleDrainz(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds(s.drainTimeout)))
 	}
 	writeJSON(w, status, drainzResponse{Drained: ok, Stats: s.pool.Stats()})
+}
+
+// writeJSONDigested is writeJSON for the /v1/run surface: the body is
+// marshalled to a buffer first so its SHA-256 can travel in
+// X-Pyserve-Digest. The router verifies the digest before trusting the
+// bytes — a truncated or bit-flipped response fails closed instead of
+// reaching a client as a wrong answer.
+func writeJSONDigested(w http.ResponseWriter, status int, v interface{}) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		httpError(w, http.StatusInternalServerError, "encode response: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(api.HeaderResultDigest, api.Digest(buf.Bytes()))
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

@@ -108,6 +108,13 @@ func (c Class) ExitCode() int {
 	return 1
 }
 
+// Executed reports whether a job with this outcome reached a worker and
+// ran (possibly to a limit trip or a watchdog condemnation). Only
+// ClassShed means the body provably never started — the one outcome a
+// result-dedup layer must NOT record, because a replay after a shed is a
+// first execution, not a duplicate.
+func (c Class) Executed() bool { return c != ClassShed }
+
 // Classify maps a runner error to its class: nil is ClassOK, an
 // InternalError is ClassInternal, governor-limit PyErrors map to their
 // dedicated classes, and everything else (ordinary Python errors,

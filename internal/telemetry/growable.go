@@ -1,0 +1,234 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// growable.go extends the fixed-cardinality instrument families with
+// variants whose label-value set can grow after registration. They exist
+// for the routing tier's hot-reloadable fleet: backends are added and
+// removed at runtime, so "one series per backend" cannot be a
+// construction-time decision anymore.
+//
+// The record-path discipline is unchanged: recording loads one atomic
+// slice pointer and indexes it — no locks, no allocation. Growth
+// (Slot) is the slow path: it takes a mutex, copies the child slice, and
+// publishes the extended copy atomically, so concurrent recorders only
+// ever see fully-formed states. Label values are never removed — a
+// series, once born, reports forever (Prometheus semantics: counters
+// from a removed backend stop moving, they do not disappear).
+
+// GrowableCounterVec is a counter family keyed by one label whose value
+// set may grow after registration via Slot. All methods are safe on a
+// nil receiver.
+type GrowableCounterVec struct {
+	label string
+
+	mu    sync.Mutex
+	slots map[string]int
+	state atomic.Pointer[[]counterChild]
+}
+
+// GrowableCounterVec registers a growable counter family keyed by label.
+// values seeds the initial slots (may be empty).
+func (r *Registry) GrowableCounterVec(name, help, label string, values []string) *GrowableCounterVec {
+	v := &GrowableCounterVec{label: label, slots: make(map[string]int)}
+	empty := []counterChild{}
+	v.state.Store(&empty)
+	r.register(name, &growCounterFam{name: name, help: help, vec: v})
+	for _, val := range values {
+		v.Slot(val)
+	}
+	return v
+}
+
+// Slot returns the index of the series for value, creating it if absent.
+// Indexes are stable for the lifetime of the vec: a value re-added later
+// gets its original slot back.
+func (v *GrowableCounterVec) Slot(value string) int {
+	if v == nil {
+		return -1
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if i, ok := v.slots[value]; ok {
+		return i
+	}
+	old := *v.state.Load()
+	next := make([]counterChild, len(old), len(old)+1)
+	copy(next, old)
+	next = append(next, counterChild{labels: renderLabel(v.label, value), c: &Counter{}})
+	i := len(next) - 1
+	v.slots[value] = i
+	v.state.Store(&next)
+	return i
+}
+
+// Add adds n to the series at slot i; out-of-range slots are dropped.
+func (v *GrowableCounterVec) Add(i int, n uint64) {
+	if v == nil || i < 0 {
+		return
+	}
+	st := *v.state.Load()
+	if i >= len(st) {
+		return
+	}
+	st[i].c.Add(n)
+}
+
+// Inc adds one to the series at slot i.
+func (v *GrowableCounterVec) Inc(i int) { v.Add(i, 1) }
+
+// Value returns the current total of the series at slot i.
+func (v *GrowableCounterVec) Value(i int) uint64 {
+	if v == nil || i < 0 {
+		return 0
+	}
+	st := *v.state.Load()
+	if i >= len(st) {
+		return 0
+	}
+	return st[i].c.Value()
+}
+
+// growCounterFam renders a growable counter family at scrape time.
+type growCounterFam struct {
+	name, help string
+	vec        *GrowableCounterVec
+}
+
+func (f *growCounterFam) expose(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", f.name, f.help, f.name); err != nil {
+		return err
+	}
+	for _, ch := range *f.vec.state.Load() {
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, ch.labels, ch.c.Value()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GrowableHistogramVec is a histogram family keyed by one label whose
+// value set may grow after registration via Slot. All methods are safe
+// on a nil receiver.
+type GrowableHistogramVec struct {
+	label string
+
+	mu    sync.Mutex
+	slots map[string]int
+	state atomic.Pointer[[]histChild]
+}
+
+// GrowableHistogramVec registers a growable histogram family keyed by
+// label. values seeds the initial slots (may be empty).
+func (r *Registry) GrowableHistogramVec(name, help, label string, values []string) *GrowableHistogramVec {
+	v := &GrowableHistogramVec{label: label, slots: make(map[string]int)}
+	empty := []histChild{}
+	v.state.Store(&empty)
+	r.register(name, &growHistFam{name: name, help: help, vec: v})
+	for _, val := range values {
+		v.Slot(val)
+	}
+	return v
+}
+
+// Slot returns the index of the series for value, creating it if absent.
+func (v *GrowableHistogramVec) Slot(value string) int {
+	if v == nil {
+		return -1
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if i, ok := v.slots[value]; ok {
+		return i
+	}
+	old := *v.state.Load()
+	next := make([]histChild, len(old), len(old)+1)
+	copy(next, old)
+	next = append(next, histChild{labels: renderLabel(v.label, value), h: &Histogram{}})
+	i := len(next) - 1
+	v.slots[value] = i
+	v.state.Store(&next)
+	return i
+}
+
+// Observe records d on the series at slot i; out-of-range slots are
+// dropped.
+func (v *GrowableHistogramVec) Observe(i int, d time.Duration) {
+	if v == nil || i < 0 {
+		return
+	}
+	st := *v.state.Load()
+	if i >= len(st) {
+		return
+	}
+	st[i].h.Observe(d)
+}
+
+// Snapshot reads the series at slot i.
+func (v *GrowableHistogramVec) Snapshot(i int) HistogramSnapshot {
+	if v == nil || i < 0 {
+		return HistogramSnapshot{}
+	}
+	st := *v.state.Load()
+	if i >= len(st) {
+		return HistogramSnapshot{}
+	}
+	return st[i].h.Snapshot()
+}
+
+// growHistFam renders a growable histogram family at scrape time.
+type growHistFam struct {
+	name, help string
+	vec        *GrowableHistogramVec
+}
+
+func (f *growHistFam) expose(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", f.name, f.help, f.name); err != nil {
+		return err
+	}
+	for _, ch := range *f.vec.state.Load() {
+		if err := exposeChild(w, f.name, ch.labels, ch.h.Snapshot()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LabelValue is one series of a dynamic gauge family: a label value and
+// its current reading.
+type LabelValue struct {
+	Value string
+	V     float64
+}
+
+// DynamicGaugeFunc registers a gauge family whose series set is computed
+// fresh at every scrape: fn returns the (label value, reading) pairs to
+// expose. It exists for state whose population changes at runtime (the
+// routing tier's live fleet). The callback runs on the scrape path only,
+// so it may take locks and allocate.
+func (r *Registry) DynamicGaugeFunc(name, help, label string, fn func() []LabelValue) {
+	r.register(name, &dynGaugeFam{name: name, help: help, label: label, fn: fn})
+}
+
+type dynGaugeFam struct {
+	name, help, label string
+	fn                func() []LabelValue
+}
+
+func (f *dynGaugeFam) expose(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", f.name, f.help, f.name); err != nil {
+		return err
+	}
+	for _, lv := range f.fn() {
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabel(f.label, lv.Value), formatFloat(lv.V)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
