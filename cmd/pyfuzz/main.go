@@ -12,6 +12,7 @@
 //	pyfuzz -replay internal/difftest/corpus
 //	pyfuzz -faults -n 200
 //	pyfuzz -pool -n 500
+//	pyfuzz -sched -n 500
 //	pyfuzz -quicken -n 500
 //
 // With -quicken, the leg matrix narrows to the quickening soak: the
@@ -32,6 +33,13 @@
 // the oracle verifies faults only ever surface as well-formed Python
 // exceptions — never as output divergences, internal errors, or host
 // panics.
+//
+// With -sched, the same generated programs — plus long multi-quantum
+// loops — run through the step-sliced scheduler (internal/supervise
+// Sched) from concurrent submitters at a deliberately small quantum, so
+// every long job is preempted many times; the oracle diffs each
+// executed result against a fresh exclusive reference run, proving
+// arbitrary park/resume interleavings change nothing observable.
 //
 // With -pool, the attack moves up a layer: the same generated programs
 // run through the internal/supervise worker pool while seeded
@@ -72,6 +80,9 @@ func run() int {
 		faultSeed = flag.Uint64("fault-seed", 0, "with -faults, injector seed (0: use -seed)")
 		quicken   = flag.Bool("quicken", false, "quickening soak: focused leg matrix (cold interpreter, inline-cache flush churn, JIT) against the quickened baseline")
 		pool      = flag.Bool("pool", false, "pool-chaos soak: run programs through the supervise worker pool under injected supervision faults")
+		sched     = flag.Bool("sched", false, "scheduler-chaos soak: mixed long/short jobs through the step-sliced scheduler with forced preemption, each diffed against a fresh exclusive reference run")
+		slots     = flag.Int("sched-slots", 2, "with -sched, concurrent execution slots")
+		quantum   = flag.Uint64("sched-quantum", 2000, "with -sched, preemption granularity in bytecodes")
 		poolSize  = flag.Int("pool-workers", 4, "with -pool, number of warm workers")
 		wedgeN    = flag.Uint64("pool-wedge-every", 40, "with -pool, inject a worker wedge every Nth job (0: never)")
 		leakN     = flag.Uint64("pool-leak-every", 25, "with -pool, inject a slot leak every Nth job (0: never)")
@@ -137,6 +148,37 @@ func run() int {
 		}
 		for _, v := range res.Violations {
 			fmt.Printf("violation: %s\n", v)
+		}
+		if !res.Ok() {
+			return 1
+		}
+		return 0
+	}
+
+	if *sched {
+		cfg := supervise.SchedSoakConfig{
+			Seed:         *seed,
+			Jobs:         *n,
+			Slots:        *slots,
+			QuantumSteps: *quantum,
+			WedgeEveryN:  *wedgeN,
+		}
+		var reg *telemetry.Registry
+		if *metrics {
+			reg = telemetry.NewRegistry()
+			cfg.Metrics = supervise.NewMetrics(reg)
+		}
+		res := supervise.SchedSoak(cfg)
+		s := res.Stats
+		fmt.Printf("sched soak: %d jobs, %d completed, %d preemptions, %d shed, %d wedged, %d slots\n",
+			res.Jobs, s.Completed, s.Preempted, s.Shed, s.Wedged, s.Workers)
+		for _, v := range res.Violations {
+			fmt.Printf("violation: %s\n", v)
+		}
+		if reg != nil {
+			if err := reg.WritePrometheus(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "pyfuzz: metrics exposition: %v\n", err)
+			}
 		}
 		if !res.Ok() {
 			return 1

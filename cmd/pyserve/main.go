@@ -11,6 +11,13 @@
 //	pyserve [-addr :8042] [-workers 4] [-queue 8] [-timeout 5s]
 //	        [-max-steps n] [-max-heap bytes] [-max-output bytes]
 //	        [-recycle 256] [-dedup-ttl 5m] [-dedup-cap 4096]
+//	        [-sched] [-lanes 2] [-quantum-steps 50000]
+//
+// With -sched the backend is the step-sliced scheduler instead of the
+// exclusive pool: -workers becomes the concurrent slot count, jobs
+// interleave at -quantum-steps granularity under strict-priority lanes
+// and per-tenant fair queueing, and many more jobs than slots can be
+// in flight at once (long programs no longer block short ones).
 //
 // Endpoints (versioned API, see internal/api and internal/serve):
 //
@@ -52,31 +59,54 @@ func run() int {
 		drainWait = flag.Duration("drain-timeout", 30*time.Second, "how long /drainz waits for in-flight jobs")
 		dedupTTL  = flag.Duration("dedup-ttl", 5*time.Minute, "how long an idempotency key's recorded result answers replays")
 		dedupCap  = flag.Int("dedup-cap", 4096, "max idempotency keys held in the dedup cache")
+		sched     = flag.Bool("sched", false, "step-sliced scheduler backend: jobs interleave at quantum granularity instead of holding a worker exclusively")
+		lanes     = flag.Int("lanes", 2, "strict-priority lanes (with -sched; lane 0 served first)")
+		quantum   = flag.Uint64("quantum-steps", 0, "preemption granularity in bytecodes (with -sched; 0: 50k default)")
 	)
 	flag.Parse()
 
 	reg := telemetry.NewRegistry()
-	pool := supervise.NewPool(supervise.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		RecycleAfter: *recycle,
-		Metrics:      supervise.NewMetrics(reg),
-		DefaultLimits: interp.Limits{
-			MaxSteps:       *maxSteps,
-			MaxHeapBytes:   *maxHeap,
-			Deadline:       *timeout,
-			MaxOutputBytes: *maxOutput,
-		},
-	})
-	defer pool.Close()
+	limits := interp.Limits{
+		MaxSteps:       *maxSteps,
+		MaxHeapBytes:   *maxHeap,
+		Deadline:       *timeout,
+		MaxOutputBytes: *maxOutput,
+	}
+	var backend serve.Backend
+	if *sched {
+		s := supervise.NewSched(supervise.SchedConfig{
+			Slots:         *workers,
+			QuantumSteps:  *quantum,
+			Lanes:         *lanes,
+			RecycleAfter:  *recycle,
+			Metrics:       supervise.NewMetrics(reg),
+			DefaultLimits: limits,
+		})
+		defer s.Close()
+		backend = s
+	} else {
+		pool := supervise.NewPool(supervise.Config{
+			Workers:       *workers,
+			QueueDepth:    *queue,
+			RecycleAfter:  *recycle,
+			Metrics:       supervise.NewMetrics(reg),
+			DefaultLimits: limits,
+		})
+		defer pool.Close()
+		backend = pool
+	}
 
-	srv := serve.NewWithOptions(pool, reg, serve.Options{
+	srv := serve.NewWithOptions(backend, reg, serve.Options{
 		DrainTimeout: *drainWait,
 		LogW:         os.Stderr,
 		DedupTTL:     *dedupTTL,
 		DedupCap:     *dedupCap,
 	})
-	fmt.Fprintf(os.Stderr, "pyserve: listening on %s (%d workers)\n", *addr, *workers)
+	mode := "workers"
+	if *sched {
+		mode = "step-sliced slots"
+	}
+	fmt.Fprintf(os.Stderr, "pyserve: listening on %s (%d %s)\n", *addr, *workers, mode)
 	if err := http.ListenAndServe(*addr, srv.Mux()); err != nil {
 		fmt.Fprintln(os.Stderr, "pyserve:", err)
 		return 1

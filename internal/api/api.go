@@ -124,6 +124,26 @@ type RunRequestV1 struct {
 	// key for a different program returns the first program's result.
 	// At most MaxIdempotencyKey bytes.
 	IdempotencyKey string `json:"idempotencyKey,omitempty"`
+	// Lane is the priority lane under a step-sliced backend (0 is
+	// highest; clamped to the backend's lane count). Ignored — and
+	// harmless — on an exclusive-pool backend.
+	Lane int `json:"lane,omitempty"`
+	// Tenant is the fair-queueing identity under a step-sliced backend:
+	// tenants within a lane share step throughput deficit-round-robin.
+	// Empty is a valid (shared) tenant.
+	Tenant string `json:"tenant,omitempty"`
+}
+
+// MaxTenant bounds the tenant label; beyond it the request is rejected
+// (an unbounded label is a memory-growth vector in the fair queues).
+const MaxTenant = 128
+
+// LifeEventV1 is one step of a request's scheduler lifecycle trace:
+// the state entered, and when, as milliseconds since the first event
+// (QUEUED, which is therefore always at offset 0).
+type LifeEventV1 struct {
+	State    string  `json:"state"`
+	OffsetMs float64 `json:"offsetMs"`
 }
 
 // RunStatsV1 carries the execution counters of a successful run.
@@ -166,4 +186,11 @@ type RunResultV1 struct {
 	// was returned and nothing executed.
 	Executions int  `json:"executions,omitempty"`
 	Deduped    bool `json:"deduped,omitempty"`
+
+	// Step-sliced scheduling trace, present only when the backend ran
+	// the job under a scheduler. Preemptions counts quantum-boundary
+	// parks (exact, even past the Lifecycle cap); Lifecycle is the
+	// timestamped QUEUED→…→FINISHED transition trace.
+	Preemptions int           `json:"preemptions,omitempty"`
+	Lifecycle   []LifeEventV1 `json:"lifecycle,omitempty"`
 }

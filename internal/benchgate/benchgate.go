@@ -49,6 +49,14 @@ var Table = []Gate{
 		Baseline:       "routed requests without idempotency keys",
 		Optimized:      "routed requests with per-request idempotency keys (dedup enabled)",
 	},
+	{
+		Name:           "sched-overhead",
+		Package:        "./internal/supervise/",
+		Test:           "TestSchedOverheadGuard",
+		MaxOverheadPct: 2.0,
+		Baseline:       "single job on the exclusive pool",
+		Optimized:      "single job on the step-sliced scheduler (default quantum, no contention)",
+	},
 }
 
 // Lookup returns the gate with the given name, panicking on a miss —

@@ -41,6 +41,25 @@ func (vm *VM) SetLimits(l Limits) {
 // Limits returns the installed resource limits.
 func (vm *VM) Limits() Limits { return vm.limits }
 
+// SetYield installs a cooperative step-slice hook: every quantum
+// bytecodes the governor slow path calls fn, which may block — parking
+// the VM's goroutine while the Python frame stack stays live in the VM —
+// and returns how long the VM was parked. The parked duration is
+// credited to the wall-clock deadline so scheduler delay is never
+// charged against the job's own budget. The quantum arms its own
+// nextCheck term independent of Limits, so a job with no step budget
+// (nextCheck otherwise ^uint64(0)) still reaches yield points and can be
+// preempted. quantum 0 or fn nil disarms slicing.
+func (vm *VM) SetYield(quantum uint64, fn func() time.Duration) {
+	if quantum == 0 || fn == nil {
+		vm.sliceSteps, vm.yieldFn = 0, nil
+	} else {
+		vm.sliceSteps, vm.yieldFn = quantum, fn
+	}
+	vm.sliceBase = vm.iterations
+	vm.scheduleGovernor()
+}
+
 // armGovernor starts a RunCode invocation's step and wall-clock budgets.
 func (vm *VM) armGovernor() {
 	vm.stepBase = vm.iterations
@@ -50,6 +69,7 @@ func (vm *VM) armGovernor() {
 		vm.deadlineAt = time.Time{}
 	}
 	vm.outBytes = 0
+	vm.sliceBase = vm.iterations
 	vm.scheduleGovernor()
 }
 
@@ -80,7 +100,34 @@ func (vm *VM) scheduleGovernor() {
 			next = c
 		}
 	}
+	if vm.sliceSteps != 0 {
+		// Same saturating discipline as the step budget: a quantum near
+		// ^uint64(0) must read as "unreachable", not wrap behind the
+		// current iteration count.
+		c := vm.sliceBase + vm.sliceSteps
+		if c < vm.sliceBase {
+			c = ^uint64(0)
+		}
+		if c < next {
+			next = c
+		}
+	}
 	vm.nextCheck = next
+}
+
+// maybeYield runs the step-slice hook if the quantum has elapsed,
+// crediting parked time to the deadline. Shared by both governor slow
+// paths; emits no micro-events (scheduling is host bookkeeping and must
+// not distort overhead-category attribution).
+func (vm *VM) maybeYield() {
+	if vm.sliceSteps == 0 || vm.iterations-vm.sliceBase < vm.sliceSteps {
+		return
+	}
+	parked := vm.yieldFn()
+	if parked > 0 && !vm.deadlineAt.IsZero() {
+		vm.deadlineAt = vm.deadlineAt.Add(parked)
+	}
+	vm.sliceBase = vm.iterations
 }
 
 // governorCheck is the dispatch-loop slow path, entered when iterations
@@ -91,6 +138,7 @@ func (vm *VM) governorCheck(f *pyobj.Frame, op pycode.Opcode) {
 		Raise("TimeoutError", "step budget of %d bytecodes exceeded in %s at pc=%d (op=%s)",
 			l, f.Code.Name, f.PC, op.Dequicken())
 	}
+	vm.maybeYield()
 	vm.pollDeadline()
 	vm.scheduleGovernor()
 }
@@ -101,6 +149,7 @@ func (vm *VM) governorCheckJIT() {
 	if l := vm.limits.MaxSteps; l != 0 && vm.iterations-vm.stepBase > l {
 		Raise("TimeoutError", "step budget of %d bytecodes exceeded in compiled code", l)
 	}
+	vm.maybeYield()
 	vm.pollDeadline()
 	vm.scheduleGovernor()
 }

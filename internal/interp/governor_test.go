@@ -370,3 +370,166 @@ func TestCrashSnapshotKeepsErrorIdentity(t *testing.T) {
 		t.Fatal("small error cause must survive for errors.Is")
 	}
 }
+
+// ---- Step-slice yield hook (scheduler preemption points) ----
+
+// TestYieldUnlimitedJobStillParks is the regression test for the
+// "unlimited jobs never yield" bug: with no limits armed, nextCheck used
+// to stay ^uint64(0) and a job could never be preempted. The slice
+// quantum must install its own nextCheck term independent of Limits.
+func TestYieldUnlimitedJobStillParks(t *testing.T) {
+	src := `
+acc = 0
+for i in xrange(2000):
+    acc = acc + i
+print(acc)
+`
+	vm, out := newLimited(gc.DefaultRefCountConfig(), Limits{}) // no limits at all
+	var yields int
+	vm.SetYield(64, func() time.Duration {
+		yields++
+		return 0
+	})
+	if vm.nextCheck == ^uint64(0) {
+		t.Fatal("quantum armed but nextCheck still unreachable")
+	}
+	if err := vm.RunSource("<unlimited>", src); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if yields == 0 {
+		t.Fatal("unlimited job never reached a yield point")
+	}
+	if !strings.Contains(out.String(), "1999000") {
+		t.Fatalf("wrong output: %q", out.String())
+	}
+	// Disarming restores the unreachable threshold for a limitless VM.
+	vm.SetYield(0, nil)
+	if vm.nextCheck != ^uint64(0) {
+		t.Fatalf("disarmed unlimited VM: nextCheck = %d", vm.nextCheck)
+	}
+}
+
+// TestYieldActuallyParksGoroutine: the yield hook may block — the VM's
+// goroutine parks with the Python frame stack live — and execution
+// resumes exactly where it left off when the hook returns.
+func TestYieldActuallyParksGoroutine(t *testing.T) {
+	src := `
+acc = 0
+for i in xrange(500):
+    acc = acc + i
+print(acc)
+`
+	vm, out := newLimited(gc.DefaultRefCountConfig(), Limits{})
+	parked := make(chan struct{})
+	resume := make(chan struct{})
+	first := true
+	vm.SetYield(64, func() time.Duration {
+		if first {
+			first = false
+			parked <- struct{}{}
+			<-resume
+		}
+		return 0
+	})
+	done := make(chan error, 1)
+	go func() { done <- vm.RunSource("<park>", src) }()
+	select {
+	case <-parked:
+	case err := <-done:
+		t.Fatalf("run finished without yielding: %v", err)
+	}
+	// The job is parked mid-loop; nothing should complete until resumed.
+	select {
+	case err := <-done:
+		t.Fatalf("parked job completed: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(resume)
+	if err := <-done; err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if !strings.Contains(out.String(), "124750") {
+		t.Fatalf("wrong output after park/resume: %q", out.String())
+	}
+}
+
+// TestYieldCreditsDeadline: time spent parked by the scheduler must not
+// count against the job's own wall-clock budget — the hook's returned
+// parked duration is credited to deadlineAt.
+func TestYieldCreditsDeadline(t *testing.T) {
+	src := `
+acc = 0
+for i in xrange(3000):
+    acc = acc + i
+print(acc)
+`
+	vm, _ := newLimited(gc.DefaultRefCountConfig(), Limits{Deadline: 40 * time.Millisecond})
+	once := true
+	vm.SetYield(64, func() time.Duration {
+		if once {
+			once = false
+			// Park well past the job's whole deadline, then report it.
+			d := 80 * time.Millisecond
+			time.Sleep(d)
+			return d
+		}
+		return 0
+	})
+	if err := vm.RunSource("<credit>", src); err != nil {
+		t.Fatalf("parked time charged against deadline: %v", err)
+	}
+
+	// Control: same park without the credit (hook lies and returns 0)
+	// must trip the deadline — proving the credit is what saved the run
+	// above, not timing slack.
+	vm2, _ := newLimited(gc.DefaultRefCountConfig(), Limits{Deadline: 40 * time.Millisecond})
+	once2 := true
+	vm2.SetYield(64, func() time.Duration {
+		if once2 {
+			once2 = false
+			time.Sleep(80 * time.Millisecond)
+		}
+		return 0
+	})
+	if err := vm2.RunSource("<nocredit>", src); errKind(err) != "TimeoutError" {
+		t.Fatalf("uncredited park should trip deadline, got %v", err)
+	}
+}
+
+// TestYieldCoexistsWithStepBudget: slicing must not change step-budget
+// semantics — the budget still trips at the same boundary with a quantum
+// armed, and yields keep happening up to that point.
+func TestYieldCoexistsWithStepBudget(t *testing.T) {
+	src := `
+acc = 0
+for i in xrange(50):
+    acc = acc + i
+print(acc)
+`
+	vm, _ := newLimited(gc.DefaultRefCountConfig(), Limits{})
+	if err := vm.RunSource("<measure>", src); err != nil {
+		t.Fatalf("unlimited run: %v", err)
+	}
+	total := vm.Stats.Bytecodes
+
+	for _, q := range []uint64{1, 7, 64} {
+		vm, out := newLimited(gc.DefaultRefCountConfig(), Limits{MaxSteps: total})
+		yields := 0
+		vm.SetYield(q, func() time.Duration { yields++; return 0 })
+		if err := vm.RunSource("<exact>", src); err != nil {
+			t.Fatalf("quantum %d: budget == length should complete, got %v", q, err)
+		}
+		if !strings.Contains(out.String(), "1225") {
+			t.Fatalf("quantum %d: wrong output %q", q, out.String())
+		}
+		if yields == 0 {
+			t.Fatalf("quantum %d: no yields in a %d-bytecode run", q, total)
+		}
+
+		vm, _ = newLimited(gc.DefaultRefCountConfig(), Limits{MaxSteps: total - 1})
+		vm.SetYield(q, func() time.Duration { return 0 })
+		if err := vm.RunSource("<short>", src); errKind(err) != "TimeoutError" {
+			t.Fatalf("quantum %d: budget-1 want TimeoutError, got %v", q, err)
+		}
+	}
+}

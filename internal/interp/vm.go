@@ -144,6 +144,15 @@ type VM struct {
 	deadlineAt     time.Time
 	recursionLimit int
 	outBytes       uint64
+	// Cooperative step-slicing (governor.go). When yieldFn is installed,
+	// the governor slow path invokes it every sliceSteps bytecodes; the
+	// hook may block (parking the VM's goroutine with the Python frame
+	// stack intact) and returns the parked duration, which is credited
+	// back to deadlineAt so scheduling delay never trips the wall-clock
+	// budget. Independent of Limits: an unlimited job still yields.
+	sliceSteps uint64
+	sliceBase  uint64
+	yieldFn    func() time.Duration
 	// unwound captures the frame stack while a Go panic unwinds
 	// (crash-isolation snapshot; see noteUnwind). unwoundTotal counts
 	// every unwound frame, including those past the snapshot cap.

@@ -158,7 +158,14 @@ func (rt *Router) forward(ctx context.Context, key uint64, body []byte, id strin
 		var resp *upstreamResp
 		var err error
 		var safe bool
-		if attempts == 0 && rt.cfg.Hedge && !single {
+		// Hedging is suppressed for keyed requests: the hedge races the
+		// same body on a SECOND replica, and the dedup cache that makes
+		// keyed requests exactly-once is per-replica — a slow (but
+		// executing) primary plus a hedge would run the job on two
+		// replicas, violating the fleet-wide max-executions<=1 oracle.
+		// Keyed requests fall back to the replay discipline instead
+		// (same-backend first), which is dedup-safe by construction.
+		if attempts == 0 && rt.cfg.Hedge && !single && !idem {
 			alt := cands[(ci+1)%len(cands)]
 			var won bool
 			resp, err, safe, won = rt.hedgedAttempt(ctx, b, alt, body, id, digest)

@@ -850,3 +850,82 @@ func TestThreeBackendKillSmoke(t *testing.T) {
 		t.Errorf("requests{ok} = %d, want all 80", rt.metrics.requests.Value(outOK))
 	}
 }
+
+// TestKeyedRequestNeverHedges is the exactly-once regression test for
+// the hedge x idempotency interaction: the dedup cache is per-replica,
+// so a hedge — which races the same body on a SECOND replica — can
+// double-execute a keyed request fleet-wide (the old behavior). A keyed
+// request whose primary is slow but executing must wait for the
+// primary, not hedge: exactly one backend may ever see the body.
+func TestKeyedRequestNeverHedges(t *testing.T) {
+	var primaryRuns, altRuns atomic.Int64
+	mkCounting := func(runs *atomic.Int64, delay time.Duration) *httptest.Server {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/v1/run", func(w http.ResponseWriter, r *http.Request) {
+			runs.Add(1)
+			select {
+			case <-time.After(delay):
+			case <-r.Context().Done():
+				return
+			}
+			stubRun(w, `{"apiVersion":"v1","exitClass":"ok","stdout":"counted\n","executions":1}`)
+		})
+		ts := httptest.NewServer(mux)
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	// Primary: slow enough that the hedge timer (10ms min delay) fires
+	// long before it answers. Alt: instant, so an (incorrect) hedge
+	// would win the race and be visible both in altRuns and the winner.
+	primary := mkCounting(&primaryRuns, 400*time.Millisecond)
+	alt := mkCounting(&altRuns, 0)
+
+	reg := telemetry.NewRegistry()
+	backends := []string{primary.URL, alt.URL}
+	rt, front := newRouter(t, Config{
+		Backends:      backends,
+		ProbeInterval: quietProbes,
+		Hedge:         true,
+		HedgeMinDelay: 10 * time.Millisecond,
+		Metrics:       NewMetrics(reg, backends),
+	})
+	src := srcOwnedBy(t, rt, 0)
+
+	body, _ := json.Marshal(api.RunRequestV1{Src: src, IdempotencyKey: "exactly-once-1"})
+	req, err := http.NewRequest(http.MethodPost, front.URL+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d body %v", resp.StatusCode, out)
+	}
+	if got := primaryRuns.Load(); got != 1 {
+		t.Fatalf("primary executions = %d, want 1", got)
+	}
+	if got := altRuns.Load(); got != 0 {
+		t.Fatalf("keyed request reached %d backends beyond its owner: hedging must be suppressed for keyed requests", got+1)
+	}
+	if rt.metrics.hedges.Value() != 0 {
+		t.Fatal("hedge launched for a keyed request")
+	}
+
+	// Control: an unkeyed request in the same fleet still hedges (the
+	// tail-latency machinery stays intact for the dedup-free traffic).
+	resp2, _ := postRun(t, front.URL, src, nil)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("unkeyed control status %d", resp2.StatusCode)
+	}
+	if rt.metrics.hedges.Value() == 0 {
+		t.Fatal("unkeyed request no longer hedges")
+	}
+}

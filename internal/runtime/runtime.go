@@ -15,6 +15,7 @@ package runtime
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/emit"
@@ -211,6 +212,10 @@ func (r *Result) GCShare() float64 {
 type Runner struct {
 	cfg  Config
 	warm *runState
+	// Step-slice hook re-armed on every state (SetYield); lives beside
+	// the config so Reset-built warm states carry it too.
+	yieldQuantum uint64
+	yieldFn      func() time.Duration
 }
 
 // runState is the complete machinery for one execution: engine, VM,
@@ -255,6 +260,18 @@ func (r *Runner) SetLimits(l interp.Limits) { r.cfg.Limits = l }
 // harnesses install a fresh one before each job.
 func (r *Runner) SetFaults(in *faults.Injector) { r.cfg.Faults = in }
 
+// SetYield installs a cooperative step-slice hook on subsequent runs:
+// every quantum bytecodes the VM calls fn from the governor slow path,
+// which may park the goroutine (see interp.VM.SetYield). Takes effect
+// even when a pre-built state from Reset is waiting. quantum 0 or fn nil
+// disarms.
+func (r *Runner) SetYield(quantum uint64, fn func() time.Duration) {
+	r.yieldQuantum, r.yieldFn = quantum, fn
+	if r.warm != nil {
+		r.warm.vm.SetYield(quantum, fn)
+	}
+}
+
 // Reset discards any state from a previous execution and pre-builds a
 // pristine replacement for the next run. Calling it between jobs gives a
 // warm worker two guarantees: no state crosses from one job to the next
@@ -276,6 +293,7 @@ func (r *Runner) buildState() *runState {
 	}
 	st.vm.MaxBytecodes = cfg.MaxBytecodes
 	st.vm.SetLimits(cfg.Limits)
+	st.vm.SetYield(r.yieldQuantum, r.yieldFn)
 	st.vm.Heap.SetFaults(cfg.Faults)
 
 	switch cfg.Mode {
@@ -315,6 +333,7 @@ func (r *Runner) takeState() *runState {
 	st.out.tee = r.cfg.Stdout
 	st.vm.MaxBytecodes = r.cfg.MaxBytecodes
 	st.vm.SetLimits(r.cfg.Limits)
+	st.vm.SetYield(r.yieldQuantum, r.yieldFn)
 	return st
 }
 

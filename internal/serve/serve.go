@@ -44,10 +44,21 @@ import (
 	"repro/internal/telemetry"
 )
 
-// Server ties the pool to the HTTP mux; tests and the router soak drive
-// it in-process via Mux.
+// Backend is the execution engine behind the HTTP surface: the
+// exclusive worker pool (supervise.Pool) or the step-sliced scheduler
+// (supervise.Sched). The server only needs the submit/observe/drain
+// triad — everything scheduler-specific travels inside Job and
+// JobResult, so one handler serves both.
+type Backend interface {
+	Submit(job *supervise.Job) *supervise.JobResult
+	Stats() supervise.Stats
+	Drain(timeout time.Duration) bool
+}
+
+// Server ties the backend to the HTTP mux; tests and the router soak
+// drive it in-process via Mux.
 type Server struct {
-	pool *supervise.Pool
+	pool Backend
 	// reg is the telemetry registry backing GET /metrics.
 	reg *telemetry.Registry
 	// drainTimeout bounds how long /drainz waits for in-flight jobs.
@@ -81,14 +92,15 @@ type Options struct {
 	DedupCap int
 }
 
-// New builds a Server over pool. reg backs /metrics, drainTimeout bounds
+// New builds a Server over a backend (the exclusive pool or the
+// step-sliced scheduler). reg backs /metrics, drainTimeout bounds
 // /drainz, logw (nil to disable) receives per-job structured log lines.
-func New(pool *supervise.Pool, reg *telemetry.Registry, drainTimeout time.Duration, logw io.Writer) *Server {
+func New(pool Backend, reg *telemetry.Registry, drainTimeout time.Duration, logw io.Writer) *Server {
 	return NewWithOptions(pool, reg, Options{DrainTimeout: drainTimeout, LogW: logw})
 }
 
-// NewWithOptions builds a Server over pool with explicit Options.
-func NewWithOptions(pool *supervise.Pool, reg *telemetry.Registry, opts Options) *Server {
+// NewWithOptions builds a Server over a backend with explicit Options.
+func NewWithOptions(pool Backend, reg *telemetry.Registry, opts Options) *Server {
 	s := &Server{
 		pool:         pool,
 		reg:          reg,
@@ -281,6 +293,15 @@ func (s *Server) serveRun(w http.ResponseWriter, r *http.Request, v1 bool) {
 			fmt.Sprintf("idempotencyKey exceeds %d bytes", api.MaxIdempotencyKey))
 		return
 	}
+	if req.Lane < 0 {
+		fail(http.StatusBadRequest, api.CodeBadJSON, "lane must be non-negative")
+		return
+	}
+	if len(req.Tenant) > api.MaxTenant {
+		fail(http.StatusBadRequest, api.CodeBadJSON,
+			fmt.Sprintf("tenant exceeds %d bytes", api.MaxTenant))
+		return
+	}
 	mode := runtime.CPython
 	if req.Mode != "" {
 		mode, err = runtime.ParseMode(req.Mode)
@@ -290,9 +311,11 @@ func (s *Server) serveRun(w http.ResponseWriter, r *http.Request, v1 bool) {
 		}
 	}
 	job := &supervise.Job{
-		Name: req.Name,
-		Src:  req.Src,
-		Mode: mode,
+		Name:   req.Name,
+		Src:    req.Src,
+		Mode:   mode,
+		Lane:   req.Lane,
+		Tenant: req.Tenant,
 	}
 	if job.Name == "" {
 		job.Name = "request.py"
@@ -372,6 +395,19 @@ func (s *Server) serveRun(w http.ResponseWriter, r *http.Request, v1 bool) {
 		Worker:     res.Worker,
 		QueuedMs:   float64(res.Queued) / float64(time.Millisecond),
 		RunMs:      float64(res.RunTime) / float64(time.Millisecond),
+	}
+	resp.Preemptions = res.Preemptions
+	if n := len(res.Lifecycle); n > 0 {
+		// Offsets are relative to the first event (QUEUED), so the trace
+		// is self-contained without shipping absolute timestamps.
+		t0 := res.Lifecycle[0].At
+		resp.Lifecycle = make([]api.LifeEventV1, n)
+		for i, ev := range res.Lifecycle {
+			resp.Lifecycle[i] = api.LifeEventV1{
+				State:    ev.State.String(),
+				OffsetMs: float64(ev.At.Sub(t0)) / float64(time.Millisecond),
+			}
+		}
 	}
 	status := http.StatusOK
 	if res.Class == supervise.ClassShed {

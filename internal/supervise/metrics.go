@@ -1,6 +1,8 @@
 package supervise
 
 import (
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/telemetry"
 )
@@ -58,6 +60,13 @@ type Metrics struct {
 	icMisses        *telemetry.CounterVec
 	icInvalidations *telemetry.Counter
 	icDequickened   *telemetry.Counter
+	// schedTransitions counts lifecycle-state entries under the
+	// step-sliced scheduler; schedStateTime histograms the dwell time in
+	// the state being left at each transition. Together they are the
+	// journey-trace view (QUEUED→SCHEDULED→RUNNING→PREEMPTED→FINISHED)
+	// of live traffic on the allocation-free core.
+	schedTransitions *telemetry.CounterVec
+	schedStateTime   *telemetry.HistogramVec
 }
 
 // icSiteNames lists the inline-cache site-kind label values, indexed by
@@ -124,6 +133,27 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Inline-cache guard invalidations (version bumps, layout changes, flushes)."),
 		icDequickened: reg.Counter("minipy_ic_dequickened_total",
 			"Quickened sites demoted back to generic bytecode after exhausting their miss budget."),
+		schedTransitions: reg.CounterVec("minipy_sched_transitions_total",
+			"Lifecycle-state entries under the step-sliced scheduler (queued, scheduled, running, preempted, finished).",
+			"state", lifeNames[:]),
+		schedStateTime: reg.HistogramVec("minipy_sched_state_seconds",
+			"Dwell time in each lifecycle state, recorded when the state is left (step-sliced scheduler).",
+			"state", lifeNames[:]),
+	}
+}
+
+// lifeTransition records one scheduler lifecycle transition: the state
+// being entered, and the dwell time in the state being left (prev ==
+// NumLifeStates on the first transition, which has no predecessor).
+// Called under the scheduler mutex; the instruments are atomic and
+// allocation-free. Safe on a nil receiver.
+func (m *Metrics) lifeTransition(entered, prev LifeState, dwell time.Duration) {
+	if m == nil {
+		return
+	}
+	m.schedTransitions.Inc(int(entered))
+	if prev < NumLifeStates {
+		m.schedStateTime.Observe(int(prev), dwell)
 	}
 }
 
@@ -215,4 +245,25 @@ func (p *Pool) registerGauges(m *Metrics) {
 	m.reg.GaugeFunc("minipy_pool_heap_reserved_bytes",
 		"Summed heap reservations of admitted and running jobs.",
 		snap(func(s Stats) float64 { return float64(s.HeapReserved) }))
+}
+
+// registerSchedGauges installs the step-sliced scheduler's point-in-time
+// occupancy gauges. Same discipline as the pool's: callbacks run at
+// scrape time only and snapshot under the scheduler mutex.
+func (s *Sched) registerSchedGauges(m *Metrics) {
+	snap := func(f func(Stats) float64) func() float64 {
+		return func() float64 { return f(s.Stats()) }
+	}
+	m.reg.GaugeFunc("minipy_sched_running",
+		"Jobs currently granted an execution slot.",
+		snap(func(st Stats) float64 { return float64(st.Workers - st.Idle) }))
+	m.reg.GaugeFunc("minipy_sched_waiting",
+		"Jobs queued for a grant (unstarted plus preempted).",
+		snap(func(st Stats) float64 { return float64(st.Queued) }))
+	m.reg.GaugeFunc("minipy_sched_resident",
+		"Jobs holding a live VM (started, unfinished).",
+		snap(func(st Stats) float64 { return float64(st.Resident) }))
+	m.reg.GaugeFunc("minipy_sched_heap_reserved_bytes",
+		"Summed heap reservations of resident jobs.",
+		snap(func(st Stats) float64 { return float64(st.HeapReserved) }))
 }

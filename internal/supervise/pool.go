@@ -115,6 +115,15 @@ type Job struct {
 	// carries the paper's per-category cycle breakdown) instead of the
 	// functional fast path.
 	Breakdown bool
+	// Lane is the priority lane under the step-sliced scheduler (0 is
+	// highest; clamped to the configured lane count). The exclusive
+	// pool ignores it.
+	Lane int
+	// Tenant is the fair-queueing identity under the step-sliced
+	// scheduler: tenants in a lane share step throughput
+	// deficit-round-robin. Empty is a valid (shared) tenant. The
+	// exclusive pool ignores it.
+	Tenant string
 }
 
 // JobResult is everything the supervisor reports about one job.
@@ -142,6 +151,13 @@ type JobResult struct {
 	// Breakdown is the job's overhead attribution, present only when the
 	// job requested it (Job.Breakdown) and ran to a clean exit.
 	Breakdown *core.Breakdown
+	// Preemptions counts how many times the step-sliced scheduler parked
+	// this job at a quantum boundary (always 0 on the exclusive pool).
+	Preemptions int
+	// Lifecycle is the job's timestamped QUEUED→…→FINISHED transition
+	// trace under the step-sliced scheduler (nil on the exclusive pool;
+	// capped at 32 entries, Preemptions stays exact past the cap).
+	Lifecycle []LifeEvent
 
 	// health carries the worker's post-job probe verdict to finishJob;
 	// not part of the reported result.
@@ -160,10 +176,12 @@ type Stats struct {
 	Recycled    uint64 // planned replacements (job-count policy)
 	Restarts    uint64 // unplanned replacements spawned
 	BreakerOpen uint64 // replacement attempts refused by the circuit breaker
+	Preempted   uint64 // scheduler preemptions (step-sliced mode only)
 
-	Workers      int
-	Idle         int
-	Queued       int
+	Workers  int
+	Idle     int
+	Queued   int
+	Resident int // jobs holding a live VM (step-sliced mode only)
 	HeapReserved uint64
 	// HeapWatermark is the pool's configured admission watermark, so
 	// readiness probes can tell "shedding at capacity" (HeapReserved at

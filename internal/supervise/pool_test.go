@@ -10,6 +10,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/pycode"
 	"repro/internal/runtime"
+	"repro/internal/telemetry"
 )
 
 // testLimits keeps pool tests fast: short deadlines shrink the wedge
@@ -433,5 +434,46 @@ func TestCondemnWakesBlockedSubmitters(t *testing.T) {
 	}
 	if r := <-first; r.Class != ClassWedged {
 		t.Fatalf("wedged job: want ClassWedged, got %s (%q)", r.Class, r.Err)
+	}
+}
+
+// TestShedAfterWaitRecordsQueueWait is the regression test for the
+// invisible-shed-wait bug: a job shed from *inside* the dispatch wait
+// loop (here: drain arrived while it was queued behind a busy worker)
+// must carry the wait it accumulated, and that wait must reach
+// minipy_job_queue_wait_seconds{class="shed"} — otherwise backpressure
+// latency is invisible exactly when the pool is saturated.
+func TestShedAfterWaitRecordsQueueWait(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := NewMetrics(reg)
+	p := testPool(t, Config{Workers: 1, QueueDepth: 2, Metrics: m,
+		DefaultLimits: interp.Limits{
+			MaxSteps: 1 << 30, MaxHeapBytes: 64 << 20, Deadline: 2 * time.Second,
+		}})
+	slow := &Job{Name: "slow.py", Mode: runtime.CPython,
+		Src: "total = 0\nfor i in range(500000):\n    total = total + 1\nprint(total)\n"}
+	first := make(chan *JobResult, 1)
+	go func() { first <- p.Submit(slow) }()
+	waitStats(t, p, "worker busy", func(s Stats) bool { return s.Idle == 0 })
+
+	queued := make(chan *JobResult, 1)
+	go func() { queued <- p.Submit(&Job{Name: "q.py", Src: "print(1)\n", Mode: runtime.CPython}) }()
+	waitStats(t, p, "job queued", func(s Stats) bool { return s.Queued == 1 })
+	time.Sleep(20 * time.Millisecond) // let it accumulate measurable wait
+
+	go p.Drain(10 * time.Second)
+	res := <-queued
+	if res.Class != ClassShed {
+		t.Fatalf("want shed on drain, got %s (%q)", res.Class, res.Err)
+	}
+	if res.Queued < 10*time.Millisecond {
+		t.Fatalf("shed-after-wait result lost its queue wait: Queued = %v", res.Queued)
+	}
+	snap := m.queueWait.Snapshot(int(ClassShed))
+	if snap.Count == 0 || time.Duration(snap.Sum) < 10*time.Millisecond {
+		t.Fatalf("shed queue wait invisible in telemetry: count=%d sum=%v", snap.Count, snap.Sum)
+	}
+	if r := <-first; r.Class != ClassOK {
+		t.Fatalf("in-flight job through drain: %s (%q)", r.Class, r.Err)
 	}
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package supervise
+
+const raceEnabled = false

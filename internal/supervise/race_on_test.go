@@ -1,0 +1,8 @@
+//go:build race
+
+package supervise
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Timing guards are skipped under the detector's slowdown
+// (see sched_bench_test.go).
+const raceEnabled = true

@@ -1,0 +1,77 @@
+package supervise
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/benchgate"
+	"repro/internal/runtime"
+)
+
+// TestSchedOverheadGuard is the performance regression gate for the
+// step-sliced scheduler's single-job path: with no contention (one job
+// at a time, zero waiters), the yield fast path must reduce to one
+// heartbeat store and one atomic load, so a job on the scheduler costs
+// at most the p50 overhead the shared benchgate table allows versus the
+// same job on the exclusive pool. Best-of-N attempts with interleaved
+// legs keep scheduler noise from flaking the gate; a negative overhead
+// trivially passes.
+func TestSchedOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("timing guard skipped under the race detector")
+	}
+	gate := benchgate.Lookup("sched-overhead")
+
+	limits := schedTestLimits()
+	pool := NewPool(Config{Workers: 1, DefaultLimits: limits})
+	defer pool.Close()
+	sched := NewSched(SchedConfig{Slots: 1, DefaultLimits: limits})
+	defer sched.Close()
+
+	// Big enough that execution dominates submit bookkeeping, small
+	// enough that 2x3x60 of them finish quickly; the default quantum
+	// crosses several yield boundaries per job.
+	src := loopSrc(100_000)
+	submit := func(s interface {
+		Submit(*Job) *JobResult
+	}, n int) time.Duration {
+		t.Helper()
+		lats := make([]time.Duration, 0, n)
+		for i := 0; i < n; i++ {
+			start := time.Now()
+			res := s.Submit(&Job{Name: "ovh.py", Src: src, Mode: runtime.CPython})
+			lats = append(lats, time.Since(start))
+			if res.Class != ClassOK {
+				t.Fatalf("job failed: %s %q", res.Class, res.Err)
+			}
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		return lats[len(lats)/2]
+	}
+
+	submit(pool, 5) // warm both backends' runners
+	submit(sched, 5)
+
+	const (
+		attempts = 3
+		jobs     = 30
+	)
+	best := 1e18
+	for attempt := 1; attempt <= attempts; attempt++ {
+		exclusive := submit(pool, jobs)
+		sliced := submit(sched, jobs)
+		overhead := (float64(sliced) - float64(exclusive)) / float64(exclusive) * 100
+		if overhead < best {
+			best = overhead
+		}
+		t.Logf("attempt %d: exclusive p50 %v, sliced p50 %v, overhead %+.2f%%", attempt, exclusive, sliced, overhead)
+		if best <= gate.MaxOverheadPct {
+			return
+		}
+	}
+	t.Fatalf("step-sliced single-job p50 overhead %+.2f%%, gate allows at most %.2f%%", best, gate.MaxOverheadPct)
+}

@@ -1,0 +1,283 @@
+package supervise
+
+// The scheduler-equivalence layer, in the style of the interpreter's
+// quickening-equivalence suite: step-slicing is a pure scheduling
+// transform. A program run exclusively and the same program run under a
+// yield hook — at any quantum, parked and resumed arbitrarily between
+// slices — must agree on program output, exception identity, limit
+// class, and (for clean runs) the net reference-count balance
+// (Increfs + Allocations - Decrefs). Two granularities are covered:
+// runner-level (a single Runner with a forced-parking yield hook vs the
+// same Runner without) and sched-level (the step-sliced Sched vs the
+// exclusive Pool, end to end, with preemption churn from concurrent
+// load). Deadline trips are the one excluded class: they are
+// timing-dependent by definition, so the deterministic limit programs
+// below pin the step-budget, recursion, and output-limit classes
+// instead.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/difftest"
+	"repro/internal/interp"
+	"repro/internal/runtime"
+)
+
+// equivQuanta are the slice granularities under test: pathological
+// (yield every bytecode), small (many yields per program), and the
+// production default.
+var equivQuanta = []uint64{1, 64, 50_000}
+
+// equivLimits keep every corpus program's class deterministic: the step
+// budget decides timeouts, never the wall clock.
+func equivLimits() interp.Limits {
+	return interp.Limits{
+		MaxSteps:     difftest.DefaultBudget,
+		MaxHeapBytes: 256 << 20,
+		Deadline:     30 * time.Second,
+	}
+}
+
+type legOutcome struct {
+	Output  string
+	Err     string
+	Class   Class
+	NetRefs int64
+}
+
+// runLeg executes src on a fresh serving Runner. quantum == 0 is the
+// exclusive leg; otherwise a yield hook is armed that parks for real
+// (sleeps off the goroutine) on a sparse subset of yields, exercising
+// the park/resume path rather than just the governor arithmetic. The
+// park cadence scales with the quantum so the pathological quantum-1
+// leg doesn't spend its wall clock asleep: what matters is that SOME
+// yields genuinely park, not that all of them do.
+func runLeg(t *testing.T, name, src string, quantum uint64, limits interp.Limits) legOutcome {
+	t.Helper()
+	var out strings.Builder
+	cfg := runtime.ServingConfig(runtime.CPython)
+	cfg.Stdout = &out
+	cfg.Limits = limits
+	r, err := runtime.NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quantum != 0 {
+		cadence := 3
+		if quantum < 1024 {
+			cadence = int(4096 / quantum)
+		}
+		var yields int
+		r.SetYield(quantum, func() time.Duration {
+			yields++
+			if yields%cadence != 0 {
+				return 0
+			}
+			start := time.Now()
+			time.Sleep(50 * time.Microsecond)
+			return time.Since(start)
+		})
+	}
+	res, runErr := r.Run(name, src)
+	leg := legOutcome{Output: out.String(), Class: ClassOK}
+	if runErr != nil {
+		leg.Err = runErr.Error()
+		leg.Class = Classify(runErr)
+	}
+	if res != nil {
+		h := res.Heap
+		leg.NetRefs = int64(h.Increfs) + int64(h.Allocations) - int64(h.Decrefs)
+	}
+	return leg
+}
+
+// assertSlicingAgrees runs src exclusively and at every quantum, and
+// fails on any divergence. Net refcounts are only compared on clean
+// runs: an exception unwinds with path-specific temporaries.
+func assertSlicingAgrees(t *testing.T, name, src string) {
+	t.Helper()
+	limits := equivLimits()
+	base := runLeg(t, name, src, 0, limits)
+	for _, q := range equivQuanta {
+		got := runLeg(t, name, src, q, limits)
+		if got.Output != base.Output {
+			t.Errorf("%s: quantum %d output diverged\n--- exclusive ---\n%s--- sliced ---\n%s",
+				name, q, base.Output, got.Output)
+		}
+		if got.Err != base.Err {
+			t.Errorf("%s: quantum %d exception diverged: exclusive %q, sliced %q",
+				name, q, base.Err, got.Err)
+		}
+		if got.Class != base.Class {
+			t.Errorf("%s: quantum %d class diverged: exclusive %v, sliced %v",
+				name, q, base.Class, got.Class)
+		}
+		if base.Err == "" && got.NetRefs != base.NetRefs {
+			t.Errorf("%s: quantum %d net refcount balance diverged: exclusive %d, sliced %d",
+				name, q, base.NetRefs, got.NetRefs)
+		}
+	}
+}
+
+func TestSlicedEquivCorpus(t *testing.T) {
+	corpus, err := difftest.LoadCorpus("../difftest/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) == 0 {
+		t.Fatal("empty difftest corpus")
+	}
+	for name, src := range corpus {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			assertSlicingAgrees(t, name, src)
+		})
+	}
+}
+
+func TestSlicedEquivGenerated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generated slicing-equivalence sweep skipped in -short mode")
+	}
+	const seeds = 12
+	for seed := uint64(1); seed <= seeds; seed++ {
+		seed := seed
+		name := fmt.Sprintf("gen_%03d", seed)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			assertSlicingAgrees(t, name, difftest.Generate(seed))
+		})
+	}
+}
+
+// limitPrograms trip each deterministic limit class: the step budget,
+// the recursion cap, and the output cap. (Deadline is excluded: it is
+// the one wall-clock-dependent class, and slicing legitimately changes
+// wall-clock time.) Each entry's limits make the trip deterministic at
+// any quantum.
+var limitPrograms = []struct {
+	name   string
+	src    string
+	limits interp.Limits
+	want   Class
+}{
+	{
+		name: "limit_steps",
+		src:  "i = 0\nwhile i < 1000000:\n    i = i + 1\nprint(i)\n",
+		limits: interp.Limits{
+			MaxSteps: 10_000, MaxHeapBytes: 64 << 20, Deadline: 30 * time.Second,
+		},
+		want: ClassTimeout,
+	},
+	{
+		name: "limit_recursion",
+		src:  "def f(n):\n    return f(n + 1)\nf(0)\n",
+		limits: interp.Limits{
+			MaxSteps: 10_000_000, MaxHeapBytes: 64 << 20,
+			MaxRecursionDepth: 64, Deadline: 30 * time.Second,
+		},
+		want: ClassRecursion,
+	},
+	{
+		name: "limit_output",
+		src:  "i = 0\nwhile i < 100000:\n    print('xxxxxxxxxxxxxxxx')\n    i = i + 1\n",
+		limits: interp.Limits{
+			MaxSteps: 10_000_000, MaxHeapBytes: 64 << 20,
+			MaxOutputBytes: 4096, Deadline: 30 * time.Second,
+		},
+		want: ClassOutput,
+	},
+}
+
+func TestSlicedEquivLimitClasses(t *testing.T) {
+	for _, tc := range limitPrograms {
+		base := runLeg(t, tc.name, tc.src, 0, tc.limits)
+		if base.Class != tc.want {
+			t.Fatalf("%s: exclusive class = %v, want %v (err %q)", tc.name, base.Class, tc.want, base.Err)
+		}
+		for _, q := range equivQuanta {
+			got := runLeg(t, tc.name, tc.src, q, tc.limits)
+			if got.Class != base.Class || got.Err != base.Err {
+				t.Errorf("%s: quantum %d diverged: exclusive (%v, %q), sliced (%v, %q)",
+					tc.name, q, base.Class, base.Err, got.Class, got.Err)
+			}
+			if got.Output != base.Output {
+				t.Errorf("%s: quantum %d partial output diverged (%d vs %d bytes)",
+					tc.name, q, len(base.Output), len(got.Output))
+			}
+		}
+	}
+}
+
+// TestSchedPoolEquivCorpus is the end-to-end leg: every corpus program
+// through the exclusive Pool and through a step-sliced Sched (small
+// quantum, fewer slots than jobs, so grants interleave and preemption
+// actually happens), all four runtime modes. Output, class, exception,
+// and bytecode counts must be identical.
+func TestSchedPoolEquivCorpus(t *testing.T) {
+	corpus, err := difftest.LoadCorpus("../difftest/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) == 0 {
+		t.Fatal("empty difftest corpus")
+	}
+	limits := equivLimits()
+
+	pool := NewPool(Config{Workers: 2, DefaultLimits: limits})
+	defer pool.Close()
+	sched := NewSched(SchedConfig{
+		Slots:         2,
+		QuantumSteps:  2000,
+		MaxResident:   8,
+		DefaultLimits: limits,
+	})
+	defer sched.Close()
+
+	type key struct {
+		name string
+		mode runtime.Mode
+	}
+	poolRes := map[key]*JobResult{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for name, src := range corpus {
+		for mode := runtime.Mode(0); mode < runtime.NumModes; mode++ {
+			// Exclusive reference leg first (serial keeps it simple);
+			// the sliced legs below run concurrently to force preemption.
+			res := pool.Submit(&Job{Name: name, Src: src, Mode: mode})
+			poolRes[key{name, mode}] = res
+		}
+	}
+	for name, src := range corpus {
+		for mode := runtime.Mode(0); mode < runtime.NumModes; mode++ {
+			name, src, mode := name, src, mode
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				res := sched.Submit(&Job{Name: name, Src: src, Mode: mode})
+				mu.Lock()
+				defer mu.Unlock()
+				want := poolRes[key{name, mode}]
+				if res.Class != want.Class || res.Err != want.Err {
+					t.Errorf("%s/%v: sched (%v, %q) vs pool (%v, %q)",
+						name, mode, res.Class, res.Err, want.Class, want.Err)
+				}
+				if res.Output != want.Output {
+					t.Errorf("%s/%v: sched output diverged from pool\n--- pool ---\n%s--- sched ---\n%s",
+						name, mode, want.Output, res.Output)
+				}
+				if res.Bytecodes != want.Bytecodes {
+					t.Errorf("%s/%v: sched ran %d bytecodes, pool %d",
+						name, mode, res.Bytecodes, want.Bytecodes)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+}

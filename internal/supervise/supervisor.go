@@ -180,13 +180,17 @@ func (p *Pool) submit(job *Job) *JobResult {
 	p.heapReserved += reserve
 
 	// Wait for an idle worker. Maintenance broadcasts on every spawn;
-	// Drain/Close broadcast on state change.
+	// Drain/Close broadcast on state change. A job shed from inside this
+	// loop already waited behind the queue — its result must carry that
+	// wait (Queued), or backpressure latency would be invisible in
+	// minipy_job_queue_wait_seconds{class="shed"}.
 	var w *worker
 	for {
 		if p.closed || p.draining {
 			p.queued--
 			p.heapReserved -= reserve
 			res := p.shedLocked(job, "pool is draining")
+			res.Queued = time.Since(start)
 			p.mu.Unlock()
 			return res
 		}
@@ -196,6 +200,7 @@ func (p *Pool) submit(job *Job) *JobResult {
 			p.queued--
 			p.heapReserved -= reserve
 			res := p.shedLocked(job, "no live workers (restart breaker open)")
+			res.Queued = time.Since(start)
 			p.mu.Unlock()
 			return res
 		}
