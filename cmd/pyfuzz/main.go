@@ -14,6 +14,7 @@
 //	pyfuzz -pool -n 500
 //	pyfuzz -sched -n 500
 //	pyfuzz -quicken -n 500
+//	pyfuzz -progstore -n 300
 //
 // With -quicken, the leg matrix narrows to the quickening soak: the
 // tier-2 quickened interpreter as baseline against the cold interpreter
@@ -26,6 +27,15 @@
 // must observe the same guard state. Any behavioural effect of
 // quickening, inline caches, polymorphic stubs, superinstruction
 // fusion, or de-quickening shows up as a divergence.
+//
+// With -progstore, the leg matrix narrows to the content-addressed
+// program store: the directly-compiled baseline against the store's
+// shared code object cold, the portable IC-seed warm start, eviction
+// and recompile churn in a capacity-2 store, and a seeded leg whose
+// every seed import is damaged by SeedCorrupt fault injection. Seeds
+// are advisory by contract — a wrong or damaged seed may cost refills
+// but may never change output, exceptions, or final globals — so every
+// leg is held to exact agreement with the baseline.
 //
 // With -faults, the run becomes a chaos soak: every leg except the
 // baseline executes under seeded fault injection (allocation failures,
@@ -79,6 +89,7 @@ func run() int {
 		faultRate = flag.Uint64("fault-rate", 1000, "with -faults, each fault kind fires ~1/rate per site visit")
 		faultSeed = flag.Uint64("fault-seed", 0, "with -faults, injector seed (0: use -seed)")
 		quicken   = flag.Bool("quicken", false, "quickening soak: focused leg matrix (cold interpreter, inline-cache flush churn, JIT) against the quickened baseline")
+		progstore = flag.Bool("progstore", false, "program-store soak: store-cold, IC-seed warm start, eviction/recompile churn, and SeedCorrupt injection on the seed path, all diffed against the directly-compiled baseline")
 		pool      = flag.Bool("pool", false, "pool-chaos soak: run programs through the supervise worker pool under injected supervision faults")
 		sched     = flag.Bool("sched", false, "scheduler-chaos soak: mixed long/short jobs through the step-sliced scheduler with forced preemption, each diffed against a fresh exclusive reference run")
 		slots     = flag.Int("sched-slots", 2, "with -sched, concurrent execution slots")
@@ -263,6 +274,11 @@ func run() int {
 		Budget:    *budget,
 		CorpusDir: *corpus,
 		Quicken:   *quicken,
+		Progstore: *progstore,
+	}
+	if *progstore && (*quicken || *faults) {
+		fmt.Fprintln(os.Stderr, "pyfuzz: -progstore is mutually exclusive with -quicken and -faults")
+		return 2
 	}
 	if *faults {
 		if *quicken {

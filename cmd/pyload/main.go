@@ -12,7 +12,11 @@
 //
 //	pyload -target http://router:8040 [-baseline http://pyserve:8042]
 //	       [-n 200] [-c 8] [-corpus 24] [-seed 1] [-budget 0]
-//	       [-o report.json]
+//	       [-by-ref] [-o report.json]
+//
+// With -by-ref the corpus is registered with the target's
+// POST /v1/programs first and every request ships a programRef instead
+// of inline source — the content-addressed program-store path.
 package main
 
 import (
@@ -45,6 +49,7 @@ func run() int {
 		seed     = flag.Uint64("seed", 1, "corpus generation and walk seed")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 		budget   = flag.Float64("budget", 0, "allowed unbudgeted-failure ratio (error budget)")
+		byRef    = flag.Bool("by-ref", false, "register the corpus via POST /v1/programs first and drive run-by-reference requests (programRef instead of inline src)")
 		minServe = flag.Float64("min-served", 0.9, "minimum fraction of requests actually served (ok or python_error) for the run to pass; budgeted rejections are within contract but a mostly-rejected run is not a usable measurement")
 		out      = flag.String("o", "", "write the JSON report here (default stdout)")
 	)
@@ -81,6 +86,7 @@ func run() int {
 			Timeout:             *timeout,
 			Seed:                *seed,
 			AllowedFailureRatio: *budget,
+			ByRef:               *byRef,
 		})
 	}
 

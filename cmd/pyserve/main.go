@@ -11,6 +11,7 @@
 //	pyserve [-addr :8042] [-workers 4] [-queue 8] [-timeout 5s]
 //	        [-max-steps n] [-max-heap bytes] [-max-output bytes]
 //	        [-recycle 256] [-dedup-ttl 5m] [-dedup-cap 4096]
+//	        [-prog-ttl 30m] [-prog-cap 1024]
 //	        [-sched] [-lanes 2] [-quantum-steps 50000]
 //
 // With -sched the backend is the step-sliced scheduler instead of the
@@ -21,8 +22,11 @@
 //
 // Endpoints (versioned API, see internal/api and internal/serve):
 //
-//	POST /v1/run     execute one program; errors carry the machine-
-//	                 readable envelope
+//	POST /v1/run     execute one program (inline src or by programRef);
+//	                 errors carry the machine-readable envelope
+//	POST /v1/programs          register source in the content-addressed
+//	                           program store; returns its programRef
+//	GET/DELETE /v1/programs/{ref}  store metadata / invalidation
 //	GET  /v1/metrics Prometheus text exposition
 //	GET  /v1/healthz pure liveness (200 while any worker is alive,
 //	                 draining included)
@@ -59,6 +63,8 @@ func run() int {
 		drainWait = flag.Duration("drain-timeout", 30*time.Second, "how long /drainz waits for in-flight jobs")
 		dedupTTL  = flag.Duration("dedup-ttl", 5*time.Minute, "how long an idempotency key's recorded result answers replays")
 		dedupCap  = flag.Int("dedup-cap", 4096, "max idempotency keys held in the dedup cache")
+		progTTL   = flag.Duration("prog-ttl", 30*time.Minute, "how long a registered program stays resolvable by reference")
+		progCap   = flag.Int("prog-cap", 1024, "max programs held in the content-addressed store")
 		sched     = flag.Bool("sched", false, "step-sliced scheduler backend: jobs interleave at quantum granularity instead of holding a worker exclusively")
 		lanes     = flag.Int("lanes", 2, "strict-priority lanes (with -sched; lane 0 served first)")
 		quantum   = flag.Uint64("quantum-steps", 0, "preemption granularity in bytecodes (with -sched; 0: 50k default)")
@@ -101,6 +107,8 @@ func run() int {
 		LogW:         os.Stderr,
 		DedupTTL:     *dedupTTL,
 		DedupCap:     *dedupCap,
+		ProgTTL:      *progTTL,
+		ProgCap:      *progCap,
 	})
 	mode := "workers"
 	if *sched {

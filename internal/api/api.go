@@ -28,6 +28,19 @@ const (
 	// alone executed, so a routing tier may retry it freely.
 	CodeIntegrity = "integrity_violation"
 
+	// Program-store codes (run-by-reference, see internal/progstore).
+	//
+	// CodeMissingProgram: the run request carried neither src nor
+	// programRef (or both — exactly one is required).
+	CodeMissingProgram = "missing_program"
+	// CodeUnknownProgram: the programRef is well-formed but no live
+	// entry backs it on this backend — never registered, expired, or
+	// invalidated. Re-register the source and retry.
+	CodeUnknownProgram = "unknown_program"
+	// CodeBadProgram: a registration's source failed to compile, or a
+	// supplied programRef is not shaped like one (hex SHA-256).
+	CodeBadProgram = "bad_program"
+
 	// Router (pyroute) error codes. A router rejection means the job was
 	// never executed — clients may retry after the Retry-After hint.
 	//
@@ -103,8 +116,15 @@ type RunRequestV1 struct {
 	// Name labels the program in logs and results; defaults to
 	// "request.py".
 	Name string `json:"name,omitempty"`
-	// Src is the MiniPy program text. Required.
-	Src string `json:"src"`
+	// Src is the MiniPy program text. Exactly one of Src and ProgramRef
+	// is required.
+	Src string `json:"src,omitempty"`
+	// ProgramRef runs a program previously registered via
+	// POST /v1/programs, by its content address (hex SHA-256 of the
+	// source). The backend executes its cached compiled form — and
+	// warm-starts the worker from the program's IC seed when one has
+	// been donated — without the request re-shipping source bytes.
+	ProgramRef string `json:"programRef,omitempty"`
 	// Mode selects the runtime per request (cpython, pypy-nojit,
 	// pypy-jit, v8like; default cpython).
 	Mode string `json:"mode,omitempty"`
@@ -193,4 +213,66 @@ type RunResultV1 struct {
 	// timestamped QUEUED→…→FINISHED transition trace.
 	Preemptions int           `json:"preemptions,omitempty"`
 	Lifecycle   []LifeEventV1 `json:"lifecycle,omitempty"`
+
+	// ProgramCache stamps how the program store served this run:
+	// "hit" (cached compiled form, no seed yet), "seeded" (cached form
+	// plus an IC-seed warm start), "miss" (compiled for this request).
+	// Empty on backends running without a store.
+	ProgramCache string `json:"programCache,omitempty"`
+	// ProgramRef echoes the content address the run resolved to, for
+	// both run-by-reference and inline-source requests (inline sources
+	// are registered read-through), so clients learn the ref to reuse.
+	ProgramRef string `json:"programRef,omitempty"`
+}
+
+// Program-cache stamps carried by RunResultV1.ProgramCache.
+const (
+	ProgramCacheHit    = "hit"
+	ProgramCacheSeeded = "seeded"
+	ProgramCacheMiss   = "miss"
+)
+
+// MaxProgramSrc bounds a registration's source size. Oversized programs
+// are rejected with CodeBodyTooLarge before hashing (the store is a
+// shared cache; one hostile registration must not occupy megabytes).
+const MaxProgramSrc = 1 << 20
+
+// RegisterRequestV1 is the POST /v1/programs body: register a program
+// source in the backend's content-addressed store.
+type RegisterRequestV1 struct {
+	// Name labels the program in compile errors; defaults to
+	// "program.py".
+	Name string `json:"name,omitempty"`
+	// Src is the MiniPy program text. Required.
+	Src string `json:"src"`
+}
+
+// RegisterResultV1 is the POST /v1/programs reply.
+type RegisterResultV1 struct {
+	APIVersion string `json:"apiVersion"`
+	// ProgramRef is the program's content address: hex SHA-256 of Src.
+	// Any replica of the fleet resolves the same source to the same ref.
+	ProgramRef string `json:"programRef"`
+	// Compiled reports that the store holds the compiled form (always
+	// true on a 200; a failed compile is a 400 CodeBadProgram).
+	Compiled bool `json:"compiled"`
+	// ICSeedAvailable reports whether a portable IC seed has been
+	// donated yet (the first completed run donates one).
+	ICSeedAvailable bool `json:"icSeedAvailable"`
+}
+
+// ProgramInfoV1 is the GET /v1/programs/{ref} reply: store metadata for
+// one registered program.
+type ProgramInfoV1 struct {
+	APIVersion string `json:"apiVersion"`
+	ProgramRef string `json:"programRef"`
+	SrcBytes   int    `json:"srcBytes"`
+	Compiled   bool   `json:"compiled"`
+	Hits       uint64 `json:"hits"`
+	AgeMs      int64  `json:"ageMs"`
+	ICSeed     bool   `json:"icSeed"`
+	// ICSeedAgeMs / ICSeedSites describe the donated seed (present only
+	// when ICSeed is true).
+	ICSeedAgeMs int64 `json:"icSeedAgeMs,omitempty"`
+	ICSeedSites int   `json:"icSeedSites,omitempty"`
 }

@@ -57,6 +57,14 @@ var Table = []Gate{
 		Baseline:       "single job on the exclusive pool",
 		Optimized:      "single job on the step-sliced scheduler (default quantum, no contention)",
 	},
+	{
+		Name:           "progstore-lookup-overhead",
+		Package:        "./internal/serve/",
+		Test:           "TestProgstoreOverheadGuard",
+		MaxOverheadPct: 1.0,
+		Baseline:       "inline-source /v1/run (read-through program-store hit)",
+		Optimized:      "run-by-reference /v1/run (program-store lookup by content hash)",
+	},
 }
 
 // Lookup returns the gate with the given name, panicking on a miss —

@@ -15,14 +15,22 @@ import (
 type ChaosSpec struct {
 	Seed uint64
 	Rate uint64
+	// Kinds narrows the injected fault kinds; empty means the default
+	// heap/JIT set.
+	Kinds []faults.Kind
 }
 
 // injector builds the per-execution fault injector for program name.
 func (c *ChaosSpec) injector(name string) *faults.Injector {
-	return faults.NewRate(c.Seed^fnv1a(name), c.Rate,
-		faults.AllocFail, faults.NurseryExhaust,
-		faults.GuardCorrupt, faults.TraceCompileFail,
-		faults.GuardChainCorrupt)
+	kinds := c.Kinds
+	if len(kinds) == 0 {
+		kinds = []faults.Kind{
+			faults.AllocFail, faults.NurseryExhaust,
+			faults.GuardCorrupt, faults.TraceCompileFail,
+			faults.GuardChainCorrupt,
+		}
+	}
+	return faults.NewRate(c.Seed^fnv1a(name), c.Rate, kinds...)
 }
 
 // fnv1a hashes s (FNV-1a, 64-bit) for deterministic per-program seeds.
@@ -54,6 +62,24 @@ func ChaosLegs(seed, rate uint64) []Leg {
 			Chaos: &ChaosSpec{Seed: seed + 2, Rate: rate}},
 		{Name: "v8like+chaos", Heap: gc.DefaultGenConfig(nursery), JIT: &v8Cfg,
 			Chaos: &ChaosSpec{Seed: seed + 3, Rate: rate}},
+	}
+}
+
+// ProgstoreLegs builds the program-store soak matrix (pyfuzz
+// -progstore): the directly-compiled baseline against the store's cold,
+// seeded, and eviction/recompile-churn paths, plus a seeded leg under
+// SeedCorrupt injection at every import site — the warm-start contract
+// under both churn and damage. A corrupt seed entry is guard-rejected
+// at fill or hit time and so must be behaviour-invisible: the chaos leg
+// is held to exact agreement with the baseline.
+func ProgstoreLegs(seed uint64) []Leg {
+	return []Leg{
+		{Name: "cpython", Heap: gc.DefaultRefCountConfig()},
+		{Name: "progstore-cold", Heap: gc.DefaultRefCountConfig(), ProgStore: "cold"},
+		{Name: "progstore-seeded", Heap: gc.DefaultRefCountConfig(), ProgStore: "seeded"},
+		{Name: "progstore-evict-churn", Heap: gc.DefaultRefCountConfig(), ProgStore: "evict-churn"},
+		{Name: "progstore-seedcorrupt", Heap: gc.DefaultRefCountConfig(), ProgStore: "seeded",
+			Chaos: &ChaosSpec{Seed: seed, Rate: 1, Kinds: []faults.Kind{faults.SeedCorrupt}}},
 	}
 }
 

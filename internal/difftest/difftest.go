@@ -51,6 +51,11 @@ type Options struct {
 	// JIT leg against the quickened baseline. Ignored when FaultRate is
 	// set (chaos mode owns the matrix).
 	Quicken bool
+	// Progstore switches the run to the program-store leg matrix
+	// (ProgstoreLegs): store-cold, IC-seed warm start, eviction/
+	// recompile churn, and SeedCorrupt injection on the seed import
+	// path. Takes precedence over Quicken and FaultRate.
+	Progstore bool
 	// Progress, when non-nil, is called after each program with the
 	// number checked so far.
 	Progress func(done int)
@@ -116,6 +121,13 @@ func RunWith(opts Options) (*Report, error) {
 			fseed = opts.Seed
 		}
 		legs = ChaosLegs(fseed, opts.FaultRate)
+	}
+	if opts.Progstore {
+		fseed := opts.FaultSeed
+		if fseed == 0 {
+			fseed = opts.Seed
+		}
+		legs = ProgstoreLegs(fseed)
 	}
 	rep := &Report{Legs: len(legs)}
 	for i := 0; i < opts.N; i++ {

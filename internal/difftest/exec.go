@@ -12,6 +12,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/isa"
 	"repro/internal/jit"
+	"repro/internal/progstore"
 	"repro/internal/pycompile"
 	"repro/internal/pyobj"
 )
@@ -53,6 +54,17 @@ type Leg struct {
 	// deopted generic path must reproduce every result and overflow
 	// promotion exactly.
 	IntFastMaxAbs int64
+	// ProgStore selects the program-store execution path for this leg:
+	// "" runs the directly-compiled code; "cold" registers the program
+	// in a store and runs the store's shared code object on a cold VM;
+	// "seeded" additionally runs a donor VM to completion first and
+	// warm-starts the measured VM from its exported portable IC seed
+	// (the progstore warm-start path — a seed may fill caches early but
+	// must never change behaviour); "evict-churn" registers the program,
+	// crowds it out of a capacity-2 store with filler registrations, and
+	// re-registers it, so the run executes a recompiled-after-eviction
+	// code object.
+	ProgStore string
 	// Deadline is the leg's hard wall-clock guard, armed through
 	// interp.Limits.Deadline (default DefaultLegDeadline). A wedged leg
 	// — looping forever without tripping the bytecode budget, e.g. stuck
@@ -97,6 +109,12 @@ func Legs(nurseries []uint64, mutate func(*jit.Config)) []Leg {
 		{Name: "poly-cold", Heap: gc.DefaultRefCountConfig(), NoPoly: true},
 		{Name: "fusion-flush", Heap: gc.DefaultRefCountConfig(), FuseFlushEvery: 16},
 		{Name: "intfast-overflow", Heap: gc.DefaultRefCountConfig(), IntFastMaxAbs: 1 << 20},
+		// Program-store legs: the store's shared code object cold, the
+		// IC-seed warm start, and eviction/recompile churn. All three
+		// must match the directly-compiled baseline bit for bit.
+		{Name: "progstore-cold", Heap: gc.DefaultRefCountConfig(), ProgStore: "cold"},
+		{Name: "progstore-seeded", Heap: gc.DefaultRefCountConfig(), ProgStore: "seeded"},
+		{Name: "progstore-evict-churn", Heap: gc.DefaultRefCountConfig(), ProgStore: "evict-churn"},
 	}
 	for _, n := range nurseries {
 		legs = append(legs, Leg{
@@ -141,6 +159,9 @@ func QuickenLegs() []Leg {
 		{Name: "fusion-flush/1", Heap: gc.DefaultRefCountConfig(), FuseFlushEvery: 1},
 		{Name: "fusion-flush/16", Heap: gc.DefaultRefCountConfig(), FuseFlushEvery: 16},
 		{Name: "intfast-overflow", Heap: gc.DefaultRefCountConfig(), IntFastMaxAbs: 1 << 20},
+		{Name: "progstore-cold", Heap: gc.DefaultRefCountConfig(), ProgStore: "cold"},
+		{Name: "progstore-seeded", Heap: gc.DefaultRefCountConfig(), ProgStore: "seeded"},
+		{Name: "progstore-evict-churn", Heap: gc.DefaultRefCountConfig(), ProgStore: "evict-churn"},
 		{Name: "pypy-jit-quick/256k", Heap: gc.DefaultGenConfig(256 << 10), JIT: &jitCfg},
 	}
 }
@@ -207,6 +228,47 @@ func Execute(leg Leg, name, src string, budget uint64) (*Outcome, error) {
 		deadline = DefaultLegDeadline
 	}
 	vm.SetLimits(interp.Limits{Deadline: deadline})
+
+	if leg.ProgStore != "" {
+		// Capacity 2 so the evict-churn leg can crowd the entry out with
+		// two fillers; irrelevant to the other store legs.
+		store := progstore.New(progstore.Options{Cap: 2})
+		p, _, rerr := store.Register(name, src)
+		if rerr != nil {
+			return nil, rerr
+		}
+		switch leg.ProgStore {
+		case "seeded":
+			// Donor run: a throwaway VM executes the program to quiescence
+			// and donates its quickened shapes; the measured VM below then
+			// starts from the seed, exactly like a fresh worker resolving
+			// a warm store entry. The donor's outcome is deliberately
+			// discarded — only the seed travels.
+			var donorOut strings.Builder
+			donor := interp.New(emit.NewEngine(isa.NullSink{}), leg.Heap, &donorOut)
+			donor.MaxBytecodes = budget
+			donor.SetLimits(interp.Limits{Deadline: deadline})
+			_ = donor.RunCode(p.Code)
+			store.OfferSeed(p.Ref, donor.ExportICSeed(p.Code))
+			if warm, ok := store.Lookup(p.Ref); ok {
+				vm.SetICSeed(warm.Seed)
+			}
+		case "evict-churn":
+			// Two fillers evict the program from the capacity-2 store;
+			// re-registering recompiles it. The run must behave
+			// identically across the evict/recompile cycle.
+			if _, _, rerr := store.Register("filler1.py", "pass\n"); rerr != nil {
+				return nil, rerr
+			}
+			if _, _, rerr := store.Register("filler2.py", "x = 0\n"); rerr != nil {
+				return nil, rerr
+			}
+			if p, _, rerr = store.Register(name, src); rerr != nil {
+				return nil, rerr
+			}
+		}
+		code = p.Code
+	}
 
 	// Chaos mode: one injector per execution (it is stateful), seeded
 	// from the leg's spec and the program name so every leg x program

@@ -93,6 +93,13 @@ const (
 	// NetDelay injects latency before forwarding a proxied chunk,
 	// jittering the timing of otherwise-healthy exchanges.
 	NetDelay
+	// SeedCorrupt perturbs one portable IC-seed entry at import time
+	// (program-store warm start): the guard-checked hint fields are
+	// damaged before the fill. Because seeds are advisory — every seeded
+	// state self-validates against live VM state at hit time — a
+	// corrupted seed may cost a refill but must never change program
+	// behaviour.
+	SeedCorrupt
 	// NumKinds is the number of fault kinds.
 	NumKinds
 )
@@ -100,7 +107,8 @@ const (
 var kindNames = [NumKinds]string{"alloc-fail", "nursery-exhaust", "guard-corrupt", "trace-compile-fail",
 	"worker-wedge", "pool-slot-leak", "guard-chain-corrupt",
 	"backend-down", "backend-slow", "backend-flap",
-	"net-reset", "net-stall", "net-truncate", "net-corrupt", "net-delay"}
+	"net-reset", "net-stall", "net-truncate", "net-corrupt", "net-delay",
+	"seed-corrupt"}
 
 // String returns the kind's name.
 func (k Kind) String() string {

@@ -12,6 +12,14 @@ var (
 	srcCache   = map[string]*pycode.Code{}
 )
 
+// Compile compiles a source file through the process-wide memoized
+// cache — the same code-object identity RunSource uses, which matters
+// to callers that run a program and then export its IC seed (the
+// export walks the VM's materialization of exactly this object).
+func Compile(file, src string) (*pycode.Code, error) {
+	return compileCached(file, src)
+}
+
 // compileCached compiles a source file, memoizing by file name + source so
 // repeated runs of the same benchmark share one code object (and therefore
 // one set of materialized constants per VM).

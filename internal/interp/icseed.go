@@ -1,0 +1,308 @@
+package interp
+
+import (
+	"strconv"
+
+	"repro/internal/faults"
+	"repro/internal/pycode"
+	"repro/internal/pyobj"
+)
+
+// Portable IC seeds: the program store's warm-start payload. A VM that
+// has executed a program exports the *shape* of its quickened copy —
+// which sites resolved where, which layout hints held, which sites went
+// megamorphic — and a fresh VM imports that shape at materialize time so
+// its first execution starts tier-1-warm instead of cold.
+//
+// The cardinal rule is that a seed is ADVISORY ONLY. Inline caches hold
+// per-VM pointers (dicts, classes, function objects) that cannot travel
+// between VMs, so a seed never carries a value or a pointer — only
+// shape facts that the importing VM re-validates or re-derives against
+// its own live state:
+//
+//   - SeedGlobalBuiltin re-resolves the name in the importing VM's own
+//     builtins and stamps the importing VM's own dict versions.
+//   - SeedAttrSlot / SeedStoreSlot carry only the entry index; the
+//     encoded-key layout hint is re-derived from the site's own name,
+//     and the hit path's guard (index in range, encoding matches)
+//     self-validates against the live instance dict on every hit.
+//   - SeedAttrType carries only the receiver TypeID; the builtin method
+//     id is re-derived through the importing VM's own type-method
+//     table, never trusted from the seed (the hit path constructs a
+//     callable from that id without further checks, so a seeded id
+//     would be a semantic hazard).
+//   - SeedDequickened rewrites a site the donor proved megamorphic back
+//     to its generic form before the tier-2 passes run.
+//
+// A wrong, stale, or corrupted seed (see faults.SeedCorrupt) therefore
+// costs at most a guard miss and a refill — exactly the cold-start cost
+// it was trying to save — and can never change program output,
+// exception identity, dict versions, or net refcounts. The
+// quickening-equivalence suite runs seeded-cold legs to hold this.
+
+// SeedKind classifies one seeded site.
+type SeedKind uint8
+
+// Seed kinds. Only self-validating shapes are exported: ICGlobal,
+// ICAttrClass/Method/Module, and ICPoly chains guard on per-VM pointer
+// identity and so cannot travel.
+const (
+	// SeedGlobalBuiltin: the site resolved to a builtin. The importing
+	// VM re-resolves the name in its own builtins.
+	SeedGlobalBuiltin SeedKind = iota
+	// SeedAttrSlot: LOAD_ATTR hit an instance-dict data slot at
+	// EntryIdx (layout hint re-derived locally).
+	SeedAttrSlot
+	// SeedStoreSlot: STORE_ATTR updated an instance-dict slot at
+	// EntryIdx.
+	SeedStoreSlot
+	// SeedAttrType: LOAD_ATTR resolved in the immutable builtin
+	// type-method table for TypeID.
+	SeedAttrType
+	// SeedDequickened: the donor exhausted the site's miss budget; the
+	// importer skips straight to generic bytecode.
+	SeedDequickened
+)
+
+// SeedSite is one seeded bytecode site within a code unit.
+type SeedSite struct {
+	PC       int32        `json:"pc"`
+	Kind     SeedKind     `json:"kind"`
+	EntryIdx int32        `json:"entryIdx,omitempty"`
+	TypeID   pyobj.TypeID `json:"typeId,omitempty"`
+}
+
+// SeedUnit is the seeded-site list of one code unit.
+type SeedUnit struct {
+	Sites []SeedSite `json:"sites"`
+}
+
+// ICSeed is a portable warm-start hint set for one program. Units are
+// keyed by the code unit's constant path from the module root ("" for
+// the root, "3" for consts[3], "3.1" for consts[3]'s consts[1], ...) —
+// a structural key both the exporting and importing process derive
+// identically from the compiled form, with no pointers involved.
+type ICSeed struct {
+	Units map[string]SeedUnit `json:"units"`
+}
+
+// Sites returns the total seeded-site count across units.
+func (s *ICSeed) Sites() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for _, u := range s.Units {
+		n += len(u.Sites)
+	}
+	return n
+}
+
+// walkCodeTree visits every code unit reachable from root through
+// ConstCode constants, with its constant path.
+func walkCodeTree(root *pycode.Code, visit func(path string, code *pycode.Code)) {
+	var rec func(path string, c *pycode.Code)
+	rec = func(path string, c *pycode.Code) {
+		visit(path, c)
+		for i := range c.Consts {
+			if c.Consts[i].Kind != pycode.ConstCode {
+				continue
+			}
+			p := strconv.Itoa(i)
+			if path != "" {
+				p = path + "." + p
+			}
+			rec(p, c.Consts[i].Code)
+		}
+	}
+	rec("", root)
+}
+
+// ExportICSeed captures the portable shape of the VM's quickened copies
+// for every code unit reachable from root. Returns nil when nothing
+// seedable was observed (quickening off, or no sites settled into a
+// portable state).
+func (vm *VM) ExportICSeed(root *pycode.Code) *ICSeed {
+	if root == nil {
+		return nil
+	}
+	seed := &ICSeed{Units: make(map[string]SeedUnit)}
+	walkCodeTree(root, func(path string, code *pycode.Code) {
+		cd := vm.constCache[code]
+		if cd == nil || cd.quick == nil || len(code.SiteOf) != len(code.Code) {
+			return
+		}
+		var sites []SeedSite
+		for pc := range code.Code {
+			site := code.SiteOf[pc]
+			if site < 0 || int(site) >= len(cd.caches) {
+				continue
+			}
+			// Only IC-quickenable sites export; the speculative int
+			// rewrites are re-derived locally by the tier-2 pass.
+			if _, ok := pycode.QuickenedOf(code.Code[pc].Op); !ok {
+				continue
+			}
+			if cd.quick[pc].Op == code.Code[pc].Op {
+				// The donor de-quickened this site: megamorphic.
+				sites = append(sites, SeedSite{PC: int32(pc), Kind: SeedDequickened})
+				continue
+			}
+			c := &cd.caches[site]
+			switch c.State {
+			case pyobj.ICGlobalBuiltin:
+				sites = append(sites, SeedSite{PC: int32(pc), Kind: SeedGlobalBuiltin})
+			case pyobj.ICAttrSlot:
+				sites = append(sites, SeedSite{PC: int32(pc), Kind: SeedAttrSlot, EntryIdx: c.EntryIdx})
+			case pyobj.ICStoreSlot:
+				sites = append(sites, SeedSite{PC: int32(pc), Kind: SeedStoreSlot, EntryIdx: c.EntryIdx})
+			case pyobj.ICAttrType:
+				sites = append(sites, SeedSite{PC: int32(pc), Kind: SeedAttrType, TypeID: c.TypeID})
+			}
+		}
+		if len(sites) > 0 {
+			seed.Units[path] = SeedUnit{Sites: sites}
+		}
+	})
+	if len(seed.Units) == 0 {
+		return nil
+	}
+	return seed
+}
+
+// SetICSeed arms (or with nil, disarms) a portable IC seed for the next
+// RunCode. The seed binds to the module code RunCode receives and
+// applies to every code unit as it materializes; code already
+// materialized on this VM is unaffected (it is already warm).
+func (vm *VM) SetICSeed(s *ICSeed) {
+	vm.icSeed = s
+	vm.seedUnits = nil
+}
+
+// bindSeed resolves the armed seed's structural unit keys against the
+// actual code tree about to run, so quickenCode can look its unit up by
+// code pointer alone (nested units materialize lazily mid-run, with no
+// path context at that point).
+func (vm *VM) bindSeed(root *pycode.Code) {
+	if vm.icSeed == nil || len(vm.icSeed.Units) == 0 {
+		return
+	}
+	units := make(map[*pycode.Code]*SeedUnit, len(vm.icSeed.Units))
+	walkCodeTree(root, func(path string, code *pycode.Code) {
+		if u, ok := vm.icSeed.Units[path]; ok {
+			uc := u
+			units[code] = &uc
+		}
+	})
+	vm.seedUnits = units
+}
+
+// seedQuickened imports the armed seed's unit for code into a freshly
+// built quickened copy. Runs after cache-slot allocation and before the
+// tier-2 passes (a dequicken hint must land before fusion claims the
+// site). Every fill either self-validates at hit time or is re-derived
+// from the importing VM's own state; the SeedCorrupt fault perturbs
+// guard-checked hint fields to prove that discipline under chaos.
+func (vm *VM) seedQuickened(code *pycode.Code, cd *codeData) {
+	unit := vm.seedUnits[code]
+	if unit == nil {
+		return
+	}
+	inj := vm.Heap.Faults()
+	for _, s := range unit.Sites {
+		pc := int(s.PC)
+		if pc < 0 || pc >= len(cd.quick) {
+			vm.Stats.IC.SeedDrops++
+			continue
+		}
+		site := code.SiteOf[pc]
+		if site < 0 || int(site) >= len(cd.caches) {
+			vm.Stats.IC.SeedDrops++
+			continue
+		}
+		corrupt := inj.Should(faults.SeedCorrupt)
+		c := &cd.caches[site]
+		name := ""
+		if int(code.Code[pc].Arg) < len(code.Names) {
+			name = code.Names[code.Code[pc].Arg]
+		}
+		switch s.Kind {
+		case SeedDequickened:
+			// Megamorphic on the donor: skip the guard tax entirely.
+			cd.quick[pc] = code.Code[pc]
+			vm.Stats.IC.SeedFills++
+		case SeedGlobalBuiltin:
+			if cd.quick[pc].Op != pycode.LOAD_GLOBAL_IC || vm.Globals == nil || name == "" {
+				vm.Stats.IC.SeedDrops++
+				continue
+			}
+			// The builtin resolution is only valid while globals does not
+			// shadow the name — the version guard proves continued
+			// absence, so absence must hold at fill time.
+			if _, _, shadowed := vm.Globals.GetStr(name); shadowed {
+				vm.Stats.IC.SeedDrops++
+				continue
+			}
+			v, _, ok := vm.Builtins.GetStr(name)
+			if !ok {
+				vm.Stats.IC.SeedDrops++
+				continue
+			}
+			c.Reset()
+			c.State = pyobj.ICGlobalBuiltin
+			c.Dict, c.Ver = vm.Globals, vm.Globals.Version
+			c.BVer = vm.Builtins.Version
+			c.Value = v
+			if corrupt {
+				// Damage the version guard: the site must read as a miss
+				// and refill, never serve a wrong value.
+				c.Ver++
+			}
+			vm.Stats.IC.SeedFills++
+		case SeedAttrSlot, SeedStoreSlot:
+			want := pycode.LOAD_ATTR_IC
+			st := pyobj.ICAttrSlot
+			if s.Kind == SeedStoreSlot {
+				want = pycode.STORE_ATTR_IC
+				st = pyobj.ICStoreSlot
+			}
+			if cd.quick[pc].Op != want || name == "" || s.EntryIdx < 0 {
+				vm.Stats.IC.SeedDrops++
+				continue
+			}
+			idx := s.EntryIdx
+			if corrupt {
+				idx++ // self-validated at hit time: in-range + encoding match
+			}
+			c.Reset()
+			c.State = st
+			c.Enc = "s:" + name // derived locally, never trusted from the seed
+			c.EntryIdx = idx
+			vm.Stats.IC.SeedFills++
+		case SeedAttrType:
+			if cd.quick[pc].Op != pycode.LOAD_ATTR_IC || name == "" {
+				vm.Stats.IC.SeedDrops++
+				continue
+			}
+			tid := s.TypeID
+			if corrupt {
+				tid++ // guard compares live receiver TypeID against this
+			}
+			// Re-derive the builtin id through this VM's own table: the
+			// hit path constructs a callable from BID unvalidated, so a
+			// seeded id must never be trusted.
+			id, found := vm.lookupTypeMethod(tid, name)
+			if !found {
+				vm.Stats.IC.SeedDrops++
+				continue
+			}
+			c.Reset()
+			c.State = pyobj.ICAttrType
+			c.TypeID = tid
+			c.BID = id
+			vm.Stats.IC.SeedFills++
+		default:
+			vm.Stats.IC.SeedDrops++
+		}
+	}
+}

@@ -56,6 +56,12 @@ type ICStats struct {
 	Invalidations uint64
 	Dequickened   uint64
 	Sites         uint64
+	// SeedFills counts cache slots warm-started from a portable IC seed
+	// (icseed.go); SeedDrops counts seed entries discarded as stale,
+	// out of range, or unresolvable — a dropped entry just leaves the
+	// site cold, exactly as if it had never been seeded.
+	SeedFills uint64
+	SeedDrops uint64
 
 	// Tier-2 counters. Poly* covers polymorphic stub traffic (a hit
 	// anywhere in the chain; a miss that exhausted it); PolyPromotions
@@ -190,6 +196,12 @@ func (vm *VM) quickenCode(code *pycode.Code, cd *codeData) {
 	cd.caches = make([]pyobj.ICache, code.NumICSites)
 	cd.icAddr = vm.dataAlloc(uint64(code.NumICSites)*icSlotBytes + 16)
 	vm.Stats.IC.Sites += uint64(code.NumICSites)
+	// Portable IC seed import (icseed.go): warm-start the fresh cache
+	// slots from a donor VM's observed shapes. Before the tier-2 passes
+	// so a dequicken hint lands before fusion can claim the site.
+	if vm.seedUnits != nil {
+		vm.seedQuickened(code, cd)
+	}
 	// Tier-2 passes. Fusion first (it claims COMPARE_OP/LOAD_ATTR pairs
 	// in their base form), then the speculative int rewrites over
 	// whatever arithmetic sites remain unfused. Fusion never runs under

@@ -61,33 +61,101 @@ func runTier(t *testing.T, name, src string, tier int) tierOutcome {
 	return res
 }
 
-// assertTiersAgree runs src at all three tiers and fails on any
-// divergence. Net refcounts are only compared for clean runs: an
-// exception unwinds through tier-specific code with tier-specific
-// temporaries, so only output/error/dict-version identity is required
-// there.
+// exportSeed runs src to completion on a throwaway donor VM and exports
+// its portable IC seed — the progstore seed-donation path, in miniature.
+// Nil when the run quickened nothing.
+func exportSeed(t *testing.T, name, src string) *interp.ICSeed {
+	t.Helper()
+	code, err := interp.Compile(name, src)
+	if err != nil {
+		t.Fatalf("compile %s: %v", name, err)
+	}
+	var out strings.Builder
+	vm := interp.New(emit.NewEngine(isa.NullSink{}), gc.DefaultRefCountConfig(), &out)
+	vm.MaxBytecodes = difftest.DefaultBudget
+	_ = vm.RunCode(code)
+	return vm.ExportICSeed(code)
+}
+
+// runSeeded runs src on a fresh full-tier VM warm-started from seed.
+func runSeeded(t *testing.T, name, src string, seed *interp.ICSeed) tierOutcome {
+	t.Helper()
+	var out strings.Builder
+	vm := interp.New(emit.NewEngine(isa.NullSink{}), gc.DefaultRefCountConfig(), &out)
+	vm.MaxBytecodes = difftest.DefaultBudget
+	vm.SetICSeed(seed)
+	res := tierOutcome{}
+	if err := vm.RunSource(name, src); err != nil {
+		res.Err = err.Error()
+	}
+	res.Output = out.String()
+	if vm.Globals != nil {
+		res.DictVer = vm.Globals.Version
+	}
+	st := vm.Heap.Stats
+	res.NetRefs = int64(st.Increfs) + int64(st.Allocations) - int64(st.Decrefs)
+	return res
+}
+
+// foreignSeedSrc is an unrelated attribute-heavy program whose exported
+// seed is maximally wrong for any other program: the cross-seeded leg
+// arms it anyway, and behaviour still may not change (wrong entries are
+// rejected by the hit-path guards and cost at most a refill).
+const foreignSeedSrc = `
+class P:
+    def __init__(self, a):
+        self.a = a
+    def bump(self):
+        self.a = self.a + 1
+        return self.a
+p = P(0)
+q = P(100)
+total = 0
+i = 0
+while i < 50:
+    total = total + p.bump() + q.bump()
+    i = i + 1
+print(total)
+`
+
+// compareOutcome applies the equivalence rules: output, exception
+// identity, and module-dict version always; net refcounts only for
+// clean runs (an exception unwinds through tier-specific code with
+// tier-specific temporaries).
+func compareOutcome(t *testing.T, name, leg string, base, got tierOutcome) {
+	t.Helper()
+	if got.Output != base.Output {
+		t.Errorf("%s: %s output diverged from generic\n--- generic ---\n%s--- %s ---\n%s",
+			name, leg, base.Output, leg, got.Output)
+	}
+	if got.Err != base.Err {
+		t.Errorf("%s: %s exception diverged: generic %q, %s %q",
+			name, leg, base.Err, leg, got.Err)
+	}
+	if got.DictVer != base.DictVer {
+		t.Errorf("%s: %s module-dict version diverged: generic %d, %s %d",
+			name, leg, base.DictVer, leg, got.DictVer)
+	}
+	if base.Err == "" && got.NetRefs != base.NetRefs {
+		t.Errorf("%s: %s net refcount balance diverged: generic %d, %s %d",
+			name, leg, base.NetRefs, leg, got.NetRefs)
+	}
+}
+
+// assertTiersAgree runs src at all three tiers plus the seeded-cold
+// legs (own-donor seed and a foreign program's seed) and fails on any
+// divergence. The seeded legs prove the progstore IC-seed contract:
+// a seed — right or wrong — may only pre-fill caches, never change
+// output, exception identity, dict versions, or net refcounts.
 func assertTiersAgree(t *testing.T, name, src string) {
 	t.Helper()
 	base := runTier(t, name, src, 0)
 	for tier := 1; tier <= 2; tier++ {
-		got := runTier(t, name, src, tier)
-		if got.Output != base.Output {
-			t.Errorf("%s: %s output diverged from generic\n--- generic ---\n%s--- %s ---\n%s",
-				name, tierNames[tier], base.Output, tierNames[tier], got.Output)
-		}
-		if got.Err != base.Err {
-			t.Errorf("%s: %s exception diverged: generic %q, %s %q",
-				name, tierNames[tier], base.Err, tierNames[tier], got.Err)
-		}
-		if got.DictVer != base.DictVer {
-			t.Errorf("%s: %s module-dict version diverged: generic %d, %s %d",
-				name, tierNames[tier], base.DictVer, tierNames[tier], got.DictVer)
-		}
-		if base.Err == "" && got.NetRefs != base.NetRefs {
-			t.Errorf("%s: %s net refcount balance diverged: generic %d, %s %d",
-				name, tierNames[tier], base.NetRefs, tierNames[tier], got.NetRefs)
-		}
+		compareOutcome(t, name, tierNames[tier], base, runTier(t, name, src, tier))
 	}
+	compareOutcome(t, name, "seeded-cold", base, runSeeded(t, name, src, exportSeed(t, name, src)))
+	compareOutcome(t, name, "cross-seeded", base,
+		runSeeded(t, name, src, exportSeed(t, "foreign.py", foreignSeedSrc)))
 }
 
 func TestQuickenEquivCorpus(t *testing.T) {

@@ -48,6 +48,9 @@ func (vm *VM) RunCode(code *pycode.Code) (err error) {
 		err = vm.internalError(r, debug.Stack())
 	}()
 	vm.Globals = vm.NewDict()
+	if vm.icSeed != nil {
+		vm.bindSeed(code)
+	}
 	cd := vm.materialize(code)
 	f := vm.newFrame(nil, code, vm.Globals, nil, cd)
 	res := vm.runFrame(f)

@@ -122,6 +122,11 @@ type VM struct {
 	fuseTicks      uint64
 	fuseFlushed    bool
 	intFastMaxAbs  int64
+	// Portable IC seed (icseed.go). icSeed is the armed warm-start hint
+	// set; seedUnits is its per-run binding from code pointers to units,
+	// built by bindSeed when RunCode starts.
+	icSeed    *ICSeed
+	seedUnits map[*pycode.Code]*SeedUnit
 
 	// Builtin implementations indexed by BuiltinID.
 	builtinImpls []builtinImpl

@@ -23,6 +23,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/difftest"
 	"repro/internal/interp"
+	"repro/internal/progstore"
 	"repro/internal/runtime"
 	"repro/internal/supervise"
 )
@@ -70,6 +71,11 @@ type Config struct {
 	// to replay mid-flight failures and arms the exactly-once oracle:
 	// the report then counts deduped replies and duplicate executions.
 	IdempotencyKeys bool
+	// ByRef, when true, registers every corpus program with the target's
+	// POST /v1/programs before the drive and sends each request as a
+	// run-by-reference (programRef instead of inline src) — the
+	// program-store serving path under load.
+	ByRef bool
 	// Client overrides the HTTP client (tests); nil builds one from
 	// Timeout.
 	Client *http.Client
@@ -165,6 +171,24 @@ func Run(cfg Config) (*Report, error) {
 				MaxIdleConns:        cfg.Concurrency * 2,
 				MaxIdleConnsPerHost: cfg.Concurrency * 2,
 			},
+		}
+	}
+
+	if cfg.ByRef {
+		// Register the whole corpus up front: the drive itself then ships
+		// only refs. A registration failure is a hard error — every
+		// subsequent request would 404.
+		for _, p := range cfg.Corpus {
+			body, _ := json.Marshal(api.RegisterRequestV1{Name: p.Name, Src: p.Src})
+			resp, err := client.Post(cfg.Target+"/v1/programs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return nil, fmt.Errorf("load: register %s: %v", p.Name, err)
+			}
+			rb, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("load: register %s: status %d: %s", p.Name, resp.StatusCode, rb)
+			}
 		}
 	}
 
@@ -272,6 +296,10 @@ type reqResult struct {
 // Latency is reported only for completed HTTP exchanges.
 func oneRequest(client *http.Client, cfg *Config, p Program, seq int64) reqResult {
 	rr := api.RunRequestV1{Name: p.Name, Src: p.Src}
+	if cfg.ByRef {
+		rr.Src = ""
+		rr.ProgramRef = progstore.Ref(p.Src)
+	}
 	if cfg.IdempotencyKeys {
 		// Unique per request: each job may be replayed, never conflated
 		// with another. The seed keys the namespace so back-to-back runs

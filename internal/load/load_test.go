@@ -141,3 +141,37 @@ func TestRunBudgetsSheds(t *testing.T) {
 		t.Fatal("pure sheds must stay within the error budget")
 	}
 }
+
+func TestRunByRefAgainstRealBackend(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	pool := supervise.NewPool(supervise.Config{
+		Workers:       2,
+		Metrics:       supervise.NewMetrics(reg),
+		DefaultLimits: testLimits,
+	})
+	defer pool.Close()
+	ts := httptest.NewServer(serve.New(pool, reg, time.Second, nil).Mux())
+	defer ts.Close()
+
+	// ByRef registers the corpus first and ships only programRefs; the
+	// answers must verify exactly like the inline drive.
+	rep, err := Run(Config{
+		Target:      ts.URL,
+		Corpus:      MixedCorpus(8, 7, testLimits),
+		Concurrency: 4,
+		Requests:    40,
+		ByRef:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcomes["ok"]+rep.Outcomes["python_error"] != 40 {
+		t.Fatalf("outcomes %v, want all 40 served", rep.Outcomes)
+	}
+	if rep.WrongAnswers != 0 {
+		t.Fatalf("%d wrong answers on the run-by-reference path", rep.WrongAnswers)
+	}
+	if rep.Verified == 0 {
+		t.Fatal("no responses were verified against expectations")
+	}
+}

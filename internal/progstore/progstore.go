@@ -1,0 +1,419 @@
+// Package progstore is the content-addressed program store: a bounded,
+// TTL'd cache of immutable compiled code objects plus their portable IC
+// seeds, keyed by the hex SHA-256 of the program source.
+//
+// The store answers the fleet-scale version of the paper's cold-start
+// problem: compilation and cold dispatch are paid per VM, and across a
+// fleet serving the same few hot programs that work is redone on every
+// worker and every request re-ships identical source bytes. Here a
+// program compiles once per process (single-flight: concurrent
+// same-hash arrivals wait behind one compiler, mirroring the serve
+// tier's idempotency dedup cache), every subsequent run references it
+// by hash, and the first completed run donates a portable IC seed
+// (internal/interp/icseed.go) so later workers start tier-1-warm.
+//
+// The ref is not just a cache key — it is the same content identity the
+// routing tier's consistent-hash ring uses (route.ContentHash is the
+// first 8 bytes of the same digest), so run-by-reference requests pin
+// to the same backend as inline requests for the same program, and that
+// backend's store entry stays hot for it.
+//
+// Two invariants the rest of the stack leans on:
+//
+//   - Code identity: for one ref, at most one *pycode.Code exists per
+//     process. Code objects are immutable after compilation and every
+//     VM materializes its own mutable state, so sharing the object
+//     across workers is safe and keeps per-VM quickening coherent.
+//   - Seeds are advisory: a stale or damaged seed may cost a refill,
+//     never a semantic change (see the icseed.go contract). The store
+//     therefore treats seeds as droppable metadata — eviction, TTL
+//     expiry, or a lost OfferSeed race never affect correctness.
+package progstore
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+	"time"
+
+	"repro/internal/interp"
+	"repro/internal/pycode"
+	"repro/internal/pycompile"
+	"repro/internal/telemetry"
+)
+
+// Defaults. Programs are far heavier than dedup entries (a compiled
+// code tree plus seed), so the default capacity is smaller; the TTL is
+// longer because a program's identity never goes stale — expiry exists
+// only to bound memory for one-shot programs.
+const (
+	DefaultTTL = 30 * time.Minute
+	DefaultCap = 1024
+)
+
+// RefLen is the length of a program reference: hex SHA-256.
+const RefLen = 64
+
+// Ref returns the content address of a program source: the hex SHA-256
+// of its bytes. The first 16 hex digits parse to the routing tier's
+// ring key (route.RefKey).
+func Ref(src string) string {
+	sum := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(sum[:])
+}
+
+// ValidRef reports whether s is shaped like a program reference.
+func ValidRef(s string) bool {
+	if len(s) != RefLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Program is the resolved view of one stored program.
+type Program struct {
+	Ref  string
+	Src  string
+	Code *pycode.Code
+	// Seed is the portable IC seed donated by the first completed run,
+	// nil until one lands. Advisory only.
+	Seed *interp.ICSeed
+}
+
+// entry is one ref's lifecycle: pending while its compiler runs, then
+// resolved (code set) and listed for eviction. done is closed exactly
+// once, at resolution; failed compiles delete the entry instead of
+// recording it, so a bad program never occupies capacity and a later
+// identical registration retries cleanly.
+type entry struct {
+	ref     string
+	src     string
+	done    chan struct{}
+	code    *pycode.Code // nil until resolved
+	seed    *interp.ICSeed
+	created time.Time
+	seedAt  time.Time
+	expires time.Time // zero while pending
+	hits    uint64
+	elem    *list.Element
+}
+
+// Options parameterizes a Store. Zero values take defaults; Compile and
+// Now are injectable for tests (deterministic clock, counting compiler).
+type Options struct {
+	TTL     time.Duration
+	Cap     int
+	Compile func(name, src string) (*pycode.Code, error)
+	Now     func() time.Time
+}
+
+// Store is the bounded single-flight program store.
+type Store struct {
+	ttl     time.Duration
+	cap     int
+	compile func(name, src string) (*pycode.Code, error)
+	now     func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	// order lists resolved entries oldest-first (uniform TTL makes
+	// insertion order expiry order); pending entries are not listed and
+	// are never evicted.
+	order *list.List
+
+	// Lifetime counters, mirrored into a registry via Instrument
+	// (nil-safe when unwired).
+	hits, misses, seeds, evictions, expirations, waits uint64
+
+	cHits, cMisses, cSeeds, cEvictions, cWaits *telemetry.Counter
+}
+
+// New builds a store.
+func New(opts Options) *Store {
+	if opts.TTL <= 0 {
+		opts.TTL = DefaultTTL
+	}
+	if opts.Cap <= 0 {
+		opts.Cap = DefaultCap
+	}
+	if opts.Compile == nil {
+		opts.Compile = pycompile.CompileSource
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &Store{
+		ttl:     opts.TTL,
+		cap:     opts.Cap,
+		compile: opts.Compile,
+		now:     opts.Now,
+		entries: make(map[string]*entry),
+		order:   list.New(),
+	}
+}
+
+// Instrument registers the store's counters with reg under the
+// minipy_progstore_* namespace.
+func (s *Store) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.cHits = reg.Counter("minipy_progstore_hits_total",
+		"Program-store lookups answered from a resolved entry.")
+	s.cMisses = reg.Counter("minipy_progstore_misses_total",
+		"Program-store lookups that found no resolved entry (fresh compiles included).")
+	s.cSeeds = reg.Counter("minipy_progstore_seeds_total",
+		"Portable IC seeds accepted into the store.")
+	s.cEvictions = reg.Counter("minipy_progstore_evictions_total",
+		"Entries evicted for capacity (TTL expirations excluded).")
+	s.cWaits = reg.Counter("minipy_progstore_compile_singleflight_waits_total",
+		"Registrations that waited behind another caller's in-flight compile.")
+}
+
+// Register resolves src to its stored program, compiling at most once
+// per process however many callers race: the first caller under a ref
+// compiles, the rest wait on it. name labels the program in compile
+// errors only. hit reports whether the program was already resolved
+// (callers that waited on another caller's compile report hit too — the
+// compile was not theirs). A failed compile is returned to every waiter
+// and cached by none.
+func (s *Store) Register(name, src string) (p *Program, hit bool, err error) {
+	ref := Ref(src)
+	for {
+		s.mu.Lock()
+		now := s.now()
+		s.sweepLocked(now)
+		if e, ok := s.entries[ref]; ok {
+			if e.code != nil {
+				e.hits++
+				s.hits++
+				s.cHits.Inc()
+				p := programOf(e)
+				s.mu.Unlock()
+				return p, true, nil
+			}
+			s.waits++
+			s.cWaits.Inc()
+			s.mu.Unlock()
+			<-e.done
+			// The compile resolved (or failed and was deleted);
+			// re-consult. A failed compile makes this caller the next
+			// compiler.
+			continue
+		}
+		store := true
+		if len(s.entries) >= s.cap && !s.evictOneLocked() {
+			// Every entry is pending: compile without storing.
+			// Correctness degrades to per-request compilation for this
+			// ref only, never to a wrong answer.
+			store = false
+		}
+		e := &entry{ref: ref, src: src, done: make(chan struct{}), created: now}
+		if store {
+			s.entries[ref] = e
+		}
+		s.misses++
+		s.cMisses.Inc()
+		s.mu.Unlock()
+
+		code, err := s.compile(name, src)
+
+		s.mu.Lock()
+		if err != nil {
+			if store {
+				delete(s.entries, ref)
+			}
+			s.mu.Unlock()
+			close(e.done)
+			return nil, false, err
+		}
+		e.code = code
+		if store {
+			e.expires = s.now().Add(s.ttl)
+			e.elem = s.order.PushBack(e)
+		}
+		p := programOf(e)
+		s.mu.Unlock()
+		close(e.done)
+		return p, false, nil
+	}
+}
+
+// Lookup resolves a ref. Pending entries block until their compile
+// resolves (compiles are pure CPU and fast). Reports false for unknown,
+// expired, or failed refs.
+func (s *Store) Lookup(ref string) (*Program, bool) {
+	for {
+		s.mu.Lock()
+		s.sweepLocked(s.now())
+		e, ok := s.entries[ref]
+		if !ok {
+			s.misses++
+			s.cMisses.Inc()
+			s.mu.Unlock()
+			return nil, false
+		}
+		if e.code == nil {
+			s.waits++
+			s.cWaits.Inc()
+			s.mu.Unlock()
+			<-e.done
+			continue
+		}
+		e.hits++
+		s.hits++
+		s.cHits.Inc()
+		p := programOf(e)
+		s.mu.Unlock()
+		return p, true
+	}
+}
+
+// OfferSeed donates a portable IC seed for ref. The first seed wins —
+// seeds from later runs describe the same steady state, and a stable
+// seed keeps warm-start behaviour deterministic. Unknown refs and nil
+// seeds are dropped silently (the seed is advisory; so is its loss).
+func (s *Store) OfferSeed(ref string, seed *interp.ICSeed) {
+	if seed == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[ref]
+	if !ok || e.code == nil || e.seed != nil {
+		return
+	}
+	e.seed = seed
+	e.seedAt = s.now()
+	s.seeds++
+	s.cSeeds.Inc()
+}
+
+// Info is the metadata view of one stored program (GET /v1/programs/{ref}).
+type Info struct {
+	Ref      string `json:"programRef"`
+	SrcBytes int    `json:"srcBytes"`
+	Compiled bool   `json:"compiled"`
+	Hits     uint64 `json:"hits"`
+	AgeMs    int64  `json:"ageMs"`
+	// ICSeed reports whether a seed has been donated; ICSeedAgeMs its
+	// age and ICSeedSites its total seeded-site count.
+	ICSeed      bool  `json:"icSeed"`
+	ICSeedAgeMs int64 `json:"icSeedAgeMs,omitempty"`
+	ICSeedSites int   `json:"icSeedSites,omitempty"`
+}
+
+// InfoFor returns the metadata of a stored ref.
+func (s *Store) InfoFor(ref string) (Info, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked(s.now())
+	e, ok := s.entries[ref]
+	if !ok {
+		return Info{}, false
+	}
+	now := s.now()
+	info := Info{
+		Ref:      e.ref,
+		SrcBytes: len(e.src),
+		Compiled: e.code != nil,
+		Hits:     e.hits,
+		AgeMs:    now.Sub(e.created).Milliseconds(),
+		ICSeed:   e.seed != nil,
+	}
+	if e.seed != nil {
+		info.ICSeedAgeMs = now.Sub(e.seedAt).Milliseconds()
+		info.ICSeedSites = e.seed.Sites()
+	}
+	return info, true
+}
+
+// Delete invalidates a stored ref (DELETE /v1/programs/{ref}); reports
+// whether it was present. Pending entries are left to resolve — their
+// compiler holds no stale state worth interrupting — and only resolved
+// entries are removed.
+func (s *Store) Delete(ref string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[ref]
+	if !ok || e.code == nil {
+		return false
+	}
+	if e.elem != nil {
+		s.order.Remove(e.elem)
+	}
+	delete(s.entries, ref)
+	return true
+}
+
+// sweepLocked drops entries whose TTL elapsed, oldest first.
+func (s *Store) sweepLocked(now time.Time) {
+	for {
+		front := s.order.Front()
+		if front == nil {
+			return
+		}
+		e := front.Value.(*entry)
+		if e.expires.After(now) {
+			return
+		}
+		s.order.Remove(front)
+		delete(s.entries, e.ref)
+		s.expirations++
+	}
+}
+
+// evictOneLocked drops the oldest resolved entry to make room; false
+// means every entry is pending (nothing evictable).
+func (s *Store) evictOneLocked() bool {
+	front := s.order.Front()
+	if front == nil {
+		return false
+	}
+	e := front.Value.(*entry)
+	s.order.Remove(front)
+	delete(s.entries, e.ref)
+	s.evictions++
+	s.cEvictions.Inc()
+	return true
+}
+
+func programOf(e *entry) *Program {
+	return &Program{Ref: e.ref, Src: e.src, Code: e.code, Seed: e.seed}
+}
+
+// Stats is a point-in-time view of the store.
+type Stats struct {
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Seeds       uint64 `json:"seeds"`
+	Evictions   uint64 `json:"evictions"`
+	Expirations uint64 `json:"expirations"`
+	// Waits counts callers that waited behind another caller's
+	// in-flight compile (the single-flight path).
+	Waits uint64 `json:"waits"`
+	// Entries is the current population (pending included).
+	Entries int `json:"entries"`
+}
+
+// StatsSnapshot returns the store's lifetime counters.
+func (s *Store) StatsSnapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Hits:        s.hits,
+		Misses:      s.misses,
+		Seeds:       s.seeds,
+		Evictions:   s.evictions,
+		Expirations: s.expirations,
+		Waits:       s.waits,
+		Entries:     len(s.entries),
+	}
+}

@@ -26,6 +26,8 @@ const maxUpstreamBody = 8 << 20
 func (rt *Router) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", rt.handleRun)
+	mux.HandleFunc("/v1/programs", rt.handlePrograms)
+	mux.HandleFunc("/v1/programs/", rt.handleProgram)
 	mux.HandleFunc("/v1/metrics", rt.handleMetrics)
 	mux.HandleFunc("/v1/healthz", rt.handleHealthz)
 	mux.HandleFunc("/v1/readyz", rt.handleReadyz)
@@ -91,9 +93,24 @@ func (rt *Router) handleRun(w http.ResponseWriter, r *http.Request) {
 		rt.writeEnvelope(w, http.StatusBadRequest, api.CodeBadJSON, "bad JSON: "+err.Error())
 		return
 	}
-	if req.Src == "" {
-		rt.writeEnvelope(w, http.StatusBadRequest, api.CodeMissingSrc, "missing src")
+	if (req.Src == "") == (req.ProgramRef == "") {
+		rt.writeEnvelope(w, http.StatusBadRequest, api.CodeMissingProgram,
+			"exactly one of src and programRef is required")
 		return
+	}
+	// Inline source and its reference hash to the SAME ring key (the ref
+	// is the content digest ContentHash truncates), so both forms of the
+	// same program pin to the same backend and share its warm store entry.
+	var key uint64
+	if req.ProgramRef != "" {
+		var ok bool
+		if key, ok = RefKey(req.ProgramRef); !ok {
+			rt.writeEnvelope(w, http.StatusBadRequest, api.CodeBadProgram,
+				"programRef must be a hex SHA-256")
+			return
+		}
+	} else {
+		key = ContentHash(req.Src)
 	}
 
 	id := r.Header.Get(api.HeaderRequestID)
@@ -103,7 +120,7 @@ func (rt *Router) handleRun(w http.ResponseWriter, r *http.Request) {
 	rt.earnRetryToken()
 
 	start := time.Now()
-	res := rt.forward(r.Context(), ContentHash(req.Src), body, id, req.IdempotencyKey != "")
+	res := rt.forward(r.Context(), key, body, id, req.IdempotencyKey != "", req.ProgramRef)
 	rt.metrics.request(res.outcome)
 	rt.logRequest(id, res, time.Since(start))
 
@@ -128,8 +145,10 @@ func (rt *Router) handleRun(w http.ResponseWriter, r *http.Request) {
 // where the first attempt did execute, so a replay cannot double-run
 // the job. The first mid-flight replay targets the SAME backend (if the
 // job ran there, the recorded result answers instantly); later ones
-// advance along the ring.
-func (rt *Router) forward(ctx context.Context, key uint64, body []byte, id string, idem bool) routeResult {
+// advance along the ring. ref, when non-empty, is the request's
+// programRef: a backend 404 unknown_program triggers one read-through
+// re-registration per request when the router remembers the source.
+func (rt *Router) forward(ctx context.Context, key uint64, body []byte, id string, idem bool, ref string) routeResult {
 	digest := api.Digest(body)
 	cands := rt.candidates(key)
 	if len(cands) == 0 {
@@ -147,6 +166,7 @@ func (rt *Router) forward(ctx context.Context, key uint64, body []byte, id strin
 	var lastShed *upstreamResp
 	attempts, hedged := 0, false
 	replayedSame := false // one same-node replay per request (idem only)
+	repaired := false     // one unknown_program read-through repair per request
 
 	for ci := 0; attempts < maxAttempts; {
 		b := cands[ci%len(cands)]
@@ -180,6 +200,20 @@ func (rt *Router) forward(ctx context.Context, key uint64, body []byte, id strin
 
 		switch {
 		case err == nil && resp.status != http.StatusServiceUnavailable:
+			if ref != "" && !repaired && isUnknownProgram(resp.status, resp.body) &&
+				rt.repairUnknownProgram(ctx, b, ref) {
+				// The backend lacked the ref (fresh replica, expired or
+				// invalidated entry) and the router re-registered the
+				// remembered source there. The run never executed — the
+				// rejection happened at resolution — so repeating the
+				// SAME attempt on the SAME backend is unconditionally
+				// safe. One repair per request: a second 404 means
+				// something is deleting the entry under us, and looping
+				// against that would hide it.
+				repaired = true
+				attempts-- // the resolution reject was not an execution attempt
+				continue
+			}
 			out := outOK
 			if resp.status >= 400 {
 				out = outClientError

@@ -18,6 +18,23 @@ func ContentHash(src string) uint64 {
 	return binary.BigEndian.Uint64(sum[:8])
 }
 
+// RefKey resolves a program reference (hex SHA-256 of the source, see
+// progstore.Ref) to the ring key ContentHash would produce for the same
+// source: the first 8 bytes of the digest are the first 16 hex digits
+// of the ref. Run-by-reference requests therefore pin to the same
+// backend as inline requests for the same program — the ref IS the
+// content identity the ring hashes. Reports false for malformed refs.
+func RefKey(ref string) (uint64, bool) {
+	if len(ref) != 64 {
+		return 0, false
+	}
+	key, err := strconv.ParseUint(ref[:16], 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return key, true
+}
+
 // vnodes is how many ring points each backend contributes. 64 points per
 // backend keeps the keyspace split within a few percent of even for the
 // small replica counts a front tier realistically fronts.

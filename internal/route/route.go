@@ -212,6 +212,13 @@ type Router struct {
 
 	nextID atomic.Uint64 // generated request ids ("pr<N>")
 
+	// progMu guards progSrc: the router's memory of program sources
+	// registered through it (ref → source), used to re-register
+	// read-through when a backend answers a run-by-reference request
+	// with unknown_program (fresh replica, expired entry, invalidation).
+	progMu  sync.Mutex
+	progSrc map[string]progRecord
+
 	metrics *Metrics
 	logw    io.Writer
 	logMu   sync.Mutex
@@ -244,6 +251,7 @@ func New(cfg Config) (*Router, error) {
 			},
 		},
 		probeClient: &http.Client{Timeout: cfg.ProbeTimeout},
+		progSrc:     make(map[string]progRecord),
 		rng:         cfg.Seed,
 		metrics:     cfg.Metrics,
 		logw:        cfg.Logw,

@@ -267,8 +267,8 @@ func TestRouterValidation(t *testing.T) {
 	}
 
 	resp2, body := postRun(t, front.URL, "", nil)
-	if resp2.StatusCode != http.StatusBadRequest || errCode(body) != api.CodeMissingSrc {
-		t.Errorf("missing src: status %d code %q, want 400 %q", resp2.StatusCode, errCode(body), api.CodeMissingSrc)
+	if resp2.StatusCode != http.StatusBadRequest || errCode(body) != api.CodeMissingProgram {
+		t.Errorf("missing program: status %d code %q, want 400 %q", resp2.StatusCode, errCode(body), api.CodeMissingProgram)
 	}
 }
 

@@ -187,6 +187,10 @@ type Result struct {
 	JIT *jit.Stats
 	// Output is the program output of the final measured run.
 	Output string
+	// ICSeed is the portable warm-start hint set exported from the VM's
+	// quickened state after the run, when the caller opted in via
+	// Runner.SetCollectICSeed (the program store's seed-donation path).
+	ICSeed *interp.ICSeed
 }
 
 // GCShare returns the fraction of cycles attributed to the GC phase.
@@ -216,6 +220,10 @@ type Runner struct {
 	// the config so Reset-built warm states carry it too.
 	yieldQuantum uint64
 	yieldFn      func() time.Duration
+	// Portable IC seed plumbing (SetICSeed / SetCollectICSeed), re-armed
+	// on every state like the yield hook.
+	icSeed      *interp.ICSeed
+	collectSeed bool
 }
 
 // runState is the complete machinery for one execution: engine, VM,
@@ -272,6 +280,25 @@ func (r *Runner) SetYield(quantum uint64, fn func() time.Duration) {
 	}
 }
 
+// SetICSeed arms (nil: disarms) a portable IC seed for subsequent runs:
+// the VM warm-starts its inline caches from a donor's observed shapes
+// (see interp.ICSeed — advisory only, semantics can never change).
+// Takes effect even when a pre-built state from Reset is waiting. Worker
+// pools must disarm between jobs: an armed seed binds to whatever
+// program runs next.
+func (r *Runner) SetICSeed(s *interp.ICSeed) {
+	r.icSeed = s
+	if r.warm != nil {
+		r.warm.vm.SetICSeed(s)
+	}
+}
+
+// SetCollectICSeed opts subsequent runs into exporting their quickened
+// state as a portable IC seed (Result.ICSeed). Off by default: the
+// export walks every materialized code unit, which is pure waste for
+// callers that discard it.
+func (r *Runner) SetCollectICSeed(on bool) { r.collectSeed = on }
+
 // Reset discards any state from a previous execution and pre-builds a
 // pristine replacement for the next run. Calling it between jobs gives a
 // warm worker two guarantees: no state crosses from one job to the next
@@ -294,6 +321,7 @@ func (r *Runner) buildState() *runState {
 	st.vm.MaxBytecodes = cfg.MaxBytecodes
 	st.vm.SetLimits(cfg.Limits)
 	st.vm.SetYield(r.yieldQuantum, r.yieldFn)
+	st.vm.SetICSeed(r.icSeed)
 	st.vm.Heap.SetFaults(cfg.Faults)
 
 	switch cfg.Mode {
@@ -334,6 +362,7 @@ func (r *Runner) takeState() *runState {
 	st.vm.MaxBytecodes = r.cfg.MaxBytecodes
 	st.vm.SetLimits(r.cfg.Limits)
 	st.vm.SetYield(r.yieldQuantum, r.yieldFn)
+	st.vm.SetICSeed(r.icSeed)
 	return st
 }
 
@@ -465,6 +494,9 @@ func (r *Runner) RunCode(code *pycode.Code) (*Result, error) {
 	}
 	res.VM = vm.StatsSnapshot().VM
 	res.Heap = after
+	if r.collectSeed {
+		res.ICSeed = vm.ExportICSeed(code)
+	}
 	if theJIT != nil {
 		st := theJIT.StatsSnapshot()
 		res.JIT = &st

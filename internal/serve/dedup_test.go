@@ -191,7 +191,7 @@ func TestResultDigestStamped(t *testing.T) {
 	ts, _, _ := dedupServer(t, Options{})
 	cases := []runRequest{
 		{Src: `print(40 + 2)`},           // 200
-		{Src: ""},                        // 400 missing_src
+		{Src: ""},                        // 400 missing_program
 		{Src: `print(1)`, Mode: "bogus"}, // 400 bad_mode
 	}
 	for i, req := range cases {

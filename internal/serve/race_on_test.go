@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// guards skip themselves under -race, where wall clocks are meaningless.
+const raceEnabled = true

@@ -34,11 +34,13 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/progstore"
 	"repro/internal/runtime"
 	"repro/internal/supervise"
 	"repro/internal/telemetry"
@@ -74,9 +76,19 @@ type Server struct {
 	// dedup is the exactly-once result cache for requests that declare
 	// an idempotency key (see dedup.go).
 	dedup *dedupCache
+	// progs is the content-addressed program store behind /v1/programs
+	// and run-by-reference; inline /v1/run sources register read-through.
+	progs *progstore.Store
 	// mIntegrityRejects counts requests rejected for an X-Content-Digest
 	// mismatch before parsing.
 	mIntegrityRejects *telemetry.Counter
+
+	// limitsMemo caches Limits.Normalize results keyed by the raw
+	// (comparable) Limits value. Serving traffic reuses a handful of
+	// limit shapes across millions of submits; re-validating the same
+	// value every time was measurable overhead for zero information.
+	limitsMu   sync.Mutex
+	limitsMemo map[api.Limits]api.Limits
 }
 
 // Options tunes server construction beyond the required pool/registry.
@@ -90,6 +102,12 @@ type Options struct {
 	DedupTTL time.Duration
 	// DedupCap bounds the dedup cache population (default 4096).
 	DedupCap int
+	// ProgTTL is how long a registered program stays resolvable
+	// (default progstore.DefaultTTL).
+	ProgTTL time.Duration
+	// ProgCap bounds the program-store population (default
+	// progstore.DefaultCap).
+	ProgCap int
 }
 
 // New builds a Server over a backend (the exclusive pool or the
@@ -107,7 +125,10 @@ func NewWithOptions(pool Backend, reg *telemetry.Registry, opts Options) *Server
 		drainTimeout: opts.DrainTimeout,
 		logw:         opts.LogW,
 		dedup:        newDedupCache(opts.DedupTTL, opts.DedupCap),
+		progs:        progstore.New(progstore.Options{TTL: opts.ProgTTL, Cap: opts.ProgCap}),
+		limitsMemo:   make(map[api.Limits]api.Limits),
 	}
+	s.progs.Instrument(reg)
 	if reg != nil {
 		s.dedup.cHits = reg.Counter("pyserve_dedup_hits_total",
 			"Idempotent replays absorbed by the result-dedup cache.")
@@ -125,10 +146,15 @@ func NewWithOptions(pool Backend, reg *telemetry.Registry, opts Options) *Server
 // chaos soak's oracle reads MaxExecutions to prove exactly-once.
 func (s *Server) DedupStats() DedupStats { return s.dedup.stats() }
 
+// ProgStats reports the program store's lifetime counters.
+func (s *Server) ProgStats() progstore.Stats { return s.progs.StatsSnapshot() }
+
 // Mux returns the server's route table.
 func (s *Server) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", s.handleRunV1)
+	mux.HandleFunc("/v1/programs", s.handleProgramsV1)
+	mux.HandleFunc("/v1/programs/", s.handleProgramV1)
 	mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/readyz", s.handleReadyz)
@@ -231,11 +257,19 @@ func (s *Server) handleRunV1(w http.ResponseWriter, r *http.Request) {
 	s.serveRun(w, r, true)
 }
 
+// LegacySunset is the retirement date the unversioned /run alias
+// announces (RFC 8594 Sunset header). Only /v1 carries compatibility
+// guarantees; the alias is frozen at its pre-v1 behavior until this
+// date and may be removed after it.
+const LegacySunset = "Fri, 01 Jan 2027 00:00:00 GMT"
+
 // handleRunLegacy is the deprecated unversioned alias of /v1/run: same
-// execution path, but it announces its deprecation in headers and keeps
-// the flat {"error": "message"} error shape for existing clients.
+// execution path, but it announces its deprecation and retirement date
+// in headers and keeps the flat {"error": "message"} error shape for
+// existing clients.
 func (s *Server) handleRunLegacy(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Sunset", LegacySunset)
 	w.Header().Set("Link", `</v1/run>; rel="successor-version"`)
 	s.serveRun(w, r, false)
 }
@@ -284,7 +318,17 @@ func (s *Server) serveRun(w http.ResponseWriter, r *http.Request, v1 bool) {
 		fail(http.StatusBadRequest, api.CodeBadJSON, "bad JSON: "+err.Error())
 		return
 	}
-	if req.Src == "" {
+	if v1 {
+		// Exactly one program identity per request: inline source or a
+		// registered reference, never both, never neither.
+		if (req.Src == "") == (req.ProgramRef == "") {
+			fail(http.StatusBadRequest, api.CodeMissingProgram,
+				"exactly one of src and programRef is required")
+			return
+		}
+	} else if req.Src == "" {
+		// The legacy alias never grew run-by-reference (documented
+		// v1-only); it keeps its original rejection.
 		fail(http.StatusBadRequest, api.CodeMissingSrc, "missing src")
 		return
 	}
@@ -324,8 +368,9 @@ func (s *Server) serveRun(w http.ResponseWriter, r *http.Request, v1 bool) {
 	if l := req.Limits; l != nil {
 		// All budget validation — negative rejection, the 24h deadline
 		// cap that used to be an overflow hazard — lives in Normalize;
-		// nothing invalid ever reaches the pool.
-		norm, err := l.Normalize()
+		// nothing invalid ever reaches the pool. Results are memoized:
+		// serving traffic reuses a handful of limit shapes.
+		norm, err := s.normalizeLimits(*l)
 		if err != nil {
 			code := api.CodeInvalidLimits
 			if ae, ok := err.(*api.Error); ok {
@@ -335,6 +380,49 @@ func (s *Server) serveRun(w http.ResponseWriter, r *http.Request, v1 bool) {
 			return
 		}
 		job.Limits = norm
+	}
+
+	// Program-store resolution. Run-by-reference must find a live entry;
+	// inline v1 sources register read-through (compile once per process,
+	// fall back to worker-side compilation on a compile error so the
+	// error response keeps its pre-store shape). The legacy alias never
+	// touches the store.
+	var prog *progstore.Program
+	programCache := ""
+	if v1 && req.ProgramRef != "" {
+		if !progstore.ValidRef(req.ProgramRef) {
+			fail(http.StatusBadRequest, api.CodeBadProgram,
+				"programRef must be a hex SHA-256")
+			return
+		}
+		p, ok := s.progs.Lookup(req.ProgramRef)
+		if !ok {
+			fail(http.StatusNotFound, api.CodeUnknownProgram,
+				"unknown programRef (never registered, expired, or invalidated)")
+			return
+		}
+		prog = p
+		programCache = api.ProgramCacheHit
+	} else if v1 {
+		if p, hit, err := s.progs.Register(job.Name, req.Src); err == nil {
+			prog = p
+			programCache = api.ProgramCacheMiss
+			if hit {
+				programCache = api.ProgramCacheHit
+			}
+		}
+	}
+	if prog != nil {
+		job.Code = prog.Code
+		job.ICSeed = prog.Seed
+		if prog.Seed != nil {
+			programCache = api.ProgramCacheSeeded
+		} else {
+			// No seed donated yet: have this run export one. Collection
+			// only observes the quickened state, so the run's semantics
+			// and statistics are untouched.
+			job.CollectICSeed = true
+		}
 	}
 
 	id := s.requestID(r)
@@ -383,6 +471,11 @@ func (s *Server) serveRun(w http.ResponseWriter, r *http.Request, v1 bool) {
 		s.dedup.resolve(entry, nil, false, time.Now())
 		entry = nil
 	}
+	if prog != nil && res.Class == supervise.ClassOK && res.ICSeed != nil {
+		// Donate the clean run's quickened shapes; the next run of this
+		// ref — on this worker or a fresh one — starts tier-1-warm.
+		s.progs.OfferSeed(prog.Ref, res.ICSeed)
+	}
 	s.logJob(id, job, res)
 	resp := api.RunResultV1{
 		APIVersion: api.Version,
@@ -395,6 +488,10 @@ func (s *Server) serveRun(w http.ResponseWriter, r *http.Request, v1 bool) {
 		Worker:     res.Worker,
 		QueuedMs:   float64(res.Queued) / float64(time.Millisecond),
 		RunMs:      float64(res.RunTime) / float64(time.Millisecond),
+	}
+	if prog != nil {
+		resp.ProgramCache = programCache
+		resp.ProgramRef = prog.Ref
 	}
 	resp.Preemptions = res.Preemptions
 	if n := len(res.Lifecycle); n > 0 {
@@ -444,6 +541,132 @@ func (s *Server) serveRun(w http.ResponseWriter, r *http.Request, v1 bool) {
 		writeJSONDigested(w, status, resp)
 	} else {
 		writeJSON(w, status, resp)
+	}
+}
+
+// maxLimitsMemo bounds the normalize-memo population: distinct limit
+// shapes beyond it flush the memo (a hostile client cycling limit
+// values must not grow the map without bound; a flush only costs the
+// next few requests a re-validation).
+const maxLimitsMemo = 1024
+
+// normalizeLimits is Limits.Normalize behind a memo keyed on the raw
+// value. Only successful normalizations are cached — errors are the
+// rare path and keep their exact message.
+func (s *Server) normalizeLimits(l api.Limits) (api.Limits, error) {
+	s.limitsMu.Lock()
+	if norm, ok := s.limitsMemo[l]; ok {
+		s.limitsMu.Unlock()
+		return norm, nil
+	}
+	s.limitsMu.Unlock()
+	norm, err := l.Normalize()
+	if err != nil {
+		return norm, err
+	}
+	s.limitsMu.Lock()
+	if len(s.limitsMemo) >= maxLimitsMemo {
+		s.limitsMemo = make(map[api.Limits]api.Limits)
+	}
+	s.limitsMemo[l] = norm
+	s.limitsMu.Unlock()
+	return norm, nil
+}
+
+// handleProgramsV1 is POST /v1/programs: register a program source in
+// the content-addressed store. Registration is idempotent — re-posting
+// the same source returns the same ref — and single-flight under
+// concurrency. Like the backend-reconfig surface (PUT
+// /v1/admin/backends), this is an unauthenticated admin-plane endpoint;
+// deployments front it with their own auth.
+func (s *Server) handleProgramsV1(w http.ResponseWriter, r *http.Request) {
+	failV1 := func(status int, code, msg string) {
+		writeJSONDigested(w, status, api.ErrorEnvelope{Err: api.Error{Code: code, Message: msg}})
+	}
+	if r.Method != http.MethodPost {
+		failV1(http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+	if err != nil {
+		failV1(http.StatusBadRequest, api.CodeBadJSON, "read body: "+err.Error())
+		return
+	}
+	if len(body) > maxBody {
+		failV1(http.StatusRequestEntityTooLarge, api.CodeBodyTooLarge,
+			fmt.Sprintf("request exceeds %d bytes", maxBody))
+		return
+	}
+	var req api.RegisterRequestV1
+	if err := json.Unmarshal(body, &req); err != nil {
+		failV1(http.StatusBadRequest, api.CodeBadJSON, "bad JSON: "+err.Error())
+		return
+	}
+	if req.Src == "" {
+		failV1(http.StatusBadRequest, api.CodeMissingSrc, "missing src")
+		return
+	}
+	if len(req.Src) > api.MaxProgramSrc {
+		failV1(http.StatusRequestEntityTooLarge, api.CodeBodyTooLarge,
+			fmt.Sprintf("src exceeds %d bytes", api.MaxProgramSrc))
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = "program.py"
+	}
+	p, _, err := s.progs.Register(name, req.Src)
+	if err != nil {
+		// A syntactically bad program never occupies the store; the
+		// compile error travels in the envelope.
+		failV1(http.StatusBadRequest, api.CodeBadProgram, err.Error())
+		return
+	}
+	writeJSONDigested(w, http.StatusOK, api.RegisterResultV1{
+		APIVersion:      api.Version,
+		ProgramRef:      p.Ref,
+		Compiled:        true,
+		ICSeedAvailable: p.Seed != nil,
+	})
+}
+
+// handleProgramV1 is GET/DELETE /v1/programs/{ref}: store metadata for
+// one program, and explicit invalidation.
+func (s *Server) handleProgramV1(w http.ResponseWriter, r *http.Request) {
+	failV1 := func(status int, code, msg string) {
+		writeJSONDigested(w, status, api.ErrorEnvelope{Err: api.Error{Code: code, Message: msg}})
+	}
+	ref := strings.TrimPrefix(r.URL.Path, "/v1/programs/")
+	if !progstore.ValidRef(ref) {
+		failV1(http.StatusBadRequest, api.CodeBadProgram, "programRef must be a hex SHA-256")
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		info, ok := s.progs.InfoFor(ref)
+		if !ok {
+			failV1(http.StatusNotFound, api.CodeUnknownProgram, "unknown programRef")
+			return
+		}
+		writeJSONDigested(w, http.StatusOK, api.ProgramInfoV1{
+			APIVersion:  api.Version,
+			ProgramRef:  info.Ref,
+			SrcBytes:    info.SrcBytes,
+			Compiled:    info.Compiled,
+			Hits:        info.Hits,
+			AgeMs:       info.AgeMs,
+			ICSeed:      info.ICSeed,
+			ICSeedAgeMs: info.ICSeedAgeMs,
+			ICSeedSites: info.ICSeedSites,
+		})
+	case http.MethodDelete:
+		if !s.progs.Delete(ref) {
+			failV1(http.StatusNotFound, api.CodeUnknownProgram, "unknown programRef")
+			return
+		}
+		writeJSONDigested(w, http.StatusOK, map[string]bool{"deleted": true})
+	default:
+		failV1(http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "GET or DELETE only")
 	}
 }
 

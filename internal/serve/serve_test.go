@@ -658,7 +658,10 @@ func TestV1ErrorEnvelope(t *testing.T) {
 		status           int
 	}{
 		{"bad json", "{", api.CodeBadJSON, http.StatusBadRequest},
-		{"no src", "{}", api.CodeMissingSrc, http.StatusBadRequest},
+		{"no src", "{}", api.CodeMissingProgram, http.StatusBadRequest},
+		{"src and ref", `{"src": "print(1)", "programRef": "` + strings.Repeat("a", 64) + `"}`,
+			api.CodeMissingProgram, http.StatusBadRequest},
+		{"malformed ref", `{"programRef": "nothex"}`, api.CodeBadProgram, http.StatusBadRequest},
 		{"bad mode", `{"src": "print(1)", "mode": "jython"}`, api.CodeBadMode, http.StatusBadRequest},
 		{"negative deadline", `{"src": "print(1)", "limits": {"deadlineMs": -1}}`, api.CodeInvalidLimits, http.StatusBadRequest},
 		{"over-cap deadline", `{"src": "print(1)", "limits": {"deadlineMs": 86400001}}`, api.CodeInvalidLimits, http.StatusBadRequest},

@@ -124,6 +124,13 @@ type Job struct {
 	// deficit-round-robin. Empty is a valid (shared) tenant. The
 	// exclusive pool ignores it.
 	Tenant string
+	// ICSeed, when non-nil, warm-starts the worker VM's inline caches
+	// from a donor's portable seed (program-store warm start). Advisory
+	// only: a stale seed costs refills, never semantics.
+	ICSeed *interp.ICSeed
+	// CollectICSeed opts the job into exporting the run's quickened
+	// state as JobResult.ICSeed (the store's seed-donation path).
+	CollectICSeed bool
 }
 
 // JobResult is everything the supervisor reports about one job.
@@ -148,6 +155,9 @@ type JobResult struct {
 	// IC is the run's inline-cache activity (quickened interpreter);
 	// zero when quickening is disabled or the run errored.
 	IC interp.ICStats
+	// ICSeed is the portable warm-start seed exported from the run's
+	// quickened state (Job.CollectICSeed runs with a clean exit only).
+	ICSeed *interp.ICSeed
 	// Breakdown is the job's overhead attribution, present only when the
 	// job requested it (Job.Breakdown) and ran to a clean exit.
 	Breakdown *core.Breakdown

@@ -522,6 +522,10 @@ func (s *Sched) execute(j *schedJob) *JobResult {
 		r.SetFaults(nil)
 	}
 	r.SetYield(s.cfg.QuantumSteps, func() time.Duration { return s.yield(j) })
+	// Warm-start plumbing, mirroring worker.execute: arm the job's seed
+	// (nil disarms the previous job's) and the export opt-in.
+	r.SetICSeed(j.job.ICSeed)
+	r.SetCollectICSeed(j.job.CollectICSeed)
 
 	code := j.job.Code
 	if code == nil {
@@ -553,6 +557,7 @@ func (s *Sched) execute(j *schedJob) *JobResult {
 		jr.ErrorDeopts = res.JIT.ErrorDeopts
 	}
 	jr.IC = res.VM.IC
+	jr.ICSeed = res.ICSeed
 	if j.job.Breakdown {
 		bd := res.Breakdown
 		jr.Breakdown = &bd
@@ -637,6 +642,8 @@ func canaryRunner(r *runtime.Runner) string {
 	r.SetYield(0, nil)
 	r.SetLimits(interp.Limits{MaxSteps: 100_000, Deadline: 5 * time.Second})
 	r.SetFaults(nil)
+	r.SetICSeed(nil)
+	r.SetCollectICSeed(false)
 	res, err := r.Run("canary.py", canarySrc)
 	if err != nil {
 		return "canary failed: " + err.Error()

@@ -103,6 +103,11 @@ func (w *worker) execute(job *Job) *JobResult {
 	} else {
 		r.SetFaults(nil)
 	}
+	// Warm-start plumbing: arm the job's portable IC seed (nil disarms —
+	// essential, or the previous job's seed would bind to this program)
+	// and the seed-export opt-in.
+	r.SetICSeed(job.ICSeed)
+	r.SetCollectICSeed(job.CollectICSeed)
 
 	code := job.Code
 	if code == nil {
@@ -131,6 +136,7 @@ func (w *worker) execute(job *Job) *JobResult {
 		jr.ErrorDeopts = res.JIT.ErrorDeopts
 	}
 	jr.IC = res.VM.IC
+	jr.ICSeed = res.ICSeed
 	if job.Breakdown {
 		bd := res.Breakdown
 		jr.Breakdown = &bd
@@ -171,6 +177,10 @@ func (w *worker) canaryCheck(mode runtime.Mode, attributed bool) string {
 	}
 	r.SetLimits(interp.Limits{MaxSteps: 100_000, Deadline: 5 * time.Second})
 	r.SetFaults(nil)
+	// The canary must run from truly pristine state: a seed armed by the
+	// errored job would bind to the canary's code tree.
+	r.SetICSeed(nil)
+	r.SetCollectICSeed(false)
 	res, err := r.Run("canary.py", canarySrc)
 	if err != nil {
 		return "canary failed: " + err.Error()
